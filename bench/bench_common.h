@@ -1,0 +1,110 @@
+// Shared infrastructure for the per-figure bench binaries: cached synthetic
+// datasets, paper-calibrated storage profiles, model proxies, and the
+// time-to-accuracy runner used by Figures 4-6 and 23-28.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pcr_dataset.h"
+#include "core/record_dataset.h"
+#include "data/dataset_builder.h"
+#include "data/dataset_spec.h"
+#include "sim/compute_model.h"
+#include "sim/decode_model.h"
+#include "sim/pipeline_sim.h"
+#include "storage/env.h"
+#include "train/classifier.h"
+#include "train/dataset_cache.h"
+#include "train/trainer.h"
+#include "util/result.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace pcr::bench {
+
+/// Builds (or loads from the /tmp cache) the dataset for `spec` in the
+/// requested formats and opens the PCR view.
+struct DatasetHandle {
+  BuiltDataset built;
+  std::unique_ptr<PcrDataset> pcr;
+};
+DatasetHandle GetDataset(const DatasetSpec& spec,
+                         bool with_record_format = false,
+                         bool with_fpi_format = false);
+
+/// Paper mean image bytes per dataset (Table 1: dataset size / image count),
+/// used to calibrate simulated storage bandwidth so that the byte-intensity
+/// ratio (and therefore who is I/O bound) matches the paper's cluster.
+double PaperMeanImageBytes(const std::string& dataset_name);
+
+/// Storage profile whose bandwidth is scaled so that
+///   our_mean_bytes / W_sim == paper_mean_bytes / 450MiB/s.
+DeviceProfile CalibratedStorage(RecordSource* source,
+                                const std::string& dataset_name);
+
+/// A "model" = compute service rate (throughput side) + feature extractor
+/// configuration (statistical side: how much the proxy relies on
+/// fine-grained, high-frequency features) + classifier architecture.
+struct ModelProxy {
+  std::string name;
+  ComputeProfile compute;
+  FeatureOptions features;
+  bool use_mlp = false;
+  int mlp_hidden = 48;
+
+  /// ResNet-18 proxy: slower compute, moderate reliance on fine detail.
+  static ModelProxy ResNet18();
+  /// ShuffleNetv2 proxy: ~1.7x faster compute, strong reliance on
+  /// fine-grained (high-frequency) features (the paper's HAM10000 contrast).
+  static ModelProxy ShuffleNetV2();
+
+  std::unique_ptr<Classifier> MakeClassifier(int dim, int classes,
+                                             uint64_t seed) const;
+};
+
+/// Per-dataset training recipe (epochs follow §4.1).
+struct TrainRecipe {
+  int epochs = 90;
+  TrainerOptions trainer;
+  static TrainRecipe ForDataset(const std::string& dataset_name);
+};
+
+/// One point on a time-to-accuracy curve.
+struct CurvePoint {
+  int epoch = 0;
+  double sim_seconds = 0;
+  double test_accuracy = 0;
+  double train_loss = 0;
+};
+
+struct TimeToAccuracyResult {
+  int scan_group = 0;
+  std::vector<CurvePoint> curve;
+  double final_accuracy = 0;
+  double total_seconds = 0;
+  /// Simulated seconds to first reach `target`; <0 if never reached.
+  double SecondsToAccuracy(double target) const;
+};
+
+struct TimeToAccuracyConfig {
+  std::vector<int> scan_groups = {1, 2, 5, 10};
+  int repeats = 2;            // Seeds averaged for confidence.
+  int eval_every = 5;         // Epochs between test evaluations.
+  std::function<int64_t(int64_t)> label_map;
+};
+
+/// Runs the full experiment: for each scan group, train the proxy while the
+/// pipeline simulator advances storage-bound time, and collect the curve.
+/// Results are averaged over `repeats` seeds.
+std::vector<TimeToAccuracyResult> RunTimeToAccuracy(
+    const DatasetSpec& spec, const ModelProxy& model,
+    const TimeToAccuracyConfig& config);
+
+/// Prints the standard time-to-accuracy table (per group: final accuracy,
+/// epoch time, time to reference accuracy, speedup vs baseline).
+void PrintTimeToAccuracy(const std::string& title,
+                         const std::vector<TimeToAccuracyResult>& results);
+
+}  // namespace pcr::bench

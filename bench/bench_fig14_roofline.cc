@@ -1,0 +1,68 @@
+// Figure 14: the byte-intensity roofline — "The system can process more
+// images per second when a higher data rate is achieved via PCR data
+// reduction. This trend continues until the compute units become saturated."
+// Sweeps mean bytes/image and prints predicted throughput min(Xc, W/E[s]),
+// marking where each ImageNet-like scan group lands.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "sim/queueing.h"
+
+using namespace pcr;
+using namespace pcr::bench;
+
+int main() {
+  printf("Figure 14: throughput vs byte intensity (roofline)\n\n");
+  const DatasetSpec spec = DatasetSpec::ImageNetLike();
+  DatasetHandle handle = GetDataset(spec);
+  RecordSource* source = handle.pcr.get();
+  const DeviceProfile storage = CalibratedStorage(source, spec.name);
+
+  IoModel io;
+  io.bandwidth_bytes_per_sec = storage.read_bandwidth_bytes_per_sec;
+
+  // Scan-group byte intensities (the "notches" in the paper's figure).
+  printf("scan-group byte intensities (bytes/image):");
+  for (int g : {1, 2, 5, 10}) {
+    printf("  g%d=%.0f", g, source->MeanImageBytes(g));
+  }
+  printf("\n\n");
+
+  TablePrinter table({"bytes/image", "data rate (img/s)", "ResNet18 rate",
+                      "ShuffleNet rate", "regime"});
+  const double resnet = ComputeProfile::ResNet18().ClusterRate();
+  const double shuffle = ComputeProfile::ShuffleNetV2().ClusterRate();
+  for (double bytes = 512; bytes <= 64 * 1024; bytes *= 2) {
+    const double data_rate = DataPipelineThroughput(io, bytes);
+    const double r = RooflineThroughput(io, resnet, bytes);
+    const double s = RooflineThroughput(io, shuffle, bytes);
+    const char* regime = data_rate > shuffle          ? "compute-bound (both)"
+                         : data_rate > resnet         ? "ShuffleNet I/O-bound"
+                                                      : "I/O-bound (both)";
+    table.AddRow({HumanBytes(bytes), StrFormat("%.0f", data_rate),
+                  StrFormat("%.0f", r), StrFormat("%.0f", s), regime});
+  }
+  table.Print();
+
+  // Validate the roofline against the discrete-event simulator.
+  printf("\nmodel-vs-simulator check (imagenet_like, ResNet18):\n");
+  TablePrinter check({"scan group", "roofline (img/s)", "simulated (img/s)",
+                      "ratio"});
+  for (int g : {1, 2, 5, 10}) {
+    const double predicted =
+        RooflineThroughput(io, resnet, source->MeanImageBytes(g));
+    PipelineSimOptions options;
+    options.model_decode_cost = false;
+    TrainingPipelineSim sim(source, storage, ComputeProfile::ResNet18(),
+                            DecodeCostModel{}, options);
+    FixedScanPolicy policy(g);
+    const double simulated = sim.SimulateEpoch(&policy).images_per_sec;
+    check.AddRow({StrFormat("%d", g), StrFormat("%.0f", predicted),
+                  StrFormat("%.0f", simulated),
+                  StrFormat("%.3f", simulated / predicted)});
+  }
+  check.Print();
+  printf("paper check: throughput rises ~1/bytes until the compute roof; "
+         "simulator within a few %% of the analytic roofline.\n");
+  return 0;
+}

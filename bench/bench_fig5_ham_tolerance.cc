@@ -1,0 +1,41 @@
+// Figure 5: HAM10000 — "While ResNet is unaffected by additional
+// compression, ShuffleNet requires higher quality data (at least scan group
+// 5) for higher accuracy." Also reproduces the Figure 9 observation that
+// HAM10000, having the largest images, is the most bandwidth-bottlenecked.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace pcr;
+using namespace pcr::bench;
+
+int main() {
+  printf("Figure 5: HAM10000 tolerance differs by model\n");
+
+  TimeToAccuracyConfig config;
+  config.scan_groups = {1, 2, 5, 10};
+  config.repeats = 2;
+
+  const DatasetSpec spec = DatasetSpec::Ham10000Like();
+  std::vector<std::vector<TimeToAccuracyResult>> all;
+  for (const ModelProxy& model :
+       {ModelProxy::ResNet18(), ModelProxy::ShuffleNetV2()}) {
+    const auto results = RunTimeToAccuracy(spec, model, config);
+    PrintTimeToAccuracy(spec.name + " / " + model.name, results);
+    all.push_back(results);
+  }
+
+  // Quantify the paper's claim: the accuracy drop of group 1 vs baseline
+  // should be small for ResNet and larger for ShuffleNet.
+  const double resnet_gap = all[0].back().final_accuracy -
+                            all[0].front().final_accuracy;
+  const double shuffle_gap = all[1].back().final_accuracy -
+                             all[1].front().final_accuracy;
+  printf("\naccuracy drop at group 1 vs baseline: ResNet %.1f pts, "
+         "ShuffleNet %.1f pts %s\n",
+         resnet_gap, shuffle_gap,
+         shuffle_gap > resnet_gap ? "(paper shape: ShuffleNet needs higher "
+                                    "quality data)"
+                                  : "(UNEXPECTED)");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// google-benchmark microbenchmarks of the JPEG codec and PCR assembly path:
+// encode, lossless transcode, full and partial decode, scan indexing, record
+// prefix assembly, and MSSIM. These are the real-CPU costs behind the
+// decode-overhead discussion of §A.5.
+#include <benchmark/benchmark.h>
+
+#include "core/pcr_format.h"
+#include "data/dataset_spec.h"
+#include "image/metrics.h"
+#include "jpeg/codec.h"
+#include "jpeg/scan_parser.h"
+
+namespace pcr {
+namespace {
+
+Image TestImage(int w, int h) {
+  DatasetSpec spec = DatasetSpec::TestTiny();
+  spec.base_width = w;
+  spec.base_height = h;
+  spec.size_jitter = 0;
+  return GenerateImage(spec, 1, 42);
+}
+
+const Image& SharedImage() {
+  static const Image img = TestImage(320, 240);
+  return img;
+}
+
+std::string SharedBaseline() {
+  jpeg::EncodeOptions options;
+  options.quality = 90;
+  return jpeg::Encode(SharedImage(), options).MoveValue();
+}
+
+std::string SharedProgressive() {
+  return jpeg::TranscodeToProgressive(SharedBaseline()).MoveValue();
+}
+
+void BM_EncodeBaseline(benchmark::State& state) {
+  const Image& img = SharedImage();
+  jpeg::EncodeOptions options;
+  options.quality = 90;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(jpeg::Encode(img, options).MoveValue());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EncodeBaseline);
+
+void BM_EncodeProgressive(benchmark::State& state) {
+  const Image& img = SharedImage();
+  jpeg::EncodeOptions options;
+  options.quality = 90;
+  options.progressive = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(jpeg::Encode(img, options).MoveValue());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EncodeProgressive);
+
+void BM_TranscodeToProgressive(benchmark::State& state) {
+  const std::string baseline = SharedBaseline();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        jpeg::TranscodeToProgressive(baseline).MoveValue());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TranscodeToProgressive);
+
+void BM_DecodeBaseline(benchmark::State& state) {
+  const std::string baseline = SharedBaseline();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(jpeg::Decode(baseline).MoveValue());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DecodeBaseline);
+
+// Partial decode cost by scan prefix (the §A.5 progressive-overhead curve).
+void BM_DecodeProgressivePrefix(benchmark::State& state) {
+  const int scans = static_cast<int>(state.range(0));
+  const std::string progressive = SharedProgressive();
+  const auto index = jpeg::IndexScans(progressive).MoveValue();
+  const std::string prefix =
+      jpeg::AssemblePrefix(progressive, index, scans);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(jpeg::Decode(prefix).MoveValue());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DecodeProgressivePrefix)->Arg(1)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_IndexScans(benchmark::State& state) {
+  const std::string progressive = SharedProgressive();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(jpeg::IndexScans(progressive).MoveValue());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IndexScans);
+
+void BM_Msssim(benchmark::State& state) {
+  const Image a = SharedImage();
+  const Image b = jpeg::Decode(SharedBaseline()).MoveValue();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Msssim(a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Msssim);
+
+}  // namespace
+}  // namespace pcr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+#include "core/file_per_image.h"
+
+#include "util/string_util.h"
+#include "wire/wire.h"
+
+namespace pcr {
+
+namespace {
+constexpr char kDbName[] = "metadata.kvlog";
+std::string ImageKey(int index) { return StrFormat("img/%08d", index); }
+}  // namespace
+
+Result<std::unique_ptr<FilePerImageWriter>> FilePerImageWriter::Create(
+    Env* env, const std::string& dir) {
+  PCR_RETURN_IF_ERROR(env->CreateDir(dir));
+  std::unique_ptr<FilePerImageWriter> writer(new FilePerImageWriter(env, dir));
+  PCR_ASSIGN_OR_RETURN(writer->db_, KvStore::Open(env, dir + "/" + kDbName));
+  return writer;
+}
+
+Status FilePerImageWriter::AddImage(Slice jpeg, int64_t label) {
+  if (finished_) return Status::FailedPrecondition("writer already finished");
+  const std::string file_name = StrFormat("image-%08d.jpg", images_added_);
+  PCR_RETURN_IF_ERROR(
+      env_->WriteStringToFile(dir_ + "/" + file_name, jpeg));
+  wire::WireWriter entry;
+  entry.PutString(1, file_name);
+  entry.PutSint64(2, label);
+  entry.PutUint64(3, jpeg.size());
+  PCR_RETURN_IF_ERROR(db_->Put(ImageKey(images_added_), Slice(entry.buffer())));
+  ++images_added_;
+  return Status::OK();
+}
+
+Status FilePerImageWriter::Finish() {
+  if (finished_) return Status::OK();
+  wire::WireWriter meta;
+  meta.PutUint64(1, images_added_);
+  PCR_RETURN_IF_ERROR(db_->Put("meta", Slice(meta.buffer())));
+  PCR_RETURN_IF_ERROR(db_->Flush());
+  finished_ = true;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<FilePerImageDataset>> FilePerImageDataset::Open(
+    Env* env, const std::string& dir) {
+  std::unique_ptr<FilePerImageDataset> ds(new FilePerImageDataset(env, dir));
+  PCR_ASSIGN_OR_RETURN(auto db, KvStore::Open(env, dir + "/" + kDbName));
+  PCR_ASSIGN_OR_RETURN(std::string meta_bytes, db->Get("meta"));
+  int num_images = 0;
+  {
+    wire::WireReader reader((Slice(meta_bytes)));
+    wire::WireField field;
+    while (reader.Next(&field)) {
+      if (field.field == 1) num_images = static_cast<int>(field.varint);
+    }
+    PCR_RETURN_IF_ERROR(reader.status());
+  }
+  for (int i = 0; i < num_images; ++i) {
+    PCR_ASSIGN_OR_RETURN(std::string entry, db->Get(ImageKey(i)));
+    ImageMeta meta;
+    wire::WireReader reader((Slice(entry)));
+    wire::WireField field;
+    while (reader.Next(&field)) {
+      if (field.field == 1) meta.path = ds->dir_ + "/" + field.bytes.ToString();
+      if (field.field == 2) meta.label = field.AsSint64();
+      if (field.field == 3) meta.file_bytes = field.varint;
+    }
+    PCR_RETURN_IF_ERROR(reader.status());
+    ds->images_.push_back(std::move(meta));
+  }
+  return ds;
+}
+
+uint64_t FilePerImageDataset::RecordReadBytes(int record, int) const {
+  PCR_CHECK(record >= 0 && record < num_records());
+  return images_[record].file_bytes;
+}
+
+Result<RecordBatch> FilePerImageDataset::ReadRecord(int record, int) {
+  if (record < 0 || record >= num_records()) {
+    return Status::OutOfRange("image index out of range");
+  }
+  const ImageMeta& meta = images_[record];
+  PCR_ASSIGN_OR_RETURN(auto file, env_->NewRandomAccessFile(meta.path));
+  std::string buffer(meta.file_bytes, '\0');
+  Slice data;
+  PCR_RETURN_IF_ERROR(file->Read(0, meta.file_bytes, buffer.data(), &data));
+  if (data.size() != meta.file_bytes) {
+    return Status::IOError("short read of " + meta.path);
+  }
+  RecordBatch batch;
+  batch.bytes_read = meta.file_bytes;
+  batch.labels.push_back(meta.label);
+  batch.jpegs.push_back(std::move(buffer));
+  return batch;
+}
+
+uint64_t FilePerImageDataset::total_bytes() const {
+  uint64_t total = 0;
+  for (const auto& img : images_) total += img.file_bytes;
+  return total;
+}
+
+}  // namespace pcr

@@ -1,0 +1,71 @@
+// FilePerImageDataset: the PyTorch-ImageFolder-style baseline — one file per
+// image. Reads are small and random ("File-per-Image formats have highly
+// random read behavior", Figure 1), which is what record layouts and PCRs
+// fix.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/record_source.h"
+#include "kv/kv_store.h"
+#include "storage/env.h"
+
+namespace pcr {
+
+/// Writes one .jpg per image plus a label manifest.
+class FilePerImageWriter {
+ public:
+  static Result<std::unique_ptr<FilePerImageWriter>> Create(
+      Env* env, const std::string& dir);
+
+  Status AddImage(Slice jpeg, int64_t label);
+  Status Finish();
+
+ private:
+  FilePerImageWriter(Env* env, std::string dir)
+      : env_(env), dir_(std::move(dir)) {}
+
+  Env* env_;
+  std::string dir_;
+  std::unique_ptr<KvStore> db_;
+  int images_added_ = 0;
+  bool finished_ = false;
+};
+
+/// Read side. Each "record" is a single image (record == image index).
+class FilePerImageDataset : public RecordSource {
+ public:
+  static Result<std::unique_ptr<FilePerImageDataset>> Open(
+      Env* env, const std::string& dir);
+
+  int num_records() const override {
+    return static_cast<int>(images_.size());
+  }
+  int num_images() const override {
+    return static_cast<int>(images_.size());
+  }
+  int num_scan_groups() const override { return 1; }
+  uint64_t RecordReadBytes(int record, int scan_group) const override;
+  int RecordImages(int) const override { return 1; }
+  Result<RecordBatch> ReadRecord(int record, int scan_group) override;
+  std::string format_name() const override { return "file_per_image"; }
+  uint64_t total_bytes() const override;
+
+ private:
+  struct ImageMeta {
+    std::string path;
+    int64_t label = 0;
+    uint64_t file_bytes = 0;
+  };
+
+  FilePerImageDataset(Env* env, std::string dir)
+      : env_(env), dir_(std::move(dir)) {}
+
+  Env* env_;
+  std::string dir_;
+  std::vector<ImageMeta> images_;
+};
+
+}  // namespace pcr

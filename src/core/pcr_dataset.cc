@@ -1,0 +1,248 @@
+#include "core/pcr_dataset.h"
+
+#include <algorithm>
+
+#include "jpeg/codec.h"
+#include "jpeg/scan_parser.h"
+#include "util/string_util.h"
+#include "wire/wire.h"
+
+namespace pcr {
+
+namespace {
+
+constexpr char kDbName[] = "metadata.kvlog";
+
+// Wire fields for the per-record manifest entry.
+constexpr int kRecFieldPath = 1;
+constexpr int kRecFieldNumImages = 2;
+constexpr int kRecFieldPrefixBytes = 3;
+constexpr int kRecFieldFileBytes = 4;
+
+std::string RecordKey(int index) { return StrFormat("rec/%08d", index); }
+std::string RecordFileName(int index) {
+  return StrFormat("record-%06d.pcr", index);
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- Writer
+
+PcrDatasetWriter::PcrDatasetWriter(Env* env, std::string dir,
+                                   PcrWriterOptions options)
+    : env_(env), dir_(std::move(dir)), options_(options) {}
+
+Result<std::unique_ptr<PcrDatasetWriter>> PcrDatasetWriter::Create(
+    Env* env, const std::string& dir, const PcrWriterOptions& options) {
+  if (options.images_per_record < 1) {
+    return Status::InvalidArgument("images_per_record must be >= 1");
+  }
+  if (options.num_scan_groups < 1 ||
+      options.num_scan_groups > kMaxScanGroups) {
+    return Status::InvalidArgument("num_scan_groups out of range");
+  }
+  PCR_RETURN_IF_ERROR(env->CreateDir(dir));
+  std::unique_ptr<PcrDatasetWriter> writer(
+      new PcrDatasetWriter(env, dir, options));
+  PCR_ASSIGN_OR_RETURN(writer->db_, KvStore::Open(env, dir + "/" + kDbName));
+  return writer;
+}
+
+Status PcrDatasetWriter::AddImage(Slice jpeg, int64_t label) {
+  if (finished_) return Status::FailedPrecondition("writer already finished");
+
+  // Ensure progressive form ("Our implementation uses JPEGTRAN to losslessly
+  // transform JPEG images into progressive JPEG images").
+  std::string progressive;
+  PCR_ASSIGN_OR_RETURN(auto index, jpeg::IndexScans(jpeg));
+  if (!index.progressive) {
+    if (!options_.transcode_to_progressive) {
+      return Status::InvalidArgument(
+          "baseline input with transcoding disabled");
+    }
+    PCR_ASSIGN_OR_RETURN(progressive, jpeg::TranscodeToProgressive(jpeg));
+    PCR_ASSIGN_OR_RETURN(index, jpeg::IndexScans(progressive));
+    jpeg = Slice(progressive);
+  }
+
+  StagedImage staged;
+  staged.label = label;
+  staged.jpeg_header = std::string(jpeg.data(), index.header_end);
+  staged.scans.resize(options_.num_scan_groups);
+  const int num_scans = static_cast<int>(index.scans.size());
+  for (int s = 0; s < num_scans; ++s) {
+    // Surplus scans merge into the last group; missing groups stay empty.
+    const int group = std::min(s, options_.num_scan_groups - 1);
+    staged.scans[group].append(jpeg.data() + index.scans[s].start,
+                               index.scans[s].size());
+  }
+  staged_.push_back(std::move(staged));
+  ++images_added_;
+
+  if (static_cast<int>(staged_.size()) >= options_.images_per_record) {
+    return FlushRecord();
+  }
+  return Status::OK();
+}
+
+Status PcrDatasetWriter::FlushRecord() {
+  if (staged_.empty()) return Status::OK();
+
+  PcrHeader header;
+  header.num_images = static_cast<int>(staged_.size());
+  header.num_groups = options_.num_scan_groups;
+  header.group_sizes.assign(options_.num_scan_groups,
+                            std::vector<uint64_t>(staged_.size(), 0));
+  for (size_t i = 0; i < staged_.size(); ++i) {
+    header.labels.push_back(staged_[i].label);
+    header.jpeg_headers.push_back(staged_[i].jpeg_header);
+    for (int g = 0; g < options_.num_scan_groups; ++g) {
+      header.group_sizes[g][i] = staged_[i].scans[g].size();
+    }
+  }
+
+  const std::string header_bytes = SerializePcrHeader(&header);
+  const std::string file_name = RecordFileName(records_written_);
+  const std::string path = dir_ + "/" + file_name;
+  PCR_ASSIGN_OR_RETURN(auto file, env_->NewWritableFile(path));
+  PCR_RETURN_IF_ERROR(file->Append(header_bytes));
+  // Scan groups in quality order, each holding every image's delta.
+  for (int g = 0; g < options_.num_scan_groups; ++g) {
+    for (const auto& staged : staged_) {
+      PCR_RETURN_IF_ERROR(file->Append(staged.scans[g]));
+    }
+  }
+  PCR_RETURN_IF_ERROR(file->Close());
+
+  // Manifest entry with precomputed prefix byte counts so the loader can
+  // issue a single partial sequential read per (record, scan group).
+  wire::WireWriter entry;
+  entry.PutString(kRecFieldPath, file_name);
+  entry.PutUint64(kRecFieldNumImages, staged_.size());
+  std::vector<uint64_t> prefix_bytes;
+  for (int g = 1; g <= options_.num_scan_groups; ++g) {
+    prefix_bytes.push_back(header.header_bytes +
+                           header.PrefixPayloadBytes(g));
+  }
+  entry.PutPackedUint64(kRecFieldPrefixBytes, prefix_bytes);
+  entry.PutUint64(kRecFieldFileBytes, prefix_bytes.back());
+  PCR_RETURN_IF_ERROR(
+      db_->Put(RecordKey(records_written_), Slice(entry.buffer())));
+
+  ++records_written_;
+  staged_.clear();
+  return Status::OK();
+}
+
+Status PcrDatasetWriter::Finish() {
+  if (finished_) return Status::OK();
+  PCR_RETURN_IF_ERROR(FlushRecord());
+  wire::WireWriter meta;
+  meta.PutUint64(1, records_written_);
+  meta.PutUint64(2, images_added_);
+  meta.PutUint64(3, options_.num_scan_groups);
+  PCR_RETURN_IF_ERROR(db_->Put("meta", Slice(meta.buffer())));
+  PCR_RETURN_IF_ERROR(db_->Flush());
+  finished_ = true;
+  return Status::OK();
+}
+
+// ----------------------------------------------------------------- Reader
+
+Result<std::unique_ptr<PcrDataset>> PcrDataset::Open(Env* env,
+                                                     const std::string& dir) {
+  std::unique_ptr<PcrDataset> ds(new PcrDataset(env, dir));
+  PCR_ASSIGN_OR_RETURN(auto db, KvStore::Open(env, dir + "/" + kDbName));
+
+  PCR_ASSIGN_OR_RETURN(std::string meta_bytes, db->Get("meta"));
+  int num_records = 0;
+  {
+    wire::WireReader reader((Slice(meta_bytes)));
+    wire::WireField field;
+    while (reader.Next(&field)) {
+      if (field.field == 1) num_records = static_cast<int>(field.varint);
+      if (field.field == 2) ds->num_images_ = static_cast<int>(field.varint);
+      if (field.field == 3) ds->num_groups_ = static_cast<int>(field.varint);
+    }
+    PCR_RETURN_IF_ERROR(reader.status());
+  }
+  if (num_records <= 0 || ds->num_groups_ <= 0) {
+    return Status::Corruption("pcr dataset: bad manifest meta");
+  }
+
+  ds->records_.reserve(num_records);
+  for (int r = 0; r < num_records; ++r) {
+    PCR_ASSIGN_OR_RETURN(std::string entry, db->Get(RecordKey(r)));
+    RecordMeta meta;
+    wire::WireReader reader((Slice(entry)));
+    wire::WireField field;
+    while (reader.Next(&field)) {
+      switch (field.field) {
+        case kRecFieldPath:
+          meta.path = ds->dir_ + "/" + field.bytes.ToString();
+          break;
+        case kRecFieldNumImages:
+          meta.num_images = static_cast<int>(field.varint);
+          break;
+        case kRecFieldPrefixBytes: {
+          PCR_ASSIGN_OR_RETURN(
+              meta.prefix_bytes,
+              wire::WireReader::DecodePackedUint64(field.bytes));
+          break;
+        }
+        case kRecFieldFileBytes:
+          meta.file_bytes = field.varint;
+          break;
+        default:
+          break;
+      }
+    }
+    PCR_RETURN_IF_ERROR(reader.status());
+    if (meta.path.empty() ||
+        static_cast<int>(meta.prefix_bytes.size()) != ds->num_groups_) {
+      return Status::Corruption("pcr dataset: bad record entry");
+    }
+    ds->records_.push_back(std::move(meta));
+  }
+  return ds;
+}
+
+uint64_t PcrDataset::RecordReadBytes(int record, int scan_group) const {
+  PCR_CHECK(record >= 0 && record < num_records());
+  scan_group = std::clamp(scan_group, 1, num_groups_);
+  return records_[record].prefix_bytes[scan_group - 1];
+}
+
+Result<RecordBatch> PcrDataset::ReadRecord(int record, int scan_group) {
+  if (record < 0 || record >= num_records()) {
+    return Status::OutOfRange("record index out of range");
+  }
+  scan_group = std::clamp(scan_group, 1, num_groups_);
+  const RecordMeta& meta = records_[record];
+  const uint64_t bytes = meta.prefix_bytes[scan_group - 1];
+
+  // One sequential read of the prefix — the core PCR access pattern.
+  PCR_ASSIGN_OR_RETURN(auto file, env_->NewRandomAccessFile(meta.path));
+  std::string buffer(bytes, '\0');
+  Slice result;
+  PCR_RETURN_IF_ERROR(file->Read(0, bytes, buffer.data(), &result));
+  if (result.size() != bytes) {
+    return Status::IOError("short read of " + meta.path);
+  }
+
+  PCR_ASSIGN_OR_RETURN(PcrRecordContent content,
+                       AssembleRecordPrefix(result, scan_group));
+  RecordBatch batch;
+  batch.labels = std::move(content.labels);
+  batch.jpegs = std::move(content.jpegs);
+  batch.bytes_read = bytes;
+  return batch;
+}
+
+uint64_t PcrDataset::total_bytes() const {
+  uint64_t total = 0;
+  for (const auto& r : records_) total += r.file_bytes;
+  return total;
+}
+
+}  // namespace pcr

@@ -1,0 +1,113 @@
+// PCR dataset writer and reader. A dataset is a directory holding a KvStore
+// metadata database ("a database for PCR metadata") plus one .pcr file per
+// record ("at least one .pcr file").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pcr_format.h"
+#include "core/record_source.h"
+#include "kv/kv_store.h"
+#include "storage/env.h"
+#include "util/result.h"
+
+namespace pcr {
+
+/// Encoder options.
+struct PcrWriterOptions {
+  int images_per_record = 128;
+  /// Scan groups per record; images whose JPEG has more scans get the
+  /// surplus merged into the last group, fewer get empty groups.
+  int num_scan_groups = 10;
+  /// Transcode baseline JPEG inputs to progressive (lossless). When false,
+  /// inputs must already be progressive.
+  bool transcode_to_progressive = true;
+};
+
+/// Streams (jpeg, label) pairs into .pcr record files + metadata DB.
+///
+///   auto writer = PcrDatasetWriter::Create(env, "/data/train", {}).
+///   for (...) writer->AddImage(jpeg_bytes, label);
+///   writer->Finish();
+class PcrDatasetWriter {
+ public:
+  static Result<std::unique_ptr<PcrDatasetWriter>> Create(
+      Env* env, const std::string& dir, const PcrWriterOptions& options);
+
+  /// Adds one image. `jpeg` may be baseline (transcoded internally, like the
+  /// paper's JPEGTRAN step) or already progressive.
+  Status AddImage(Slice jpeg, int64_t label);
+
+  /// Flushes the trailing partial record and commits the metadata DB.
+  Status Finish();
+
+  int images_added() const { return images_added_; }
+  int records_written() const { return records_written_; }
+
+ private:
+  PcrDatasetWriter(Env* env, std::string dir, PcrWriterOptions options);
+
+  Status FlushRecord();
+
+  Env* env_;
+  std::string dir_;
+  PcrWriterOptions options_;
+  std::unique_ptr<KvStore> db_;
+
+  // Staged images for the record being built.
+  struct StagedImage {
+    int64_t label = 0;
+    std::string jpeg_header;
+    std::vector<std::string> scans;  // One per scan group.
+  };
+  std::vector<StagedImage> staged_;
+  int images_added_ = 0;
+  int records_written_ = 0;
+  bool finished_ = false;
+};
+
+/// Read side: opens the metadata DB once, then serves partial record reads.
+class PcrDataset : public RecordSource {
+ public:
+  static Result<std::unique_ptr<PcrDataset>> Open(Env* env,
+                                                  const std::string& dir);
+
+  int num_records() const override {
+    return static_cast<int>(records_.size());
+  }
+  int num_images() const override { return num_images_; }
+  int num_scan_groups() const override { return num_groups_; }
+  uint64_t RecordReadBytes(int record, int scan_group) const override;
+  int RecordImages(int record) const override {
+    return records_[record].num_images;
+  }
+  Result<RecordBatch> ReadRecord(int record, int scan_group) override;
+  std::string format_name() const override { return "pcr"; }
+  uint64_t total_bytes() const override;
+
+  /// Per-record path (for tooling).
+  const std::string& record_path(int record) const {
+    return records_[record].path;
+  }
+
+ private:
+  struct RecordMeta {
+    std::string path;
+    int num_images = 0;
+    /// prefix_bytes[g-1]: file bytes to read for scan groups [1..g].
+    std::vector<uint64_t> prefix_bytes;
+    uint64_t file_bytes = 0;
+  };
+
+  PcrDataset(Env* env, std::string dir) : env_(env), dir_(std::move(dir)) {}
+
+  Env* env_;
+  std::string dir_;
+  std::vector<RecordMeta> records_;
+  int num_images_ = 0;
+  int num_groups_ = 0;
+};
+
+}  // namespace pcr

@@ -1,0 +1,172 @@
+#include "core/pcr_format.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+#include "wire/wire.h"
+
+namespace pcr {
+
+namespace {
+// Wire field numbers for the header message.
+constexpr int kFieldNumImages = 1;
+constexpr int kFieldNumGroups = 2;
+constexpr int kFieldLabels = 3;        // Packed sint64 (zigzag).
+constexpr int kFieldJpegHeader = 4;    // Repeated bytes, one per image.
+constexpr int kFieldGroupSizes = 5;    // Repeated packed uint64, one per group.
+}  // namespace
+
+uint64_t PcrHeader::GroupStart(int g) const {
+  PCR_CHECK(g >= 0 && g <= num_groups);
+  uint64_t off = 0;
+  for (int k = 0; k < g; ++k) {
+    for (uint64_t s : group_sizes[k]) off += s;
+  }
+  return off;
+}
+
+uint64_t PcrHeader::PrefixPayloadBytes(int groups) const {
+  if (groups > num_groups) groups = num_groups;
+  return GroupStart(groups);
+}
+
+std::string SerializePcrHeader(PcrHeader* header) {
+  wire::WireWriter body;
+  body.PutUint64(kFieldNumImages, header->num_images);
+  body.PutUint64(kFieldNumGroups, header->num_groups);
+  {
+    std::vector<uint64_t> zz;
+    zz.reserve(header->labels.size());
+    for (int64_t l : header->labels) zz.push_back(wire::ZigZagEncode(l));
+    body.PutPackedUint64(kFieldLabels, zz);
+  }
+  for (const auto& h : header->jpeg_headers) {
+    body.PutBytes(kFieldJpegHeader, Slice(h));
+  }
+  for (const auto& sizes : header->group_sizes) {
+    body.PutPackedUint64(kFieldGroupSizes, sizes);
+  }
+
+  std::string out(kPcrMagic, 4);
+  wire::PutVarint(&out, body.size());
+  out += body.buffer();
+  header->header_bytes = out.size();
+  return out;
+}
+
+Result<PcrHeader> ParsePcrHeader(Slice data) {
+  if (data.size() < 5 || memcmp(data.data(), kPcrMagic, 4) != 0) {
+    return Status::InvalidArgument("not a PCR file (bad magic)");
+  }
+  Slice cursor = data.SubSlice(4, data.size() - 4);
+  uint64_t body_len;
+  if (!wire::GetVarint(&cursor, &body_len)) {
+    return Status::Corruption("pcr header: bad length varint");
+  }
+  if (body_len > cursor.size()) {
+    return Status::Corruption("pcr header: truncated header body");
+  }
+  const uint64_t header_bytes =
+      4 + wire::VarintLength(body_len) + body_len;
+
+  PcrHeader header;
+  wire::WireReader reader(cursor.SubSlice(0, body_len));
+  wire::WireField field;
+  while (reader.Next(&field)) {
+    switch (field.field) {
+      case kFieldNumImages:
+        header.num_images = static_cast<int>(field.varint);
+        break;
+      case kFieldNumGroups:
+        header.num_groups = static_cast<int>(field.varint);
+        break;
+      case kFieldLabels: {
+        PCR_ASSIGN_OR_RETURN(auto packed,
+                             wire::WireReader::DecodePackedUint64(field.bytes));
+        header.labels.reserve(packed.size());
+        for (uint64_t v : packed) {
+          header.labels.push_back(wire::ZigZagDecode(v));
+        }
+        break;
+      }
+      case kFieldJpegHeader:
+        header.jpeg_headers.push_back(field.bytes.ToString());
+        break;
+      case kFieldGroupSizes: {
+        PCR_ASSIGN_OR_RETURN(auto sizes,
+                             wire::WireReader::DecodePackedUint64(field.bytes));
+        header.group_sizes.push_back(std::move(sizes));
+        break;
+      }
+      default:
+        break;  // Unknown fields are skippable (forward compatibility).
+    }
+  }
+  PCR_RETURN_IF_ERROR(reader.status());
+
+  if (header.num_images <= 0 || header.num_groups <= 0 ||
+      header.num_groups > kMaxScanGroups) {
+    return Status::Corruption("pcr header: bad counts");
+  }
+  if (static_cast<int>(header.labels.size()) != header.num_images ||
+      static_cast<int>(header.jpeg_headers.size()) != header.num_images ||
+      static_cast<int>(header.group_sizes.size()) != header.num_groups) {
+    return Status::Corruption("pcr header: inconsistent sizes");
+  }
+  for (const auto& sizes : header.group_sizes) {
+    if (static_cast<int>(sizes.size()) != header.num_images) {
+      return Status::Corruption("pcr header: group size vector mismatch");
+    }
+  }
+  header.header_bytes = header_bytes;
+  return header;
+}
+
+Result<PcrRecordContent> AssembleRecordPrefix(Slice file_data, int groups) {
+  PCR_ASSIGN_OR_RETURN(PcrHeader header, ParsePcrHeader(file_data));
+  if (groups < 1) groups = 1;
+  if (groups > header.num_groups) groups = header.num_groups;
+
+  const uint64_t payload_needed = header.PrefixPayloadBytes(groups);
+  if (file_data.size() < header.header_bytes + payload_needed) {
+    return Status::OutOfRange(
+        "pcr prefix too short for requested scan group");
+  }
+  const Slice payload = file_data.SubSlice(
+      header.header_bytes, file_data.size() - header.header_bytes);
+
+  PcrRecordContent content;
+  content.labels = header.labels;
+  content.scan_groups_included = groups;
+  content.jpegs.resize(header.num_images);
+
+  // Reserve: header + scans + EOI.
+  std::vector<uint64_t> image_total(header.num_images, 0);
+  for (int g = 0; g < groups; ++g) {
+    for (int i = 0; i < header.num_images; ++i) {
+      image_total[i] += header.group_sizes[g][i];
+    }
+  }
+  for (int i = 0; i < header.num_images; ++i) {
+    content.jpegs[i].reserve(header.jpeg_headers[i].size() +
+                             image_total[i] + 2);
+    content.jpegs[i] = header.jpeg_headers[i];
+  }
+
+  // Ungroup: walk each group sequentially, appending each image's delta.
+  uint64_t offset = 0;
+  for (int g = 0; g < groups; ++g) {
+    for (int i = 0; i < header.num_images; ++i) {
+      const uint64_t size = header.group_sizes[g][i];
+      content.jpegs[i].append(payload.data() + offset, size);
+      offset += size;
+    }
+  }
+  for (int i = 0; i < header.num_images; ++i) {
+    content.jpegs[i].push_back(static_cast<char>(0xff));
+    content.jpegs[i].push_back(static_cast<char>(0xd9));  // EOI.
+  }
+  return content;
+}
+
+}  // namespace pcr

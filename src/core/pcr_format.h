@@ -1,0 +1,72 @@
+// The Progressive Compressed Record (.pcr) on-disk format.
+//
+// A PCR packs n images so that *all* deltas (JPEG scans) of the same quality
+// level are contiguous (a "scan group"), preceded by the metadata every
+// quality level needs (labels + per-image JPEG headers). Reading the byte
+// prefix up to scan group g yields every image in the record at quality g
+// with one sequential I/O and zero space overhead — the paper's Figure 3:
+//
+//   [magic|header: labels, per-image JPEG headers, group index]
+//   [scan group 1: img0.scan1, img1.scan1, ... imgN.scan1]
+//   [scan group 2: img0.scan2, ...]
+//   ...
+//   [scan group G: ...]
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/slice.h"
+
+namespace pcr {
+
+/// Format magic ("PCR1") and limits.
+inline constexpr char kPcrMagic[4] = {'P', 'C', 'R', '1'};
+inline constexpr int kMaxScanGroups = 64;
+
+/// Parsed .pcr header.
+struct PcrHeader {
+  int num_images = 0;
+  int num_groups = 0;
+  std::vector<int64_t> labels;             // One per image.
+  std::vector<std::string> jpeg_headers;   // SOI..SOF bytes, one per image.
+  /// group_sizes[g][i]: bytes image i contributes to scan group g.
+  std::vector<std::vector<uint64_t>> group_sizes;
+
+  /// Payload offset where scan group g (0-based) starts. Group offsets are
+  /// relative to the end of the header.
+  uint64_t GroupStart(int g) const;
+  /// Payload bytes covering groups [0, g) — i.e. a prefix read up to scan
+  /// group g (1-based count of groups to include).
+  uint64_t PrefixPayloadBytes(int groups) const;
+  /// Total serialized header size (magic + varint + body); filled by
+  /// ParsePcrHeader and SerializePcrHeader.
+  uint64_t header_bytes = 0;
+};
+
+/// Serializes header (magic + length varint + wire body). Returns the bytes
+/// and sets header->header_bytes.
+std::string SerializePcrHeader(PcrHeader* header);
+
+/// Parses a header from the front of `data` (which may be just a prefix of
+/// the record file as long as it covers the header).
+Result<PcrHeader> ParsePcrHeader(Slice data);
+
+/// A record materialized at some quality: per-image standalone JPEGs
+/// (header + available scans + EOI) plus labels.
+struct PcrRecordContent {
+  std::vector<int64_t> labels;
+  std::vector<std::string> jpegs;
+  int scan_groups_included = 0;
+};
+
+/// Reassembles per-image JPEGs from a prefix of the record file. `file_data`
+/// must cover the header plus the payload of the first `groups` scan groups
+/// (PrefixPayloadBytes). The per-image streams are terminated with EOI so
+/// any JPEG decoder renders them (§3.2 "We terminate the byte stream with an
+/// End-of-Image (EOI) JPEG token").
+Result<PcrRecordContent> AssembleRecordPrefix(Slice file_data, int groups);
+
+}  // namespace pcr

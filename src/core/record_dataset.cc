@@ -1,0 +1,159 @@
+#include "core/record_dataset.h"
+
+#include "util/string_util.h"
+#include "wire/wire.h"
+
+namespace pcr {
+
+namespace {
+constexpr char kDbName[] = "metadata.kvlog";
+constexpr int kEntryFieldLabel = 1;
+constexpr int kEntryFieldJpeg = 2;
+
+constexpr int kRecFieldPath = 1;
+constexpr int kRecFieldNumImages = 2;
+constexpr int kRecFieldFileBytes = 3;
+
+std::string RecordKey(int index) { return StrFormat("rec/%08d", index); }
+}  // namespace
+
+Result<std::unique_ptr<RecordDatasetWriter>> RecordDatasetWriter::Create(
+    Env* env, const std::string& dir, const RecordWriterOptions& options) {
+  if (options.images_per_record < 1) {
+    return Status::InvalidArgument("images_per_record must be >= 1");
+  }
+  PCR_RETURN_IF_ERROR(env->CreateDir(dir));
+  std::unique_ptr<RecordDatasetWriter> writer(
+      new RecordDatasetWriter(env, dir, options));
+  PCR_ASSIGN_OR_RETURN(writer->db_, KvStore::Open(env, dir + "/" + kDbName));
+  return writer;
+}
+
+Status RecordDatasetWriter::AddImage(Slice jpeg, int64_t label) {
+  if (finished_) return Status::FailedPrecondition("writer already finished");
+  wire::WireWriter entry;
+  entry.PutSint64(kEntryFieldLabel, label);
+  entry.PutBytes(kEntryFieldJpeg, jpeg);
+  wire::PutVarint(&staged_, entry.size());
+  staged_ += entry.buffer();
+  ++staged_count_;
+  ++images_added_;
+  if (staged_count_ >= options_.images_per_record) return FlushRecord();
+  return Status::OK();
+}
+
+Status RecordDatasetWriter::FlushRecord() {
+  if (staged_count_ == 0) return Status::OK();
+  const std::string file_name = StrFormat("record-%06d.rec", records_written_);
+  const std::string path = dir_ + "/" + file_name;
+  PCR_RETURN_IF_ERROR(env_->WriteStringToFile(path, Slice(staged_)));
+
+  wire::WireWriter entry;
+  entry.PutString(kRecFieldPath, file_name);
+  entry.PutUint64(kRecFieldNumImages, staged_count_);
+  entry.PutUint64(kRecFieldFileBytes, staged_.size());
+  PCR_RETURN_IF_ERROR(
+      db_->Put(RecordKey(records_written_), Slice(entry.buffer())));
+
+  ++records_written_;
+  staged_.clear();
+  staged_count_ = 0;
+  return Status::OK();
+}
+
+Status RecordDatasetWriter::Finish() {
+  if (finished_) return Status::OK();
+  PCR_RETURN_IF_ERROR(FlushRecord());
+  wire::WireWriter meta;
+  meta.PutUint64(1, records_written_);
+  meta.PutUint64(2, images_added_);
+  PCR_RETURN_IF_ERROR(db_->Put("meta", Slice(meta.buffer())));
+  PCR_RETURN_IF_ERROR(db_->Flush());
+  finished_ = true;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<RecordDataset>> RecordDataset::Open(
+    Env* env, const std::string& dir) {
+  std::unique_ptr<RecordDataset> ds(new RecordDataset(env, dir));
+  PCR_ASSIGN_OR_RETURN(auto db, KvStore::Open(env, dir + "/" + kDbName));
+  PCR_ASSIGN_OR_RETURN(std::string meta_bytes, db->Get("meta"));
+  int num_records = 0;
+  {
+    wire::WireReader reader((Slice(meta_bytes)));
+    wire::WireField field;
+    while (reader.Next(&field)) {
+      if (field.field == 1) num_records = static_cast<int>(field.varint);
+      if (field.field == 2) ds->num_images_ = static_cast<int>(field.varint);
+    }
+    PCR_RETURN_IF_ERROR(reader.status());
+  }
+  for (int r = 0; r < num_records; ++r) {
+    PCR_ASSIGN_OR_RETURN(std::string entry, db->Get(RecordKey(r)));
+    RecordMeta meta;
+    wire::WireReader reader((Slice(entry)));
+    wire::WireField field;
+    while (reader.Next(&field)) {
+      if (field.field == kRecFieldPath) {
+        meta.path = ds->dir_ + "/" + field.bytes.ToString();
+      }
+      if (field.field == kRecFieldNumImages) {
+        meta.num_images = static_cast<int>(field.varint);
+      }
+      if (field.field == kRecFieldFileBytes) meta.file_bytes = field.varint;
+    }
+    PCR_RETURN_IF_ERROR(reader.status());
+    ds->records_.push_back(std::move(meta));
+  }
+  return ds;
+}
+
+uint64_t RecordDataset::RecordReadBytes(int record, int) const {
+  PCR_CHECK(record >= 0 && record < num_records());
+  return records_[record].file_bytes;  // Always full quality.
+}
+
+Result<RecordBatch> RecordDataset::ReadRecord(int record, int) {
+  if (record < 0 || record >= num_records()) {
+    return Status::OutOfRange("record index out of range");
+  }
+  const RecordMeta& meta = records_[record];
+  PCR_ASSIGN_OR_RETURN(auto file, env_->NewRandomAccessFile(meta.path));
+  std::string buffer(meta.file_bytes, '\0');
+  Slice data;
+  PCR_RETURN_IF_ERROR(file->Read(0, meta.file_bytes, buffer.data(), &data));
+  if (data.size() != meta.file_bytes) {
+    return Status::IOError("short read of " + meta.path);
+  }
+
+  RecordBatch batch;
+  batch.bytes_read = meta.file_bytes;
+  Slice cursor = data;
+  while (!cursor.empty()) {
+    uint64_t len;
+    if (!wire::GetVarint(&cursor, &len) || len > cursor.size()) {
+      return Status::Corruption("record entry framing");
+    }
+    wire::WireReader reader(cursor.SubSlice(0, len));
+    wire::WireField field;
+    int64_t label = 0;
+    std::string jpeg;
+    while (reader.Next(&field)) {
+      if (field.field == kEntryFieldLabel) label = field.AsSint64();
+      if (field.field == kEntryFieldJpeg) jpeg = field.bytes.ToString();
+    }
+    PCR_RETURN_IF_ERROR(reader.status());
+    batch.labels.push_back(label);
+    batch.jpegs.push_back(std::move(jpeg));
+    cursor.RemovePrefix(len);
+  }
+  return batch;
+}
+
+uint64_t RecordDataset::total_bytes() const {
+  uint64_t total = 0;
+  for (const auto& r : records_) total += r.file_bytes;
+  return total;
+}
+
+}  // namespace pcr

@@ -1,0 +1,84 @@
+// RecordDataset: the TFRecord / MXNet-ImageRecord-style baseline format —
+// batched records of fixed-quality JPEGs. Sequential and fast, but every
+// read fetches full-quality bytes, and serving multiple qualities requires
+// duplicating the dataset (exactly the cost PCRs remove).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/record_source.h"
+#include "kv/kv_store.h"
+#include "storage/env.h"
+
+namespace pcr {
+
+struct RecordWriterOptions {
+  int images_per_record = 128;
+};
+
+/// Writes records of [entry][entry]... where each entry is a wire message
+/// {1: label (sint), 2: jpeg bytes}.
+class RecordDatasetWriter {
+ public:
+  static Result<std::unique_ptr<RecordDatasetWriter>> Create(
+      Env* env, const std::string& dir, const RecordWriterOptions& options);
+
+  Status AddImage(Slice jpeg, int64_t label);
+  Status Finish();
+
+  int records_written() const { return records_written_; }
+
+ private:
+  RecordDatasetWriter(Env* env, std::string dir, RecordWriterOptions options)
+      : env_(env), dir_(std::move(dir)), options_(options) {}
+
+  Status FlushRecord();
+
+  Env* env_;
+  std::string dir_;
+  RecordWriterOptions options_;
+  std::unique_ptr<KvStore> db_;
+  std::string staged_;
+  int staged_count_ = 0;
+  int images_added_ = 0;
+  int records_written_ = 0;
+  bool finished_ = false;
+};
+
+class RecordDataset : public RecordSource {
+ public:
+  static Result<std::unique_ptr<RecordDataset>> Open(Env* env,
+                                                     const std::string& dir);
+
+  int num_records() const override {
+    return static_cast<int>(records_.size());
+  }
+  int num_images() const override { return num_images_; }
+  int num_scan_groups() const override { return 1; }
+  uint64_t RecordReadBytes(int record, int scan_group) const override;
+  int RecordImages(int record) const override {
+    return records_[record].num_images;
+  }
+  Result<RecordBatch> ReadRecord(int record, int scan_group) override;
+  std::string format_name() const override { return "record"; }
+  uint64_t total_bytes() const override;
+
+ private:
+  struct RecordMeta {
+    std::string path;
+    int num_images = 0;
+    uint64_t file_bytes = 0;
+  };
+
+  RecordDataset(Env* env, std::string dir)
+      : env_(env), dir_(std::move(dir)) {}
+
+  Env* env_;
+  std::string dir_;
+  std::vector<RecordMeta> records_;
+  int num_images_ = 0;
+};
+
+}  // namespace pcr

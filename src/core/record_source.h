@@ -1,0 +1,65 @@
+// RecordSource: the storage-format abstraction the data loader consumes.
+// Implementations: PcrDataset (scan-group aware), RecordDataset (TFRecord /
+// RecordIO-style baseline), FilePerImageDataset (ImageFolder-style baseline).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace pcr {
+
+/// The images+labels yielded by one record read.
+struct RecordBatch {
+  std::vector<int64_t> labels;
+  std::vector<std::string> jpegs;  // Standalone decodable JPEG streams.
+  uint64_t bytes_read = 0;         // Bytes fetched from storage for this read.
+
+  int size() const { return static_cast<int>(jpegs.size()); }
+};
+
+/// A randomly-accessible collection of records, each holding a batch of
+/// compressed images. Reads may be parameterized by scan group: PCRs return
+/// reduced-quality data with proportionally fewer bytes; fixed-quality
+/// formats ignore the parameter.
+class RecordSource {
+ public:
+  virtual ~RecordSource() = default;
+
+  virtual int num_records() const = 0;
+  virtual int num_images() const = 0;
+  /// Number of quality levels addressable (1 for fixed-quality formats).
+  virtual int num_scan_groups() const = 0;
+
+  /// Bytes a ReadRecord(record, scan_group) will fetch from storage.
+  virtual uint64_t RecordReadBytes(int record, int scan_group) const = 0;
+
+  /// Number of images record `record` holds (known from metadata, no I/O).
+  virtual int RecordImages(int record) const = 0;
+
+  /// Fetches a record at the given quality. scan_group is clamped to
+  /// [1, num_scan_groups()].
+  virtual Result<RecordBatch> ReadRecord(int record, int scan_group) = 0;
+
+  /// Human-readable format name for benchmark output.
+  virtual std::string format_name() const = 0;
+
+  /// Total on-disk bytes of the dataset (all records, full quality).
+  virtual uint64_t total_bytes() const = 0;
+
+  /// Mean bytes per image at the given scan group — the E[s(x, g)] of the
+  /// paper's Lemma A.2.
+  double MeanImageBytes(int scan_group) const {
+    uint64_t total = 0;
+    for (int r = 0; r < num_records(); ++r) {
+      total += RecordReadBytes(r, scan_group);
+    }
+    return num_images() > 0
+               ? static_cast<double>(total) / num_images()
+               : 0.0;
+  }
+};
+
+}  // namespace pcr

@@ -1,0 +1,147 @@
+#include "image/color.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pcr {
+
+namespace {
+inline uint8_t ClampByte(double v) {
+  return static_cast<uint8_t>(std::clamp(v, 0.0, 255.0) + 0.5 >= 256.0
+                                  ? 255.0
+                                  : std::floor(std::clamp(v, 0.0, 255.0) + 0.5));
+}
+}  // namespace
+
+PlanarImage RgbToYcbcr(const Image& rgb, ChromaSubsampling subsampling) {
+  PlanarImage out;
+  out.full_width = rgb.width();
+  out.full_height = rgb.height();
+
+  if (rgb.channels() == 1) {
+    Plane y(rgb.width(), rgb.height());
+    std::copy(rgb.data(), rgb.data() + rgb.size_bytes(), y.data());
+    out.planes.push_back(std::move(y));
+    return out;
+  }
+
+  Plane y(rgb.width(), rgb.height());
+  Plane cb_full(rgb.width(), rgb.height());
+  Plane cr_full(rgb.width(), rgb.height());
+  for (int j = 0; j < rgb.height(); ++j) {
+    for (int i = 0; i < rgb.width(); ++i) {
+      const double r = rgb.at(i, j, 0);
+      const double g = rgb.at(i, j, 1);
+      const double b = rgb.at(i, j, 2);
+      y.set(i, j, ClampByte(0.299 * r + 0.587 * g + 0.114 * b));
+      cb_full.set(i, j,
+                  ClampByte(128.0 - 0.168736 * r - 0.331264 * g + 0.5 * b));
+      cr_full.set(i, j,
+                  ClampByte(128.0 + 0.5 * r - 0.418688 * g - 0.081312 * b));
+    }
+  }
+  out.planes.push_back(std::move(y));
+
+  if (subsampling == ChromaSubsampling::k444) {
+    out.planes.push_back(std::move(cb_full));
+    out.planes.push_back(std::move(cr_full));
+    return out;
+  }
+
+  // 4:2:0: average each 2x2 box.
+  const int cw = (rgb.width() + 1) / 2;
+  const int ch = (rgb.height() + 1) / 2;
+  Plane cb(cw, ch);
+  Plane cr(cw, ch);
+  for (int j = 0; j < ch; ++j) {
+    for (int i = 0; i < cw; ++i) {
+      int sum_cb = 0, sum_cr = 0, n = 0;
+      for (int dj = 0; dj < 2; ++dj) {
+        for (int di = 0; di < 2; ++di) {
+          const int x = 2 * i + di;
+          const int yy = 2 * j + dj;
+          if (x < rgb.width() && yy < rgb.height()) {
+            sum_cb += cb_full.at(x, yy);
+            sum_cr += cr_full.at(x, yy);
+            ++n;
+          }
+        }
+      }
+      cb.set(i, j, static_cast<uint8_t>((sum_cb + n / 2) / n));
+      cr.set(i, j, static_cast<uint8_t>((sum_cr + n / 2) / n));
+    }
+  }
+  out.planes.push_back(std::move(cb));
+  out.planes.push_back(std::move(cr));
+  return out;
+}
+
+Image YcbcrToRgb(const PlanarImage& ycbcr) {
+  const int w = ycbcr.full_width;
+  const int h = ycbcr.full_height;
+  if (ycbcr.num_components() == 1) {
+    Image out(w, h, 1);
+    const Plane& y = ycbcr.planes[0];
+    for (int j = 0; j < h; ++j) {
+      for (int i = 0; i < w; ++i) out.set(i, j, 0, y.at(i, j));
+    }
+    return out;
+  }
+
+  const Plane& y = ycbcr.planes[0];
+  const Plane& cb = ycbcr.planes[1];
+  const Plane& cr = ycbcr.planes[2];
+  const bool subsampled = cb.width() != w || cb.height() != h;
+
+  Image out(w, h, 3);
+  for (int j = 0; j < h; ++j) {
+    for (int i = 0; i < w; ++i) {
+      double cbv, crv;
+      if (!subsampled) {
+        cbv = cb.at(i, j);
+        crv = cr.at(i, j);
+      } else {
+        // Bilinear upsample with co-sited-at-center sampling.
+        const double sx = (i - 0.5) / 2.0;
+        const double sy = (j - 0.5) / 2.0;
+        const int x0 = static_cast<int>(std::floor(sx));
+        const int y0 = static_cast<int>(std::floor(sy));
+        const double fx = sx - x0;
+        const double fy = sy - y0;
+        auto sample = [&](const Plane& p) {
+          const double v00 = p.at_clamped(x0, y0);
+          const double v10 = p.at_clamped(x0 + 1, y0);
+          const double v01 = p.at_clamped(x0, y0 + 1);
+          const double v11 = p.at_clamped(x0 + 1, y0 + 1);
+          return v00 * (1 - fx) * (1 - fy) + v10 * fx * (1 - fy) +
+                 v01 * (1 - fx) * fy + v11 * fx * fy;
+        };
+        cbv = sample(cb);
+        crv = sample(cr);
+      }
+      const double yv = y.at(i, j);
+      const double r = yv + 1.402 * (crv - 128.0);
+      const double g = yv - 0.344136 * (cbv - 128.0) - 0.714136 * (crv - 128.0);
+      const double b = yv + 1.772 * (cbv - 128.0);
+      out.set(i, j, 0, ClampByte(r));
+      out.set(i, j, 1, ClampByte(g));
+      out.set(i, j, 2, ClampByte(b));
+    }
+  }
+  return out;
+}
+
+Image ToGrayscale(const Image& img) {
+  if (img.channels() == 1) return img;
+  Image out(img.width(), img.height(), 1);
+  for (int j = 0; j < img.height(); ++j) {
+    for (int i = 0; i < img.width(); ++i) {
+      const double v = 0.299 * img.at(i, j, 0) + 0.587 * img.at(i, j, 1) +
+                       0.114 * img.at(i, j, 2);
+      out.set(i, j, 0, ClampByte(v));
+    }
+  }
+  return out;
+}
+
+}  // namespace pcr

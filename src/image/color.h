@@ -1,0 +1,26 @@
+// RGB <-> YCbCr (BT.601 full-range, the JFIF convention) and chroma
+// subsampling / upsampling.
+#pragma once
+
+#include "image/image.h"
+
+namespace pcr {
+
+/// Chroma subsampling factors supported by the codec.
+enum class ChromaSubsampling {
+  k444,  // No subsampling.
+  k420,  // Chroma halved in both dimensions.
+};
+
+/// Converts an RGB (or grayscale) image to planar YCbCr with the requested
+/// subsampling. Grayscale input yields a single-plane output.
+PlanarImage RgbToYcbcr(const Image& rgb, ChromaSubsampling subsampling);
+
+/// Converts planar YCbCr back to interleaved RGB (or grayscale for
+/// single-plane inputs), upsampling chroma bilinearly when subsampled.
+Image YcbcrToRgb(const PlanarImage& ycbcr);
+
+/// Extracts the luma channel (grayscale) of an interleaved image.
+Image ToGrayscale(const Image& img);
+
+}  // namespace pcr

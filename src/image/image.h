@@ -1,0 +1,104 @@
+// Core image containers: interleaved 8-bit images (loader/training side) and
+// planar images (JPEG codec side, where chroma planes may be subsampled).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace pcr {
+
+/// Interleaved 8-bit image, row-major, `channels` samples per pixel.
+/// channels == 1 (grayscale) or 3 (RGB) throughout this library.
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, int channels, uint8_t fill = 0)
+      : width_(width), height_(height), channels_(channels),
+        data_(static_cast<size_t>(width) * height * channels, fill) {
+    PCR_CHECK_GT(width, 0);
+    PCR_CHECK_GT(height, 0);
+    PCR_CHECK(channels == 1 || channels == 3);
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  int channels() const { return channels_; }
+  bool empty() const { return data_.empty(); }
+  size_t size_bytes() const { return data_.size(); }
+
+  uint8_t* data() { return data_.data(); }
+  const uint8_t* data() const { return data_.data(); }
+
+  uint8_t at(int x, int y, int c) const {
+    return data_[(static_cast<size_t>(y) * width_ + x) * channels_ + c];
+  }
+  void set(int x, int y, int c, uint8_t v) {
+    data_[(static_cast<size_t>(y) * width_ + x) * channels_ + c] = v;
+  }
+
+  /// Row pointer (start of row y).
+  const uint8_t* row(int y) const {
+    return data_.data() + static_cast<size_t>(y) * width_ * channels_;
+  }
+  uint8_t* row(int y) {
+    return data_.data() + static_cast<size_t>(y) * width_ * channels_;
+  }
+
+  bool SameShape(const Image& other) const {
+    return width_ == other.width_ && height_ == other.height_ &&
+           channels_ == other.channels_;
+  }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  int channels_ = 0;
+  std::vector<uint8_t> data_;
+};
+
+/// One 8-bit plane (a single component, possibly subsampled).
+class Plane {
+ public:
+  Plane() = default;
+  Plane(int width, int height, uint8_t fill = 0)
+      : width_(width), height_(height),
+        data_(static_cast<size_t>(width) * height, fill) {}
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  uint8_t* data() { return data_.data(); }
+  const uint8_t* data() const { return data_.data(); }
+  uint8_t at(int x, int y) const {
+    return data_[static_cast<size_t>(y) * width_ + x];
+  }
+  void set(int x, int y, uint8_t v) {
+    data_[static_cast<size_t>(y) * width_ + x] = v;
+  }
+  /// Clamped accessor (edge replication) for filters and block extraction.
+  uint8_t at_clamped(int x, int y) const {
+    if (x < 0) x = 0;
+    if (x >= width_) x = width_ - 1;
+    if (y < 0) y = 0;
+    if (y >= height_) y = height_ - 1;
+    return at(x, y);
+  }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<uint8_t> data_;
+};
+
+/// A set of planes, one per component (Y, Cb, Cr), each with its own
+/// dimensions (chroma may be half-size under 4:2:0).
+struct PlanarImage {
+  std::vector<Plane> planes;
+  int full_width = 0;   // Luma (full-resolution) dimensions.
+  int full_height = 0;
+
+  int num_components() const { return static_cast<int>(planes.size()); }
+};
+
+}  // namespace pcr

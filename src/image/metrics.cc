@@ -1,0 +1,207 @@
+#include "image/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "image/color.h"
+#include "util/logging.h"
+
+namespace pcr {
+
+double Mse(const Image& a, const Image& b) {
+  PCR_CHECK(a.SameShape(b)) << "MSE over mismatched shapes";
+  double acc = 0.0;
+  const size_t n = a.size_bytes();
+  const uint8_t* pa = a.data();
+  const uint8_t* pb = b.data();
+  for (size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(pa[i]) - static_cast<double>(pb[i]);
+    acc += d * d;
+  }
+  return acc / static_cast<double>(n);
+}
+
+double Psnr(const Image& a, const Image& b) {
+  const double mse = Mse(a, b);
+  if (mse <= 1e-12) return 99.0;
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+namespace {
+
+// Float grayscale plane used by the SSIM pipeline.
+struct FloatPlane {
+  int w = 0, h = 0;
+  std::vector<double> v;
+  double at(int x, int y) const { return v[static_cast<size_t>(y) * w + x]; }
+  double& at(int x, int y) { return v[static_cast<size_t>(y) * w + x]; }
+};
+
+FloatPlane ToFloatLuma(const Image& img) {
+  const Image gray = ToGrayscale(img);
+  FloatPlane p;
+  p.w = gray.width();
+  p.h = gray.height();
+  p.v.resize(static_cast<size_t>(p.w) * p.h);
+  for (int y = 0; y < p.h; ++y) {
+    for (int x = 0; x < p.w; ++x) p.at(x, y) = gray.at(x, y, 0);
+  }
+  return p;
+}
+
+// Separable Gaussian blur with reflect-101 padding.
+FloatPlane GaussianBlur(const FloatPlane& in, const std::vector<double>& k) {
+  const int r = static_cast<int>(k.size()) / 2;
+  auto reflect = [](int i, int n) {
+    if (n == 1) return 0;
+    while (i < 0 || i >= n) {
+      if (i < 0) i = -i;
+      if (i >= n) i = 2 * n - 2 - i;
+    }
+    return i;
+  };
+  FloatPlane tmp;
+  tmp.w = in.w;
+  tmp.h = in.h;
+  tmp.v.resize(in.v.size());
+  for (int y = 0; y < in.h; ++y) {
+    for (int x = 0; x < in.w; ++x) {
+      double acc = 0.0;
+      for (int t = -r; t <= r; ++t) {
+        acc += k[t + r] * in.at(reflect(x + t, in.w), y);
+      }
+      tmp.at(x, y) = acc;
+    }
+  }
+  FloatPlane out;
+  out.w = in.w;
+  out.h = in.h;
+  out.v.resize(in.v.size());
+  for (int y = 0; y < in.h; ++y) {
+    for (int x = 0; x < in.w; ++x) {
+      double acc = 0.0;
+      for (int t = -r; t <= r; ++t) {
+        acc += k[t + r] * tmp.at(x, reflect(y + t, in.h));
+      }
+      out.at(x, y) = acc;
+    }
+  }
+  return out;
+}
+
+std::vector<double> GaussianKernel(int size, double sigma) {
+  std::vector<double> k(size);
+  const int r = size / 2;
+  double sum = 0.0;
+  for (int i = 0; i < size; ++i) {
+    const double d = i - r;
+    k[i] = std::exp(-d * d / (2.0 * sigma * sigma));
+    sum += k[i];
+  }
+  for (double& v : k) v /= sum;
+  return k;
+}
+
+FloatPlane Multiply(const FloatPlane& a, const FloatPlane& b) {
+  FloatPlane out = a;
+  for (size_t i = 0; i < out.v.size(); ++i) out.v[i] *= b.v[i];
+  return out;
+}
+
+// Downsample by 2 with 2x2 box averaging (MS-SSIM convention).
+FloatPlane Downsample2(const FloatPlane& in) {
+  FloatPlane out;
+  out.w = in.w / 2;
+  out.h = in.h / 2;
+  out.v.resize(static_cast<size_t>(out.w) * out.h);
+  for (int y = 0; y < out.h; ++y) {
+    for (int x = 0; x < out.w; ++x) {
+      out.at(x, y) = 0.25 * (in.at(2 * x, 2 * y) + in.at(2 * x + 1, 2 * y) +
+                             in.at(2 * x, 2 * y + 1) +
+                             in.at(2 * x + 1, 2 * y + 1));
+    }
+  }
+  return out;
+}
+
+struct SsimTerms {
+  double luminance = 0.0;  // Mean of l(x,y).
+  double cs = 0.0;         // Mean of contrast*structure.
+  double full = 0.0;       // Mean of the full SSIM map.
+};
+
+SsimTerms ComputeSsimTerms(const FloatPlane& x, const FloatPlane& y) {
+  constexpr double kC1 = (0.01 * 255.0) * (0.01 * 255.0);
+  constexpr double kC2 = (0.03 * 255.0) * (0.03 * 255.0);
+  const auto kernel = GaussianKernel(11, 1.5);
+
+  const FloatPlane mu_x = GaussianBlur(x, kernel);
+  const FloatPlane mu_y = GaussianBlur(y, kernel);
+  const FloatPlane xx = GaussianBlur(Multiply(x, x), kernel);
+  const FloatPlane yy = GaussianBlur(Multiply(y, y), kernel);
+  const FloatPlane xy = GaussianBlur(Multiply(x, y), kernel);
+
+  SsimTerms terms;
+  double sum_l = 0.0, sum_cs = 0.0, sum_full = 0.0;
+  const size_t n = x.v.size();
+  for (size_t i = 0; i < n; ++i) {
+    const double mx = mu_x.v[i];
+    const double my = mu_y.v[i];
+    const double sx2 = std::max(0.0, xx.v[i] - mx * mx);
+    const double sy2 = std::max(0.0, yy.v[i] - my * my);
+    const double sxy = xy.v[i] - mx * my;
+    const double l = (2.0 * mx * my + kC1) / (mx * mx + my * my + kC1);
+    const double cs = (2.0 * sxy + kC2) / (sx2 + sy2 + kC2);
+    sum_l += l;
+    sum_cs += cs;
+    sum_full += l * cs;
+  }
+  terms.luminance = sum_l / static_cast<double>(n);
+  terms.cs = sum_cs / static_cast<double>(n);
+  terms.full = sum_full / static_cast<double>(n);
+  return terms;
+}
+
+}  // namespace
+
+double Ssim(const Image& a, const Image& b) {
+  PCR_CHECK(a.SameShape(b)) << "SSIM over mismatched shapes";
+  return ComputeSsimTerms(ToFloatLuma(a), ToFloatLuma(b)).full;
+}
+
+double Msssim(const Image& a, const Image& b) {
+  PCR_CHECK(a.SameShape(b)) << "MSSIM over mismatched shapes";
+  static const double kWeights[5] = {0.0448, 0.2856, 0.3001, 0.2363, 0.1333};
+
+  FloatPlane x = ToFloatLuma(a);
+  FloatPlane y = ToFloatLuma(b);
+
+  // Use as many dyadic scales as the image supports (window is 11 wide).
+  int levels = 1;
+  int min_dim = std::min(x.w, x.h);
+  while (levels < 5 && (min_dim / 2) >= 11) {
+    ++levels;
+    min_dim /= 2;
+  }
+  double weight_sum = 0.0;
+  for (int i = 0; i < levels; ++i) weight_sum += kWeights[i];
+
+  double result = 1.0;
+  for (int level = 0; level < levels; ++level) {
+    const SsimTerms terms = ComputeSsimTerms(x, y);
+    const double w = kWeights[level] / weight_sum;
+    if (level + 1 == levels) {
+      // Luminance applies only at the coarsest scale; use the full SSIM term
+      // there per the reference implementation.
+      result *= std::pow(std::max(terms.full, 1e-6), w);
+    } else {
+      result *= std::pow(std::max(terms.cs, 1e-6), w);
+      x = Downsample2(x);
+      y = Downsample2(y);
+    }
+  }
+  return result;
+}
+
+}  // namespace pcr

@@ -1,0 +1,27 @@
+// Image quality metrics: PSNR, SSIM, and MS-SSIM (the paper's "MSSIM",
+// Wang/Simoncelli/Bovik 2003) — the quantity Figures 7 and 17 are built on.
+#pragma once
+
+#include "image/image.h"
+
+namespace pcr {
+
+/// Mean squared error over all samples of two same-shape images.
+double Mse(const Image& a, const Image& b);
+
+/// Peak signal-to-noise ratio in dB (infinity for identical images is
+/// reported as 99.0).
+double Psnr(const Image& a, const Image& b);
+
+/// Single-scale SSIM with the standard 11x11 Gaussian window (sigma 1.5),
+/// computed on luma. Returns the mean SSIM map value in [-1, 1].
+double Ssim(const Image& a, const Image& b);
+
+/// Multi-scale SSIM (MSSIM) per Wang et al. 2003: contrast/structure terms
+/// at up to 5 dyadic scales with weights {0.0448, 0.2856, 0.3001, 0.2363,
+/// 0.1333}, luminance at the coarsest. For small images the scale count is
+/// reduced and weights renormalized (documented deviation; required because
+/// several datasets train at 224–256 px).
+double Msssim(const Image& a, const Image& b);
+
+}  // namespace pcr

@@ -1,0 +1,66 @@
+#include "image/ppm.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace pcr {
+
+std::string EncodePpm(const Image& img) {
+  char header[64];
+  const int len = snprintf(header, sizeof(header), "P%c\n%d %d\n255\n",
+                           img.channels() == 3 ? '6' : '5', img.width(),
+                           img.height());
+  std::string out(header, len);
+  out.append(reinterpret_cast<const char*>(img.data()), img.size_bytes());
+  return out;
+}
+
+namespace {
+bool ParseInt(Slice* data, int* out) {
+  // Skip whitespace and comments.
+  while (!data->empty()) {
+    const char c = (*data)[0];
+    if (c == '#') {
+      while (!data->empty() && (*data)[0] != '\n') data->RemovePrefix(1);
+    } else if (isspace(static_cast<unsigned char>(c))) {
+      data->RemovePrefix(1);
+    } else {
+      break;
+    }
+  }
+  if (data->empty() || !isdigit(static_cast<unsigned char>((*data)[0]))) {
+    return false;
+  }
+  long v = 0;
+  while (!data->empty() && isdigit(static_cast<unsigned char>((*data)[0]))) {
+    v = v * 10 + ((*data)[0] - '0');
+    if (v > 1 << 30) return false;
+    data->RemovePrefix(1);
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+}  // namespace
+
+Result<Image> DecodePpm(Slice data) {
+  if (data.size() < 2 || data[0] != 'P' || (data[1] != '5' && data[1] != '6')) {
+    return Status::InvalidArgument("not a binary PPM/PGM");
+  }
+  const int channels = data[1] == '6' ? 3 : 1;
+  data.RemovePrefix(2);
+  int w, h, maxval;
+  if (!ParseInt(&data, &w) || !ParseInt(&data, &h) ||
+      !ParseInt(&data, &maxval)) {
+    return Status::Corruption("bad PPM header");
+  }
+  if (maxval != 255) return Status::NotSupported("only maxval 255 supported");
+  if (data.empty()) return Status::Corruption("missing pixel data");
+  data.RemovePrefix(1);  // Single whitespace after maxval.
+  const size_t need = static_cast<size_t>(w) * h * channels;
+  if (data.size() < need) return Status::Corruption("truncated pixel data");
+  Image img(w, h, channels);
+  std::copy(data.udata(), data.udata() + need, img.data());
+  return img;
+}
+
+}  // namespace pcr

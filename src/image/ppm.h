@@ -1,0 +1,19 @@
+// Binary PPM/PGM encode/decode — the library's uncompressed interchange
+// format (examples write decoded scans out as PPM for inspection).
+#pragma once
+
+#include <string>
+
+#include "image/image.h"
+#include "util/result.h"
+#include "util/slice.h"
+
+namespace pcr {
+
+/// Serializes to P6 (RGB) or P5 (grayscale) binary PPM/PGM.
+std::string EncodePpm(const Image& img);
+
+/// Parses a P5/P6 buffer.
+Result<Image> DecodePpm(Slice data);
+
+}  // namespace pcr

@@ -1,0 +1,140 @@
+#include "image/procedural.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pcr {
+
+std::vector<Blob> SampleBlobs(int count, double radius_px, double amplitude,
+                              Rng* rng) {
+  std::vector<Blob> blobs;
+  blobs.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    Blob b;
+    b.x = rng->UniformDouble(0.1, 0.9);
+    b.y = rng->UniformDouble(0.1, 0.9);
+    b.radius_px = radius_px * rng->UniformDouble(0.75, 1.25);
+    b.amplitude = (rng->NextBernoulli(0.5) ? 1.0 : -1.0) * amplitude *
+                  rng->UniformDouble(0.8, 1.2);
+    blobs.push_back(b);
+  }
+  return blobs;
+}
+
+namespace {
+
+// Bilinear value noise: random lattice of the given cell size, interpolated.
+void AddValueNoiseOctave(int w, int h, int cell, double amplitude, Rng* rng,
+                         std::vector<float>* luma) {
+  const int gw = w / cell + 2;
+  const int gh = h / cell + 2;
+  std::vector<float> grid(static_cast<size_t>(gw) * gh);
+  for (auto& g : grid) {
+    g = static_cast<float>(rng->UniformDouble(-1.0, 1.0));
+  }
+  auto gv = [&](int gx, int gy) {
+    return grid[static_cast<size_t>(gy) * gw + gx];
+  };
+  for (int y = 0; y < h; ++y) {
+    const int gy = y / cell;
+    const float fy = static_cast<float>(y % cell) / cell;
+    // Smoothstep for C1 continuity.
+    const float sy = fy * fy * (3.f - 2.f * fy);
+    for (int x = 0; x < w; ++x) {
+      const int gx = x / cell;
+      const float fx = static_cast<float>(x % cell) / cell;
+      const float sx = fx * fx * (3.f - 2.f * fx);
+      const float v0 = gv(gx, gy) * (1 - sx) + gv(gx + 1, gy) * sx;
+      const float v1 = gv(gx, gy + 1) * (1 - sx) + gv(gx + 1, gy + 1) * sx;
+      (*luma)[static_cast<size_t>(y) * w + x] +=
+          static_cast<float>(amplitude) * (v0 * (1 - sy) + v1 * sy);
+    }
+  }
+}
+
+}  // namespace
+
+void RenderBackground(int w, int h, const BackgroundParams& params, Rng* rng,
+                      std::vector<float>* luma) {
+  luma->assign(static_cast<size_t>(w) * h,
+               static_cast<float>(params.base_luma));
+  int cell = std::max(8, std::min(w, h) / 3);
+  double amplitude = params.contrast;
+  for (int o = 0; o < params.octaves && cell >= 2; ++o) {
+    AddValueNoiseOctave(w, h, cell, amplitude, rng, luma);
+    cell /= 2;
+    amplitude *= params.persistence;
+  }
+}
+
+void RenderBlobs(int w, int h, const std::vector<Blob>& blobs, double dx,
+                 double dy, std::vector<float>* luma) {
+  for (const Blob& b : blobs) {
+    const double cx = b.x * w + dx;
+    const double cy = b.y * h + dy;
+    const double r = b.radius_px;
+    const double inv_2r2 = 1.0 / (2.0 * r * r);
+    const int x0 = std::max(0, static_cast<int>(cx - 3 * r));
+    const int x1 = std::min(w - 1, static_cast<int>(cx + 3 * r));
+    const int y0 = std::max(0, static_cast<int>(cy - 3 * r));
+    const int y1 = std::min(h - 1, static_cast<int>(cy + 3 * r));
+    for (int y = y0; y <= y1; ++y) {
+      for (int x = x0; x <= x1; ++x) {
+        const double d2 = (x - cx) * (x - cx) + (y - cy) * (y - cy);
+        (*luma)[static_cast<size_t>(y) * w + x] +=
+            static_cast<float>(b.amplitude * std::exp(-d2 * inv_2r2));
+      }
+    }
+  }
+}
+
+void AddNoise(double stddev, Rng* rng, std::vector<float>* luma) {
+  if (stddev <= 0.0) return;
+  for (auto& v : *luma) {
+    v += static_cast<float>(stddev * rng->NextGaussian());
+  }
+}
+
+Image LumaToImage(int w, int h, const std::vector<float>& luma, bool color,
+                  Rng* rng) {
+  auto clamp_byte = [](float v) {
+    return static_cast<uint8_t>(std::clamp(v, 0.f, 255.f));
+  };
+  if (!color) {
+    Image out(w, h, 1);
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        out.set(x, y, 0, clamp_byte(luma[static_cast<size_t>(y) * w + x]));
+      }
+    }
+    return out;
+  }
+
+  // Smooth tint: two coarse value-noise fields steer Cb/Cr-like offsets.
+  std::vector<float> tint_r(static_cast<size_t>(w) * h, 0.f);
+  std::vector<float> tint_b(static_cast<size_t>(w) * h, 0.f);
+  {
+    BackgroundParams tint_params;
+    tint_params.octaves = 2;
+    tint_params.contrast = 26.0;
+    tint_params.base_luma = 0.0;
+    std::vector<float> tmp;
+    RenderBackground(w, h, tint_params, rng, &tmp);
+    tint_r = tmp;
+    RenderBackground(w, h, tint_params, rng, &tmp);
+    tint_b = tmp;
+  }
+  Image out(w, h, 3);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const size_t i = static_cast<size_t>(y) * w + x;
+      const float l = luma[i];
+      out.set(x, y, 0, clamp_byte(l + tint_r[i]));
+      out.set(x, y, 1, clamp_byte(l - 0.4f * (tint_r[i] + tint_b[i])));
+      out.set(x, y, 2, clamp_byte(l + tint_b[i]));
+    }
+  }
+  return out;
+}
+
+}  // namespace pcr

@@ -1,0 +1,56 @@
+// Procedural image synthesis primitives. The data module composes these into
+// labelled datasets whose class-discriminative structure lives at a
+// controllable spatial scale — the knob that makes a synthetic task
+// "fine-grained" (high-frequency class signal, destroyed by early JPEG
+// scans) or "easy" (low-frequency signal that survives scan 1).
+#pragma once
+
+#include <vector>
+
+#include "image/image.h"
+#include "util/random.h"
+
+namespace pcr {
+
+/// A signed Gaussian blob: additive luminance bump at (x, y) (in [0,1]
+/// normalized image coordinates) with radius in pixels.
+struct Blob {
+  double x = 0.5;
+  double y = 0.5;
+  double radius_px = 8.0;
+  double amplitude = 40.0;  // Signed.
+};
+
+/// Deterministically samples `count` blobs from `rng` with radii around
+/// `radius_px` (+/-25%) and amplitudes +/- `amplitude`.
+std::vector<Blob> SampleBlobs(int count, double radius_px, double amplitude,
+                              Rng* rng);
+
+/// Parameters for a natural-image-like background.
+struct BackgroundParams {
+  int octaves = 5;          // Value-noise octaves, coarse to fine.
+  double contrast = 55.0;   // Amplitude of the coarsest octave.
+  double persistence = 0.55;  // Amplitude falloff per octave.
+  double base_luma = 128.0;
+};
+
+/// Fills a float luma buffer (row-major, w*h) with multi-octave value noise
+/// plus the base level. Each call draws fresh noise from `rng`.
+void RenderBackground(int w, int h, const BackgroundParams& params, Rng* rng,
+                      std::vector<float>* luma);
+
+/// Adds blobs to a float luma buffer. `dx, dy` translate the whole pattern
+/// (pixels), modeling object-position jitter between instances.
+void RenderBlobs(int w, int h, const std::vector<Blob>& blobs, double dx,
+                 double dy, std::vector<float>* luma);
+
+/// Adds zero-mean Gaussian pixel noise.
+void AddNoise(double stddev, Rng* rng, std::vector<float>* luma);
+
+/// Converts a float luma buffer to an image. When `color` is true a smooth
+/// random tint field (low-frequency chroma) is layered on so chroma planes
+/// carry realistic energy; otherwise the output is grayscale.
+Image LumaToImage(int w, int h, const std::vector<float>& luma, bool color,
+                  Rng* rng);
+
+}  // namespace pcr

@@ -1,0 +1,113 @@
+#include "image/transform.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pcr {
+
+Image ResizeBilinear(const Image& img, int out_width, int out_height) {
+  PCR_CHECK_GT(out_width, 0);
+  PCR_CHECK_GT(out_height, 0);
+  Image out(out_width, out_height, img.channels());
+  const double sx = static_cast<double>(img.width()) / out_width;
+  const double sy = static_cast<double>(img.height()) / out_height;
+  for (int j = 0; j < out_height; ++j) {
+    const double fy = (j + 0.5) * sy - 0.5;
+    int y0 = static_cast<int>(std::floor(fy));
+    const double wy = fy - y0;
+    int y1 = y0 + 1;
+    y0 = std::clamp(y0, 0, img.height() - 1);
+    y1 = std::clamp(y1, 0, img.height() - 1);
+    for (int i = 0; i < out_width; ++i) {
+      const double fx = (i + 0.5) * sx - 0.5;
+      int x0 = static_cast<int>(std::floor(fx));
+      const double wx = fx - x0;
+      int x1 = x0 + 1;
+      x0 = std::clamp(x0, 0, img.width() - 1);
+      x1 = std::clamp(x1, 0, img.width() - 1);
+      for (int c = 0; c < img.channels(); ++c) {
+        const double v =
+            img.at(x0, y0, c) * (1 - wx) * (1 - wy) +
+            img.at(x1, y0, c) * wx * (1 - wy) +
+            img.at(x0, y1, c) * (1 - wx) * wy +
+            img.at(x1, y1, c) * wx * wy;
+        out.set(i, j, c, static_cast<uint8_t>(std::clamp(v + 0.5, 0.0, 255.0)));
+      }
+    }
+  }
+  return out;
+}
+
+Image ResizeShortSide(const Image& img, int short_side) {
+  const int w = img.width(), h = img.height();
+  if (w <= h) {
+    const int nh = std::max(1, static_cast<int>(
+                                   std::lround(static_cast<double>(h) *
+                                               short_side / w)));
+    return ResizeBilinear(img, short_side, nh);
+  }
+  const int nw = std::max(1, static_cast<int>(std::lround(
+                                 static_cast<double>(w) * short_side / h)));
+  return ResizeBilinear(img, nw, short_side);
+}
+
+Image Crop(const Image& img, int x, int y, int w, int h) {
+  x = std::clamp(x, 0, img.width() - 1);
+  y = std::clamp(y, 0, img.height() - 1);
+  w = std::min(w, img.width() - x);
+  h = std::min(h, img.height() - y);
+  Image out(w, h, img.channels());
+  for (int j = 0; j < h; ++j) {
+    const uint8_t* src = img.row(y + j) + static_cast<size_t>(x) * img.channels();
+    std::copy(src, src + static_cast<size_t>(w) * img.channels(), out.row(j));
+  }
+  return out;
+}
+
+namespace {
+Image EnsureAtLeast(const Image& img, int w, int h) {
+  if (img.width() >= w && img.height() >= h) return img;
+  return ResizeBilinear(img, std::max(img.width(), w),
+                        std::max(img.height(), h));
+}
+}  // namespace
+
+Image CenterCrop(const Image& img, int w, int h) {
+  const Image base = EnsureAtLeast(img, w, h);
+  return Crop(base, (base.width() - w) / 2, (base.height() - h) / 2, w, h);
+}
+
+Image RandomCrop(const Image& img, int w, int h, Rng* rng) {
+  const Image base = EnsureAtLeast(img, w, h);
+  const int max_x = base.width() - w;
+  const int max_y = base.height() - h;
+  const int x = max_x > 0 ? static_cast<int>(rng->Uniform(max_x + 1)) : 0;
+  const int y = max_y > 0 ? static_cast<int>(rng->Uniform(max_y + 1)) : 0;
+  return Crop(base, x, y, w, h);
+}
+
+Image FlipHorizontal(const Image& img) {
+  Image out(img.width(), img.height(), img.channels());
+  for (int j = 0; j < img.height(); ++j) {
+    for (int i = 0; i < img.width(); ++i) {
+      for (int c = 0; c < img.channels(); ++c) {
+        out.set(img.width() - 1 - i, j, c, img.at(i, j, c));
+      }
+    }
+  }
+  return out;
+}
+
+Image Augment(const Image& img, const AugmentOptions& opts, Rng* rng) {
+  Image resized = ResizeShortSide(img, opts.resize_short_side);
+  Image cropped =
+      opts.random_crop
+          ? RandomCrop(resized, opts.output_size, opts.output_size, rng)
+          : CenterCrop(resized, opts.output_size, opts.output_size);
+  if (opts.random_flip && rng->NextBernoulli(0.5)) {
+    return FlipHorizontal(cropped);
+  }
+  return cropped;
+}
+
+}  // namespace pcr

@@ -1,0 +1,40 @@
+// Geometric transforms and training augmentations: bilinear resize, center /
+// random crop, horizontal flip — the standard ImageNet augmentation set the
+// paper uses ("resizing, crop, and horizontal-flip augmentations").
+#pragma once
+
+#include "image/image.h"
+#include "util/random.h"
+
+namespace pcr {
+
+/// Bilinear resize to (out_width, out_height).
+Image ResizeBilinear(const Image& img, int out_width, int out_height);
+
+/// Resizes so the short side equals `short_side`, preserving aspect ratio.
+Image ResizeShortSide(const Image& img, int short_side);
+
+/// Crops the rectangle [x, x+w) x [y, y+h); clamped to bounds.
+Image Crop(const Image& img, int x, int y, int w, int h);
+
+/// Center crop of size w x h (resizes up first if the image is smaller).
+Image CenterCrop(const Image& img, int w, int h);
+
+/// Random crop of size w x h using `rng` (resizes up first if smaller).
+Image RandomCrop(const Image& img, int w, int h, Rng* rng);
+
+/// Mirrors left-right.
+Image FlipHorizontal(const Image& img);
+
+/// Training-time augmentation config (224x224 ImageNet-style by default).
+struct AugmentOptions {
+  int output_size = 224;
+  bool random_crop = true;      // Center crop when false (eval mode).
+  bool random_flip = true;
+  int resize_short_side = 256;  // Applied before the crop.
+};
+
+/// Applies the standard augmentation pipeline.
+Image Augment(const Image& img, const AugmentOptions& opts, Rng* rng);
+
+}  // namespace pcr

@@ -1,0 +1,115 @@
+// Entropy-coded segment bit I/O with JPEG byte stuffing: every 0xFF data
+// byte is followed by a 0x00 stuff byte on write and the pair is collapsed
+// on read; an 0xFF followed by anything else is a marker and terminates the
+// entropy data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/logging.h"
+#include "util/slice.h"
+
+namespace pcr::jpeg {
+
+/// MSB-first bit writer with byte stuffing.
+class BitWriter {
+ public:
+  explicit BitWriter(std::string* out) : out_(out) {}
+
+  /// Writes the low `count` bits of `bits`, MSB first. count in [0, 24].
+  void WriteBits(uint32_t bits, int count) {
+    PCR_DCHECK(count >= 0 && count <= 24);
+    if (count == 0) return;
+    acc_ = (acc_ << count) | (bits & ((1u << count) - 1));
+    acc_count_ += count;
+    while (acc_count_ >= 8) {
+      const uint8_t byte =
+          static_cast<uint8_t>((acc_ >> (acc_count_ - 8)) & 0xff);
+      EmitByte(byte);
+      acc_count_ -= 8;
+    }
+  }
+
+  void WriteBit(int bit) { WriteBits(bit & 1, 1); }
+
+  /// Pads the final partial byte with 1-bits (per the JPEG spec) and flushes.
+  void AlignToByte() {
+    if (acc_count_ > 0) {
+      const int pad = 8 - acc_count_;
+      WriteBits((1u << pad) - 1, pad);
+    }
+  }
+
+ private:
+  void EmitByte(uint8_t byte) {
+    out_->push_back(static_cast<char>(byte));
+    if (byte == 0xff) out_->push_back('\0');  // Stuff byte.
+  }
+
+  std::string* out_;
+  uint64_t acc_ = 0;
+  int acc_count_ = 0;
+};
+
+/// MSB-first bit reader over entropy data. Stops (reports exhaustion) at a
+/// marker (0xFF followed by non-zero) or end of input; a truncated stream is
+/// not an error at this layer — partial-scan decode relies on it.
+class BitReader {
+ public:
+  explicit BitReader(Slice data) : data_(data) {}
+
+  /// Reads one bit; returns 0 at end of data (the spec's "fill with zero"
+  /// behaviour never matters because callers check Exhausted()).
+  int ReadBit() {
+    if (bit_count_ == 0 && !FillByte()) {
+      exhausted_ = true;
+      return 0;
+    }
+    --bit_count_;
+    return (current_ >> bit_count_) & 1;
+  }
+
+  /// Reads `count` bits MSB-first.
+  uint32_t ReadBits(int count) {
+    uint32_t v = 0;
+    for (int i = 0; i < count; ++i) v = (v << 1) | ReadBit();
+    return v;
+  }
+
+  /// True once a read has run past the end of the entropy data.
+  bool Exhausted() const { return exhausted_; }
+
+  /// Number of entropy bytes consumed so far (including stuff bytes).
+  size_t BytesConsumed() const { return pos_; }
+
+ private:
+  bool FillByte() {
+    while (pos_ < data_.size()) {
+      const uint8_t byte = static_cast<uint8_t>(data_[pos_]);
+      if (byte == 0xff) {
+        if (pos_ + 1 < data_.size() &&
+            static_cast<uint8_t>(data_[pos_ + 1]) == 0x00) {
+          current_ = 0xff;
+          bit_count_ = 8;
+          pos_ += 2;
+          return true;
+        }
+        return false;  // Marker: end of entropy data.
+      }
+      current_ = byte;
+      bit_count_ = 8;
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Slice data_;
+  size_t pos_ = 0;
+  uint32_t current_ = 0;
+  int bit_count_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace pcr::jpeg

@@ -1,0 +1,139 @@
+// Quantized-coefficient representation of a JPEG image — the common currency
+// between the baseline decoder, the progressive encoder (lossless
+// transcoding), and partial-scan reconstruction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace pcr::jpeg {
+
+/// One 8x8 block of quantized coefficients in natural (row-major) order.
+using CoeffBlock = std::array<int16_t, 64>;
+
+/// Per-component frame parameters.
+struct ComponentInfo {
+  int id = 0;          // Component identifier byte (1=Y, 2=Cb, 3=Cr here).
+  int h_samp = 1;      // Horizontal sampling factor.
+  int v_samp = 1;      // Vertical sampling factor.
+  int quant_tbl = 0;   // Quantization table slot.
+
+  // Derived geometry (filled by FrameInfo::ComputeGeometry).
+  int width = 0;            // Component sample dimensions.
+  int height = 0;
+  int width_blocks = 0;     // ceil(width / 8): non-interleaved block counts.
+  int height_blocks = 0;
+  int width_blocks_padded = 0;   // Rounded up to whole MCUs (interleaved).
+  int height_blocks_padded = 0;
+};
+
+/// Frame-level parameters (from SOF).
+struct FrameInfo {
+  int width = 0;
+  int height = 0;
+  bool progressive = false;
+  std::vector<ComponentInfo> components;
+
+  int max_h_samp() const {
+    int m = 1;
+    for (const auto& c : components) m = std::max(m, c.h_samp);
+    return m;
+  }
+  int max_v_samp() const {
+    int m = 1;
+    for (const auto& c : components) m = std::max(m, c.v_samp);
+    return m;
+  }
+  int mcus_x() const {
+    return (width + 8 * max_h_samp() - 1) / (8 * max_h_samp());
+  }
+  int mcus_y() const {
+    return (height + 8 * max_v_samp() - 1) / (8 * max_v_samp());
+  }
+
+  /// Fills the derived geometry fields of every component.
+  void ComputeGeometry() {
+    const int hmax = max_h_samp();
+    const int vmax = max_v_samp();
+    for (auto& c : components) {
+      c.width = (width * c.h_samp + hmax - 1) / hmax;
+      c.height = (height * c.v_samp + vmax - 1) / vmax;
+      c.width_blocks = (c.width + 7) / 8;
+      c.height_blocks = (c.height + 7) / 8;
+      c.width_blocks_padded = mcus_x() * c.h_samp;
+      c.height_blocks_padded = mcus_y() * c.v_samp;
+    }
+  }
+};
+
+/// Scan parameters (from SOS): participating components and the progressive
+/// spectral-selection / successive-approximation window.
+struct ScanSpec {
+  std::vector<int> component_indices;  // Indices into FrameInfo::components.
+  int ss = 0;   // Spectral selection start (0 = DC).
+  int se = 63;  // Spectral selection end.
+  int ah = 0;   // Successive approximation high (0 on first pass).
+  int al = 0;   // Successive approximation low (bit position).
+
+  bool IsDcScan() const { return ss == 0; }
+  bool IsRefinement() const { return ah != 0; }
+};
+
+/// Coefficient storage for all components at padded (whole-MCU) dimensions.
+class CoeffImage {
+ public:
+  CoeffImage() = default;
+
+  /// Allocates zeroed blocks per the frame geometry (ComputeGeometry must
+  /// have been called).
+  explicit CoeffImage(const FrameInfo& frame) {
+    comps_.resize(frame.components.size());
+    for (size_t c = 0; c < frame.components.size(); ++c) {
+      const auto& info = frame.components[c];
+      comps_[c].width_blocks = info.width_blocks_padded;
+      comps_[c].height_blocks = info.height_blocks_padded;
+      comps_[c].blocks.resize(static_cast<size_t>(info.width_blocks_padded) *
+                              info.height_blocks_padded);
+      for (auto& b : comps_[c].blocks) b.fill(0);
+    }
+  }
+
+  CoeffBlock& block(int comp, int bx, int by) {
+    auto& c = comps_[comp];
+    PCR_DCHECK(bx >= 0 && bx < c.width_blocks && by >= 0 &&
+               by < c.height_blocks);
+    return c.blocks[static_cast<size_t>(by) * c.width_blocks + bx];
+  }
+  const CoeffBlock& block(int comp, int bx, int by) const {
+    const auto& c = comps_[comp];
+    return c.blocks[static_cast<size_t>(by) * c.width_blocks + bx];
+  }
+
+  int width_blocks(int comp) const { return comps_[comp].width_blocks; }
+  int height_blocks(int comp) const { return comps_[comp].height_blocks; }
+  int num_components() const { return static_cast<int>(comps_.size()); }
+
+  bool operator==(const CoeffImage& other) const {
+    if (comps_.size() != other.comps_.size()) return false;
+    for (size_t c = 0; c < comps_.size(); ++c) {
+      if (comps_[c].blocks != other.comps_[c].blocks) return false;
+    }
+    return true;
+  }
+
+ private:
+  struct ComponentCoeffs {
+    int width_blocks = 0;
+    int height_blocks = 0;
+    std::vector<CoeffBlock> blocks;
+  };
+  std::vector<ComponentCoeffs> comps_;
+};
+
+/// Quantization tables by slot.
+using QuantTable = std::array<uint16_t, 64>;
+
+}  // namespace pcr::jpeg

@@ -1,0 +1,54 @@
+// JPEG constants: markers, zigzag order, Annex K quantization tables with
+// libjpeg-compatible quality scaling, and the Annex K "typical" Huffman
+// tables used for baseline encoding when table optimization is disabled.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace pcr::jpeg {
+
+/// Marker bytes (the second byte; all markers are 0xFF <byte>).
+enum Marker : uint8_t {
+  kSOI = 0xD8,   // Start of image.
+  kEOI = 0xD9,   // End of image.
+  kSOS = 0xDA,   // Start of scan.
+  kDQT = 0xDB,   // Define quantization table(s).
+  kDHT = 0xC4,   // Define Huffman table(s).
+  kSOF0 = 0xC0,  // Baseline DCT frame.
+  kSOF2 = 0xC2,  // Progressive DCT frame.
+  kDRI = 0xDD,   // Define restart interval.
+  kAPP0 = 0xE0,  // JFIF.
+  kCOM = 0xFE,   // Comment.
+  kRST0 = 0xD0,  // Restart markers D0..D7.
+};
+
+/// Zigzag order: kZigzag[i] = natural (row-major) index of the i-th
+/// coefficient in zigzag order.
+extern const std::array<uint8_t, 64> kZigzag;
+
+/// Inverse map: natural index -> zigzag position.
+extern const std::array<uint8_t, 64> kZigzagInverse;
+
+/// Annex K Table K.1 (luminance) and K.2 (chrominance) base quantizers, in
+/// natural (row-major) order.
+extern const std::array<uint16_t, 64> kStdLumaQuant;
+extern const std::array<uint16_t, 64> kStdChromaQuant;
+
+/// Scales a base table by a libjpeg-style quality factor in [1, 100].
+std::array<uint16_t, 64> ScaleQuantTable(const std::array<uint16_t, 64>& base,
+                                         int quality);
+
+/// Annex K typical Huffman table spec: 16 length counts + value list.
+struct HuffSpec {
+  const uint8_t* bits;  // counts[1..16], 16 entries.
+  const uint8_t* values;
+  int num_values;
+};
+
+HuffSpec StdDcLumaSpec();
+HuffSpec StdDcChromaSpec();
+HuffSpec StdAcLumaSpec();
+HuffSpec StdAcChromaSpec();
+
+}  // namespace pcr::jpeg

@@ -1,0 +1,18 @@
+// 8x8 forward and inverse DCT (type II / III), double-precision separable
+// implementation. Precision over speed: the transcoder's losslessness proof
+// depends only on entropy coding, but round-trip PSNR tests depend on the
+// transform being accurate.
+#pragma once
+
+#include <cstdint>
+
+namespace pcr::jpeg {
+
+/// Forward DCT of an 8x8 spatial block (level-shifted samples, i.e. centered
+/// on 0) into coefficients. in/out may not alias.
+void ForwardDct8x8(const double in[64], double out[64]);
+
+/// Inverse DCT of an 8x8 coefficient block into (level-shifted) samples.
+void InverseDct8x8(const double in[64], double out[64]);
+
+}  // namespace pcr::jpeg

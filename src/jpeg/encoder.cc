@@ -1,0 +1,556 @@
+// JPEG encoder: image -> quantized coefficients -> entropy-coded baseline or
+// progressive stream. Progressive scans follow ITU-T T.81 G.1; the AC
+// refinement encoder mirrors the correction-bit buffering of libjpeg's
+// jcphuff.c, which the decoder (decoder.cc) inverts.
+#include <cmath>
+#include <cstring>
+#include <memory>
+
+#include "jpeg/bit_io.h"
+#include "jpeg/codec.h"
+#include "jpeg/constants.h"
+#include "jpeg/dct.h"
+#include "jpeg/huffman.h"
+#include "util/logging.h"
+
+namespace pcr::jpeg {
+
+namespace {
+
+// Magnitude category: number of bits to represent |v| (v != 0 -> >= 1).
+int NumBits(int v) {
+  if (v < 0) v = -v;
+  int n = 0;
+  while (v > 0) {
+    ++n;
+    v >>= 1;
+  }
+  return n;
+}
+
+void AppendMarker(std::string* out, uint8_t marker) {
+  out->push_back(static_cast<char>(0xff));
+  out->push_back(static_cast<char>(marker));
+}
+
+void AppendU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v >> 8));
+  out->push_back(static_cast<char>(v & 0xff));
+}
+
+void AppendApp0Jfif(std::string* out) {
+  AppendMarker(out, kAPP0);
+  AppendU16(out, 16);
+  out->append("JFIF", 5);  // Includes the NUL.
+  out->push_back(1);       // Version 1.1.
+  out->push_back(1);
+  out->push_back(0);  // Units: none.
+  AppendU16(out, 1);  // X density.
+  AppendU16(out, 1);  // Y density.
+  out->push_back(0);  // Thumbnail w/h.
+  out->push_back(0);
+}
+
+void AppendDqt(std::string* out, int slot, const QuantTable& table) {
+  AppendMarker(out, kDQT);
+  AppendU16(out, 2 + 1 + 64);
+  out->push_back(static_cast<char>(slot));  // 8-bit precision.
+  for (int i = 0; i < 64; ++i) {
+    out->push_back(static_cast<char>(table[kZigzag[i]]));
+  }
+}
+
+void AppendSof(std::string* out, const FrameInfo& frame) {
+  AppendMarker(out, frame.progressive ? kSOF2 : kSOF0);
+  AppendU16(out, static_cast<uint16_t>(8 + 3 * frame.components.size()));
+  out->push_back(8);  // Sample precision.
+  AppendU16(out, static_cast<uint16_t>(frame.height));
+  AppendU16(out, static_cast<uint16_t>(frame.width));
+  out->push_back(static_cast<char>(frame.components.size()));
+  for (const auto& c : frame.components) {
+    out->push_back(static_cast<char>(c.id));
+    out->push_back(static_cast<char>((c.h_samp << 4) | c.v_samp));
+    out->push_back(static_cast<char>(c.quant_tbl));
+  }
+}
+
+void AppendDht(std::string* out, int table_class, int slot,
+               const HuffTable& table) {
+  AppendMarker(out, kDHT);
+  AppendU16(out, static_cast<uint16_t>(2 + 1 + 16 + table.values().size()));
+  out->push_back(static_cast<char>((table_class << 4) | slot));
+  for (int i = 0; i < 16; ++i) {
+    out->push_back(static_cast<char>(table.bits()[i]));
+  }
+  out->append(reinterpret_cast<const char*>(table.values().data()),
+              table.values().size());
+}
+
+void AppendSos(std::string* out, const FrameInfo& frame, const ScanSpec& scan,
+               const std::vector<int>& dc_slot, const std::vector<int>& ac_slot) {
+  AppendMarker(out, kSOS);
+  AppendU16(out,
+            static_cast<uint16_t>(6 + 2 * scan.component_indices.size()));
+  out->push_back(static_cast<char>(scan.component_indices.size()));
+  for (int ci : scan.component_indices) {
+    out->push_back(static_cast<char>(frame.components[ci].id));
+    out->push_back(static_cast<char>((dc_slot[ci] << 4) | ac_slot[ci]));
+  }
+  out->push_back(static_cast<char>(scan.ss));
+  out->push_back(static_cast<char>(scan.se));
+  out->push_back(static_cast<char>((scan.ah << 4) | scan.al));
+}
+
+// Sink abstraction letting one scan-encoding routine serve both the
+// statistics pass (optimal Huffman table construction) and the emit pass.
+class EntropySink {
+ public:
+  virtual ~EntropySink() = default;
+  virtual void Symbol(int table_class, int slot, int sym) = 0;
+  virtual void Bits(uint32_t bits, int count) = 0;
+};
+
+class StatsSink : public EntropySink {
+ public:
+  void Symbol(int table_class, int slot, int sym) override {
+    freqs_[table_class][slot].Count(sym);
+  }
+  void Bits(uint32_t, int) override {}
+
+  HuffFrequencies& freq(int table_class, int slot) {
+    return freqs_[table_class][slot];
+  }
+
+ private:
+  HuffFrequencies freqs_[2][4];
+};
+
+class EmitSink : public EntropySink {
+ public:
+  EmitSink(BitWriter* writer, const HuffTable* (*lookup)(void*, int, int),
+           void* ctx)
+      : writer_(writer), lookup_(lookup), ctx_(ctx) {}
+
+  void Symbol(int table_class, int slot, int sym) override {
+    const HuffTable* t = lookup_(ctx_, table_class, slot);
+    PCR_CHECK(t != nullptr);
+    t->EncodeSymbol(writer_, sym);
+  }
+  void Bits(uint32_t bits, int count) override {
+    writer_->WriteBits(bits, count);
+  }
+
+ private:
+  BitWriter* writer_;
+  const HuffTable* (*lookup_)(void*, int, int);
+  void* ctx_;
+};
+
+// Per-scan entropy encoding state and routines.
+class ScanEncoder {
+ public:
+  ScanEncoder(const JpegData& data, const ScanSpec& scan,
+              const std::vector<int>& dc_slot, const std::vector<int>& ac_slot,
+              EntropySink* sink)
+      : data_(data), scan_(scan), dc_slot_(dc_slot), ac_slot_(ac_slot),
+        sink_(sink) {
+    dc_pred_.assign(data.frame.components.size(), 0);
+  }
+
+  void EncodeScan() {
+    const FrameInfo& frame = data_.frame;
+    const bool interleaved = scan_.component_indices.size() > 1;
+    if (interleaved) {
+      // Interleaved (DC or baseline) scan in MCU order over padded dims.
+      const int mcus_x = frame.mcus_x();
+      const int mcus_y = frame.mcus_y();
+      for (int my = 0; my < mcus_y; ++my) {
+        for (int mx = 0; mx < mcus_x; ++mx) {
+          for (int ci : scan_.component_indices) {
+            const auto& comp = frame.components[ci];
+            for (int v = 0; v < comp.v_samp; ++v) {
+              for (int h = 0; h < comp.h_samp; ++h) {
+                EncodeBlock(ci, mx * comp.h_samp + h, my * comp.v_samp + v);
+              }
+            }
+          }
+        }
+      }
+    } else {
+      // Non-interleaved: nominal block dims of the single component.
+      const int ci = scan_.component_indices[0];
+      const auto& comp = frame.components[ci];
+      for (int by = 0; by < comp.height_blocks; ++by) {
+        for (int bx = 0; bx < comp.width_blocks; ++bx) {
+          EncodeBlock(ci, bx, by);
+        }
+      }
+    }
+    FlushEobRun();
+  }
+
+ private:
+  void EncodeBlock(int ci, int bx, int by) {
+    const CoeffBlock& block = data_.coefficients.block(ci, bx, by);
+    if (!data_.frame.progressive) {
+      EncodeBaselineBlock(ci, block);
+      return;
+    }
+    if (scan_.IsDcScan()) {
+      if (scan_.ah == 0) {
+        EncodeDcFirst(ci, block);
+      } else {
+        EncodeDcRefine(block);
+      }
+    } else {
+      if (scan_.ah == 0) {
+        EncodeAcFirst(ci, block);
+      } else {
+        EncodeAcRefine(ci, block);
+      }
+    }
+  }
+
+  // Emits `value` as nbits of magnitude bits (ones-complement for negative).
+  void EmitValueBits(int value, int nbits) {
+    uint32_t bits = static_cast<uint32_t>(value);
+    if (value < 0) bits = static_cast<uint32_t>(value - 1);
+    sink_->Bits(bits & ((1u << nbits) - 1), nbits);
+  }
+
+  void EncodeBaselineBlock(int ci, const CoeffBlock& block) {
+    // DC.
+    const int dc = block[0];
+    const int diff = dc - dc_pred_[ci];
+    dc_pred_[ci] = dc;
+    const int nbits = NumBits(diff);
+    sink_->Symbol(0, dc_slot_[ci], nbits);
+    if (nbits > 0) EmitValueBits(diff, nbits);
+    // AC.
+    int run = 0;
+    for (int k = 1; k <= 63; ++k) {
+      const int v = block[kZigzag[k]];
+      if (v == 0) {
+        ++run;
+        continue;
+      }
+      while (run > 15) {
+        sink_->Symbol(1, ac_slot_[ci], 0xF0);  // ZRL.
+        run -= 16;
+      }
+      const int abits = NumBits(v);
+      sink_->Symbol(1, ac_slot_[ci], (run << 4) | abits);
+      EmitValueBits(v, abits);
+      run = 0;
+    }
+    if (run > 0) sink_->Symbol(1, ac_slot_[ci], 0x00);  // EOB.
+  }
+
+  void EncodeDcFirst(int ci, const CoeffBlock& block) {
+    const int dc = block[0] >> scan_.al;  // Arithmetic shift (signed).
+    const int diff = dc - dc_pred_[ci];
+    dc_pred_[ci] = dc;
+    const int nbits = NumBits(diff);
+    sink_->Symbol(0, dc_slot_[ci], nbits);
+    if (nbits > 0) EmitValueBits(diff, nbits);
+  }
+
+  void EncodeDcRefine(const CoeffBlock& block) {
+    sink_->Bits(static_cast<uint32_t>(block[0] >> scan_.al) & 1, 1);
+  }
+
+  void EncodeAcFirst(int ci, const CoeffBlock& block) {
+    int run = 0;
+    for (int k = scan_.ss; k <= scan_.se; ++k) {
+      int v = block[kZigzag[k]];
+      const bool negative = v < 0;
+      if (negative) v = -v;
+      v >>= scan_.al;
+      if (v == 0) {
+        ++run;
+        continue;
+      }
+      FlushEobRun();
+      while (run > 15) {
+        sink_->Symbol(1, ac_slot_[ci], 0xF0);
+        run -= 16;
+      }
+      const int nbits = NumBits(v);
+      sink_->Symbol(1, ac_slot_[ci], (run << 4) | nbits);
+      EmitValueBits(negative ? -v : v, nbits);
+      run = 0;
+    }
+    if (run > 0) {
+      ++eob_run_;
+      if (eob_run_ == 0x7FFF) FlushEobRun();
+    }
+    pending_ac_slot_ = ac_slot_[ci];
+  }
+
+  void EncodeAcRefine(int ci, const CoeffBlock& block) {
+    const int al = scan_.al;
+    int absval[64];
+    int eob_idx = scan_.ss - 1;  // Last newly-nonzero index.
+    for (int k = scan_.ss; k <= scan_.se; ++k) {
+      int v = block[kZigzag[k]];
+      if (v < 0) v = -v;
+      v >>= al;
+      absval[k] = v;
+      if (v == 1) eob_idx = k;
+    }
+
+    int run = 0;
+    std::vector<uint8_t> block_bits;  // Correction bits since last symbol.
+    for (int k = scan_.ss; k <= scan_.se; ++k) {
+      const int v = absval[k];
+      if (v == 0) {
+        ++run;
+        continue;
+      }
+      while (run > 15 && k <= eob_idx) {
+        FlushEobRun();
+        sink_->Symbol(1, ac_slot_[ci], 0xF0);
+        run -= 16;
+        EmitBufferedBits(&block_bits);
+      }
+      if (v > 1) {
+        // Already nonzero from earlier scans: buffer its correction bit.
+        block_bits.push_back(static_cast<uint8_t>(v & 1));
+        continue;
+      }
+      // Newly nonzero this scan.
+      FlushEobRun();
+      sink_->Symbol(1, ac_slot_[ci], (run << 4) | 1);
+      sink_->Bits(block[kZigzag[k]] < 0 ? 0 : 1, 1);
+      EmitBufferedBits(&block_bits);
+      run = 0;
+    }
+    if (run > 0 || !block_bits.empty()) {
+      ++eob_run_;
+      refinement_bits_.insert(refinement_bits_.end(), block_bits.begin(),
+                              block_bits.end());
+      // Flush well before the 32767 EOB-run ceiling or a large bit backlog.
+      if (eob_run_ == 0x7FFF || refinement_bits_.size() > 900) {
+        FlushEobRun();
+      }
+    }
+    pending_ac_slot_ = ac_slot_[ci];
+  }
+
+  void EmitBufferedBits(std::vector<uint8_t>* bits) {
+    for (uint8_t b : *bits) sink_->Bits(b, 1);
+    bits->clear();
+  }
+
+  void FlushEobRun() {
+    if (eob_run_ > 0) {
+      const int nbits = NumBits(eob_run_) - 1;
+      sink_->Symbol(1, pending_ac_slot_, nbits << 4);
+      if (nbits > 0) {
+        sink_->Bits(static_cast<uint32_t>(eob_run_) & ((1u << nbits) - 1),
+                    nbits);
+      }
+      eob_run_ = 0;
+    }
+    EmitBufferedBits(&refinement_bits_);
+  }
+
+  const JpegData& data_;
+  const ScanSpec& scan_;
+  const std::vector<int>& dc_slot_;
+  const std::vector<int>& ac_slot_;
+  EntropySink* sink_;
+  std::vector<int> dc_pred_;
+  int eob_run_ = 0;
+  int pending_ac_slot_ = 0;
+  std::vector<uint8_t> refinement_bits_;
+};
+
+struct ScanTables {
+  // Slot -> table; only slots referenced by the scan are populated.
+  std::unique_ptr<HuffTable> dc[4];
+  std::unique_ptr<HuffTable> ac[4];
+};
+
+const HuffTable* LookupScanTable(void* ctx, int table_class, int slot) {
+  auto* tables = static_cast<ScanTables*>(ctx);
+  return table_class == 0 ? tables->dc[slot].get() : tables->ac[slot].get();
+}
+
+}  // namespace
+
+Image RenderCoefficients(const JpegData& data);  // decoder.cc
+
+Result<std::string> EncodeFromData(const JpegData& data, bool progressive,
+                                   std::vector<ScanSpec> script,
+                                   bool optimize_huffman) {
+  JpegData frame_data = data;  // Shallow-ish copy; coefficients copied too.
+  frame_data.frame.progressive = progressive;
+  if (script.empty()) {
+    script = progressive
+                 ? DefaultProgressiveScript(
+                       static_cast<int>(data.frame.components.size()))
+                 : BaselineScript(
+                       static_cast<int>(data.frame.components.size()));
+  }
+  if (progressive &&
+      !ValidateProgressiveScript(
+          script, static_cast<int>(data.frame.components.size()))) {
+    return Status::InvalidArgument("invalid progressive scan script");
+  }
+
+  // Huffman slot assignment: slot 0 for the first component, 1 for chroma.
+  const size_t num_comps = data.frame.components.size();
+  std::vector<int> dc_slot(num_comps), ac_slot(num_comps);
+  for (size_t c = 0; c < num_comps; ++c) {
+    dc_slot[c] = c == 0 ? 0 : 1;
+    ac_slot[c] = c == 0 ? 0 : 1;
+  }
+
+  std::string out;
+  AppendMarker(&out, kSOI);
+  AppendApp0Jfif(&out);
+  // Emit each quant table used by some component.
+  bool slot_used[4] = {false, false, false, false};
+  for (const auto& c : data.frame.components) {
+    if (c.quant_tbl < 0 || c.quant_tbl >= 4 ||
+        static_cast<size_t>(c.quant_tbl) >= data.quant_tables.size()) {
+      return Status::InvalidArgument("bad quant table slot");
+    }
+    if (!slot_used[c.quant_tbl]) {
+      AppendDqt(&out, c.quant_tbl, data.quant_tables[c.quant_tbl]);
+      slot_used[c.quant_tbl] = true;
+    }
+  }
+  AppendSof(&out, frame_data.frame);
+
+  // Progressive always optimizes (as jpegtran does).
+  const bool optimize = progressive || optimize_huffman;
+  ScanTables std_tables;
+  if (!optimize) {
+    PCR_ASSIGN_OR_RETURN(auto dc0, HuffTable::FromSpec(StdDcLumaSpec()));
+    PCR_ASSIGN_OR_RETURN(auto dc1, HuffTable::FromSpec(StdDcChromaSpec()));
+    PCR_ASSIGN_OR_RETURN(auto ac0, HuffTable::FromSpec(StdAcLumaSpec()));
+    PCR_ASSIGN_OR_RETURN(auto ac1, HuffTable::FromSpec(StdAcChromaSpec()));
+    std_tables.dc[0] = std::make_unique<HuffTable>(std::move(dc0));
+    std_tables.dc[1] = std::make_unique<HuffTable>(std::move(dc1));
+    std_tables.ac[0] = std::make_unique<HuffTable>(std::move(ac0));
+    std_tables.ac[1] = std::make_unique<HuffTable>(std::move(ac1));
+    AppendDht(&out, 0, 0, *std_tables.dc[0]);
+    AppendDht(&out, 1, 0, *std_tables.ac[0]);
+    if (num_comps > 1) {
+      AppendDht(&out, 0, 1, *std_tables.dc[1]);
+      AppendDht(&out, 1, 1, *std_tables.ac[1]);
+    }
+  }
+
+  for (const ScanSpec& scan : script) {
+    ScanTables scan_tables;
+    ScanTables* tables = optimize ? &scan_tables : &std_tables;
+    if (optimize) {
+      // Stats pass.
+      StatsSink stats;
+      ScanEncoder(frame_data, scan, dc_slot, ac_slot, &stats).EncodeScan();
+      // Build+emit only tables with observed symbols.
+      for (int slot = 0; slot < 4; ++slot) {
+        if (!stats.freq(0, slot).Empty()) {
+          PCR_ASSIGN_OR_RETURN(auto t, stats.freq(0, slot).BuildOptimal());
+          scan_tables.dc[slot] = std::make_unique<HuffTable>(std::move(t));
+          AppendDht(&out, 0, slot, *scan_tables.dc[slot]);
+        }
+        if (!stats.freq(1, slot).Empty()) {
+          PCR_ASSIGN_OR_RETURN(auto t, stats.freq(1, slot).BuildOptimal());
+          scan_tables.ac[slot] = std::make_unique<HuffTable>(std::move(t));
+          AppendDht(&out, 1, slot, *scan_tables.ac[slot]);
+        }
+      }
+    }
+    AppendSos(&out, frame_data.frame, scan, dc_slot, ac_slot);
+    BitWriter writer(&out);
+    EmitSink emit(&writer, &LookupScanTable, tables);
+    ScanEncoder(frame_data, scan, dc_slot, ac_slot, &emit).EncodeScan();
+    writer.AlignToByte();
+  }
+
+  AppendMarker(&out, kEOI);
+  return out;
+}
+
+namespace {
+
+// Forward DCT + quantization of one component plane into coefficient blocks
+// at padded dimensions (edge samples replicated).
+void PlaneToCoefficients(const Plane& plane, const QuantTable& qtbl,
+                         int width_blocks, int height_blocks, int comp,
+                         CoeffImage* coeffs) {
+  double spatial[64];
+  double freq[64];
+  for (int by = 0; by < height_blocks; ++by) {
+    for (int bx = 0; bx < width_blocks; ++bx) {
+      for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 8; ++x) {
+          spatial[y * 8 + x] =
+              static_cast<double>(plane.at_clamped(bx * 8 + x, by * 8 + y)) -
+              128.0;
+        }
+      }
+      ForwardDct8x8(spatial, freq);
+      CoeffBlock& block = coeffs->block(comp, bx, by);
+      for (int i = 0; i < 64; ++i) {
+        const double q = static_cast<double>(qtbl[i]);
+        block[i] = static_cast<int16_t>(std::lround(freq[i] / q));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::string> Encode(const Image& img, const EncodeOptions& options) {
+  if (img.empty()) return Status::InvalidArgument("empty image");
+  if (img.width() > 65535 || img.height() > 65535) {
+    return Status::InvalidArgument("image too large for JPEG");
+  }
+
+  const PlanarImage planar = RgbToYcbcr(img, options.subsampling);
+  const int num_comps = planar.num_components();
+
+  JpegData data;
+  data.frame.width = img.width();
+  data.frame.height = img.height();
+  data.frame.progressive = options.progressive;
+  data.quant_tables.resize(num_comps > 1 ? 2 : 1);
+  data.quant_tables[0] = ScaleQuantTable(kStdLumaQuant, options.quality);
+  if (num_comps > 1) {
+    data.quant_tables[1] = ScaleQuantTable(kStdChromaQuant, options.quality);
+  }
+
+  for (int c = 0; c < num_comps; ++c) {
+    ComponentInfo info;
+    info.id = c + 1;
+    if (num_comps == 1) {
+      info.h_samp = info.v_samp = 1;
+    } else if (c == 0) {
+      const bool sub = options.subsampling == ChromaSubsampling::k420;
+      info.h_samp = info.v_samp = sub ? 2 : 1;
+    } else {
+      info.h_samp = info.v_samp = 1;
+    }
+    info.quant_tbl = c == 0 ? 0 : 1;
+    data.frame.components.push_back(info);
+  }
+  data.frame.ComputeGeometry();
+  data.coefficients = CoeffImage(data.frame);
+
+  for (int c = 0; c < num_comps; ++c) {
+    const auto& info = data.frame.components[c];
+    PlaneToCoefficients(planar.planes[c], data.quant_tables[info.quant_tbl],
+                        info.width_blocks_padded, info.height_blocks_padded, c,
+                        &data.coefficients);
+  }
+
+  return EncodeFromData(data, options.progressive, options.scan_script,
+                        options.optimize_huffman);
+}
+
+}  // namespace pcr::jpeg

@@ -1,0 +1,74 @@
+// Huffman coding for JPEG entropy segments: canonical code construction from
+// a (bits, values) spec, encode/decode, and optimal table generation from
+// symbol frequencies (ITU-T T.81 Annex K.2), which is what makes progressive
+// output smaller than baseline in practice (jpegtran always optimizes).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "jpeg/bit_io.h"
+#include "jpeg/constants.h"
+#include "util/result.h"
+
+namespace pcr::jpeg {
+
+/// A built Huffman table usable for both encoding and decoding.
+class HuffTable {
+ public:
+  HuffTable() = default;
+
+  /// Builds from a JPEG (bits[16], values[]) table definition.
+  static Result<HuffTable> FromSpec(const uint8_t bits[16],
+                                    const uint8_t* values, int num_values);
+  static Result<HuffTable> FromSpec(const HuffSpec& spec) {
+    return FromSpec(spec.bits, spec.values, spec.num_values);
+  }
+
+  /// Encodes symbol `sym` (must be present in the table).
+  void EncodeSymbol(BitWriter* writer, int sym) const {
+    PCR_DCHECK(code_len_[sym] > 0) << "symbol not in table: " << sym;
+    writer->WriteBits(code_[sym], code_len_[sym]);
+  }
+
+  /// Decodes the next symbol; returns -1 on exhausted/invalid input.
+  int DecodeSymbol(BitReader* reader) const;
+
+  bool HasSymbol(int sym) const {
+    return sym >= 0 && sym < 256 && code_len_[sym] > 0;
+  }
+
+  /// Serialized (bits, values) form for DHT emission.
+  const std::array<uint8_t, 16>& bits() const { return bits_; }
+  const std::vector<uint8_t>& values() const { return values_; }
+
+ private:
+  // Encode side.
+  std::array<uint16_t, 256> code_{};
+  std::array<uint8_t, 256> code_len_{};
+  // Decode side (per code length l in 1..16).
+  std::array<int32_t, 17> min_code_{};
+  std::array<int32_t, 17> max_code_{};  // -1 where no codes of that length.
+  std::array<int32_t, 17> val_ptr_{};
+  // Spec form.
+  std::array<uint8_t, 16> bits_{};
+  std::vector<uint8_t> values_;
+};
+
+/// Accumulates symbol frequencies and derives an optimal length-limited
+/// (<=16 bits) Huffman table per Annex K.2.
+class HuffFrequencies {
+ public:
+  void Count(int sym) { ++freq_[sym]; }
+  bool Empty() const;
+
+  /// Builds the optimal table. At least one symbol must have been counted
+  /// (a table with a single dummy symbol is produced otherwise).
+  Result<HuffTable> BuildOptimal() const;
+
+ private:
+  std::array<int64_t, 257> freq_{};  // [256] reserved per K.2.
+};
+
+}  // namespace pcr::jpeg

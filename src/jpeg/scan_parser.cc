@@ -1,0 +1,148 @@
+#include "jpeg/scan_parser.h"
+
+#include "jpeg/constants.h"
+#include "util/status.h"
+
+namespace pcr::jpeg {
+
+namespace {
+
+uint8_t ByteAt(Slice data, size_t i) { return static_cast<uint8_t>(data[i]); }
+
+// Returns the offset just past the entropy-coded data starting at `pos`
+// (i.e. the offset of the next marker's 0xFF).
+size_t SkipEntropy(Slice data, size_t pos) {
+  while (pos + 1 < data.size()) {
+    if (ByteAt(data, pos) == 0xff && ByteAt(data, pos + 1) != 0x00) {
+      return pos;
+    }
+    ++pos;
+  }
+  return data.size();
+}
+
+}  // namespace
+
+Result<JpegScanIndex> IndexScans(Slice jpeg) {
+  if (jpeg.size() < 4 || ByteAt(jpeg, 0) != 0xff || ByteAt(jpeg, 1) != kSOI) {
+    return Status::InvalidArgument("not a JPEG (missing SOI)");
+  }
+  JpegScanIndex index;
+  size_t pos = 2;
+  // Start of the DHT run (if any) that belongs to the upcoming scan.
+  size_t pending_scan_start = 0;
+  bool have_pending = false;
+  bool have_frame = false;
+  std::vector<int> comp_ids;
+
+  while (pos + 1 < jpeg.size()) {
+    if (ByteAt(jpeg, pos) != 0xff) {
+      return Status::Corruption("expected marker");
+    }
+    size_t marker_pos = pos;
+    ++pos;
+    while (pos < jpeg.size() && ByteAt(jpeg, pos) == 0xff) ++pos;
+    if (pos >= jpeg.size()) break;
+    const uint8_t marker = ByteAt(jpeg, pos);
+    ++pos;
+
+    if (marker == kEOI) {
+      index.eoi_offset = marker_pos;
+      index.has_eoi = true;
+      break;
+    }
+    if (marker >= kRST0 && marker <= kRST0 + 7) continue;  // Parameterless.
+
+    if (pos + 2 > jpeg.size()) return Status::Corruption("truncated segment");
+    const uint16_t len = static_cast<uint16_t>((ByteAt(jpeg, pos) << 8) |
+                                               ByteAt(jpeg, pos + 1));
+    if (len < 2 || pos + len > jpeg.size()) {
+      return Status::Corruption("bad segment length");
+    }
+    const size_t seg_end = pos + len;
+
+    switch (marker) {
+      case kDHT:
+        // Huffman tables between scans belong to the following scan unit.
+        if (!have_pending) {
+          pending_scan_start = marker_pos;
+          have_pending = true;
+        }
+        break;
+      case kSOF0:
+      case kSOF2: {
+        if (len < 8) return Status::Corruption("truncated SOF");
+        index.progressive = marker == kSOF2;
+        index.num_components = ByteAt(jpeg, pos + 7);
+        if (static_cast<size_t>(8 + 3 * index.num_components) > len) {
+          return Status::Corruption("truncated SOF components");
+        }
+        for (int c = 0; c < index.num_components; ++c) {
+          comp_ids.push_back(ByteAt(jpeg, pos + 8 + 3 * c));
+        }
+        have_frame = true;
+        break;
+      }
+      case kSOS: {
+        if (!have_frame) return Status::Corruption("SOS before SOF");
+        ScanRange range;
+        range.start = have_pending ? pending_scan_start : marker_pos;
+        have_pending = false;
+        if (index.scans.empty()) {
+          index.header_end = range.start;
+        }
+        // Parse the scan header for the spec.
+        const int ns = ByteAt(jpeg, pos + 2);
+        if (static_cast<size_t>(6 + 2 * ns) > len) {
+          return Status::Corruption("truncated SOS");
+        }
+        for (int i = 0; i < ns; ++i) {
+          const int id = ByteAt(jpeg, pos + 3 + 2 * i);
+          int ci = -1;
+          for (size_t c = 0; c < comp_ids.size(); ++c) {
+            if (comp_ids[c] == id) ci = static_cast<int>(c);
+          }
+          if (ci < 0) return Status::Corruption("SOS: unknown component");
+          range.spec.component_indices.push_back(ci);
+        }
+        range.spec.ss = ByteAt(jpeg, pos + 3 + 2 * ns);
+        range.spec.se = ByteAt(jpeg, pos + 4 + 2 * ns);
+        const uint8_t ahl = ByteAt(jpeg, pos + 5 + 2 * ns);
+        range.spec.ah = ahl >> 4;
+        range.spec.al = ahl & 0x0f;
+        range.end = SkipEntropy(jpeg, seg_end);
+        index.scans.push_back(range);
+        pos = range.end;
+        continue;
+      }
+      default:
+        // DQT / APPn / COM / DRI: header material; a DHT run interrupted by
+        // one of these still belongs to the next scan, so keep the pending
+        // start as-is.
+        break;
+    }
+    pos = seg_end;
+  }
+
+  if (!have_frame) return Status::Corruption("no SOF marker");
+  if (index.scans.empty()) return Status::Corruption("no scans");
+  if (!index.has_eoi) index.eoi_offset = jpeg.size();
+  return index;
+}
+
+std::string AssemblePrefix(Slice jpeg, const JpegScanIndex& index,
+                           int num_scans) {
+  if (num_scans > static_cast<int>(index.scans.size())) {
+    num_scans = static_cast<int>(index.scans.size());
+  }
+  std::string out(jpeg.data(), index.header_end);
+  for (int i = 0; i < num_scans; ++i) {
+    const ScanRange& range = index.scans[i];
+    out.append(jpeg.data() + range.start, range.size());
+  }
+  out.push_back(static_cast<char>(0xff));
+  out.push_back(static_cast<char>(kEOI));
+  return out;
+}
+
+}  // namespace pcr::jpeg

@@ -1,0 +1,53 @@
+// Scan-boundary indexer: walks a JPEG's marker structure *without* entropy
+// decoding and reports the byte ranges of the header and of each scan unit
+// (the DHT segments belonging to a scan plus its SOS and entropy data).
+//
+// This is the paper's "the encoder scans the binary representation of the
+// progressive JPEG files, searching for the markers that designate the end
+// of a scan [...] the encoder thus has access to all 10 offsets within the
+// JPEG files" (§3.2).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "jpeg/coeff_image.h"
+#include "util/result.h"
+#include "util/slice.h"
+
+namespace pcr::jpeg {
+
+/// One scan unit: bytes [start, end) cover any DHT segments emitted for the
+/// scan, the SOS marker+header, and the entropy-coded data.
+struct ScanRange {
+  size_t start = 0;
+  size_t end = 0;
+  ScanSpec spec;  // Component ids are *frame component indices*.
+
+  size_t size() const { return end - start; }
+};
+
+/// Byte-structure of a JPEG: header, scans, trailing EOI.
+struct JpegScanIndex {
+  /// Bytes [0, header_end) hold SOI, APPn, DQT, SOF — everything every scan
+  /// prefix needs.
+  size_t header_end = 0;
+  std::vector<ScanRange> scans;
+  /// Offset of the EOI marker (== scans.back().end for well-formed files).
+  size_t eoi_offset = 0;
+  bool has_eoi = false;
+  int num_components = 0;
+  bool progressive = false;
+};
+
+/// Indexes the scan structure. Does not entropy-decode; cost is a single
+/// pass over the bytes.
+Result<JpegScanIndex> IndexScans(Slice jpeg);
+
+/// Reassembles a standalone JPEG containing only the first `num_scans` scans
+/// (header + scan units + EOI). With num_scans >= scans.size() this is the
+/// original image, byte-identical except for trailing data after EOI.
+std::string AssemblePrefix(Slice jpeg, const JpegScanIndex& index,
+                           int num_scans);
+
+}  // namespace pcr::jpeg

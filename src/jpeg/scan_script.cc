@@ -1,0 +1,91 @@
+#include "jpeg/scan_script.h"
+
+namespace pcr::jpeg {
+
+std::vector<ScanSpec> DefaultProgressiveScript(int num_components) {
+  std::vector<ScanSpec> script;
+  auto add = [&](std::vector<int> comps, int ss, int se, int ah, int al) {
+    ScanSpec s;
+    s.component_indices = std::move(comps);
+    s.ss = ss;
+    s.se = se;
+    s.ah = ah;
+    s.al = al;
+    script.push_back(std::move(s));
+  };
+
+  if (num_components == 1) {
+    add({0}, 0, 0, 0, 1);    // DC first pass.
+    add({0}, 1, 5, 0, 2);    // Low AC.
+    add({0}, 6, 63, 0, 2);   // High AC.
+    add({0}, 1, 63, 2, 1);   // AC refinement.
+    add({0}, 0, 0, 1, 0);    // DC refinement.
+    add({0}, 1, 63, 1, 0);   // Final AC refinement.
+    return script;
+  }
+
+  add({0, 1, 2}, 0, 0, 0, 1);  // 1: DC first pass, interleaved.
+  add({0}, 1, 5, 0, 2);        // 2: Y low AC.
+  add({2}, 1, 63, 0, 1);       // 3: Cr full AC.
+  add({1}, 1, 63, 0, 1);       // 4: Cb full AC.
+  add({0}, 6, 63, 0, 2);       // 5: Y high AC.
+  add({0}, 1, 63, 2, 1);       // 6: Y AC refinement (2 -> 1).
+  add({0, 1, 2}, 0, 0, 1, 0);  // 7: DC refinement.
+  add({2}, 1, 63, 1, 0);       // 8: Cr AC refinement.
+  add({1}, 1, 63, 1, 0);       // 9: Cb AC refinement.
+  add({0}, 1, 63, 1, 0);       // 10: Y AC refinement.
+  return script;
+}
+
+std::vector<ScanSpec> BaselineScript(int num_components) {
+  ScanSpec s;
+  for (int c = 0; c < num_components; ++c) s.component_indices.push_back(c);
+  s.ss = 0;
+  s.se = 63;
+  s.ah = 0;
+  s.al = 0;
+  return {s};
+}
+
+bool ValidateProgressiveScript(const std::vector<ScanSpec>& script,
+                               int num_components) {
+  // Tracks the next expected Ah per (component, coefficient).
+  // 0 means "no pass seen yet" (first pass must have ah == 0).
+  std::vector<std::array<int, 64>> next_ah(num_components);
+  std::vector<std::array<bool, 64>> seen(num_components);
+  for (auto& arr : next_ah) arr.fill(0);
+  for (auto& arr : seen) arr.fill(false);
+
+  for (const auto& scan : script) {
+    if (scan.component_indices.empty()) return false;
+    if (scan.ss > scan.se || scan.se > 63) return false;
+    if (scan.ss == 0 && scan.se != 0) {
+      // DC must not be mixed with AC in progressive scans.
+      return false;
+    }
+    if (scan.ss > 0 && scan.component_indices.size() != 1) {
+      return false;  // AC scans must be single-component.
+    }
+    if (scan.ah != 0 && scan.ah != scan.al + 1) {
+      return false;  // Refinements shave exactly one bit.
+    }
+    for (int ci : scan.component_indices) {
+      if (ci < 0 || ci >= num_components) return false;
+      for (int k = scan.ss; k <= scan.se; ++k) {
+        if (!seen[ci][k]) {
+          if (scan.ah != 0) return false;  // Refinement before first pass.
+          seen[ci][k] = true;
+          next_ah[ci][k] = scan.al;
+        } else {
+          if (scan.ah != next_ah[ci][k]) return false;
+          next_ah[ci][k] = scan.al;
+        }
+      }
+    }
+  }
+  // Every coefficient must end at Al = 0 for a complete image; partial
+  // scripts are allowed (PCR truncates), so this is not enforced here.
+  return true;
+}
+
+}  // namespace pcr::jpeg

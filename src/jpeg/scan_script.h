@@ -1,0 +1,39 @@
+// Progressive scan scripts. The default mirrors libjpeg's
+// jpeg_simple_progression(): 10 scans for 3-component images — the exact
+// script the paper's datasets were encoded with ("With the default settings,
+// each JPEG is broken up into 10 scans").
+#pragma once
+
+#include <vector>
+
+#include "jpeg/coeff_image.h"
+
+namespace pcr::jpeg {
+
+/// The libjpeg default progressive script.
+///
+/// For 3 components:
+///   1. DC  {Y,Cb,Cr}  Ss=0 Se=0  Ah=0 Al=1
+///   2. AC  Y   1..5            Ah=0 Al=2
+///   3. AC  Cr  1..63           Ah=0 Al=1
+///   4. AC  Cb  1..63           Ah=0 Al=1
+///   5. AC  Y   6..63           Ah=0 Al=2
+///   6. AC  Y   1..63           Ah=2 Al=1   (refinement)
+///   7. DC  {Y,Cb,Cr}           Ah=1 Al=0   (refinement)
+///   8. AC  Cr  1..63           Ah=1 Al=0   (refinement)
+///   9. AC  Cb  1..63           Ah=1 Al=0   (refinement)
+///  10. AC  Y   1..63           Ah=1 Al=0   (refinement)
+///
+/// For 1 component the chroma scans drop out (6 scans).
+std::vector<ScanSpec> DefaultProgressiveScript(int num_components);
+
+/// Single full-spectrum scan per component set — the baseline (sequential)
+/// "script" used internally for uniformity.
+std::vector<ScanSpec> BaselineScript(int num_components);
+
+/// Validates a script against T.81 progressive constraints (DC-only may be
+/// interleaved, AC scans single-component, refinement windows consistent).
+bool ValidateProgressiveScript(const std::vector<ScanSpec>& script,
+                               int num_components);
+
+}  // namespace pcr::jpeg

@@ -1,0 +1,187 @@
+#include "kv/kv_store.h"
+
+#include <cstring>
+
+#include "util/crc32c.h"
+#include "util/logging.h"
+#include "wire/wire.h"
+
+namespace pcr {
+
+namespace {
+constexpr uint8_t kTypePut = 1;
+constexpr uint8_t kTypeDelete = 2;
+}  // namespace
+
+KvStore::KvStore(Env* env, std::string path)
+    : env_(env), path_(std::move(path)) {}
+
+KvStore::~KvStore() {
+  if (log_ != nullptr) {
+    log_->Close().ok();
+  }
+}
+
+Result<std::unique_ptr<KvStore>> KvStore::Open(Env* env,
+                                               const std::string& path,
+                                               bool truncate_corrupt_tail) {
+  std::unique_ptr<KvStore> store(new KvStore(env, path));
+  if (env->FileExists(path)) {
+    PCR_RETURN_IF_ERROR(store->ReplayLog(truncate_corrupt_tail));
+    // Reopen for append by rewriting the live state: Env files are
+    // truncate-on-create, so compaction doubles as the append reopen.
+    PCR_RETURN_IF_ERROR(store->Compact());
+  } else {
+    PCR_ASSIGN_OR_RETURN(store->log_, env->NewWritableFile(path));
+  }
+  return store;
+}
+
+Status KvStore::ReplayLog(bool truncate_corrupt_tail) {
+  std::string data;
+  PCR_RETURN_IF_ERROR(env_->ReadFileToString(path_, &data));
+  Slice input(data);
+  while (!input.empty()) {
+    // Record: masked_crc(4) | type(1) | klen varint | vlen varint | k | v
+    if (input.size() < 5) {
+      if (truncate_corrupt_tail) break;
+      return Status::Corruption("kv log: truncated record header");
+    }
+    uint32_t masked_crc;
+    memcpy(&masked_crc, input.data(), 4);
+    Slice body = input;
+    body.RemovePrefix(4);
+
+    const uint8_t type = static_cast<uint8_t>(body[0]);
+    Slice cursor = body;
+    cursor.RemovePrefix(1);
+    uint64_t klen, vlen;
+    if (!wire::GetVarint(&cursor, &klen) || !wire::GetVarint(&cursor, &vlen) ||
+        cursor.size() < klen + vlen) {
+      if (truncate_corrupt_tail) break;
+      return Status::Corruption("kv log: truncated record body");
+    }
+    const size_t body_len =
+        1 + wire::VarintLength(klen) + wire::VarintLength(vlen) +
+        static_cast<size_t>(klen + vlen);
+    const uint32_t actual_crc = crc32c::Value(body.data(), body_len);
+    if (crc32c::Unmask(masked_crc) != actual_crc) {
+      if (truncate_corrupt_tail) break;
+      return Status::Corruption("kv log: checksum mismatch");
+    }
+    const std::string key(cursor.data(), klen);
+    if (type == kTypePut) {
+      index_[key] = std::string(cursor.data() + klen, vlen);
+    } else if (type == kTypeDelete) {
+      index_.erase(key);
+    } else {
+      if (truncate_corrupt_tail) break;
+      return Status::Corruption("kv log: unknown record type");
+    }
+    ++log_records_;
+    input.RemovePrefix(4 + body_len);
+  }
+  return Status::OK();
+}
+
+Status KvStore::AppendRecord(uint8_t type, Slice key, Slice value) {
+  std::string body;
+  body.push_back(static_cast<char>(type));
+  wire::PutVarint(&body, key.size());
+  wire::PutVarint(&body, value.size());
+  body.append(key.data(), key.size());
+  body.append(value.data(), value.size());
+  const uint32_t masked = crc32c::Mask(crc32c::Value(body.data(), body.size()));
+  char crc_buf[4];
+  memcpy(crc_buf, &masked, 4);
+  PCR_RETURN_IF_ERROR(log_->Append(Slice(crc_buf, 4)));
+  PCR_RETURN_IF_ERROR(log_->Append(Slice(body)));
+  ++log_records_;
+  return Status::OK();
+}
+
+Status KvStore::Put(Slice key, Slice value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PCR_RETURN_IF_ERROR(AppendRecord(kTypePut, key, value));
+  index_[key.ToString()] = value.ToString();
+  return Status::OK();
+}
+
+Status KvStore::Delete(Slice key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PCR_RETURN_IF_ERROR(AppendRecord(kTypeDelete, key, Slice()));
+  index_.erase(key.ToString());
+  return Status::OK();
+}
+
+Result<std::string> KvStore::Get(Slice key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key.ToString());
+  if (it == index_.end()) {
+    return Status::NotFound("key not found: " + key.ToString());
+  }
+  return it->second;
+}
+
+bool KvStore::Contains(Slice key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.count(key.ToString()) > 0;
+}
+
+std::vector<std::string> KvStore::ScanPrefix(Slice prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> keys;
+  for (auto it = index_.lower_bound(prefix.ToString());
+       it != index_.end() && Slice(it->first).StartsWith(prefix); ++it) {
+    keys.push_back(it->first);
+  }
+  return keys;
+}
+
+std::vector<std::pair<std::string, std::string>> KvStore::ScanPrefixEntries(
+    Slice prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::string>> entries;
+  for (auto it = index_.lower_bound(prefix.ToString());
+       it != index_.end() && Slice(it->first).StartsWith(prefix); ++it) {
+    entries.emplace_back(it->first, it->second);
+  }
+  return entries;
+}
+
+Status KvStore::Compact() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string tmp_path = path_ + ".compact";
+  {
+    PCR_ASSIGN_OR_RETURN(auto tmp, env_->NewWritableFile(tmp_path));
+    std::unique_ptr<WritableFile> old_log = std::move(log_);
+    log_ = std::move(tmp);
+    log_records_ = 0;
+    Status st;
+    for (const auto& [key, value] : index_) {
+      st = AppendRecord(kTypePut, Slice(key), Slice(value));
+      if (!st.ok()) break;
+    }
+    if (st.ok()) st = log_->Flush();
+    if (old_log != nullptr) old_log->Close().ok();
+    if (!st.ok()) return st;
+  }
+  PCR_RETURN_IF_ERROR(env_->RenameFile(tmp_path, path_));
+  return Status::OK();
+}
+
+Status KvStore::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_->Flush();
+}
+
+KvStats KvStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  KvStats s;
+  s.live_keys = index_.size();
+  s.log_records = log_records_;
+  s.log_bytes = log_ != nullptr ? log_->BytesWritten() : 0;
+  return s;
+}
+
+}  // namespace pcr

@@ -1,0 +1,84 @@
+// KvStore: a small embedded log-structured key-value store. Plays the role
+// SQLite/RocksDB play in the paper's implementation ("SQLite and RocksDB are
+// supported backing databases") as the PCR metadata database: per-record scan
+// group offsets, labels, and dataset manifest entries.
+//
+// Design: a single append-only log of CRC-checksummed records plus an
+// in-memory index rebuilt on open. Deletes are tombstones; Compact() rewrites
+// the live set. This matches the access pattern PCR needs — tiny values,
+// point lookups, prefix scans — while exercising real durability concerns
+// (corruption detection, atomic rewrite via rename).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/env.h"
+#include "util/result.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace pcr {
+
+/// Statistics about a store's log.
+struct KvStats {
+  uint64_t live_keys = 0;
+  uint64_t log_bytes = 0;
+  uint64_t log_records = 0;  // Including overwritten and tombstoned ones.
+};
+
+/// An embedded KV store bound to one log file on an Env.
+///
+/// Thread-safe. Typical PCR usage:
+///   auto db = KvStore::Open(env, dir + "/metadata.kvlog").MoveValue();
+///   db->Put("record/000017/offsets", serialized_offsets);
+class KvStore {
+ public:
+  /// Opens (creating if absent) the store at `path`, replaying the log.
+  /// Corrupt tail records are detected via CRC and reported as an error;
+  /// pass `truncate_corrupt_tail=true` to recover by dropping them.
+  static Result<std::unique_ptr<KvStore>> Open(
+      Env* env, const std::string& path, bool truncate_corrupt_tail = false);
+
+  ~KvStore();
+
+  Status Put(Slice key, Slice value);
+  Status Delete(Slice key);
+  /// Fails with NotFound for missing keys.
+  Result<std::string> Get(Slice key) const;
+  bool Contains(Slice key) const;
+
+  /// All live keys with the given prefix, in lexicographic order.
+  std::vector<std::string> ScanPrefix(Slice prefix) const;
+
+  /// All live (key, value) pairs with the given prefix.
+  std::vector<std::pair<std::string, std::string>> ScanPrefixEntries(
+      Slice prefix) const;
+
+  /// Rewrites the log keeping only live entries, atomically replacing it.
+  Status Compact();
+
+  /// Forces buffered appends to the Env.
+  Status Flush();
+
+  KvStats stats() const;
+
+ private:
+  KvStore(Env* env, std::string path);
+
+  Status ReplayLog(bool truncate_corrupt_tail);
+  Status AppendRecord(uint8_t type, Slice key, Slice value);
+
+  Env* env_;
+  std::string path_;
+  mutable std::mutex mu_;
+  std::unique_ptr<WritableFile> log_;
+  std::map<std::string, std::string> index_;
+  uint64_t log_records_ = 0;
+};
+
+}  // namespace pcr

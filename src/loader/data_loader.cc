@@ -1,0 +1,47 @@
+#include "loader/data_loader.h"
+
+#include "jpeg/codec.h"
+
+namespace pcr {
+
+DataLoader::DataLoader(RecordSource* source, LoaderOptions options)
+    : source_(source), options_(std::move(options)),
+      sampler_(source->num_records(), options_.shuffle, options_.seed),
+      rng_(options_.seed ^ 0x5bd1e995) {
+  if (options_.scan_policy == nullptr) {
+    options_.scan_policy =
+        std::make_shared<FixedScanPolicy>(source->num_scan_groups());
+  }
+}
+
+Result<LoadedBatch> DataLoader::NextBatch() {
+  const int record = sampler_.Next();
+  const int group =
+      options_.scan_policy->Select(source_->num_scan_groups(), &rng_);
+  return LoadRecord(record, group);
+}
+
+Result<LoadedBatch> DataLoader::LoadRecord(int record_index, int scan_group) {
+  PCR_ASSIGN_OR_RETURN(RecordBatch raw,
+                       source_->ReadRecord(record_index, scan_group));
+  LoadedBatch batch;
+  batch.record_index = record_index;
+  batch.scan_group = scan_group;
+  batch.labels = std::move(raw.labels);
+  batch.bytes_read = raw.bytes_read;
+  if (options_.decode) {
+    batch.images.reserve(raw.jpegs.size());
+    for (const auto& bytes : raw.jpegs) {
+      PCR_ASSIGN_OR_RETURN(Image img, jpeg::Decode(Slice(bytes)));
+      batch.images.push_back(std::move(img));
+    }
+  } else {
+    batch.jpegs = std::move(raw.jpegs);
+  }
+  ++stats_.records_loaded;
+  stats_.images_loaded += batch.size();
+  stats_.bytes_read += static_cast<int64_t>(batch.bytes_read);
+  return batch;
+}
+
+}  // namespace pcr

@@ -1,0 +1,80 @@
+// DataLoader: synchronous record-fetch + decode core. The threaded
+// PrefetchingLoader (prefetcher.h) wraps it for wall-clock pipelines; the
+// virtual-clock TrainingPipelineSim (sim/pipeline_sim.h) drives it directly
+// and overlaps load/compute analytically.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/record_source.h"
+#include "image/image.h"
+#include "loader/sampler.h"
+#include "loader/scan_policy.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace pcr {
+
+/// One loaded (and optionally decoded) record.
+struct LoadedBatch {
+  int record_index = -1;
+  int scan_group = 0;
+  std::vector<int64_t> labels;
+  std::vector<Image> images;       // Filled when options.decode.
+  std::vector<std::string> jpegs;  // Filled when !options.decode.
+  uint64_t bytes_read = 0;
+
+  int size() const { return static_cast<int>(labels.size()); }
+};
+
+struct LoaderOptions {
+  bool shuffle = true;
+  uint64_t seed = 42;
+  bool decode = true;
+  /// Default policy: full quality.
+  std::shared_ptr<ScanGroupPolicy> scan_policy;
+};
+
+/// Cumulative loader counters.
+struct LoaderStats {
+  int64_t records_loaded = 0;
+  int64_t images_loaded = 0;
+  int64_t bytes_read = 0;
+};
+
+/// Pulls shuffled records from a RecordSource at a policy-selected quality
+/// and decodes them. Not thread-safe; wrap with PrefetchingLoader for
+/// concurrent use.
+class DataLoader {
+ public:
+  DataLoader(RecordSource* source, LoaderOptions options);
+
+  /// Fetches and decodes the next record of the epoch stream.
+  Result<LoadedBatch> NextBatch();
+
+  /// Fetches a specific record at a specific quality (used by tuners to
+  /// probe scan groups).
+  Result<LoadedBatch> LoadRecord(int record_index, int scan_group);
+
+  int epoch() const { return sampler_.epoch(); }
+  size_t records_per_epoch() const { return sampler_.records_per_epoch(); }
+  const LoaderStats& stats() const { return stats_; }
+  RecordSource* source() { return source_; }
+
+  /// Swaps the quality policy at runtime (dynamic tuning, §4.5/§A.6.2).
+  void set_scan_policy(std::shared_ptr<ScanGroupPolicy> policy) {
+    options_.scan_policy = std::move(policy);
+  }
+  ScanGroupPolicy* scan_policy() { return options_.scan_policy.get(); }
+
+ private:
+  RecordSource* source_;
+  LoaderOptions options_;
+  RecordSampler sampler_;
+  Rng rng_;
+  LoaderStats stats_;
+};
+
+}  // namespace pcr

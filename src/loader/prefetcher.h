@@ -1,0 +1,60 @@
+// PrefetchingLoader: the threaded pipeline the paper's loader implements
+// ("We use 4 to 8 threads to prefetch data in the loader"): reader workers
+// pull records, decode them, and feed a bounded queue consumed by training.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/record_source.h"
+#include "loader/data_loader.h"
+#include "util/bounded_queue.h"
+
+namespace pcr {
+
+struct PrefetchOptions {
+  int num_threads = 4;
+  int queue_depth = 8;  // Records buffered ahead of the consumer.
+  LoaderOptions loader;
+};
+
+/// Wall-clock prefetching wrapper. Worker threads share a sampler (epoch
+/// stream is interleaved across workers) and push decoded batches into a
+/// bounded queue; Next() pops, blocking on a data stall.
+class PrefetchingLoader {
+ public:
+  PrefetchingLoader(RecordSource* source, PrefetchOptions options);
+  ~PrefetchingLoader();
+
+  PrefetchingLoader(const PrefetchingLoader&) = delete;
+  PrefetchingLoader& operator=(const PrefetchingLoader&) = delete;
+
+  /// Pops the next batch; blocks while the queue is empty (a data stall).
+  /// Returns an error status after Stop().
+  Result<LoadedBatch> Next();
+
+  /// Stops workers and drains the queue.
+  void Stop();
+
+  /// Total time Next() spent blocked (the data-stall time of §A.1).
+  double stall_seconds() const { return stall_seconds_.load(); }
+  int64_t batches_delivered() const { return batches_delivered_.load(); }
+
+ private:
+  void WorkerLoop(uint64_t seed);
+
+  RecordSource* source_;
+  PrefetchOptions options_;
+  BoundedQueue<LoadedBatch> queue_;
+  std::vector<std::thread> workers_;
+  // Work distribution: a shared atomic ticket over an epoch-shuffled order.
+  std::mutex sampler_mu_;
+  std::unique_ptr<RecordSampler> sampler_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<double> stall_seconds_{0.0};
+  std::atomic<int64_t> batches_delivered_{0};
+};
+
+}  // namespace pcr

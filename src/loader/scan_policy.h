@@ -1,0 +1,88 @@
+// Scan-group selection policies: fixed, mixture (§A.6.3 "Mixture Training"),
+// and schedule-driven. The loader consults the policy per record, which is
+// what makes runtime quality switching free.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace pcr {
+
+/// Chooses the scan group for each record read.
+class ScanGroupPolicy {
+ public:
+  virtual ~ScanGroupPolicy() = default;
+  /// Returns a scan group in [1, num_groups].
+  virtual int Select(int num_groups, Rng* rng) = 0;
+  /// Expected scan group fraction of full-quality bytes is policy-dependent;
+  /// expose the mean selected group for diagnostics.
+  virtual double MeanGroup(int num_groups) const = 0;
+};
+
+/// Always the same group.
+class FixedScanPolicy : public ScanGroupPolicy {
+ public:
+  explicit FixedScanPolicy(int group) : group_(group) {
+    PCR_CHECK_GE(group, 1);
+  }
+  int Select(int num_groups, Rng*) override {
+    return group_ <= num_groups ? group_ : num_groups;
+  }
+  double MeanGroup(int num_groups) const override {
+    return group_ <= num_groups ? group_ : num_groups;
+  }
+  void set_group(int group) { group_ = group; }
+  int group() const { return group_; }
+
+ private:
+  int group_;
+};
+
+/// Draws from a weight vector over groups. The paper's mixtures put weight W
+/// on the selected group and 1 on every other (W=10 -> ~50%, W=100 -> ~85%
+/// for 10 groups).
+class MixtureScanPolicy : public ScanGroupPolicy {
+ public:
+  /// `weights[g-1]` is the unnormalized probability of group g.
+  explicit MixtureScanPolicy(std::vector<double> weights)
+      : weights_(std::move(weights)) {
+    PCR_CHECK(!weights_.empty());
+  }
+
+  /// Paper-style mixture: weight `selected_weight` on `selected_group`,
+  /// weight 1 elsewhere.
+  static MixtureScanPolicy PaperMixture(int num_groups, int selected_group,
+                                        double selected_weight) {
+    std::vector<double> w(num_groups, 1.0);
+    PCR_CHECK(selected_group >= 1 && selected_group <= num_groups);
+    w[selected_group - 1] = selected_weight;
+    return MixtureScanPolicy(std::move(w));
+  }
+
+  int Select(int num_groups, Rng* rng) override {
+    std::vector<double> w(weights_.begin(),
+                          weights_.begin() +
+                              std::min<size_t>(weights_.size(), num_groups));
+    return static_cast<int>(rng->SampleDiscrete(w)) + 1;
+  }
+
+  double MeanGroup(int num_groups) const override {
+    double total = 0.0, acc = 0.0;
+    const int n = std::min<int>(static_cast<int>(weights_.size()), num_groups);
+    for (int g = 1; g <= n; ++g) {
+      total += weights_[g - 1];
+      acc += g * weights_[g - 1];
+    }
+    return total > 0 ? acc / total : 1.0;
+  }
+
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  std::vector<double> weights_;
+};
+
+}  // namespace pcr

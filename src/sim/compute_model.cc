@@ -1,0 +1,31 @@
+#include "sim/compute_model.h"
+
+namespace pcr {
+
+ComputeProfile ComputeProfile::ResNet18() {
+  ComputeProfile p;
+  p.model_name = "resnet18";
+  p.images_per_sec_per_gpu = 445.0;
+  p.num_gpus = 10;
+  p.cluster_images_per_sec = 4240.0;
+  return p;
+}
+
+ComputeProfile ComputeProfile::ShuffleNetV2() {
+  ComputeProfile p;
+  p.model_name = "shufflenetv2";
+  p.images_per_sec_per_gpu = 750.0;
+  p.num_gpus = 10;
+  p.cluster_images_per_sec = 7180.0;
+  return p;
+}
+
+ComputeProfile ComputeProfile::FastAccelerator(double multiplier) {
+  ComputeProfile p = ResNet18();
+  p.model_name = "fast_accelerator";
+  p.images_per_sec_per_gpu *= multiplier;
+  p.cluster_images_per_sec *= multiplier;
+  return p;
+}
+
+}  // namespace pcr

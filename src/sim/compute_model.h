@@ -1,0 +1,34 @@
+// Compute-unit model: parameter-update service rates measured in the paper
+// ("This GPU allows us to train (with FP32/FP16) ResNet-18 at 405/445 images
+// per second and ShuffleNetv2 at 760/750 images per second", §A.5), scaled
+// to the 10-worker cluster.
+#pragma once
+
+#include <string>
+
+namespace pcr {
+
+/// Service-rate description of one model on the evaluation hardware.
+struct ComputeProfile {
+  std::string model_name = "resnet18";
+  double images_per_sec_per_gpu = 445.0;  // Mixed precision, as in the paper.
+  int num_gpus = 10;
+  /// Cluster-wide ceiling, adjusted for the in-memory measured rates (4240
+  /// and 7180 images/s are slightly below the linear 10x scaling).
+  double cluster_images_per_sec = 4240.0;
+
+  double ClusterRate() const { return cluster_images_per_sec; }
+  /// Seconds of GPU time for n images.
+  double SecondsFor(int images) const {
+    return static_cast<double>(images) / ClusterRate();
+  }
+
+  /// The paper's two architectures on the 10x TitanX cluster.
+  static ComputeProfile ResNet18();
+  static ComputeProfile ShuffleNetV2();
+  /// A hypothetical faster accelerator (the paper: "State of the art compute
+  /// is 150x faster"); used in ablations.
+  static ComputeProfile FastAccelerator(double multiplier);
+};
+
+}  // namespace pcr

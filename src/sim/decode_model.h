@@ -1,0 +1,37 @@
+// Decode-cost model for the loader CPU side. Calibrated to the paper's
+// Appendix A.5 microbenchmark: ~225 baseline images/s/core vs ~150-165
+// progressive images/s/core (a 40-50% overhead for all 10 scans), with the
+// overhead scaling in the number of scans actually decoded.
+#pragma once
+
+namespace pcr {
+
+struct DecodeCostModel {
+  /// Seconds to decode one full-quality *baseline* image on one core
+  /// (1/225 per the paper's PIL measurement).
+  double baseline_image_sec = 1.0 / 225.0;
+  /// Relative extra cost of decoding a progressive image with all scans
+  /// (0.45 ~= the paper's 40-50%).
+  double progressive_overhead = 0.45;
+  /// Fixed per-image setup fraction of the baseline cost (header parsing,
+  /// color convert) that does not shrink with fewer scans.
+  double fixed_fraction = 0.35;
+
+  /// Seconds of one core to decode one progressive image truncated at
+  /// `scan_group` out of `num_groups`. Fewer scans decode faster, but a
+  /// fixed cost remains (IDCT + color conversion run regardless).
+  double ProgressiveImageSeconds(int scan_group, int num_groups) const {
+    const double full = baseline_image_sec * (1.0 + progressive_overhead);
+    const double variable = full * (1.0 - fixed_fraction);
+    const double fixed = full * fixed_fraction;
+    const double frac =
+        num_groups > 0
+            ? static_cast<double>(scan_group) / static_cast<double>(num_groups)
+            : 1.0;
+    return fixed + variable * frac;
+  }
+
+  double BaselineImageSeconds() const { return baseline_image_sec; }
+};
+
+}  // namespace pcr

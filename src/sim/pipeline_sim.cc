@@ -1,0 +1,137 @@
+#include "sim/pipeline_sim.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace pcr {
+
+TrainingPipelineSim::TrainingPipelineSim(RecordSource* source,
+                                         DeviceProfile storage,
+                                         ComputeProfile compute,
+                                         DecodeCostModel decode,
+                                         PipelineSimOptions options,
+                                         uint64_t seed)
+    : source_(source), storage_(std::move(storage)),
+      compute_(std::move(compute)), decode_(decode), options_(options),
+      rng_(seed) {
+  PCR_CHECK(source != nullptr);
+  order_.resize(source->num_records());
+  std::iota(order_.begin(), order_.end(), 0);
+  rng_.Shuffle(&order_);
+}
+
+int TrainingPipelineSim::RecordImages(int record) const {
+  const int n = source_->RecordImages(record);
+  return n > 0 ? n : options_.default_images_per_record;
+}
+
+double TrainingPipelineSim::RecordIoSeconds(int record, int scan_group) const {
+  const uint64_t bytes = source_->RecordReadBytes(record, scan_group);
+  // One seek (records are shuffled, so reads are never sequential with the
+  // previous record) + request overhead + sequential transfer.
+  return storage_.seek_latency_sec + storage_.per_op_latency_sec +
+         static_cast<double>(bytes) / storage_.read_bandwidth_bytes_per_sec;
+}
+
+double TrainingPipelineSim::RecordDecodeSeconds(int record,
+                                                int scan_group) const {
+  if (!options_.model_decode_cost) return 0.0;
+  const int images = RecordImages(record);
+  const int groups = source_->num_scan_groups();
+  const double per_image =
+      groups > 1 ? decode_.ProgressiveImageSeconds(scan_group, groups)
+                 : decode_.BaselineImageSeconds();
+  return images * per_image;
+}
+
+double TrainingPipelineSim::RecordServiceSeconds(int record,
+                                                 int scan_group) const {
+  // The device serializes I/O; decode spreads over loader threads. The
+  // loader stage's effective service time is whichever resource binds.
+  const double io = RecordIoSeconds(record, scan_group);
+  const double decode = RecordDecodeSeconds(record, scan_group) /
+                        std::max(1, options_.loader_threads);
+  return std::max(io, decode);
+}
+
+EpochSimResult TrainingPipelineSim::SimulateRecords(int num_records,
+                                                    ScanGroupPolicy* policy,
+                                                    bool keep_trace) {
+  PCR_CHECK(policy != nullptr);
+  EpochSimResult result;
+  const double start_time = std::max(now_, compute_busy_until_);
+  const int num_groups = source_->num_scan_groups();
+
+  // compute_start times of the last `prefetch_depth` iterations: slot for
+  // the loader frees when the consumer picks up the (i - depth)-th batch.
+  std::deque<double> recent_compute_starts;
+
+  for (int i = 0; i < num_records; ++i) {
+    if (cursor_ >= order_.size()) {
+      cursor_ = 0;
+      ++epoch_;
+      rng_.Shuffle(&order_);
+    }
+    const int record = order_[cursor_++];
+    const int group = policy->Select(num_groups, &rng_);
+
+    // Loader starts when it finished the previous record and has a free
+    // queue slot.
+    double loader_start = std::max(loader_busy_until_, now_);
+    if (static_cast<int>(recent_compute_starts.size()) >=
+        options_.prefetch_depth) {
+      loader_start = std::max(loader_start, recent_compute_starts.front());
+      recent_compute_starts.pop_front();
+    }
+    const double service = RecordServiceSeconds(record, group);
+    const double load_finish = loader_start + service;
+    loader_busy_until_ = load_finish;
+
+    const int images = RecordImages(record);
+    const double compute_ready = std::max(compute_busy_until_, start_time);
+    const double compute_start = std::max(compute_ready, load_finish);
+    const double stall = compute_start - compute_ready;
+    const double compute_finish = compute_start + compute_.SecondsFor(images);
+    compute_busy_until_ = compute_finish;
+    recent_compute_starts.push_back(compute_start);
+
+    result.stall_seconds += stall;
+    result.bytes_read += source_->RecordReadBytes(record, group);
+    result.images += images;
+    ++result.records;
+    if (keep_trace) {
+      IterationTrace t;
+      t.iteration = i;
+      t.record = record;
+      t.scan_group = group;
+      t.bytes = source_->RecordReadBytes(record, group);
+      t.load_seconds = service;
+      t.data_stall_seconds = stall;
+      t.compute_start = compute_start;
+      t.compute_finish = compute_finish;
+      result.trace.push_back(t);
+    }
+  }
+
+  result.elapsed_seconds = compute_busy_until_ - start_time;
+  result.images_per_sec =
+      result.elapsed_seconds > 0 ? result.images / result.elapsed_seconds : 0;
+  now_ = compute_busy_until_;
+  return result;
+}
+
+EpochSimResult TrainingPipelineSim::SimulateEpoch(ScanGroupPolicy* policy,
+                                                  bool keep_trace) {
+  // Align to the start of a fresh epoch so "one epoch" covers each record
+  // exactly once.
+  const int remaining = static_cast<int>(order_.size() - cursor_);
+  if (remaining != static_cast<int>(order_.size()) && remaining > 0) {
+    cursor_ = order_.size();  // Skip the tail; next call reshuffles.
+  }
+  return SimulateRecords(static_cast<int>(order_.size()), policy, keep_trace);
+}
+
+}  // namespace pcr

@@ -1,0 +1,105 @@
+// TrainingPipelineSim: the virtual-clock model of the paper's training
+// pipeline (Appendix A.1): a closed-system data loader feeding an
+// open-system compute unit through a bounded prefetch queue. Produces epoch
+// times, throughputs, and per-iteration stall traces (Figures 9, 11, 18)
+// without wall-clock cost.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/record_source.h"
+#include "loader/scan_policy.h"
+#include "sim/compute_model.h"
+#include "sim/decode_model.h"
+#include "storage/sim_device.h"
+#include "util/random.h"
+
+namespace pcr {
+
+struct PipelineSimOptions {
+  /// Records buffered between loader and compute ("the prefetching queue").
+  int prefetch_depth = 8;
+  /// Cluster-wide loader decode threads; I/O is serialized at the (shared)
+  /// storage pool, decode parallelizes across every worker's loader threads
+  /// (the paper's setup: 10 worker nodes x 16-core CPUs with 4-8 loader
+  /// threads each).
+  int loader_threads = 64;
+  /// Account progressive decode CPU cost (§A.5). When false the loader is
+  /// purely I/O.
+  bool model_decode_cost = true;
+  /// Assumed images per record when the source cannot say (safety net).
+  int default_images_per_record = 128;
+};
+
+/// One loader->compute iteration in the trace.
+struct IterationTrace {
+  int iteration = 0;
+  int record = 0;
+  int scan_group = 0;
+  uint64_t bytes = 0;
+  double load_seconds = 0;      // Loader service time for this record.
+  double data_stall_seconds = 0;  // Compute idle time before this record.
+  double compute_start = 0;     // Absolute sim time.
+  double compute_finish = 0;
+};
+
+struct EpochSimResult {
+  double elapsed_seconds = 0;
+  double stall_seconds = 0;
+  double images_per_sec = 0;
+  uint64_t bytes_read = 0;
+  int images = 0;
+  int records = 0;
+  std::vector<IterationTrace> trace;  // Filled when requested.
+};
+
+/// Simulates epochs of the two-stage pipeline. Deterministic given the seed.
+class TrainingPipelineSim {
+ public:
+  TrainingPipelineSim(RecordSource* source, DeviceProfile storage,
+                      ComputeProfile compute, DecodeCostModel decode,
+                      PipelineSimOptions options, uint64_t seed = 42);
+
+  /// Simulates one full epoch under the given quality policy.
+  EpochSimResult SimulateEpoch(ScanGroupPolicy* policy,
+                               bool keep_trace = false);
+
+  /// Simulates `num_records` iterations (partial epoch), e.g. tuning probes.
+  EpochSimResult SimulateRecords(int num_records, ScanGroupPolicy* policy,
+                                 bool keep_trace = false);
+
+  /// Cumulative simulated seconds across all Simulate* calls.
+  double now_seconds() const { return now_; }
+
+  /// Loader service time for one record at a scan group (max of I/O time
+  /// and parallelized decode time) — exposed for the roofline benches.
+  double RecordServiceSeconds(int record, int scan_group) const;
+
+  const DeviceProfile& storage() const { return storage_; }
+  const ComputeProfile& compute() const { return compute_; }
+
+ private:
+  double RecordIoSeconds(int record, int scan_group) const;
+  double RecordDecodeSeconds(int record, int scan_group) const;
+  int RecordImages(int record) const;
+
+  RecordSource* source_;
+  DeviceProfile storage_;
+  ComputeProfile compute_;
+  DecodeCostModel decode_;
+  PipelineSimOptions options_;
+  Rng rng_;
+  double now_ = 0;
+
+  // Pipeline state carried across Simulate* calls (the queue persists).
+  std::vector<double> queue_free_times_;  // When each queued slot frees.
+  double loader_busy_until_ = 0;
+  double compute_busy_until_ = 0;
+  // Epoch sampling state.
+  std::vector<int> order_;
+  size_t cursor_ = 0;
+  int epoch_ = 0;
+};
+
+}  // namespace pcr

@@ -1,0 +1,33 @@
+#include "sim/queueing.h"
+
+#include <algorithm>
+
+namespace pcr {
+
+double ExpectedRecordReadSeconds(const IoModel& io, double mean_image_bytes,
+                                 int images_per_record) {
+  return io.per_record_overhead_sec +
+         images_per_record * mean_image_bytes / io.bandwidth_bytes_per_sec;
+}
+
+double DataPipelineThroughput(const IoModel& io, double mean_image_bytes) {
+  if (mean_image_bytes <= 0.0) return 0.0;
+  return io.bandwidth_bytes_per_sec / mean_image_bytes;
+}
+
+double DataReductionSpeedup(double mean_full_bytes, double mean_group_bytes) {
+  if (mean_group_bytes <= 0.0) return 1.0;
+  return mean_full_bytes / mean_group_bytes;
+}
+
+double PipelineThroughputBound(double compute_rate, double data_rate) {
+  return std::min(compute_rate, data_rate);
+}
+
+double RooflineThroughput(const IoModel& io, double compute_rate,
+                          double mean_image_bytes) {
+  return PipelineThroughputBound(compute_rate,
+                                 DataPipelineThroughput(io, mean_image_bytes));
+}
+
+}  // namespace pcr

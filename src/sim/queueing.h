@@ -1,0 +1,38 @@
+// The queueing model of Appendix A.2, as code: expected read time
+// (Lemma A.1), Little's-law throughput (Lemma A.2), the data-reduction
+// speedup (Lemma A.3), the pipeline bound X <= min(Xc, Xg) (Lemma A.4), and
+// the data-bound speedup (Theorem A.5). Plus the roofline-style predictor of
+// Figure 14.
+#pragma once
+
+#include <cstdint>
+
+namespace pcr {
+
+/// Storage-side parameters of the model.
+struct IoModel {
+  double bandwidth_bytes_per_sec = 450.0 * (1 << 20);  // W.
+  double per_record_overhead_sec = 0.0;                // The Theta(1) term.
+};
+
+/// Lemma A.1: E[t] = n * E[s(x)] / W (+ overhead). Returns seconds per
+/// record of n images with mean image size `mean_image_bytes`.
+double ExpectedRecordReadSeconds(const IoModel& io, double mean_image_bytes,
+                                 int images_per_record);
+
+/// Lemma A.2: X = W / E[s(x, g)], images per second.
+double DataPipelineThroughput(const IoModel& io, double mean_image_bytes);
+
+/// Lemma A.3 / Theorem A.5: throughput speedup of scan group g over
+/// baseline = E[s(x)] / E[s(x, g)].
+double DataReductionSpeedup(double mean_full_bytes, double mean_group_bytes);
+
+/// Lemma A.4: X <= min(Xc, Xg).
+double PipelineThroughputBound(double compute_rate, double data_rate);
+
+/// Figure 14's roofline: achieved images/sec as a function of mean bytes per
+/// image ("byte intensity"), given compute ceiling Xc.
+double RooflineThroughput(const IoModel& io, double compute_rate,
+                          double mean_image_bytes);
+
+}  // namespace pcr

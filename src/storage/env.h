@@ -1,0 +1,75 @@
+// Env: filesystem abstraction (RocksDB idiom). The PCR encoder, decoder,
+// loader, and KV store perform all I/O through an Env, so the same code runs
+// against the real filesystem (PosixEnv) and against a virtual-clock
+// simulated device (SimEnv) used to reproduce the paper's bandwidth-bound
+// cluster experiments.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/result.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace pcr {
+
+/// Random-access read-only file handle.
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  /// Reads up to `n` bytes at `offset` into `scratch` and points `*out` at
+  /// the bytes read (which may be fewer than n at EOF).
+  virtual Status Read(uint64_t offset, size_t n, char* scratch,
+                      Slice* out) const = 0;
+
+  virtual Result<uint64_t> Size() const = 0;
+};
+
+/// Append-only writable file handle.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(Slice data) = 0;
+  virtual Status Flush() = 0;
+  virtual Status Close() = 0;
+  /// Bytes appended so far.
+  virtual uint64_t BytesWritten() const = 0;
+};
+
+/// Filesystem + clock environment.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  virtual Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) = 0;
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Result<uint64_t> GetFileSize(const std::string& path) = 0;
+  virtual Status DeleteFile(const std::string& path) = 0;
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+  /// Creates a directory (and parents). OK if it already exists.
+  virtual Status CreateDir(const std::string& path) = 0;
+  /// Lists immediate children (names, not full paths), sorted.
+  virtual Result<std::vector<std::string>> ListDir(const std::string& path) = 0;
+
+  /// The time source all simulated I/O charges against.
+  virtual Clock* clock() = 0;
+
+  /// Convenience: whole-file read/write.
+  Status ReadFileToString(const std::string& path, std::string* out);
+  Status WriteStringToFile(const std::string& path, Slice data);
+
+  /// Process-wide PosixEnv singleton.
+  static Env* Default();
+};
+
+}  // namespace pcr

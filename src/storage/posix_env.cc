@@ -1,0 +1,187 @@
+// PosixEnv: Env backed by the host filesystem via stdio.
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "storage/env.h"
+#include "util/logging.h"
+
+namespace pcr {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+Status ErrnoStatus(const std::string& context) {
+  return Status::IOError(context + ": " + strerror(errno));
+}
+
+class PosixRandomAccessFile : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(std::string path, FILE* f)
+      : path_(std::move(path)), file_(f) {}
+  ~PosixRandomAccessFile() override {
+    if (file_ != nullptr) fclose(file_);
+  }
+
+  Status Read(uint64_t offset, size_t n, char* scratch,
+              Slice* out) const override {
+    if (fseeko(file_, static_cast<off_t>(offset), SEEK_SET) != 0) {
+      return ErrnoStatus("seek " + path_);
+    }
+    const size_t read = fread(scratch, 1, n, file_);
+    if (read < n && ferror(file_)) {
+      clearerr(file_);
+      return ErrnoStatus("read " + path_);
+    }
+    *out = Slice(scratch, read);
+    return Status::OK();
+  }
+
+  Result<uint64_t> Size() const override {
+    struct stat st;
+    if (stat(path_.c_str(), &st) != 0) return ErrnoStatus("stat " + path_);
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+ private:
+  std::string path_;
+  FILE* file_;
+};
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(std::string path, FILE* f)
+      : path_(std::move(path)), file_(f) {}
+  ~PosixWritableFile() override {
+    if (file_ != nullptr) fclose(file_);
+  }
+
+  Status Append(Slice data) override {
+    if (file_ == nullptr) return Status::IOError("append to closed file");
+    if (fwrite(data.data(), 1, data.size(), file_) != data.size()) {
+      return ErrnoStatus("write " + path_);
+    }
+    written_ += data.size();
+    return Status::OK();
+  }
+
+  Status Flush() override {
+    if (file_ != nullptr && fflush(file_) != 0) {
+      return ErrnoStatus("flush " + path_);
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (file_ == nullptr) return Status::OK();
+    FILE* f = file_;
+    file_ = nullptr;
+    if (fclose(f) != 0) return ErrnoStatus("close " + path_);
+    return Status::OK();
+  }
+
+  uint64_t BytesWritten() const override { return written_; }
+
+ private:
+  std::string path_;
+  FILE* file_;
+  uint64_t written_ = 0;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override {
+    FILE* f = fopen(path.c_str(), "rb");
+    if (f == nullptr) return ErrnoStatus("open " + path);
+    return std::unique_ptr<RandomAccessFile>(
+        new PosixRandomAccessFile(path, f));
+  }
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    FILE* f = fopen(path.c_str(), "wb");
+    if (f == nullptr) return ErrnoStatus("create " + path);
+    return std::unique_ptr<WritableFile>(new PosixWritableFile(path, f));
+  }
+
+  bool FileExists(const std::string& path) override {
+    struct stat st;
+    return stat(path.c_str(), &st) == 0;
+  }
+
+  Result<uint64_t> GetFileSize(const std::string& path) override {
+    struct stat st;
+    if (stat(path.c_str(), &st) != 0) return ErrnoStatus("stat " + path);
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    if (remove(path.c_str()) != 0) return ErrnoStatus("delete " + path);
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename " + from + " -> " + to);
+    }
+    return Status::OK();
+  }
+
+  Status CreateDir(const std::string& path) override {
+    std::error_code ec;
+    fs::create_directories(path, ec);
+    if (ec) return Status::IOError("mkdir " + path + ": " + ec.message());
+    return Status::OK();
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& path) override {
+    std::error_code ec;
+    std::vector<std::string> names;
+    for (auto it = fs::directory_iterator(path, ec);
+         !ec && it != fs::directory_iterator(); it.increment(ec)) {
+      names.push_back(it->path().filename().string());
+    }
+    if (ec) return Status::IOError("listdir " + path + ": " + ec.message());
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  Clock* clock() override { return RealClock::Get(); }
+};
+
+}  // namespace
+
+Status Env::ReadFileToString(const std::string& path, std::string* out) {
+  PCR_ASSIGN_OR_RETURN(auto file, NewRandomAccessFile(path));
+  PCR_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  out->resize(size);
+  Slice result;
+  PCR_RETURN_IF_ERROR(file->Read(0, size, out->data(), &result));
+  if (result.size() != size) {
+    return Status::IOError("short read of " + path);
+  }
+  // Read may have pointed result at internal storage; copy if needed.
+  if (result.data() != out->data()) {
+    out->assign(result.data(), result.size());
+  }
+  return Status::OK();
+}
+
+Status Env::WriteStringToFile(const std::string& path, Slice data) {
+  PCR_ASSIGN_OR_RETURN(auto file, NewWritableFile(path));
+  PCR_RETURN_IF_ERROR(file->Append(data));
+  return file->Close();
+}
+
+Env* Env::Default() {
+  static PosixEnv env;
+  return &env;
+}
+
+}  // namespace pcr

@@ -1,0 +1,76 @@
+#include "storage/sim_device.h"
+
+namespace pcr {
+
+DeviceProfile DeviceProfile::Hdd7200() {
+  DeviceProfile p;
+  p.name = "hdd7200";
+  p.read_bandwidth_bytes_per_sec = 180.0 * (1 << 20);
+  p.write_bandwidth_bytes_per_sec = 160.0 * (1 << 20);
+  p.seek_latency_sec = 8.5e-3;
+  p.per_op_latency_sec = 50e-6;
+  return p;
+}
+
+DeviceProfile DeviceProfile::SataSsd() {
+  DeviceProfile p;
+  p.name = "sata_ssd";
+  p.read_bandwidth_bytes_per_sec = 400.0 * (1 << 20);
+  p.write_bandwidth_bytes_per_sec = 350.0 * (1 << 20);
+  p.seek_latency_sec = 60e-6;
+  p.per_op_latency_sec = 20e-6;
+  return p;
+}
+
+DeviceProfile DeviceProfile::CephCluster() {
+  DeviceProfile p;
+  p.name = "ceph_cluster";
+  p.read_bandwidth_bytes_per_sec = 450.0 * (1 << 20);
+  p.write_bandwidth_bytes_per_sec = 400.0 * (1 << 20);
+  p.seek_latency_sec = 5e-3;   // OSD-side HDD seek, amortized over stripes.
+  p.per_op_latency_sec = 250e-6;  // Network round trip.
+  return p;
+}
+
+DeviceProfile DeviceProfile::Ram() {
+  DeviceProfile p;
+  p.name = "ram";
+  p.read_bandwidth_bytes_per_sec = 20.0 * (1ULL << 30);
+  p.write_bandwidth_bytes_per_sec = 20.0 * (1ULL << 30);
+  p.seek_latency_sec = 0.0;
+  p.per_op_latency_sec = 0.0;
+  return p;
+}
+
+double SimDevice::ChargeRead(uint64_t stream_id, uint64_t offset,
+                             uint64_t bytes) {
+  double cost = profile_.per_op_latency_sec;
+  const bool sequential =
+      stream_id == last_stream_ && offset == next_sequential_offset_;
+  if (!sequential) {
+    cost += profile_.seek_latency_sec;
+    ++stats_.seeks;
+  }
+  cost += static_cast<double>(bytes) / profile_.read_bandwidth_bytes_per_sec;
+  last_stream_ = stream_id;
+  next_sequential_offset_ = offset + bytes;
+
+  ++stats_.read_ops;
+  stats_.bytes_read += static_cast<int64_t>(bytes);
+  stats_.busy_seconds += cost;
+  clock_->SleepNanos(SecondsToNanos(cost));
+  return cost;
+}
+
+double SimDevice::ChargeWrite(uint64_t bytes) {
+  const double cost =
+      profile_.per_op_latency_sec +
+      static_cast<double>(bytes) / profile_.write_bandwidth_bytes_per_sec;
+  ++stats_.write_ops;
+  stats_.bytes_written += static_cast<int64_t>(bytes);
+  stats_.busy_seconds += cost;
+  clock_->SleepNanos(SecondsToNanos(cost));
+  return cost;
+}
+
+}  // namespace pcr

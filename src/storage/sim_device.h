@@ -1,0 +1,79 @@
+// SimDevice: a virtual-clock storage device model with bandwidth, seek
+// latency, and IOPS limits. Used by SimEnv to reproduce the paper's
+// bandwidth-bound behaviour (Appendix A.2): the time to read s bytes is
+//   t = seek (if not sequential) + s / bandwidth,
+// which is exactly the cost model of Lemma A.1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/clock.h"
+#include "util/logging.h"
+
+namespace pcr {
+
+/// Static description of a device. Presets mirror the paper's hardware.
+struct DeviceProfile {
+  std::string name = "device";
+  double read_bandwidth_bytes_per_sec = 400.0 * (1 << 20);
+  double write_bandwidth_bytes_per_sec = 400.0 * (1 << 20);
+  /// Charged whenever an access is not sequential with the previous one.
+  double seek_latency_sec = 0.0;
+  /// Charged on every operation (request setup, network round trip, ...).
+  double per_op_latency_sec = 0.0;
+
+  /// 7200RPM HDD (the paper's Seagate ST4000NM0023): ~180 MiB/s sequential,
+  /// ~8.5 ms average seek.
+  static DeviceProfile Hdd7200();
+  /// SATA SSD, ~400 MiB/s as in the paper's reader microbenchmark (§A.5).
+  static DeviceProfile SataSsd();
+  /// Aggregate bandwidth of the paper's 5-OSD Ceph pool over 40GbE:
+  /// "400+ MiB/s of storage bandwidth", with a network round-trip per op.
+  static DeviceProfile CephCluster();
+  /// Local RAM (effectively infinite bandwidth; used as the compute-bound
+  /// reference point "from RAM" in Figure 9).
+  static DeviceProfile Ram();
+};
+
+/// Accounting counters for a device.
+struct DeviceStats {
+  int64_t read_ops = 0;
+  int64_t write_ops = 0;
+  int64_t seeks = 0;
+  int64_t bytes_read = 0;
+  int64_t bytes_written = 0;
+  double busy_seconds = 0.0;
+};
+
+/// Charges I/O time against a clock. Thread-compatible: the simulator drives
+/// it from one thread (or externally synchronized).
+class SimDevice {
+ public:
+  SimDevice(DeviceProfile profile, Clock* clock)
+      : profile_(std::move(profile)), clock_(clock) {
+    PCR_CHECK(clock != nullptr);
+  }
+
+  /// Charges the cost of reading `bytes` at `offset` of stream `stream_id`
+  /// (e.g. a file id). Sequential continuation skips the seek. Returns the
+  /// charged seconds.
+  double ChargeRead(uint64_t stream_id, uint64_t offset, uint64_t bytes);
+
+  /// Charges an append of `bytes` (always sequential).
+  double ChargeWrite(uint64_t bytes);
+
+  const DeviceProfile& profile() const { return profile_; }
+  const DeviceStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = DeviceStats{}; }
+  Clock* clock() const { return clock_; }
+
+ private:
+  DeviceProfile profile_;
+  Clock* clock_;
+  DeviceStats stats_;
+  uint64_t last_stream_ = ~0ULL;
+  uint64_t next_sequential_offset_ = 0;
+};
+
+}  // namespace pcr

@@ -1,0 +1,178 @@
+#include "storage/sim_env.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace pcr {
+
+class SimRandomAccessFile : public RandomAccessFile {
+ public:
+  SimRandomAccessFile(std::shared_ptr<std::string> data, uint64_t stream_id,
+                      SimDevice* device)
+      : data_(std::move(data)), stream_id_(stream_id), device_(device) {}
+
+  Status Read(uint64_t offset, size_t n, char* scratch,
+              Slice* out) const override {
+    if (offset >= data_->size()) {
+      *out = Slice();
+      device_->ChargeRead(stream_id_, offset, 0);
+      return Status::OK();
+    }
+    const size_t avail =
+        std::min<uint64_t>(n, data_->size() - offset);
+    memcpy(scratch, data_->data() + offset, avail);
+    *out = Slice(scratch, avail);
+    device_->ChargeRead(stream_id_, offset, avail);
+    return Status::OK();
+  }
+
+  Result<uint64_t> Size() const override { return data_->size(); }
+
+ private:
+  std::shared_ptr<std::string> data_;
+  uint64_t stream_id_;
+  SimDevice* device_;
+};
+
+class SimWritableFile : public WritableFile {
+ public:
+  SimWritableFile(std::shared_ptr<std::string> data, SimDevice* device)
+      : data_(std::move(data)), device_(device) {}
+
+  Status Append(Slice s) override {
+    data_->append(s.data(), s.size());
+    device_->ChargeWrite(s.size());
+    written_ += s.size();
+    return Status::OK();
+  }
+  Status Flush() override { return Status::OK(); }
+  Status Close() override { return Status::OK(); }
+  uint64_t BytesWritten() const override { return written_; }
+
+ private:
+  std::shared_ptr<std::string> data_;
+  SimDevice* device_;
+  uint64_t written_ = 0;
+};
+
+SimEnv::SimEnv(DeviceProfile profile, Clock* clock)
+    : device_(std::move(profile), clock) {
+  dirs_[""] = true;
+}
+
+Result<std::unique_ptr<RandomAccessFile>> SimEnv::NewRandomAccessFile(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  return std::unique_ptr<RandomAccessFile>(new SimRandomAccessFile(
+      it->second.data, it->second.stream_id, &device_));
+}
+
+Result<std::unique_ptr<WritableFile>> SimEnv::NewWritableFile(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FileNode node;
+  node.data = std::make_shared<std::string>();
+  node.stream_id = next_stream_id_++;
+  files_[path] = node;
+  return std::unique_ptr<WritableFile>(
+      new SimWritableFile(node.data, &device_));
+}
+
+bool SimEnv::FileExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) > 0 || dirs_.count(path) > 0;
+}
+
+Result<uint64_t> SimEnv::GetFileSize(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  return it->second.data->size();
+}
+
+Status SimEnv::DeleteFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (files_.erase(path) == 0) {
+    return Status::NotFound("no such file: " + path);
+  }
+  return Status::OK();
+}
+
+Status SimEnv::RenameFile(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(from);
+  if (it == files_.end()) return Status::NotFound("no such file: " + from);
+  files_[to] = it->second;
+  files_.erase(it);
+  return Status::OK();
+}
+
+Status SimEnv::CreateDir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string cur;
+  for (const char c : path) {
+    if (c == '/') {
+      if (!cur.empty()) dirs_[cur] = true;
+    }
+    cur += c;
+  }
+  dirs_[path] = true;
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> SimEnv::ListDir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string prefix = path.empty() ? "" : path + "/";
+  std::vector<std::string> names;
+  auto add_child = [&](const std::string& full) {
+    if (full.size() <= prefix.size() || full.compare(0, prefix.size(), prefix) != 0) {
+      return;
+    }
+    std::string rest = full.substr(prefix.size());
+    const size_t slash = rest.find('/');
+    if (slash != std::string::npos) rest = rest.substr(0, slash);
+    if (!rest.empty() &&
+        std::find(names.begin(), names.end(), rest) == names.end()) {
+      names.push_back(rest);
+    }
+  };
+  for (const auto& [name, node] : files_) add_child(name);
+  for (const auto& [name, is_dir] : dirs_) add_child(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status SimEnv::ImportTree(Env* src, const std::string& src_dir,
+                          const std::string& dst_dir) {
+  PCR_ASSIGN_OR_RETURN(auto children, src->ListDir(src_dir));
+  PCR_RETURN_IF_ERROR(CreateDir(dst_dir));
+  for (const auto& child : children) {
+    const std::string src_path = src_dir + "/" + child;
+    const std::string dst_path = dst_dir + "/" + child;
+    if (src->GetFileSize(src_path).ok()) {
+      std::string data;
+      PCR_RETURN_IF_ERROR(src->ReadFileToString(src_path, &data));
+      // Import without charging simulated write time: staging the dataset is
+      // not part of the measured experiment.
+      std::lock_guard<std::mutex> lock(mu_);
+      FileNode node;
+      node.data = std::make_shared<std::string>(std::move(data));
+      node.stream_id = next_stream_id_++;
+      files_[dst_path] = node;
+    } else {
+      PCR_RETURN_IF_ERROR(ImportTree(src, src_path, dst_path));
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t SimEnv::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [name, node] : files_) total += node.data->size();
+  return total;
+}
+
+}  // namespace pcr

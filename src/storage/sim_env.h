@@ -1,0 +1,65 @@
+// SimEnv: an in-memory filesystem whose reads and writes charge a SimDevice
+// against a (usually virtual) clock. Running the PCR loader on a SimEnv with
+// the CephCluster profile reproduces the paper's storage-bound training
+// cluster at simulation speed.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "storage/env.h"
+#include "storage/sim_device.h"
+
+namespace pcr {
+
+/// In-memory Env with simulated I/O cost. Single device shared by all files
+/// (like one disk / one storage pool). Thread-safe for metadata; time
+/// accounting assumes externally-ordered access, which holds for the
+/// single-threaded simulation driver.
+class SimEnv : public Env {
+ public:
+  /// Does not take ownership of `clock`.
+  SimEnv(DeviceProfile profile, Clock* clock);
+  ~SimEnv() override = default;
+
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override;
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Result<uint64_t> GetFileSize(const std::string& path) override;
+  Status DeleteFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status CreateDir(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& path) override;
+  Clock* clock() override { return device_.clock(); }
+
+  SimDevice* device() { return &device_; }
+
+  /// Copies a file tree from another Env into this one (e.g. stage a dataset
+  /// built on PosixEnv into the simulated cluster). `src_dir` is recursed.
+  Status ImportTree(Env* src, const std::string& src_dir,
+                    const std::string& dst_dir);
+
+  /// Total bytes held by all files.
+  uint64_t TotalBytes() const;
+
+ private:
+  friend class SimRandomAccessFile;
+  friend class SimWritableFile;
+
+  struct FileNode {
+    std::shared_ptr<std::string> data;
+    uint64_t stream_id;
+  };
+
+  mutable std::mutex mu_;
+  SimDevice device_;
+  std::map<std::string, FileNode> files_;
+  std::map<std::string, bool> dirs_;
+  uint64_t next_stream_id_ = 1;
+};
+
+}  // namespace pcr

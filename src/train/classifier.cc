@@ -1,0 +1,284 @@
+#include "train/classifier.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pcr {
+
+namespace {
+
+// Softmax cross-entropy from logits; returns loss and fills probabilities.
+double SoftmaxLoss(const std::vector<double>& logits, int label,
+                   std::vector<double>* probs) {
+  const double max_logit = *std::max_element(logits.begin(), logits.end());
+  double sum = 0.0;
+  probs->resize(logits.size());
+  for (size_t c = 0; c < logits.size(); ++c) {
+    (*probs)[c] = std::exp(logits[c] - max_logit);
+    sum += (*probs)[c];
+  }
+  for (double& p : *probs) p /= sum;
+  const double p_true = std::max((*probs)[label], 1e-12);
+  return -std::log(p_true);
+}
+
+void SgdStep(std::vector<float>* params, std::vector<float>* velocity,
+             std::vector<float>* grad, double lr, double momentum,
+             double weight_decay, int count) {
+  const float scale = 1.0f / std::max(1, count);
+  for (size_t i = 0; i < params->size(); ++i) {
+    const float g =
+        (*grad)[i] * scale + static_cast<float>(weight_decay) * (*params)[i];
+    (*velocity)[i] =
+        static_cast<float>(momentum) * (*velocity)[i] + g;
+    (*params)[i] -= static_cast<float>(lr) * (*velocity)[i];
+    (*grad)[i] = 0.0f;
+  }
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- Softmax
+
+SoftmaxClassifier::SoftmaxClassifier(int dim, int num_classes, uint64_t seed)
+    : dim_(dim), classes_(num_classes) {
+  PCR_CHECK_GT(dim, 0);
+  PCR_CHECK_GT(num_classes, 1);
+  Rng rng(seed);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(dim));
+  w_.resize(static_cast<size_t>(classes_) * dim_);
+  for (auto& v : w_) v = static_cast<float>(rng.NextGaussian() * scale * 0.1);
+  b_.assign(classes_, 0.0f);
+  gw_.assign(w_.size(), 0.0f);
+  gb_.assign(b_.size(), 0.0f);
+  vw_.assign(w_.size(), 0.0f);
+  vb_.assign(b_.size(), 0.0f);
+}
+
+void SoftmaxClassifier::Logits(const float* x,
+                               std::vector<double>* logits) const {
+  logits->assign(classes_, 0.0);
+  for (int c = 0; c < classes_; ++c) {
+    const float* wc = w_.data() + static_cast<size_t>(c) * dim_;
+    double acc = b_[c];
+    for (int i = 0; i < dim_; ++i) acc += wc[i] * x[i];
+    (*logits)[c] = acc;
+  }
+}
+
+double SoftmaxClassifier::AccumulateExample(const float* x, int label) {
+  std::vector<double> logits, probs;
+  Logits(x, &logits);
+  const double loss = SoftmaxLoss(logits, label, &probs);
+  for (int c = 0; c < classes_; ++c) {
+    const float err =
+        static_cast<float>(probs[c] - (c == label ? 1.0 : 0.0));
+    float* gwc = gw_.data() + static_cast<size_t>(c) * dim_;
+    for (int i = 0; i < dim_; ++i) gwc[i] += err * x[i];
+    gb_[c] += err;
+  }
+  return loss;
+}
+
+void SoftmaxClassifier::ApplyUpdate(double lr, int count) {
+  SgdStep(&w_, &vw_, &gw_, lr, sgd_.momentum, sgd_.weight_decay, count);
+  SgdStep(&b_, &vb_, &gb_, lr, sgd_.momentum, 0.0, count);
+}
+
+int SoftmaxClassifier::Predict(const float* x) const {
+  std::vector<double> logits;
+  Logits(x, &logits);
+  return static_cast<int>(
+      std::max_element(logits.begin(), logits.end()) - logits.begin());
+}
+
+double SoftmaxClassifier::ExampleLoss(const float* x, int label) const {
+  std::vector<double> logits, probs;
+  Logits(x, &logits);
+  return SoftmaxLoss(logits, label, &probs);
+}
+
+std::vector<float> SoftmaxClassifier::FullGradient(const float* features,
+                                                   const int64_t* labels,
+                                                   int n) const {
+  std::vector<float> grad(w_.size() + b_.size(), 0.0f);
+  std::vector<double> logits, probs;
+  for (int e = 0; e < n; ++e) {
+    const float* x = features + static_cast<size_t>(e) * dim_;
+    Logits(x, &logits);
+    SoftmaxLoss(logits, static_cast<int>(labels[e]), &probs);
+    for (int c = 0; c < classes_; ++c) {
+      const float err = static_cast<float>(
+          probs[c] - (c == static_cast<int>(labels[e]) ? 1.0 : 0.0));
+      float* gwc = grad.data() + static_cast<size_t>(c) * dim_;
+      for (int i = 0; i < dim_; ++i) gwc[i] += err * x[i];
+      grad[w_.size() + c] += err;
+    }
+  }
+  const float scale = 1.0f / std::max(1, n);
+  for (auto& g : grad) g *= scale;
+  return grad;
+}
+
+std::vector<float> SoftmaxClassifier::SaveParams() const {
+  std::vector<float> out = w_;
+  out.insert(out.end(), b_.begin(), b_.end());
+  out.insert(out.end(), vw_.begin(), vw_.end());
+  out.insert(out.end(), vb_.begin(), vb_.end());
+  return out;
+}
+
+void SoftmaxClassifier::RestoreParams(const std::vector<float>& params) {
+  PCR_CHECK_EQ(params.size(), 2 * (w_.size() + b_.size()));
+  size_t off = 0;
+  std::copy(params.begin() + off, params.begin() + off + w_.size(), w_.begin());
+  off += w_.size();
+  std::copy(params.begin() + off, params.begin() + off + b_.size(), b_.begin());
+  off += b_.size();
+  std::copy(params.begin() + off, params.begin() + off + vw_.size(),
+            vw_.begin());
+  off += vw_.size();
+  std::copy(params.begin() + off, params.begin() + off + vb_.size(),
+            vb_.begin());
+}
+
+// ----------------------------------------------------------------- MLP
+
+MlpClassifier::MlpClassifier(int dim, int hidden, int num_classes,
+                             uint64_t seed)
+    : dim_(dim), hidden_(hidden), classes_(num_classes) {
+  PCR_CHECK_GT(hidden, 0);
+  Rng rng(seed);
+  auto init = [&](std::vector<float>* v, size_t n, double fan_in) {
+    v->resize(n);
+    const double scale = std::sqrt(2.0 / fan_in);
+    for (auto& x : *v) x = static_cast<float>(rng.NextGaussian() * scale);
+  };
+  init(&w1_, static_cast<size_t>(hidden_) * dim_, dim_);
+  b1_.assign(hidden_, 0.0f);
+  init(&w2_, static_cast<size_t>(classes_) * hidden_, hidden_);
+  b2_.assign(classes_, 0.0f);
+  gw1_.assign(w1_.size(), 0.0f);
+  gb1_.assign(b1_.size(), 0.0f);
+  gw2_.assign(w2_.size(), 0.0f);
+  gb2_.assign(b2_.size(), 0.0f);
+  vw1_.assign(w1_.size(), 0.0f);
+  vb1_.assign(b1_.size(), 0.0f);
+  vw2_.assign(w2_.size(), 0.0f);
+  vb2_.assign(b2_.size(), 0.0f);
+}
+
+double MlpClassifier::Forward(const float* x, int label,
+                              std::vector<double>* hidden,
+                              std::vector<double>* probs) const {
+  hidden->assign(hidden_, 0.0);
+  for (int h = 0; h < hidden_; ++h) {
+    const float* w = w1_.data() + static_cast<size_t>(h) * dim_;
+    double acc = b1_[h];
+    for (int i = 0; i < dim_; ++i) acc += w[i] * x[i];
+    (*hidden)[h] = acc > 0.0 ? acc : 0.0;  // ReLU.
+  }
+  std::vector<double> logits(classes_, 0.0);
+  for (int c = 0; c < classes_; ++c) {
+    const float* w = w2_.data() + static_cast<size_t>(c) * hidden_;
+    double acc = b2_[c];
+    for (int h = 0; h < hidden_; ++h) acc += w[h] * (*hidden)[h];
+    logits[c] = acc;
+  }
+  return SoftmaxLoss(logits, label, probs);
+}
+
+void MlpClassifier::Backward(const float* x, int label,
+                             const std::vector<double>& hidden,
+                             const std::vector<double>& probs, float* gw1,
+                             float* gb1, float* gw2, float* gb2) const {
+  std::vector<double> dhidden(hidden_, 0.0);
+  for (int c = 0; c < classes_; ++c) {
+    const double err = probs[c] - (c == label ? 1.0 : 0.0);
+    float* g = gw2 + static_cast<size_t>(c) * hidden_;
+    const float* w = w2_.data() + static_cast<size_t>(c) * hidden_;
+    for (int h = 0; h < hidden_; ++h) {
+      g[h] += static_cast<float>(err * hidden[h]);
+      dhidden[h] += err * w[h];
+    }
+    gb2[c] += static_cast<float>(err);
+  }
+  for (int h = 0; h < hidden_; ++h) {
+    if (hidden[h] <= 0.0) continue;  // ReLU gate.
+    float* g = gw1 + static_cast<size_t>(h) * dim_;
+    const float dh = static_cast<float>(dhidden[h]);
+    for (int i = 0; i < dim_; ++i) g[i] += dh * x[i];
+    gb1[h] += dh;
+  }
+}
+
+double MlpClassifier::AccumulateExample(const float* x, int label) {
+  std::vector<double> hidden, probs;
+  const double loss = Forward(x, label, &hidden, &probs);
+  Backward(x, label, hidden, probs, gw1_.data(), gb1_.data(), gw2_.data(),
+           gb2_.data());
+  return loss;
+}
+
+void MlpClassifier::ApplyUpdate(double lr, int count) {
+  SgdStep(&w1_, &vw1_, &gw1_, lr, sgd_.momentum, sgd_.weight_decay, count);
+  SgdStep(&b1_, &vb1_, &gb1_, lr, sgd_.momentum, 0.0, count);
+  SgdStep(&w2_, &vw2_, &gw2_, lr, sgd_.momentum, sgd_.weight_decay, count);
+  SgdStep(&b2_, &vb2_, &gb2_, lr, sgd_.momentum, 0.0, count);
+}
+
+int MlpClassifier::Predict(const float* x) const {
+  std::vector<double> hidden, probs;
+  Forward(x, 0, &hidden, &probs);
+  return static_cast<int>(
+      std::max_element(probs.begin(), probs.end()) - probs.begin());
+}
+
+double MlpClassifier::ExampleLoss(const float* x, int label) const {
+  std::vector<double> hidden, probs;
+  return Forward(x, label, &hidden, &probs);
+}
+
+std::vector<float> MlpClassifier::FullGradient(const float* features,
+                                               const int64_t* labels,
+                                               int n) const {
+  std::vector<float> grad(w1_.size() + b1_.size() + w2_.size() + b2_.size(),
+                          0.0f);
+  float* gw1 = grad.data();
+  float* gb1 = gw1 + w1_.size();
+  float* gw2 = gb1 + b1_.size();
+  float* gb2 = gw2 + w2_.size();
+  std::vector<double> hidden, probs;
+  for (int e = 0; e < n; ++e) {
+    const float* x = features + static_cast<size_t>(e) * dim_;
+    Forward(x, static_cast<int>(labels[e]), &hidden, &probs);
+    Backward(x, static_cast<int>(labels[e]), hidden, probs, gw1, gb1, gw2,
+             gb2);
+  }
+  const float scale = 1.0f / std::max(1, n);
+  for (auto& g : grad) g *= scale;
+  return grad;
+}
+
+std::vector<float> MlpClassifier::SaveParams() const {
+  std::vector<float> out;
+  for (const auto* v : {&w1_, &b1_, &w2_, &b2_, &vw1_, &vb1_, &vw2_, &vb2_}) {
+    out.insert(out.end(), v->begin(), v->end());
+  }
+  return out;
+}
+
+void MlpClassifier::RestoreParams(const std::vector<float>& params) {
+  size_t off = 0;
+  for (auto* v : {&w1_, &b1_, &w2_, &b2_, &vw1_, &vb1_, &vw2_, &vb2_}) {
+    PCR_CHECK_LE(off + v->size(), params.size());
+    std::copy(params.begin() + off, params.begin() + off + v->size(),
+              v->begin());
+    off += v->size();
+  }
+  PCR_CHECK_EQ(off, params.size());
+}
+
+}  // namespace pcr

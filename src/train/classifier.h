@@ -1,0 +1,121 @@
+// Trainable classifiers: multinomial logistic regression (softmax) and a
+// one-hidden-layer MLP, trained with minibatch SGD + momentum + weight
+// decay. These are the proxy models standing in for ResNet-18/ShuffleNetv2
+// (see DESIGN.md: statistical-efficiency effects come from real SGD on real
+// decoded pixels; throughput effects come from the pipeline simulator).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/random.h"
+
+namespace pcr {
+
+/// SGD hyperparameters (the paper's ImageNet recipe scaled down).
+struct SgdOptions {
+  double lr = 0.1;
+  double momentum = 0.9;
+  double weight_decay = 1e-4;
+  int batch_size = 128;
+};
+
+/// Interface shared by the proxy models.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  virtual int dim() const = 0;
+  virtual int num_classes() const = 0;
+
+  /// Accumulates gradients for one example into internal minibatch buffers;
+  /// returns the example's cross-entropy loss.
+  virtual double AccumulateExample(const float* x, int label) = 0;
+
+  /// Applies the buffered minibatch gradient (averaged over `count`
+  /// examples) with the given learning rate; clears buffers.
+  virtual void ApplyUpdate(double lr, int count) = 0;
+
+  virtual int Predict(const float* x) const = 0;
+  virtual double ExampleLoss(const float* x, int label) const = 0;
+
+  /// Flattened parameter gradient of the mean loss over a dataset slice
+  /// (no update applied). Used for gradient-cosine tuning (§A.6.2).
+  virtual std::vector<float> FullGradient(
+      const float* features, const int64_t* labels, int n) const = 0;
+
+  /// Parameter snapshot / rollback (checkpointing for the §4.5 tuner).
+  virtual std::vector<float> SaveParams() const = 0;
+  virtual void RestoreParams(const std::vector<float>& params) = 0;
+
+  SgdOptions& sgd() { return sgd_; }
+  const SgdOptions& sgd() const { return sgd_; }
+
+ protected:
+  SgdOptions sgd_;
+};
+
+/// Linear softmax classifier.
+class SoftmaxClassifier : public Classifier {
+ public:
+  SoftmaxClassifier(int dim, int num_classes, uint64_t seed);
+
+  int dim() const override { return dim_; }
+  int num_classes() const override { return classes_; }
+  double AccumulateExample(const float* x, int label) override;
+  void ApplyUpdate(double lr, int count) override;
+  int Predict(const float* x) const override;
+  double ExampleLoss(const float* x, int label) const override;
+  std::vector<float> FullGradient(const float* features,
+                                  const int64_t* labels, int n) const override;
+  std::vector<float> SaveParams() const override;
+  void RestoreParams(const std::vector<float>& params) override;
+
+ private:
+  void Logits(const float* x, std::vector<double>* logits) const;
+
+  int dim_;
+  int classes_;
+  std::vector<float> w_;      // classes x dim.
+  std::vector<float> b_;      // classes.
+  std::vector<float> gw_;     // Minibatch gradient buffers.
+  std::vector<float> gb_;
+  std::vector<float> vw_;     // Momentum.
+  std::vector<float> vb_;
+};
+
+/// One-hidden-layer ReLU MLP.
+class MlpClassifier : public Classifier {
+ public:
+  MlpClassifier(int dim, int hidden, int num_classes, uint64_t seed);
+
+  int dim() const override { return dim_; }
+  int num_classes() const override { return classes_; }
+  double AccumulateExample(const float* x, int label) override;
+  void ApplyUpdate(double lr, int count) override;
+  int Predict(const float* x) const override;
+  double ExampleLoss(const float* x, int label) const override;
+  std::vector<float> FullGradient(const float* features,
+                                  const int64_t* labels, int n) const override;
+  std::vector<float> SaveParams() const override;
+  void RestoreParams(const std::vector<float>& params) override;
+
+ private:
+  // Forward pass helper; returns loss, fills activations and probabilities.
+  double Forward(const float* x, int label, std::vector<double>* hidden,
+                 std::vector<double>* probs) const;
+  // Backward into the given gradient buffers.
+  void Backward(const float* x, int label, const std::vector<double>& hidden,
+                const std::vector<double>& probs, float* gw1, float* gb1,
+                float* gw2, float* gb2) const;
+
+  int dim_;
+  int hidden_;
+  int classes_;
+  std::vector<float> w1_, b1_, w2_, b2_;
+  std::vector<float> gw1_, gb1_, gw2_, gb2_;
+  std::vector<float> vw1_, vb1_, vw2_, vb2_;
+};
+
+}  // namespace pcr

@@ -1,0 +1,76 @@
+#include "train/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "image/color.h"
+
+namespace pcr {
+
+std::vector<float> FeatureExtractor::Extract(const Image& img,
+                                             Rng* rng) const {
+  Image work = img;
+  if (options_.crop > 0) {
+    if (options_.random_augment && rng != nullptr) {
+      work = RandomCrop(work, options_.crop, options_.crop, rng);
+      if (rng->NextBernoulli(0.5)) work = FlipHorizontal(work);
+    } else {
+      work = CenterCrop(work, options_.crop, options_.crop);
+    }
+  }
+  const Image gray = ToGrayscale(work);
+  const int w = gray.width();
+  const int h = gray.height();
+  const int grid = options_.grid;
+
+  std::vector<float> features(dim(), 0.0f);
+  std::vector<int> counts(static_cast<size_t>(grid) * grid, 0);
+
+  // Pooled luma.
+  for (int y = 0; y < h; ++y) {
+    const int gy = std::min(grid - 1, y * grid / h);
+    for (int x = 0; x < w; ++x) {
+      const int gx = std::min(grid - 1, x * grid / w);
+      features[gy * grid + gx] += gray.at(x, y, 0);
+      ++counts[gy * grid + gx];
+    }
+  }
+  for (int i = 0; i < grid * grid; ++i) {
+    if (counts[i] > 0) {
+      features[i] = (features[i] / counts[i] - 128.0f) / 64.0f;
+    }
+  }
+
+  if (!options_.include_highpass) return features;
+
+  // Pooled |highpass|: sample minus 3x3 box blur, rectified.
+  const int base = grid * grid;
+  std::fill(counts.begin(), counts.end(), 0);
+  for (int y = 0; y < h; ++y) {
+    const int gy = std::min(grid - 1, y * grid / h);
+    for (int x = 0; x < w; ++x) {
+      const int gx = std::min(grid - 1, x * grid / w);
+      float blur = 0.0f;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const int sx = std::clamp(x + dx, 0, w - 1);
+          const int sy = std::clamp(y + dy, 0, h - 1);
+          blur += gray.at(sx, sy, 0);
+        }
+      }
+      blur /= 9.0f;
+      features[base + gy * grid + gx] +=
+          std::fabs(static_cast<float>(gray.at(x, y, 0)) - blur);
+      ++counts[gy * grid + gx];
+    }
+  }
+  for (int i = 0; i < grid * grid; ++i) {
+    if (counts[i] > 0) {
+      features[base + i] =
+          options_.highpass_gain * (features[base + i] / counts[i]) / 16.0f;
+    }
+  }
+  return features;
+}
+
+}  // namespace pcr

@@ -1,0 +1,50 @@
+// Feature extraction for the proxy training models. Decoded images are
+// reduced to a pooled luma grid plus (optionally) a pooled high-frequency
+// energy grid. The high-frequency channel is what makes a model *sensitive*
+// to the information early JPEG scans discard — the mechanism behind the
+// paper's "different models can tolerate different levels of data quality"
+// (ShuffleNet's accuracy depends on fine-grained features; ResNet's less
+// so).
+#pragma once
+
+#include <vector>
+
+#include "image/image.h"
+#include "image/transform.h"
+#include "util/random.h"
+
+namespace pcr {
+
+struct FeatureOptions {
+  /// Pooled grid resolution (grid x grid cells per channel).
+  int grid = 14;
+  /// Adds a |highpass| energy grid: local detail the DC-only scan removes.
+  bool include_highpass = true;
+  /// Relative weight of the highpass channel (how much the model "relies"
+  /// on fine-grained features).
+  float highpass_gain = 1.0f;
+  /// Standard augmentation before pooling; crop=0 uses the whole image.
+  int crop = 0;
+  bool random_augment = false;  // Random crop+flip (train) vs center (eval).
+};
+
+/// Stateless extractor (thread-safe const use).
+class FeatureExtractor {
+ public:
+  explicit FeatureExtractor(FeatureOptions options) : options_(options) {}
+
+  int dim() const {
+    return options_.grid * options_.grid *
+           (options_.include_highpass ? 2 : 1);
+  }
+
+  /// Extracts features; `rng` is only consulted when random_augment is set.
+  std::vector<float> Extract(const Image& img, Rng* rng = nullptr) const;
+
+  const FeatureOptions& options() const { return options_; }
+
+ private:
+  FeatureOptions options_;
+};
+
+}  // namespace pcr

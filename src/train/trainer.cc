@@ -1,0 +1,131 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace pcr {
+
+double CosineSimilarity(const std::vector<float>& a,
+                        const std::vector<float>& b) {
+  PCR_CHECK_EQ(a.size(), b.size());
+  double dot = 0, na = 0, nb = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na < 1e-20 || nb < 1e-20) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+Trainer::Trainer(const CachedDataset* dataset, Classifier* model,
+                 TrainerOptions options)
+    : dataset_(dataset), model_(model), options_(std::move(options)),
+      rng_(options_.seed), order_(dataset->train_size()) {
+  PCR_CHECK_EQ(model->dim(), dataset->feature_dim());
+  std::iota(order_.begin(), order_.end(), 0);
+}
+
+double Trainer::CurrentLr() const {
+  double lr = options_.base_lr;
+  if (options_.warmup_epochs > 0 && epoch_ < options_.warmup_epochs) {
+    // Gradual warmup from base_lr/warmup to base_lr.
+    lr *= static_cast<double>(epoch_ + 1) / options_.warmup_epochs;
+  }
+  for (int decay_epoch : options_.decay_epochs) {
+    if (epoch_ >= decay_epoch) lr *= options_.decay_factor;
+  }
+  return lr;
+}
+
+double Trainer::RunEpochInternal(ScanGroupPolicy* policy, int fixed_group) {
+  const double lr = CurrentLr();
+  rng_.Shuffle(&order_);
+  const int n = dataset_->train_size();
+  const int dim = dataset_->feature_dim();
+  const int64_t* labels = dataset_->train_labels();
+
+  double loss_sum = 0.0;
+  int in_batch = 0;
+  int group = dataset_->NearestCachedGroup(
+      fixed_group > 0 ? fixed_group : dataset_->max_group());
+  const float* features = dataset_->train_features(group);
+
+  for (int e = 0; e < n; ++e) {
+    if (policy != nullptr && in_batch == 0) {
+      // Mixture training: each minibatch may come from a different quality.
+      group = dataset_->NearestCachedGroup(
+          policy->Select(dataset_->max_group(), &rng_));
+      features = dataset_->train_features(group);
+    }
+    const int idx = order_[e];
+    loss_sum += model_->AccumulateExample(
+        features + static_cast<size_t>(idx) * dim,
+        static_cast<int>(labels[idx]));
+    ++in_batch;
+    if (in_batch == options_.batch_size || e + 1 == n) {
+      model_->ApplyUpdate(lr, in_batch);
+      in_batch = 0;
+    }
+  }
+  ++epoch_;
+  return loss_sum / std::max(1, n);
+}
+
+double Trainer::RunEpoch(int scan_group) {
+  return RunEpochInternal(nullptr, scan_group);
+}
+
+double Trainer::RunEpochMixture(ScanGroupPolicy* policy) {
+  PCR_CHECK(policy != nullptr);
+  return RunEpochInternal(policy, 0);
+}
+
+double Trainer::TestAccuracy() const {
+  const int n = dataset_->test_size();
+  const int dim = dataset_->feature_dim();
+  const float* features = dataset_->test_features();
+  const int64_t* labels = dataset_->test_labels();
+  int correct = 0;
+  for (int e = 0; e < n; ++e) {
+    if (model_->Predict(features + static_cast<size_t>(e) * dim) ==
+        static_cast<int>(labels[e])) {
+      ++correct;
+    }
+  }
+  return n > 0 ? 100.0 * correct / n : 0.0;
+}
+
+double Trainer::EvalTrainLoss(int scan_group) const {
+  const int group = dataset_->NearestCachedGroup(scan_group);
+  const float* features = dataset_->train_features(group);
+  const int64_t* labels = dataset_->train_labels();
+  const int n = dataset_->train_size();
+  const int dim = dataset_->feature_dim();
+  double loss = 0.0;
+  for (int e = 0; e < n; ++e) {
+    loss += model_->ExampleLoss(features + static_cast<size_t>(e) * dim,
+                                static_cast<int>(labels[e]));
+  }
+  return loss / std::max(1, n);
+}
+
+std::vector<float> Trainer::GradientForGroup(int scan_group,
+                                             int max_examples) const {
+  const int group = dataset_->NearestCachedGroup(scan_group);
+  int n = dataset_->train_size();
+  if (max_examples > 0) n = std::min(n, max_examples);
+  return model_->FullGradient(dataset_->train_features(group),
+                              dataset_->train_labels(), n);
+}
+
+double Trainer::GradientCosine(int scan_group, int max_examples) const {
+  const auto g = GradientForGroup(scan_group, max_examples);
+  const auto g_ref = GradientForGroup(dataset_->max_group(), max_examples);
+  return CosineSimilarity(g, g_ref);
+}
+
+}  // namespace pcr

@@ -1,0 +1,81 @@
+// Trainer: minibatch SGD over a CachedDataset with the paper's learning-rate
+// recipe (warmup + step decay), per-epoch quality selection (fixed group or
+// mixture), test-set evaluation, checkpoint/rollback, and the
+// gradient-cosine diagnostics of §A.6.2.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "loader/scan_policy.h"
+#include "train/classifier.h"
+#include "train/dataset_cache.h"
+#include "util/random.h"
+
+namespace pcr {
+
+struct TrainerOptions {
+  double base_lr = 0.1;
+  int warmup_epochs = 5;            // Gradual warmup (Goyal et al.).
+  std::vector<int> decay_epochs = {30, 60};
+  double decay_factor = 0.1;
+  int batch_size = 128;
+  uint64_t seed = 7;
+};
+
+/// Cosine similarity of two flat vectors (0 when either is ~zero).
+double CosineSimilarity(const std::vector<float>& a,
+                        const std::vector<float>& b);
+
+class Trainer {
+ public:
+  Trainer(const CachedDataset* dataset, Classifier* model,
+          TrainerOptions options);
+
+  /// One epoch at a fixed scan group (clamped to the nearest cached view).
+  /// Returns mean training loss.
+  double RunEpoch(int scan_group);
+
+  /// One epoch where each *minibatch* draws its scan group from the policy
+  /// (mixture training, §A.6.3). Selected groups snap to cached views.
+  double RunEpochMixture(ScanGroupPolicy* policy);
+
+  /// Top-1 accuracy on the held-out full-quality test set, in percent.
+  double TestAccuracy() const;
+
+  /// Mean training loss at a scan group without updating parameters.
+  double EvalTrainLoss(int scan_group) const;
+
+  /// Full-batch gradient on (up to max_examples of) the group's view.
+  std::vector<float> GradientForGroup(int scan_group,
+                                      int max_examples = 0) const;
+
+  /// cos angle between the group's gradient and the full-quality gradient —
+  /// the §A.6.2 tuning signal.
+  double GradientCosine(int scan_group, int max_examples = 0) const;
+
+  /// Parameter checkpointing (for tuning-phase rollback, §4.5).
+  std::vector<float> Checkpoint() const { return model_->SaveParams(); }
+  void Restore(const std::vector<float>& ckpt) {
+    model_->RestoreParams(ckpt);
+  }
+
+  int epoch() const { return epoch_; }
+  /// The LR the schedule will use for the next epoch.
+  double CurrentLr() const;
+
+  Classifier* model() { return model_; }
+  const CachedDataset* dataset() const { return dataset_; }
+
+ private:
+  double RunEpochInternal(ScanGroupPolicy* policy_or_null, int fixed_group);
+
+  const CachedDataset* dataset_;
+  Classifier* model_;
+  TrainerOptions options_;
+  Rng rng_;
+  int epoch_ = 0;
+  std::vector<int> order_;  // Example order, reshuffled per epoch.
+};
+
+}  // namespace pcr

@@ -1,0 +1,113 @@
+#include "tune/dynamic_tuner.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace pcr {
+
+std::shared_ptr<ScanGroupPolicy> CosineTuner::Advise(Trainer* trainer) {
+  const int epoch = trainer->epoch();
+  const int max_group = trainer->dataset()->max_group();
+  const bool tune_now =
+      epoch == options_.first_tune_epoch ||
+      (epoch > options_.first_tune_epoch &&
+       (epoch - options_.first_tune_epoch) % options_.tune_every == 0);
+
+  if (tune_now) {
+    TuneEvent event;
+    event.epoch = epoch;
+    int chosen = max_group;
+    // Candidates ascending: pick the first (cheapest) clearing the bar.
+    std::vector<int> candidates = options_.candidate_groups;
+    std::sort(candidates.begin(), candidates.end());
+    for (int g : candidates) {
+      const double cosine =
+          trainer->GradientCosine(g, options_.gradient_examples);
+      event.probes.emplace_back(g, cosine);
+      if (cosine >= options_.cosine_threshold && chosen == max_group &&
+          g < chosen) {
+        chosen = g;
+      }
+    }
+    current_group_ = chosen;
+    event.chosen_group = chosen;
+    events_.push_back(std::move(event));
+  }
+
+  const int group = current_group_ == 0 ? max_group : current_group_;
+  if (options_.mixture_weight > 0.0) {
+    return std::make_shared<MixtureScanPolicy>(
+        MixtureScanPolicy::PaperMixture(max_group, group,
+                                        options_.mixture_weight));
+  }
+  return std::make_shared<FixedScanPolicy>(group);
+}
+
+bool LossPlateauTuner::PlateauDetected() const {
+  const int w = options_.plateau_window;
+  if (static_cast<int>(loss_history_.size()) < 2 * w) return false;
+  double recent = 0, earlier = 0;
+  for (int i = 0; i < w; ++i) {
+    recent += loss_history_[loss_history_.size() - 1 - i];
+    earlier += loss_history_[loss_history_.size() - 1 - w - i];
+  }
+  recent /= w;
+  earlier /= w;
+  if (earlier <= 1e-9) return true;
+  return (earlier - recent) / earlier < options_.plateau_rel_improvement;
+}
+
+double LossPlateauTuner::Step(Trainer* trainer) {
+  const int max_group = trainer->dataset()->max_group();
+  const int group = current_group_ == 0 ? max_group : current_group_;
+
+  // Tuning phase: triggered by plateau, rate-limited.
+  if (PlateauDetected() &&
+      trainer->epoch() - last_tune_epoch_ >=
+          options_.min_epochs_between_tunes) {
+    TuneEvent event;
+    event.epoch = trainer->epoch();
+    const auto checkpoint = trainer->Checkpoint();
+
+    std::vector<int> candidates = options_.candidate_groups;
+    std::sort(candidates.begin(), candidates.end());
+    double best_loss = 1e300;
+    std::vector<std::pair<int, double>> probe_losses;
+    for (int g : candidates) {
+      trainer->Restore(checkpoint);
+      double loss = 0.0;
+      for (int p = 0; p < options_.probe_epochs; ++p) {
+        loss = trainer->RunEpoch(g);
+        ++event.probe_epochs;
+      }
+      probe_losses.emplace_back(g, loss);
+      best_loss = std::min(best_loss, loss);
+    }
+    trainer->Restore(checkpoint);
+    event.probes = probe_losses;
+
+    int chosen = max_group;
+    for (const auto& [g, loss] : probe_losses) {
+      if (loss <= best_loss * options_.accept_ratio) {
+        chosen = g;
+        break;  // Candidates ascending: first acceptable is cheapest.
+      }
+    }
+    current_group_ = chosen;
+    event.chosen_group = chosen;
+    events_.push_back(std::move(event));
+    last_tune_epoch_ = trainer->epoch();
+    loss_history_.clear();
+
+    const double loss = trainer->RunEpoch(chosen);
+    loss_history_.push_back(loss);
+    return loss;
+  }
+
+  const double loss = trainer->RunEpoch(group);
+  loss_history_.push_back(loss);
+  return loss;
+}
+
+}  // namespace pcr

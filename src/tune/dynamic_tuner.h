@@ -1,0 +1,103 @@
+// Dynamic (in-training) scan-group controllers.
+//
+// LossPlateauTuner (§4.5): train at full quality until the loss plateaus,
+// then checkpoint, probe each candidate group for a few epochs, roll back,
+// and continue at the cheapest group whose loss progress keeps up.
+//
+// CosineTuner (§A.6.2): at scheduled epochs, compare each candidate group's
+// full-batch gradient against the full-quality gradient and pick the
+// cheapest group whose cosine similarity clears a threshold (0.9 in the
+// paper). Optionally wraps the choice in a mixture policy (§A.6.3).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "loader/scan_policy.h"
+#include "train/trainer.h"
+
+namespace pcr {
+
+/// A tuning event (for benchmark traces).
+struct TuneEvent {
+  int epoch = 0;
+  int chosen_group = 0;
+  /// (group, score) pairs examined; score is loss for the plateau tuner and
+  /// cosine similarity for the cosine tuner.
+  std::vector<std::pair<int, double>> probes;
+  /// Simulated-time cost accounting: number of probe epochs executed.
+  int probe_epochs = 0;
+};
+
+struct CosineTunerOptions {
+  std::vector<int> candidate_groups = {1, 2, 5, 10};
+  double cosine_threshold = 0.90;
+  /// First tuning epoch (model warms up at full quality first).
+  int first_tune_epoch = 5;
+  /// Re-tune period after that.
+  int tune_every = 30;
+  /// Gradient sample size (0 = full training set).
+  int gradient_examples = 512;
+  /// Mixture weight on the selected group (0 disables mixing; 10 -> ~50%,
+  /// 100 -> ~85% for 10 groups).
+  double mixture_weight = 0.0;
+};
+
+class CosineTuner {
+ public:
+  explicit CosineTuner(CosineTunerOptions options)
+      : options_(std::move(options)) {}
+
+  /// Called before each training epoch. May evaluate gradient cosines (cheap
+  /// relative to an epoch; no parameter changes). Returns the policy to use
+  /// this epoch.
+  std::shared_ptr<ScanGroupPolicy> Advise(Trainer* trainer);
+
+  int current_group() const { return current_group_; }
+  const std::vector<TuneEvent>& events() const { return events_; }
+
+ private:
+  CosineTunerOptions options_;
+  int current_group_ = 0;  // 0 = full quality (not yet tuned).
+  std::vector<TuneEvent> events_;
+};
+
+struct LossPlateauTunerOptions {
+  std::vector<int> candidate_groups = {1, 2, 5, 10};
+  /// Plateau: relative loss improvement over the window below this.
+  double plateau_rel_improvement = 0.02;
+  int plateau_window = 4;
+  /// Probe epochs trained per candidate during a tuning phase.
+  int probe_epochs = 1;
+  /// Accept the cheapest group whose probe loss is within this factor of
+  /// the best candidate's probe loss.
+  double accept_ratio = 1.05;
+  int min_epochs_between_tunes = 10;
+};
+
+class LossPlateauTuner {
+ public:
+  explicit LossPlateauTuner(LossPlateauTunerOptions options)
+      : options_(std::move(options)) {}
+
+  /// Runs one training epoch through the tuner: trains at the current group,
+  /// and if a plateau is detected runs the checkpoint/probe/rollback cycle
+  /// (those probe epochs are real SGD epochs that the caller should charge
+  /// simulated time for via the returned event's probe_epochs). Returns the
+  /// epoch's training loss.
+  double Step(Trainer* trainer);
+
+  int current_group() const { return current_group_; }
+  const std::vector<TuneEvent>& events() const { return events_; }
+
+ private:
+  bool PlateauDetected() const;
+
+  LossPlateauTunerOptions options_;
+  int current_group_ = 0;  // 0 = full quality.
+  std::vector<double> loss_history_;
+  int last_tune_epoch_ = -1000;
+  std::vector<TuneEvent> events_;
+};
+
+}  // namespace pcr

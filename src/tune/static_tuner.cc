@@ -1,0 +1,75 @@
+#include "tune/static_tuner.h"
+
+#include <algorithm>
+
+#include "image/metrics.h"
+#include "jpeg/codec.h"
+#include "util/random.h"
+
+namespace pcr {
+
+Result<std::vector<ScanGroupQuality>> ProfileScanGroups(
+    RecordSource* source, const StaticTunerOptions& options) {
+  const int num_groups = source->num_scan_groups();
+  std::vector<ScanGroupQuality> profile(num_groups);
+  std::vector<SampleSet> mssim(num_groups);
+  std::vector<double> bytes(num_groups, 0.0);
+
+  Rng rng(options.seed);
+  int sampled = 0;
+  const int num_records = source->num_records();
+  std::vector<int> record_order(num_records);
+  for (int i = 0; i < num_records; ++i) record_order[i] = i;
+  rng.Shuffle(&record_order);
+
+  for (int r : record_order) {
+    if (sampled >= options.sample_images) break;
+    // Full-quality reference batch.
+    PCR_ASSIGN_OR_RETURN(RecordBatch full,
+                         source->ReadRecord(r, num_groups));
+    const int take = std::min<int>(full.size(),
+                                   options.sample_images - sampled);
+    std::vector<Image> references;
+    std::vector<int> picks;
+    for (int i = 0; i < take; ++i) {
+      const int idx = static_cast<int>(rng.Uniform(full.size()));
+      picks.push_back(idx);
+      PCR_ASSIGN_OR_RETURN(Image ref, jpeg::Decode(Slice(full.jpegs[idx])));
+      references.push_back(std::move(ref));
+    }
+    for (int g = 1; g <= num_groups; ++g) {
+      PCR_ASSIGN_OR_RETURN(RecordBatch batch, source->ReadRecord(r, g));
+      for (int i = 0; i < take; ++i) {
+        const int idx = picks[i];
+        PCR_ASSIGN_OR_RETURN(Image img, jpeg::Decode(Slice(batch.jpegs[idx])));
+        mssim[g - 1].Add(Msssim(references[i], img));
+      }
+    }
+    sampled += take;
+  }
+
+  for (int g = 1; g <= num_groups; ++g) {
+    profile[g - 1].scan_group = g;
+    profile[g - 1].mean_mssim = mssim[g - 1].Mean();
+    profile[g - 1].p25_mssim = mssim[g - 1].Iqr25();
+    profile[g - 1].p75_mssim = mssim[g - 1].Iqr75();
+    profile[g - 1].mean_bytes_per_image = source->MeanImageBytes(g);
+  }
+  return profile;
+}
+
+int PickFromProfile(const std::vector<ScanGroupQuality>& profile,
+                    double threshold) {
+  for (const auto& q : profile) {
+    if (q.mean_mssim >= threshold) return q.scan_group;
+  }
+  return profile.empty() ? 1 : profile.back().scan_group;
+}
+
+Result<int> PickScanGroupStatic(RecordSource* source,
+                                const StaticTunerOptions& options) {
+  PCR_ASSIGN_OR_RETURN(auto profile, ProfileScanGroups(source, options));
+  return PickFromProfile(profile, options.mssim_threshold);
+}
+
+}  // namespace pcr

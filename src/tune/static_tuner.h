@@ -1,0 +1,45 @@
+// Static (pre-training) scan-group selection via MSSIM (§4.4, §A.6.1):
+// decode a sample of images at every scan group, measure MSSIM against the
+// full-quality reconstruction, and pick the smallest group above a quality
+// threshold. Scan groups with MSSIM >= 0.95 "consistently perform well".
+#pragma once
+
+#include <vector>
+
+#include "core/record_source.h"
+#include "util/result.h"
+#include "util/stats.h"
+
+namespace pcr {
+
+struct StaticTunerOptions {
+  double mssim_threshold = 0.95;
+  /// Images sampled for the estimate (spread over records).
+  int sample_images = 64;
+  uint64_t seed = 5;
+};
+
+/// Per-group quality estimates.
+struct ScanGroupQuality {
+  int scan_group = 0;
+  double mean_mssim = 0.0;
+  double p25_mssim = 0.0;
+  double p75_mssim = 0.0;
+  double mean_bytes_per_image = 0.0;
+};
+
+/// MSSIM profile of a progressive source: one entry per scan group,
+/// ascending. (This is Figure 17's data.)
+Result<std::vector<ScanGroupQuality>> ProfileScanGroups(
+    RecordSource* source, const StaticTunerOptions& options);
+
+/// Smallest scan group whose mean MSSIM clears the threshold (falls back to
+/// the last group).
+Result<int> PickScanGroupStatic(RecordSource* source,
+                                const StaticTunerOptions& options);
+
+/// Convenience: picks from an existing profile.
+int PickFromProfile(const std::vector<ScanGroupQuality>& profile,
+                    double threshold);
+
+}  // namespace pcr

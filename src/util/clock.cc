@@ -1,0 +1,18 @@
+#include "util/clock.h"
+
+#include <thread>
+
+namespace pcr {
+
+void RealClock::SleepNanos(int64_t nanos) {
+  if (nanos > 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(nanos));
+  }
+}
+
+RealClock* RealClock::Get() {
+  static RealClock clock;
+  return &clock;
+}
+
+}  // namespace pcr

@@ -1,0 +1,28 @@
+// CRC32C (Castagnoli) checksum, used to detect corruption in KV-store log
+// records and PCR file headers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/slice.h"
+
+namespace pcr::crc32c {
+
+/// Extends `init_crc` with `data`; pass 0 for a fresh checksum.
+uint32_t Extend(uint32_t init_crc, const void* data, size_t n);
+
+inline uint32_t Value(const void* data, size_t n) { return Extend(0, data, n); }
+inline uint32_t Value(Slice s) { return Value(s.data(), s.size()); }
+
+/// Masked CRC (RocksDB-style rotation + constant) so that CRCs stored
+/// alongside the data they cover do not produce degenerate self-checksums.
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+inline uint32_t Unmask(uint32_t masked) {
+  const uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace pcr::crc32c

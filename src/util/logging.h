@@ -1,0 +1,79 @@
+// Minimal streaming logger and CHECK macros (glog-flavored).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace pcr {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and emits it (with level prefix) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ protected:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// A LogMessage that aborts the process after emitting.
+class FatalLogMessage : public LogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define PCR_LOG(level)                                              \
+  ::pcr::internal::LogMessage(::pcr::LogLevel::k##level, __FILE__, \
+                              __LINE__)
+
+/// Aborts with a message when `cond` is false. Active in all build types:
+/// these guard internal invariants whose violation means memory corruption or
+/// a library bug, never ordinary user error (which gets a Status).
+#define PCR_CHECK(cond)                                   \
+  if (!(cond))                                            \
+  ::pcr::internal::FatalLogMessage(__FILE__, __LINE__)    \
+      << "Check failed: " #cond " "
+
+#define PCR_CHECK_EQ(a, b) PCR_CHECK((a) == (b))
+#define PCR_CHECK_NE(a, b) PCR_CHECK((a) != (b))
+#define PCR_CHECK_LT(a, b) PCR_CHECK((a) < (b))
+#define PCR_CHECK_LE(a, b) PCR_CHECK((a) <= (b))
+#define PCR_CHECK_GT(a, b) PCR_CHECK((a) > (b))
+#define PCR_CHECK_GE(a, b) PCR_CHECK((a) >= (b))
+
+/// Debug-only check.
+#ifdef NDEBUG
+#define PCR_DCHECK(cond) \
+  if (false) ::pcr::internal::FatalLogMessage(__FILE__, __LINE__)
+#else
+#define PCR_DCHECK(cond) PCR_CHECK(cond)
+#endif
+
+}  // namespace pcr

@@ -1,0 +1,83 @@
+// Result<T>: value-or-Status, the Arrow idiom for fallible value-producing
+// functions.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace pcr {
+
+/// Holds either a value of type T or a non-OK Status describing why the value
+/// could not be produced. Constructing from an OK status is a programming
+/// error (checked).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    PCR_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// Returns the error status, or OK when a value is held.
+  const Status& status() const { return status_; }
+
+  /// Returns the held value; must only be called when ok().
+  const T& value() const& {
+    PCR_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    PCR_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    PCR_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  /// Moves the value out of the Result; must only be called when ok().
+  T MoveValue() {
+    PCR_CHECK(ok()) << "Result::MoveValue() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagates the error, or assigns the
+/// value to `lhs`. `lhs` may include a declaration, e.g.
+/// PCR_ASSIGN_OR_RETURN(auto file, env->OpenFile(path));
+#define PCR_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  PCR_ASSIGN_OR_RETURN_IMPL_(                                     \
+      PCR_RESULT_CONCAT_(_pcr_result, __COUNTER__), lhs, rexpr)
+
+#define PCR_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).MoveValue()
+
+#define PCR_RESULT_CONCAT_INNER_(a, b) a##b
+#define PCR_RESULT_CONCAT_(a, b) PCR_RESULT_CONCAT_INNER_(a, b)
+
+}  // namespace pcr

@@ -1,0 +1,95 @@
+// Slice: non-owning view over a byte range (RocksDB idiom), with helpers for
+// binary data that std::string_view lacks.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pcr {
+
+/// A non-owning pointer+length view over bytes. The referenced memory must
+/// outlive the Slice.
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const char* data, size_t size) : data_(data), size_(size) {}
+  Slice(const uint8_t* data, size_t size)
+      : data_(reinterpret_cast<const char*>(data)), size_(size) {}
+  Slice(const std::string& s)  // NOLINT(runtime/explicit)
+      : data_(s.data()), size_(s.size()) {}
+  Slice(std::string_view s)  // NOLINT(runtime/explicit)
+      : data_(s.data()), size_(s.size()) {}
+  Slice(const char* s)  // NOLINT(runtime/explicit)
+      : data_(s), size_(strlen(s)) {}
+  Slice(const std::vector<uint8_t>& v)  // NOLINT(runtime/explicit)
+      : data_(reinterpret_cast<const char*>(v.data())), size_(v.size()) {}
+
+  const char* data() const { return data_; }
+  const uint8_t* udata() const {
+    return reinterpret_cast<const uint8_t*>(data_);
+  }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t n) const {
+    assert(n < size_);
+    return data_[n];
+  }
+
+  /// Drops the first n bytes from this slice.
+  void RemovePrefix(size_t n) {
+    assert(n <= size_);
+    data_ += n;
+    size_ -= n;
+  }
+
+  /// Returns the sub-slice [offset, offset+len); clamps len to the end.
+  Slice SubSlice(size_t offset, size_t len) const {
+    assert(offset <= size_);
+    if (len > size_ - offset) len = size_ - offset;
+    return Slice(data_ + offset, len);
+  }
+
+  bool StartsWith(const Slice& prefix) const {
+    return size_ >= prefix.size_ &&
+           memcmp(data_, prefix.data_, prefix.size_) == 0;
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view ToStringView() const {
+    return std::string_view(data_, size_);
+  }
+  std::vector<uint8_t> ToBytes() const {
+    return std::vector<uint8_t>(udata(), udata() + size_);
+  }
+
+  /// Three-way lexicographic comparison: <0, 0, >0.
+  int Compare(const Slice& other) const {
+    const size_t min_len = size_ < other.size_ ? size_ : other.size_;
+    int r = memcmp(data_, other.data_, min_len);
+    if (r == 0) {
+      if (size_ < other.size_) r = -1;
+      else if (size_ > other.size_) r = 1;
+    }
+    return r;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+inline bool operator==(const Slice& a, const Slice& b) {
+  return a.size() == b.size() && memcmp(a.data(), b.data(), a.size()) == 0;
+}
+inline bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
+inline bool operator<(const Slice& a, const Slice& b) {
+  return a.Compare(b) < 0;
+}
+
+}  // namespace pcr

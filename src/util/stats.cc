@@ -1,0 +1,193 @@
+#include "util/stats.h"
+
+#include "util/logging.h"
+
+namespace pcr {
+
+double SampleSet::Sum() const {
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s;
+}
+
+double SampleSet::Mean() const {
+  return samples_.empty() ? 0.0 : Sum() / static_cast<double>(samples_.size());
+}
+
+double SampleSet::Stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = Mean();
+  double acc = 0.0;
+  for (double x : samples_) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+void SampleSet::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::Percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+void Log2Histogram::Add(double value) {
+  PCR_CHECK_GT(value, 0.0);
+  const int bucket = static_cast<int>(std::floor(std::log2(value)));
+  if (empty_) {
+    min_bucket_ = bucket;
+    counts_.assign(1, 0);
+    empty_ = false;
+  }
+  if (bucket < min_bucket_) {
+    counts_.insert(counts_.begin(), min_bucket_ - bucket, 0);
+    min_bucket_ = bucket;
+  } else if (bucket >= min_bucket_ + static_cast<int>(counts_.size())) {
+    counts_.resize(bucket - min_bucket_ + 1, 0);
+  }
+  ++counts_[bucket - min_bucket_];
+  ++total_;
+}
+
+std::vector<std::pair<double, double>> Log2Histogram::NormalizedRows() const {
+  std::vector<std::pair<double, double>> rows;
+  if (total_ == 0) return rows;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const double lo = std::pow(2.0, min_bucket_ + static_cast<int>(i));
+    rows.emplace_back(lo, static_cast<double>(counts_[i]) /
+                              static_cast<double>(total_));
+  }
+  return rows;
+}
+
+namespace {
+
+// Regularized incomplete beta function via continued fraction (Lentz), used
+// for the Student-t CDF in the regression p-value.
+double BetaContinuedFraction(double a, double b, double x) {
+  const int max_iter = 300;
+  const double eps = 3e-12;
+  const double fpmin = 1e-300;
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < fpmin) d = fpmin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= max_iter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < fpmin) d = fpmin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < fpmin) c = fpmin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < fpmin) d = fpmin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < fpmin) c = fpmin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < eps) break;
+  }
+  return h;
+}
+
+double IncompleteBeta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_beta = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b);
+  const double front = std::exp(ln_beta + a * std::log(x) +
+                                b * std::log(1.0 - x));
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+// Two-sided p-value for a t statistic with df degrees of freedom.
+double StudentTTwoSidedP(double t, double df) {
+  const double x = df / (df + t * t);
+  return IncompleteBeta(df / 2.0, 0.5, x);
+}
+
+}  // namespace
+
+LinearFit FitLinear(const std::vector<double>& x,
+                    const std::vector<double>& y) {
+  LinearFit fit;
+  PCR_CHECK_EQ(x.size(), y.size());
+  const int64_t n = static_cast<int64_t>(x.size());
+  fit.n = n;
+  if (n < 3) return fit;
+
+  double sx = 0, sy = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n, my = sy / n;
+  double sxx = 0, sxy = 0, syy = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    sxx += (x[i] - mx) * (x[i] - mx);
+    sxy += (x[i] - mx) * (y[i] - my);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx <= 0.0) return fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+
+  double ss_res = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const double pred = fit.slope * x[i] + fit.intercept;
+    ss_res += (y[i] - pred) * (y[i] - pred);
+  }
+  fit.r2 = syy > 0.0 ? 1.0 - ss_res / syy : 1.0;
+
+  const double df = static_cast<double>(n - 2);
+  const double se2 = ss_res / df / sxx;
+  if (se2 <= 0.0) {
+    fit.p_value = 0.0;
+  } else {
+    const double t = fit.slope / std::sqrt(se2);
+    fit.p_value = StudentTTwoSidedP(t, df);
+  }
+  return fit;
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  PCR_CHECK_EQ(x.size(), y.size());
+  const size_t n = x.size();
+  if (n < 2) return 0.0;
+  double sx = 0, sy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n, my = sy / n;
+  double sxx = 0, syy = 0, sxy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+    sxy += (x[i] - mx) * (y[i] - my);
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace pcr

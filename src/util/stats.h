@@ -1,0 +1,121 @@
+// Streaming statistics helpers used by benchmarks and the simulator:
+// running mean/variance, reservoir-free percentile tracking over stored
+// samples, log2-bucketed histograms (Figure 12 style), and simple OLS linear
+// regression (Figure 7 style).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pcr {
+
+/// Welford running mean/variance. O(1) per observation.
+class RunningStat {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+    sum_ += x;
+  }
+
+  int64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double sum() const { return sum_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  /// Half-width of the 95% normal-approximation confidence interval.
+  double ci95_halfwidth() const {
+    return n_ > 1 ? 1.96 * stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+  }
+
+ private:
+  int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stores samples and answers percentile/IQR queries (used for the
+/// interquartile-range plots in Figures 16–18).
+class SampleSet {
+ public:
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  void Reserve(size_t n) { samples_.reserve(n); }
+
+  size_t count() const { return samples_.size(); }
+  double Sum() const;
+  double Mean() const;
+  double Stddev() const;
+  /// Linear-interpolated percentile; p in [0, 100].
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+  double Iqr25() const { return Percentile(25.0); }
+  double Iqr75() const { return Percentile(75.0); }
+  double Min() const { return Percentile(0.0); }
+  double Max() const { return Percentile(100.0); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Power-of-two bucketed histogram of positive values, matching the paper's
+/// Figure 12 ("sizes of images in ImageNet") presentation.
+class Log2Histogram {
+ public:
+  void Add(double value);
+
+  int64_t total_count() const { return total_; }
+  /// Bucket b covers [2^b, 2^(b+1)).
+  const std::vector<int64_t>& buckets() const { return counts_; }
+  int min_bucket() const { return min_bucket_; }
+
+  /// Probability mass per bucket, rendered as "bucket_lo_bytes probability"
+  /// rows.
+  std::vector<std::pair<double, double>> NormalizedRows() const;
+
+ private:
+  std::vector<int64_t> counts_;  // Indexed by bucket - min_bucket_.
+  int min_bucket_ = 0;
+  bool empty_ = true;
+  int64_t total_ = 0;
+};
+
+/// Ordinary least-squares fit y = slope*x + intercept with r^2 and the
+/// p-value of the slope (two-sided t-test).
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+  double p_value = 1.0;
+  int64_t n = 0;
+};
+
+/// Fits a line to (x, y) pairs. Returns a default fit when n < 3.
+LinearFit FitLinear(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Pearson correlation coefficient; 0 when fewer than 2 points.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+}  // namespace pcr

@@ -1,0 +1,28 @@
+// Small string/format helpers shared by benches and examples.
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pcr {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// "1.5 KiB", "129.0 GiB", etc. (base-1024 units).
+std::string HumanBytes(double bytes);
+
+/// "1.2 s", "30 ms", "1250 min" style durations from seconds.
+std::string HumanSeconds(double seconds);
+
+/// Joins items with a separator.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Splits on a single character, keeping empty fields.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+}  // namespace pcr

@@ -1,0 +1,30 @@
+// Fixed-width console table printer used by every bench binary to emit
+// paper-style rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pcr {
+
+/// Collects rows of string cells and prints them with aligned columns and a
+/// header rule. Cheap and dependency-free; benches convert numbers via
+/// StrFormat.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the full table to a string (header, rule, rows).
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pcr

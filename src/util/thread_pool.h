@@ -1,0 +1,48 @@
+// Fixed-size worker pool used by the PCR encoder (parallel JPEG transcodes)
+// and the data loader (parallel decodes).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pcr {
+
+/// A classic fixed-size thread pool. Tasks are void() callables. The
+/// destructor drains remaining tasks and joins all workers.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Must not be called after Shutdown().
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+  /// Stops accepting tasks, drains the queue, joins workers. Idempotent.
+  void Shutdown();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> threads_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace pcr

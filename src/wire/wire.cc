@@ -1,0 +1,139 @@
+#include "wire/wire.h"
+
+#include <cstring>
+
+namespace pcr::wire {
+
+void PutVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+size_t VarintLength(uint64_t v) {
+  size_t len = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+bool GetVarint(Slice* data, uint64_t* value) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63 && !data->empty(); shift += 7) {
+    const uint8_t byte = static_cast<uint8_t>((*data)[0]);
+    data->RemovePrefix(1);
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+void WireWriter::PutTag(int field, WireType type) {
+  PutVarint(&buffer_, (static_cast<uint64_t>(field) << 3) |
+                          static_cast<uint64_t>(type));
+}
+
+void WireWriter::PutUint64(int field, uint64_t v) {
+  PutTag(field, WireType::kVarint);
+  PutVarint(&buffer_, v);
+}
+
+void WireWriter::PutFixed32(int field, uint32_t v) {
+  PutTag(field, WireType::kFixed32);
+  char buf[4];
+  memcpy(buf, &v, 4);
+  buffer_.append(buf, 4);
+}
+
+void WireWriter::PutFixed64(int field, uint64_t v) {
+  PutTag(field, WireType::kFixed64);
+  char buf[8];
+  memcpy(buf, &v, 8);
+  buffer_.append(buf, 8);
+}
+
+void WireWriter::PutDouble(int field, double v) {
+  uint64_t bits;
+  memcpy(&bits, &v, 8);
+  PutFixed64(field, bits);
+}
+
+void WireWriter::PutBytes(int field, Slice bytes) {
+  PutTag(field, WireType::kLengthDelimited);
+  PutVarint(&buffer_, bytes.size());
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+void WireWriter::PutPackedUint64(int field, const std::vector<uint64_t>& values) {
+  std::string payload;
+  for (uint64_t v : values) PutVarint(&payload, v);
+  PutBytes(field, Slice(payload));
+}
+
+bool WireReader::Next(WireField* field) {
+  if (data_.empty() || !status_.ok()) return false;
+  uint64_t tag;
+  if (!GetVarint(&data_, &tag)) return Fail("truncated tag varint");
+  field->field = static_cast<int>(tag >> 3);
+  const uint64_t type_bits = tag & 0x7;
+  if (field->field <= 0) return Fail("invalid field number");
+  switch (type_bits) {
+    case 0: {
+      field->type = WireType::kVarint;
+      if (!GetVarint(&data_, &field->varint)) {
+        return Fail("truncated varint value");
+      }
+      return true;
+    }
+    case 1: {
+      field->type = WireType::kFixed64;
+      if (data_.size() < 8) return Fail("truncated fixed64");
+      uint64_t v;
+      memcpy(&v, data_.data(), 8);
+      data_.RemovePrefix(8);
+      field->varint = v;
+      return true;
+    }
+    case 2: {
+      field->type = WireType::kLengthDelimited;
+      uint64_t len;
+      if (!GetVarint(&data_, &len)) return Fail("truncated length");
+      if (len > data_.size()) return Fail("length exceeds input");
+      field->bytes = Slice(data_.data(), static_cast<size_t>(len));
+      data_.RemovePrefix(static_cast<size_t>(len));
+      return true;
+    }
+    case 5: {
+      field->type = WireType::kFixed32;
+      if (data_.size() < 4) return Fail("truncated fixed32");
+      uint32_t v;
+      memcpy(&v, data_.data(), 4);
+      data_.RemovePrefix(4);
+      field->varint = v;
+      return true;
+    }
+    default:
+      return Fail("unsupported wire type " + std::to_string(type_bits));
+  }
+}
+
+Result<std::vector<uint64_t>> WireReader::DecodePackedUint64(Slice payload) {
+  std::vector<uint64_t> out;
+  while (!payload.empty()) {
+    uint64_t v;
+    if (!GetVarint(&payload, &v)) {
+      return Status::Corruption("truncated packed varint");
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace pcr::wire

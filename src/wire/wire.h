@@ -1,0 +1,123 @@
+// Protobuf-compatible wire format: varints, zigzag, tag/wire-type framing,
+// and length-delimited fields. This is the serialization substrate the paper
+// delegates to Protobuf ("serialization libraries, such as Protobuf, handle
+// both the packing and unpacking steps transparently").
+//
+// Only the subset needed by PCR metadata messages is implemented: varint
+// (wire type 0), 64-bit fixed (1), length-delimited (2), and 32-bit fixed
+// (5). Encoded bytes round-trip with real protobuf for these types.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace pcr::wire {
+
+/// Protobuf wire types.
+enum class WireType : uint8_t {
+  kVarint = 0,
+  kFixed64 = 1,
+  kLengthDelimited = 2,
+  kFixed32 = 5,
+};
+
+/// Zigzag maps signed to unsigned so small magnitudes encode small.
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/// Appends a base-128 varint to `out`.
+void PutVarint(std::string* out, uint64_t v);
+
+/// Number of bytes PutVarint would emit.
+size_t VarintLength(uint64_t v);
+
+/// Serializer. Append-only; the buffer can be taken with Release().
+class WireWriter {
+ public:
+  void PutUint64(int field, uint64_t v);
+  void PutInt64(int field, int64_t v) {
+    PutUint64(field, static_cast<uint64_t>(v));
+  }
+  void PutSint64(int field, int64_t v) { PutUint64(field, ZigZagEncode(v)); }
+  void PutBool(int field, bool v) { PutUint64(field, v ? 1 : 0); }
+  void PutFixed32(int field, uint32_t v);
+  void PutFixed64(int field, uint64_t v);
+  void PutDouble(int field, double v);
+  void PutBytes(int field, Slice bytes);
+  void PutString(int field, const std::string& s) { PutBytes(field, Slice(s)); }
+  /// Embeds a nested message (its serialized bytes).
+  void PutMessage(int field, const WireWriter& msg) {
+    PutBytes(field, Slice(msg.buffer_));
+  }
+  /// Packed repeated uint64 (length-delimited sequence of varints).
+  void PutPackedUint64(int field, const std::vector<uint64_t>& values);
+
+  const std::string& buffer() const { return buffer_; }
+  std::string Release() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  void PutTag(int field, WireType type);
+
+  std::string buffer_;
+};
+
+/// One decoded field.
+struct WireField {
+  int field = 0;
+  WireType type = WireType::kVarint;
+  uint64_t varint = 0;   // For kVarint/kFixed32/kFixed64.
+  Slice bytes;           // For kLengthDelimited.
+
+  int64_t AsSint64() const { return ZigZagDecode(varint); }
+  double AsDouble() const {
+    double d;
+    static_assert(sizeof(d) == sizeof(varint));
+    __builtin_memcpy(&d, &varint, sizeof(d));
+    return d;
+  }
+};
+
+/// Streaming deserializer over a Slice. Typical use:
+///   WireReader r(data);
+///   WireField f;
+///   while (r.Next(&f)) { switch (f.field) { ... } }
+///   PCR_RETURN_IF_ERROR(r.status());
+class WireReader {
+ public:
+  explicit WireReader(Slice data) : data_(data) {}
+
+  /// Advances to the next field. Returns false at end-of-input or on error
+  /// (check status() to distinguish).
+  bool Next(WireField* field);
+
+  /// OK unless the input was malformed.
+  const Status& status() const { return status_; }
+  bool AtEnd() const { return data_.empty(); }
+
+  /// Decodes a packed repeated uint64 payload.
+  static Result<std::vector<uint64_t>> DecodePackedUint64(Slice payload);
+
+ private:
+  bool Fail(const std::string& msg) {
+    status_ = Status::Corruption(msg);
+    return false;
+  }
+
+  Slice data_;
+  Status status_;
+};
+
+/// Reads a varint from the front of `*data`, consuming it.
+bool GetVarint(Slice* data, uint64_t* value);
+
+}  // namespace pcr::wire

@@ -1,0 +1,236 @@
+// Tests for the PCR core: header serialization, prefix assembly, the writer
+// and reader, the baseline formats, and format-level invariants
+// (property-style over several record/image shapes).
+#include <gtest/gtest.h>
+
+#include "core/file_per_image.h"
+#include "core/pcr_dataset.h"
+#include "core/pcr_format.h"
+#include "core/record_dataset.h"
+#include "data/dataset_spec.h"
+#include "jpeg/codec.h"
+#include "storage/sim_env.h"
+#include "util/random.h"
+
+namespace pcr {
+namespace {
+
+std::string MakeJpeg(int w, int h, uint64_t seed, bool progressive) {
+  DatasetSpec spec = DatasetSpec::TestTiny();
+  spec.base_width = w;
+  spec.base_height = h;
+  spec.size_jitter = 0;
+  const Image img = GenerateImage(spec, static_cast<int>(seed % 3), seed);
+  jpeg::EncodeOptions options;
+  options.quality = 85;
+  options.progressive = progressive;
+  return jpeg::Encode(img, options).MoveValue();
+}
+
+// ------------------------------------------------------------- Header
+
+TEST(PcrFormat, HeaderRoundTrip) {
+  PcrHeader header;
+  header.num_images = 3;
+  header.num_groups = 4;
+  header.labels = {7, -2, 0};
+  header.jpeg_headers = {"HDR0", "HDR11", "H"};
+  header.group_sizes = {
+      {10, 20, 30}, {1, 2, 3}, {0, 0, 5}, {100, 200, 300}};
+  const std::string bytes = SerializePcrHeader(&header);
+  EXPECT_EQ(header.header_bytes, bytes.size());
+
+  const PcrHeader parsed = ParsePcrHeader(Slice(bytes)).MoveValue();
+  EXPECT_EQ(parsed.num_images, 3);
+  EXPECT_EQ(parsed.num_groups, 4);
+  EXPECT_EQ(parsed.labels, header.labels);
+  EXPECT_EQ(parsed.jpeg_headers, header.jpeg_headers);
+  EXPECT_EQ(parsed.group_sizes, header.group_sizes);
+  EXPECT_EQ(parsed.GroupStart(0), 0u);
+  EXPECT_EQ(parsed.GroupStart(1), 60u);
+  EXPECT_EQ(parsed.GroupStart(2), 66u);
+  EXPECT_EQ(parsed.PrefixPayloadBytes(4), 671u);
+}
+
+TEST(PcrFormat, RejectsBadMagic) {
+  EXPECT_FALSE(ParsePcrHeader(Slice("XXXX12345")).ok());
+  EXPECT_FALSE(ParsePcrHeader(Slice("PC")).ok());
+}
+
+TEST(PcrFormat, RejectsInconsistentHeader) {
+  PcrHeader header;
+  header.num_images = 2;
+  header.num_groups = 1;
+  header.labels = {1};  // Wrong count.
+  header.jpeg_headers = {"a", "b"};
+  header.group_sizes = {{1, 2}};
+  const std::string bytes = SerializePcrHeader(&header);
+  EXPECT_TRUE(ParsePcrHeader(Slice(bytes)).status().IsCorruption());
+}
+
+TEST(PcrFormat, AssembleRejectsShortPrefix) {
+  PcrHeader header;
+  header.num_images = 1;
+  header.num_groups = 2;
+  header.labels = {0};
+  header.jpeg_headers = {"HD"};
+  header.group_sizes = {{4}, {4}};
+  std::string file = SerializePcrHeader(&header);
+  file += "abcd";  // Only group 1 payload present.
+  EXPECT_TRUE(AssembleRecordPrefix(Slice(file), 2).status().IsOutOfRange());
+  EXPECT_TRUE(AssembleRecordPrefix(Slice(file), 1).ok());
+}
+
+// ------------------------------------------------------------- Writer/Reader
+
+class PcrDatasetShapes
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PcrDatasetShapes, WriteReadInvariants) {
+  const auto [num_images, images_per_record] = GetParam();
+  VirtualClock clock;
+  SimEnv env(DeviceProfile::Ram(), &clock);
+
+  PcrWriterOptions options;
+  options.images_per_record = images_per_record;
+  auto writer = PcrDatasetWriter::Create(&env, "ds", options).MoveValue();
+  std::vector<int64_t> labels;
+  for (int i = 0; i < num_images; ++i) {
+    const std::string jpeg =
+        MakeJpeg(40 + 8 * (i % 3), 32 + 8 * (i % 2), i, i % 2 == 0);
+    labels.push_back(i % 5);
+    ASSERT_TRUE(writer->AddImage(Slice(jpeg), labels.back()).ok());
+  }
+  ASSERT_TRUE(writer->Finish().ok());
+
+  auto ds = PcrDataset::Open(&env, "ds").MoveValue();
+  EXPECT_EQ(ds->num_images(), num_images);
+  const int expected_records =
+      (num_images + images_per_record - 1) / images_per_record;
+  EXPECT_EQ(ds->num_records(), expected_records);
+
+  // Property: prefix bytes strictly increase with scan group; every image
+  // decodes at every group; labels round-trip in order.
+  int seen = 0;
+  for (int r = 0; r < ds->num_records(); ++r) {
+    uint64_t prev = 0;
+    for (int g = 1; g <= ds->num_scan_groups(); ++g) {
+      EXPECT_GT(ds->RecordReadBytes(r, g), prev);
+      prev = ds->RecordReadBytes(r, g);
+    }
+    auto batch = ds->ReadRecord(r, 3).MoveValue();
+    for (int i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(batch.labels[i], labels[seen + i]);
+      auto decoded = jpeg::DecodeFull(Slice(batch.jpegs[i]));
+      ASSERT_TRUE(decoded.ok()) << decoded.status();
+      EXPECT_GE(decoded->scans_decoded, 1);
+    }
+    seen += batch.size();
+  }
+  EXPECT_EQ(seen, num_images);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PcrDatasetShapes,
+    ::testing::Values(std::make_tuple(1, 1), std::make_tuple(5, 2),
+                      std::make_tuple(8, 8), std::make_tuple(9, 4),
+                      std::make_tuple(16, 16)));
+
+TEST(PcrDatasetWriter, RejectsBaselineWhenTranscodeDisabled) {
+  VirtualClock clock;
+  SimEnv env(DeviceProfile::Ram(), &clock);
+  PcrWriterOptions options;
+  options.transcode_to_progressive = false;
+  auto writer = PcrDatasetWriter::Create(&env, "ds", options).MoveValue();
+  const std::string baseline = MakeJpeg(40, 32, 1, /*progressive=*/false);
+  EXPECT_TRUE(writer->AddImage(Slice(baseline), 0)
+                  .IsInvalidArgument());
+  const std::string progressive = MakeJpeg(40, 32, 1, /*progressive=*/true);
+  EXPECT_TRUE(writer->AddImage(Slice(progressive), 0).ok());
+}
+
+TEST(PcrDatasetWriter, RejectsGarbageImage) {
+  VirtualClock clock;
+  SimEnv env(DeviceProfile::Ram(), &clock);
+  auto writer =
+      PcrDatasetWriter::Create(&env, "ds", PcrWriterOptions{}).MoveValue();
+  EXPECT_FALSE(writer->AddImage(Slice("not a jpeg"), 0).ok());
+}
+
+TEST(PcrDataset, OpenFailsOnMissingManifest) {
+  VirtualClock clock;
+  SimEnv env(DeviceProfile::Ram(), &clock);
+  EXPECT_FALSE(PcrDataset::Open(&env, "missing").ok());
+}
+
+TEST(PcrDataset, ScanGroupClamped) {
+  VirtualClock clock;
+  SimEnv env(DeviceProfile::Ram(), &clock);
+  PcrWriterOptions options;
+  options.images_per_record = 2;
+  auto writer = PcrDatasetWriter::Create(&env, "ds", options).MoveValue();
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(
+        writer->AddImage(Slice(MakeJpeg(40, 32, i, false)), i).ok());
+  }
+  ASSERT_TRUE(writer->Finish().ok());
+  auto ds = PcrDataset::Open(&env, "ds").MoveValue();
+  // Group 0 and 99 clamp to [1, 10].
+  EXPECT_EQ(ds->RecordReadBytes(0, 0), ds->RecordReadBytes(0, 1));
+  EXPECT_EQ(ds->RecordReadBytes(0, 99), ds->RecordReadBytes(0, 10));
+  EXPECT_TRUE(ds->ReadRecord(0, 0).ok());
+}
+
+// ------------------------------------------------------------- Baselines
+
+TEST(RecordDataset, RoundTripsImagesAndLabels) {
+  VirtualClock clock;
+  SimEnv env(DeviceProfile::Ram(), &clock);
+  RecordWriterOptions options;
+  options.images_per_record = 3;
+  auto writer =
+      RecordDatasetWriter::Create(&env, "rec", options).MoveValue();
+  std::vector<std::string> jpegs;
+  for (int i = 0; i < 7; ++i) {
+    jpegs.push_back(MakeJpeg(40, 32, i, false));
+    ASSERT_TRUE(writer->AddImage(Slice(jpegs.back()), 100 + i).ok());
+  }
+  ASSERT_TRUE(writer->Finish().ok());
+
+  auto ds = RecordDataset::Open(&env, "rec").MoveValue();
+  EXPECT_EQ(ds->num_records(), 3);  // 3 + 3 + 1.
+  EXPECT_EQ(ds->num_images(), 7);
+  int seen = 0;
+  for (int r = 0; r < ds->num_records(); ++r) {
+    auto batch = ds->ReadRecord(r, 1).MoveValue();
+    for (int i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(batch.labels[i], 100 + seen);
+      EXPECT_EQ(batch.jpegs[i], jpegs[seen]);  // Byte-identical storage.
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, 7);
+}
+
+TEST(FilePerImageDataset, OneFilePerImage) {
+  VirtualClock clock;
+  SimEnv env(DeviceProfile::Ram(), &clock);
+  auto writer = FilePerImageWriter::Create(&env, "fpi").MoveValue();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        writer->AddImage(Slice(MakeJpeg(40, 32, i, false)), i * 10).ok());
+  }
+  ASSERT_TRUE(writer->Finish().ok());
+
+  auto ds = FilePerImageDataset::Open(&env, "fpi").MoveValue();
+  EXPECT_EQ(ds->num_records(), 4);
+  for (int i = 0; i < 4; ++i) {
+    auto batch = ds->ReadRecord(i, 1).MoveValue();
+    EXPECT_EQ(batch.size(), 1);
+    EXPECT_EQ(batch.labels[0], i * 10);
+    EXPECT_TRUE(jpeg::Decode(Slice(batch.jpegs[0])).ok());
+  }
+}
+
+}  // namespace
+}  // namespace pcr

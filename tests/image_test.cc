@@ -1,0 +1,233 @@
+// Tests for the image substrate: containers, color conversion, transforms,
+// PPM I/O, quality metrics, and procedural synthesis.
+#include <gtest/gtest.h>
+
+#include "image/color.h"
+#include "image/image.h"
+#include "image/metrics.h"
+#include "image/ppm.h"
+#include "image/procedural.h"
+#include "image/transform.h"
+#include "util/random.h"
+
+namespace pcr {
+namespace {
+
+Image NoiseImage(int w, int h, int channels, uint64_t seed) {
+  Image img(w, h, channels);
+  Rng rng(seed);
+  for (size_t i = 0; i < img.size_bytes(); ++i) {
+    img.data()[i] = static_cast<uint8_t>(rng.Next());
+  }
+  return img;
+}
+
+// ------------------------------------------------------------- Color
+
+TEST(Color, GrayRoundTripIsExact) {
+  const Image gray = NoiseImage(33, 17, 1, 1);
+  const PlanarImage planar = RgbToYcbcr(gray, ChromaSubsampling::k420);
+  EXPECT_EQ(planar.num_components(), 1);
+  const Image back = YcbcrToRgb(planar);
+  EXPECT_EQ(0, memcmp(gray.data(), back.data(), gray.size_bytes()));
+}
+
+TEST(Color, Rgb444RoundTripIsClose) {
+  const Image rgb = NoiseImage(40, 30, 3, 2);
+  const PlanarImage planar = RgbToYcbcr(rgb, ChromaSubsampling::k444);
+  ASSERT_EQ(planar.num_components(), 3);
+  EXPECT_EQ(planar.planes[1].width(), 40);
+  const Image back = YcbcrToRgb(planar);
+  // YCbCr quantizes; allow small error.
+  EXPECT_GT(Psnr(rgb, back), 40.0);
+}
+
+TEST(Color, SubsamplingHalvesChroma) {
+  const Image rgb = NoiseImage(41, 31, 3, 3);  // Odd dims.
+  const PlanarImage planar = RgbToYcbcr(rgb, ChromaSubsampling::k420);
+  EXPECT_EQ(planar.planes[0].width(), 41);
+  EXPECT_EQ(planar.planes[1].width(), 21);
+  EXPECT_EQ(planar.planes[1].height(), 16);
+}
+
+TEST(Color, GraySignalSurvivesRoundTrip420) {
+  // A smooth color image round-trips with modest loss under 4:2:0.
+  Image img(64, 64, 3);
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      img.set(x, y, 0, static_cast<uint8_t>(2 * x + 60));
+      img.set(x, y, 1, static_cast<uint8_t>(2 * y + 40));
+      img.set(x, y, 2, 90);
+    }
+  }
+  const Image back = YcbcrToRgb(RgbToYcbcr(img, ChromaSubsampling::k420));
+  EXPECT_GT(Psnr(img, back), 35.0);
+}
+
+// ------------------------------------------------------------- Transform
+
+TEST(Transform, ResizePreservesConstant) {
+  Image img(50, 40, 3, 77);
+  const Image out = ResizeBilinear(img, 23, 31);
+  EXPECT_EQ(out.width(), 23);
+  for (int y = 0; y < out.height(); ++y) {
+    for (int x = 0; x < out.width(); ++x) {
+      for (int c = 0; c < 3; ++c) EXPECT_EQ(out.at(x, y, c), 77);
+    }
+  }
+}
+
+TEST(Transform, ResizeShortSideKeepsAspect) {
+  const Image img(400, 200, 3);
+  const Image out = ResizeShortSide(img, 100);
+  EXPECT_EQ(out.height(), 100);
+  EXPECT_EQ(out.width(), 200);
+}
+
+TEST(Transform, CropExtractsRegion) {
+  Image img(10, 10, 1);
+  img.set(3, 4, 0, 200);
+  const Image out = Crop(img, 3, 4, 2, 2);
+  EXPECT_EQ(out.width(), 2);
+  EXPECT_EQ(out.at(0, 0, 0), 200);
+}
+
+TEST(Transform, FlipIsInvolution) {
+  const Image img = NoiseImage(13, 9, 3, 4);
+  const Image twice = FlipHorizontal(FlipHorizontal(img));
+  EXPECT_EQ(0, memcmp(img.data(), twice.data(), img.size_bytes()));
+}
+
+TEST(Transform, CenterCropUpscalesSmallInputs) {
+  const Image img(50, 50, 3);
+  const Image out = CenterCrop(img, 100, 100);
+  EXPECT_EQ(out.width(), 100);
+  EXPECT_EQ(out.height(), 100);
+}
+
+TEST(Transform, AugmentProducesRequestedSize) {
+  const Image img = NoiseImage(300, 200, 3, 5);
+  Rng rng(6);
+  AugmentOptions options;
+  options.output_size = 224;
+  const Image out = Augment(img, options, &rng);
+  EXPECT_EQ(out.width(), 224);
+  EXPECT_EQ(out.height(), 224);
+}
+
+// ------------------------------------------------------------- PPM
+
+TEST(Ppm, RoundTripColorAndGray) {
+  for (int channels : {1, 3}) {
+    const Image img = NoiseImage(37, 23, channels, 7 + channels);
+    const std::string encoded = EncodePpm(img);
+    const Image back = DecodePpm(Slice(encoded)).MoveValue();
+    ASSERT_TRUE(img.SameShape(back));
+    EXPECT_EQ(0, memcmp(img.data(), back.data(), img.size_bytes()));
+  }
+}
+
+TEST(Ppm, RejectsBadInput) {
+  EXPECT_FALSE(DecodePpm(Slice("nonsense")).ok());
+  EXPECT_FALSE(DecodePpm(Slice("P6\n10 10\n255\nshort")).ok());
+}
+
+TEST(Ppm, HandlesComments) {
+  const std::string with_comment = "P5\n# a comment\n2 2\n255\nabcd";
+  const Image img = DecodePpm(Slice(with_comment)).MoveValue();
+  EXPECT_EQ(img.width(), 2);
+  EXPECT_EQ(img.at(0, 0, 0), 'a');
+}
+
+// ------------------------------------------------------------- Metrics
+
+TEST(Metrics, IdenticalImagesAreUnity) {
+  const Image img = NoiseImage(128, 96, 3, 9);
+  EXPECT_DOUBLE_EQ(Mse(img, img), 0.0);
+  EXPECT_EQ(Psnr(img, img), 99.0);
+  EXPECT_NEAR(Ssim(img, img), 1.0, 1e-9);
+  EXPECT_NEAR(Msssim(img, img), 1.0, 1e-6);
+}
+
+TEST(Metrics, NoiseDegradesMonotonically) {
+  Rng rng(10);
+  std::vector<float> luma;
+  BackgroundParams bg;
+  RenderBackground(160, 120, bg, &rng, &luma);
+  const Image base = LumaToImage(160, 120, luma, false, &rng);
+
+  double prev_mssim = 1.0, prev_psnr = 100.0;
+  for (double noise : {2.0, 8.0, 25.0}) {
+    Image degraded = base;
+    Rng noise_rng(11);
+    for (size_t i = 0; i < degraded.size_bytes(); ++i) {
+      const double v = degraded.data()[i] + noise * noise_rng.NextGaussian();
+      degraded.data()[i] =
+          static_cast<uint8_t>(std::clamp(v, 0.0, 255.0));
+    }
+    const double mssim = Msssim(base, degraded);
+    const double psnr = Psnr(base, degraded);
+    EXPECT_LT(mssim, prev_mssim);
+    EXPECT_LT(psnr, prev_psnr);
+    prev_mssim = mssim;
+    prev_psnr = psnr;
+  }
+}
+
+TEST(Metrics, MssimInsensitiveToSmallBrightnessShift) {
+  // Structural similarity tolerates a small global luminance shift better
+  // than MSE-based PSNR does.
+  const Image img = NoiseImage(128, 128, 1, 12);
+  Image shifted = img;
+  for (size_t i = 0; i < shifted.size_bytes(); ++i) {
+    shifted.data()[i] =
+        static_cast<uint8_t>(std::min(255, shifted.data()[i] + 6));
+  }
+  EXPECT_GT(Msssim(img, shifted), 0.98);
+  EXPECT_LT(Psnr(img, shifted), 35.0);
+}
+
+TEST(Metrics, WorksOnSmallImages) {
+  // MS-SSIM reduces scale count for images that cannot support 5 dyadic
+  // levels.
+  const Image a = NoiseImage(48, 48, 1, 13);
+  const Image b = NoiseImage(48, 48, 1, 14);
+  const double v = Msssim(a, b);
+  EXPECT_GT(v, -1.0);
+  EXPECT_LT(v, 0.7);  // Unrelated noise: low similarity.
+}
+
+// ------------------------------------------------------------- Procedural
+
+TEST(Procedural, BackgroundIsDeterministicPerSeed) {
+  BackgroundParams bg;
+  std::vector<float> a, b;
+  Rng r1(42), r2(42);
+  RenderBackground(64, 48, bg, &r1, &a);
+  RenderBackground(64, 48, bg, &r2, &b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Procedural, BlobsAddLocalizedEnergy) {
+  std::vector<float> luma(64 * 64, 128.0f);
+  Blob blob;
+  blob.x = 0.5;
+  blob.y = 0.5;
+  blob.radius_px = 5.0;
+  blob.amplitude = 50.0;
+  RenderBlobs(64, 64, {blob}, 0, 0, &luma);
+  EXPECT_GT(luma[32 * 64 + 32], 170.0f);  // Center raised.
+  EXPECT_NEAR(luma[0], 128.0f, 1.0f);     // Corner untouched.
+}
+
+TEST(Procedural, LumaToImageClamps) {
+  std::vector<float> luma = {-50.0f, 300.0f, 128.0f, 0.0f};
+  Rng rng(15);
+  const Image img = LumaToImage(2, 2, luma, false, &rng);
+  EXPECT_EQ(img.at(0, 0, 0), 0);
+  EXPECT_EQ(img.at(1, 0, 0), 255);
+  EXPECT_EQ(img.at(0, 1, 0), 128);
+}
+
+}  // namespace
+}  // namespace pcr

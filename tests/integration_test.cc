@@ -1,0 +1,313 @@
+// End-to-end tests: synthetic dataset -> PCR encoding -> partial reads ->
+// loader -> feature cache -> SGD training -> tuners, plus format parity
+// against the Record/File-per-Image baselines and the pipeline simulator.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/file_per_image.h"
+#include "core/pcr_dataset.h"
+#include "core/record_dataset.h"
+#include "data/dataset_builder.h"
+#include "data/dataset_spec.h"
+#include "image/metrics.h"
+#include "jpeg/codec.h"
+#include "loader/data_loader.h"
+#include "loader/prefetcher.h"
+#include "sim/pipeline_sim.h"
+#include "sim/queueing.h"
+#include "storage/sim_env.h"
+#include "train/dataset_cache.h"
+#include "train/trainer.h"
+#include "tune/dynamic_tuner.h"
+#include "tune/static_tuner.h"
+
+namespace pcr {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    env_ = Env::Default();
+    spec_ = new DatasetSpec(DatasetSpec::TestTiny());
+    BuildFormats formats;
+    formats.pcr = true;
+    formats.record = true;
+    formats.file_per_image = true;
+    auto built = BuildSyntheticDataset(
+        env_, "/tmp/pcr_integration_test_ds", *spec_, formats);
+    ASSERT_TRUE(built.ok()) << built.status();
+    built_ = new BuiltDataset(std::move(built).MoveValue());
+  }
+
+  static Env* env_;
+  static DatasetSpec* spec_;
+  static BuiltDataset* built_;
+};
+
+Env* IntegrationTest::env_ = nullptr;
+DatasetSpec* IntegrationTest::spec_ = nullptr;
+BuiltDataset* IntegrationTest::built_ = nullptr;
+
+TEST_F(IntegrationTest, PcrDatasetOpensWithExpectedShape) {
+  auto ds = PcrDataset::Open(env_, built_->pcr_dir).MoveValue();
+  EXPECT_EQ(ds->num_images(), spec_->num_images);
+  EXPECT_EQ(ds->num_scan_groups(), 10);
+  EXPECT_EQ(ds->num_records(),
+            (spec_->num_images + spec_->images_per_record - 1) /
+                spec_->images_per_record);
+}
+
+TEST_F(IntegrationTest, PrefixBytesAreMonotonic) {
+  auto ds = PcrDataset::Open(env_, built_->pcr_dir).MoveValue();
+  for (int r = 0; r < ds->num_records(); ++r) {
+    uint64_t prev = 0;
+    for (int g = 1; g <= 10; ++g) {
+      const uint64_t bytes = ds->RecordReadBytes(r, g);
+      EXPECT_GT(bytes, prev);
+      prev = bytes;
+    }
+    // Prefix for group 10 equals the file size.
+    auto file_size = env_->GetFileSize(ds->record_path(r)).MoveValue();
+    EXPECT_EQ(prev, file_size);
+  }
+}
+
+TEST_F(IntegrationTest, PartialReadDecodesEveryImage) {
+  auto ds = PcrDataset::Open(env_, built_->pcr_dir).MoveValue();
+  for (int g : {1, 2, 5, 10}) {
+    auto batch = ds->ReadRecord(0, g).MoveValue();
+    EXPECT_EQ(batch.size(), spec_->images_per_record);
+    for (const auto& jpeg_bytes : batch.jpegs) {
+      auto decoded = jpeg::DecodeFull(Slice(jpeg_bytes));
+      ASSERT_TRUE(decoded.ok()) << "group " << g << ": " << decoded.status();
+      EXPECT_EQ(decoded->scans_decoded, g);
+      EXPECT_GT(decoded->image.width(), 0);
+    }
+  }
+}
+
+TEST_F(IntegrationTest, ScanGroup10MatchesOriginalJpegQuality) {
+  // Reading all scan groups must reproduce the full-quality image exactly
+  // (same coefficients as the progressive encode).
+  auto ds = PcrDataset::Open(env_, built_->pcr_dir).MoveValue();
+  auto full = ds->ReadRecord(0, 10).MoveValue();
+  auto record_ds = RecordDataset::Open(env_, built_->record_dir).MoveValue();
+  auto baseline = record_ds->ReadRecord(0, 1).MoveValue();
+  ASSERT_EQ(full.size(), baseline.size());
+  for (int i = 0; i < full.size(); ++i) {
+    const Image a = jpeg::Decode(Slice(full.jpegs[i])).MoveValue();
+    const Image b = jpeg::Decode(Slice(baseline.jpegs[i])).MoveValue();
+    ASSERT_TRUE(a.SameShape(b));
+    EXPECT_EQ(0, memcmp(a.data(), b.data(), a.size_bytes())) << "image " << i;
+  }
+}
+
+TEST_F(IntegrationTest, LabelsConsistentAcrossFormats) {
+  auto pcr_ds = PcrDataset::Open(env_, built_->pcr_dir).MoveValue();
+  auto rec_ds = RecordDataset::Open(env_, built_->record_dir).MoveValue();
+  auto fpi_ds =
+      FilePerImageDataset::Open(env_, built_->file_per_image_dir).MoveValue();
+  EXPECT_EQ(fpi_ds->num_images(), spec_->num_images);
+
+  auto a = pcr_ds->ReadRecord(0, 1).MoveValue();
+  auto b = rec_ds->ReadRecord(0, 1).MoveValue();
+  EXPECT_EQ(a.labels, b.labels);
+  for (int i = 0; i < 8; ++i) {
+    auto c = fpi_ds->ReadRecord(i, 1).MoveValue();
+    EXPECT_EQ(c.labels[0], a.labels[i]);
+  }
+}
+
+TEST_F(IntegrationTest, NoSpaceOverheadVersusRecordFormat) {
+  // Paper §3.1: "There is no space overhead for PCR conversion as the number
+  // of bytes occupied by all formats is within 5%."
+  auto pcr_ds = PcrDataset::Open(env_, built_->pcr_dir).MoveValue();
+  auto rec_ds = RecordDataset::Open(env_, built_->record_dir).MoveValue();
+  const double ratio = static_cast<double>(pcr_ds->total_bytes()) /
+                       static_cast<double>(rec_ds->total_bytes());
+  EXPECT_LT(ratio, 1.05);
+  EXPECT_GT(ratio, 0.80);
+}
+
+TEST_F(IntegrationTest, LowScanGroupsReduceBytesSubstantially) {
+  auto ds = PcrDataset::Open(env_, built_->pcr_dir).MoveValue();
+  const double full = ds->MeanImageBytes(10);
+  const double g1 = ds->MeanImageBytes(1);
+  const double g5 = ds->MeanImageBytes(5);
+  // Paper §3.1: scan groups "drop the effective size ... by 2-10x".
+  EXPECT_GT(full / g1, 2.0);
+  EXPECT_LT(g1, g5);
+  EXPECT_LT(g5, full);
+}
+
+TEST_F(IntegrationTest, MssimProfileIsMonotonicAndHighAtScan5) {
+  auto ds = PcrDataset::Open(env_, built_->pcr_dir).MoveValue();
+  StaticTunerOptions options;
+  options.sample_images = 8;
+  auto profile = ProfileScanGroups(ds.get(), options).MoveValue();
+  ASSERT_EQ(profile.size(), 10u);
+  for (size_t g = 1; g < profile.size(); ++g) {
+    EXPECT_GE(profile[g].mean_mssim, profile[g - 1].mean_mssim - 0.02);
+  }
+  EXPECT_GT(profile[9].mean_mssim, 0.99);  // Group 10 = identical.
+  EXPECT_GT(profile[4].mean_mssim, profile[0].mean_mssim);
+}
+
+TEST_F(IntegrationTest, DataLoaderDeliversEpochs) {
+  auto ds = PcrDataset::Open(env_, built_->pcr_dir).MoveValue();
+  LoaderOptions options;
+  options.scan_policy = std::make_shared<FixedScanPolicy>(2);
+  DataLoader loader(ds.get(), options);
+  std::set<int> records_seen;
+  for (size_t i = 0; i < loader.records_per_epoch(); ++i) {
+    auto batch = loader.NextBatch().MoveValue();
+    EXPECT_EQ(batch.scan_group, 2);
+    EXPECT_EQ(static_cast<int>(batch.images.size()), batch.size());
+    records_seen.insert(batch.record_index);
+  }
+  EXPECT_EQ(records_seen.size(), loader.records_per_epoch());
+  EXPECT_EQ(loader.epoch(), 0);
+  loader.NextBatch().MoveValue();
+  EXPECT_EQ(loader.epoch(), 1);
+}
+
+TEST_F(IntegrationTest, PrefetchingLoaderDeliversBatches) {
+  auto ds = PcrDataset::Open(env_, built_->pcr_dir).MoveValue();
+  PrefetchOptions options;
+  options.num_threads = 2;
+  options.queue_depth = 4;
+  options.loader.scan_policy = std::make_shared<FixedScanPolicy>(1);
+  PrefetchingLoader loader(ds.get(), options);
+  for (int i = 0; i < 12; ++i) {
+    auto batch = loader.Next();
+    ASSERT_TRUE(batch.ok()) << batch.status();
+    EXPECT_GT(batch->size(), 0);
+  }
+  loader.Stop();
+  EXPECT_GE(loader.batches_delivered(), 12);
+}
+
+TEST_F(IntegrationTest, TrainingLearnsAndLowScanDegradesOrMatches) {
+  auto ds = PcrDataset::Open(env_, built_->pcr_dir).MoveValue();
+  CachedDatasetOptions options;
+  options.scan_groups = {1, 10};
+  options.features.grid = 8;
+  options.seed = 3;
+  auto cached = CachedDataset::Build(ds.get(), options).MoveValue();
+  EXPECT_EQ(cached.num_classes(), spec_->num_classes);
+
+  TrainerOptions trainer_options;
+  trainer_options.base_lr = 0.3;
+  trainer_options.warmup_epochs = 2;
+  trainer_options.decay_epochs = {};
+  trainer_options.batch_size = 16;
+
+  SoftmaxClassifier model_full(cached.feature_dim(), cached.num_classes(), 1);
+  Trainer trainer_full(&cached, &model_full, trainer_options);
+  for (int e = 0; e < 30; ++e) trainer_full.RunEpoch(10);
+  const double acc_full = trainer_full.TestAccuracy();
+  // 3 balanced classes, blob signal: should be well above chance (33%).
+  EXPECT_GT(acc_full, 60.0);
+}
+
+TEST_F(IntegrationTest, GradientCosineHigherForHigherScans) {
+  auto ds = PcrDataset::Open(env_, built_->pcr_dir).MoveValue();
+  CachedDatasetOptions options;
+  options.scan_groups = {1, 5, 10};
+  options.features.grid = 8;
+  auto cached = CachedDataset::Build(ds.get(), options).MoveValue();
+  SoftmaxClassifier model(cached.feature_dim(), cached.num_classes(), 2);
+  TrainerOptions trainer_options;
+  trainer_options.warmup_epochs = 0;
+  trainer_options.decay_epochs = {};
+  Trainer trainer(&cached, &model, trainer_options);
+  for (int e = 0; e < 3; ++e) trainer.RunEpoch(10);
+
+  const double cos1 = trainer.GradientCosine(1);
+  const double cos5 = trainer.GradientCosine(5);
+  const double cos10 = trainer.GradientCosine(10);
+  EXPECT_NEAR(cos10, 1.0, 1e-6);
+  EXPECT_GE(cos5, cos1 - 0.05);
+  EXPECT_GT(cos1, 0.0);
+}
+
+TEST_F(IntegrationTest, PipelineSimSpeedupTracksByteReduction) {
+  auto ds = PcrDataset::Open(env_, built_->pcr_dir).MoveValue();
+  PipelineSimOptions options;
+  options.model_decode_cost = false;  // Pure I/O: Theorem A.5 exactly.
+  // Slow storage so the pipeline is data-bound.
+  DeviceProfile storage = DeviceProfile::CephCluster();
+  storage.read_bandwidth_bytes_per_sec = 2.0 * (1 << 20);
+  storage.seek_latency_sec = 0.0;
+  storage.per_op_latency_sec = 0.0;
+  TrainingPipelineSim sim(ds.get(), storage, ComputeProfile::ResNet18(),
+                          DecodeCostModel{}, options);
+
+  FixedScanPolicy full(10), low(2);
+  const auto full_result = sim.SimulateEpoch(&full);
+  const auto low_result = sim.SimulateEpoch(&low);
+  const double measured_speedup =
+      full_result.elapsed_seconds / low_result.elapsed_seconds;
+  const double predicted =
+      DataReductionSpeedup(ds->MeanImageBytes(10), ds->MeanImageBytes(2));
+  EXPECT_NEAR(measured_speedup, predicted, 0.15 * predicted);
+}
+
+TEST_F(IntegrationTest, PipelineSimComputeBoundCapsThroughput) {
+  auto ds = PcrDataset::Open(env_, built_->pcr_dir).MoveValue();
+  PipelineSimOptions options;
+  options.model_decode_cost = false;
+  // Fast storage: compute must bind.
+  TrainingPipelineSim sim(ds.get(), DeviceProfile::Ram(),
+                          ComputeProfile::ShuffleNetV2(), DecodeCostModel{},
+                          options);
+  FixedScanPolicy full(10);
+  const auto result = sim.SimulateEpoch(&full);
+  EXPECT_NEAR(result.images_per_sec,
+              ComputeProfile::ShuffleNetV2().ClusterRate(),
+              0.05 * ComputeProfile::ShuffleNetV2().ClusterRate());
+}
+
+TEST_F(IntegrationTest, CosineTunerPrefersCheapGroupsWhenSafe) {
+  auto ds = PcrDataset::Open(env_, built_->pcr_dir).MoveValue();
+  CachedDatasetOptions options;
+  options.scan_groups = {1, 2, 5, 10};
+  options.features.grid = 8;
+  auto cached = CachedDataset::Build(ds.get(), options).MoveValue();
+  SoftmaxClassifier model(cached.feature_dim(), cached.num_classes(), 4);
+  TrainerOptions trainer_options;
+  trainer_options.warmup_epochs = 2;
+  trainer_options.decay_epochs = {};
+  Trainer trainer(&cached, &model, trainer_options);
+
+  CosineTunerOptions tuner_options;
+  tuner_options.first_tune_epoch = 2;
+  tuner_options.tune_every = 10;
+  tuner_options.cosine_threshold = 0.5;  // Permissive: should pick low group.
+  CosineTuner tuner(tuner_options);
+  for (int e = 0; e < 5; ++e) {
+    auto policy = tuner.Advise(&trainer);
+    ASSERT_NE(policy, nullptr);
+    trainer.RunEpochMixture(policy.get());
+  }
+  ASSERT_FALSE(tuner.events().empty());
+  EXPECT_LT(tuner.current_group(), 10);
+}
+
+TEST_F(IntegrationTest, SimEnvRoundTripsDataset) {
+  // Stage the PCR dataset into a simulated cluster and read it back.
+  VirtualClock clock;
+  SimEnv sim_env(DeviceProfile::CephCluster(), &clock);
+  ASSERT_TRUE(
+      sim_env.ImportTree(env_, built_->pcr_dir, "cluster/pcr").ok());
+  auto ds = PcrDataset::Open(&sim_env, "cluster/pcr").MoveValue();
+  EXPECT_EQ(ds->num_images(), spec_->num_images);
+  const int64_t t0 = clock.NowNanos();
+  auto batch = ds->ReadRecord(0, 1).MoveValue();
+  EXPECT_GT(batch.size(), 0);
+  EXPECT_GT(clock.NowNanos(), t0);  // The read charged simulated time.
+}
+
+}  // namespace
+}  // namespace pcr

@@ -1,0 +1,437 @@
+// Tests for the from-scratch JPEG codec: DCT, Huffman, baseline and
+// progressive round trips, lossless transcoding, scan indexing, and partial
+// (prefix) decoding — the properties PCR correctness rests on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "image/image.h"
+#include "image/metrics.h"
+#include "image/procedural.h"
+#include "jpeg/bit_io.h"
+#include "jpeg/codec.h"
+#include "jpeg/constants.h"
+#include "jpeg/dct.h"
+#include "jpeg/huffman.h"
+#include "jpeg/scan_parser.h"
+#include "jpeg/scan_script.h"
+#include "util/random.h"
+
+namespace pcr::jpeg {
+namespace {
+
+Image MakeTestImage(int w, int h, bool color, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> luma;
+  BackgroundParams params;
+  RenderBackground(w, h, params, &rng, &luma);
+  auto blobs = SampleBlobs(10, 12.0, 45.0, &rng);
+  RenderBlobs(w, h, blobs, 0, 0, &luma);
+  AddNoise(2.0, &rng, &luma);
+  return LumaToImage(w, h, luma, color, &rng);
+}
+
+// ---------------------------------------------------------------- DCT
+
+TEST(Dct, RoundTripIsIdentity) {
+  Rng rng(1);
+  double in[64], freq[64], out[64];
+  for (int trial = 0; trial < 50; ++trial) {
+    for (double& v : in) v = rng.UniformDouble(-128.0, 127.0);
+    ForwardDct8x8(in, freq);
+    InverseDct8x8(freq, out);
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_NEAR(in[i], out[i], 1e-9);
+    }
+  }
+}
+
+TEST(Dct, ConstantBlockHasOnlyDc) {
+  double in[64], freq[64];
+  for (double& v : in) v = 57.0;
+  ForwardDct8x8(in, freq);
+  EXPECT_NEAR(freq[0], 8.0 * 57.0, 1e-9);  // DC = 8 * mean.
+  for (int i = 1; i < 64; ++i) EXPECT_NEAR(freq[i], 0.0, 1e-9);
+}
+
+TEST(Dct, ParsevalEnergyPreserved) {
+  Rng rng(7);
+  double in[64], freq[64];
+  for (double& v : in) v = rng.UniformDouble(-100, 100);
+  ForwardDct8x8(in, freq);
+  double e_in = 0, e_out = 0;
+  for (int i = 0; i < 64; ++i) {
+    e_in += in[i] * in[i];
+    e_out += freq[i] * freq[i];
+  }
+  EXPECT_NEAR(e_in, e_out, 1e-6 * e_in);
+}
+
+// ---------------------------------------------------------------- Bit I/O
+
+TEST(BitIo, RoundTripWithStuffing) {
+  std::string buf;
+  BitWriter writer(&buf);
+  Rng rng(3);
+  std::vector<std::pair<uint32_t, int>> writes;
+  for (int i = 0; i < 1000; ++i) {
+    const int n = 1 + static_cast<int>(rng.Uniform(16));
+    const uint32_t bits = static_cast<uint32_t>(rng.Next()) & ((1u << n) - 1);
+    writes.emplace_back(bits, n);
+    writer.WriteBits(bits, n);
+  }
+  writer.AlignToByte();
+
+  BitReader reader(buf);
+  for (const auto& [bits, n] : writes) {
+    EXPECT_EQ(reader.ReadBits(n), bits);
+  }
+  EXPECT_FALSE(reader.Exhausted());
+}
+
+TEST(BitIo, AllOnesProducesStuffBytes) {
+  std::string buf;
+  BitWriter writer(&buf);
+  writer.WriteBits(0xffff, 16);
+  writer.AlignToByte();
+  // Two 0xFF bytes, each followed by a 0x00 stuff byte.
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(static_cast<uint8_t>(buf[0]), 0xff);
+  EXPECT_EQ(static_cast<uint8_t>(buf[1]), 0x00);
+  EXPECT_EQ(static_cast<uint8_t>(buf[2]), 0xff);
+  EXPECT_EQ(static_cast<uint8_t>(buf[3]), 0x00);
+}
+
+TEST(BitIo, ReaderStopsAtMarker) {
+  std::string buf = {'\xAB', '\xFF', '\xD9'};
+  BitReader reader(buf);
+  EXPECT_EQ(reader.ReadBits(8), 0xABu);
+  reader.ReadBit();
+  EXPECT_TRUE(reader.Exhausted());
+}
+
+// ---------------------------------------------------------------- Huffman
+
+TEST(Huffman, StdTablesRoundTripSymbols) {
+  auto table = HuffTable::FromSpec(StdAcLumaSpec()).MoveValue();
+  std::string buf;
+  BitWriter writer(&buf);
+  std::vector<int> symbols = {0x01, 0x00, 0xF0, 0x11, 0x7A, 0xFA, 0x02};
+  for (int s : symbols) table.EncodeSymbol(&writer, s);
+  writer.AlignToByte();
+  BitReader reader(buf);
+  for (int s : symbols) {
+    EXPECT_EQ(table.DecodeSymbol(&reader), s);
+  }
+}
+
+TEST(Huffman, OptimalTableRoundTripsAndBeatsUniform) {
+  HuffFrequencies freqs;
+  Rng rng(11);
+  std::vector<int> stream;
+  // Skewed distribution over 20 symbols.
+  for (int i = 0; i < 20000; ++i) {
+    const int sym = static_cast<int>(
+        std::min<uint64_t>(19, static_cast<uint64_t>(rng.NextExponential(0.5))));
+    stream.push_back(sym);
+    freqs.Count(sym);
+  }
+  auto table = freqs.BuildOptimal().MoveValue();
+  std::string buf;
+  BitWriter writer(&buf);
+  for (int s : stream) table.EncodeSymbol(&writer, s);
+  writer.AlignToByte();
+  BitReader reader(buf);
+  for (int s : stream) {
+    ASSERT_EQ(table.DecodeSymbol(&reader), s);
+  }
+  // A uniform 5-bit code would need 12500 bytes; optimal must beat it.
+  EXPECT_LT(buf.size(), 12500u);
+}
+
+TEST(Huffman, OptimalTableSingleSymbol) {
+  HuffFrequencies freqs;
+  freqs.Count(42);
+  auto table = freqs.BuildOptimal().MoveValue();
+  EXPECT_TRUE(table.HasSymbol(42));
+  std::string buf;
+  BitWriter writer(&buf);
+  table.EncodeSymbol(&writer, 42);
+  writer.AlignToByte();
+  BitReader reader(buf);
+  EXPECT_EQ(table.DecodeSymbol(&reader), 42);
+}
+
+// ---------------------------------------------------------------- Scripts
+
+TEST(ScanScript, DefaultColorScriptHas10ValidScans) {
+  const auto script = DefaultProgressiveScript(3);
+  EXPECT_EQ(script.size(), 10u);
+  EXPECT_TRUE(ValidateProgressiveScript(script, 3));
+}
+
+TEST(ScanScript, DefaultGrayscaleScriptIsValid) {
+  const auto script = DefaultProgressiveScript(1);
+  EXPECT_EQ(script.size(), 6u);
+  EXPECT_TRUE(ValidateProgressiveScript(script, 1));
+}
+
+TEST(ScanScript, RejectsRefinementBeforeFirstPass) {
+  std::vector<ScanSpec> script(1);
+  script[0].component_indices = {0};
+  script[0].ss = 1;
+  script[0].se = 63;
+  script[0].ah = 1;
+  script[0].al = 0;
+  EXPECT_FALSE(ValidateProgressiveScript(script, 1));
+}
+
+TEST(ScanScript, RejectsMultiComponentAcScan) {
+  std::vector<ScanSpec> script(1);
+  script[0].component_indices = {0, 1};
+  script[0].ss = 1;
+  script[0].se = 63;
+  EXPECT_FALSE(ValidateProgressiveScript(script, 2));
+}
+
+// ---------------------------------------------------------------- Codec
+
+class CodecRoundTrip : public ::testing::TestWithParam<
+                           std::tuple<int, int, bool, bool, int>> {};
+
+TEST_P(CodecRoundTrip, EncodeDecodePsnr) {
+  const auto [w, h, color, progressive, quality] = GetParam();
+  const Image original = MakeTestImage(w, h, color, 99);
+  EncodeOptions options;
+  options.quality = quality;
+  options.progressive = progressive;
+  auto encoded = Encode(original, options);
+  ASSERT_TRUE(encoded.ok()) << encoded.status();
+  auto decoded = DecodeFull(*encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(decoded->complete);
+  EXPECT_EQ(decoded->image.width(), w);
+  EXPECT_EQ(decoded->image.height(), h);
+  EXPECT_EQ(decoded->image.channels(), color ? 3 : 1);
+  const double psnr = Psnr(original, decoded->image);
+  // Quality >= 75 should comfortably exceed 27 dB on this content.
+  EXPECT_GT(psnr, 27.0) << "w=" << w << " h=" << h << " q=" << quality;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CodecRoundTrip,
+    ::testing::Values(
+        std::make_tuple(64, 64, true, false, 90),
+        std::make_tuple(64, 64, true, true, 90),
+        std::make_tuple(97, 55, true, false, 90),   // Non-multiple-of-16.
+        std::make_tuple(97, 55, true, true, 90),
+        std::make_tuple(128, 96, false, false, 90),  // Grayscale.
+        std::make_tuple(128, 96, false, true, 90),
+        std::make_tuple(80, 80, true, true, 75),
+        std::make_tuple(80, 80, true, true, 95),
+        std::make_tuple(8, 8, true, true, 90),       // Single MCU-ish.
+        std::make_tuple(17, 9, true, true, 90)));
+
+TEST(Codec, ProgressiveMatchesBaselinePixels) {
+  // Progressive is a reordering of the same coefficients: fully decoded
+  // output must match the baseline decode bit-for-bit.
+  const Image original = MakeTestImage(120, 88, true, 7);
+  EncodeOptions base_opts;
+  base_opts.quality = 85;
+  auto baseline = Encode(original, base_opts).MoveValue();
+
+  auto progressive = TranscodeToProgressive(baseline).MoveValue();
+  const Image from_base = Decode(baseline).MoveValue();
+  const Image from_prog = Decode(progressive).MoveValue();
+  ASSERT_TRUE(from_base.SameShape(from_prog));
+  EXPECT_EQ(0, memcmp(from_base.data(), from_prog.data(),
+                      from_base.size_bytes()));
+}
+
+TEST(Codec, TranscodeIsLosslessOnCoefficients) {
+  const Image original = MakeTestImage(96, 72, true, 13);
+  EncodeOptions opts;
+  opts.quality = 90;
+  auto baseline = Encode(original, opts).MoveValue();
+  auto progressive = TranscodeToProgressive(baseline).MoveValue();
+
+  auto base_data = DecodeToCoefficients(baseline).MoveValue();
+  auto prog_data = DecodeToCoefficients(progressive).MoveValue();
+  // Compare the nominal (visible) blocks: baseline interleaved scans also
+  // carry AC for MCU padding blocks that progressive per-component scans
+  // rightly skip, so padding blocks may differ without any loss.
+  for (size_t c = 0; c < base_data.frame.components.size(); ++c) {
+    const auto& info = base_data.frame.components[c];
+    for (int by = 0; by < info.height_blocks; ++by) {
+      for (int bx = 0; bx < info.width_blocks; ++bx) {
+        EXPECT_EQ(base_data.coefficients.block(static_cast<int>(c), bx, by),
+                  prog_data.coefficients.block(static_cast<int>(c), bx, by))
+            << "comp " << c << " block (" << bx << "," << by << ")";
+      }
+    }
+  }
+}
+
+TEST(Codec, ProgressiveSmallerThanBaselineTypically) {
+  const Image original = MakeTestImage(320, 240, true, 5);
+  EncodeOptions opts;
+  opts.quality = 90;
+  auto baseline = Encode(original, opts).MoveValue();
+  auto progressive = TranscodeToProgressive(baseline).MoveValue();
+  // The paper: progressive "are actually often smaller in practice"; our
+  // optimized progressive tables should be within ~5% either way.
+  EXPECT_LT(progressive.size(),
+            static_cast<size_t>(1.05 * baseline.size()));
+}
+
+TEST(Codec, PartialScanQualityIsMonotonic) {
+  const Image original = MakeTestImage(160, 120, true, 21);
+  EncodeOptions opts;
+  opts.quality = 90;
+  opts.progressive = true;
+  auto encoded = Encode(original, opts).MoveValue();
+  auto index = IndexScans(encoded).MoveValue();
+  ASSERT_EQ(index.scans.size(), 10u);
+
+  double prev_mssim = 0.0;
+  for (int scans = 1; scans <= 10; ++scans) {
+    const std::string prefix = AssemblePrefix(encoded, index, scans);
+    auto result = DecodeFull(prefix);
+    ASSERT_TRUE(result.ok()) << "scans=" << scans << ": " << result.status();
+    EXPECT_EQ(result->scans_decoded, scans);
+    const double mssim = Msssim(original, result->image);
+    // Allow microscopic non-monotonicity from chroma upsampling.
+    EXPECT_GE(mssim, prev_mssim - 0.01) << "scans=" << scans;
+    prev_mssim = mssim;
+  }
+  EXPECT_GT(prev_mssim, 0.95);
+}
+
+TEST(Codec, PrefixWithAllScansDecodesComplete) {
+  const Image original = MakeTestImage(80, 64, true, 33);
+  EncodeOptions opts;
+  opts.progressive = true;
+  auto encoded = Encode(original, opts).MoveValue();
+  auto index = IndexScans(encoded).MoveValue();
+  const std::string full = AssemblePrefix(encoded, index, 10);
+  auto result = DecodeFull(full).MoveValue();
+  EXPECT_TRUE(result.complete);
+  const Image direct = Decode(encoded).MoveValue();
+  EXPECT_EQ(0, memcmp(direct.data(), result.image.data(),
+                      direct.size_bytes()));
+}
+
+TEST(Codec, TruncatedMidScanStillDecodes) {
+  const Image original = MakeTestImage(96, 96, true, 44);
+  EncodeOptions opts;
+  opts.progressive = true;
+  auto encoded = Encode(original, opts).MoveValue();
+  // Cut in the middle of the byte stream (mid-scan, no EOI).
+  Slice truncated(encoded.data(), encoded.size() / 2);
+  auto result = DecodeFull(truncated);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->complete);
+  EXPECT_EQ(result->image.width(), 96);
+}
+
+TEST(Codec, RejectsGarbage) {
+  EXPECT_FALSE(Decode(Slice("not a jpeg at all")).ok());
+  std::string soi_only = {'\xFF', '\xD8'};
+  EXPECT_FALSE(Decode(Slice(soi_only)).ok());
+}
+
+TEST(Codec, QualityControlsSize) {
+  const Image original = MakeTestImage(200, 150, true, 55);
+  size_t prev_size = 0;
+  for (int quality : {30, 60, 90}) {
+    EncodeOptions opts;
+    opts.quality = quality;
+    auto encoded = Encode(original, opts).MoveValue();
+    EXPECT_GT(encoded.size(), prev_size) << "quality=" << quality;
+    prev_size = encoded.size();
+  }
+}
+
+TEST(Codec, Subsampling420SmallerThan444) {
+  const Image original = MakeTestImage(200, 150, true, 56);
+  EncodeOptions opts444;
+  opts444.subsampling = ChromaSubsampling::k444;
+  EncodeOptions opts420;
+  opts420.subsampling = ChromaSubsampling::k420;
+  auto e444 = Encode(original, opts444).MoveValue();
+  auto e420 = Encode(original, opts420).MoveValue();
+  EXPECT_LT(e420.size(), e444.size());
+}
+
+// ---------------------------------------------------------------- Indexing
+
+TEST(ScanIndex, OffsetsPartitionTheFile) {
+  const Image original = MakeTestImage(100, 80, true, 66);
+  EncodeOptions opts;
+  opts.progressive = true;
+  auto encoded = Encode(original, opts).MoveValue();
+  auto index = IndexScans(encoded).MoveValue();
+
+  EXPECT_TRUE(index.progressive);
+  EXPECT_TRUE(index.has_eoi);
+  EXPECT_EQ(index.num_components, 3);
+  ASSERT_EQ(index.scans.size(), 10u);
+  // Scans tile [header_end, eoi_offset) without gaps.
+  size_t cursor = index.header_end;
+  for (const auto& scan : index.scans) {
+    EXPECT_EQ(scan.start, cursor);
+    EXPECT_GT(scan.end, scan.start);
+    cursor = scan.end;
+  }
+  EXPECT_EQ(cursor, index.eoi_offset);
+  EXPECT_EQ(index.eoi_offset + 2, encoded.size());
+}
+
+TEST(ScanIndex, SpecsMatchDefaultScript) {
+  const Image original = MakeTestImage(64, 64, true, 67);
+  EncodeOptions opts;
+  opts.progressive = true;
+  auto encoded = Encode(original, opts).MoveValue();
+  auto index = IndexScans(encoded).MoveValue();
+  const auto script = DefaultProgressiveScript(3);
+  ASSERT_EQ(index.scans.size(), script.size());
+  for (size_t i = 0; i < script.size(); ++i) {
+    EXPECT_EQ(index.scans[i].spec.component_indices,
+              script[i].component_indices) << "scan " << i;
+    EXPECT_EQ(index.scans[i].spec.ss, script[i].ss) << "scan " << i;
+    EXPECT_EQ(index.scans[i].spec.se, script[i].se) << "scan " << i;
+    EXPECT_EQ(index.scans[i].spec.ah, script[i].ah) << "scan " << i;
+    EXPECT_EQ(index.scans[i].spec.al, script[i].al) << "scan " << i;
+  }
+}
+
+TEST(ScanIndex, BaselineHasOneScan) {
+  const Image original = MakeTestImage(64, 64, true, 68);
+  auto encoded = Encode(original, EncodeOptions{}).MoveValue();
+  auto index = IndexScans(encoded).MoveValue();
+  EXPECT_FALSE(index.progressive);
+  EXPECT_EQ(index.scans.size(), 1u);
+}
+
+// ------------------------------------------------------------- Quant tables
+
+TEST(QuantTables, QualityScaling) {
+  const auto q50 = ScaleQuantTable(kStdLumaQuant, 50);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(q50[i], kStdLumaQuant[i]);
+  const auto q100 = ScaleQuantTable(kStdLumaQuant, 100);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(q100[i], 1);
+  const auto q25 = ScaleQuantTable(kStdLumaQuant, 25);
+  for (int i = 0; i < 64; ++i) EXPECT_GE(q25[i], q50[i]);
+}
+
+TEST(QuantTables, ZigzagIsAPermutation) {
+  std::array<bool, 64> seen{};
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_FALSE(seen[kZigzag[i]]);
+    seen[kZigzag[i]] = true;
+    EXPECT_EQ(kZigzagInverse[kZigzag[i]], i);
+  }
+}
+
+}  // namespace
+}  // namespace pcr::jpeg

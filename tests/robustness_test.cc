@@ -1,0 +1,170 @@
+// Failure-injection and property tests: the decoder and PCR parser must
+// never crash or report success on corrupt/truncated input, and format
+// invariants must hold across randomized shapes.
+#include <gtest/gtest.h>
+
+#include "core/pcr_format.h"
+#include "data/dataset_spec.h"
+#include "image/metrics.h"
+#include "image/transform.h"
+#include "jpeg/codec.h"
+#include "jpeg/scan_parser.h"
+#include "util/random.h"
+
+namespace pcr {
+namespace {
+
+std::string MakeProgressiveJpeg(int w, int h, uint64_t seed) {
+  DatasetSpec spec = DatasetSpec::TestTiny();
+  spec.base_width = w;
+  spec.base_height = h;
+  spec.size_jitter = 0;
+  const Image img = GenerateImage(spec, static_cast<int>(seed % 3), seed);
+  jpeg::EncodeOptions options;
+  options.quality = 88;
+  options.progressive = true;
+  return jpeg::Encode(img, options).MoveValue();
+}
+
+TEST(Robustness, TruncationAtAnyPointNeverCrashes) {
+  const std::string full = MakeProgressiveJpeg(72, 56, 1);
+  Rng rng(2);
+  // Sample truncation points densely (every point for small prefixes, then
+  // random). Decoding either fails cleanly or yields a partial image.
+  std::vector<size_t> cuts;
+  for (size_t i = 0; i < 64 && i < full.size(); ++i) cuts.push_back(i);
+  for (int i = 0; i < 200; ++i) cuts.push_back(rng.Uniform(full.size()));
+  for (size_t cut : cuts) {
+    auto result = jpeg::DecodeFull(Slice(full.data(), cut));
+    if (result.ok()) {
+      EXPECT_GT(result->image.width(), 0);
+    }
+  }
+}
+
+TEST(Robustness, BitFlipsNeverCrashDecoder) {
+  const std::string full = MakeProgressiveJpeg(48, 48, 3);
+  Rng rng(4);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string corrupted = full;
+    const int flips = 1 + static_cast<int>(rng.Uniform(4));
+    for (int f = 0; f < flips; ++f) {
+      corrupted[rng.Uniform(corrupted.size())] ^=
+          static_cast<char>(1 << rng.Uniform(8));
+    }
+    // Any outcome is fine except a crash; if it "succeeds", the image must
+    // have the frame's dimensions.
+    auto result = jpeg::DecodeFull(Slice(corrupted));
+    if (result.ok()) {
+      EXPECT_GT(result->image.width(), 0);
+      EXPECT_GT(result->image.height(), 0);
+    }
+  }
+}
+
+TEST(Robustness, ScanIndexerOnCorruptInput) {
+  const std::string full = MakeProgressiveJpeg(48, 48, 5);
+  Rng rng(6);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string corrupted = full.substr(0, rng.Uniform(full.size()) + 1);
+    if (rng.NextBernoulli(0.5) && corrupted.size() > 4) {
+      corrupted[2 + rng.Uniform(corrupted.size() - 2)] ^= 0xff;
+    }
+    jpeg::IndexScans(corrupted).ok();  // Must not crash.
+  }
+}
+
+TEST(Robustness, PcrHeaderParserOnRandomBytes) {
+  Rng rng(7);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string garbage(rng.Uniform(200), '\0');
+    for (auto& c : garbage) c = static_cast<char>(rng.Next());
+    // Give half the trials a valid magic so the parser goes deeper.
+    if (trial % 2 == 0 && garbage.size() >= 4) {
+      memcpy(garbage.data(), kPcrMagic, 4);
+    }
+    ParsePcrHeader(Slice(garbage)).ok();  // Must not crash.
+  }
+}
+
+TEST(Robustness, AssembleRecordPrefixOnMutatedHeaders) {
+  // Build a valid record file, then mutate header bytes.
+  PcrHeader header;
+  header.num_images = 2;
+  header.num_groups = 3;
+  header.labels = {1, 2};
+  header.jpeg_headers = {"AB", "CD"};
+  header.group_sizes = {{2, 2}, {1, 1}, {3, 3}};
+  std::string file = SerializePcrHeader(&header);
+  file += std::string(12, 'x');  // Payload.
+
+  Rng rng(8);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = file;
+    mutated[rng.Uniform(mutated.size())] ^= static_cast<char>(rng.Next());
+    auto result = AssembleRecordPrefix(Slice(mutated), 3);
+    if (result.ok()) {
+      EXPECT_LE(result->jpegs.size(), 64u);
+    }
+  }
+}
+
+// Property sweep: across qualities and sizes, decode quality must be
+// monotone in quality setting and every scan prefix must decode.
+class QualitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QualitySweep, PrefixesDecodeAndQualityOrders) {
+  const int quality = GetParam();
+  DatasetSpec spec = DatasetSpec::TestTiny();
+  spec.base_width = 56;
+  spec.base_height = 48;
+  spec.size_jitter = 0;
+  const Image img = GenerateImage(spec, 1, 99);
+
+  jpeg::EncodeOptions options;
+  options.quality = quality;
+  options.progressive = true;
+  const std::string encoded = jpeg::Encode(img, options).MoveValue();
+  const auto index = jpeg::IndexScans(encoded).MoveValue();
+  EXPECT_EQ(index.scans.size(), 10u);
+
+  for (int scans = 1; scans <= 10; ++scans) {
+    const std::string prefix = jpeg::AssemblePrefix(encoded, index, scans);
+    auto result = jpeg::DecodeFull(Slice(prefix));
+    ASSERT_TRUE(result.ok()) << "q=" << quality << " scans=" << scans;
+    EXPECT_EQ(result->scans_decoded, scans);
+  }
+
+  // Full decode PSNR must increase with the quality setting.
+  static double prev_psnr = 0.0;
+  if (quality == 40) prev_psnr = 0.0;  // First in the sweep order.
+  const double psnr =
+      Psnr(img, jpeg::Decode(Slice(encoded)).MoveValue());
+  EXPECT_GE(psnr, prev_psnr - 0.5) << "q=" << quality;
+  prev_psnr = psnr;
+}
+
+INSTANTIATE_TEST_SUITE_P(Qualities, QualitySweep,
+                         ::testing::Values(40, 60, 75, 85, 92, 98));
+
+TEST(Robustness, EveryScanPrefixRendersEveryPixelRegion) {
+  // The progressive property: even scan 1 must render a full-size image
+  // (approximate everywhere), not "holes" like truncated sequential JPEG.
+  const std::string encoded = MakeProgressiveJpeg(80, 64, 11);
+  const auto index = jpeg::IndexScans(encoded).MoveValue();
+  const Image full = jpeg::Decode(Slice(encoded)).MoveValue();
+  const std::string prefix = jpeg::AssemblePrefix(encoded, index, 1);
+  const Image low = jpeg::Decode(Slice(prefix)).MoveValue();
+  ASSERT_TRUE(low.SameShape(full));
+  // Per-quadrant MSSIM: every region carries signal (no dead zones).
+  for (int qy = 0; qy < 2; ++qy) {
+    for (int qx = 0; qx < 2; ++qx) {
+      const Image a = Crop(full, qx * 40, qy * 32, 40, 32);
+      const Image b = Crop(low, qx * 40, qy * 32, 40, 32);
+      EXPECT_GT(Ssim(a, b), 0.5) << "quadrant " << qx << "," << qy;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pcr

@@ -1,0 +1,261 @@
+// Tests for the queueing model, pipeline simulator, classifiers, trainer,
+// scan policies, and tuners.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "loader/sampler.h"
+#include "loader/scan_policy.h"
+#include "sim/compute_model.h"
+#include "sim/decode_model.h"
+#include "sim/queueing.h"
+#include "train/classifier.h"
+#include "train/features.h"
+#include "train/trainer.h"
+#include "util/random.h"
+
+namespace pcr {
+namespace {
+
+// ------------------------------------------------------------- Queueing
+
+TEST(Queueing, LemmaA1ReadTimeProportionalToBytes) {
+  IoModel io;
+  io.bandwidth_bytes_per_sec = 100.0e6;
+  io.per_record_overhead_sec = 0.001;
+  const double t1 = ExpectedRecordReadSeconds(io, 100e3, 128);
+  const double t2 = ExpectedRecordReadSeconds(io, 200e3, 128);
+  EXPECT_NEAR((t2 - io.per_record_overhead_sec) /
+                  (t1 - io.per_record_overhead_sec),
+              2.0, 1e-9);
+}
+
+TEST(Queueing, LemmaA2LittlesLaw) {
+  IoModel io;
+  io.bandwidth_bytes_per_sec = 450.0 * (1 << 20);
+  // The paper's example: ~110 kB ImageNet images -> ~4290 img/s.
+  EXPECT_NEAR(DataPipelineThroughput(io, 110e3), 4290.0, 50.0);
+}
+
+TEST(Queueing, TheoremA5Speedup) {
+  EXPECT_DOUBLE_EQ(DataReductionSpeedup(100.0, 50.0), 2.0);
+  EXPECT_DOUBLE_EQ(DataReductionSpeedup(100.0, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(DataReductionSpeedup(100.0, 0.0), 1.0);  // Guard.
+}
+
+TEST(Queueing, RooflineSaturatesAtCompute) {
+  IoModel io;
+  io.bandwidth_bytes_per_sec = 100.0e6;
+  const double xc = 4000.0;
+  EXPECT_DOUBLE_EQ(RooflineThroughput(io, xc, 1e3), xc);  // Compute-bound.
+  EXPECT_NEAR(RooflineThroughput(io, xc, 100e3), 1000.0, 1e-6);  // IO-bound.
+}
+
+TEST(DecodeModel, ProgressiveCostScalesWithScans) {
+  DecodeCostModel model;
+  const double g1 = model.ProgressiveImageSeconds(1, 10);
+  const double g10 = model.ProgressiveImageSeconds(10, 10);
+  EXPECT_LT(g1, g10);
+  EXPECT_GT(g1, 0.0);
+  // All scans: the paper's 40-50% overhead over baseline.
+  EXPECT_NEAR(g10 / model.BaselineImageSeconds(), 1.45, 1e-9);
+}
+
+// ------------------------------------------------------------- Sampler
+
+TEST(RecordSampler, CoversEveryRecordPerEpoch) {
+  RecordSampler sampler(10, /*shuffle=*/true, 1);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    std::vector<bool> seen(10, false);
+    for (int i = 0; i < 10; ++i) {
+      const int r = sampler.Next();
+      EXPECT_FALSE(seen[r]);
+      seen[r] = true;
+    }
+  }
+  EXPECT_EQ(sampler.epoch(), 2);
+}
+
+TEST(RecordSampler, NoShuffleIsSequential) {
+  RecordSampler sampler(5, /*shuffle=*/false, 1);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(sampler.Next(), i);
+  EXPECT_EQ(sampler.Next(), 0);
+}
+
+// ------------------------------------------------------------- Policies
+
+TEST(ScanPolicy, FixedAlwaysSame) {
+  FixedScanPolicy policy(3);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(policy.Select(10, &rng), 3);
+  EXPECT_EQ(policy.Select(2, &rng), 2);  // Clamped.
+}
+
+TEST(ScanPolicy, PaperMixtureFrequencies) {
+  // Weight 10 on group 2 of 10 groups -> group 2 chosen ~10/19 of the time.
+  auto policy = MixtureScanPolicy::PaperMixture(10, 2, 10.0);
+  Rng rng(2);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const int g = policy.Select(10, &rng);
+    EXPECT_GE(g, 1);
+    EXPECT_LE(g, 10);
+    if (g == 2) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 10.0 / 19.0, 0.02);
+}
+
+// ------------------------------------------------------------- Classifier
+
+// A tiny linearly-separable task.
+struct ToyData {
+  std::vector<float> x;
+  std::vector<int64_t> y;
+  int dim = 4;
+  int n = 0;
+
+  explicit ToyData(int n_in, uint64_t seed) : n(n_in) {
+    Rng rng(seed);
+    for (int i = 0; i < n; ++i) {
+      const int label = static_cast<int>(rng.Uniform(3));
+      for (int d = 0; d < dim; ++d) {
+        const double mean = d == label ? 2.0 : 0.0;
+        x.push_back(static_cast<float>(mean + 0.3 * rng.NextGaussian()));
+      }
+      y.push_back(label);
+    }
+  }
+};
+
+template <typename ModelT>
+void TrainToy(ModelT* model, const ToyData& data, int epochs, double lr) {
+  for (int e = 0; e < epochs; ++e) {
+    int in_batch = 0;
+    for (int i = 0; i < data.n; ++i) {
+      model->AccumulateExample(data.x.data() + i * data.dim,
+                               static_cast<int>(data.y[i]));
+      if (++in_batch == 16 || i + 1 == data.n) {
+        model->ApplyUpdate(lr, in_batch);
+        in_batch = 0;
+      }
+    }
+  }
+}
+
+template <typename ModelT>
+double ToyAccuracy(const ModelT& model, const ToyData& data) {
+  int correct = 0;
+  for (int i = 0; i < data.n; ++i) {
+    if (model.Predict(data.x.data() + i * data.dim) == data.y[i]) ++correct;
+  }
+  return 100.0 * correct / data.n;
+}
+
+TEST(SoftmaxClassifier, LearnsSeparableTask) {
+  const ToyData data(300, 1);
+  SoftmaxClassifier model(data.dim, 3, 7);
+  EXPECT_LT(ToyAccuracy(model, data), 60.0);  // Near chance initially.
+  TrainToy(&model, data, 20, 0.5);
+  EXPECT_GT(ToyAccuracy(model, data), 95.0);
+}
+
+TEST(MlpClassifier, LearnsSeparableTask) {
+  const ToyData data(300, 2);
+  MlpClassifier model(data.dim, 16, 3, 7);
+  TrainToy(&model, data, 30, 0.2);
+  EXPECT_GT(ToyAccuracy(model, data), 95.0);
+}
+
+TEST(SoftmaxClassifier, CheckpointRestoresExactly) {
+  const ToyData data(100, 3);
+  SoftmaxClassifier model(data.dim, 3, 7);
+  TrainToy(&model, data, 5, 0.5);
+  const auto checkpoint = model.SaveParams();
+  const double loss_before =
+      model.ExampleLoss(data.x.data(), static_cast<int>(data.y[0]));
+  TrainToy(&model, data, 5, 0.5);
+  model.RestoreParams(checkpoint);
+  EXPECT_DOUBLE_EQ(
+      model.ExampleLoss(data.x.data(), static_cast<int>(data.y[0])),
+      loss_before);
+}
+
+TEST(Classifier, FullGradientMatchesFiniteDifference) {
+  const ToyData data(40, 4);
+  SoftmaxClassifier model(data.dim, 3, 7);
+  const auto grad = model.FullGradient(data.x.data(), data.y.data(), data.n);
+
+  // Perturb one weight via params vector (w is laid out first).
+  auto params = model.SaveParams();
+  const double eps = 1e-3;
+  auto mean_loss = [&](const std::vector<float>& p) {
+    SoftmaxClassifier probe(data.dim, 3, 7);
+    probe.RestoreParams(p);
+    double acc = 0;
+    for (int i = 0; i < data.n; ++i) {
+      acc += probe.ExampleLoss(data.x.data() + i * data.dim,
+                               static_cast<int>(data.y[i]));
+    }
+    return acc / data.n;
+  };
+  for (int idx : {0, 5, 9}) {
+    auto plus = params;
+    plus[idx] += static_cast<float>(eps);
+    auto minus = params;
+    minus[idx] -= static_cast<float>(eps);
+    const double numeric = (mean_loss(plus) - mean_loss(minus)) / (2 * eps);
+    EXPECT_NEAR(grad[idx], numeric, 5e-3) << "weight " << idx;
+  }
+}
+
+TEST(Trainer, CosineSimilarityBounds) {
+  EXPECT_DOUBLE_EQ(CosineSimilarity({1, 0}, {1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({1, 0}, {0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({1, 0}, {-1, 0}), -1.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({0, 0}, {1, 0}), 0.0);  // Degenerate.
+}
+
+// ------------------------------------------------------------- Features
+
+TEST(Features, DimMatchesOptions) {
+  FeatureOptions options;
+  options.grid = 8;
+  options.include_highpass = false;
+  EXPECT_EQ(FeatureExtractor(options).dim(), 64);
+  options.include_highpass = true;
+  EXPECT_EQ(FeatureExtractor(options).dim(), 128);
+}
+
+TEST(Features, HighpassRespondsToFineDetail) {
+  FeatureOptions options;
+  options.grid = 4;
+  FeatureExtractor extractor(options);
+
+  Image smooth(64, 64, 1, 128);
+  Image detailed(64, 64, 1, 128);
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      detailed.set(x, y, 0, (x + y) % 2 ? 160 : 96);  // Checkerboard.
+    }
+  }
+  const auto f_smooth = extractor.Extract(smooth);
+  const auto f_detail = extractor.Extract(detailed);
+  double hp_smooth = 0, hp_detail = 0;
+  for (int i = 16; i < 32; ++i) {
+    hp_smooth += f_smooth[i];
+    hp_detail += f_detail[i];
+  }
+  EXPECT_NEAR(hp_smooth, 0.0, 1e-3);
+  EXPECT_GT(hp_detail, 1.0);
+}
+
+TEST(ComputeProfiles, MatchPaperRates) {
+  EXPECT_NEAR(ComputeProfile::ResNet18().ClusterRate(), 4240.0, 1.0);
+  EXPECT_NEAR(ComputeProfile::ShuffleNetV2().ClusterRate(), 7180.0, 1.0);
+  EXPECT_GT(ComputeProfile::ShuffleNetV2().ClusterRate(),
+            ComputeProfile::ResNet18().ClusterRate());
+}
+
+}  // namespace
+}  // namespace pcr

@@ -1,0 +1,313 @@
+// Tests for the wire format, the KV metadata store, and the storage Envs
+// (Posix and simulated).
+#include <gtest/gtest.h>
+
+#include "kv/kv_store.h"
+#include "storage/env.h"
+#include "storage/sim_device.h"
+#include "storage/sim_env.h"
+#include "util/random.h"
+#include "wire/wire.h"
+
+namespace pcr {
+namespace {
+
+// ------------------------------------------------------------- Wire
+
+TEST(Wire, VarintRoundTrip) {
+  for (uint64_t v : {0ULL, 1ULL, 127ULL, 128ULL, 300ULL, 1ULL << 31,
+                     ~0ULL, 0xdeadbeefcafeULL}) {
+    std::string buf;
+    wire::PutVarint(&buf, v);
+    EXPECT_EQ(buf.size(), wire::VarintLength(v));
+    Slice s(buf);
+    uint64_t out;
+    ASSERT_TRUE(wire::GetVarint(&s, &out));
+    EXPECT_EQ(out, v);
+    EXPECT_TRUE(s.empty());
+  }
+}
+
+TEST(Wire, VarintTruncatedFails) {
+  std::string buf;
+  wire::PutVarint(&buf, 1ULL << 40);
+  Slice s(buf.data(), buf.size() - 1);
+  uint64_t out;
+  EXPECT_FALSE(wire::GetVarint(&s, &out));
+}
+
+TEST(Wire, ZigZag) {
+  const int64_t values[] = {0,  1,  -1, 2, -2, int64_t{1} << 40,
+                            -(int64_t{1} << 40), INT64_MAX, INT64_MIN};
+  for (int64_t v : values) {
+    EXPECT_EQ(wire::ZigZagDecode(wire::ZigZagEncode(v)), v);
+  }
+  EXPECT_EQ(wire::ZigZagEncode(0), 0u);
+  EXPECT_EQ(wire::ZigZagEncode(-1), 1u);
+  EXPECT_EQ(wire::ZigZagEncode(1), 2u);
+}
+
+TEST(Wire, MessageRoundTrip) {
+  wire::WireWriter w;
+  w.PutUint64(1, 42);
+  w.PutSint64(2, -77);
+  w.PutString(3, "hello");
+  w.PutDouble(4, 3.25);
+  w.PutPackedUint64(5, {1, 200, 30000});
+  w.PutBool(6, true);
+
+  wire::WireReader r(Slice(w.buffer()));
+  wire::WireField f;
+  int seen = 0;
+  while (r.Next(&f)) {
+    ++seen;
+    switch (f.field) {
+      case 1: EXPECT_EQ(f.varint, 42u); break;
+      case 2: EXPECT_EQ(f.AsSint64(), -77); break;
+      case 3: EXPECT_EQ(f.bytes.ToString(), "hello"); break;
+      case 4: EXPECT_DOUBLE_EQ(f.AsDouble(), 3.25); break;
+      case 5: {
+        auto packed = wire::WireReader::DecodePackedUint64(f.bytes);
+        ASSERT_TRUE(packed.ok());
+        EXPECT_EQ(*packed, (std::vector<uint64_t>{1, 200, 30000}));
+        break;
+      }
+      case 6: EXPECT_EQ(f.varint, 1u); break;
+      default: FAIL() << "unexpected field " << f.field;
+    }
+  }
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(seen, 6);
+}
+
+TEST(Wire, NestedMessage) {
+  wire::WireWriter inner;
+  inner.PutUint64(1, 7);
+  wire::WireWriter outer;
+  outer.PutMessage(2, inner);
+
+  wire::WireReader r(Slice(outer.buffer()));
+  wire::WireField f;
+  ASSERT_TRUE(r.Next(&f));
+  EXPECT_EQ(f.field, 2);
+  wire::WireReader inner_r(f.bytes);
+  ASSERT_TRUE(inner_r.Next(&f));
+  EXPECT_EQ(f.varint, 7u);
+}
+
+TEST(Wire, CorruptInputReportsError) {
+  std::string bad = "\xFA\xFF\xFF\xFF\xFF\xFF\xFF\xFF\xFF\xFF\xFF";
+  wire::WireReader r((Slice(bad)));
+  wire::WireField f;
+  while (r.Next(&f)) {
+  }
+  EXPECT_FALSE(r.status().ok());
+}
+
+// ------------------------------------------------------------- Env
+
+TEST(PosixEnv, FileRoundTrip) {
+  Env* env = Env::Default();
+  const std::string dir = "/tmp/pcr_env_test";
+  ASSERT_TRUE(env->CreateDir(dir).ok());
+  const std::string path = dir + "/f.bin";
+  std::string payload(10000, '\0');
+  Rng rng(1);
+  for (auto& c : payload) c = static_cast<char>(rng.Next());
+
+  ASSERT_TRUE(env->WriteStringToFile(path, Slice(payload)).ok());
+  EXPECT_TRUE(env->FileExists(path));
+  EXPECT_EQ(*env->GetFileSize(path), payload.size());
+
+  std::string readback;
+  ASSERT_TRUE(env->ReadFileToString(path, &readback).ok());
+  EXPECT_EQ(readback, payload);
+
+  // Random access read.
+  auto file = env->NewRandomAccessFile(path).MoveValue();
+  char scratch[100];
+  Slice out;
+  ASSERT_TRUE(file->Read(5000, 100, scratch, &out).ok());
+  EXPECT_EQ(out.ToString(), payload.substr(5000, 100));
+
+  ASSERT_TRUE(env->RenameFile(path, path + ".2").ok());
+  EXPECT_FALSE(env->FileExists(path));
+  ASSERT_TRUE(env->DeleteFile(path + ".2").ok());
+}
+
+TEST(SimEnv, ChargesTimeForIo) {
+  VirtualClock clock;
+  DeviceProfile profile;
+  profile.read_bandwidth_bytes_per_sec = 1 << 20;  // 1 MiB/s.
+  profile.write_bandwidth_bytes_per_sec = 1 << 20;
+  profile.seek_latency_sec = 0.010;
+  profile.per_op_latency_sec = 0;
+  SimEnv env(profile, &clock);
+
+  std::string payload(1 << 20, 'x');
+  ASSERT_TRUE(env.WriteStringToFile("f", Slice(payload)).ok());
+  const double after_write = clock.NowSeconds();
+  EXPECT_NEAR(after_write, 1.0, 0.01);  // 1 MiB at 1 MiB/s.
+
+  std::string readback;
+  ASSERT_TRUE(env.ReadFileToString("f", &readback).ok());
+  EXPECT_EQ(readback.size(), payload.size());
+  // Read: seek (10 ms) + 1 s transfer.
+  EXPECT_NEAR(clock.NowSeconds() - after_write, 1.010, 0.01);
+}
+
+TEST(SimEnv, SequentialReadsSkipSeek) {
+  VirtualClock clock;
+  DeviceProfile profile;
+  profile.read_bandwidth_bytes_per_sec = 1 << 20;
+  profile.seek_latency_sec = 0.5;
+  profile.per_op_latency_sec = 0;
+  SimEnv env(profile, &clock);
+  ASSERT_TRUE(env.WriteStringToFile("f", Slice(std::string(4096, 'x'))).ok());
+
+  auto file = env.NewRandomAccessFile("f").MoveValue();
+  char scratch[2048];
+  Slice out;
+  const double t0 = clock.NowSeconds();
+  ASSERT_TRUE(file->Read(0, 2048, scratch, &out).ok());
+  const double first = clock.NowSeconds() - t0;
+  EXPECT_GT(first, 0.5);  // Paid the seek.
+  const double t1 = clock.NowSeconds();
+  ASSERT_TRUE(file->Read(2048, 2048, scratch, &out).ok());
+  const double second = clock.NowSeconds() - t1;
+  EXPECT_LT(second, 0.1);  // Sequential continuation: no seek.
+  EXPECT_EQ(env.device()->stats().seeks, 1);
+}
+
+TEST(SimEnv, ListDirAndRename) {
+  VirtualClock clock;
+  SimEnv env(DeviceProfile::Ram(), &clock);
+  ASSERT_TRUE(env.CreateDir("a/b").ok());
+  ASSERT_TRUE(env.WriteStringToFile("a/b/one", Slice("1")).ok());
+  ASSERT_TRUE(env.WriteStringToFile("a/b/two", Slice("2")).ok());
+  auto names = env.ListDir("a/b").MoveValue();
+  EXPECT_EQ(names, (std::vector<std::string>{"one", "two"}));
+  auto top = env.ListDir("a").MoveValue();
+  EXPECT_EQ(top, (std::vector<std::string>{"b"}));
+  ASSERT_TRUE(env.RenameFile("a/b/one", "a/b/zzz").ok());
+  EXPECT_FALSE(env.FileExists("a/b/one"));
+  EXPECT_TRUE(env.FileExists("a/b/zzz"));
+}
+
+// ------------------------------------------------------------- KvStore
+
+class KvStoreTest : public ::testing::TestWithParam<bool> {
+ protected:
+  // Parameterized over Posix vs Sim env.
+  void SetUp() override {
+    if (GetParam()) {
+      clock_ = std::make_unique<VirtualClock>();
+      sim_env_ = std::make_unique<SimEnv>(DeviceProfile::Ram(), clock_.get());
+      env_ = sim_env_.get();
+      path_ = "kv/test.kvlog";
+      ASSERT_TRUE(env_->CreateDir("kv").ok());
+    } else {
+      env_ = Env::Default();
+      ASSERT_TRUE(env_->CreateDir("/tmp/pcr_kv_test").ok());
+      path_ = "/tmp/pcr_kv_test/test.kvlog";
+      if (env_->FileExists(path_)) env_->DeleteFile(path_).ok();
+    }
+  }
+
+  std::unique_ptr<VirtualClock> clock_;
+  std::unique_ptr<SimEnv> sim_env_;
+  Env* env_ = nullptr;
+  std::string path_;
+};
+
+TEST_P(KvStoreTest, PutGetDelete) {
+  auto db = KvStore::Open(env_, path_).MoveValue();
+  ASSERT_TRUE(db->Put("k1", "v1").ok());
+  ASSERT_TRUE(db->Put("k2", "v2").ok());
+  EXPECT_EQ(*db->Get("k1"), "v1");
+  EXPECT_TRUE(db->Contains("k2"));
+  ASSERT_TRUE(db->Delete("k1").ok());
+  EXPECT_TRUE(db->Get("k1").status().IsNotFound());
+  EXPECT_EQ(db->stats().live_keys, 1u);
+}
+
+TEST_P(KvStoreTest, OverwriteKeepsLatest) {
+  auto db = KvStore::Open(env_, path_).MoveValue();
+  ASSERT_TRUE(db->Put("k", "old").ok());
+  ASSERT_TRUE(db->Put("k", "new").ok());
+  EXPECT_EQ(*db->Get("k"), "new");
+}
+
+TEST_P(KvStoreTest, PersistsAcrossReopen) {
+  {
+    auto db = KvStore::Open(env_, path_).MoveValue();
+    ASSERT_TRUE(db->Put("alpha", "1").ok());
+    ASSERT_TRUE(db->Put("beta", "2").ok());
+    ASSERT_TRUE(db->Delete("alpha").ok());
+    ASSERT_TRUE(db->Flush().ok());
+  }
+  auto db = KvStore::Open(env_, path_).MoveValue();
+  EXPECT_TRUE(db->Get("alpha").status().IsNotFound());
+  EXPECT_EQ(*db->Get("beta"), "2");
+}
+
+TEST_P(KvStoreTest, PrefixScan) {
+  auto db = KvStore::Open(env_, path_).MoveValue();
+  ASSERT_TRUE(db->Put("rec/001", "a").ok());
+  ASSERT_TRUE(db->Put("rec/002", "b").ok());
+  ASSERT_TRUE(db->Put("meta", "m").ok());
+  const auto keys = db->ScanPrefix("rec/");
+  EXPECT_EQ(keys, (std::vector<std::string>{"rec/001", "rec/002"}));
+  const auto entries = db->ScanPrefixEntries("rec/");
+  EXPECT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].second, "a");
+}
+
+TEST_P(KvStoreTest, BinaryKeysAndValues) {
+  auto db = KvStore::Open(env_, path_).MoveValue();
+  const std::string key("\x00\xff\x01", 3);
+  std::string value(1000, '\0');
+  Rng rng(2);
+  for (auto& c : value) c = static_cast<char>(rng.Next());
+  ASSERT_TRUE(db->Put(key, value).ok());
+  EXPECT_EQ(*db->Get(key), value);
+}
+
+TEST_P(KvStoreTest, DetectsCorruption) {
+  {
+    auto db = KvStore::Open(env_, path_).MoveValue();
+    ASSERT_TRUE(db->Put("key", "value").ok());
+    ASSERT_TRUE(db->Flush().ok());
+  }
+  // Flip a byte in the log body.
+  std::string raw;
+  ASSERT_TRUE(env_->ReadFileToString(path_, &raw).ok());
+  raw[raw.size() / 2] ^= 0x40;
+  ASSERT_TRUE(env_->WriteStringToFile(path_, Slice(raw)).ok());
+
+  auto fail = KvStore::Open(env_, path_);
+  EXPECT_FALSE(fail.ok());
+  EXPECT_TRUE(fail.status().IsCorruption());
+
+  // Recovery mode drops the bad tail.
+  auto recovered = KvStore::Open(env_, path_, /*truncate_corrupt_tail=*/true);
+  EXPECT_TRUE(recovered.ok()) << recovered.status();
+}
+
+TEST_P(KvStoreTest, CompactShrinksLog) {
+  auto db = KvStore::Open(env_, path_).MoveValue();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(db->Put("key", std::string(100, 'a' + (i % 26))).ok());
+  }
+  ASSERT_TRUE(db->Compact().ok());
+  EXPECT_EQ(db->stats().log_records, 1u);
+  EXPECT_EQ(*db->Get("key"), std::string(100, 'a' + (99 % 26)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Envs, KvStoreTest, ::testing::Values(false, true),
+                         [](const auto& info) {
+                           return info.param ? "SimEnv" : "PosixEnv";
+                         });
+
+}  // namespace
+}  // namespace pcr

@@ -16,7 +16,8 @@
 using namespace pcr;
 using namespace pcr::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  pcr::bench::InitBench(argc, argv);
   printf("Appendix A.2 queueing-model validation\n\n");
   const DatasetSpec spec = DatasetSpec::ImageNetLike();
   DatasetHandle handle = GetDataset(spec, /*with_record_format=*/true,

@@ -12,7 +12,8 @@
 using namespace pcr;
 using namespace pcr::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  pcr::bench::InitBench(argc, argv);
   printf("Pipeline ablations (imagenet_like)\n\n");
   const DatasetSpec spec = DatasetSpec::ImageNetLike();
   DatasetHandle handle = GetDataset(spec);

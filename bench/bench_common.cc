@@ -1,6 +1,9 @@
 #include "bench_common.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "loader/scan_policy.h"
 #include "util/logging.h"
@@ -8,8 +11,49 @@
 
 namespace pcr::bench {
 
-DatasetHandle GetDataset(const DatasetSpec& spec, bool with_record_format,
+namespace {
+
+bool g_smoke = false;
+
+/// Shrinks a dataset spec for --smoke: few small images in small records,
+/// but still enough of each class for the training proxies to run.
+DatasetSpec SmokeSpec(DatasetSpec spec) {
+  spec.images_per_record = std::min(spec.images_per_record, 8);
+  const int floor_images =
+      std::max(4 * spec.num_classes, 2 * spec.images_per_record);
+  spec.num_images = std::min(spec.num_images, floor_images);
+  spec.base_width = std::min(spec.base_width, 160);
+  spec.base_height = std::min(spec.base_height, 120);
+  return spec;
+}
+
+}  // namespace
+
+void InitBench(int argc, char** argv) {
+  const char* env_smoke = std::getenv("PCR_BENCH_SMOKE");
+  if (env_smoke != nullptr && std::strcmp(env_smoke, "0") != 0 &&
+      std::strcmp(env_smoke, "") != 0) {
+    g_smoke = true;
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      g_smoke = true;
+    } else {
+      fprintf(stderr, "usage: %s [--smoke]\n  unknown flag: %s\n", argv[0],
+              argv[i]);
+      std::exit(2);
+    }
+  }
+  if (g_smoke) {
+    fprintf(stderr, "[bench] smoke mode: minimal iterations, shrunk data\n");
+  }
+}
+
+bool SmokeMode() { return g_smoke; }
+
+DatasetHandle GetDataset(const DatasetSpec& spec_in, bool with_record_format,
                          bool with_fpi_format) {
+  const DatasetSpec spec = g_smoke ? SmokeSpec(spec_in) : spec_in;
   Env* env = Env::Default();
   BuildFormats formats;
   formats.pcr = true;
@@ -118,6 +162,11 @@ TrainRecipe TrainRecipe::ForDataset(const std::string& dataset_name) {
     recipe.epochs = 90;
     recipe.trainer.decay_epochs = {30, 60};
   }
+  if (g_smoke) {
+    recipe.epochs = std::min(recipe.epochs, 3);
+    recipe.trainer.warmup_epochs = 1;
+    recipe.trainer.decay_epochs = {2};
+  }
   return recipe;
 }
 
@@ -130,7 +179,12 @@ double TimeToAccuracyResult::SecondsToAccuracy(double target) const {
 
 std::vector<TimeToAccuracyResult> RunTimeToAccuracy(
     const DatasetSpec& spec, const ModelProxy& model,
-    const TimeToAccuracyConfig& config) {
+    const TimeToAccuracyConfig& config_in) {
+  TimeToAccuracyConfig config = config_in;
+  if (g_smoke) {
+    config.repeats = 1;
+    config.eval_every = 1;
+  }
   DatasetHandle handle = GetDataset(spec);
   RecordSource* source = handle.pcr.get();
   const TrainRecipe recipe = TrainRecipe::ForDataset(spec.name);

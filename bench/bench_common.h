@@ -24,8 +24,22 @@
 
 namespace pcr::bench {
 
+/// Parses the flags shared by every bench binary and must be the first call
+/// in each main(). Recognised flags:
+///   --smoke   minimal-iteration mode: shrinks datasets, epochs, repeats and
+///             sweeps so the binary finishes in seconds. CI uses this to
+///             catch bit-rot without burning minutes on full figures.
+/// The PCR_BENCH_SMOKE=1 environment variable is equivalent to --smoke.
+/// Unknown flags abort with a usage message.
+void InitBench(int argc, char** argv);
+
+/// True when --smoke (or PCR_BENCH_SMOKE=1) is active; for bench-specific
+/// clamps that the central ones below do not cover.
+bool SmokeMode();
+
 /// Builds (or loads from the /tmp cache) the dataset for `spec` in the
-/// requested formats and opens the PCR view.
+/// requested formats and opens the PCR view. Under --smoke the spec is
+/// shrunk (fewer, smaller images; smaller records) before building.
 struct DatasetHandle {
   BuiltDataset built;
   std::unique_ptr<PcrDataset> pcr;

@@ -10,7 +10,8 @@
 using namespace pcr;
 using namespace pcr::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  pcr::bench::InitBench(argc, argv);
   printf("Figure 11: per-iteration data-stall trace (imagenet_like, "
          "ResNet18)\n\n");
   const DatasetSpec spec = DatasetSpec::ImageNetLike();

@@ -11,7 +11,8 @@
 using namespace pcr;
 using namespace pcr::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  pcr::bench::InitBench(argc, argv);
   const DatasetSpec spec = DatasetSpec::ImageNetLike();
   DatasetHandle handle = GetDataset(spec, false, /*with_fpi_format=*/true);
   Env* env = Env::Default();

@@ -11,7 +11,8 @@
 using namespace pcr;
 using namespace pcr::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  pcr::bench::InitBench(argc, argv);
   printf("Figure 14: throughput vs byte intensity (roofline)\n\n");
   const DatasetSpec spec = DatasetSpec::ImageNetLike();
   DatasetHandle handle = GetDataset(spec);

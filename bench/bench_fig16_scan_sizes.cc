@@ -13,7 +13,8 @@
 using namespace pcr;
 using namespace pcr::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  pcr::bench::InitBench(argc, argv);
   printf("Figure 16: cumulative bytes read per record, by scan group\n\n");
   for (const DatasetSpec& spec :
        {DatasetSpec::ImageNetLike(), DatasetSpec::Ham10000Like(),

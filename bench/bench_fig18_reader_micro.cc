@@ -26,7 +26,8 @@ double NowSec() {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  pcr::bench::InitBench(argc, argv);
   printf("Figure 18 / §A.5: PCR reader microbenchmark on a simulated SATA "
          "SSD\n\n");
   const DatasetSpec spec = DatasetSpec::CelebAHqLike();

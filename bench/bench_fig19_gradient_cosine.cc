@@ -31,7 +31,8 @@ std::vector<float> MixtureGradient(const Trainer& trainer,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  pcr::bench::InitBench(argc, argv);
   printf("Figure 19: gradient cosine similarity vs scan group "
          "(ham10000_like, ShuffleNet proxy)\n\n");
   const DatasetSpec spec = DatasetSpec::Ham10000Like();

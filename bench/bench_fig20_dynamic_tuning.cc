@@ -94,7 +94,8 @@ void PrintRuns(const char* title, const std::vector<DynamicRun>& runs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  pcr::bench::InitBench(argc, argv);
   printf("Figures 20-22: gradient-cosine dynamic tuning\n");
 
   // ---- Fig 20: HAM10000, both models, with mixtures.

@@ -10,7 +10,8 @@
 using namespace pcr;
 using namespace pcr::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  pcr::bench::InitBench(argc, argv);
   printf("Figures 23-28: full accuracy/loss sweeps\n");
   TimeToAccuracyConfig config;
   config.scan_groups = {1, 2, 5, 10};

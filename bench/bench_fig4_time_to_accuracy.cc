@@ -13,7 +13,8 @@
 using namespace pcr;
 using namespace pcr::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  pcr::bench::InitBench(argc, argv);
   printf("Figure 4: time-to-accuracy, scan groups {1,2,5,baseline}\n");
 
   TimeToAccuracyConfig config;

@@ -9,7 +9,8 @@
 using namespace pcr;
 using namespace pcr::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  pcr::bench::InitBench(argc, argv);
   printf("Figure 5: HAM10000 tolerance differs by model\n");
 
   TimeToAccuracyConfig config;

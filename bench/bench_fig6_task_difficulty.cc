@@ -11,7 +11,8 @@
 using namespace pcr;
 using namespace pcr::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  pcr::bench::InitBench(argc, argv);
   printf("Figure 6/29/30: Cars task difficulty vs scan-group tolerance\n");
 
   const DatasetSpec spec = DatasetSpec::CarsLike();

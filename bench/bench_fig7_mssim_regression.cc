@@ -15,7 +15,8 @@
 using namespace pcr;
 using namespace pcr::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  pcr::bench::InitBench(argc, argv);
   printf("Figure 7: MSSIM vs final accuracy regression (cars_like, "
          "ShuffleNet proxy)\n\n");
   const DatasetSpec spec = DatasetSpec::CarsLike();

@@ -13,7 +13,8 @@
 using namespace pcr;
 using namespace pcr::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  pcr::bench::InitBench(argc, argv);
   printf("Figure 8: loss-based adaptive scan-group tuning on HAM10000\n");
   const DatasetSpec spec = DatasetSpec::Ham10000Like();
   DatasetHandle handle = GetDataset(spec);

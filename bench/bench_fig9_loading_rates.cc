@@ -13,7 +13,8 @@
 using namespace pcr;
 using namespace pcr::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  pcr::bench::InitBench(argc, argv);
   printf("Figure 9: training image rates by dataset and scan group\n\n");
   for (const ModelProxy& model :
        {ModelProxy::ResNet18(), ModelProxy::ShuffleNetV2()}) {

@@ -4,6 +4,10 @@
 // decode-overhead discussion of §A.5.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
 #include "core/pcr_format.h"
 #include "data/dataset_spec.h"
 #include "image/metrics.h"
@@ -114,4 +118,33 @@ BENCHMARK(BM_Msssim);
 }  // namespace
 }  // namespace pcr
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so the binary accepts the suite-wide --smoke
+// flag (or PCR_BENCH_SMOKE=1): smoke mode is translated to a tiny
+// --benchmark_min_time before the remaining flags are handed to the
+// google-benchmark parser.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  static char min_time[] = "--benchmark_min_time=0.001";
+  bool smoke = false;
+  const char* env_smoke = std::getenv("PCR_BENCH_SMOKE");
+  if (env_smoke != nullptr && std::strcmp(env_smoke, "0") != 0 &&
+      std::strcmp(env_smoke, "") != 0) {
+    smoke = true;
+  }
+  for (auto it = args.begin(); it != args.end(); ++it) {
+    if (std::strcmp(*it, "--smoke") == 0) {
+      smoke = true;
+      args.erase(it);
+      break;
+    }
+  }
+  if (smoke) args.push_back(min_time);
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -12,7 +12,8 @@
 using namespace pcr;
 using namespace pcr::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  pcr::bench::InitBench(argc, argv);
   printf("Table 1: PCR dataset size and record count information\n");
   printf("(synthetic analogues; paper values in EXPERIMENTS.md)\n\n");
 

@@ -3,6 +3,7 @@
 // against the Record/File-per-Image baselines and the pipeline simulator.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <set>
 
 #include "core/file_per_image.h"
@@ -22,6 +23,8 @@
 #include "tune/dynamic_tuner.h"
 #include "tune/static_tuner.h"
 
+#include "test_util.h"
+
 namespace pcr {
 namespace {
 
@@ -35,9 +38,17 @@ class IntegrationTest : public ::testing::Test {
     formats.record = true;
     formats.file_per_image = true;
     auto built = BuildSyntheticDataset(
-        env_, "/tmp/pcr_integration_test_ds", *spec_, formats);
+        env_, PerProcessTempDir("pcr_integration_test_ds"), *spec_, formats);
     ASSERT_TRUE(built.ok()) << built.status();
     built_ = new BuiltDataset(std::move(built).MoveValue());
+  }
+
+  static void TearDownTestSuite() {
+    if (built_ != nullptr) std::filesystem::remove_all(built_->root);
+    delete built_;
+    built_ = nullptr;
+    delete spec_;
+    spec_ = nullptr;
   }
 
   static Env* env_;

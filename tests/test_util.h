@@ -1,0 +1,21 @@
+// Helpers shared by the test suites.
+#pragma once
+
+#include <unistd.h>
+
+#include <string>
+
+#include "util/string_util.h"
+
+namespace pcr {
+
+// ctest runs every discovered TEST() as its own process, many in parallel.
+// Fixtures that write through the posix Env must therefore never share a
+// fixed /tmp path across test cases: two processes would race on the same
+// files (half-built datasets, interleaved kv logs). Keying the directory on
+// the pid keeps each test process isolated.
+inline std::string PerProcessTempDir(const std::string& stem) {
+  return StrFormat("/tmp/%s.%d", stem.c_str(), static_cast<int>(getpid()));
+}
+
+}  // namespace pcr

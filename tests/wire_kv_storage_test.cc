@@ -2,12 +2,16 @@
 // (Posix and simulated).
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "kv/kv_store.h"
 #include "storage/env.h"
 #include "storage/sim_device.h"
 #include "storage/sim_env.h"
 #include "util/random.h"
 #include "wire/wire.h"
+
+#include "test_util.h"
 
 namespace pcr {
 namespace {
@@ -108,7 +112,7 @@ TEST(Wire, CorruptInputReportsError) {
 
 TEST(PosixEnv, FileRoundTrip) {
   Env* env = Env::Default();
-  const std::string dir = "/tmp/pcr_env_test";
+  const std::string dir = PerProcessTempDir("pcr_env_test");
   ASSERT_TRUE(env->CreateDir(dir).ok());
   const std::string path = dir + "/f.bin";
   std::string payload(10000, '\0');
@@ -133,6 +137,7 @@ TEST(PosixEnv, FileRoundTrip) {
   ASSERT_TRUE(env->RenameFile(path, path + ".2").ok());
   EXPECT_FALSE(env->FileExists(path));
   ASSERT_TRUE(env->DeleteFile(path + ".2").ok());
+  std::filesystem::remove_all(dir);
 }
 
 TEST(SimEnv, ChargesTimeForIo) {
@@ -208,16 +213,22 @@ class KvStoreTest : public ::testing::TestWithParam<bool> {
       ASSERT_TRUE(env_->CreateDir("kv").ok());
     } else {
       env_ = Env::Default();
-      ASSERT_TRUE(env_->CreateDir("/tmp/pcr_kv_test").ok());
-      path_ = "/tmp/pcr_kv_test/test.kvlog";
+      posix_dir_ = PerProcessTempDir("pcr_kv_test");
+      ASSERT_TRUE(env_->CreateDir(posix_dir_).ok());
+      path_ = posix_dir_ + "/test.kvlog";
       if (env_->FileExists(path_)) env_->DeleteFile(path_).ok();
     }
+  }
+
+  void TearDown() override {
+    if (!posix_dir_.empty()) std::filesystem::remove_all(posix_dir_);
   }
 
   std::unique_ptr<VirtualClock> clock_;
   std::unique_ptr<SimEnv> sim_env_;
   Env* env_ = nullptr;
   std::string path_;
+  std::string posix_dir_;
 };
 
 TEST_P(KvStoreTest, PutGetDelete) {

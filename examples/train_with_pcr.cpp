@@ -36,10 +36,13 @@ int main() {
          dataset->num_images(), dataset->num_records(),
          dataset->num_scan_groups());
 
-  // Decode every quality view once and cache features.
+  // Decode every quality view once and cache features. The build is fed by
+  // the staged LoaderPipeline: storage fetches and JPEG decodes overlap.
   CachedDatasetOptions cache_options;
   cache_options.scan_groups = {1, 2, 5, 10};
   cache_options.features.grid = 10;
+  cache_options.io_threads = 2;
+  cache_options.decode_threads = 4;
   auto cached = CachedDataset::Build(dataset.get(), cache_options).MoveValue();
   printf("cached features: dim=%d classes=%d train=%d test=%d\n\n",
          cached.feature_dim(), cached.num_classes(), cached.train_size(),
@@ -49,8 +52,8 @@ int main() {
   DeviceProfile storage = DeviceProfile::CephCluster();
   storage.read_bandwidth_bytes_per_sec = 3.0 * (1 << 20);
 
-  printf("%-12s %-16s %-14s %-12s\n", "scan group", "sim time (s)",
-         "accuracy (%)", "loss");
+  printf("%-12s %-16s %-18s %-14s %-12s\n", "scan group", "sim time (s)",
+         "stall io/dec (s)", "accuracy (%)", "loss");
   for (int group : {1, 2, 5, 10}) {
     SoftmaxClassifier model(cached.feature_dim(), cached.num_classes(), 1);
     TrainerOptions trainer_options;
@@ -63,13 +66,17 @@ int main() {
                             PipelineSimOptions{});
     FixedScanPolicy policy(group);
     double sim_time = 0;
+    double io_stall = 0, decode_stall = 0;
     double loss = 0;
     for (int epoch = 0; epoch < 40; ++epoch) {
-      sim_time += sim.SimulateEpoch(&policy).elapsed_seconds;
+      const auto epoch_result = sim.SimulateEpoch(&policy);
+      sim_time += epoch_result.elapsed_seconds;
+      io_stall += epoch_result.io_bound_stall_seconds;
+      decode_stall += epoch_result.decode_bound_stall_seconds;
       loss = trainer.RunEpoch(group);
     }
-    printf("%-12d %-16.1f %-14.1f %-12.3f\n", group, sim_time,
-           trainer.TestAccuracy(), loss);
+    printf("%-12d %-16.1f %6.1f / %-9.1f %-14.1f %-12.3f\n", group, sim_time,
+           io_stall, decode_stall, trainer.TestAccuracy(), loss);
   }
   printf("\nlower scan groups read fewer bytes per epoch, so the same number "
          "of epochs completes sooner; quality only suffers if the task "

@@ -77,22 +77,23 @@ uint64_t FilePerImageDataset::RecordReadBytes(int record, int) const {
   return images_[record].file_bytes;
 }
 
-Result<RecordBatch> FilePerImageDataset::ReadRecord(int record, int) {
+Result<RawRecord> FilePerImageDataset::FetchRecord(int record, int) {
   if (record < 0 || record >= num_records()) {
     return Status::OutOfRange("image index out of range");
   }
   const ImageMeta& meta = images_[record];
-  PCR_ASSIGN_OR_RETURN(auto file, env_->NewRandomAccessFile(meta.path));
-  std::string buffer(meta.file_bytes, '\0');
-  Slice data;
-  PCR_RETURN_IF_ERROR(file->Read(0, meta.file_bytes, buffer.data(), &data));
-  if (data.size() != meta.file_bytes) {
-    return Status::IOError("short read of " + meta.path);
+  return FetchFileBytes(env_, meta.path, meta.file_bytes, record,
+                        /*scan_group=*/1);  // Fixed-quality format.
+}
+
+Result<RecordBatch> FilePerImageDataset::AssembleRecord(RawRecord raw) const {
+  if (raw.record < 0 || raw.record >= num_records()) {
+    return Status::OutOfRange("image index out of range");
   }
   RecordBatch batch;
-  batch.bytes_read = meta.file_bytes;
-  batch.labels.push_back(meta.label);
-  batch.jpegs.push_back(std::move(buffer));
+  batch.bytes_read = raw.bytes_read;
+  batch.labels.push_back(images_[raw.record].label);
+  batch.jpegs.push_back(std::move(raw.payload));  // The file IS the JPEG.
   return batch;
 }
 

@@ -213,29 +213,25 @@ uint64_t PcrDataset::RecordReadBytes(int record, int scan_group) const {
   return records_[record].prefix_bytes[scan_group - 1];
 }
 
-Result<RecordBatch> PcrDataset::ReadRecord(int record, int scan_group) {
+Result<RawRecord> PcrDataset::FetchRecord(int record, int scan_group) {
   if (record < 0 || record >= num_records()) {
     return Status::OutOfRange("record index out of range");
   }
   scan_group = std::clamp(scan_group, 1, num_groups_);
   const RecordMeta& meta = records_[record];
-  const uint64_t bytes = meta.prefix_bytes[scan_group - 1];
-
   // One sequential read of the prefix — the core PCR access pattern.
-  PCR_ASSIGN_OR_RETURN(auto file, env_->NewRandomAccessFile(meta.path));
-  std::string buffer(bytes, '\0');
-  Slice result;
-  PCR_RETURN_IF_ERROR(file->Read(0, bytes, buffer.data(), &result));
-  if (result.size() != bytes) {
-    return Status::IOError("short read of " + meta.path);
-  }
+  return FetchFileBytes(env_, meta.path, meta.prefix_bytes[scan_group - 1],
+                        record, scan_group);
+}
 
-  PCR_ASSIGN_OR_RETURN(PcrRecordContent content,
-                       AssembleRecordPrefix(result, scan_group));
+Result<RecordBatch> PcrDataset::AssembleRecord(RawRecord raw) const {
+  PCR_ASSIGN_OR_RETURN(
+      PcrRecordContent content,
+      AssembleRecordPrefix(Slice(raw.payload), raw.scan_group));
   RecordBatch batch;
   batch.labels = std::move(content.labels);
   batch.jpegs = std::move(content.jpegs);
-  batch.bytes_read = bytes;
+  batch.bytes_read = raw.bytes_read;
   return batch;
 }
 

@@ -113,22 +113,19 @@ uint64_t RecordDataset::RecordReadBytes(int record, int) const {
   return records_[record].file_bytes;  // Always full quality.
 }
 
-Result<RecordBatch> RecordDataset::ReadRecord(int record, int) {
+Result<RawRecord> RecordDataset::FetchRecord(int record, int) {
   if (record < 0 || record >= num_records()) {
     return Status::OutOfRange("record index out of range");
   }
   const RecordMeta& meta = records_[record];
-  PCR_ASSIGN_OR_RETURN(auto file, env_->NewRandomAccessFile(meta.path));
-  std::string buffer(meta.file_bytes, '\0');
-  Slice data;
-  PCR_RETURN_IF_ERROR(file->Read(0, meta.file_bytes, buffer.data(), &data));
-  if (data.size() != meta.file_bytes) {
-    return Status::IOError("short read of " + meta.path);
-  }
+  return FetchFileBytes(env_, meta.path, meta.file_bytes, record,
+                        /*scan_group=*/1);  // Fixed-quality format.
+}
 
+Result<RecordBatch> RecordDataset::AssembleRecord(RawRecord raw) const {
   RecordBatch batch;
-  batch.bytes_read = meta.file_bytes;
-  Slice cursor = data;
+  batch.bytes_read = raw.bytes_read;
+  Slice cursor(raw.payload);
   while (!cursor.empty()) {
     uint64_t len;
     if (!wire::GetVarint(&cursor, &len) || len > cursor.size()) {

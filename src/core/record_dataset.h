@@ -61,7 +61,8 @@ class RecordDataset : public RecordSource {
   int RecordImages(int record) const override {
     return records_[record].num_images;
   }
-  Result<RecordBatch> ReadRecord(int record, int scan_group) override;
+  Result<RawRecord> FetchRecord(int record, int scan_group) override;
+  Result<RecordBatch> AssembleRecord(RawRecord raw) const override;
   std::string format_name() const override { return "record"; }
   uint64_t total_bytes() const override;
 

@@ -7,9 +7,39 @@
 #include <string>
 #include <vector>
 
+#include "storage/env.h"
 #include "util/result.h"
 
 namespace pcr {
+
+/// The raw bytes fetched from storage for one record read, before any
+/// parsing or decoding. Produced by the I/O stage of the loader pipeline and
+/// consumed by the decode stage (RecordSource::AssembleRecord).
+struct RawRecord {
+  int record = -1;
+  int scan_group = 0;   // Clamped group the payload was fetched at.
+  std::string payload;  // Exact on-storage bytes of the (partial) record.
+  uint64_t bytes_read = 0;
+};
+
+/// Shared I/O helper for FetchRecord implementations: one sequential read of
+/// the first `bytes` bytes of `path` into a RawRecord payload.
+inline Result<RawRecord> FetchFileBytes(Env* env, const std::string& path,
+                                        uint64_t bytes, int record,
+                                        int scan_group) {
+  PCR_ASSIGN_OR_RETURN(auto file, env->NewRandomAccessFile(path));
+  RawRecord raw;
+  raw.record = record;
+  raw.scan_group = scan_group;
+  raw.payload.resize(bytes);
+  Slice result;
+  PCR_RETURN_IF_ERROR(file->Read(0, bytes, raw.payload.data(), &result));
+  if (result.size() != bytes) {
+    return Status::IOError("short read of " + path);
+  }
+  raw.bytes_read = bytes;
+  return raw;
+}
 
 /// The images+labels yielded by one record read.
 struct RecordBatch {
@@ -24,6 +54,12 @@ struct RecordBatch {
 /// compressed images. Reads may be parameterized by scan group: PCRs return
 /// reduced-quality data with proportionally fewer bytes; fixed-quality
 /// formats ignore the parameter.
+///
+/// Reads are split into two first-class operations so the staged loader
+/// pipeline can run them on different resources:
+///   FetchRecord    — pure I/O: one (partial) sequential read through Env.
+///   AssembleRecord — pure CPU: parse the payload into JPEG streams+labels.
+/// ReadRecord composes the two for synchronous callers.
 class RecordSource {
  public:
   virtual ~RecordSource() = default;
@@ -33,15 +69,26 @@ class RecordSource {
   /// Number of quality levels addressable (1 for fixed-quality formats).
   virtual int num_scan_groups() const = 0;
 
-  /// Bytes a ReadRecord(record, scan_group) will fetch from storage.
+  /// Bytes a FetchRecord(record, scan_group) will fetch from storage.
   virtual uint64_t RecordReadBytes(int record, int scan_group) const = 0;
 
   /// Number of images record `record` holds (known from metadata, no I/O).
   virtual int RecordImages(int record) const = 0;
 
-  /// Fetches a record at the given quality. scan_group is clamped to
-  /// [1, num_scan_groups()].
-  virtual Result<RecordBatch> ReadRecord(int record, int scan_group) = 0;
+  /// I/O-only half of a read: fetches the record's raw bytes at the given
+  /// quality, touching storage but doing no parsing or decoding. scan_group
+  /// is clamped to [1, num_scan_groups()]. Thread-safe.
+  virtual Result<RawRecord> FetchRecord(int record, int scan_group) = 0;
+
+  /// CPU-only half of a read: parses a fetched payload into standalone JPEG
+  /// streams and labels. Performs no I/O. Thread-safe.
+  virtual Result<RecordBatch> AssembleRecord(RawRecord raw) const = 0;
+
+  /// Convenience: FetchRecord + AssembleRecord in one call.
+  Result<RecordBatch> ReadRecord(int record, int scan_group) {
+    PCR_ASSIGN_OR_RETURN(RawRecord raw, FetchRecord(record, scan_group));
+    return AssembleRecord(std::move(raw));
+  }
 
   /// Human-readable format name for benchmark output.
   virtual std::string format_name() const = 0;

@@ -4,6 +4,21 @@
 
 namespace pcr {
 
+Result<LoadedBatch> DecodeRecordBatch(RecordBatch raw, int record_index,
+                                      int scan_group) {
+  LoadedBatch batch;
+  batch.record_index = record_index;
+  batch.scan_group = scan_group;
+  batch.labels = std::move(raw.labels);
+  batch.bytes_read = raw.bytes_read;
+  batch.images.reserve(raw.jpegs.size());
+  for (const auto& bytes : raw.jpegs) {
+    PCR_ASSIGN_OR_RETURN(Image img, jpeg::Decode(Slice(bytes)));
+    batch.images.push_back(std::move(img));
+  }
+  return batch;
+}
+
 DataLoader::DataLoader(RecordSource* source, LoaderOptions options)
     : source_(source), options_(std::move(options)),
       sampler_(source->num_records(), options_.shuffle, options_.seed),
@@ -24,20 +39,9 @@ Result<LoadedBatch> DataLoader::NextBatch() {
 Result<LoadedBatch> DataLoader::LoadRecord(int record_index, int scan_group) {
   PCR_ASSIGN_OR_RETURN(RecordBatch raw,
                        source_->ReadRecord(record_index, scan_group));
-  LoadedBatch batch;
-  batch.record_index = record_index;
-  batch.scan_group = scan_group;
-  batch.labels = std::move(raw.labels);
-  batch.bytes_read = raw.bytes_read;
-  if (options_.decode) {
-    batch.images.reserve(raw.jpegs.size());
-    for (const auto& bytes : raw.jpegs) {
-      PCR_ASSIGN_OR_RETURN(Image img, jpeg::Decode(Slice(bytes)));
-      batch.images.push_back(std::move(img));
-    }
-  } else {
-    batch.jpegs = std::move(raw.jpegs);
-  }
+  PCR_ASSIGN_OR_RETURN(
+      LoadedBatch batch,
+      DecodeRecordBatch(std::move(raw), record_index, scan_group));
   ++stats_.records_loaded;
   stats_.images_loaded += batch.size();
   stats_.bytes_read += static_cast<int64_t>(batch.bytes_read);

@@ -1,7 +1,8 @@
-// DataLoader: synchronous record-fetch + decode core. The threaded
-// PrefetchingLoader (prefetcher.h) wraps it for wall-clock pipelines; the
-// virtual-clock TrainingPipelineSim (sim/pipeline_sim.h) drives it directly
-// and overlaps load/compute analytically.
+// DataLoader: synchronous record-fetch + decode core, for callers that want
+// one record at a time on the calling thread. Concurrent wall-clock loading
+// lives in the staged LoaderPipeline (pipeline.h) and its PrefetchingLoader
+// adapter (prefetcher.h); the virtual-clock TrainingPipelineSim
+// (sim/pipeline_sim.h) overlaps load/compute analytically.
 #pragma once
 
 #include <memory>
@@ -22,8 +23,9 @@ struct LoadedBatch {
   int record_index = -1;
   int scan_group = 0;
   std::vector<int64_t> labels;
-  std::vector<Image> images;       // Filled when options.decode.
-  std::vector<std::string> jpegs;  // Filled when !options.decode.
+  std::vector<Image> images;       // Decoded pixels (the default).
+  std::vector<std::string> jpegs;  // Assembled JPEG streams when the
+                                   // pipeline runs with decode off.
   uint64_t bytes_read = 0;
 
   int size() const { return static_cast<int>(labels.size()); }
@@ -32,10 +34,15 @@ struct LoadedBatch {
 struct LoaderOptions {
   bool shuffle = true;
   uint64_t seed = 42;
-  bool decode = true;
   /// Default policy: full quality.
   std::shared_ptr<ScanGroupPolicy> scan_policy;
 };
+
+/// Decodes every JPEG of an assembled RecordBatch into pixels — the shared
+/// CPU half of both the synchronous DataLoader and the pipeline's decode
+/// stage.
+Result<LoadedBatch> DecodeRecordBatch(RecordBatch raw, int record_index,
+                                      int scan_group);
 
 /// Cumulative loader counters.
 struct LoaderStats {

@@ -1,0 +1,231 @@
+#include "loader/pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/logging.h"
+
+namespace pcr {
+
+namespace {
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+LoaderPipeline::LoaderPipeline(RecordSource* source,
+                               LoaderPipelineOptions options)
+    : source_(source), options_(std::move(options)),
+      fetch_queue_(
+          static_cast<size_t>(std::max(1, options_.fetch_queue_depth))),
+      output_queue_(
+          static_cast<size_t>(std::max(1, options_.output_queue_depth))) {
+  PCR_CHECK(source != nullptr);
+  PCR_CHECK_GT(source->num_records(), 0);
+  options_.io_threads = std::max(1, options_.io_threads);
+  options_.decode_threads = std::max(1, options_.decode_threads);
+  if (options_.scan_policy == nullptr) {
+    options_.scan_policy =
+        std::make_shared<FixedScanPolicy>(source->num_scan_groups());
+  }
+  sampler_ = std::make_unique<RecordSampler>(
+      source->num_records(), options_.shuffle, options_.seed);
+  if (options_.max_epochs > 0) {
+    ticket_limit_ = static_cast<int64_t>(options_.max_epochs) *
+                    static_cast<int64_t>(source->num_records());
+  }
+
+  live_io_workers_.store(options_.io_threads);
+  live_decode_workers_.store(options_.decode_threads);
+  decode_pool_ = std::make_unique<ThreadPool>(
+      static_cast<size_t>(options_.decode_threads));
+  for (int t = 0; t < options_.decode_threads; ++t) {
+    decode_pool_->Submit([this] { DecodeWorkerLoop(); });
+  }
+  io_workers_.reserve(options_.io_threads);
+  for (int t = 0; t < options_.io_threads; ++t) {
+    io_workers_.emplace_back(
+        [this, t] { IoWorkerLoop(options_.seed + 0x9e37 * (t + 1)); });
+  }
+}
+
+LoaderPipeline::~LoaderPipeline() { Stop(); }
+
+void LoaderPipeline::RecordError(Status status) {
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    if (first_error_.ok()) first_error_ = std::move(status);
+  }
+  // Tear the stream down: wake every blocked worker. Queued items drain, but
+  // Next() fails fast on the recorded status.
+  fetch_queue_.Close();
+  output_queue_.Close();
+}
+
+Status LoaderPipeline::status() const {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  return first_error_;
+}
+
+void LoaderPipeline::IoWorkerLoop(uint64_t seed) {
+  Rng rng(seed);
+  const int num_groups = source_->num_scan_groups();
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    int record;
+    {
+      std::lock_guard<std::mutex> lock(sampler_mu_);
+      if (ticket_limit_ > 0 && tickets_issued_ >= ticket_limit_) break;
+      record = sampler_->Next();
+      ++tickets_issued_;
+    }
+    const int group = options_.scan_policy->Select(num_groups, &rng);
+
+    const int64_t fetch_start = NowNanos();
+    auto raw = source_->FetchRecord(record, group);
+    io_stats_.AddBusyNanos(NowNanos() - fetch_start);
+    if (!raw.ok()) {
+      RecordError(raw.status().WithContext("loader I/O stage"));
+      break;
+    }
+    io_stats_.AddItem(raw->bytes_read);
+
+    const int64_t push_start = NowNanos();
+    const bool pushed = fetch_queue_.Push(std::move(raw).MoveValue());
+    io_stats_.AddIdleNanos(NowNanos() - push_start);
+    if (!pushed) break;  // Queue closed: Stop() or a stage failure.
+    io_stats_.SampleQueueDepth(fetch_queue_.size());
+  }
+  // Last I/O worker out seals the stage: decode drains what was fetched.
+  if (live_io_workers_.fetch_sub(1) == 1) fetch_queue_.Close();
+}
+
+Result<LoadedBatch> LoaderPipeline::AssembleAndDecode(RawRecord raw) {
+  const int record = raw.record;
+  const int group = raw.scan_group;
+  PCR_ASSIGN_OR_RETURN(RecordBatch assembled,
+                       source_->AssembleRecord(std::move(raw)));
+  if (options_.decode) {
+    return DecodeRecordBatch(std::move(assembled), record, group);
+  }
+  LoadedBatch batch;
+  batch.record_index = record;
+  batch.scan_group = group;
+  batch.labels = std::move(assembled.labels);
+  batch.bytes_read = assembled.bytes_read;
+  batch.jpegs = std::move(assembled.jpegs);
+  return batch;
+}
+
+void LoaderPipeline::DecodeWorkerLoop() {
+  for (;;) {
+    const int64_t pop_start = NowNanos();
+    std::optional<RawRecord> raw = fetch_queue_.Pop();
+    decode_stats_.AddIdleNanos(NowNanos() - pop_start);
+    if (!raw.has_value()) break;  // Upstream sealed and drained.
+    // Residual items drain normally at end-of-stream, but after Stop() or a
+    // stage failure decoding them is wasted work — bail before the decode.
+    if (stopping_.load(std::memory_order_relaxed) || !status().ok()) break;
+
+    decode_in_flight_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t bytes = raw->bytes_read;
+    const int64_t work_start = NowNanos();
+    auto batch = AssembleAndDecode(std::move(*raw));
+    decode_stats_.AddBusyNanos(NowNanos() - work_start);
+    if (!batch.ok()) {
+      decode_in_flight_.fetch_sub(1, std::memory_order_relaxed);
+      RecordError(batch.status().WithContext("loader decode stage"));
+      break;
+    }
+    decode_stats_.AddItem(bytes);
+
+    // Drop the in-flight mark before the push: a consumer woken by this
+    // batch then sees a consistent picture (work either in flight or in the
+    // output queue, never in the gap between).
+    decode_in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    const int64_t push_start = NowNanos();
+    const bool pushed = output_queue_.Push(std::move(batch).MoveValue());
+    decode_stats_.AddIdleNanos(NowNanos() - push_start);
+    if (!pushed) break;  // Queue closed: Stop() or a stage failure.
+    decode_stats_.SampleQueueDepth(output_queue_.size());
+  }
+  // Last decoder out seals the output: the consumer sees end-of-stream.
+  if (live_decode_workers_.fetch_sub(1) == 1) output_queue_.Close();
+}
+
+Result<LoadedBatch> LoaderPipeline::Next() {
+  {
+    // Fail fast: a recorded stage failure outranks queued batches.
+    Status failed = status();
+    if (!failed.ok()) return failed;
+  }
+  std::optional<LoadedBatch> batch = output_queue_.TryPop();
+  if (!batch.has_value()) {
+    // Raw bytes sitting in (or moving through) the decode stage mean
+    // storage has delivered and CPU is the laggard.
+    const bool decode_busy_at_start =
+        fetch_queue_.size() > 0 ||
+        decode_in_flight_.load(std::memory_order_relaxed) > 0;
+    const int64_t stall_start = NowNanos();
+    batch = output_queue_.Pop();
+    const int64_t waited = NowNanos() - stall_start;
+    // A data stall — but only if a batch resolved it; a wait ended by
+    // Stop(), a stage failure, or end-of-stream is teardown, not stalling.
+    // Decode-bound if the decode stage held work at either edge of the
+    // stall: at the start it means the stalled-on record was already
+    // fetched; at the end it means decode is still backed up. An io-bound
+    // stall (storage quiet, decode idle) shows neither.
+    if (batch.has_value()) {
+      const bool decode_bound =
+          decode_busy_at_start || fetch_queue_.size() > 0 ||
+          decode_in_flight_.load(std::memory_order_relaxed) > 0;
+      (decode_bound ? decode_stall_nanos_ : io_stall_nanos_)
+          .fetch_add(waited, std::memory_order_relaxed);
+    }
+  }
+  if (!batch.has_value()) {
+    Status failed = status();
+    if (!failed.ok()) return failed;
+    if (stopping_.load()) return Status::Aborted("loader pipeline stopped");
+    return Status::OutOfRange("loader pipeline: end of stream");
+  }
+  batches_delivered_.fetch_add(1, std::memory_order_relaxed);
+  return std::move(*batch);
+}
+
+void LoaderPipeline::Stop() {
+  stopping_.store(true);
+  fetch_queue_.Close();
+  output_queue_.Close();
+  for (auto& worker : io_workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  if (decode_pool_ != nullptr) decode_pool_->Shutdown();
+}
+
+double LoaderPipeline::stall_seconds() const {
+  return io_stall_seconds() + decode_stall_seconds();
+}
+
+double LoaderPipeline::io_stall_seconds() const {
+  return io_stall_nanos_.load(std::memory_order_relaxed) * 1e-9;
+}
+
+double LoaderPipeline::decode_stall_seconds() const {
+  return decode_stall_nanos_.load(std::memory_order_relaxed) * 1e-9;
+}
+
+StageStatsSnapshot LoaderPipeline::io_stats() const {
+  return io_stats_.Snapshot("io", options_.io_threads,
+                            fetch_queue_.capacity());
+}
+
+StageStatsSnapshot LoaderPipeline::decode_stats() const {
+  return decode_stats_.Snapshot("decode", options_.decode_threads,
+                                output_queue_.capacity());
+}
+
+}  // namespace pcr

@@ -1,0 +1,139 @@
+// LoaderPipeline: the staged wall-clock data loader. Splits every record
+// read into the two resources it actually consumes:
+//
+//   [I/O stage]    io_threads workers pull (record, scan group) tickets from
+//                  a shared epoch sampler and fetch raw scan-group bytes via
+//                  RecordSource::FetchRecord (storage-bound, no CPU work),
+//                  feeding a bounded raw-record queue.
+//   [decode stage] decode_threads workers on a util::ThreadPool pop raw
+//                  records, run RecordSource::AssembleRecord plus parallel
+//                  JPEG decodes (CPU-bound, no I/O), feeding the bounded
+//                  output queue the consumer pops from.
+//
+// Each stage has independently sized thread counts and queue depths, its own
+// StageStats (busy/idle time, items, bytes, queue occupancy), and consumer
+// stalls are attributed to the stage that caused them: a stall with an empty
+// raw queue and no decode in flight is storage's fault (io-bound), anything
+// else means decode could not keep up (decode-bound) — the Figure 11/18
+// breakdown the paper's data-stall analysis needs.
+//
+// Failures in either stage record the first non-OK Status, drain the
+// pipeline, and surface from Next(); with max_epochs set, Next() returns
+// OutOfRange once every record has been delivered exactly once per epoch.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/record_source.h"
+#include "loader/data_loader.h"
+#include "loader/sampler.h"
+#include "loader/scan_policy.h"
+#include "loader/stage_stats.h"
+#include "util/bounded_queue.h"
+#include "util/thread_pool.h"
+
+namespace pcr {
+
+struct LoaderPipelineOptions {
+  /// I/O stage: workers issuing FetchRecord calls.
+  int io_threads = 2;
+  /// Raw records buffered between the I/O and decode stages.
+  int fetch_queue_depth = 8;
+  /// Decode stage: ThreadPool workers running AssembleRecord + jpeg::Decode.
+  int decode_threads = 4;
+  /// Decoded batches buffered ahead of the consumer.
+  int output_queue_depth = 8;
+  /// When false, batches carry assembled JPEG streams instead of decoded
+  /// images (consumers that ship compressed bytes downstream).
+  bool decode = true;
+  /// 0 streams epochs forever; N > 0 delivers exactly N epochs (every record
+  /// once per epoch) and then Next() returns OutOfRange.
+  int max_epochs = 0;
+  bool shuffle = true;
+  uint64_t seed = 42;
+  /// Scan-group selection per record; defaults to full quality.
+  std::shared_ptr<ScanGroupPolicy> scan_policy;
+};
+
+/// Two-stage threaded loader. Thread-safe for a single consumer of Next();
+/// construction starts the stages, destruction (or Stop()) shuts them down.
+class LoaderPipeline {
+ public:
+  LoaderPipeline(RecordSource* source, LoaderPipelineOptions options);
+  ~LoaderPipeline();
+
+  LoaderPipeline(const LoaderPipeline&) = delete;
+  LoaderPipeline& operator=(const LoaderPipeline&) = delete;
+
+  /// Pops the next decoded batch; blocks while the output queue is empty (a
+  /// data stall). Returns the first stage failure if one occurred (failing
+  /// fast past queued batches), OutOfRange at end-of-stream (max_epochs
+  /// reached), or — once already-decoded batches have drained — Aborted
+  /// after Stop().
+  Result<LoadedBatch> Next();
+
+  /// Stops both stages; undecoded queued work is dropped, while batches the
+  /// decode stage already delivered remain poppable via Next(). Idempotent.
+  void Stop();
+
+  /// First non-OK status recorded by either stage (OK while healthy).
+  Status status() const;
+
+  /// Total time Next() spent blocked (the data-stall time of §A.1), split by
+  /// the stage that was the bottleneck when the stall began.
+  double stall_seconds() const;
+  double io_stall_seconds() const;
+  double decode_stall_seconds() const;
+
+  int64_t batches_delivered() const {
+    return batches_delivered_.load(std::memory_order_relaxed);
+  }
+
+  StageStatsSnapshot io_stats() const;
+  StageStatsSnapshot decode_stats() const;
+
+  size_t records_per_epoch() const { return sampler_->records_per_epoch(); }
+
+ private:
+  void IoWorkerLoop(uint64_t seed);
+  void DecodeWorkerLoop();
+  Result<LoadedBatch> AssembleAndDecode(RawRecord raw);
+  void RecordError(Status status);
+
+  RecordSource* source_;
+  LoaderPipelineOptions options_;
+
+  BoundedQueue<RawRecord> fetch_queue_;
+  BoundedQueue<LoadedBatch> output_queue_;
+
+  std::vector<std::thread> io_workers_;
+  std::unique_ptr<ThreadPool> decode_pool_;
+
+  // Ticket issuance: a shared epoch sampler; each record is issued exactly
+  // once per epoch no matter how many I/O workers race on it.
+  std::mutex sampler_mu_;
+  std::unique_ptr<RecordSampler> sampler_;
+  int64_t tickets_issued_ = 0;
+  int64_t ticket_limit_ = 0;  // 0 = unbounded.
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> live_io_workers_{0};
+  std::atomic<int> live_decode_workers_{0};
+  std::atomic<int> decode_in_flight_{0};
+
+  mutable std::mutex error_mu_;
+  Status first_error_;  // OK until a stage fails.
+
+  StageStats io_stats_;
+  StageStats decode_stats_;
+
+  std::atomic<int64_t> io_stall_nanos_{0};
+  std::atomic<int64_t> decode_stall_nanos_{0};
+  std::atomic<int64_t> batches_delivered_{0};
+};
+
+}  // namespace pcr

@@ -1,97 +1,43 @@
 #include "loader/prefetcher.h"
 
-#include <chrono>
-
-#include "jpeg/codec.h"
+#include <algorithm>
 
 namespace pcr {
 
+LoaderPipelineOptions PrefetchingLoader::PipelineOptions(
+    const PrefetchOptions& options) {
+  LoaderPipelineOptions pipeline;
+  // Preserve the knob's pre-pipeline concurrency, not its thread count: the
+  // fused loader's num_threads workers each kept one blocking read in
+  // flight AND decoded, i.e. up to num_threads concurrent fetches and
+  // num_threads-way decode. Giving each stage the full budget keeps both
+  // (I/O workers block in reads rather than burn CPU, so the extra threads
+  // are idle-cheap).
+  const int threads = std::max(1, options.num_threads);
+  pipeline.io_threads = threads;
+  pipeline.decode_threads = threads;
+  pipeline.fetch_queue_depth = options.queue_depth;
+  pipeline.output_queue_depth = options.queue_depth;
+  pipeline.shuffle = options.loader.shuffle;
+  pipeline.seed = options.loader.seed;
+  pipeline.scan_policy = options.loader.scan_policy;
+  return pipeline;
+}
+
 PrefetchingLoader::PrefetchingLoader(RecordSource* source,
                                      PrefetchOptions options)
-    : source_(source), options_(options),
-      queue_(static_cast<size_t>(std::max(1, options.queue_depth))) {
-  sampler_ = std::make_unique<RecordSampler>(
-      source->num_records(), options_.loader.shuffle, options_.loader.seed);
-  const int threads = std::max(1, options_.num_threads);
-  workers_.reserve(threads);
-  for (int t = 0; t < threads; ++t) {
-    workers_.emplace_back(
-        [this, t] { WorkerLoop(options_.loader.seed + 0x9e37 * (t + 1)); });
-  }
-}
-
-PrefetchingLoader::~PrefetchingLoader() { Stop(); }
-
-void PrefetchingLoader::WorkerLoop(uint64_t seed) {
-  Rng rng(seed);
-  std::shared_ptr<ScanGroupPolicy> policy = options_.loader.scan_policy;
-  if (policy == nullptr) {
-    policy = std::make_shared<FixedScanPolicy>(source_->num_scan_groups());
-  }
-  while (!stopping_.load(std::memory_order_relaxed)) {
-    int record;
-    {
-      std::lock_guard<std::mutex> lock(sampler_mu_);
-      record = sampler_->Next();
-    }
-    const int group = policy->Select(source_->num_scan_groups(), &rng);
-    auto raw = source_->ReadRecord(record, group);
-    if (!raw.ok()) {
-      // Propagate failures as an empty poisoned batch; consumers see the
-      // stream end. (Storage errors are fatal for a training run anyway.)
-      queue_.Close();
-      return;
-    }
-    LoadedBatch batch;
-    batch.record_index = record;
-    batch.scan_group = group;
-    batch.labels = std::move(raw->labels);
-    batch.bytes_read = raw->bytes_read;
-    if (options_.loader.decode) {
-      batch.images.reserve(raw->jpegs.size());
-      bool decode_ok = true;
-      for (const auto& bytes : raw->jpegs) {
-        auto img = jpeg::Decode(Slice(bytes));
-        if (!img.ok()) {
-          decode_ok = false;
-          break;
-        }
-        batch.images.push_back(std::move(img).MoveValue());
-      }
-      if (!decode_ok) {
-        queue_.Close();
-        return;
-      }
-    } else {
-      batch.jpegs = std::move(raw->jpegs);
-    }
-    if (!queue_.Push(std::move(batch))) return;  // Closed.
-  }
-}
+    : pipeline_(source, PipelineOptions(options)) {}
 
 Result<LoadedBatch> PrefetchingLoader::Next() {
-  const auto start = std::chrono::steady_clock::now();
-  std::optional<LoadedBatch> batch = queue_.Pop();
-  const auto end = std::chrono::steady_clock::now();
-  const double waited =
-      std::chrono::duration<double>(end - start).count();
-  // Accumulate stall time (atomic double via CAS loop).
-  double old = stall_seconds_.load();
-  while (!stall_seconds_.compare_exchange_weak(old, old + waited)) {
-  }
-  if (!batch.has_value()) {
+  auto batch = pipeline_.Next();
+  if (!batch.ok() && batch.status().code() == StatusCode::kAborted &&
+      pipeline_.status().ok()) {
+    // Only a genuine Stop() leaves the pipeline's own status OK; preserve
+    // the pre-pipeline contract for it. Aborted-coded *stage* failures pass
+    // through untouched.
     return Status::Aborted("prefetching loader stopped");
   }
-  batches_delivered_.fetch_add(1);
-  return std::move(*batch);
-}
-
-void PrefetchingLoader::Stop() {
-  stopping_.store(true);
-  queue_.Close();
-  for (auto& w : workers_) {
-    if (w.joinable()) w.join();
-  }
+  return batch;
 }
 
 }  // namespace pcr

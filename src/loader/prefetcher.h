@@ -1,60 +1,66 @@
-// PrefetchingLoader: the threaded pipeline the paper's loader implements
-// ("We use 4 to 8 threads to prefetch data in the loader"): reader workers
-// pull records, decode them, and feed a bounded queue consumed by training.
+// PrefetchingLoader: the threaded loader the paper's pipeline implements
+// ("We use 4 to 8 threads to prefetch data in the loader"). Kept as the
+// stable consumer-facing API; since the staged-pipeline refactor it is a
+// thin adapter over LoaderPipeline, which separates storage fetches from
+// JPEG decodes and attributes data stalls per stage.
 #pragma once
 
-#include <atomic>
 #include <memory>
-#include <thread>
-#include <vector>
 
 #include "core/record_source.h"
 #include "loader/data_loader.h"
-#include "util/bounded_queue.h"
+#include "loader/pipeline.h"
 
 namespace pcr {
 
 struct PrefetchOptions {
+  /// Per-stage worker count: up to this many storage reads in flight and
+  /// this many parallel decodes, matching the concurrency the pre-pipeline
+  /// fused workers provided at the same setting.
   int num_threads = 4;
   int queue_depth = 8;  // Records buffered ahead of the consumer.
   LoaderOptions loader;
 };
 
-/// Wall-clock prefetching wrapper. Worker threads share a sampler (epoch
-/// stream is interleaved across workers) and push decoded batches into a
-/// bounded queue; Next() pops, blocking on a data stall.
+/// Wall-clock prefetching wrapper over the staged LoaderPipeline: fetch and
+/// decode workers each get `num_threads` threads, buffering through
+/// `queue_depth`-deep queues; Next() pops decoded batches, blocking on a
+/// data stall.
 class PrefetchingLoader {
  public:
   PrefetchingLoader(RecordSource* source, PrefetchOptions options);
-  ~PrefetchingLoader();
 
   PrefetchingLoader(const PrefetchingLoader&) = delete;
   PrefetchingLoader& operator=(const PrefetchingLoader&) = delete;
 
   /// Pops the next batch; blocks while the queue is empty (a data stall).
-  /// Returns an error status after Stop().
+  /// Returns the first storage/decode failure, or — once already-decoded
+  /// batches drain — Aborted after Stop().
   Result<LoadedBatch> Next();
 
-  /// Stops workers and drains the queue.
-  void Stop();
+  /// Stops workers; undecoded queued work is dropped.
+  void Stop() { pipeline_.Stop(); }
 
-  /// Total time Next() spent blocked (the data-stall time of §A.1).
-  double stall_seconds() const { return stall_seconds_.load(); }
-  int64_t batches_delivered() const { return batches_delivered_.load(); }
+  /// Total time Next() spent blocked (the data-stall time of §A.1), plus the
+  /// per-stage attribution of that time.
+  double stall_seconds() const { return pipeline_.stall_seconds(); }
+  double io_stall_seconds() const { return pipeline_.io_stall_seconds(); }
+  double decode_stall_seconds() const {
+    return pipeline_.decode_stall_seconds();
+  }
+
+  int64_t batches_delivered() const { return pipeline_.batches_delivered(); }
+
+  /// First stage failure (OK while healthy).
+  Status status() const { return pipeline_.status(); }
+
+  StageStatsSnapshot io_stats() const { return pipeline_.io_stats(); }
+  StageStatsSnapshot decode_stats() const { return pipeline_.decode_stats(); }
 
  private:
-  void WorkerLoop(uint64_t seed);
+  static LoaderPipelineOptions PipelineOptions(const PrefetchOptions& options);
 
-  RecordSource* source_;
-  PrefetchOptions options_;
-  BoundedQueue<LoadedBatch> queue_;
-  std::vector<std::thread> workers_;
-  // Work distribution: a shared atomic ticket over an epoch-shuffled order.
-  std::mutex sampler_mu_;
-  std::unique_ptr<RecordSampler> sampler_;
-  std::atomic<bool> stopping_{false};
-  std::atomic<double> stall_seconds_{0.0};
-  std::atomic<int64_t> batches_delivered_{0};
+  LoaderPipeline pipeline_;
 };
 
 }  // namespace pcr

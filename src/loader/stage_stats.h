@@ -1,0 +1,82 @@
+// Per-stage counters for the staged loader pipeline. Workers of a stage
+// record busy time (doing the stage's work), idle time (blocked on the
+// upstream or downstream queue), items and bytes processed, and sampled
+// occupancy of the stage's output queue. All counters are lock-free atomics
+// so hot paths never serialize on stats.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace pcr {
+
+/// Point-in-time copy of one stage's counters, with time in seconds.
+struct StageStatsSnapshot {
+  std::string name;
+  int threads = 0;
+  double busy_seconds = 0;  // Summed across the stage's workers.
+  double idle_seconds = 0;  // Blocked pushing/popping stage queues.
+  int64_t items = 0;        // Records completed by the stage.
+  uint64_t bytes = 0;       // Payload bytes through the stage.
+  /// Mean items in the stage's output queue, sampled after each push.
+  double mean_queue_depth = 0;
+  size_t queue_capacity = 0;
+
+  /// busy / (busy + idle): 1.0 means the stage is the bottleneck.
+  double utilization() const {
+    const double total = busy_seconds + idle_seconds;
+    return total > 0 ? busy_seconds / total : 0.0;
+  }
+};
+
+/// Thread-safe accumulator. One instance per pipeline stage, written by every
+/// worker of that stage.
+class StageStats {
+ public:
+  void AddBusyNanos(int64_t nanos) {
+    busy_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  }
+  void AddIdleNanos(int64_t nanos) {
+    idle_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  }
+  void AddItem(uint64_t bytes) {
+    items_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void SampleQueueDepth(size_t depth) {
+    queue_depth_sum_.fetch_add(static_cast<int64_t>(depth),
+                               std::memory_order_relaxed);
+    queue_depth_samples_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  StageStatsSnapshot Snapshot(std::string name, int threads,
+                              size_t queue_capacity) const {
+    StageStatsSnapshot snap;
+    snap.name = std::move(name);
+    snap.threads = threads;
+    snap.busy_seconds = busy_nanos_.load(std::memory_order_relaxed) * 1e-9;
+    snap.idle_seconds = idle_nanos_.load(std::memory_order_relaxed) * 1e-9;
+    snap.items = items_.load(std::memory_order_relaxed);
+    snap.bytes = bytes_.load(std::memory_order_relaxed);
+    const int64_t samples =
+        queue_depth_samples_.load(std::memory_order_relaxed);
+    snap.mean_queue_depth =
+        samples > 0 ? static_cast<double>(queue_depth_sum_.load(
+                          std::memory_order_relaxed)) /
+                          static_cast<double>(samples)
+                    : 0.0;
+    snap.queue_capacity = queue_capacity;
+    return snap;
+  }
+
+ private:
+  std::atomic<int64_t> busy_nanos_{0};
+  std::atomic<int64_t> idle_nanos_{0};
+  std::atomic<int64_t> items_{0};
+  std::atomic<uint64_t> bytes_{0};
+  std::atomic<int64_t> queue_depth_sum_{0};
+  std::atomic<int64_t> queue_depth_samples_{0};
+};
+
+}  // namespace pcr

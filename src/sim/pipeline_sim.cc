@@ -47,16 +47,6 @@ double TrainingPipelineSim::RecordDecodeSeconds(int record,
   return images * per_image;
 }
 
-double TrainingPipelineSim::RecordServiceSeconds(int record,
-                                                 int scan_group) const {
-  // The device serializes I/O; decode spreads over loader threads. The
-  // loader stage's effective service time is whichever resource binds.
-  const double io = RecordIoSeconds(record, scan_group);
-  const double decode = RecordDecodeSeconds(record, scan_group) /
-                        std::max(1, options_.loader_threads);
-  return std::max(io, decode);
-}
-
 EpochSimResult TrainingPipelineSim::SimulateRecords(int num_records,
                                                     ScanGroupPolicy* policy,
                                                     bool keep_trace) {
@@ -86,7 +76,13 @@ EpochSimResult TrainingPipelineSim::SimulateRecords(int num_records,
       loader_start = std::max(loader_start, recent_compute_starts.front());
       recent_compute_starts.pop_front();
     }
-    const double service = RecordServiceSeconds(record, group);
+    const double io = RecordIoSeconds(record, group);
+    const double decode = RecordDecodeSeconds(record, group) /
+                          std::max(1, options_.loader_threads);
+    // The two stages overlap; the slower resource binds the service time
+    // (same attribution rule the wall-clock LoaderPipeline applies).
+    const double service = std::max(io, decode);
+    const bool io_bound = io >= decode;
     const double load_finish = loader_start + service;
     loader_busy_until_ = load_finish;
 
@@ -99,6 +95,10 @@ EpochSimResult TrainingPipelineSim::SimulateRecords(int num_records,
     recent_compute_starts.push_back(compute_start);
 
     result.stall_seconds += stall;
+    (io_bound ? result.io_bound_stall_seconds
+              : result.decode_bound_stall_seconds) += stall;
+    result.io_seconds += io;
+    result.decode_seconds += decode;
     result.bytes_read += source_->RecordReadBytes(record, group);
     result.images += images;
     ++result.records;
@@ -109,7 +109,10 @@ EpochSimResult TrainingPipelineSim::SimulateRecords(int num_records,
       t.scan_group = group;
       t.bytes = source_->RecordReadBytes(record, group);
       t.load_seconds = service;
+      t.io_seconds = io;
+      t.decode_seconds = decode;
       t.data_stall_seconds = stall;
+      t.io_bound = io_bound;
       t.compute_start = compute_start;
       t.compute_finish = compute_finish;
       result.trace.push_back(t);

@@ -39,7 +39,12 @@ struct IterationTrace {
   int scan_group = 0;
   uint64_t bytes = 0;
   double load_seconds = 0;      // Loader service time for this record.
+  double io_seconds = 0;        // Storage time inside the service time.
+  double decode_seconds = 0;    // Parallelized decode time inside it.
   double data_stall_seconds = 0;  // Compute idle time before this record.
+  /// True when the stall (if any) is storage's fault: the record's I/O time
+  /// exceeded its parallelized decode time.
+  bool io_bound = false;
   double compute_start = 0;     // Absolute sim time.
   double compute_finish = 0;
 };
@@ -47,6 +52,14 @@ struct IterationTrace {
 struct EpochSimResult {
   double elapsed_seconds = 0;
   double stall_seconds = 0;
+  /// Stall time split by the loader resource that bound each iteration —
+  /// the per-stage attribution the staged wall-clock pipeline measures.
+  double io_bound_stall_seconds = 0;
+  double decode_bound_stall_seconds = 0;
+  /// Per-stage busy time summed over iterations (decode already divided
+  /// across loader threads).
+  double io_seconds = 0;
+  double decode_seconds = 0;
   double images_per_sec = 0;
   uint64_t bytes_read = 0;
   int images = 0;
@@ -71,10 +84,6 @@ class TrainingPipelineSim {
 
   /// Cumulative simulated seconds across all Simulate* calls.
   double now_seconds() const { return now_; }
-
-  /// Loader service time for one record at a scan group (max of I/O time
-  /// and parallelized decode time) — exposed for the roofline benches.
-  double RecordServiceSeconds(int record, int scan_group) const;
 
   const DeviceProfile& storage() const { return storage_; }
   const ComputeProfile& compute() const { return compute_; }

@@ -1,9 +1,10 @@
 #include "train/dataset_cache.h"
 
 #include <algorithm>
+#include <map>
 #include <set>
 
-#include "jpeg/codec.h"
+#include "loader/pipeline.h"
 #include "util/logging.h"
 #include "util/random.h"
 
@@ -13,6 +14,9 @@ Result<std::vector<CachedDataset>> CachedDataset::BuildMulti(
     RecordSource* source, const CachedDatasetOptions& options,
     const std::vector<FeatureOptions>& extractor_options) {
   PCR_CHECK(!extractor_options.empty());
+  if (source->num_records() <= 0) {
+    return Status::InvalidArgument("dataset has no records to cache");
+  }
   const size_t k = extractor_options.size();
   std::vector<CachedDataset> out(k);
   std::vector<FeatureExtractor> extractors;
@@ -33,41 +37,64 @@ Result<std::vector<CachedDataset>> CachedDataset::BuildMulti(
 
   // Iterate records once per group; the train/test split and the
   // augmentation draws use per-group-identical streams so every quality view
-  // sees the same crop of the same image.
+  // sees the same crop of the same image. Fetch and decode run concurrently
+  // in a staged LoaderPipeline; the RNG streams are positional, so records
+  // pass through a reorder buffer back into index order before extraction.
   std::set<int64_t> class_set;
   for (int g : out[0].cached_groups_) {
     const bool is_max = g == max_group;
     Rng per_image_rng(options.seed + 17);
     std::vector<Rng> augment_rngs(k, Rng(options.seed ^ 0xa5a5a5a5));
-    for (int r = 0; r < source->num_records(); ++r) {
-      PCR_ASSIGN_OR_RETURN(RecordBatch batch, source->ReadRecord(r, g));
-      for (int i = 0; i < batch.size(); ++i) {
-        const bool is_train =
-            per_image_rng.NextDouble() < options.train_fraction;
-        int64_t label = batch.labels[i];
-        if (options.label_map) label = options.label_map(label);
-        if (!is_train && !is_max) continue;  // Test uses full quality only.
-        PCR_ASSIGN_OR_RETURN(Image img, jpeg::Decode(Slice(batch.jpegs[i])));
-        for (size_t m = 0; m < k; ++m) {
-          if (is_train) {
-            const auto features = extractors[m].Extract(img, &augment_rngs[m]);
-            auto& dst = out[m].train_features_[g];
-            dst.insert(dst.end(), features.begin(), features.end());
-          } else {
-            const auto features = extractors[m].Extract(img, nullptr);
-            out[m].test_features_.insert(out[m].test_features_.end(),
-                                         features.begin(), features.end());
+
+    // Non-max passes decode the (later skipped) test images too; the
+    // parallel decode stage absorbs that ~train_fraction remainder, and in
+    // exchange every train image's decode overlaps the next fetch.
+    LoaderPipelineOptions pipeline_options;
+    pipeline_options.io_threads = options.io_threads;
+    pipeline_options.decode_threads = options.decode_threads;
+    pipeline_options.shuffle = false;
+    pipeline_options.max_epochs = 1;
+    pipeline_options.scan_policy = std::make_shared<FixedScanPolicy>(g);
+    LoaderPipeline pipeline(source, pipeline_options);
+
+    std::map<int, LoadedBatch> pending;
+    int next_record = 0;
+    while (next_record < source->num_records()) {
+      PCR_ASSIGN_OR_RETURN(LoadedBatch fetched, pipeline.Next());
+      pending.emplace(fetched.record_index, std::move(fetched));
+      for (auto it = pending.find(next_record); it != pending.end();
+           it = pending.find(++next_record)) {
+        const LoadedBatch& batch = it->second;
+        for (int i = 0; i < batch.size(); ++i) {
+          const bool is_train =
+              per_image_rng.NextDouble() < options.train_fraction;
+          int64_t label = batch.labels[i];
+          if (options.label_map) label = options.label_map(label);
+          if (!is_train && !is_max) continue;  // Test uses full quality only.
+          const Image& img = batch.images[i];
+          for (size_t m = 0; m < k; ++m) {
+            if (is_train) {
+              const auto features =
+                  extractors[m].Extract(img, &augment_rngs[m]);
+              auto& dst = out[m].train_features_[g];
+              dst.insert(dst.end(), features.begin(), features.end());
+            } else {
+              const auto features = extractors[m].Extract(img, nullptr);
+              out[m].test_features_.insert(out[m].test_features_.end(),
+                                           features.begin(), features.end());
+            }
           }
-        }
-        if (is_train) {
-          if (g == out[0].cached_groups_.front()) {
-            out[0].train_labels_.push_back(label);
+          if (is_train) {
+            if (g == out[0].cached_groups_.front()) {
+              out[0].train_labels_.push_back(label);
+              class_set.insert(label);
+            }
+          } else {
+            out[0].test_labels_.push_back(label);
             class_set.insert(label);
           }
-        } else {
-          out[0].test_labels_.push_back(label);
-          class_set.insert(label);
         }
+        pending.erase(it);
       }
     }
   }

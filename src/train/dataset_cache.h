@@ -25,6 +25,11 @@ struct CachedDatasetOptions {
   uint64_t seed = 1;
   /// Optional label remapping (e.g. Cars -> Make-Only -> Is-Corvette).
   std::function<int64_t(int64_t)> label_map;
+  /// Thread counts for the staged LoaderPipeline that feeds the build
+  /// (storage fetch and JPEG decode run concurrently; feature extraction
+  /// stays on the calling thread for determinism).
+  int io_threads = 2;
+  int decode_threads = 4;
 };
 
 /// Feature views of one dataset at several qualities.

@@ -197,6 +197,35 @@ TEST_F(IntegrationTest, PrefetchingLoaderDeliversBatches) {
   }
   loader.Stop();
   EXPECT_GE(loader.batches_delivered(), 12);
+  // The staged pipeline underneath accounts both stages.
+  EXPECT_GE(loader.io_stats().items, 12);
+  EXPECT_GE(loader.decode_stats().items, 12);
+  EXPECT_GT(loader.io_stats().bytes, 0u);
+  EXPECT_GT(loader.decode_stats().busy_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(loader.stall_seconds(), loader.io_stall_seconds() +
+                                               loader.decode_stall_seconds());
+  EXPECT_TRUE(loader.status().ok());
+}
+
+TEST_F(IntegrationTest, PrefetchingLoaderSurfacesStorageFailures) {
+  // Copy the dataset, open it, then delete a record file out from under the
+  // loader: Next() must return the real I/O failure, not a generic abort.
+  const std::string broken_dir = PerProcessTempDir("pcr_integration_broken");
+  std::filesystem::remove_all(broken_dir);
+  std::filesystem::copy(built_->pcr_dir, broken_dir);
+  auto ds = PcrDataset::Open(env_, broken_dir).MoveValue();
+  for (int r = 0; r < ds->num_records(); ++r) {
+    std::filesystem::remove(ds->record_path(r));
+  }
+  PrefetchOptions options;
+  options.num_threads = 2;
+  PrefetchingLoader loader(ds.get(), options);
+  auto batch = loader.Next();
+  while (batch.ok()) batch = loader.Next();
+  EXPECT_FALSE(batch.status().message().empty());
+  EXPECT_NE(batch.status().message().find("I/O stage"), std::string::npos)
+      << batch.status();
+  std::filesystem::remove_all(broken_dir);
 }
 
 TEST_F(IntegrationTest, TrainingLearnsAndLowScanDegradesOrMatches) {

@@ -1,0 +1,362 @@
+// Tests for the staged LoaderPipeline: stage-stats accounting, Status
+// propagation from the I/O and decode stages, shutdown with full and empty
+// queues, end-of-stream epoch semantics, and shuffle determinism (every
+// record delivered exactly once per epoch regardless of thread count).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <thread>
+
+#include "image/image.h"
+#include "jpeg/codec.h"
+#include "loader/pipeline.h"
+#include "loader/prefetcher.h"
+
+namespace pcr {
+namespace {
+
+std::string MakeTestJpeg() {
+  Image img(32, 24, 3);
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      img.set(x, y, 0, static_cast<uint8_t>(x * 8));
+      img.set(x, y, 1, static_cast<uint8_t>(y * 10));
+      img.set(x, y, 2, 128);
+    }
+  }
+  jpeg::EncodeOptions options;
+  options.quality = 85;
+  return jpeg::Encode(img, options).MoveValue();
+}
+
+/// In-memory RecordSource with injectable failures and I/O latency, so the
+/// pipeline's threading can be exercised without a filesystem.
+class FakeSource : public RecordSource {
+ public:
+  FakeSource(int num_records, int images_per_record)
+      : num_records_(num_records), images_per_record_(images_per_record),
+        jpeg_(MakeTestJpeg()) {}
+
+  int num_records() const override { return num_records_; }
+  int num_images() const override {
+    return num_records_ * images_per_record_;
+  }
+  int num_scan_groups() const override { return 4; }
+  uint64_t RecordReadBytes(int, int scan_group) const override {
+    return 256 * static_cast<uint64_t>(std::clamp(scan_group, 1, 4));
+  }
+  int RecordImages(int) const override { return images_per_record_; }
+  std::string format_name() const override { return "fake"; }
+  uint64_t total_bytes() const override {
+    return num_records_ * RecordReadBytes(0, 4);
+  }
+
+  Result<RawRecord> FetchRecord(int record, int scan_group) override {
+    if (fetch_delay_.count() > 0) std::this_thread::sleep_for(fetch_delay_);
+    if (record == fail_fetch_at_) {
+      return fetch_failure_;
+    }
+    RawRecord raw;
+    raw.record = record;
+    raw.scan_group = std::clamp(scan_group, 1, num_scan_groups());
+    raw.payload.assign(RecordReadBytes(record, raw.scan_group), 'x');
+    raw.bytes_read = raw.payload.size();
+    return raw;
+  }
+
+  Result<RecordBatch> AssembleRecord(RawRecord raw) const override {
+    if (raw.record == fail_assemble_at_) {
+      return Status::Corruption("injected assemble failure");
+    }
+    RecordBatch batch;
+    batch.bytes_read = raw.bytes_read;
+    for (int i = 0; i < images_per_record_; ++i) {
+      batch.labels.push_back(raw.record);
+      batch.jpegs.push_back(raw.record == corrupt_jpeg_at_ ? "not a jpeg"
+                                                           : jpeg_);
+    }
+    return batch;
+  }
+
+  void set_fail_fetch_at(int record) { fail_fetch_at_ = record; }
+  void set_fetch_failure(Status status) {
+    fetch_failure_ = std::move(status);
+  }
+  void set_fail_assemble_at(int record) { fail_assemble_at_ = record; }
+  void set_corrupt_jpeg_at(int record) { corrupt_jpeg_at_ = record; }
+  void set_fetch_delay(std::chrono::milliseconds delay) {
+    fetch_delay_ = delay;
+  }
+
+ private:
+  int num_records_;
+  int images_per_record_;
+  std::string jpeg_;
+  int fail_fetch_at_ = -1;
+  Status fetch_failure_ = Status::IOError("injected fetch failure");
+  int fail_assemble_at_ = -1;
+  int corrupt_jpeg_at_ = -1;
+  std::chrono::milliseconds fetch_delay_{0};
+};
+
+TEST(LoaderPipelineTest, DeliversEveryRecordExactlyOncePerEpoch) {
+  FakeSource source(48, 2);
+  LoaderPipelineOptions options;
+  options.io_threads = 8;
+  options.decode_threads = 8;
+  options.fetch_queue_depth = 4;
+  options.output_queue_depth = 4;
+  options.shuffle = true;
+  options.max_epochs = 2;
+  LoaderPipeline pipeline(&source, options);
+
+  std::map<int, int> deliveries;
+  for (;;) {
+    auto batch = pipeline.Next();
+    if (!batch.ok()) {
+      EXPECT_EQ(batch.status().code(), StatusCode::kOutOfRange)
+          << batch.status();
+      break;
+    }
+    EXPECT_EQ(batch->size(), 2);
+    EXPECT_EQ(static_cast<int>(batch->images.size()), 2);
+    ++deliveries[batch->record_index];
+  }
+  ASSERT_EQ(deliveries.size(), 48u);
+  for (const auto& [record, count] : deliveries) {
+    EXPECT_EQ(count, 2) << "record " << record;
+  }
+  EXPECT_EQ(pipeline.batches_delivered(), 96);
+  EXPECT_TRUE(pipeline.status().ok());
+}
+
+TEST(LoaderPipelineTest, StageStatsAccountForEveryItemAndByte) {
+  FakeSource source(24, 2);
+  LoaderPipelineOptions options;
+  options.io_threads = 3;
+  options.decode_threads = 2;
+  options.max_epochs = 1;
+  options.shuffle = false;
+  options.scan_policy = std::make_shared<FixedScanPolicy>(2);
+  LoaderPipeline pipeline(&source, options);
+
+  uint64_t consumed_bytes = 0;
+  int batches = 0;
+  for (;;) {
+    auto batch = pipeline.Next();
+    if (!batch.ok()) break;
+    consumed_bytes += batch->bytes_read;
+    ++batches;
+  }
+  EXPECT_EQ(batches, 24);
+
+  const StageStatsSnapshot io = pipeline.io_stats();
+  const StageStatsSnapshot decode = pipeline.decode_stats();
+  EXPECT_EQ(io.name, "io");
+  EXPECT_EQ(io.threads, 3);
+  EXPECT_EQ(io.items, 24);
+  EXPECT_EQ(io.bytes, consumed_bytes);
+  EXPECT_EQ(io.bytes, 24u * source.RecordReadBytes(0, 2));
+  EXPECT_EQ(decode.name, "decode");
+  EXPECT_EQ(decode.threads, 2);
+  EXPECT_EQ(decode.items, 24);
+  EXPECT_EQ(decode.bytes, consumed_bytes);
+  EXPECT_GT(decode.busy_seconds, 0.0);  // 48 real JPEG decodes.
+  EXPECT_GE(io.busy_seconds, 0.0);
+  EXPECT_GT(io.queue_capacity, 0u);
+  EXPECT_GT(decode.queue_capacity, 0u);
+  // All stall time is attributed to exactly one of the two stages.
+  EXPECT_DOUBLE_EQ(
+      pipeline.stall_seconds(),
+      pipeline.io_stall_seconds() + pipeline.decode_stall_seconds());
+}
+
+TEST(LoaderPipelineTest, FetchFailureSurfacesFromNext) {
+  FakeSource source(16, 1);
+  source.set_fail_fetch_at(5);
+  LoaderPipelineOptions options;
+  options.io_threads = 2;
+  options.decode_threads = 2;
+  options.shuffle = false;
+  LoaderPipeline pipeline(&source, options);
+
+  Status failure = Status::OK();
+  for (int i = 0; i < 64; ++i) {
+    auto batch = pipeline.Next();
+    if (!batch.ok()) {
+      failure = batch.status();
+      break;
+    }
+  }
+  ASSERT_FALSE(failure.ok()) << "fetch failure never surfaced";
+  EXPECT_TRUE(failure.IsIOError()) << failure;
+  EXPECT_NE(failure.message().find("injected fetch failure"),
+            std::string::npos)
+      << failure;
+  EXPECT_NE(failure.message().find("I/O stage"), std::string::npos) << failure;
+  EXPECT_EQ(pipeline.status(), failure);
+}
+
+TEST(LoaderPipelineTest, AssembleFailureSurfacesFromNext) {
+  FakeSource source(16, 1);
+  source.set_fail_assemble_at(3);
+  LoaderPipelineOptions options;
+  options.shuffle = false;
+  LoaderPipeline pipeline(&source, options);
+
+  Status failure = Status::OK();
+  for (int i = 0; i < 64; ++i) {
+    auto batch = pipeline.Next();
+    if (!batch.ok()) {
+      failure = batch.status();
+      break;
+    }
+  }
+  ASSERT_FALSE(failure.ok()) << "assemble failure never surfaced";
+  EXPECT_TRUE(failure.IsCorruption()) << failure;
+  EXPECT_NE(failure.message().find("decode stage"), std::string::npos)
+      << failure;
+}
+
+TEST(LoaderPipelineTest, JpegDecodeFailureSurfacesFromNext) {
+  FakeSource source(16, 1);
+  source.set_corrupt_jpeg_at(2);
+  LoaderPipelineOptions options;
+  options.shuffle = false;
+  LoaderPipeline pipeline(&source, options);
+
+  Status failure = Status::OK();
+  for (int i = 0; i < 64; ++i) {
+    auto batch = pipeline.Next();
+    if (!batch.ok()) {
+      failure = batch.status();
+      break;
+    }
+  }
+  ASSERT_FALSE(failure.ok()) << "decode failure never surfaced";
+  EXPECT_NE(failure.message().find("decode stage"), std::string::npos)
+      << failure;
+}
+
+TEST(LoaderPipelineTest, StopWithFullQueuesDoesNotHang) {
+  FakeSource source(64, 1);
+  LoaderPipelineOptions options;
+  options.io_threads = 4;
+  options.decode_threads = 4;
+  options.fetch_queue_depth = 1;
+  options.output_queue_depth = 1;
+  LoaderPipeline pipeline(&source, options);
+  // Consume nothing: both queues fill and every worker blocks on a push.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  pipeline.Stop();
+  auto batch = pipeline.Next();
+  // Queued batches may drain first; a stopped pipeline ends in Aborted.
+  while (batch.ok()) batch = pipeline.Next();
+  EXPECT_EQ(batch.status().code(), StatusCode::kAborted) << batch.status();
+}
+
+TEST(LoaderPipelineTest, StopWithEmptyQueuesDoesNotHang) {
+  FakeSource source(64, 1);
+  source.set_fetch_delay(std::chrono::milliseconds(20));
+  LoaderPipelineOptions options;
+  options.io_threads = 1;
+  LoaderPipeline pipeline(&source, options);
+  // Stop before the slow fetches deliver anything.
+  pipeline.Stop();
+  auto batch = pipeline.Next();
+  while (batch.ok()) batch = pipeline.Next();
+  EXPECT_EQ(batch.status().code(), StatusCode::kAborted) << batch.status();
+}
+
+TEST(LoaderPipelineTest, SlowStorageAttributesStallsToIo) {
+  FakeSource source(8, 1);
+  source.set_fetch_delay(std::chrono::milliseconds(5));
+  LoaderPipelineOptions options;
+  options.io_threads = 1;
+  options.decode_threads = 2;
+  options.max_epochs = 1;
+  LoaderPipeline pipeline(&source, options);
+  for (;;) {
+    auto batch = pipeline.Next();
+    if (!batch.ok()) break;
+  }
+  EXPECT_GT(pipeline.io_stall_seconds(), 0.0);
+  EXPECT_GT(pipeline.stall_seconds(), 0.0);
+}
+
+TEST(LoaderPipelineTest, DecodeOffDeliversAssembledJpegs) {
+  FakeSource source(6, 3);
+  LoaderPipelineOptions options;
+  options.decode = false;
+  options.max_epochs = 1;
+  LoaderPipeline pipeline(&source, options);
+  int batches = 0;
+  for (;;) {
+    auto batch = pipeline.Next();
+    if (!batch.ok()) break;
+    EXPECT_EQ(static_cast<int>(batch->jpegs.size()), 3);
+    EXPECT_TRUE(batch->images.empty());
+    ++batches;
+  }
+  EXPECT_EQ(batches, 6);
+}
+
+TEST(LoaderPipelineTest, PrefetchingLoaderAdapterPreservesBehavior) {
+  FakeSource source(32, 2);
+  PrefetchOptions options;
+  options.num_threads = 2;
+  options.queue_depth = 4;
+  options.loader.scan_policy = std::make_shared<FixedScanPolicy>(1);
+  PrefetchingLoader loader(&source, options);
+  for (int i = 0; i < 12; ++i) {
+    auto batch = loader.Next();
+    ASSERT_TRUE(batch.ok()) << batch.status();
+    EXPECT_EQ(batch->scan_group, 1);
+    EXPECT_GT(batch->size(), 0);
+  }
+  loader.Stop();
+  auto stopped = loader.Next();
+  while (stopped.ok()) stopped = loader.Next();
+  EXPECT_EQ(stopped.status().message(), "prefetching loader stopped");
+  EXPECT_GE(loader.batches_delivered(), 12);
+  EXPECT_GE(loader.io_stats().items, 12);
+  EXPECT_GE(loader.decode_stats().items, 12);
+  EXPECT_DOUBLE_EQ(loader.stall_seconds(), loader.io_stall_seconds() +
+                                               loader.decode_stall_seconds());
+}
+
+TEST(LoaderPipelineTest, PrefetchPassesThroughAbortedStageFailures) {
+  // An Aborted-coded *storage* failure must not be rewritten into the
+  // generic "prefetching loader stopped" message: only Stop() is generic.
+  FakeSource source(16, 1);
+  source.set_fail_fetch_at(0);
+  source.set_fetch_failure(Status::Aborted("lease lost on shard"));
+  PrefetchOptions options;
+  options.loader.shuffle = false;
+  PrefetchingLoader loader(&source, options);
+  auto batch = loader.Next();
+  while (batch.ok()) batch = loader.Next();
+  EXPECT_NE(batch.status().message().find("lease lost on shard"),
+            std::string::npos)
+      << batch.status();
+}
+
+TEST(LoaderPipelineTest, PrefetchErrorReplacesGenericAbort) {
+  FakeSource source(16, 1);
+  source.set_fail_fetch_at(0);
+  PrefetchOptions options;
+  options.num_threads = 2;
+  options.loader.shuffle = false;
+  PrefetchingLoader loader(&source, options);
+  auto batch = loader.Next();
+  while (batch.ok()) batch = loader.Next();
+  EXPECT_TRUE(batch.status().IsIOError()) << batch.status();
+  EXPECT_NE(batch.status().message().find("injected fetch failure"),
+            std::string::npos)
+      << batch.status();
+}
+
+}  // namespace
+}  // namespace pcr

@@ -51,6 +51,9 @@ int main(int argc, char** argv) {
   int idx = 0;
   for (int g : {1, 2, 5, 10}) {
     const double mean_g = source->MeanImageBytes(g);
+    ReportMetric("group_" + std::to_string(g) + "/sim_images_per_sec",
+                 source->num_images(), sim_times[idx], mean_g,
+                 source->num_images() / sim_times[idx]);
     t1.AddRow({StrFormat("%d", g), StrFormat("%.0f", mean_g),
                StrFormat("%.0f", DataPipelineThroughput(io, mean_g)),
                StrFormat("%.0f", source->num_images() / sim_times[idx]),

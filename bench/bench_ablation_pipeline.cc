@@ -35,6 +35,9 @@ int main(int argc, char** argv) {
     PipelineSimOptions options;
     options.prefetch_depth = depth;
     const auto r = run(calibrated, ComputeProfile::ResNet18(), options, 10);
+    ReportMetric("prefetch_depth_" + std::to_string(depth) + "/images_per_sec",
+                 r.images, r.elapsed_seconds,
+                 static_cast<double>(r.bytes_read), r.images_per_sec);
     ta.AddRow({StrFormat("%d", depth), StrFormat("%.0f", r.images_per_sec),
                StrFormat("%.2f", r.stall_seconds)});
   }
@@ -89,6 +92,10 @@ int main(int argc, char** argv) {
                           PipelineSimOptions{}, 10);
     const auto low = run(calibrated, ComputeProfile::FastAccelerator(mult),
                          PipelineSimOptions{}, 1);
+    ReportMetric("compute_x" + std::to_string(mult).substr(0, 3) +
+                     "/pcr_speedup",
+                 full.images, full.elapsed_seconds + low.elapsed_seconds, 0,
+                 low.images_per_sec / full.images_per_sec);
     td.AddRow({StrFormat("%.1f", mult),
                StrFormat("%.0f", full.images_per_sec),
                StrFormat("%.0f", low.images_per_sec),

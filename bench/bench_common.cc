@@ -15,6 +15,36 @@ namespace {
 
 bool g_smoke = false;
 
+// --json state. Metrics accumulate in-process and flush once at exit.
+struct JsonMetric {
+  std::string name;
+  double iterations = 0;
+  double wall_seconds = 0;
+  double bytes = 0;
+  double items_per_sec = 0;
+};
+std::string g_json_path;
+std::string g_bench_name;
+std::vector<JsonMetric>& JsonMetrics() {
+  // Intentionally leaked: the vector is first touched after InitBench has
+  // registered FlushJsonReport with atexit, so a plain static would be
+  // destroyed (reverse registration order) before the flush reads it.
+  static std::vector<JsonMetric>* metrics = new std::vector<JsonMetric>();
+  return *metrics;
+}
+
+// Minimal JSON string escaping: metric names are ASCII identifiers we
+// control, but keep quotes/backslashes safe anyway.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
 /// Shrinks a dataset spec for --smoke: few small images in small records,
 /// but still enough of each class for the training proxies to run.
 DatasetSpec SmokeSpec(DatasetSpec spec) {
@@ -35,21 +65,61 @@ void InitBench(int argc, char** argv) {
       std::strcmp(env_smoke, "") != 0) {
     g_smoke = true;
   }
+  g_bench_name = argv[0];
+  const size_t slash = g_bench_name.find_last_of('/');
+  if (slash != std::string::npos) g_bench_name.erase(0, slash + 1);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       g_smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      g_json_path = argv[++i];
     } else {
-      fprintf(stderr, "usage: %s [--smoke]\n  unknown flag: %s\n", argv[0],
-              argv[i]);
+      fprintf(stderr,
+              "usage: %s [--smoke] [--json <path>]\n  unknown flag: %s\n",
+              argv[0], argv[i]);
       std::exit(2);
     }
   }
   if (g_smoke) {
     fprintf(stderr, "[bench] smoke mode: minimal iterations, shrunk data\n");
   }
+  if (!g_json_path.empty()) std::atexit(FlushJsonReport);
 }
 
 bool SmokeMode() { return g_smoke; }
+
+void ReportMetric(const std::string& name, double iterations,
+                  double wall_seconds, double bytes, double items_per_sec) {
+  if (g_json_path.empty()) return;
+  JsonMetrics().push_back(
+      JsonMetric{name, iterations, wall_seconds, bytes, items_per_sec});
+}
+
+void FlushJsonReport() {
+  if (g_json_path.empty()) return;
+  FILE* f = fopen(g_json_path.c_str(), "w");
+  if (f == nullptr) {
+    fprintf(stderr, "[bench] cannot write --json path %s\n",
+            g_json_path.c_str());
+    return;
+  }
+  fprintf(f, "{\n  \"bench\": \"%s\",\n  \"smoke\": %s,\n  \"metrics\": [\n",
+          JsonEscape(g_bench_name).c_str(), g_smoke ? "true" : "false");
+  const auto& metrics = JsonMetrics();
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    const JsonMetric& m = metrics[i];
+    fprintf(f,
+            "    {\"name\": \"%s\", \"iterations\": %.0f, "
+            "\"wall_seconds\": %.9g, \"bytes\": %.0f, "
+            "\"items_per_sec\": %.9g}%s\n",
+            JsonEscape(m.name).c_str(), m.iterations, m.wall_seconds, m.bytes,
+            m.items_per_sec, i + 1 < metrics.size() ? "," : "");
+  }
+  fprintf(f, "  ]\n}\n");
+  fclose(f);
+  fprintf(stderr, "[bench] wrote %zu metrics to %s\n", metrics.size(),
+          g_json_path.c_str());
+}
 
 DatasetHandle GetDataset(const DatasetSpec& spec_in, bool with_record_format,
                          bool with_fpi_format) {
@@ -268,6 +338,13 @@ void PrintTimeToAccuracy(const std::string& title,
                       "speedup vs baseline"});
   const double base_time = baseline.SecondsToAccuracy(target);
   for (const auto& r : results) {
+    ReportMetric(
+        title + "/group_" + std::to_string(r.scan_group) + "/epoch_seconds",
+        r.curve.back().epoch, r.total_seconds, 0,
+        r.curve.back().epoch / std::max(1e-9, r.total_seconds));
+    ReportMetric(
+        title + "/group_" + std::to_string(r.scan_group) + "/final_accuracy",
+        r.curve.back().epoch, r.total_seconds, 0, r.final_accuracy);
     const double t = r.SecondsToAccuracy(target);
     std::string t_str = t < 0 ? "never" : StrFormat("%.1f", t);
     std::string speedup =

@@ -26,9 +26,14 @@ namespace pcr::bench {
 
 /// Parses the flags shared by every bench binary and must be the first call
 /// in each main(). Recognised flags:
-///   --smoke   minimal-iteration mode: shrinks datasets, epochs, repeats and
-///             sweeps so the binary finishes in seconds. CI uses this to
-///             catch bit-rot without burning minutes on full figures.
+///   --smoke        minimal-iteration mode: shrinks datasets, epochs,
+///                  repeats and sweeps so the binary finishes in seconds.
+///                  CI uses this to catch bit-rot without burning minutes
+///                  on full figures.
+///   --json <path>  machine-readable run summary: every metric the bench
+///                  reports via ReportMetric is written to <path> as JSON
+///                  when the process exits, so CI can archive a perf
+///                  trajectory (BENCH_*.json) across PRs.
 /// The PCR_BENCH_SMOKE=1 environment variable is equivalent to --smoke.
 /// Unknown flags abort with a usage message.
 void InitBench(int argc, char** argv);
@@ -36,6 +41,19 @@ void InitBench(int argc, char** argv);
 /// True when --smoke (or PCR_BENCH_SMOKE=1) is active; for bench-specific
 /// clamps that the central ones below do not cover.
 bool SmokeMode();
+
+/// Records one benchmark summary metric for the --json report (no-op
+/// without --json). `iterations` is how many repetitions the number
+/// averages over, `wall_seconds` the measured time, `bytes` the payload
+/// bytes involved (0 when meaningless), `items_per_sec` the headline rate
+/// (0 when meaningless). Also safe to call from shared helpers like
+/// PrintTimeToAccuracy.
+void ReportMetric(const std::string& name, double iterations,
+                  double wall_seconds, double bytes, double items_per_sec);
+
+/// Writes the --json report now (also installed atexit by InitBench, so
+/// benches do not need to call it explicitly).
+void FlushJsonReport();
 
 /// Builds (or loads from the /tmp cache) the dataset for `spec` in the
 /// requested formats and opens the PCR view. Under --smoke the spec is

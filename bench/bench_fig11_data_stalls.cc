@@ -49,6 +49,15 @@ int main(int argc, char** argv) {
          "baseline %.2fs\n",
          results[0].stall_seconds, results[1].stall_seconds,
          results[2].stall_seconds, results[3].stall_seconds);
+  {
+    const int groups[] = {1, 2, 5, 10};
+    for (size_t i = 0; i < results.size(); ++i) {
+      ReportMetric("group_" + std::to_string(groups[i]) + "/stall_seconds",
+                   results[i].images, results[i].stall_seconds,
+                   static_cast<double>(results[i].bytes_read),
+                   results[i].images_per_sec);
+    }
+  }
 
   // Per-stage attribution of loader time and stalls (the storage-vs-CPU
   // breakdown behind the figure's claim that stalls are I/O driven).

@@ -39,6 +39,9 @@ int main(int argc, char** argv) {
   printf("\nmean %.1f KiB  median %.1f KiB  p5 %.1f KiB  p95 %.1f KiB\n",
          sizes.Mean() / 1024, sizes.Median() / 1024,
          sizes.Percentile(5) / 1024, sizes.Percentile(95) / 1024);
+  ReportMetric("image_bytes/mean", (*fpi)->num_images(), 0, sizes.Mean(), 0);
+  ReportMetric("image_bytes/median", (*fpi)->num_images(), 0, sizes.Median(),
+               0);
   printf("paper check: unimodal, most mass within ~2 buckets of the mode, "
          "outliers on both sides.\n");
   return 0;

@@ -58,6 +58,10 @@ int main(int argc, char** argv) {
                             DecodeCostModel{}, options);
     FixedScanPolicy policy(g);
     const double simulated = sim.SimulateEpoch(&policy).images_per_sec;
+    ReportMetric("group_" + std::to_string(g) + "/roofline_images_per_sec", 1,
+                 0, source->MeanImageBytes(g), predicted);
+    ReportMetric("group_" + std::to_string(g) + "/simulated_images_per_sec",
+                 1, 0, source->MeanImageBytes(g), simulated);
     check.AddRow({StrFormat("%d", g), StrFormat("%.0f", predicted),
                   StrFormat("%.0f", simulated),
                   StrFormat("%.3f", simulated / predicted)});

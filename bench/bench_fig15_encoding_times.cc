@@ -85,6 +85,11 @@ int main(int argc, char** argv) {
                 StrFormat("%.2fx", static_total_bytes / original_bytes)});
   table.Print();
 
+  ReportMetric("static_reencode_total/wall_seconds", sample * 4,
+               static_total_time, static_total_bytes,
+               sample * 4 / static_total_time);
+  ReportMetric("pcr_transcode/wall_seconds", sample, pcr_time, pcr_bytes,
+               sample / pcr_time);
   printf("\nPCR vs one static encode: %.2fx time (paper: 1.13x-2.05x)\n",
          pcr_time / (static_total_time / 4));
   printf("PCR vs all static encodes: %.2fx time, %.2fx space\n",

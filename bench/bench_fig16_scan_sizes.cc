@@ -33,6 +33,9 @@ int main(int argc, char** argv) {
       }
       const double median = sizes.Median();
       if (g == 1) scan1_median = median;
+      ReportMetric(spec.name + "/group_" + std::to_string(g) +
+                       "/median_record_bytes",
+                   ds->num_records(), 0, median, 0);
       table.AddRow({StrFormat("%d", g),
                     HumanBytes(median),
                     HumanBytes(sizes.Iqr25()),

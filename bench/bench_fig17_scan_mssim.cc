@@ -27,6 +27,10 @@ int main(int argc, char** argv) {
     printf("-- %s --\n", spec.name.c_str());
     TablePrinter table({"scan", "mean MSSIM", "p25", "p75", "mean KiB/img"});
     for (const auto& q : *profile) {
+      ReportMetric(spec.name + "/group_" + std::to_string(q.scan_group) +
+                       "/mean_mssim",
+                   options.sample_images, 0, q.mean_bytes_per_image,
+                   q.mean_mssim);
       table.AddRow({StrFormat("%d", q.scan_group),
                     StrFormat("%.4f", q.mean_mssim),
                     StrFormat("%.4f", q.p25_mssim),

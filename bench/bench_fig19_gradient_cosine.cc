@@ -59,9 +59,12 @@ int main(int argc, char** argv) {
     const auto ref = trainer.GradientForGroup(10, grad_examples);
     std::vector<std::string> row = {StrFormat("%d", epoch)};
     for (int g : groups) {
-      row.push_back(StrFormat(
-          "%.3f", CosineSimilarity(
-                      trainer.GradientForGroup(g, grad_examples), ref)));
+      const double cos = CosineSimilarity(
+          trainer.GradientForGroup(g, grad_examples), ref);
+      ReportMetric("epoch_" + std::to_string(epoch) + "/cos_g" +
+                       std::to_string(g),
+                   grad_examples, 0, 0, cos);
+      row.push_back(StrFormat("%.3f", cos));
     }
     // Mixtures centered on group 1: weight w on g1, 1 on each other group.
     for (double w : {10.0, 100.0}) {

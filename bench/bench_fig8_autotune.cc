@@ -95,6 +95,8 @@ int main(int argc, char** argv) {
     TablePrinter table({"strategy", "sim time (s)", "final acc (%)",
                         "speedup", "tuning schedule"});
     for (const auto& run : runs) {
+      ReportMetric(model.name + "/" + run.name + "/sim_seconds", recipe.epochs,
+                   run.seconds, 0, run.accuracy);
       table.AddRow({run.name, StrFormat("%.1f", run.seconds),
                     StrFormat("%.1f", run.accuracy),
                     StrFormat("%.2fx", runs[0].seconds / run.seconds),

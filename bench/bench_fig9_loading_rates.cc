@@ -37,6 +37,11 @@ int main(int argc, char** argv) {
         FixedScanPolicy policy(group);
         const auto result = sim.SimulateEpoch(&policy);
         row.push_back(StrFormat("%.0f", result.images_per_sec));
+        ReportMetric(model.name + "/" + spec.name + "/group_" +
+                         std::to_string(group) + "/images_per_sec",
+                     result.images, result.elapsed_seconds,
+                     static_cast<double>(result.bytes_read),
+                     result.images_per_sec);
         if (group == 1) rate1 = result.images_per_sec;
         if (group == 10) rate10 = result.images_per_sec;
       }

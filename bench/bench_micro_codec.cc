@@ -6,12 +6,14 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "core/pcr_format.h"
 #include "data/dataset_spec.h"
 #include "image/metrics.h"
 #include "jpeg/codec.h"
+#include "jpeg/reference_codec.h"
 #include "jpeg/scan_parser.h"
 
 namespace pcr {
@@ -79,8 +81,39 @@ void BM_DecodeBaseline(benchmark::State& state) {
     benchmark::DoNotOptimize(jpeg::Decode(baseline).MoveValue());
   }
   state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(baseline.size()));
 }
 BENCHMARK(BM_DecodeBaseline);
+
+// The decode-worker configuration: one long-lived DecodeScratch reused
+// across images (allocation-free steady state).
+void BM_DecodeBaselineWithScratch(benchmark::State& state) {
+  const std::string baseline = SharedBaseline();
+  jpeg::DecodeScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(jpeg::Decode(baseline, &scratch).MoveValue());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(baseline.size()));
+}
+BENCHMARK(BM_DecodeBaselineWithScratch);
+
+// The pre-optimization scalar path (bit-by-bit Huffman, no short-circuits,
+// per-pixel render), kept as the parity oracle — benchmarked here so every
+// run carries its own fast-vs-reference speedup ratio.
+void BM_DecodeReferenceBaseline(benchmark::State& state) {
+  const std::string baseline = SharedBaseline();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        jpeg::ReferenceCodec::Decode(baseline).MoveValue());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(baseline.size()));
+}
+BENCHMARK(BM_DecodeReferenceBaseline);
 
 // Partial decode cost by scan prefix (the §A.5 progressive-overhead curve).
 void BM_DecodeProgressivePrefix(benchmark::State& state) {
@@ -119,26 +152,38 @@ BENCHMARK(BM_Msssim);
 }  // namespace pcr
 
 // Hand-rolled BENCHMARK_MAIN so the binary accepts the suite-wide --smoke
-// flag (or PCR_BENCH_SMOKE=1): smoke mode is translated to a tiny
-// --benchmark_min_time before the remaining flags are handed to the
-// google-benchmark parser.
+// and --json flags (or PCR_BENCH_SMOKE=1): smoke mode is translated to a
+// tiny --benchmark_min_time, and --json <path> to google-benchmark's own
+// JSON file output (same artifact role as bench_common's ReportMetric
+// report: name, iterations, wall time, bytes, items/s per benchmark),
+// before the remaining flags are handed to the google-benchmark parser.
 int main(int argc, char** argv) {
   std::vector<char*> args(argv, argv + argc);
   static char min_time[] = "--benchmark_min_time=0.001";
+  static char out_format[] = "--benchmark_out_format=json";
+  static std::string out_flag;
   bool smoke = false;
   const char* env_smoke = std::getenv("PCR_BENCH_SMOKE");
   if (env_smoke != nullptr && std::strcmp(env_smoke, "0") != 0 &&
       std::strcmp(env_smoke, "") != 0) {
     smoke = true;
   }
-  for (auto it = args.begin(); it != args.end(); ++it) {
+  for (auto it = args.begin(); it != args.end();) {
     if (std::strcmp(*it, "--smoke") == 0) {
       smoke = true;
-      args.erase(it);
-      break;
+      it = args.erase(it);
+    } else if (std::strcmp(*it, "--json") == 0 && it + 1 != args.end()) {
+      out_flag = std::string("--benchmark_out=") + *(it + 1);
+      it = args.erase(it, it + 2);
+    } else {
+      ++it;
     }
   }
   if (smoke) args.push_back(min_time);
+  if (!out_flag.empty()) {
+    args.push_back(out_flag.data());
+    args.push_back(out_format);
+  }
   int adjusted_argc = static_cast<int>(args.size());
   benchmark::Initialize(&adjusted_argc, args.data());
   if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {

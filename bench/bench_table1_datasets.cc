@@ -31,6 +31,13 @@ int main(int argc, char** argv) {
 
     const uint64_t pcr_bytes = handle.pcr->total_bytes();
     const uint64_t rec_bytes = (*record)->total_bytes();
+    ReportMetric(spec.name + "/pcr_total_bytes", handle.pcr->num_images(), 0,
+                 static_cast<double>(pcr_bytes), 0);
+    ReportMetric(spec.name + "/pcr_vs_record_ratio",
+                 handle.pcr->num_records(), 0,
+                 static_cast<double>(rec_bytes),
+                 static_cast<double>(pcr_bytes) /
+                     static_cast<double>(rec_bytes));
     table.AddRow({spec.name,
                   StrFormat("%d", handle.pcr->num_records()),
                   StrFormat("%d", handle.pcr->num_images()),

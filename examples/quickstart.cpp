@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
   printf("   %-10s %-14s %-10s\n", "group", "bytes fetched", "MSSIM");
   auto reference = (*dataset)->ReadRecord(0, 10);
   PCR_CHECK(reference.ok());
-  const Image ref_img = jpeg::Decode(Slice(reference->jpegs[0])).MoveValue();
+  const Image ref_img = jpeg::Decode(reference->jpeg(0)).MoveValue();
   for (int group : {1, 2, 5, 10}) {
     // I/O stage: one sequential partial read, no parsing or decoding.
     auto raw = (*dataset)->FetchRecord(0, group);
@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
     // Decode stage: assemble standalone JPEG streams from the raw prefix.
     auto batch = (*dataset)->AssembleRecord(std::move(*raw));
     PCR_CHECK(batch.ok()) << batch.status();
-    const Image img = jpeg::Decode(Slice(batch->jpegs[0])).MoveValue();
+    const Image img = jpeg::Decode(batch->jpeg(0)).MoveValue();
     printf("   %-10d %-14.1f %-10.4f\n", group, fetched / 1024.0,
            Msssim(ref_img, img));
   }
@@ -73,7 +73,7 @@ int main(int argc, char** argv) {
   // 3. Save one image at two qualities for visual inspection.
   auto low = (*dataset)->ReadRecord(0, 1);
   PCR_CHECK(low.ok());
-  const Image low_img = jpeg::Decode(Slice(low->jpegs[0])).MoveValue();
+  const Image low_img = jpeg::Decode(low->jpeg(0)).MoveValue();
   PCR_CHECK(env->WriteStringToFile(dir + "/sample_scan1.ppm",
                                    Slice(EncodePpm(low_img))).ok());
   PCR_CHECK(env->WriteStringToFile(dir + "/sample_scan10.ppm",

@@ -93,7 +93,9 @@ Result<RecordBatch> FilePerImageDataset::AssembleRecord(RawRecord raw) const {
   RecordBatch batch;
   batch.bytes_read = raw.bytes_read;
   batch.labels.push_back(images_[raw.record].label);
-  batch.jpegs.push_back(std::move(raw.payload));  // The file IS the JPEG.
+  // Zero copy: the file IS the JPEG.
+  batch.spans.push_back(ByteSpan{0, raw.payload.size()});
+  batch.backing = std::move(raw.payload);
   return batch;
 }
 

@@ -230,7 +230,8 @@ Result<RecordBatch> PcrDataset::AssembleRecord(RawRecord raw) const {
       AssembleRecordPrefix(Slice(raw.payload), raw.scan_group));
   RecordBatch batch;
   batch.labels = std::move(content.labels);
-  batch.jpegs = std::move(content.jpegs);
+  batch.spans = std::move(content.spans);
+  batch.backing = std::move(content.arena);
   batch.bytes_read = raw.bytes_read;
   return batch;
 }

@@ -138,19 +138,33 @@ Result<PcrRecordContent> AssembleRecordPrefix(Slice file_data, int groups) {
   PcrRecordContent content;
   content.labels = header.labels;
   content.scan_groups_included = groups;
-  content.jpegs.resize(header.num_images);
+  content.spans.resize(header.num_images);
 
-  // Reserve: header + scans + EOI.
+  // Lay out every image's stream (header + scans + EOI) in one arena:
+  // a single allocation for the whole record.
   std::vector<uint64_t> image_total(header.num_images, 0);
   for (int g = 0; g < groups; ++g) {
     for (int i = 0; i < header.num_images; ++i) {
       image_total[i] += header.group_sizes[g][i];
     }
   }
+  size_t arena_bytes = 0;
   for (int i = 0; i < header.num_images; ++i) {
-    content.jpegs[i].reserve(header.jpeg_headers[i].size() +
-                             image_total[i] + 2);
-    content.jpegs[i] = header.jpeg_headers[i];
+    content.spans[i].offset = arena_bytes;
+    content.spans[i].length = header.jpeg_headers[i].size() +
+                              static_cast<size_t>(image_total[i]) + 2;
+    arena_bytes += content.spans[i].length;
+  }
+  content.arena.resize(arena_bytes);
+  char* arena = content.arena.data();
+
+  // Per-image write cursors: start each stream with its JPEG header.
+  std::vector<size_t> cursor(header.num_images);
+  for (int i = 0; i < header.num_images; ++i) {
+    cursor[i] = content.spans[i].offset;
+    const std::string& jh = header.jpeg_headers[i];
+    std::memcpy(arena + cursor[i], jh.data(), jh.size());
+    cursor[i] += jh.size();
   }
 
   // Ungroup: walk each group sequentially, appending each image's delta.
@@ -158,13 +172,15 @@ Result<PcrRecordContent> AssembleRecordPrefix(Slice file_data, int groups) {
   for (int g = 0; g < groups; ++g) {
     for (int i = 0; i < header.num_images; ++i) {
       const uint64_t size = header.group_sizes[g][i];
-      content.jpegs[i].append(payload.data() + offset, size);
+      std::memcpy(arena + cursor[i], payload.data() + offset,
+                  static_cast<size_t>(size));
+      cursor[i] += static_cast<size_t>(size);
       offset += size;
     }
   }
   for (int i = 0; i < header.num_images; ++i) {
-    content.jpegs[i].push_back(static_cast<char>(0xff));
-    content.jpegs[i].push_back(static_cast<char>(0xd9));  // EOI.
+    arena[cursor[i]] = static_cast<char>(0xff);
+    arena[cursor[i] + 1] = static_cast<char>(0xd9);  // EOI.
   }
   return content;
 }

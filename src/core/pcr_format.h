@@ -55,11 +55,19 @@ std::string SerializePcrHeader(PcrHeader* header);
 Result<PcrHeader> ParsePcrHeader(Slice data);
 
 /// A record materialized at some quality: per-image standalone JPEGs
-/// (header + available scans + EOI) plus labels.
+/// (header + available scans + EOI) plus labels. The streams are spans
+/// into one arena buffer (a single allocation per record instead of one
+/// per image) so downstream decode can run allocation-free.
 struct PcrRecordContent {
   std::vector<int64_t> labels;
-  std::vector<std::string> jpegs;
+  std::vector<ByteSpan> spans;  // One JPEG stream per image, into `arena`.
+  std::string arena;
   int scan_groups_included = 0;
+
+  int num_images() const { return static_cast<int>(spans.size()); }
+  Slice jpeg(int i) const {
+    return Slice(arena.data() + spans[i].offset, spans[i].length);
+  }
 };
 
 /// Reassembles per-image JPEGs from a prefix of the record file. `file_data`

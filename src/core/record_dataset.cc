@@ -125,6 +125,7 @@ Result<RawRecord> RecordDataset::FetchRecord(int record, int) {
 Result<RecordBatch> RecordDataset::AssembleRecord(RawRecord raw) const {
   RecordBatch batch;
   batch.bytes_read = raw.bytes_read;
+  const char* base = raw.payload.data();
   Slice cursor(raw.payload);
   while (!cursor.empty()) {
     uint64_t len;
@@ -134,16 +135,22 @@ Result<RecordBatch> RecordDataset::AssembleRecord(RawRecord raw) const {
     wire::WireReader reader(cursor.SubSlice(0, len));
     wire::WireField field;
     int64_t label = 0;
-    std::string jpeg;
+    ByteSpan jpeg;
     while (reader.Next(&field)) {
       if (field.field == kEntryFieldLabel) label = field.AsSint64();
-      if (field.field == kEntryFieldJpeg) jpeg = field.bytes.ToString();
+      if (field.field == kEntryFieldJpeg) {
+        // Zero copy: the embedded stream is already standalone; record
+        // where it sits inside the fetched payload.
+        jpeg.offset = static_cast<size_t>(field.bytes.data() - base);
+        jpeg.length = field.bytes.size();
+      }
     }
     PCR_RETURN_IF_ERROR(reader.status());
     batch.labels.push_back(label);
-    batch.jpegs.push_back(std::move(jpeg));
+    batch.spans.push_back(jpeg);
     cursor.RemovePrefix(len);
   }
+  batch.backing = std::move(raw.payload);
   return batch;
 }
 

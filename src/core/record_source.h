@@ -41,13 +41,26 @@ inline Result<RawRecord> FetchFileBytes(Env* env, const std::string& path,
   return raw;
 }
 
-/// The images+labels yielded by one record read.
+/// The images+labels yielded by one record read. The JPEG streams are
+/// (offset, length) spans into one backing buffer instead of per-image
+/// strings: formats whose payload already contains standalone streams
+/// (record / file-per-image) hand out views straight into the fetched bytes
+/// with zero copying, and PCR assembly stitches all images into a single
+/// arena. Spans are offsets, not pointers, so moving the batch (including
+/// small-string moves that relocate the bytes) cannot dangle them.
 struct RecordBatch {
   std::vector<int64_t> labels;
-  std::vector<std::string> jpegs;  // Standalone decodable JPEG streams.
-  uint64_t bytes_read = 0;         // Bytes fetched from storage for this read.
+  std::vector<ByteSpan> spans;  // One standalone JPEG stream per image.
+  std::string backing;          // The bytes every span points into.
+  uint64_t bytes_read = 0;      // Bytes fetched from storage for this read.
 
-  int size() const { return static_cast<int>(jpegs.size()); }
+  int size() const { return static_cast<int>(spans.size()); }
+
+  /// The i-th image's JPEG stream; valid while this batch is alive and
+  /// unmoved.
+  Slice jpeg(int i) const {
+    return Slice(backing.data() + spans[i].offset, spans[i].length);
+  }
 };
 
 /// A randomly-accessible collection of records, each holding a batch of

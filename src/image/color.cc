@@ -76,6 +76,39 @@ PlanarImage RgbToYcbcr(const Image& rgb, ChromaSubsampling subsampling) {
   return out;
 }
 
+namespace {
+
+// Per-chroma-value lookup tables for the fixed-point conversion. Built from
+// the canonical scalar formulas of color.h, so table-driven output is
+// bit-identical to ycc::ToRgb.
+struct YccLut {
+  int cr_r[256];
+  int cb_b[256];
+  int cb_g[256];  // Green Cb term, still scaled by 2^kScaleBits.
+  int cr_g[256];  // Green Cr term + rounding + shift bias, scaled.
+
+  YccLut() {
+    for (int v = 0; v < 256; ++v) {
+      cr_r[v] = ycc::CrToR(v);
+      cb_b[v] = ycc::CbToB(v);
+      cb_g[v] = -ycc::kCbToG * (v - 128);
+      cr_g[v] = -ycc::kCrToG * (v - 128) + ycc::kHalf + ycc::kShiftBias;
+    }
+  }
+
+  // g offset = CbCrToG(cb, cr), by construction of the two tables.
+  int GreenOffset(int cb, int cr) const {
+    return ((cb_g[cb] + cr_g[cr]) >> ycc::kScaleBits) - 256;
+  }
+};
+
+const YccLut& Lut() {
+  static const YccLut lut;
+  return lut;
+}
+
+}  // namespace
+
 Image YcbcrToRgb(const PlanarImage& ycbcr) {
   const int w = ycbcr.full_width;
   const int h = ycbcr.full_height;
@@ -83,7 +116,9 @@ Image YcbcrToRgb(const PlanarImage& ycbcr) {
     Image out(w, h, 1);
     const Plane& y = ycbcr.planes[0];
     for (int j = 0; j < h; ++j) {
-      for (int i = 0; i < w; ++i) out.set(i, j, 0, y.at(i, j));
+      std::copy(y.data() + static_cast<size_t>(j) * y.width(),
+                y.data() + static_cast<size_t>(j) * y.width() + w,
+                out.row(j));
     }
     return out;
   }
@@ -92,40 +127,32 @@ Image YcbcrToRgb(const PlanarImage& ycbcr) {
   const Plane& cb = ycbcr.planes[1];
   const Plane& cr = ycbcr.planes[2];
   const bool subsampled = cb.width() != w || cb.height() != h;
+  const YccLut& lut = Lut();
 
   Image out(w, h, 3);
   for (int j = 0; j < h; ++j) {
-    for (int i = 0; i < w; ++i) {
-      double cbv, crv;
-      if (!subsampled) {
-        cbv = cb.at(i, j);
-        crv = cr.at(i, j);
-      } else {
-        // Bilinear upsample with co-sited-at-center sampling.
-        const double sx = (i - 0.5) / 2.0;
-        const double sy = (j - 0.5) / 2.0;
-        const int x0 = static_cast<int>(std::floor(sx));
-        const int y0 = static_cast<int>(std::floor(sy));
-        const double fx = sx - x0;
-        const double fy = sy - y0;
-        auto sample = [&](const Plane& p) {
-          const double v00 = p.at_clamped(x0, y0);
-          const double v10 = p.at_clamped(x0 + 1, y0);
-          const double v01 = p.at_clamped(x0, y0 + 1);
-          const double v11 = p.at_clamped(x0 + 1, y0 + 1);
-          return v00 * (1 - fx) * (1 - fy) + v10 * fx * (1 - fy) +
-                 v01 * (1 - fx) * fy + v11 * fx * fy;
-        };
-        cbv = sample(cb);
-        crv = sample(cr);
+    const uint8_t* yrow = y.data() + static_cast<size_t>(j) * y.width();
+    uint8_t* dst = out.row(j);
+    if (!subsampled) {
+      const uint8_t* cbrow = cb.data() + static_cast<size_t>(j) * cb.width();
+      const uint8_t* crrow = cr.data() + static_cast<size_t>(j) * cr.width();
+      for (int i = 0; i < w; ++i) {
+        const int yv = yrow[i];
+        const int cbv = cbrow[i];
+        const int crv = crrow[i];
+        dst[3 * i + 0] = ycc::ClampToByte(yv + lut.cr_r[crv]);
+        dst[3 * i + 1] = ycc::ClampToByte(yv + lut.GreenOffset(cbv, crv));
+        dst[3 * i + 2] = ycc::ClampToByte(yv + lut.cb_b[cbv]);
       }
-      const double yv = y.at(i, j);
-      const double r = yv + 1.402 * (crv - 128.0);
-      const double g = yv - 0.344136 * (cbv - 128.0) - 0.714136 * (crv - 128.0);
-      const double b = yv + 1.772 * (cbv - 128.0);
-      out.set(i, j, 0, ClampByte(r));
-      out.set(i, j, 1, ClampByte(g));
-      out.set(i, j, 2, ClampByte(b));
+    } else {
+      for (int i = 0; i < w; ++i) {
+        const int yv = yrow[i];
+        const int cbv = ycc::UpsampleAt(cb, i, j);
+        const int crv = ycc::UpsampleAt(cr, i, j);
+        dst[3 * i + 0] = ycc::ClampToByte(yv + lut.cr_r[crv]);
+        dst[3 * i + 1] = ycc::ClampToByte(yv + lut.GreenOffset(cbv, crv));
+        dst[3 * i + 2] = ycc::ClampToByte(yv + lut.cb_b[cbv]);
+      }
     }
   }
   return out;

@@ -1,6 +1,13 @@
 // RGB <-> YCbCr (BT.601 full-range, the JFIF convention) and chroma
 // subsampling / upsampling.
+//
+// The decode direction (YCbCr -> RGB) is integer fixed point: the scalar
+// formulas below are the canonical definition, and YcbcrToRgb's table-driven
+// implementation is constructed from them, so a naive per-pixel loop (the
+// reference codec) and the table path produce bit-identical pixels.
 #pragma once
+
+#include <cstdint>
 
 #include "image/image.h"
 
@@ -12,12 +19,80 @@ enum class ChromaSubsampling {
   k420,  // Chroma halved in both dimensions.
 };
 
+namespace ycc {
+
+/// Fixed-point scale for the BT.601 conversion constants.
+inline constexpr int kScaleBits = 16;
+inline constexpr int kHalf = 1 << (kScaleBits - 1);
+// round(coefficient * 2^16).
+inline constexpr int kCrToR = 91881;    // 1.402
+inline constexpr int kCbToG = 22554;    // 0.344136
+inline constexpr int kCrToG = 46802;    // 0.714136
+inline constexpr int kCbToB = 116130;   // 1.772
+// Bias added before every right shift so the shifted value is always
+// non-negative (>> of a negative value is implementation-defined pre-C++20);
+// subtracted back out after the shift.
+inline constexpr int kShiftBias = 256 << kScaleBits;
+
+/// R - Y contribution of Cr (integer, exact for all cr in [0, 255]).
+inline int CrToR(int cr) {
+  return ((kCrToR * (cr - 128) + kHalf + kShiftBias) >> kScaleBits) - 256;
+}
+
+/// B - Y contribution of Cb.
+inline int CbToB(int cb) {
+  return ((kCbToB * (cb - 128) + kHalf + kShiftBias) >> kScaleBits) - 256;
+}
+
+/// G - Y contribution of (Cb, Cr).
+inline int CbCrToG(int cb, int cr) {
+  return ((-kCbToG * (cb - 128) - kCrToG * (cr - 128) + kHalf + kShiftBias) >>
+          kScaleBits) -
+         256;
+}
+
+inline uint8_t ClampToByte(int v) {
+  if (v < 0) return 0;
+  if (v > 255) return 255;
+  return static_cast<uint8_t>(v);
+}
+
+/// One YCbCr sample triple to RGB — the canonical scalar conversion.
+inline void ToRgb(int y, int cb, int cr, uint8_t* r, uint8_t* g, uint8_t* b) {
+  *r = ClampToByte(y + CrToR(cr));
+  *g = ClampToByte(y + CbCrToG(cb, cr));
+  *b = ClampToByte(y + CbToB(cb));
+}
+
+/// 2x bilinear chroma upsample at full-resolution pixel (i, j) from a
+/// half-resolution plane: fixed 1/4-3/4 phase (chroma centers between
+/// pixel pairs), edge replication, rounded to the nearest 8-bit value.
+/// The canonical definition shared by the table-driven decoder and the
+/// reference codec.
+inline int UpsampleAt(const Plane& p, int i, int j) {
+  const int x0 = (i & 1) ? (i >> 1) : (i >> 1) - 1;
+  const int y0 = (j & 1) ? (j >> 1) : (j >> 1) - 1;
+  const int wx1 = (i & 1) ? 1 : 3;  // Weight of column x0 + 1, in quarters.
+  const int wy1 = (j & 1) ? 1 : 3;
+  const int v00 = p.at_clamped(x0, y0);
+  const int v10 = p.at_clamped(x0 + 1, y0);
+  const int v01 = p.at_clamped(x0, y0 + 1);
+  const int v11 = p.at_clamped(x0 + 1, y0 + 1);
+  return ((4 - wx1) * (4 - wy1) * v00 + wx1 * (4 - wy1) * v10 +
+          (4 - wx1) * wy1 * v01 + wx1 * wy1 * v11 + 8) >>
+         4;
+}
+
+}  // namespace ycc
+
 /// Converts an RGB (or grayscale) image to planar YCbCr with the requested
 /// subsampling. Grayscale input yields a single-plane output.
 PlanarImage RgbToYcbcr(const Image& rgb, ChromaSubsampling subsampling);
 
 /// Converts planar YCbCr back to interleaved RGB (or grayscale for
-/// single-plane inputs), upsampling chroma bilinearly when subsampled.
+/// single-plane inputs), upsampling subsampled chroma bilinearly at fixed
+/// 1/4-3/4 phase (centers-aligned, edge-replicated) before the integer
+/// conversion above.
 Image YcbcrToRgb(const PlanarImage& ycbcr);
 
 /// Extracts the luma channel (grayscale) of an interleaved image.

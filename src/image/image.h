@@ -70,6 +70,16 @@ class Plane {
   int height() const { return height_; }
   uint8_t* data() { return data_.data(); }
   const uint8_t* data() const { return data_.data(); }
+
+  /// Re-dimensions the plane reusing existing capacity (no allocation when
+  /// the new size fits). Contents are unspecified afterwards — for decode
+  /// scratch buffers whose every pixel is overwritten.
+  void Reset(int width, int height) {
+    width_ = width;
+    height_ = height;
+    data_.resize(static_cast<size_t>(width) * height);
+  }
+
   uint8_t at(int x, int y) const {
     return data_[static_cast<size_t>(y) * width_ + x];
   }

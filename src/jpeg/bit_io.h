@@ -52,63 +52,112 @@ class BitWriter {
   int acc_count_ = 0;
 };
 
-/// MSB-first bit reader over entropy data. Stops (reports exhaustion) at a
-/// marker (0xFF followed by non-zero) or end of input; a truncated stream is
-/// not an error at this layer — partial-scan decode relies on it.
+/// MSB-first bit reader over entropy data, built on a buffered 64-bit
+/// accumulator: a bulk refill pulls whole bytes from the input, collapsing
+/// 0xFF00 stuffing as it goes, so the per-bit hot path is shift arithmetic
+/// only. Stops (reports exhaustion) at a marker (0xFF followed by non-zero)
+/// or end of input; a truncated stream is not an error at this layer —
+/// partial-scan decode relies on it.
+///
+/// Peek(n)/Consume(n) expose the accumulator to table-driven decoders
+/// (huffman.h): Peek returns the next n bits zero-padded past the end of the
+/// data, and Consume flags exhaustion when asked to move past the last real
+/// bit, so a decode from phantom padding is always detected.
 class BitReader {
  public:
+  /// Maximum bits a single Peek/ReadBits may request.
+  static constexpr int kMaxPeekBits = 32;
+
   explicit BitReader(Slice data) : data_(data) {}
+
+  /// Returns the next `count` bits MSB-first without consuming them,
+  /// zero-padded if fewer real bits remain. count in [0, kMaxPeekBits].
+  uint32_t Peek(int count) {
+    PCR_DCHECK(count >= 0 && count <= kMaxPeekBits);
+    if (acc_bits_ < count) Refill();
+    if (count == 0) return 0;
+    if (acc_bits_ >= count) {
+      return static_cast<uint32_t>(acc_ >> (acc_bits_ - count));
+    }
+    // Fewer real bits than requested: left-justify and zero-pad.
+    return static_cast<uint32_t>(acc_ << (count - acc_bits_)) &
+           ((count >= 32 ? 0u : (1u << count)) - 1u);
+  }
+
+  /// Consumes `count` bits. Consuming past the last real bit marks the
+  /// reader exhausted (the phantom zero-pad bits of Peek are not data).
+  void Consume(int count) {
+    if (count <= acc_bits_) {
+      acc_bits_ -= count;
+      acc_ &= (~uint64_t{0}) >> (64 - 1 - acc_bits_) >> 1;
+      return;
+    }
+    acc_ = 0;
+    acc_bits_ = 0;
+    exhausted_ = true;
+  }
 
   /// Reads one bit; returns 0 at end of data (the spec's "fill with zero"
   /// behaviour never matters because callers check Exhausted()).
   int ReadBit() {
-    if (bit_count_ == 0 && !FillByte()) {
-      exhausted_ = true;
-      return 0;
+    if (acc_bits_ == 0) {
+      Refill();
+      if (acc_bits_ == 0) {
+        exhausted_ = true;
+        return 0;
+      }
     }
-    --bit_count_;
-    return (current_ >> bit_count_) & 1;
+    --acc_bits_;
+    const int bit = static_cast<int>((acc_ >> acc_bits_) & 1);
+    acc_ &= ~(uint64_t{1} << acc_bits_);  // Keep only unconsumed bits valid.
+    return bit;
   }
 
-  /// Reads `count` bits MSB-first.
+  /// Reads `count` bits MSB-first, zero-padded (and flagged exhausted) past
+  /// the end of the data.
   uint32_t ReadBits(int count) {
-    uint32_t v = 0;
-    for (int i = 0; i < count; ++i) v = (v << 1) | ReadBit();
+    const uint32_t v = Peek(count);
+    Consume(count);
     return v;
+  }
+
+  /// Real (non-phantom) bits that can still be read before exhaustion.
+  /// Only refilled lazily: a small return value is exact once the input is
+  /// drained, which is the case that matters to truncation handling.
+  int BitsAvailable() {
+    if (acc_bits_ < kMaxPeekBits) Refill();
+    return acc_bits_;
   }
 
   /// True once a read has run past the end of the entropy data.
   bool Exhausted() const { return exhausted_; }
 
-  /// Number of entropy bytes consumed so far (including stuff bytes).
-  size_t BytesConsumed() const { return pos_; }
-
  private:
-  bool FillByte() {
-    while (pos_ < data_.size()) {
+  // Tops the accumulator up to >= 48 buffered bits (or until the entropy
+  // data ends at a marker / end of input), collapsing 0xFF00 stuffing.
+  void Refill() {
+    while (acc_bits_ <= 48 && pos_ < data_.size()) {
       const uint8_t byte = static_cast<uint8_t>(data_[pos_]);
       if (byte == 0xff) {
         if (pos_ + 1 < data_.size() &&
             static_cast<uint8_t>(data_[pos_ + 1]) == 0x00) {
-          current_ = 0xff;
-          bit_count_ = 8;
+          acc_ = (acc_ << 8) | 0xff;
+          acc_bits_ += 8;
           pos_ += 2;
-          return true;
+          continue;
         }
-        return false;  // Marker: end of entropy data.
+        return;  // Marker (or lone trailing 0xFF): end of entropy data.
       }
-      current_ = byte;
-      bit_count_ = 8;
+      acc_ = (acc_ << 8) | byte;
+      acc_bits_ += 8;
       ++pos_;
-      return true;
     }
-    return false;
   }
 
   Slice data_;
   size_t pos_ = 0;
-  uint32_t current_ = 0;
-  int bit_count_ = 0;
+  uint64_t acc_ = 0;  // Right-aligned: low acc_bits_ bits are valid.
+  int acc_bits_ = 0;
   bool exhausted_ = false;
 };
 

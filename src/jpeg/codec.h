@@ -45,17 +45,27 @@ struct DecodeResult {
   bool complete = false;
 };
 
+/// Reusable decode buffers. A decoder thread that keeps one DecodeScratch
+/// across calls pays zero heap allocation for coefficient planes and
+/// YCbCr staging once shapes repeat (the common same-sized-dataset case) —
+/// only the returned Image is freshly allocated. Not thread-safe; use one
+/// per thread.
+struct DecodeScratch {
+  CoeffImage coeffs;
+  PlanarImage planar;
+};
+
 /// Compresses an image. Color images become YCbCr 3-component JPEGs,
 /// grayscale stays single-component.
 Result<std::string> Encode(const Image& img, const EncodeOptions& options);
 
 /// Decodes as much of `data` as available: truncated progressive streams
 /// (or streams terminated early with EOI — the PCR case) yield the best
-/// reconstruction from the scans present.
-Result<DecodeResult> DecodeFull(Slice data);
+/// reconstruction from the scans present. `scratch` may be null.
+Result<DecodeResult> DecodeFull(Slice data, DecodeScratch* scratch = nullptr);
 
 /// Convenience wrapper returning just the pixels.
-Result<Image> Decode(Slice data);
+Result<Image> Decode(Slice data, DecodeScratch* scratch = nullptr);
 
 /// Parses a JPEG down to quantized coefficients without the inverse DCT.
 Result<JpegData> DecodeToCoefficients(Slice data);
@@ -73,8 +83,10 @@ Result<std::string> EncodeFromData(const JpegData& data, bool progressive,
 /// `jpegtran -progressive`: coefficients are bit-identical.
 Result<std::string> TranscodeToProgressive(Slice data);
 
-/// Renders pixels from coefficient-level data (dequantize + IDCT + color
-/// convert). Used after partial scan assembly.
-Image RenderCoefficients(const JpegData& data);
+/// Renders pixels from coefficient-level data (dequantize + fixed-point
+/// IDCT + integer color convert). Used after partial scan assembly.
+/// `scratch` may be null.
+Image RenderCoefficients(const JpegData& data,
+                         DecodeScratch* scratch = nullptr);
 
 }  // namespace pcr::jpeg

@@ -5,6 +5,7 @@
 
 #include <array>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "util/logging.h"
@@ -89,7 +90,12 @@ class CoeffImage {
 
   /// Allocates zeroed blocks per the frame geometry (ComputeGeometry must
   /// have been called).
-  explicit CoeffImage(const FrameInfo& frame) {
+  explicit CoeffImage(const FrameInfo& frame) { Reset(frame); }
+
+  /// Re-dimensions to the frame geometry and zero-fills, reusing existing
+  /// block storage when it is large enough — the decode-scratch path, where
+  /// same-shaped images recycle one allocation.
+  void Reset(const FrameInfo& frame) {
     comps_.resize(frame.components.size());
     for (size_t c = 0; c < frame.components.size(); ++c) {
       const auto& info = frame.components[c];
@@ -97,7 +103,10 @@ class CoeffImage {
       comps_[c].height_blocks = info.height_blocks_padded;
       comps_[c].blocks.resize(static_cast<size_t>(info.width_blocks_padded) *
                               info.height_blocks_padded);
-      for (auto& b : comps_[c].blocks) b.fill(0);
+      if (!comps_[c].blocks.empty()) {
+        std::memset(comps_[c].blocks.data(), 0,
+                    comps_[c].blocks.size() * sizeof(CoeffBlock));
+      }
     }
   }
 

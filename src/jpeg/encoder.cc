@@ -77,13 +77,13 @@ void AppendSof(std::string* out, const FrameInfo& frame) {
 void AppendDht(std::string* out, int table_class, int slot,
                const HuffTable& table) {
   AppendMarker(out, kDHT);
-  AppendU16(out, static_cast<uint16_t>(2 + 1 + 16 + table.values().size()));
+  AppendU16(out, static_cast<uint16_t>(2 + 1 + 16 + table.num_values()));
   out->push_back(static_cast<char>((table_class << 4) | slot));
   for (int i = 0; i < 16; ++i) {
     out->push_back(static_cast<char>(table.bits()[i]));
   }
-  out->append(reinterpret_cast<const char*>(table.values().data()),
-              table.values().size());
+  out->append(reinterpret_cast<const char*>(table.values()),
+              table.num_values());
 }
 
 void AppendSos(std::string* out, const FrameInfo& frame, const ScanSpec& scan,
@@ -378,8 +378,6 @@ const HuffTable* LookupScanTable(void* ctx, int table_class, int slot) {
 }
 
 }  // namespace
-
-Image RenderCoefficients(const JpegData& data);  // decoder.cc
 
 Result<std::string> EncodeFromData(const JpegData& data, bool progressive,
                                    std::vector<ScanSpec> script,

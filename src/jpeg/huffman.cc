@@ -11,13 +11,14 @@ Result<HuffTable> HuffTable::FromSpec(const uint8_t bits[16],
                                       const uint8_t* values, int num_values) {
   HuffTable t;
   std::copy(bits, bits + 16, t.bits_.begin());
-  t.values_.assign(values, values + num_values);
 
   int total = 0;
   for (int i = 0; i < 16; ++i) total += bits[i];
-  if (total != num_values || total > 256) {
+  if (total != num_values || total > 256 || num_values < 0) {
     return Status::Corruption("huffman table: bits/values mismatch");
   }
+  std::copy(values, values + num_values, t.values_.begin());
+  t.num_values_ = num_values;
 
   // Generate canonical code lengths and codes (C.2 of T.81).
   std::vector<uint8_t> huffsize;
@@ -65,20 +66,22 @@ Result<HuffTable> HuffTable::FromSpec(const uint8_t bits[16],
       t.max_code_[l] = -1;
     }
   }
-  return t;
-}
 
-int HuffTable::DecodeSymbol(BitReader* reader) const {
-  int32_t code = reader->ReadBit();
-  int l = 1;
-  while (l <= 16 && (max_code_[l] < 0 || code > max_code_[l])) {
-    code = (code << 1) | reader->ReadBit();
-    ++l;
+  // Fast decode LUT: every kLookupBits-bit window starting with a short code
+  // maps directly to (length, symbol); all 2^(kLookupBits - len) suffixes of
+  // a len-bit code share its entry.
+  for (size_t k = 0; k < huffsize.size(); ++k) {
+    const int len = huffsize[k];
+    if (len > kLookupBits) break;  // huffsize is sorted by length.
+    const uint16_t entry =
+        static_cast<uint16_t>((len << 8) | t.values_[k]);
+    const uint32_t base = static_cast<uint32_t>(huffcode[k])
+                          << (kLookupBits - len);
+    for (uint32_t fill = 0; fill < (1u << (kLookupBits - len)); ++fill) {
+      t.lut_[base | fill] = entry;
+    }
   }
-  if (l > 16 || reader->Exhausted()) return -1;
-  const int idx = val_ptr_[l] + (code - min_code_[l]);
-  if (idx < 0 || idx >= static_cast<int>(values_.size())) return -1;
-  return values_[idx];
+  return t;
 }
 
 bool HuffFrequencies::Empty() const {

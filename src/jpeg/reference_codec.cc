@@ -1,0 +1,111 @@
+#include "jpeg/reference_codec.h"
+
+#include <algorithm>
+
+#include "image/color.h"
+#include "jpeg/decoder_impl.h"
+
+namespace pcr::jpeg {
+
+namespace {
+
+using ReferenceDecoder = internal::DecoderT<ReferenceBitReader>;
+
+}  // namespace
+
+Image ReferenceCodec::RenderCoefficients(const JpegData& data) {
+  const FrameInfo& frame = data.frame;
+
+  // Every block through the full IDCT into an 8x8 staging buffer, pixels
+  // placed one at a time — no interior/edge split, no DC short-circuit.
+  PlanarImage planar;
+  planar.full_width = frame.width;
+  planar.full_height = frame.height;
+  for (size_t c = 0; c < frame.components.size(); ++c) {
+    const auto& info = frame.components[c];
+    const QuantTable& qtbl = data.quant_tables[info.quant_tbl];
+    Plane plane(info.width, info.height);
+    int32_t dq[64];
+    uint8_t spatial[64];
+    for (int by = 0; by < info.height_blocks; ++by) {
+      for (int bx = 0; bx < info.width_blocks; ++bx) {
+        internal::DequantizeBlock(
+            data.coefficients.block(static_cast<int>(c), bx, by), qtbl, dq);
+        InverseDct8x8Fixed(dq, spatial, 8);
+        for (int y = 0; y < 8; ++y) {
+          for (int x = 0; x < 8; ++x) {
+            const int px = bx * 8 + x;
+            const int py = by * 8 + y;
+            if (px < info.width && py < info.height) {
+              plane.set(px, py, spatial[y * 8 + x]);
+            }
+          }
+        }
+      }
+    }
+    planar.planes.push_back(std::move(plane));
+  }
+
+  // Per-pixel color conversion via the canonical scalar formulas.
+  if (planar.num_components() == 1) {
+    Image out(frame.width, frame.height, 1);
+    for (int j = 0; j < frame.height; ++j) {
+      for (int i = 0; i < frame.width; ++i) {
+        out.set(i, j, 0, planar.planes[0].at(i, j));
+      }
+    }
+    return out;
+  }
+
+  const Plane& y = planar.planes[0];
+  const Plane& cb = planar.planes[1];
+  const Plane& cr = planar.planes[2];
+  const bool subsampled =
+      cb.width() != frame.width || cb.height() != frame.height;
+  Image out(frame.width, frame.height, 3);
+  for (int j = 0; j < frame.height; ++j) {
+    for (int i = 0; i < frame.width; ++i) {
+      const int cbv =
+          subsampled ? ycc::UpsampleAt(cb, i, j) : cb.at(i, j);
+      const int crv =
+          subsampled ? ycc::UpsampleAt(cr, i, j) : cr.at(i, j);
+      uint8_t r, g, b;
+      ycc::ToRgb(y.at(i, j), cbv, crv, &r, &g, &b);
+      out.set(i, j, 0, r);
+      out.set(i, j, 1, g);
+      out.set(i, j, 2, b);
+    }
+  }
+  return out;
+}
+
+Result<DecodeResult> ReferenceCodec::DecodeFull(Slice data) {
+  ReferenceDecoder decoder(data);
+  PCR_RETURN_IF_ERROR(decoder.Parse());
+  if (!decoder.have_frame()) {
+    return Status::Corruption("no frame header before end of data");
+  }
+  DecodeResult result;
+  result.frame = decoder.frame();
+  result.scans_decoded = decoder.scans_decoded();
+  result.complete = decoder.complete();
+  const JpegData jdata = decoder.TakeJpegData();
+  result.image = RenderCoefficients(jdata);
+  return result;
+}
+
+Result<Image> ReferenceCodec::Decode(Slice data) {
+  PCR_ASSIGN_OR_RETURN(DecodeResult result, DecodeFull(data));
+  return std::move(result.image);
+}
+
+Result<JpegData> ReferenceCodec::DecodeToCoefficients(Slice data) {
+  ReferenceDecoder decoder(data);
+  PCR_RETURN_IF_ERROR(decoder.Parse());
+  if (!decoder.have_frame()) {
+    return Status::Corruption("no frame header before end of data");
+  }
+  return decoder.TakeJpegData();
+}
+
+}  // namespace pcr::jpeg

@@ -11,6 +11,7 @@
 
 #include "core/record_source.h"
 #include "image/image.h"
+#include "jpeg/codec.h"
 #include "loader/sampler.h"
 #include "loader/scan_policy.h"
 #include "util/random.h"
@@ -23,12 +24,19 @@ struct LoadedBatch {
   int record_index = -1;
   int scan_group = 0;
   std::vector<int64_t> labels;
-  std::vector<Image> images;       // Decoded pixels (the default).
-  std::vector<std::string> jpegs;  // Assembled JPEG streams when the
-                                   // pipeline runs with decode off.
+  std::vector<Image> images;  // Decoded pixels (the default).
+  // When the pipeline runs with decode off, the assembled JPEG streams are
+  // carried as spans into the moved RecordBatch backing (no extra copy).
+  std::vector<ByteSpan> jpeg_spans;
+  std::string jpeg_backing;
   uint64_t bytes_read = 0;
 
   int size() const { return static_cast<int>(labels.size()); }
+  int num_jpegs() const { return static_cast<int>(jpeg_spans.size()); }
+  Slice jpeg(int i) const {
+    return Slice(jpeg_backing.data() + jpeg_spans[i].offset,
+                 jpeg_spans[i].length);
+  }
 };
 
 struct LoaderOptions {
@@ -40,9 +48,11 @@ struct LoaderOptions {
 
 /// Decodes every JPEG of an assembled RecordBatch into pixels — the shared
 /// CPU half of both the synchronous DataLoader and the pipeline's decode
-/// stage.
+/// stage. `scratch` (may be null) lets a long-lived decode thread reuse
+/// coefficient and staging buffers across records.
 Result<LoadedBatch> DecodeRecordBatch(RecordBatch raw, int record_index,
-                                      int scan_group);
+                                      int scan_group,
+                                      jpeg::DecodeScratch* scratch = nullptr);
 
 /// Cumulative loader counters.
 struct LoaderStats {

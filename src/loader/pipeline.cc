@@ -28,6 +28,7 @@ LoaderPipeline::LoaderPipeline(RecordSource* source,
   PCR_CHECK_GT(source->num_records(), 0);
   options_.io_threads = std::max(1, options_.io_threads);
   options_.decode_threads = std::max(1, options_.decode_threads);
+  options_.decode_pop_batch = std::max(1, options_.decode_pop_batch);
   if (options_.scan_policy == nullptr) {
     options_.scan_policy =
         std::make_shared<FixedScanPolicy>(source->num_scan_groups());
@@ -103,54 +104,90 @@ void LoaderPipeline::IoWorkerLoop(uint64_t seed) {
   if (live_io_workers_.fetch_sub(1) == 1) fetch_queue_.Close();
 }
 
-Result<LoadedBatch> LoaderPipeline::AssembleAndDecode(RawRecord raw) {
+Result<LoadedBatch> LoaderPipeline::AssembleAndDecode(
+    RawRecord raw, jpeg::DecodeScratch* scratch) {
   const int record = raw.record;
   const int group = raw.scan_group;
   PCR_ASSIGN_OR_RETURN(RecordBatch assembled,
                        source_->AssembleRecord(std::move(raw)));
   if (options_.decode) {
-    return DecodeRecordBatch(std::move(assembled), record, group);
+    return DecodeRecordBatch(std::move(assembled), record, group, scratch);
   }
   LoadedBatch batch;
   batch.record_index = record;
   batch.scan_group = group;
   batch.labels = std::move(assembled.labels);
   batch.bytes_read = assembled.bytes_read;
-  batch.jpegs = std::move(assembled.jpegs);
+  batch.jpeg_spans = std::move(assembled.spans);
+  batch.jpeg_backing = std::move(assembled.backing);
   return batch;
 }
 
 void LoaderPipeline::DecodeWorkerLoop() {
-  for (;;) {
+  // Per-worker reusable decode buffers: coefficient planes and YCbCr
+  // staging are allocated once and recycled across every record this
+  // worker decodes.
+  jpeg::DecodeScratch scratch;
+  std::vector<RawRecord> claimed;
+  claimed.reserve(static_cast<size_t>(options_.decode_pop_batch));
+  bool running = true;
+  while (running) {
+    claimed.clear();
+    // Claim at most a fair share of the queued records: batching cuts lock
+    // churn when the queue runs deep, but near end-of-stream (or with slow
+    // storage) grabbing a full batch would serialize records that idle
+    // peer workers could decode in parallel.
+    const size_t share =
+        fetch_queue_.size() / static_cast<size_t>(options_.decode_threads);
+    const size_t claim = std::clamp<size_t>(
+        share, 1, static_cast<size_t>(options_.decode_pop_batch));
     const int64_t pop_start = NowNanos();
-    std::optional<RawRecord> raw = fetch_queue_.Pop();
+    fetch_queue_.PopMany(claim, &claimed);
     decode_stats_.AddIdleNanos(NowNanos() - pop_start);
-    if (!raw.has_value()) break;  // Upstream sealed and drained.
-    // Residual items drain normally at end-of-stream, but after Stop() or a
-    // stage failure decoding them is wasted work — bail before the decode.
-    if (stopping_.load(std::memory_order_relaxed) || !status().ok()) break;
+    if (claimed.empty()) break;  // Upstream sealed and drained.
 
-    decode_in_flight_.fetch_add(1, std::memory_order_relaxed);
-    const uint64_t bytes = raw->bytes_read;
-    const int64_t work_start = NowNanos();
-    auto batch = AssembleAndDecode(std::move(*raw));
-    decode_stats_.AddBusyNanos(NowNanos() - work_start);
-    if (!batch.ok()) {
+    // Claimed records count as in flight until their batch is in the
+    // output queue, so consumer stall attribution sees them.
+    decode_in_flight_.fetch_add(static_cast<int>(claimed.size()),
+                                std::memory_order_relaxed);
+    size_t done = 0;
+    for (RawRecord& raw : claimed) {
+      // Residual items drain normally at end-of-stream, but after Stop() or
+      // a stage failure decoding them is wasted work — bail pre-decode.
+      if (stopping_.load(std::memory_order_relaxed) || !status().ok()) {
+        running = false;
+        break;
+      }
+      const uint64_t bytes = raw.bytes_read;
+      const int64_t work_start = NowNanos();
+      auto batch = AssembleAndDecode(std::move(raw), &scratch);
+      decode_stats_.AddBusyNanos(NowNanos() - work_start);
+      if (!batch.ok()) {
+        RecordError(batch.status().WithContext("loader decode stage"));
+        running = false;
+        break;
+      }
+      decode_stats_.AddItem(bytes);
+
+      // Drop the in-flight mark before the push: a consumer woken by this
+      // batch then sees a consistent picture (work either in flight or in
+      // the output queue, never in the gap between).
+      ++done;
       decode_in_flight_.fetch_sub(1, std::memory_order_relaxed);
-      RecordError(batch.status().WithContext("loader decode stage"));
-      break;
+      const int64_t push_start = NowNanos();
+      const bool pushed = output_queue_.Push(std::move(batch).MoveValue());
+      decode_stats_.AddIdleNanos(NowNanos() - push_start);
+      if (!pushed) {  // Queue closed: Stop() or a stage failure.
+        running = false;
+        break;
+      }
+      decode_stats_.SampleQueueDepth(output_queue_.size());
     }
-    decode_stats_.AddItem(bytes);
-
-    // Drop the in-flight mark before the push: a consumer woken by this
-    // batch then sees a consistent picture (work either in flight or in the
-    // output queue, never in the gap between).
-    decode_in_flight_.fetch_sub(1, std::memory_order_relaxed);
-    const int64_t push_start = NowNanos();
-    const bool pushed = output_queue_.Push(std::move(batch).MoveValue());
-    decode_stats_.AddIdleNanos(NowNanos() - push_start);
-    if (!pushed) break;  // Queue closed: Stop() or a stage failure.
-    decode_stats_.SampleQueueDepth(output_queue_.size());
+    // Un-mark any records this visit abandoned.
+    if (done < claimed.size()) {
+      decode_in_flight_.fetch_sub(static_cast<int>(claimed.size() - done),
+                                  std::memory_order_relaxed);
+    }
   }
   // Last decoder out seals the output: the consumer sees end-of-stream.
   if (live_decode_workers_.fetch_sub(1) == 1) output_queue_.Close();

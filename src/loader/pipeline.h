@@ -45,6 +45,12 @@ struct LoaderPipelineOptions {
   int fetch_queue_depth = 8;
   /// Decode stage: ThreadPool workers running AssembleRecord + jpeg::Decode.
   int decode_threads = 4;
+  /// Upper bound on raw records a decode worker claims per queue visit
+  /// (one lock + one notify per visit instead of per record); the actual
+  /// claim is capped at the worker's fair share of the queued records so a
+  /// draining queue still spreads across idle workers. Records decode and
+  /// deliver one at a time. >= 1.
+  int decode_pop_batch = 4;
   /// Decoded batches buffered ahead of the consumer.
   int output_queue_depth = 8;
   /// When false, batches carry assembled JPEG streams instead of decoded
@@ -101,7 +107,8 @@ class LoaderPipeline {
  private:
   void IoWorkerLoop(uint64_t seed);
   void DecodeWorkerLoop();
-  Result<LoadedBatch> AssembleAndDecode(RawRecord raw);
+  Result<LoadedBatch> AssembleAndDecode(RawRecord raw,
+                                        jpeg::DecodeScratch* scratch);
   void RecordError(Status status);
 
   RecordSource* source_;

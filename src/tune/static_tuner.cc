@@ -34,14 +34,14 @@ Result<std::vector<ScanGroupQuality>> ProfileScanGroups(
     for (int i = 0; i < take; ++i) {
       const int idx = static_cast<int>(rng.Uniform(full.size()));
       picks.push_back(idx);
-      PCR_ASSIGN_OR_RETURN(Image ref, jpeg::Decode(Slice(full.jpegs[idx])));
+      PCR_ASSIGN_OR_RETURN(Image ref, jpeg::Decode(full.jpeg(idx)));
       references.push_back(std::move(ref));
     }
     for (int g = 1; g <= num_groups; ++g) {
       PCR_ASSIGN_OR_RETURN(RecordBatch batch, source->ReadRecord(r, g));
       for (int i = 0; i < take; ++i) {
         const int idx = picks[i];
-        PCR_ASSIGN_OR_RETURN(Image img, jpeg::Decode(Slice(batch.jpegs[idx])));
+        PCR_ASSIGN_OR_RETURN(Image img, jpeg::Decode(batch.jpeg(idx)));
         mssim[g - 1].Add(Msssim(references[i], img));
       }
     }

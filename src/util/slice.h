@@ -12,6 +12,15 @@
 
 namespace pcr {
 
+/// An (offset, length) descriptor of a byte range inside some owning
+/// buffer. Unlike a Slice it carries no pointer, so it stays valid when the
+/// owning buffer is moved (including small-string moves that relocate the
+/// bytes); resolve it against the buffer at the point of use.
+struct ByteSpan {
+  size_t offset = 0;
+  size_t length = 0;
+};
+
 /// A non-owning pointer+length view over bytes. The referenced memory must
 /// outlive the Slice.
 class Slice {

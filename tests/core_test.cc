@@ -121,7 +121,7 @@ TEST_P(PcrDatasetShapes, WriteReadInvariants) {
     auto batch = ds->ReadRecord(r, 3).MoveValue();
     for (int i = 0; i < batch.size(); ++i) {
       EXPECT_EQ(batch.labels[i], labels[seen + i]);
-      auto decoded = jpeg::DecodeFull(Slice(batch.jpegs[i]));
+      auto decoded = jpeg::DecodeFull(batch.jpeg(i));
       ASSERT_TRUE(decoded.ok()) << decoded.status();
       EXPECT_GE(decoded->scans_decoded, 1);
     }
@@ -205,7 +205,7 @@ TEST(RecordDataset, RoundTripsImagesAndLabels) {
     auto batch = ds->ReadRecord(r, 1).MoveValue();
     for (int i = 0; i < batch.size(); ++i) {
       EXPECT_EQ(batch.labels[i], 100 + seen);
-      EXPECT_EQ(batch.jpegs[i], jpegs[seen]);  // Byte-identical storage.
+      EXPECT_EQ(batch.jpeg(i).ToString(), jpegs[seen]);  // Byte-identical.
       ++seen;
     }
   }
@@ -228,7 +228,7 @@ TEST(FilePerImageDataset, OneFilePerImage) {
     auto batch = ds->ReadRecord(i, 1).MoveValue();
     EXPECT_EQ(batch.size(), 1);
     EXPECT_EQ(batch.labels[0], i * 10);
-    EXPECT_TRUE(jpeg::Decode(Slice(batch.jpegs[0])).ok());
+    EXPECT_TRUE(jpeg::Decode(batch.jpeg(0)).ok());
   }
 }
 

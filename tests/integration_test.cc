@@ -89,8 +89,8 @@ TEST_F(IntegrationTest, PartialReadDecodesEveryImage) {
   for (int g : {1, 2, 5, 10}) {
     auto batch = ds->ReadRecord(0, g).MoveValue();
     EXPECT_EQ(batch.size(), spec_->images_per_record);
-    for (const auto& jpeg_bytes : batch.jpegs) {
-      auto decoded = jpeg::DecodeFull(Slice(jpeg_bytes));
+    for (int i = 0; i < batch.size(); ++i) {
+      auto decoded = jpeg::DecodeFull(batch.jpeg(i));
       ASSERT_TRUE(decoded.ok()) << "group " << g << ": " << decoded.status();
       EXPECT_EQ(decoded->scans_decoded, g);
       EXPECT_GT(decoded->image.width(), 0);
@@ -107,8 +107,8 @@ TEST_F(IntegrationTest, ScanGroup10MatchesOriginalJpegQuality) {
   auto baseline = record_ds->ReadRecord(0, 1).MoveValue();
   ASSERT_EQ(full.size(), baseline.size());
   for (int i = 0; i < full.size(); ++i) {
-    const Image a = jpeg::Decode(Slice(full.jpegs[i])).MoveValue();
-    const Image b = jpeg::Decode(Slice(baseline.jpegs[i])).MoveValue();
+    const Image a = jpeg::Decode(full.jpeg(i)).MoveValue();
+    const Image b = jpeg::Decode(baseline.jpeg(i)).MoveValue();
     ASSERT_TRUE(a.SameShape(b));
     EXPECT_EQ(0, memcmp(a.data(), b.data(), a.size_bytes())) << "image " << i;
   }

@@ -67,6 +67,52 @@ TEST(Dct, ParsevalEnergyPreserved) {
   EXPECT_NEAR(e_in, e_out, 1e-6 * e_in);
 }
 
+TEST(Dct, FixedPointMatchesDoubleOracle) {
+  // The fixed-point IDCT must track the double-precision reference to
+  // within one intensity level on the full legitimate coefficient range.
+  Rng rng(21);
+  int32_t dq[64];
+  double in[64], out[64];
+  uint8_t fixed[64];
+  for (int trial = 0; trial < 200; ++trial) {
+    const int nonzero = 1 + static_cast<int>(rng.Uniform(64));
+    for (int i = 0; i < 64; ++i) dq[i] = 0;
+    for (int n = 0; n < nonzero; ++n) {
+      dq[rng.Uniform(64)] =
+          static_cast<int32_t>(rng.Uniform(4097)) - 2048;  // +/- DC max.
+    }
+    for (int i = 0; i < 64; ++i) in[i] = dq[i];
+    InverseDct8x8(in, out);
+    InverseDct8x8Fixed(dq, fixed, 8);
+    for (int i = 0; i < 64; ++i) {
+      const double expected =
+          std::clamp(std::floor(out[i] + 128.0 + 0.5), 0.0, 255.0);
+      EXPECT_NEAR(static_cast<double>(fixed[i]), expected, 1.0)
+          << "trial " << trial << " i=" << i;
+    }
+  }
+}
+
+TEST(Dct, FixedPointDcOnlyBlockIsFlatFill) {
+  // A DC-only block must come out as the flat field the renderer's
+  // short-circuit computes: clamp(((dc + 4) >> 3) + 128). The parity suite
+  // separately proves the short-circuit equals the kernel on real streams;
+  // this pins the shared closed form across the full DC range.
+  int32_t dq[64];
+  uint8_t out[64];
+  for (int dc = -2048; dc <= 2048; dc += 7) {
+    for (int i = 0; i < 64; ++i) dq[i] = 0;
+    dq[0] = dc;
+    InverseDct8x8Fixed(dq, out, 8);
+    const int64_t descaled = (static_cast<int64_t>(dc) + 4) >> 3;
+    const uint8_t expected = static_cast<uint8_t>(
+        std::clamp<int64_t>(descaled + 128, 0, 255));
+    for (int i = 0; i < 64; ++i) {
+      ASSERT_EQ(out[i], expected) << "dc=" << dc << " i=" << i;
+    }
+  }
+}
+
 // ---------------------------------------------------------------- Bit I/O
 
 TEST(BitIo, RoundTripWithStuffing) {
@@ -110,6 +156,70 @@ TEST(BitIo, ReaderStopsAtMarker) {
   EXPECT_TRUE(reader.Exhausted());
 }
 
+TEST(BitIo, PeekDoesNotConsume) {
+  std::string buf = {'\xB7', '\x2C', '\x51'};
+  BitReader reader(buf);
+  EXPECT_EQ(reader.Peek(8), 0xB7u);
+  EXPECT_EQ(reader.Peek(12), 0xB72u);
+  EXPECT_EQ(reader.Peek(8), 0xB7u);  // Unchanged.
+  reader.Consume(4);
+  EXPECT_EQ(reader.Peek(8), 0x72u);
+  reader.Consume(8);
+  EXPECT_EQ(reader.ReadBits(12), 0xC51u);
+  EXPECT_FALSE(reader.Exhausted());
+}
+
+TEST(BitIo, PeekZeroPadsPastEndAndConsumeFlagsExhaustion) {
+  std::string buf = {'\xA0'};  // 8 real bits.
+  BitReader reader(buf);
+  EXPECT_EQ(reader.Peek(12), 0xA00u);  // Zero-padded, not data.
+  EXPECT_FALSE(reader.Exhausted());    // Peeking alone never exhausts.
+  EXPECT_EQ(reader.BitsAvailable(), 8);
+  reader.Consume(12);  // Consumes past the last real bit.
+  EXPECT_TRUE(reader.Exhausted());
+}
+
+TEST(BitIo, PeekSpansStuffedBytes) {
+  // 0xFF 0x00 collapses to one 0xFF data byte inside the accumulator.
+  std::string buf = {'\x12', '\xFF', '\x00', '\x34'};
+  BitReader reader(buf);
+  EXPECT_EQ(reader.Peek(24), 0x12FF34u);
+  reader.Consume(24);
+  EXPECT_FALSE(reader.Exhausted());
+  reader.ReadBit();
+  EXPECT_TRUE(reader.Exhausted());
+}
+
+TEST(BitIo, InterleavedBitAndPeekReadsStayCoherent) {
+  // Regression: ReadBit must not leave consumed bits in the accumulator
+  // where a later Peek would see them as high bits.
+  std::string buf;
+  BitWriter writer(&buf);
+  Rng rng(17);
+  std::vector<std::pair<uint32_t, int>> writes;
+  for (int i = 0; i < 500; ++i) {
+    const int n = 1 + static_cast<int>(rng.Uniform(16));
+    const uint32_t bits = static_cast<uint32_t>(rng.Next()) & ((1u << n) - 1);
+    writes.emplace_back(bits, n);
+    writer.WriteBits(bits, n);
+  }
+  writer.AlignToByte();
+  Rng replay(17);
+  BitReader reader(buf);
+  for (const auto& [bits, n] : writes) {
+    if (replay.Uniform(2) == 0) {
+      // Bit-by-bit.
+      uint32_t v = 0;
+      for (int b = 0; b < n; ++b) v = (v << 1) | reader.ReadBit();
+      ASSERT_EQ(v, bits);
+    } else {
+      ASSERT_EQ(reader.Peek(n), bits);
+      reader.Consume(n);
+    }
+  }
+  EXPECT_FALSE(reader.Exhausted());
+}
+
 // ---------------------------------------------------------------- Huffman
 
 TEST(Huffman, StdTablesRoundTripSymbols) {
@@ -147,6 +257,80 @@ TEST(Huffman, OptimalTableRoundTripsAndBeatsUniform) {
   }
   // A uniform 5-bit code would need 12500 bytes; optimal must beat it.
   EXPECT_LT(buf.size(), 12500u);
+}
+
+TEST(Huffman, TruncatedStreamFailsCleanly) {
+  // Regression: a stream that ends mid-code must report exhaustion (the
+  // partial-decode truncation signal), never decode a symbol out of the
+  // phantom zero padding — even when the zero-padded bit pattern happens to
+  // form a valid code.
+  auto table = HuffTable::FromSpec(StdAcLumaSpec()).MoveValue();
+  std::string buf;
+  BitWriter writer(&buf);
+  const std::vector<int> symbols = {0x11, 0x04, 0x23, 0xF0, 0x81};
+  for (int s : symbols) table.EncodeSymbol(&writer, s);
+  writer.AlignToByte();
+
+  // Full stream: all symbols decode, no exhaustion mid-way.
+  {
+    BitReader reader(buf);
+    for (int s : symbols) ASSERT_EQ(table.DecodeSymbol(&reader), s);
+  }
+  // Every truncation point: decoding must yield a (possibly empty) prefix
+  // of the encoded symbols and then -1 with Exhausted(), never a wrong
+  // symbol and never an out-of-range read.
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    BitReader reader(Slice(buf.data(), cut));
+    size_t decoded = 0;
+    for (;;) {
+      const int sym = table.DecodeSymbol(&reader);
+      if (sym < 0) break;
+      ASSERT_LT(decoded, symbols.size()) << "cut=" << cut;
+      ASSERT_EQ(sym, symbols[decoded]) << "cut=" << cut;
+      ++decoded;
+    }
+    EXPECT_TRUE(reader.Exhausted()) << "cut=" << cut;
+    // The bitwise reference path must agree symbol for symbol.
+    BitReader ref_reader(Slice(buf.data(), cut));
+    for (size_t i = 0; i < decoded; ++i) {
+      EXPECT_EQ(table.DecodeSymbolBitwise(&ref_reader),
+                symbols[i]) << "cut=" << cut;
+    }
+    EXPECT_LT(table.DecodeSymbolBitwise(&ref_reader), 0) << "cut=" << cut;
+  }
+}
+
+TEST(Huffman, InvalidCodeReportsCorruptionNotTruncation) {
+  // A bit pattern that matches no code of any length must return -1 with
+  // Exhausted() == false — the callers' corruption signal.
+  const uint8_t bits[16] = {0, 1, 0, 0, 0, 0, 0, 0,
+                            0, 0, 0, 0, 0, 0, 0, 0};  // One 2-bit code: 00.
+  const uint8_t values[1] = {7};
+  auto table = HuffTable::FromSpec(bits, values, 1).MoveValue();
+  // Plenty of 1-bits: walks to length 16 without matching, bits remain.
+  std::string junk(4, '\xEE');
+  BitReader reader(junk);
+  EXPECT_EQ(table.DecodeSymbol(&reader), -1);
+  EXPECT_FALSE(reader.Exhausted());
+}
+
+TEST(Huffman, TruncatedJpegStreamNeverGainsScans) {
+  // End-to-end regression for the EOF hardening: for every byte-truncation
+  // of a real progressive stream, the decoder must never report more scans
+  // than the prefix actually contains, must never report completeness, and
+  // must never crash.
+  const Image original = MakeTestImage(40, 32, true, 77);
+  EncodeOptions options;
+  options.progressive = true;
+  auto encoded = Encode(original, options).MoveValue();
+  auto full = DecodeFull(Slice(encoded)).MoveValue();
+  ASSERT_TRUE(full.complete);
+  for (size_t cut = 0; cut < encoded.size(); cut += 3) {
+    auto result = DecodeFull(Slice(encoded.data(), cut));
+    if (!result.ok()) continue;  // Clean error is acceptable.
+    EXPECT_LE(result->scans_decoded, full.scans_decoded) << "cut=" << cut;
+    EXPECT_FALSE(result->complete) << "cut=" << cut;
+  }
 }
 
 TEST(Huffman, OptimalTableSingleSymbol) {

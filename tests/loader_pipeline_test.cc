@@ -72,10 +72,11 @@ class FakeSource : public RecordSource {
     }
     RecordBatch batch;
     batch.bytes_read = raw.bytes_read;
+    batch.backing = raw.record == corrupt_jpeg_at_ ? "not a jpeg" : jpeg_;
     for (int i = 0; i < images_per_record_; ++i) {
       batch.labels.push_back(raw.record);
-      batch.jpegs.push_back(raw.record == corrupt_jpeg_at_ ? "not a jpeg"
-                                                           : jpeg_);
+      // Every image of the record shares the one backing stream.
+      batch.spans.push_back(ByteSpan{0, batch.backing.size()});
     }
     return batch;
   }
@@ -296,7 +297,8 @@ TEST(LoaderPipelineTest, DecodeOffDeliversAssembledJpegs) {
   for (;;) {
     auto batch = pipeline.Next();
     if (!batch.ok()) break;
-    EXPECT_EQ(static_cast<int>(batch->jpegs.size()), 3);
+    EXPECT_EQ(batch->num_jpegs(), 3);
+    EXPECT_GT(batch->jpeg(0).size(), 0u);
     EXPECT_TRUE(batch->images.empty());
     ++batches;
   }

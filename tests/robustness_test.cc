@@ -104,7 +104,7 @@ TEST(Robustness, AssembleRecordPrefixOnMutatedHeaders) {
     mutated[rng.Uniform(mutated.size())] ^= static_cast<char>(rng.Next());
     auto result = AssembleRecordPrefix(Slice(mutated), 3);
     if (result.ok()) {
-      EXPECT_LE(result->jpegs.size(), 64u);
+      EXPECT_LE(result->spans.size(), 64u);
     }
   }
 }

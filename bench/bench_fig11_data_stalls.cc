@@ -75,5 +75,33 @@ int main(int argc, char** argv) {
   printf("\npaper check: baseline shows the largest stalls; lower scan groups "
          "reduce stall magnitude; stalls are storage-attributed (io-bound), "
          "not decode-attributed.\n");
+
+  // Decoded-record cache across epochs: with the working set resident,
+  // epoch 2's iterations are cache-served — the periodic stalls of the
+  // tables above disappear entirely (no storage reads, no decodes).
+  {
+    PipelineSimOptions options;
+    options.prefetch_depth = 4;
+    options.decode_cache_bytes = 8ull << 30;
+    TrainingPipelineSim sim(source, storage, model.compute, DecodeCostModel{},
+                            options);
+    FixedScanPolicy baseline_policy(10);
+    const auto epoch1 = sim.SimulateEpoch(&baseline_policy);
+    const auto epoch2 = sim.SimulateEpoch(&baseline_policy);
+    ReportMetric("cache/epoch2_stall_seconds", epoch2.records,
+                 epoch2.stall_seconds,
+                 static_cast<double>(epoch2.bytes_read),
+                 epoch2.images_per_sec);
+    ReportMetric("cache/epoch2_hit_seconds_saved", epoch2.records,
+                 epoch2.cache_hit_seconds_saved, 0, 0);
+    printf("\ndecoded-record cache (baseline quality, resident working "
+           "set):\n  epoch 1 (populate): stall %.2fs, %.0f img/s\n  epoch 2 "
+           "(cache-served): %lld/%d hits, stall %.2fs, %.0f img/s, loader "
+           "seconds saved %.2fs\n",
+           epoch1.stall_seconds, epoch1.images_per_sec,
+           static_cast<long long>(epoch2.cache_hits), epoch2.records,
+           epoch2.stall_seconds, epoch2.images_per_sec,
+           epoch2.cache_hit_seconds_saved);
+  }
   return 0;
 }

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""CI bench-regression gate.
+
+Compares a bench run's items/sec against a committed baseline (e.g.
+BENCH_pr3.json) and fails when any benchmark regresses by more than the
+threshold.
+
+CI machines differ from the machine a baseline was recorded on, so by
+default ratios are normalized by the median current/baseline ratio across
+the common benchmarks: the median absorbs the machine-speed factor, and a
+*relative* regression — one benchmark cratering while its siblings hold —
+sticks out regardless of the runner. Pass --absolute to compare raw numbers
+(only meaningful when baseline and current come from the same machine).
+
+Supported input shapes (auto-detected):
+  * google-benchmark JSON:   {"benchmarks": [{"name", "items_per_second"}]}
+  * bench_common --json:     {"metrics": [{"name", "items_per_sec"}]}
+  * committed baseline:      {"items_per_second": {"<key>": {name: value}}}
+    (select <key> with --baseline-key), or a flat {name: value} map.
+
+Exit status: 0 = no regression, 1 = regression(s), 2 = usage/parse error.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def extract_items_per_sec(data, baseline_key=None):
+    """Returns {benchmark name: items per second} from any supported shape."""
+    if "benchmarks" in data:  # google-benchmark --benchmark_out format.
+        out = {}
+        for bench in data["benchmarks"]:
+            # Skip aggregate rows (mean/median/stddev) when repetitions ran.
+            if bench.get("run_type") == "aggregate":
+                continue
+            if "items_per_second" in bench:
+                out[bench["name"]] = float(bench["items_per_second"])
+        return out
+    if "metrics" in data:  # bench_common --json format.
+        return {
+            m["name"]: float(m["items_per_sec"])
+            for m in data["metrics"]
+            if float(m.get("items_per_sec", 0)) > 0
+        }
+    if "items_per_second" in data:  # Committed BENCH_*.json baseline.
+        table = data["items_per_second"]
+        if baseline_key:
+            if baseline_key not in table:
+                raise ValueError(
+                    f"baseline key {baseline_key!r} not in {sorted(table)}")
+            table = table[baseline_key]
+        return {name: float(value) for name, value in table.items()}
+    # Flat {name: value} map.
+    flat = {
+        name: float(value)
+        for name, value in data.items()
+        if isinstance(value, (int, float))
+    }
+    if not flat:
+        raise ValueError("unrecognized bench JSON shape")
+    return flat
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline JSON (e.g. BENCH_pr3.json)")
+    parser.add_argument("--baseline-key", default=None,
+                        help="sub-table inside the baseline's "
+                        "items_per_second map (e.g. pr3)")
+    parser.add_argument("--current", required=True,
+                        help="bench JSON from this run")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="fail when a benchmark drops more than this "
+                        "fraction (default 0.25)")
+    parser.add_argument("--absolute", action="store_true",
+                        help="compare raw items/sec instead of "
+                        "median-normalized ratios")
+    parser.add_argument("--min-common", type=int, default=3,
+                        help="minimum benchmarks common to both files "
+                        "(default 3)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            baseline = extract_items_per_sec(json.load(f), args.baseline_key)
+        with open(args.current) as f:
+            current = extract_items_per_sec(json.load(f))
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    # Zero-rate baseline entries carry no signal (and would divide by zero).
+    common = sorted(name for name in set(baseline) & set(current)
+                    if baseline[name] > 0)
+    if len(common) < args.min_common:
+        print(f"error: only {len(common)} nonzero benchmark(s) common to "
+              f"baseline and current (need {args.min_common}); baseline has "
+              f"{sorted(baseline)}, current has {sorted(current)}",
+              file=sys.stderr)
+        return 2
+
+    ratios = {name: current[name] / baseline[name] for name in common}
+    scale = 1.0 if args.absolute else statistics.median(ratios.values())
+    mode = ("absolute" if args.absolute
+            else f"median-normalized (machine factor {scale:.3f}x)")
+    print(f"bench regression gate: {len(common)} benchmarks, "
+          f"threshold -{args.threshold:.0%}, {mode}")
+
+    width = max(len(name) for name in common)
+    regressions = []
+    for name in common:
+        normalized = ratios[name] / scale
+        flag = ""
+        if normalized < 1.0 - args.threshold:
+            flag = "  << REGRESSION"
+            regressions.append((name, normalized))
+        print(f"  {name:<{width}}  baseline {baseline[name]:>12.1f}  "
+              f"current {current[name]:>12.1f}  relative {normalized:>6.2f}x"
+              f"{flag}")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
+              f"{args.threshold:.0%}:")
+        for name, normalized in regressions:
+            print(f"  {name}: {normalized:.2f}x of baseline "
+                  f"(limit {1.0 - args.threshold:.2f}x)")
+        return 1
+    print("\nOK: no benchmark regressed beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

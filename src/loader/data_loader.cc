@@ -1,6 +1,9 @@
 #include "loader/data_loader.h"
 
+#include <algorithm>
+
 #include "jpeg/codec.h"
+#include "loader/decode_cache.h"
 
 namespace pcr {
 
@@ -28,6 +31,15 @@ DataLoader::DataLoader(RecordSource* source, LoaderOptions options)
     options_.scan_policy =
         std::make_shared<FixedScanPolicy>(source->num_scan_groups());
   }
+  if (options_.decode_cache == nullptr && options_.decode_cache_bytes > 0) {
+    DecodeCacheOptions cache_options;
+    cache_options.capacity_bytes = options_.decode_cache_bytes;
+    cache_options.shards = options_.decode_cache_shards;
+    options_.decode_cache = std::make_shared<DecodeCache>(cache_options);
+  }
+  if (options_.decode_cache != nullptr && options_.cache_dataset_id == 0) {
+    options_.cache_dataset_id = options_.decode_cache->RegisterDataset();
+  }
 }
 
 Result<LoadedBatch> DataLoader::NextBatch() {
@@ -38,6 +50,21 @@ Result<LoadedBatch> DataLoader::NextBatch() {
 }
 
 Result<LoadedBatch> DataLoader::LoadRecord(int record_index, int scan_group) {
+  // Clamp like FetchRecord will, so cache keys match the stored content
+  // (and targeted invalidation by group finds every alias).
+  scan_group = std::clamp(scan_group, 1, source_->num_scan_groups());
+  const DecodeCacheKey key{options_.cache_dataset_id, record_index,
+                           scan_group};
+  if (options_.decode_cache != nullptr) {
+    if (auto cached = options_.decode_cache->Lookup(key)) {
+      ++stats_.records_loaded;
+      ++stats_.cache_hits;
+      stats_.images_loaded += cached->size();
+      LoadedBatch batch(*cached);  // No fetch, no decode; one copy.
+      batch.bytes_read = 0;        // This load read nothing from storage.
+      return batch;
+    }
+  }
   PCR_ASSIGN_OR_RETURN(RecordBatch raw,
                        source_->ReadRecord(record_index, scan_group));
   PCR_ASSIGN_OR_RETURN(
@@ -46,6 +73,12 @@ Result<LoadedBatch> DataLoader::LoadRecord(int record_index, int scan_group) {
   ++stats_.records_loaded;
   stats_.images_loaded += batch.size();
   stats_.bytes_read += static_cast<int64_t>(batch.bytes_read);
+  if (options_.decode_cache != nullptr) {
+    if (auto stored =
+            options_.decode_cache->Insert(key, std::move(batch))) {
+      return LoadedBatch(*stored);
+    }
+  }
   return batch;
 }
 

@@ -19,6 +19,8 @@
 
 namespace pcr {
 
+class DecodeCache;  // loader/decode_cache.h
+
 /// One loaded (and optionally decoded) record.
 struct LoadedBatch {
   int record_index = -1;
@@ -44,6 +46,17 @@ struct LoaderOptions {
   uint64_t seed = 42;
   /// Default policy: full quality.
   std::shared_ptr<ScanGroupPolicy> scan_policy;
+
+  // Decoded-record LRU cache (loader/decode_cache.h). Multi-epoch runs hit
+  // the cache instead of re-fetching and re-decoding the same (record, scan
+  // group). Either hand in a shared cache (reused across loaders /
+  // pipelines, e.g. one per training job), or set decode_cache_bytes > 0 to
+  // have the loader build a private one. Both null and 0 bytes = caching off.
+  std::shared_ptr<DecodeCache> decode_cache;
+  uint64_t decode_cache_bytes = 0;
+  int decode_cache_shards = 8;
+  /// Key namespace inside a shared cache; 0 = auto-register a fresh id.
+  uint64_t cache_dataset_id = 0;
 };
 
 /// Decodes every JPEG of an assembled RecordBatch into pixels — the shared
@@ -59,6 +72,7 @@ struct LoaderStats {
   int64_t records_loaded = 0;
   int64_t images_loaded = 0;
   int64_t bytes_read = 0;
+  int64_t cache_hits = 0;  // Records served from the decoded-record cache.
 };
 
 /// Pulls shuffled records from a RecordSource at a policy-selected quality
@@ -85,6 +99,11 @@ class DataLoader {
     options_.scan_policy = std::move(policy);
   }
   ScanGroupPolicy* scan_policy() { return options_.scan_policy.get(); }
+
+  /// The decoded-record cache in use (null when caching is off) and this
+  /// loader's key namespace inside it.
+  DecodeCache* decode_cache() { return options_.decode_cache.get(); }
+  uint64_t cache_dataset_id() const { return options_.cache_dataset_id; }
 
  private:
   RecordSource* source_;

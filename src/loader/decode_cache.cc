@@ -1,0 +1,137 @@
+#include "loader/decode_cache.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace pcr {
+
+DecodeCache::DecodeCache(DecodeCacheOptions options)
+    : options_(options),
+      shards_(static_cast<size_t>(std::max(1, options.shards))) {
+  PCR_CHECK_GT(options_.capacity_bytes, 0u);
+  options_.shards = static_cast<int>(shards_.size());
+  shard_capacity_ =
+      std::max<uint64_t>(1, options_.capacity_bytes / shards_.size());
+}
+
+uint64_t DecodeCache::BatchBytes(const LoadedBatch& batch) {
+  uint64_t bytes = sizeof(LoadedBatch);
+  for (const Image& img : batch.images) bytes += img.size_bytes();
+  bytes += batch.labels.size() * sizeof(int64_t);
+  bytes += batch.jpeg_spans.size() * sizeof(ByteSpan);
+  bytes += batch.jpeg_backing.size();
+  return bytes;
+}
+
+std::shared_ptr<const LoadedBatch> DecodeCache::Lookup(
+    const DecodeCacheKey& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->batch;
+}
+
+std::shared_ptr<const LoadedBatch> DecodeCache::Insert(
+    const DecodeCacheKey& key, LoadedBatch&& batch) {
+  const uint64_t bytes = BatchBytes(batch);
+  if (bytes > shard_capacity_) {
+    // Too large to ever fit: caller keeps the batch (still valid).
+    oversize_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  Entry entry;
+  entry.key = key;
+  entry.batch = std::make_shared<const LoadedBatch>(std::move(batch));
+  entry.bytes = bytes;
+  std::shared_ptr<const LoadedBatch> stored = entry.batch;
+
+  Shard& shard = ShardFor(key);
+  int64_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      // Replacement (e.g. a racing miss decoded the same record twice).
+      shard.bytes -= it->second->bytes;
+      shard.lru.erase(it->second);
+      shard.index.erase(it);
+    }
+    shard.lru.push_front(std::move(entry));
+    shard.index[key] = shard.lru.begin();
+    shard.bytes += bytes;
+    while (shard.bytes > shard_capacity_ && shard.lru.size() > 1) {
+      const Entry& victim = shard.lru.back();
+      shard.bytes -= victim.bytes;
+      shard.index.erase(victim.key);
+      shard.lru.pop_back();
+      ++evicted;
+    }
+  }
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  if (evicted > 0) evictions_.fetch_add(evicted, std::memory_order_relaxed);
+  return stored;
+}
+
+template <typename Pred>
+size_t DecodeCache::InvalidateMatching(Pred pred) {
+  size_t removed = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (pred(it->key)) {
+        shard.bytes -= it->bytes;
+        shard.index.erase(it->key);
+        it = shard.lru.erase(it);
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (removed > 0) {
+    invalidated_.fetch_add(static_cast<int64_t>(removed),
+                           std::memory_order_relaxed);
+  }
+  return removed;
+}
+
+size_t DecodeCache::InvalidateScanGroup(uint64_t dataset_id, int scan_group) {
+  return InvalidateMatching([&](const DecodeCacheKey& key) {
+    return key.dataset_id == dataset_id && key.scan_group == scan_group;
+  });
+}
+
+size_t DecodeCache::InvalidateDataset(uint64_t dataset_id) {
+  return InvalidateMatching(
+      [&](const DecodeCacheKey& key) { return key.dataset_id == dataset_id; });
+}
+
+void DecodeCache::Clear() {
+  InvalidateMatching([](const DecodeCacheKey&) { return true; });
+}
+
+DecodeCacheStats DecodeCache::stats() const {
+  DecodeCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.inserts = inserts_.load(std::memory_order_relaxed);
+  stats.oversize_rejects = oversize_rejects_.load(std::memory_order_relaxed);
+  stats.invalidated = invalidated_.load(std::memory_order_relaxed);
+  stats.capacity_bytes = options_.capacity_bytes;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.bytes_in_use += shard.bytes;
+    stats.entries += static_cast<int64_t>(shard.lru.size());
+  }
+  return stats;
+}
+
+}  // namespace pcr

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 
 #include "util/logging.h"
 
@@ -32,6 +33,18 @@ LoaderPipeline::LoaderPipeline(RecordSource* source,
   if (options_.scan_policy == nullptr) {
     options_.scan_policy =
         std::make_shared<FixedScanPolicy>(source->num_scan_groups());
+  }
+  if (!options_.decode) {
+    options_.decode_cache = nullptr;  // Cache stores decoded batches only.
+  } else if (options_.decode_cache == nullptr &&
+             options_.decode_cache_bytes > 0) {
+    DecodeCacheOptions cache_options;
+    cache_options.capacity_bytes = options_.decode_cache_bytes;
+    cache_options.shards = options_.decode_cache_shards;
+    options_.decode_cache = std::make_shared<DecodeCache>(cache_options);
+  }
+  if (options_.decode_cache != nullptr && options_.cache_dataset_id == 0) {
+    options_.cache_dataset_id = options_.decode_cache->RegisterDataset();
   }
   sampler_ = std::make_unique<RecordSampler>(
       source->num_records(), options_.shuffle, options_.seed);
@@ -72,18 +85,51 @@ Status LoaderPipeline::status() const {
   return first_error_;
 }
 
+void LoaderPipeline::set_scan_policy(std::shared_ptr<ScanGroupPolicy> policy) {
+  PCR_CHECK(policy != nullptr);
+  std::lock_guard<std::mutex> lock(sampler_mu_);
+  options_.scan_policy = std::move(policy);
+}
+
 void LoaderPipeline::IoWorkerLoop(uint64_t seed) {
   Rng rng(seed);
   const int num_groups = source_->num_scan_groups();
+  DecodeCache* const cache = options_.decode_cache.get();
   while (!stopping_.load(std::memory_order_relaxed)) {
     int record;
+    std::shared_ptr<ScanGroupPolicy> policy;
     {
       std::lock_guard<std::mutex> lock(sampler_mu_);
       if (ticket_limit_ > 0 && tickets_issued_ >= ticket_limit_) break;
       record = sampler_->Next();
       ++tickets_issued_;
+      policy = options_.scan_policy;  // May be swapped by set_scan_policy.
     }
-    const int group = options_.scan_policy->Select(num_groups, &rng);
+    // Clamp like FetchRecord will, so cache keys match what gets stored.
+    const int group =
+        std::clamp(policy->Select(num_groups, &rng), 1, num_groups);
+
+    if (cache != nullptr) {
+      const DecodeCacheKey key{options_.cache_dataset_id, record, group};
+      if (auto cached = cache->Lookup(key)) {
+        // Hit: no fetch, no decode. Copy out of the immutable entry (busy
+        // time — it is this ticket's entire service cost) and short-circuit
+        // straight to the output queue.
+        io_stats_.AddCacheHit();
+        const int64_t copy_start = NowNanos();
+        LoadedBatch batch(*cached);
+        // The delivered copy read nothing from storage this epoch (the
+        // cached entry keeps the original fetch size for its own books).
+        batch.bytes_read = 0;
+        io_stats_.AddBusyNanos(NowNanos() - copy_start);
+        const int64_t push_start = NowNanos();
+        const bool pushed = output_queue_.Push(std::move(batch));
+        io_stats_.AddIdleNanos(NowNanos() - push_start);
+        if (!pushed) break;  // Queue closed: Stop() or a stage failure.
+        continue;
+      }
+      io_stats_.AddCacheMiss();
+    }
 
     const int64_t fetch_start = NowNanos();
     auto raw = source_->FetchRecord(record, group);
@@ -169,6 +215,22 @@ void LoaderPipeline::DecodeWorkerLoop() {
       }
       decode_stats_.AddItem(bytes);
 
+      // Cache population: the copy happens here, off the consumer path and
+      // before the push (so the original still moves into the queue); the
+      // insert itself — a single move — waits until after the push so the
+      // consumer is unblocked first.
+      DecodeCache* const cache = options_.decode_cache.get();
+      std::optional<LoadedBatch> to_cache;
+      DecodeCacheKey cache_key;
+      if (cache != nullptr &&
+          cache->Admits(DecodeCache::BatchBytes(*batch))) {
+        cache_key = DecodeCacheKey{options_.cache_dataset_id,
+                                   batch->record_index, batch->scan_group};
+        const int64_t copy_start = NowNanos();
+        to_cache.emplace(*batch);
+        decode_stats_.AddBusyNanos(NowNanos() - copy_start);
+      }
+
       // Drop the in-flight mark before the push: a consumer woken by this
       // batch then sees a consistent picture (work either in flight or in
       // the output queue, never in the gap between).
@@ -180,6 +242,9 @@ void LoaderPipeline::DecodeWorkerLoop() {
       if (!pushed) {  // Queue closed: Stop() or a stage failure.
         running = false;
         break;
+      }
+      if (to_cache.has_value()) {
+        cache->Insert(cache_key, std::move(*to_cache));
       }
       decode_stats_.SampleQueueDepth(output_queue_.size());
     }
@@ -214,7 +279,8 @@ Result<LoadedBatch> LoaderPipeline::Next() {
     // Decode-bound if the decode stage held work at either edge of the
     // stall: at the start it means the stalled-on record was already
     // fetched; at the end it means decode is still backed up. An io-bound
-    // stall (storage quiet, decode idle) shows neither.
+    // stall (storage quiet, decode idle) shows neither — including a stall
+    // resolved by a cache hit, which the I/O workers serve.
     if (batch.has_value()) {
       const bool decode_bound =
           decode_busy_at_start || fetch_queue_.size() > 0 ||
@@ -256,8 +322,14 @@ double LoaderPipeline::decode_stall_seconds() const {
 }
 
 StageStatsSnapshot LoaderPipeline::io_stats() const {
-  return io_stats_.Snapshot("io", options_.io_threads,
-                            fetch_queue_.capacity());
+  StageStatsSnapshot snap =
+      io_stats_.Snapshot("io", options_.io_threads, fetch_queue_.capacity());
+  if (options_.decode_cache != nullptr) {
+    const DecodeCacheStats cache = options_.decode_cache->stats();
+    snap.cache_evictions = cache.evictions;
+    snap.cache_bytes = cache.bytes_in_use;
+  }
+  return snap;
 }
 
 StageStatsSnapshot LoaderPipeline::decode_stats() const {

@@ -30,6 +30,7 @@
 
 #include "core/record_source.h"
 #include "loader/data_loader.h"
+#include "loader/decode_cache.h"
 #include "loader/sampler.h"
 #include "loader/scan_policy.h"
 #include "loader/stage_stats.h"
@@ -63,6 +64,22 @@ struct LoaderPipelineOptions {
   uint64_t seed = 42;
   /// Scan-group selection per record; defaults to full quality.
   std::shared_ptr<ScanGroupPolicy> scan_policy;
+
+  // Decoded-record LRU cache (loader/decode_cache.h). I/O workers consult it
+  // per ticket: a hit short-circuits before the raw queue — no fetch, no
+  // decode — and pushes the cached batch straight to the output queue;
+  // misses flow through the stages and populate the cache after decode.
+  // Hand in a shared cache (it survives pipeline teardown, so every epoch or
+  // rebuilt pipeline reuses it), or set decode_cache_bytes > 0 for a private
+  // one. Caching applies only when `decode` is true (compressed-byte
+  // consumers are the storage page cache's job).
+  std::shared_ptr<DecodeCache> decode_cache;
+  uint64_t decode_cache_bytes = 0;
+  int decode_cache_shards = 8;
+  /// Key namespace inside a shared cache; 0 = auto-register a fresh id.
+  /// Loaders over the same on-storage dataset share hits by passing the
+  /// same id.
+  uint64_t cache_dataset_id = 0;
 };
 
 /// Two-stage threaded loader. Thread-safe for a single consumer of Next();
@@ -90,7 +107,11 @@ class LoaderPipeline {
   Status status() const;
 
   /// Total time Next() spent blocked (the data-stall time of §A.1), split by
-  /// the stage that was the bottleneck when the stall began.
+  /// the stage that was the bottleneck when the stall began. A stall
+  /// resolved by a cache-served batch counts as io-bound: the I/O workers
+  /// serve hits, and no decode work was pending. With a warm cache these
+  /// stalls are copy-sized — microseconds, not the storage/decode stalls
+  /// the attribution exists to separate.
   double stall_seconds() const;
   double io_stall_seconds() const;
   double decode_stall_seconds() const;
@@ -103,6 +124,19 @@ class LoaderPipeline {
   StageStatsSnapshot decode_stats() const;
 
   size_t records_per_epoch() const { return sampler_->records_per_epoch(); }
+
+  /// Swaps the per-record quality policy on the live pipeline (dynamic
+  /// tuning). Tickets already fetched or queued keep their old group; new
+  /// tickets select via the new policy. Cache entries are left alone — use
+  /// DecodeCache::InvalidateScanGroup to drop just the outgoing group.
+  void set_scan_policy(std::shared_ptr<ScanGroupPolicy> policy);
+
+  /// The decoded-record cache in use (null when caching is off) and this
+  /// pipeline's key namespace inside it.
+  const std::shared_ptr<DecodeCache>& decode_cache() const {
+    return options_.decode_cache;
+  }
+  uint64_t cache_dataset_id() const { return options_.cache_dataset_id; }
 
  private:
   void IoWorkerLoop(uint64_t seed);

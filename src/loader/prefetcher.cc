@@ -21,6 +21,10 @@ LoaderPipelineOptions PrefetchingLoader::PipelineOptions(
   pipeline.shuffle = options.loader.shuffle;
   pipeline.seed = options.loader.seed;
   pipeline.scan_policy = options.loader.scan_policy;
+  pipeline.decode_cache = options.loader.decode_cache;
+  pipeline.decode_cache_bytes = options.loader.decode_cache_bytes;
+  pipeline.decode_cache_shards = options.loader.decode_cache_shards;
+  pipeline.cache_dataset_id = options.loader.cache_dataset_id;
   return pipeline;
 }
 

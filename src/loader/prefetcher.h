@@ -57,6 +57,17 @@ class PrefetchingLoader {
   StageStatsSnapshot io_stats() const { return pipeline_.io_stats(); }
   StageStatsSnapshot decode_stats() const { return pipeline_.decode_stats(); }
 
+  /// Swaps the quality policy on the live pipeline (dynamic tuning).
+  void set_scan_policy(std::shared_ptr<ScanGroupPolicy> policy) {
+    pipeline_.set_scan_policy(std::move(policy));
+  }
+
+  /// Decoded-record cache pass-through (see LoaderOptions.decode_cache).
+  const std::shared_ptr<DecodeCache>& decode_cache() const {
+    return pipeline_.decode_cache();
+  }
+  uint64_t cache_dataset_id() const { return pipeline_.cache_dataset_id(); }
+
  private:
   static LoaderPipelineOptions PipelineOptions(const PrefetchOptions& options);
 

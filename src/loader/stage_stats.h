@@ -22,6 +22,13 @@ struct StageStatsSnapshot {
   /// Mean items in the stage's output queue, sampled after each push.
   double mean_queue_depth = 0;
   size_t queue_capacity = 0;
+  /// Decoded-record cache counters (zero when the pipeline runs cacheless):
+  /// hits short-circuit the stage's work entirely, so fig11/fig18 stall
+  /// attribution can split cache-served from fetched/decoded items.
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_evictions = 0;   // Filled from the cache at snapshot time.
+  uint64_t cache_bytes = 0;      // Cache byte occupancy at snapshot time.
 
   /// busy / (busy + idle): 1.0 means the stage is the bottleneck.
   double utilization() const {
@@ -49,6 +56,10 @@ class StageStats {
                                std::memory_order_relaxed);
     queue_depth_samples_.fetch_add(1, std::memory_order_relaxed);
   }
+  void AddCacheHit() { cache_hits_.fetch_add(1, std::memory_order_relaxed); }
+  void AddCacheMiss() {
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   StageStatsSnapshot Snapshot(std::string name, int threads,
                               size_t queue_capacity) const {
@@ -67,6 +78,8 @@ class StageStats {
                           static_cast<double>(samples)
                     : 0.0;
     snap.queue_capacity = queue_capacity;
+    snap.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+    snap.cache_misses = cache_misses_.load(std::memory_order_relaxed);
     return snap;
   }
 
@@ -77,6 +90,8 @@ class StageStats {
   std::atomic<uint64_t> bytes_{0};
   std::atomic<int64_t> queue_depth_sum_{0};
   std::atomic<int64_t> queue_depth_samples_{0};
+  std::atomic<int64_t> cache_hits_{0};
+  std::atomic<int64_t> cache_misses_{0};
 };
 
 }  // namespace pcr

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <deque>
+#include <list>
 #include <numeric>
+#include <utility>
 
 #include "util/logging.h"
 
@@ -34,6 +36,36 @@ double TrainingPipelineSim::RecordIoSeconds(int record, int scan_group) const {
   // previous record) + request overhead + sequential transfer.
   return storage_.seek_latency_sec + storage_.per_op_latency_sec +
          static_cast<double>(bytes) / storage_.read_bandwidth_bytes_per_sec;
+}
+
+namespace {
+// Packed cache key; scan groups are small (< 2^16 by a wide margin).
+int64_t CacheKey(int record, int scan_group) {
+  return (static_cast<int64_t>(record) << 16) |
+         static_cast<int64_t>(scan_group & 0xffff);
+}
+}  // namespace
+
+bool TrainingPipelineSim::CacheLookup(int record, int scan_group) {
+  auto it = cache_index_.find(CacheKey(record, scan_group));
+  if (it == cache_index_.end()) return false;
+  cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+  return true;
+}
+
+void TrainingPipelineSim::CacheInsert(int record, int scan_group,
+                                      double bytes) {
+  const double capacity = static_cast<double>(options_.decode_cache_bytes);
+  if (bytes > capacity) return;  // Never fits; mirror the real oversize skip.
+  const int64_t key = CacheKey(record, scan_group);
+  cache_lru_.emplace_front(key, bytes);
+  cache_index_[key] = cache_lru_.begin();
+  cache_bytes_ += bytes;
+  while (cache_bytes_ > capacity && cache_lru_.size() > 1) {
+    cache_bytes_ -= cache_lru_.back().second;
+    cache_index_.erase(cache_lru_.back().first);
+    cache_lru_.pop_back();
+  }
 }
 
 double TrainingPipelineSim::RecordDecodeSeconds(int record,
@@ -76,17 +108,28 @@ EpochSimResult TrainingPipelineSim::SimulateRecords(int num_records,
       loader_start = std::max(loader_start, recent_compute_starts.front());
       recent_compute_starts.pop_front();
     }
-    const double io = RecordIoSeconds(record, group);
-    const double decode = RecordDecodeSeconds(record, group) /
-                          std::max(1, options_.loader_threads);
-    // The two stages overlap; the slower resource binds the service time
-    // (same attribution rule the wall-clock LoaderPipeline applies).
+    const int images = RecordImages(record);
+    const bool cache_enabled = options_.decode_cache_bytes > 0;
+    const bool cache_hit = cache_enabled && CacheLookup(record, group);
+    const double miss_io = RecordIoSeconds(record, group);
+    const double miss_decode = RecordDecodeSeconds(record, group) /
+                               std::max(1, options_.loader_threads);
+    // A cache hit skips storage and decode entirely; its service time is the
+    // batch copy out of the LRU. Misses pay the two overlapped stages; the
+    // slower resource binds the service time (same attribution rule the
+    // wall-clock LoaderPipeline applies).
+    const double io = cache_hit ? 0.0 : miss_io;
+    const double decode =
+        cache_hit ? options_.cache_hit_record_seconds : miss_decode;
     const double service = std::max(io, decode);
-    const bool io_bound = io >= decode;
+    // Hit-resolved stalls count io-bound, matching the wall-clock pipeline
+    // (its I/O workers serve hits; no decode work is pending).
+    const bool io_bound = cache_hit || io >= decode;
+    if (cache_enabled && !cache_hit) {
+      CacheInsert(record, group, images * options_.decoded_bytes_per_image);
+    }
     const double load_finish = loader_start + service;
     loader_busy_until_ = load_finish;
-
-    const int images = RecordImages(record);
     const double compute_ready = std::max(compute_busy_until_, start_time);
     const double compute_start = std::max(compute_ready, load_finish);
     const double stall = compute_start - compute_ready;
@@ -99,20 +142,29 @@ EpochSimResult TrainingPipelineSim::SimulateRecords(int num_records,
               : result.decode_bound_stall_seconds) += stall;
     result.io_seconds += io;
     result.decode_seconds += decode;
-    result.bytes_read += source_->RecordReadBytes(record, group);
+    // Hits fetch nothing from storage.
+    const uint64_t bytes =
+        cache_hit ? 0 : source_->RecordReadBytes(record, group);
+    result.bytes_read += bytes;
     result.images += images;
     ++result.records;
+    if (cache_hit) {
+      ++result.cache_hits;
+      result.cache_hit_seconds_saved +=
+          std::max(0.0, std::max(miss_io, miss_decode) - service);
+    }
     if (keep_trace) {
       IterationTrace t;
       t.iteration = i;
       t.record = record;
       t.scan_group = group;
-      t.bytes = source_->RecordReadBytes(record, group);
+      t.bytes = bytes;
       t.load_seconds = service;
       t.io_seconds = io;
       t.decode_seconds = decode;
       t.data_stall_seconds = stall;
       t.io_bound = io_bound;
+      t.cache_hit = cache_hit;
       t.compute_start = compute_start;
       t.compute_finish = compute_finish;
       result.trace.push_back(t);

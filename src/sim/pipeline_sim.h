@@ -5,7 +5,11 @@
 // without wall-clock cost.
 #pragma once
 
+#include <cstdint>
+#include <list>
 #include <memory>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/record_source.h"
@@ -30,6 +34,15 @@ struct PipelineSimOptions {
   bool model_decode_cost = true;
   /// Assumed images per record when the source cannot say (safety net).
   int default_images_per_record = 128;
+  /// Decoded-record cache model (the analytic twin of loader/decode_cache.h):
+  /// > 0 enables a byte-budgeted LRU keyed (record, scan group), persisting
+  /// across Simulate* calls — epoch 2+ of a cache-resident working set costs
+  /// cache_hit_record_seconds per record instead of storage + decode.
+  uint64_t decode_cache_bytes = 0;
+  /// Decoded footprint charged per image against the cache budget.
+  double decoded_bytes_per_image = 3.0 * 224.0 * 224.0;
+  /// Service time of a cache-served record (the batch copy out of the LRU).
+  double cache_hit_record_seconds = 50e-6;
 };
 
 /// One loader->compute iteration in the trace.
@@ -45,6 +58,8 @@ struct IterationTrace {
   /// True when the stall (if any) is storage's fault: the record's I/O time
   /// exceeded its parallelized decode time.
   bool io_bound = false;
+  /// Served from the decoded-record cache: no storage bytes, no decode.
+  bool cache_hit = false;
   double compute_start = 0;     // Absolute sim time.
   double compute_finish = 0;
 };
@@ -64,6 +79,10 @@ struct EpochSimResult {
   uint64_t bytes_read = 0;
   int images = 0;
   int records = 0;
+  /// Decoded-record cache model: records served from the cache, and the
+  /// loader service time those hits avoided (vs fetching + decoding them).
+  int64_t cache_hits = 0;
+  double cache_hit_seconds_saved = 0;
   std::vector<IterationTrace> trace;  // Filled when requested.
 };
 
@@ -92,6 +111,8 @@ class TrainingPipelineSim {
   double RecordIoSeconds(int record, int scan_group) const;
   double RecordDecodeSeconds(int record, int scan_group) const;
   int RecordImages(int record) const;
+  bool CacheLookup(int record, int scan_group);
+  void CacheInsert(int record, int scan_group, double bytes);
 
   RecordSource* source_;
   DeviceProfile storage_;
@@ -109,6 +130,12 @@ class TrainingPipelineSim {
   std::vector<int> order_;
   size_t cursor_ = 0;
   int epoch_ = 0;
+  // Decoded-record cache model: LRU over packed (record, scan group) keys
+  // with decoded-byte accounting, persisting across Simulate* calls.
+  std::list<std::pair<int64_t, double>> cache_lru_;  // Front = MRU.
+  std::unordered_map<int64_t, std::list<std::pair<int64_t, double>>::iterator>
+      cache_index_;
+  double cache_bytes_ = 0;
 };
 
 }  // namespace pcr

@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "loader/decode_cache.h"
 #include "loader/pipeline.h"
 #include "util/logging.h"
 #include "util/random.h"
@@ -18,6 +19,12 @@ Result<std::vector<CachedDataset>> CachedDataset::BuildMulti(
     return Status::InvalidArgument("dataset has no records to cache");
   }
   const size_t k = extractor_options.size();
+  // One id shared by every per-group pipeline of this build (and, when the
+  // caller passes the same cache+id to later builds, across builds too).
+  uint64_t cache_dataset_id = options.cache_dataset_id;
+  if (options.decode_cache != nullptr && cache_dataset_id == 0) {
+    cache_dataset_id = options.decode_cache->RegisterDataset();
+  }
   std::vector<CachedDataset> out(k);
   std::vector<FeatureExtractor> extractors;
   extractors.reserve(k);
@@ -55,6 +62,8 @@ Result<std::vector<CachedDataset>> CachedDataset::BuildMulti(
     pipeline_options.shuffle = false;
     pipeline_options.max_epochs = 1;
     pipeline_options.scan_policy = std::make_shared<FixedScanPolicy>(g);
+    pipeline_options.decode_cache = options.decode_cache;
+    pipeline_options.cache_dataset_id = cache_dataset_id;
     LoaderPipeline pipeline(source, pipeline_options);
 
     std::map<int, LoadedBatch> pending;

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "core/record_source.h"
@@ -15,6 +16,8 @@
 #include "util/result.h"
 
 namespace pcr {
+
+class DecodeCache;  // loader/decode_cache.h
 
 struct CachedDatasetOptions {
   /// Scan groups to materialize training views for. The source's maximum
@@ -30,6 +33,12 @@ struct CachedDatasetOptions {
   /// stays on the calling thread for determinism).
   int io_threads = 2;
   int decode_threads = 4;
+  /// Optional decoded-record cache shared with the feeding pipelines. One
+  /// Build pass reads each (record, group) once, so hits only appear across
+  /// repeated builds over the same source (e.g. per-proxy rebuilds or tuner
+  /// probes) — pass the same cache and dataset id to share them.
+  std::shared_ptr<DecodeCache> decode_cache;
+  uint64_t cache_dataset_id = 0;
 };
 
 /// Feature views of one dataset at several qualities.

@@ -2,9 +2,24 @@
 
 #include <algorithm>
 
+#include "loader/decode_cache.h"
 #include "util/logging.h"
 
 namespace pcr {
+
+namespace {
+
+// A scan-group switch makes the outgoing group's cached decodes dead weight;
+// drop exactly those so the incoming group's working set inherits the
+// budget, while entries at every other group (mixture policies keep several
+// live) continue serving hits.
+void InvalidateOutgoingGroup(DecodeCache* cache, uint64_t dataset_id,
+                             int outgoing_group, int incoming_group) {
+  if (cache == nullptr || outgoing_group == incoming_group) return;
+  cache->InvalidateScanGroup(dataset_id, outgoing_group);
+}
+
+}  // namespace
 
 std::shared_ptr<ScanGroupPolicy> CosineTuner::Advise(Trainer* trainer) {
   const int epoch = trainer->epoch();
@@ -30,6 +45,9 @@ std::shared_ptr<ScanGroupPolicy> CosineTuner::Advise(Trainer* trainer) {
         chosen = g;
       }
     }
+    const int previous = current_group_ == 0 ? max_group : current_group_;
+    InvalidateOutgoingGroup(options_.decode_cache.get(),
+                            options_.cache_dataset_id, previous, chosen);
     current_group_ = chosen;
     event.chosen_group = chosen;
     events_.push_back(std::move(event));
@@ -94,6 +112,8 @@ double LossPlateauTuner::Step(Trainer* trainer) {
         break;  // Candidates ascending: first acceptable is cheapest.
       }
     }
+    InvalidateOutgoingGroup(options_.decode_cache.get(),
+                            options_.cache_dataset_id, group, chosen);
     current_group_ = chosen;
     event.chosen_group = chosen;
     events_.push_back(std::move(event));

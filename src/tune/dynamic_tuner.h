@@ -10,6 +10,7 @@
 // paper). Optionally wraps the choice in a mixture policy (§A.6.3).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -17,6 +18,8 @@
 #include "train/trainer.h"
 
 namespace pcr {
+
+class DecodeCache;  // loader/decode_cache.h
 
 /// A tuning event (for benchmark traces).
 struct TuneEvent {
@@ -41,6 +44,12 @@ struct CosineTunerOptions {
   /// Mixture weight on the selected group (0 disables mixing; 10 -> ~50%,
   /// 100 -> ~85% for 10 groups).
   double mixture_weight = 0.0;
+  /// Decoded-record cache of the live loader (optional). On a group switch
+  /// the tuner drops only the *outgoing* group's entries — freeing budget
+  /// for the incoming group's working set — instead of flushing groups that
+  /// still serve hits (e.g. the other live groups of a mixture policy).
+  std::shared_ptr<DecodeCache> decode_cache;
+  uint64_t cache_dataset_id = 0;
 };
 
 class CosineTuner {
@@ -73,6 +82,9 @@ struct LossPlateauTunerOptions {
   /// the best candidate's probe loss.
   double accept_ratio = 1.05;
   int min_epochs_between_tunes = 10;
+  /// Same targeted-invalidation hook as CosineTunerOptions.
+  std::shared_ptr<DecodeCache> decode_cache;
+  uint64_t cache_dataset_id = 0;
 };
 
 class LossPlateauTuner {

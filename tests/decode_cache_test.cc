@@ -1,0 +1,208 @@
+// Tests for the decoded-record DecodeCache: LRU eviction order under the
+// byte budget, oversize rejection, same-key replacement, targeted
+// scan-group/dataset invalidation, and sharded concurrent hit/miss
+// hammering (run under TSan in CI).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "loader/decode_cache.h"
+#include "util/random.h"
+
+namespace pcr {
+namespace {
+
+/// A decoded batch whose label encodes its identity, so hits can be checked
+/// for cross-key corruption.
+LoadedBatch MakeBatch(int record, int scan_group, int num_images = 1,
+                      int side = 16) {
+  LoadedBatch batch;
+  batch.record_index = record;
+  batch.scan_group = scan_group;
+  for (int i = 0; i < num_images; ++i) {
+    batch.images.emplace_back(side, side, 3,
+                              static_cast<uint8_t>(record & 0xff));
+    batch.labels.push_back(record * 1000 + scan_group);
+  }
+  batch.bytes_read = 64;
+  return batch;
+}
+
+uint64_t OneBatchBytes() {
+  return DecodeCache::BatchBytes(MakeBatch(0, 1));
+}
+
+TEST(DecodeCacheTest, HitReturnsTheStoredBatch) {
+  DecodeCacheOptions options;
+  options.capacity_bytes = 8 * OneBatchBytes();
+  options.shards = 1;
+  DecodeCache cache(options);
+  const uint64_t ds = cache.RegisterDataset();
+
+  EXPECT_EQ(cache.Lookup({ds, 3, 2}), nullptr);
+  ASSERT_NE(cache.Insert({ds, 3, 2}, MakeBatch(3, 2)), nullptr);
+  auto hit = cache.Lookup({ds, 3, 2});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->record_index, 3);
+  EXPECT_EQ(hit->scan_group, 2);
+  EXPECT_EQ(hit->labels[0], 3 * 1000 + 2);
+
+  const DecodeCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.entries, 1);
+  EXPECT_EQ(stats.bytes_in_use, OneBatchBytes());
+}
+
+TEST(DecodeCacheTest, EvictsLeastRecentlyUsedUnderByteBudget) {
+  DecodeCacheOptions options;
+  // Room for two batches, not three (single shard = deterministic order).
+  options.capacity_bytes = 2 * OneBatchBytes() + OneBatchBytes() / 2;
+  options.shards = 1;
+  DecodeCache cache(options);
+  const uint64_t ds = cache.RegisterDataset();
+
+  ASSERT_NE(cache.Insert({ds, 0, 1}, MakeBatch(0, 1)), nullptr);
+  ASSERT_NE(cache.Insert({ds, 1, 1}, MakeBatch(1, 1)), nullptr);
+  // Freshen record 0: record 1 becomes the LRU victim.
+  ASSERT_NE(cache.Lookup({ds, 0, 1}), nullptr);
+  ASSERT_NE(cache.Insert({ds, 2, 1}, MakeBatch(2, 1)), nullptr);
+
+  EXPECT_EQ(cache.Lookup({ds, 1, 1}), nullptr) << "LRU entry not evicted";
+  EXPECT_NE(cache.Lookup({ds, 0, 1}), nullptr);
+  EXPECT_NE(cache.Lookup({ds, 2, 1}), nullptr);
+
+  const DecodeCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.entries, 2);
+  EXPECT_LE(stats.bytes_in_use, options.capacity_bytes);
+}
+
+TEST(DecodeCacheTest, OversizeInsertRejectedWithoutConsumingTheBatch) {
+  DecodeCacheOptions options;
+  options.capacity_bytes = OneBatchBytes() / 2;
+  options.shards = 1;
+  DecodeCache cache(options);
+  const uint64_t ds = cache.RegisterDataset();
+
+  LoadedBatch batch = MakeBatch(7, 1);
+  EXPECT_EQ(cache.Insert({ds, 7, 1}, std::move(batch)), nullptr);
+  // The reject contract: the batch is untouched and still deliverable.
+  EXPECT_EQ(batch.size(), 1);
+  EXPECT_EQ(batch.labels[0], 7 * 1000 + 1);
+
+  const DecodeCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.oversize_rejects, 1);
+  EXPECT_EQ(stats.entries, 0);
+  EXPECT_EQ(stats.bytes_in_use, 0u);
+}
+
+TEST(DecodeCacheTest, SameKeyInsertReplacesWithoutLeakingBytes) {
+  DecodeCacheOptions options;
+  options.capacity_bytes = 8 * OneBatchBytes();
+  options.shards = 1;
+  DecodeCache cache(options);
+  const uint64_t ds = cache.RegisterDataset();
+
+  ASSERT_NE(cache.Insert({ds, 4, 1}, MakeBatch(4, 1)), nullptr);
+  LoadedBatch replacement = MakeBatch(4, 1);
+  replacement.labels[0] = -1;  // Distinguish the second insert.
+  ASSERT_NE(cache.Insert({ds, 4, 1}, std::move(replacement)), nullptr);
+
+  auto hit = cache.Lookup({ds, 4, 1});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->labels[0], -1);
+  const DecodeCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1);
+  EXPECT_EQ(stats.bytes_in_use, OneBatchBytes());
+  EXPECT_EQ(stats.evictions, 0);
+}
+
+TEST(DecodeCacheTest, ScanGroupInvalidationIsTargeted) {
+  DecodeCacheOptions options;
+  options.capacity_bytes = 32 * OneBatchBytes();
+  options.shards = 4;
+  DecodeCache cache(options);
+  const uint64_t ds1 = cache.RegisterDataset();
+  const uint64_t ds2 = cache.RegisterDataset();
+  ASSERT_NE(ds1, ds2);
+
+  for (int record = 0; record < 4; ++record) {
+    ASSERT_NE(cache.Insert({ds1, record, 1}, MakeBatch(record, 1)), nullptr);
+    ASSERT_NE(cache.Insert({ds1, record, 5}, MakeBatch(record, 5)), nullptr);
+    ASSERT_NE(cache.Insert({ds2, record, 1}, MakeBatch(record, 1)), nullptr);
+  }
+
+  // Drop only dataset 1's group-1 entries (a tuner leaving group 1).
+  EXPECT_EQ(cache.InvalidateScanGroup(ds1, 1), 4u);
+  for (int record = 0; record < 4; ++record) {
+    EXPECT_EQ(cache.Lookup({ds1, record, 1}), nullptr);
+    EXPECT_NE(cache.Lookup({ds1, record, 5}), nullptr)
+        << "other group flushed";
+    EXPECT_NE(cache.Lookup({ds2, record, 1}), nullptr)
+        << "other dataset flushed";
+  }
+  EXPECT_EQ(cache.stats().invalidated, 4);
+
+  EXPECT_EQ(cache.InvalidateDataset(ds1), 4u);
+  EXPECT_EQ(cache.Lookup({ds1, 0, 5}), nullptr);
+  EXPECT_NE(cache.Lookup({ds2, 0, 1}), nullptr);
+
+  cache.Clear();
+  EXPECT_EQ(cache.stats().entries, 0);
+  EXPECT_EQ(cache.stats().bytes_in_use, 0u);
+  EXPECT_EQ(cache.Lookup({ds2, 0, 1}), nullptr);
+}
+
+TEST(DecodeCacheTest, ShardedConcurrentHammeringStaysConsistent) {
+  DecodeCacheOptions options;
+  // Budget for only ~6 of the 64 live keys: constant eviction pressure.
+  options.capacity_bytes = 6 * OneBatchBytes();
+  options.shards = 4;
+  DecodeCache cache(options);
+  const uint64_t ds = cache.RegisterDataset();
+
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, ds, t] {
+      Rng rng(1234 + t);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const int record = static_cast<int>(rng.Uniform(32));
+        const int group = 1 + static_cast<int>(rng.Uniform(2));
+        const DecodeCacheKey key{ds, record, group};
+        if (auto hit = cache.Lookup(key)) {
+          // A hit must never serve another key's payload.
+          ASSERT_EQ(hit->labels[0], record * 1000 + group);
+          ASSERT_EQ(hit->record_index, record);
+        } else {
+          cache.Insert(key, MakeBatch(record, group));
+        }
+        if (i % 512 == 0) cache.InvalidateScanGroup(ds, 2);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  const DecodeCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<int64_t>(kThreads) * kOpsPerThread);
+  EXPECT_LE(stats.bytes_in_use, options.capacity_bytes);
+  EXPECT_GT(stats.hits, 0);
+  EXPECT_GT(stats.evictions, 0);
+  // Every surviving entry is still internally consistent.
+  for (int record = 0; record < 32; ++record) {
+    for (int group = 1; group <= 2; ++group) {
+      if (auto hit = cache.Lookup({ds, record, group})) {
+        EXPECT_EQ(hit->labels[0], record * 1000 + group);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pcr

@@ -14,6 +14,7 @@
 #include "image/metrics.h"
 #include "jpeg/codec.h"
 #include "loader/data_loader.h"
+#include "loader/decode_cache.h"
 #include "loader/prefetcher.h"
 #include "sim/pipeline_sim.h"
 #include "sim/queueing.h"
@@ -307,6 +308,120 @@ TEST_F(IntegrationTest, PipelineSimComputeBoundCapsThroughput) {
   EXPECT_NEAR(result.images_per_sec,
               ComputeProfile::ShuffleNetV2().ClusterRate(),
               0.05 * ComputeProfile::ShuffleNetV2().ClusterRate());
+}
+
+TEST_F(IntegrationTest, PipelineSimCacheMakesSecondEpochHitServed) {
+  auto ds = PcrDataset::Open(env_, built_->pcr_dir).MoveValue();
+  PipelineSimOptions options;
+  // Slow storage + decode cost: epoch 1 is loader-bound, so a cache-resident
+  // epoch 2 must get measurably faster and read zero storage bytes.
+  options.decode_cache_bytes = 4ull << 30;  // Working set fully resident.
+  DeviceProfile storage = DeviceProfile::CephCluster();
+  storage.read_bandwidth_bytes_per_sec = 2.0 * (1 << 20);
+  TrainingPipelineSim sim(ds.get(), storage, ComputeProfile::ResNet18(),
+                          DecodeCostModel{}, options);
+
+  FixedScanPolicy full(10);
+  const auto epoch1 = sim.SimulateEpoch(&full);
+  EXPECT_EQ(epoch1.cache_hits, 0);
+  EXPECT_GT(epoch1.bytes_read, 0u);
+
+  const auto epoch2 = sim.SimulateEpoch(&full, /*keep_trace=*/true);
+  EXPECT_EQ(epoch2.cache_hits, epoch2.records);
+  EXPECT_EQ(epoch2.bytes_read, 0u);
+  EXPECT_GT(epoch2.cache_hit_seconds_saved, 0.0);
+  EXPECT_LT(epoch2.elapsed_seconds, epoch1.elapsed_seconds);
+  for (const auto& it : epoch2.trace) EXPECT_TRUE(it.cache_hit);
+
+  // A different scan group is a different cache key: fresh misses.
+  FixedScanPolicy low(2);
+  const auto epoch3 = sim.SimulateEpoch(&low);
+  EXPECT_EQ(epoch3.cache_hits, 0);
+}
+
+TEST_F(IntegrationTest, CosineTunerInvalidatesOnlyTheOutgoingGroup) {
+  auto ds = PcrDataset::Open(env_, built_->pcr_dir).MoveValue();
+  CachedDatasetOptions options;
+  options.scan_groups = {1, 2, 5, 10};
+  options.features.grid = 8;
+  auto cached = CachedDataset::Build(ds.get(), options).MoveValue();
+  SoftmaxClassifier model(cached.feature_dim(), cached.num_classes(), 4);
+  TrainerOptions trainer_options;
+  trainer_options.warmup_epochs = 2;
+  trainer_options.decay_epochs = {};
+  Trainer trainer(&cached, &model, trainer_options);
+
+  // A live loader cache holding entries at the starting group (10) and at
+  // an unrelated group (5): the switch away from 10 must drop only group 10.
+  DecodeCacheOptions cache_options;
+  cache_options.capacity_bytes = 16ull << 20;
+  auto cache = std::make_shared<DecodeCache>(cache_options);
+  const uint64_t dataset_id = cache->RegisterDataset();
+  for (int record = 0; record < 3; ++record) {
+    LoadedBatch batch;
+    batch.record_index = record;
+    batch.labels = {record};
+    batch.images.emplace_back(8, 8, 3);
+    batch.scan_group = 10;
+    ASSERT_NE(cache->Insert({dataset_id, record, 10}, std::move(batch)),
+              nullptr);
+    LoadedBatch other;
+    other.record_index = record;
+    other.labels = {record};
+    other.images.emplace_back(8, 8, 3);
+    other.scan_group = 5;
+    ASSERT_NE(cache->Insert({dataset_id, record, 5}, std::move(other)),
+              nullptr);
+  }
+
+  CosineTunerOptions tuner_options;
+  tuner_options.first_tune_epoch = 2;
+  tuner_options.tune_every = 10;
+  tuner_options.cosine_threshold = 0.5;  // Permissive: switches low.
+  tuner_options.decode_cache = cache;
+  tuner_options.cache_dataset_id = dataset_id;
+  CosineTuner tuner(tuner_options);
+  for (int e = 0; e < 5; ++e) {
+    auto policy = tuner.Advise(&trainer);
+    ASSERT_NE(policy, nullptr);
+    trainer.RunEpochMixture(policy.get());
+  }
+  ASSERT_FALSE(tuner.events().empty());
+  ASSERT_LT(tuner.current_group(), 10);
+
+  // Outgoing group 10 flushed; untouched group 5 still serves hits.
+  EXPECT_EQ(cache->Lookup({dataset_id, 0, 10}), nullptr);
+  EXPECT_NE(cache->Lookup({dataset_id, 0, 5}), nullptr);
+  EXPECT_EQ(cache->stats().invalidated, 3);
+}
+
+TEST_F(IntegrationTest, CachedDatasetBuildSharesDecodeCacheAcrossBuilds) {
+  auto ds = PcrDataset::Open(env_, built_->pcr_dir).MoveValue();
+  CachedDatasetOptions options;
+  options.scan_groups = {2, 10};
+  options.features.grid = 8;
+  DecodeCacheOptions cache_options;
+  cache_options.capacity_bytes = 256ull << 20;
+  options.decode_cache = std::make_shared<DecodeCache>(cache_options);
+  options.cache_dataset_id = options.decode_cache->RegisterDataset();
+
+  auto first = CachedDataset::Build(ds.get(), options).MoveValue();
+  const auto after_first = options.decode_cache->stats();
+  EXPECT_EQ(after_first.hits, 0);
+  EXPECT_GT(after_first.inserts, 0);
+
+  // Same cache + id: the rebuild decodes nothing new.
+  auto second = CachedDataset::Build(ds.get(), options).MoveValue();
+  const auto after_second = options.decode_cache->stats();
+  EXPECT_EQ(after_second.hits, after_first.inserts);
+
+  // Identical features either way.
+  ASSERT_EQ(second.train_size(), first.train_size());
+  const float* a = first.train_features(10);
+  const float* b = second.train_features(10);
+  for (int i = 0; i < first.train_size() * first.feature_dim(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "feature " << i;
+  }
 }
 
 TEST_F(IntegrationTest, CosineTunerPrefersCheapGroupsWhenSafe) {

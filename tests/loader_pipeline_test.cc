@@ -6,11 +6,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <map>
 #include <thread>
+#include <utility>
 
 #include "image/image.h"
 #include "jpeg/codec.h"
+#include "loader/decode_cache.h"
 #include "loader/pipeline.h"
 #include "loader/prefetcher.h"
 
@@ -343,6 +346,193 @@ TEST(LoaderPipelineTest, PrefetchPassesThroughAbortedStageFailures) {
   EXPECT_NE(batch.status().message().find("lease lost on shard"),
             std::string::npos)
       << batch.status();
+}
+
+TEST(LoaderPipelineTest, SecondEpochIsServedEntirelyFromTheCache) {
+  FakeSource source(12, 2);
+  DecodeCacheOptions cache_options;
+  cache_options.capacity_bytes = 64ull << 20;
+  cache_options.shards = 4;
+  auto cache = std::make_shared<DecodeCache>(cache_options);
+  const uint64_t dataset_id = cache->RegisterDataset();
+
+  auto run_epoch = [&](std::map<int, LoadedBatch>* batches) {
+    LoaderPipelineOptions options;
+    options.io_threads = 2;
+    options.decode_threads = 2;
+    options.max_epochs = 1;
+    options.scan_policy = std::make_shared<FixedScanPolicy>(2);
+    options.decode_cache = cache;
+    options.cache_dataset_id = dataset_id;
+    LoaderPipeline pipeline(&source, options);
+    for (;;) {
+      auto batch = pipeline.Next();
+      if (!batch.ok()) {
+        EXPECT_EQ(batch.status().code(), StatusCode::kOutOfRange)
+            << batch.status();
+        break;
+      }
+      batches->emplace(batch->record_index, std::move(batch).MoveValue());
+    }
+    return std::make_pair(pipeline.io_stats(), pipeline.decode_stats());
+  };
+
+  std::map<int, LoadedBatch> first, second;
+  const auto [io1, decode1] = run_epoch(&first);
+  EXPECT_EQ(io1.cache_hits, 0);
+  EXPECT_EQ(io1.cache_misses, 12);
+  EXPECT_EQ(decode1.items, 12);
+  EXPECT_GT(io1.cache_bytes, 0u);  // Occupancy reported via the snapshot.
+
+  const auto [io2, decode2] = run_epoch(&second);
+  EXPECT_EQ(io2.cache_hits, 12);  // No fetch, no decode in epoch 2.
+  EXPECT_EQ(io2.cache_misses, 0);
+  EXPECT_EQ(io2.items, 0);
+  EXPECT_EQ(decode2.items, 0);
+
+  // Cache-served batches are pixel-identical to decoded ones.
+  ASSERT_EQ(first.size(), 12u);
+  ASSERT_EQ(second.size(), 12u);
+  for (const auto& [record, batch] : first) {
+    const LoadedBatch& cached = second.at(record);
+    ASSERT_EQ(cached.size(), batch.size());
+    EXPECT_EQ(cached.labels, batch.labels);
+    for (int i = 0; i < batch.size(); ++i) {
+      ASSERT_TRUE(cached.images[i].SameShape(batch.images[i]));
+      EXPECT_EQ(std::memcmp(cached.images[i].data(), batch.images[i].data(),
+                            batch.images[i].size_bytes()),
+                0);
+    }
+  }
+}
+
+TEST(LoaderPipelineTest, CachedMultiEpochStreamKeepsExactlyOnceSemantics) {
+  FakeSource source(16, 1);
+  LoaderPipelineOptions options;
+  options.io_threads = 4;
+  options.decode_threads = 4;
+  options.max_epochs = 3;
+  options.decode_cache_bytes = 64ull << 20;  // Private cache.
+  options.scan_policy = std::make_shared<FixedScanPolicy>(1);
+  LoaderPipeline pipeline(&source, options);
+  ASSERT_NE(pipeline.decode_cache(), nullptr);
+
+  std::map<int, int> deliveries;
+  for (;;) {
+    auto batch = pipeline.Next();
+    if (!batch.ok()) {
+      EXPECT_EQ(batch.status().code(), StatusCode::kOutOfRange)
+          << batch.status();
+      break;
+    }
+    ++deliveries[batch->record_index];
+  }
+  // The cache must not duplicate or swallow deliveries: exactly once per
+  // epoch per record, ending in OutOfRange.
+  ASSERT_EQ(deliveries.size(), 16u);
+  for (const auto& [record, count] : deliveries) {
+    EXPECT_EQ(count, 3) << "record " << record;
+  }
+  // Epochs 2-3 are hit-dominated (prefetch can race tickets past the first
+  // epoch's inserts, so allow a generous shortfall — exactly-once delivery
+  // above is the hard guarantee).
+  EXPECT_GE(pipeline.io_stats().cache_hits, 8);
+  EXPECT_TRUE(pipeline.status().ok());
+}
+
+TEST(LoaderPipelineTest, OversizeBatchesStreamWithoutCaching) {
+  FakeSource source(6, 2);
+  LoaderPipelineOptions options;
+  options.max_epochs = 2;
+  options.decode_cache_bytes = 1024;  // Every decoded batch exceeds a shard.
+  options.decode_cache_shards = 1;
+  options.scan_policy = std::make_shared<FixedScanPolicy>(1);
+  LoaderPipeline pipeline(&source, options);
+
+  std::map<int, int> deliveries;
+  for (;;) {
+    auto batch = pipeline.Next();
+    if (!batch.ok()) break;
+    ++deliveries[batch->record_index];
+  }
+  ASSERT_EQ(deliveries.size(), 6u);
+  for (const auto& [record, count] : deliveries) {
+    EXPECT_EQ(count, 2) << "record " << record;
+  }
+  // Nothing admitted: both epochs decode, the cache stays empty.
+  EXPECT_EQ(pipeline.io_stats().cache_hits, 0);
+  EXPECT_EQ(pipeline.decode_stats().items, 12);
+  EXPECT_EQ(pipeline.decode_cache()->stats().entries, 0);
+}
+
+TEST(LoaderPipelineTest, DecodeOffDisablesTheCache) {
+  FakeSource source(4, 1);
+  LoaderPipelineOptions options;
+  options.decode = false;
+  options.decode_cache_bytes = 1ull << 20;
+  options.max_epochs = 1;
+  LoaderPipeline pipeline(&source, options);
+  EXPECT_EQ(pipeline.decode_cache(), nullptr);
+  for (;;) {
+    auto batch = pipeline.Next();
+    if (!batch.ok()) break;
+    EXPECT_TRUE(batch->images.empty());
+  }
+}
+
+TEST(LoaderPipelineTest, SetScanPolicySwitchesLiveStream) {
+  FakeSource source(64, 1);
+  LoaderPipelineOptions options;
+  options.io_threads = 1;  // Small pipeline: the swap surfaces quickly.
+  options.decode_threads = 1;
+  options.fetch_queue_depth = 1;
+  options.output_queue_depth = 1;
+  options.max_epochs = 4;
+  options.scan_policy = std::make_shared<FixedScanPolicy>(1);
+  LoaderPipeline pipeline(&source, options);
+
+  auto first = pipeline.Next();
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(first->scan_group, 1);
+
+  pipeline.set_scan_policy(std::make_shared<FixedScanPolicy>(3));
+  bool saw_new_group = false;
+  for (;;) {
+    auto batch = pipeline.Next();
+    if (!batch.ok()) break;
+    if (batch->scan_group == 3) {
+      saw_new_group = true;
+      pipeline.Stop();
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_new_group) << "live policy swap never took effect";
+}
+
+TEST(LoaderPipelineTest, SynchronousDataLoaderUsesTheCache) {
+  FakeSource source(8, 2);
+  LoaderOptions options;
+  options.decode_cache_bytes = 16ull << 20;
+  options.shuffle = false;
+  DataLoader loader(&source, options);
+  ASSERT_NE(loader.decode_cache(), nullptr);
+
+  auto first = loader.LoadRecord(5, 2);
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto again = loader.LoadRecord(5, 2);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(loader.stats().cache_hits, 1);
+  EXPECT_EQ(loader.stats().records_loaded, 2);
+  ASSERT_EQ(again->size(), first->size());
+  for (int i = 0; i < first->size(); ++i) {
+    EXPECT_EQ(std::memcmp(again->images[i].data(), first->images[i].data(),
+                          first->images[i].size_bytes()),
+              0);
+  }
+  // A different scan group is a different key.
+  auto other = loader.LoadRecord(5, 1);
+  ASSERT_TRUE(other.ok()) << other.status();
+  EXPECT_EQ(loader.stats().cache_hits, 1);
 }
 
 TEST(LoaderPipelineTest, PrefetchErrorReplacesGenericAbort) {

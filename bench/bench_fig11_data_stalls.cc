@@ -76,6 +76,36 @@ int main(int argc, char** argv) {
          "reduce stall magnitude; stalls are storage-attributed (io-bound), "
          "not decode-attributed.\n");
 
+  // Async I/O: the same 70-iteration trace with the loader keeping several
+  // fetches in flight. Overlapping the per-read fixed costs shrinks the
+  // io-bound stalls the tables above attribute to storage.
+  {
+    printf("\nasync I/O: stalls vs in-flight window (baseline quality):\n");
+    TablePrinter windows({"window", "stall (s)", "stall io-bound (s)",
+                          "stall decode-bound (s)", "img/s"});
+    for (int window : {1, 2, 4, 8}) {
+      PipelineSimOptions options;
+      options.prefetch_depth = 4;
+      options.io_inflight_window = window;
+      TrainingPipelineSim sim(source, storage, model.compute,
+                              DecodeCostModel{}, options);
+      FixedScanPolicy policy(10);
+      const auto result = sim.SimulateRecords(70, &policy);
+      windows.AddRow({StrFormat("%d", window),
+                      StrFormat("%.2f", result.stall_seconds),
+                      StrFormat("%.2f", result.io_bound_stall_seconds),
+                      StrFormat("%.2f", result.decode_bound_stall_seconds),
+                      StrFormat("%.0f", result.images_per_sec)});
+      ReportMetric("window_" + std::to_string(window) + "/stall_seconds",
+                   result.images, result.stall_seconds,
+                   static_cast<double>(result.bytes_read),
+                   result.images_per_sec);
+    }
+    windows.Print();
+    printf("check: stalls shrink monotonically as the window deepens; the "
+           "remaining stall is the bandwidth floor no queue depth removes.\n");
+  }
+
   // Decoded-record cache across epochs: with the working set resident,
   // epoch 2's iterations are cache-served — the periodic stalls of the
   // tables above disappear entirely (no storage reads, no decodes).

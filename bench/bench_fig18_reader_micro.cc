@@ -125,18 +125,19 @@ int main(int argc, char** argv) {
   // the on-disk PCR dataset, with per-stage busy time and stall attribution.
   {
     printf("\nstaged LoaderPipeline (wall clock, real filesystem): "
-           "2 io + 4 decode threads\n");
+           "2 io x 4-deep submission windows + 4 decode threads\n");
     auto disk = PcrDataset::Open(Env::Default(), handle.built.pcr_dir)
                     .MoveValue();
     const int batches_to_pull =
         SmokeMode() ? std::min(6, disk->num_records())
                     : std::min(48, 2 * disk->num_records());
     TablePrinter stage_table({"scan", "img/s", "io busy (s)", "decode busy (s)",
-                              "io util", "stall io-bound (s)",
-                              "stall decode-bound (s)"});
+                              "io util", "mean inflight", "window occ",
+                              "stall io-bound (s)", "stall decode-bound (s)"});
     for (int g : {1, 10}) {
       LoaderPipelineOptions options;
       options.io_threads = 2;
+      options.io_inflight = 4;
       options.decode_threads = 4;
       options.scan_policy = std::make_shared<FixedScanPolicy>(g);
       LoaderPipeline pipeline(disk.get(), options);
@@ -159,6 +160,8 @@ int main(int argc, char** argv) {
            StrFormat("%.3f", io.busy_seconds),
            StrFormat("%.3f", decode.busy_seconds),
            StrFormat("%.2f", io.utilization()),
+           StrFormat("%.2f", io.mean_in_flight),
+           StrFormat("%.2f", io.submission_occupancy()),
            StrFormat("%.3f", pipeline.io_stall_seconds()),
            StrFormat("%.3f", pipeline.decode_stall_seconds())});
     }

@@ -62,5 +62,52 @@ int main(int argc, char** argv) {
          "images) is the most loading-bottlenecked; low scans approach the "
          "in-RAM compute-bound rate; ShuffleNet's ceiling is higher so its "
          "speedups are larger.\n");
+
+  // Async I/O: throughput vs the loader's submission window. Partial
+  // scan-group reads are small, so at low groups the blocking loader
+  // (window 1) spends most of each request on the fixed seek + network
+  // round trip of the calibrated cluster storage; deeper windows overlap
+  // those fixed costs across in-flight fetches until either the transfer
+  // floor (device bandwidth) or compute binds. Full-quality reads are
+  // transfer-dominated, so their window gains are smaller — exactly why
+  // async matters most for the PCR access pattern.
+  printf("\nasync I/O: images/sec vs in-flight window (ham10000_like, "
+         "ShuffleNet)\n");
+  {
+    const ModelProxy model = ModelProxy::ShuffleNetV2();
+    const DatasetSpec spec = DatasetSpec::Ham10000Like();
+    DatasetHandle handle = GetDataset(spec);
+    RecordSource* source = handle.pcr.get();
+    const DeviceProfile storage = CalibratedStorage(source, spec.name);
+    TablePrinter table({"scan group", "window 1", "window 2", "window 4",
+                        "window 8", "w8/w1"});
+    for (int group : {1, 2, 10}) {
+      std::vector<std::string> row = {StrFormat("%d", group)};
+      double rate1 = 0, rate8 = 0;
+      for (int window : {1, 2, 4, 8}) {
+        PipelineSimOptions options;
+        options.io_inflight_window = window;
+        TrainingPipelineSim sim(source, storage, model.compute,
+                                DecodeCostModel{}, options);
+        FixedScanPolicy policy(group);
+        const auto result = sim.SimulateEpoch(&policy);
+        row.push_back(StrFormat("%.0f", result.images_per_sec));
+        ReportMetric("async/group_" + std::to_string(group) + "/window_" +
+                         std::to_string(window) + "/images_per_sec",
+                     result.images, result.elapsed_seconds,
+                     static_cast<double>(result.bytes_read),
+                     result.images_per_sec);
+        if (window == 1) rate1 = result.images_per_sec;
+        if (window == 8) rate8 = result.images_per_sec;
+      }
+      row.push_back(StrFormat("%.2fx", rate1 > 0 ? rate8 / rate1 : 0.0));
+      table.AddRow(row);
+    }
+    table.Print();
+    printf("check: window 1 matches the blocking-loader rates above; gains "
+           "grow as scan groups shrink (small reads leave the most queue "
+           "depth on the table) and saturate at the bandwidth/compute "
+           "floor.\n");
+  }
   return 0;
 }

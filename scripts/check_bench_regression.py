@@ -2,7 +2,7 @@
 """CI bench-regression gate.
 
 Compares a bench run's items/sec against a committed baseline (e.g.
-BENCH_pr3.json) and fails when any benchmark regresses by more than the
+BENCH_pr5.json) and fails when any benchmark regresses by more than the
 threshold.
 
 CI machines differ from the machine a baseline was recorded on, so by
@@ -10,7 +10,25 @@ default ratios are normalized by the median current/baseline ratio across
 the common benchmarks: the median absorbs the machine-speed factor, and a
 *relative* regression — one benchmark cratering while its siblings hold —
 sticks out regardless of the runner. Pass --absolute to compare raw numbers
-(only meaningful when baseline and current come from the same machine).
+(only meaningful when baseline and current come from the same machine, or
+when the numbers are machine-independent, e.g. simulated rates).
+
+Two invocation modes:
+
+  Single pair:   --baseline FILE [--baseline-key KEY] --current FILE
+  Suite:         --suite FILE --bench-dir DIR
+
+In suite mode the suite file doubles as the baseline: its "tracked" list
+names each gated bench with its own baseline sub-table, current JSON file
+(relative to --bench-dir), threshold, and comparison mode:
+
+  "tracked": [
+    {"name": "codec", "baseline_key": "codec",
+     "current": "bench_micro_codec.json", "threshold": 0.25},
+    {"name": "fig9", "baseline_key": "fig9_smoke",
+     "current": "bench_fig9_loading_rates.json",
+     "threshold": 0.15, "absolute": true}
+  ]
 
 Supported input shapes (auto-detected):
   * google-benchmark JSON:   {"benchmarks": [{"name", "items_per_second"}]}
@@ -23,6 +41,7 @@ Exit status: 0 = no regression, 1 = regression(s), 2 = usage/parse error.
 
 import argparse
 import json
+import os
 import statistics
 import sys
 
@@ -63,15 +82,98 @@ def extract_items_per_sec(data, baseline_key=None):
     return flat
 
 
+def run_gate(baseline, current, threshold, absolute, min_common, label=""):
+    """One baseline-vs-current comparison. Returns 0 (ok), 1, or 2."""
+    # Zero-rate baseline entries carry no signal (and would divide by zero).
+    common = sorted(name for name in set(baseline) & set(current)
+                    if baseline[name] > 0)
+    if len(common) < min_common:
+        print(f"error: only {len(common)} nonzero benchmark(s) common to "
+              f"baseline and current (need {min_common}); baseline has "
+              f"{sorted(baseline)}, current has {sorted(current)}",
+              file=sys.stderr)
+        return 2
+
+    ratios = {name: current[name] / baseline[name] for name in common}
+    scale = 1.0 if absolute else statistics.median(ratios.values())
+    mode = ("absolute" if absolute
+            else f"median-normalized (machine factor {scale:.3f}x)")
+    tag = f" [{label}]" if label else ""
+    print(f"bench regression gate{tag}: {len(common)} benchmarks, "
+          f"threshold -{threshold:.0%}, {mode}")
+
+    width = max(len(name) for name in common)
+    regressions = []
+    for name in common:
+        normalized = ratios[name] / scale
+        flag = ""
+        if normalized < 1.0 - threshold:
+            flag = "  << REGRESSION"
+            regressions.append((name, normalized))
+        print(f"  {name:<{width}}  baseline {baseline[name]:>12.1f}  "
+              f"current {current[name]:>12.1f}  relative {normalized:>6.2f}x"
+              f"{flag}")
+
+    if regressions:
+        print(f"\nFAIL{tag}: {len(regressions)} benchmark(s) regressed more "
+              f"than {threshold:.0%}:")
+        for name, normalized in regressions:
+            print(f"  {name}: {normalized:.2f}x of baseline "
+                  f"(limit {1.0 - threshold:.2f}x)")
+        return 1
+    print(f"\nOK{tag}: no benchmark regressed beyond the threshold")
+    return 0
+
+
+def run_suite(suite_path, bench_dir):
+    """Runs every tracked bench of a suite file. Worst status wins."""
+    try:
+        with open(suite_path) as f:
+            suite = json.load(f)
+        tracked = suite.get("tracked")
+        if not tracked:
+            raise ValueError(f"{suite_path} has no 'tracked' list")
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    worst = 0
+    for entry in tracked:
+        label = entry.get("name", entry.get("baseline_key", "?"))
+        try:
+            baseline = extract_items_per_sec(suite,
+                                             entry.get("baseline_key"))
+            current_path = os.path.join(bench_dir, entry["current"])
+            with open(current_path) as f:
+                current = extract_items_per_sec(json.load(f))
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
+            print(f"error[{label}]: {e}", file=sys.stderr)
+            worst = max(worst, 2)
+            continue
+        status = run_gate(baseline, current,
+                          threshold=float(entry.get("threshold", 0.25)),
+                          absolute=bool(entry.get("absolute", False)),
+                          min_common=int(entry.get("min_common", 3)),
+                          label=label)
+        worst = max(worst, status)
+        print()
+    return worst
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--baseline", required=True,
-                        help="committed baseline JSON (e.g. BENCH_pr3.json)")
+    parser.add_argument("--baseline",
+                        help="committed baseline JSON (e.g. BENCH_pr5.json)")
     parser.add_argument("--baseline-key", default=None,
                         help="sub-table inside the baseline's "
-                        "items_per_second map (e.g. pr3)")
-    parser.add_argument("--current", required=True,
-                        help="bench JSON from this run")
+                        "items_per_second map (e.g. codec)")
+    parser.add_argument("--current", help="bench JSON from this run")
+    parser.add_argument("--suite", default=None,
+                        help="suite baseline with a 'tracked' list; gates "
+                        "every tracked bench in one run")
+    parser.add_argument("--bench-dir", default=".",
+                        help="directory holding the tracked benches' current "
+                        "JSON files (suite mode, default .)")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="fail when a benchmark drops more than this "
                         "fraction (default 0.25)")
@@ -83,6 +185,12 @@ def main():
                         "(default 3)")
     args = parser.parse_args()
 
+    if args.suite:
+        return run_suite(args.suite, args.bench_dir)
+
+    if not args.baseline or not args.current:
+        parser.error("either --suite or both --baseline and --current "
+                     "are required")
     try:
         with open(args.baseline) as f:
             baseline = extract_items_per_sec(json.load(f), args.baseline_key)
@@ -92,44 +200,8 @@ def main():
         print(f"error: {e}", file=sys.stderr)
         return 2
 
-    # Zero-rate baseline entries carry no signal (and would divide by zero).
-    common = sorted(name for name in set(baseline) & set(current)
-                    if baseline[name] > 0)
-    if len(common) < args.min_common:
-        print(f"error: only {len(common)} nonzero benchmark(s) common to "
-              f"baseline and current (need {args.min_common}); baseline has "
-              f"{sorted(baseline)}, current has {sorted(current)}",
-              file=sys.stderr)
-        return 2
-
-    ratios = {name: current[name] / baseline[name] for name in common}
-    scale = 1.0 if args.absolute else statistics.median(ratios.values())
-    mode = ("absolute" if args.absolute
-            else f"median-normalized (machine factor {scale:.3f}x)")
-    print(f"bench regression gate: {len(common)} benchmarks, "
-          f"threshold -{args.threshold:.0%}, {mode}")
-
-    width = max(len(name) for name in common)
-    regressions = []
-    for name in common:
-        normalized = ratios[name] / scale
-        flag = ""
-        if normalized < 1.0 - args.threshold:
-            flag = "  << REGRESSION"
-            regressions.append((name, normalized))
-        print(f"  {name:<{width}}  baseline {baseline[name]:>12.1f}  "
-              f"current {current[name]:>12.1f}  relative {normalized:>6.2f}x"
-              f"{flag}")
-
-    if regressions:
-        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
-              f"{args.threshold:.0%}:")
-        for name, normalized in regressions:
-            print(f"  {name}: {normalized:.2f}x of baseline "
-                  f"(limit {1.0 - args.threshold:.2f}x)")
-        return 1
-    print("\nOK: no benchmark regressed beyond the threshold")
-    return 0
+    return run_gate(baseline, current, args.threshold, args.absolute,
+                    args.min_common)
 
 
 if __name__ == "__main__":

@@ -77,13 +77,17 @@ uint64_t FilePerImageDataset::RecordReadBytes(int record, int) const {
   return images_[record].file_bytes;
 }
 
-Result<RawRecord> FilePerImageDataset::FetchRecord(int record, int) {
+Result<FetchPlan> FilePerImageDataset::PlanFetch(int record, int) const {
   if (record < 0 || record >= num_records()) {
     return Status::OutOfRange("image index out of range");
   }
   const ImageMeta& meta = images_[record];
-  return FetchFileBytes(env_, meta.path, meta.file_bytes, record,
-                        /*scan_group=*/1);  // Fixed-quality format.
+  FetchPlan plan;
+  plan.record = record;
+  plan.scan_group = 1;  // Fixed-quality format.
+  plan.env = env_;
+  plan.segments.push_back(FetchSegment{meta.path, 0, meta.file_bytes});
+  return plan;
 }
 
 Result<RecordBatch> FilePerImageDataset::AssembleRecord(RawRecord raw) const {

@@ -213,16 +213,22 @@ uint64_t PcrDataset::RecordReadBytes(int record, int scan_group) const {
   return records_[record].prefix_bytes[scan_group - 1];
 }
 
-Result<RawRecord> PcrDataset::FetchRecord(int record, int scan_group) {
+Result<FetchPlan> PcrDataset::PlanFetch(int record, int scan_group) const {
   if (record < 0 || record >= num_records()) {
     return Status::OutOfRange("record index out of range");
   }
   scan_group = std::clamp(scan_group, 1, num_groups_);
   const RecordMeta& meta = records_[record];
+  FetchPlan plan;
+  plan.record = record;
+  plan.scan_group = scan_group;
+  plan.env = env_;
   // One sequential read of the prefix — the core PCR access pattern.
-  return FetchFileBytes(env_, meta.path, meta.prefix_bytes[scan_group - 1],
-                        record, scan_group);
+  plan.segments.push_back(
+      FetchSegment{meta.path, 0, meta.prefix_bytes[scan_group - 1]});
+  return plan;
 }
+
 
 Result<RecordBatch> PcrDataset::AssembleRecord(RawRecord raw) const {
   PCR_ASSIGN_OR_RETURN(

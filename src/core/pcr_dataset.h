@@ -83,7 +83,7 @@ class PcrDataset : public RecordSource {
   int RecordImages(int record) const override {
     return records_[record].num_images;
   }
-  Result<RawRecord> FetchRecord(int record, int scan_group) override;
+  Result<FetchPlan> PlanFetch(int record, int scan_group) const override;
   Result<RecordBatch> AssembleRecord(RawRecord raw) const override;
   std::string format_name() const override { return "pcr"; }
   uint64_t total_bytes() const override;

@@ -113,13 +113,17 @@ uint64_t RecordDataset::RecordReadBytes(int record, int) const {
   return records_[record].file_bytes;  // Always full quality.
 }
 
-Result<RawRecord> RecordDataset::FetchRecord(int record, int) {
+Result<FetchPlan> RecordDataset::PlanFetch(int record, int) const {
   if (record < 0 || record >= num_records()) {
     return Status::OutOfRange("record index out of range");
   }
   const RecordMeta& meta = records_[record];
-  return FetchFileBytes(env_, meta.path, meta.file_bytes, record,
-                        /*scan_group=*/1);  // Fixed-quality format.
+  FetchPlan plan;
+  plan.record = record;
+  plan.scan_group = 1;  // Fixed-quality format.
+  plan.env = env_;
+  plan.segments.push_back(FetchSegment{meta.path, 0, meta.file_bytes});
+  return plan;
 }
 
 Result<RecordBatch> RecordDataset::AssembleRecord(RawRecord raw) const {

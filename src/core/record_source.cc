@@ -1,0 +1,38 @@
+#include "core/record_source.h"
+
+namespace pcr {
+
+Result<std::string> ReadFetchPlan(const FetchPlan& plan) {
+  if (plan.env == nullptr) {
+    return Status::InvalidArgument("fetch plan has no env");
+  }
+  std::string bytes;
+  for (const FetchSegment& segment : plan.segments) {
+    std::string segment_bytes;
+    PCR_RETURN_IF_ERROR(plan.env->ReadRange(segment.path, segment.offset,
+                                            segment.length, &segment_bytes));
+    if (bytes.empty()) {
+      bytes = std::move(segment_bytes);  // Single-segment plans: no copy.
+    } else {
+      bytes += segment_bytes;
+    }
+  }
+  return bytes;
+}
+
+Result<RawRecord> RecordSource::CompleteFetch(const FetchPlan& plan,
+                                              std::string bytes) const {
+  if (bytes.size() != plan.total_bytes()) {
+    return Status::IOError("fetch delivered " + std::to_string(bytes.size()) +
+                           " of " + std::to_string(plan.total_bytes()) +
+                           " planned bytes");
+  }
+  RawRecord raw;
+  raw.record = plan.record;
+  raw.scan_group = plan.scan_group;
+  raw.bytes_read = bytes.size();
+  raw.payload = std::move(bytes);
+  return raw;
+}
+
+}  // namespace pcr

@@ -22,24 +22,36 @@ struct RawRecord {
   uint64_t bytes_read = 0;
 };
 
-/// Shared I/O helper for FetchRecord implementations: one sequential read of
-/// the first `bytes` bytes of `path` into a RawRecord payload.
-inline Result<RawRecord> FetchFileBytes(Env* env, const std::string& path,
-                                        uint64_t bytes, int record,
-                                        int scan_group) {
-  PCR_ASSIGN_OR_RETURN(auto file, env->NewRandomAccessFile(path));
-  RawRecord raw;
-  raw.record = record;
-  raw.scan_group = scan_group;
-  raw.payload.resize(bytes);
-  Slice result;
-  PCR_RETURN_IF_ERROR(file->Read(0, bytes, raw.payload.data(), &result));
-  if (result.size() != bytes) {
-    return Status::IOError("short read of " + path);
+/// One contiguous byte range of a fetch plan.
+struct FetchSegment {
+  std::string path;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+};
+
+/// The I/O recipe for one record read at one quality: which byte ranges to
+/// read through which Env, with no format knowledge needed by the reader.
+/// Produced by RecordSource::PlanFetch (metadata only, no I/O); the fetched
+/// bytes — segments concatenated in order — go back through CompleteFetch.
+/// Callers submit segments through `env`'s IoScheduler (or read them
+/// synchronously via ReadFetchPlan).
+struct FetchPlan {
+  int record = -1;
+  int scan_group = 0;  // Clamped group the plan fetches at.
+  Env* env = nullptr;  // Backend serving the segments (sharding routes it).
+  std::vector<FetchSegment> segments;
+
+  uint64_t total_bytes() const {
+    uint64_t total = 0;
+    for (const FetchSegment& s : segments) total += s.length;
+    return total;
   }
-  raw.bytes_read = bytes;
-  return raw;
-}
+};
+
+/// Synchronous plan execution: blocking reads of every segment through
+/// plan.env, concatenated in order. The adapter under
+/// RecordSource::FetchRecord, also handy for tests and tools.
+Result<std::string> ReadFetchPlan(const FetchPlan& plan);
 
 /// The images+labels yielded by one record read. The JPEG streams are
 /// (offset, length) spans into one backing buffer instead of per-image
@@ -68,11 +80,16 @@ struct RecordBatch {
 /// reduced-quality data with proportionally fewer bytes; fixed-quality
 /// formats ignore the parameter.
 ///
-/// Reads are split into two first-class operations so the staged loader
-/// pipeline can run them on different resources:
-///   FetchRecord    — pure I/O: one (partial) sequential read through Env.
+/// Reads decompose into three first-class operations so the staged loader
+/// pipeline can run them on different resources, and so fetches can be kept
+/// in flight through an Env's submission/completion IoScheduler without the
+/// reader knowing the format:
+///   PlanFetch      — metadata only: which byte ranges to read through which
+///                    Env for (record, scan group). No I/O.
+///   CompleteFetch  — wraps a plan's fetched bytes into a RawRecord. No I/O.
 ///   AssembleRecord — pure CPU: parse the payload into JPEG streams+labels.
-/// ReadRecord composes the two for synchronous callers.
+/// FetchRecord (plan + blocking read + complete) and ReadRecord (+ assemble)
+/// compose them for synchronous callers.
 class RecordSource {
  public:
   virtual ~RecordSource() = default;
@@ -88,14 +105,30 @@ class RecordSource {
   /// Number of images record `record` holds (known from metadata, no I/O).
   virtual int RecordImages(int record) const = 0;
 
-  /// I/O-only half of a read: fetches the record's raw bytes at the given
-  /// quality, touching storage but doing no parsing or decoding. scan_group
-  /// is clamped to [1, num_scan_groups()]. Thread-safe.
-  virtual Result<RawRecord> FetchRecord(int record, int scan_group) = 0;
+  /// Plans the I/O for one record read at the given quality: the byte
+  /// segments to fetch and the Env to fetch them through. scan_group is
+  /// clamped to [1, num_scan_groups()]. Performs no I/O. Thread-safe.
+  virtual Result<FetchPlan> PlanFetch(int record, int scan_group) const = 0;
+
+  /// Format half of a completed fetch: wraps the plan's bytes (segments
+  /// concatenated in plan order) into a RawRecord for AssembleRecord.
+  /// Performs no I/O. Thread-safe. The default validates the byte count and
+  /// stamps the plan's record/scan group; sources that route plans
+  /// (ShardedRecordSource) or post-process payloads override it.
+  virtual Result<RawRecord> CompleteFetch(const FetchPlan& plan,
+                                          std::string bytes) const;
 
   /// CPU-only half of a read: parses a fetched payload into standalone JPEG
   /// streams and labels. Performs no I/O. Thread-safe.
   virtual Result<RecordBatch> AssembleRecord(RawRecord raw) const = 0;
+
+  /// Synchronous I/O adapter: PlanFetch + blocking segment reads +
+  /// CompleteFetch. Thread-safe.
+  Result<RawRecord> FetchRecord(int record, int scan_group) {
+    PCR_ASSIGN_OR_RETURN(FetchPlan plan, PlanFetch(record, scan_group));
+    PCR_ASSIGN_OR_RETURN(std::string bytes, ReadFetchPlan(plan));
+    return CompleteFetch(plan, std::move(bytes));
+  }
 
   /// Convenience: FetchRecord + AssembleRecord in one call.
   Result<RecordBatch> ReadRecord(int record, int scan_group) {

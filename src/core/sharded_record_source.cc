@@ -1,0 +1,130 @@
+#include "core/sharded_record_source.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace pcr {
+
+namespace {
+
+std::string ShardContext(int shard) {
+  return StrFormat("shard %d", shard);
+}
+
+}  // namespace
+
+ShardedRecordSource::ShardedRecordSource(
+    std::vector<std::unique_ptr<RecordSource>> shards)
+    : shards_(std::move(shards)) {
+  starts_.reserve(shards_.size() + 1);
+  for (const auto& shard : shards_) {
+    starts_.push_back(total_records_);
+    total_records_ += shard->num_records();
+    total_images_ += shard->num_images();
+  }
+  starts_.push_back(total_records_);
+  num_groups_ = shards_[0]->num_scan_groups();
+  format_name_ = StrFormat("sharded[%dx %s]", num_shards(),
+                           shards_[0]->format_name().c_str());
+}
+
+Result<std::unique_ptr<ShardedRecordSource>> ShardedRecordSource::Create(
+    std::vector<std::unique_ptr<RecordSource>> shards) {
+  if (shards.empty()) {
+    return Status::InvalidArgument("sharded source needs at least one shard");
+  }
+  for (size_t s = 0; s < shards.size(); ++s) {
+    if (shards[s] == nullptr) {
+      return Status::InvalidArgument(
+          StrFormat("sharded source: shard %zu is null", s));
+    }
+    if (shards[s]->num_scan_groups() != shards[0]->num_scan_groups()) {
+      return Status::InvalidArgument(StrFormat(
+          "sharded source: shard %zu has %d scan groups, shard 0 has %d",
+          s, shards[s]->num_scan_groups(), shards[0]->num_scan_groups()));
+    }
+  }
+  return std::unique_ptr<ShardedRecordSource>(
+      new ShardedRecordSource(std::move(shards)));
+}
+
+Result<ShardedRecordSource::Locator> ShardedRecordSource::Locate(
+    int record) const {
+  if (record < 0 || record >= total_records_) {
+    return Status::OutOfRange(
+        StrFormat("record %d out of range [0, %d)", record, total_records_));
+  }
+  // First start strictly greater than `record`, minus one, owns it.
+  const auto it = std::upper_bound(starts_.begin(), starts_.end(), record);
+  Locator loc;
+  loc.shard = static_cast<int>(it - starts_.begin()) - 1;
+  loc.local = record - starts_[loc.shard];
+  return loc;
+}
+
+int ShardedRecordSource::shard_of(int record) const {
+  auto loc = Locate(record);
+  PCR_CHECK(loc.ok()) << loc.status();
+  return loc->shard;
+}
+
+uint64_t ShardedRecordSource::RecordReadBytes(int record,
+                                              int scan_group) const {
+  auto loc = Locate(record);
+  PCR_CHECK(loc.ok()) << loc.status();
+  return shards_[loc->shard]->RecordReadBytes(loc->local, scan_group);
+}
+
+int ShardedRecordSource::RecordImages(int record) const {
+  auto loc = Locate(record);
+  PCR_CHECK(loc.ok()) << loc.status();
+  return shards_[loc->shard]->RecordImages(loc->local);
+}
+
+Result<FetchPlan> ShardedRecordSource::PlanFetch(int record,
+                                                 int scan_group) const {
+  PCR_ASSIGN_OR_RETURN(const Locator loc, Locate(record));
+  auto plan = shards_[loc.shard]->PlanFetch(loc.local, scan_group);
+  if (!plan.ok()) {
+    return plan.status().WithContext(ShardContext(loc.shard));
+  }
+  // The plan keeps the shard's env and paths (that is the routing) but
+  // carries the global numbering back to the caller.
+  plan->record = record;
+  return plan;
+}
+
+Result<RawRecord> ShardedRecordSource::CompleteFetch(
+    const FetchPlan& plan, std::string bytes) const {
+  PCR_ASSIGN_OR_RETURN(const Locator loc, Locate(plan.record));
+  FetchPlan local_plan = plan;
+  local_plan.record = loc.local;
+  auto raw =
+      shards_[loc.shard]->CompleteFetch(local_plan, std::move(bytes));
+  if (!raw.ok()) {
+    return raw.status().WithContext(ShardContext(loc.shard));
+  }
+  raw->record = plan.record;  // Back to global numbering.
+  return raw;
+}
+
+Result<RecordBatch> ShardedRecordSource::AssembleRecord(RawRecord raw) const {
+  PCR_ASSIGN_OR_RETURN(const Locator loc, Locate(raw.record));
+  const int shard = loc.shard;
+  raw.record = loc.local;
+  auto batch = shards_[shard]->AssembleRecord(std::move(raw));
+  if (!batch.ok()) {
+    return batch.status().WithContext(ShardContext(shard));
+  }
+  return batch;
+}
+
+uint64_t ShardedRecordSource::total_bytes() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->total_bytes();
+  return total;
+}
+
+}  // namespace pcr

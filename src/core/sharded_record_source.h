@@ -1,0 +1,67 @@
+// ShardedRecordSource: one logical dataset fanned out over N child
+// RecordSources — the storage-side scale-out half of the async read path.
+// Each shard keeps its own Env and paths (several disks, several storage
+// pools, several simulated devices); the composite presents a single stable
+// global record numbering, and every fetch plan routes to the owning
+// shard's backend, so the loader pipeline keeps reads in flight against all
+// shards at once without knowing the dataset is sharded.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/record_source.h"
+
+namespace pcr {
+
+/// Global record numbering is the concatenation of the shards in
+/// construction order: shard 0 owns records [0, n0), shard 1 owns
+/// [n0, n0+n1), and so on. The numbering is stable as long as the shard
+/// list (order and sizes) is, so samplers, decode-cache keys, and epoch
+/// bookkeeping survive re-opens.
+class ShardedRecordSource : public RecordSource {
+ public:
+  /// Takes ownership of the shards. Fails when the list is empty, a shard is
+  /// null, or the shards disagree on num_scan_groups (mixing quality ladders
+  /// would silently change what a scan-group index means per record).
+  static Result<std::unique_ptr<ShardedRecordSource>> Create(
+      std::vector<std::unique_ptr<RecordSource>> shards);
+
+  int num_records() const override { return total_records_; }
+  int num_images() const override { return total_images_; }
+  int num_scan_groups() const override { return num_groups_; }
+  uint64_t RecordReadBytes(int record, int scan_group) const override;
+  int RecordImages(int record) const override;
+  Result<FetchPlan> PlanFetch(int record, int scan_group) const override;
+  Result<RawRecord> CompleteFetch(const FetchPlan& plan,
+                                  std::string bytes) const override;
+  Result<RecordBatch> AssembleRecord(RawRecord raw) const override;
+  std::string format_name() const override { return format_name_; }
+  uint64_t total_bytes() const override;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  /// The shard owning global record `record` (for tooling and tests).
+  int shard_of(int record) const;
+  RecordSource* shard(int index) const { return shards_[index].get(); }
+
+ private:
+  explicit ShardedRecordSource(
+      std::vector<std::unique_ptr<RecordSource>> shards);
+
+  struct Locator {
+    int shard = 0;
+    int local = 0;
+  };
+  Result<Locator> Locate(int record) const;
+
+  std::vector<std::unique_ptr<RecordSource>> shards_;
+  /// starts_[s] = first global record of shard s; starts_.back() = total.
+  std::vector<int> starts_;
+  int total_records_ = 0;
+  int total_images_ = 0;
+  int num_groups_ = 1;
+  std::string format_name_;
+};
+
+}  // namespace pcr

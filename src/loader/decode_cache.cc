@@ -40,6 +40,12 @@ std::shared_ptr<const LoadedBatch> DecodeCache::Lookup(
 
 std::shared_ptr<const LoadedBatch> DecodeCache::Insert(
     const DecodeCacheKey& key, LoadedBatch&& batch) {
+  if (IsProbeScanGroup(key.dataset_id, key.scan_group)) {
+    // One-shot probe traffic: keep the resident working set instead.
+    // Caller keeps the batch (still valid).
+    admission_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
   const uint64_t bytes = BatchBytes(batch);
   if (bytes > shard_capacity_) {
     // Too large to ever fit: caller keeps the batch (still valid).
@@ -77,6 +83,29 @@ std::shared_ptr<const LoadedBatch> DecodeCache::Insert(
   inserts_.fetch_add(1, std::memory_order_relaxed);
   if (evicted > 0) evictions_.fetch_add(evicted, std::memory_order_relaxed);
   return stored;
+}
+
+void DecodeCache::MarkProbeScanGroup(uint64_t dataset_id, int scan_group) {
+  std::lock_guard<std::mutex> lock(probe_mu_);
+  if (probe_groups_.emplace(dataset_id, scan_group).second) {
+    probe_mark_count_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void DecodeCache::UnmarkProbeScanGroup(uint64_t dataset_id, int scan_group) {
+  std::lock_guard<std::mutex> lock(probe_mu_);
+  if (probe_groups_.erase({dataset_id, scan_group}) > 0) {
+    probe_mark_count_.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+bool DecodeCache::IsProbeScanGroup(uint64_t dataset_id,
+                                   int scan_group) const {
+  // Marks exist only while a tuner probe cycle runs; skip the lock on the
+  // (overwhelmingly common) unmarked path.
+  if (probe_mark_count_.load(std::memory_order_acquire) == 0) return false;
+  std::lock_guard<std::mutex> lock(probe_mu_);
+  return probe_groups_.count({dataset_id, scan_group}) > 0;
 }
 
 template <typename Pred>
@@ -124,6 +153,8 @@ DecodeCacheStats DecodeCache::stats() const {
   stats.evictions = evictions_.load(std::memory_order_relaxed);
   stats.inserts = inserts_.load(std::memory_order_relaxed);
   stats.oversize_rejects = oversize_rejects_.load(std::memory_order_relaxed);
+  stats.admission_rejects =
+      admission_rejects_.load(std::memory_order_relaxed);
   stats.invalidated = invalidated_.load(std::memory_order_relaxed);
   stats.capacity_bytes = options_.capacity_bytes;
   for (const Shard& shard : shards_) {

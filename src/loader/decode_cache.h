@@ -14,6 +14,14 @@
 // Scan-group changes (dynamic tuning) invalidate only the affected entries
 // via InvalidateScanGroup — entries at other groups, e.g. the live groups of
 // a mixture policy, keep serving hits instead of being flushed wholesale.
+//
+// Admission control: tuners probing candidate scan groups generate one-shot
+// traffic — every probed (record, group) is read once and never again at
+// that group unless the tuner adopts it. Populating the cache with those
+// batches evicts the hot working set for entries that will never hit.
+// MarkProbeScanGroup makes Insert skip population for a (dataset, group)
+// pair (lookups still hit whatever is already cached) until the tuner
+// unmarks it.
 #pragma once
 
 #include <atomic>
@@ -21,7 +29,9 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "loader/data_loader.h"
@@ -67,6 +77,7 @@ struct DecodeCacheStats {
   int64_t evictions = 0;         // Entries pushed out by the byte budget.
   int64_t inserts = 0;           // Accepted inserts (including replacements).
   int64_t oversize_rejects = 0;  // Batches larger than a shard's budget.
+  int64_t admission_rejects = 0; // Inserts skipped for probe-marked groups.
   int64_t invalidated = 0;       // Entries removed by Invalidate*/Clear.
   uint64_t bytes_in_use = 0;
   int64_t entries = 0;
@@ -92,9 +103,19 @@ class DecodeCache {
   /// Moves `batch` into the cache and returns the stored entry, evicting
   /// least-recently-used entries until the shard fits its budget. Returns
   /// nullptr — with `batch` left untouched — when the batch alone exceeds
-  /// the per-shard budget. An existing entry under the same key is replaced.
+  /// the per-shard budget or its (dataset, scan group) is probe-marked. An
+  /// existing entry under the same key is replaced.
   std::shared_ptr<const LoadedBatch> Insert(const DecodeCacheKey& key,
                                             LoadedBatch&& batch);
+
+  /// Admission control for one-shot traffic: while (dataset_id, scan_group)
+  /// is marked, Insert skips population (counted as an admission reject)
+  /// instead of evicting resident entries, and Lookup keeps serving whatever
+  /// was cached before. Tuners mark candidate groups for the duration of a
+  /// probe cycle. Marking is idempotent; Unmark restores normal admission.
+  void MarkProbeScanGroup(uint64_t dataset_id, int scan_group);
+  void UnmarkProbeScanGroup(uint64_t dataset_id, int scan_group);
+  bool IsProbeScanGroup(uint64_t dataset_id, int scan_group) const;
 
   /// Drops every entry of `dataset_id` at exactly `scan_group` — the
   /// targeted invalidation for a tuner switching away from a group. Returns
@@ -116,10 +137,14 @@ class DecodeCache {
   /// carried JPEG spans/backing.
   static uint64_t BatchBytes(const LoadedBatch& batch);
 
-  /// Whether a batch of `bytes` can ever be admitted (fits one shard's
-  /// budget). Lets the miss path skip its population copy for batches
+  /// Whether Insert would admit a batch of `bytes` under `key`: it must fit
+  /// one shard's budget and the key's (dataset, scan group) must not be
+  /// probe-marked. Lets the miss path skip its population copy for batches
   /// Insert would only reject.
-  bool Admits(uint64_t bytes) const { return bytes <= shard_capacity_; }
+  bool Admits(const DecodeCacheKey& key, uint64_t bytes) const {
+    return bytes <= shard_capacity_ &&
+           !IsProbeScanGroup(key.dataset_id, key.scan_group);
+  }
 
  private:
   struct Entry {
@@ -147,11 +172,20 @@ class DecodeCache {
   std::vector<Shard> shards_;
   std::atomic<uint64_t> next_dataset_id_{1};
 
+  /// Probe-marked (dataset id, scan group) pairs. The set is tiny (a
+  /// handful of tuner candidates at most) but sits on the per-insert hot
+  /// path, so the no-marks common case short-circuits on a relaxed atomic
+  /// count and never touches the mutex.
+  std::atomic<int> probe_mark_count_{0};
+  mutable std::mutex probe_mu_;
+  std::set<std::pair<uint64_t, int>> probe_groups_;
+
   mutable std::atomic<int64_t> hits_{0};
   mutable std::atomic<int64_t> misses_{0};
   std::atomic<int64_t> evictions_{0};
   std::atomic<int64_t> inserts_{0};
   std::atomic<int64_t> oversize_rejects_{0};
+  std::atomic<int64_t> admission_rejects_{0};
   std::atomic<int64_t> invalidated_{0};
 };
 

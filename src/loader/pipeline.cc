@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <optional>
+#include <thread>
 
 #include "util/logging.h"
 
@@ -28,6 +29,7 @@ LoaderPipeline::LoaderPipeline(RecordSource* source,
   PCR_CHECK(source != nullptr);
   PCR_CHECK_GT(source->num_records(), 0);
   options_.io_threads = std::max(1, options_.io_threads);
+  options_.io_inflight = std::max(1, options_.io_inflight);
   options_.decode_threads = std::max(1, options_.decode_threads);
   options_.decode_pop_batch = std::max(1, options_.decode_pop_batch);
   if (options_.scan_policy == nullptr) {
@@ -95,57 +97,223 @@ void LoaderPipeline::IoWorkerLoop(uint64_t seed) {
   Rng rng(seed);
   const int num_groups = source_->num_scan_groups();
   DecodeCache* const cache = options_.decode_cache.get();
-  while (!stopping_.load(std::memory_order_relaxed)) {
-    int record;
-    std::shared_ptr<ScanGroupPolicy> policy;
-    {
-      std::lock_guard<std::mutex> lock(sampler_mu_);
-      if (ticket_limit_ > 0 && tickets_issued_ >= ticket_limit_) break;
-      record = sampler_->Next();
-      ++tickets_issued_;
-      policy = options_.scan_policy;  // May be swapped by set_scan_policy.
-    }
-    // Clamp like FetchRecord will, so cache keys match what gets stored.
-    const int group =
-        std::clamp(policy->Select(num_groups, &rng), 1, num_groups);
+  const int window = options_.io_inflight;
 
-    if (cache != nullptr) {
-      const DecodeCacheKey key{options_.cache_dataset_id, record, group};
-      if (auto cached = cache->Lookup(key)) {
-        // Hit: no fetch, no decode. Copy out of the immutable entry (busy
-        // time — it is this ticket's entire service cost) and short-circuit
-        // straight to the output queue.
-        io_stats_.AddCacheHit();
-        const int64_t copy_start = NowNanos();
-        LoadedBatch batch(*cached);
-        // The delivered copy read nothing from storage this epoch (the
-        // cached entry keeps the original fetch size for its own books).
-        batch.bytes_read = 0;
-        io_stats_.AddBusyNanos(NowNanos() - copy_start);
-        const int64_t push_start = NowNanos();
-        const bool pushed = output_queue_.Push(std::move(batch));
-        io_stats_.AddIdleNanos(NowNanos() - push_start);
-        if (!pushed) break;  // Queue closed: Stop() or a stage failure.
-        continue;
-      }
-      io_stats_.AddCacheMiss();
-    }
+  // The submission window: one slot per fetch in flight, addressed through
+  // the completions' user_data. A slot holds its plan and the segment bytes
+  // completed so far (plans are usually a single segment; multi-segment
+  // plans submit their segments one after another).
+  struct Slot {
+    FetchPlan plan;
+    std::string bytes;
+    size_t next_segment = 0;
+  };
+  std::vector<Slot> slots(static_cast<size_t>(window));
+  std::vector<int> free_slots;
+  free_slots.reserve(static_cast<size_t>(window));
+  for (int i = window - 1; i >= 0; --i) free_slots.push_back(i);
+  int in_flight = 0;
 
-    const int64_t fetch_start = NowNanos();
-    auto raw = source_->FetchRecord(record, group);
-    io_stats_.AddBusyNanos(NowNanos() - fetch_start);
+  // One scheduler per backend Env: a plain source has one, a sharded source
+  // one per shard backend. Workers own their schedulers, so the window is
+  // per worker and teardown joins only this worker's outstanding reads.
+  std::vector<std::pair<Env*, std::unique_ptr<IoScheduler>>> schedulers;
+  size_t wait_cursor = 0;  // Round-robin across backends when waiting.
+  auto scheduler_for = [&](Env* env) -> IoScheduler* {
+    for (auto& [scheduler_env, scheduler] : schedulers) {
+      if (scheduler_env == env) return scheduler.get();
+    }
+    IoSchedulerOptions scheduler_options;
+    scheduler_options.queue_depth = window;
+    // Every in-flight read may block a service thread in pread.
+    scheduler_options.io_threads = window;
+    schedulers.emplace_back(env, env->NewIoScheduler(scheduler_options));
+    return schedulers.back().second.get();
+  };
+
+  // CompleteFetch + hand the raw record to the decode stage; frees the slot.
+  auto finish_slot = [&](int slot_index) -> bool {
+    Slot& slot = slots[static_cast<size_t>(slot_index)];
+    const int64_t complete_start = NowNanos();
+    auto raw = source_->CompleteFetch(slot.plan, std::move(slot.bytes));
+    io_stats_.AddBusyNanos(NowNanos() - complete_start);
+    slot.bytes.clear();
+    free_slots.push_back(slot_index);
     if (!raw.ok()) {
       RecordError(raw.status().WithContext("loader I/O stage"));
-      break;
+      return false;
     }
     io_stats_.AddItem(raw->bytes_read);
-
     const int64_t push_start = NowNanos();
     const bool pushed = fetch_queue_.Push(std::move(raw).MoveValue());
     io_stats_.AddIdleNanos(NowNanos() - push_start);
-    if (!pushed) break;  // Queue closed: Stop() or a stage failure.
+    if (!pushed) return false;  // Queue closed: Stop() or a stage failure.
     io_stats_.SampleQueueDepth(fetch_queue_.size());
+    return true;
+  };
+
+  auto submit_segment = [&](int slot_index) -> bool {
+    Slot& slot = slots[static_cast<size_t>(slot_index)];
+    const FetchSegment& segment = slot.plan.segments[slot.next_segment];
+    ReadRequest request;
+    request.path = segment.path;
+    request.offset = segment.offset;
+    request.length = segment.length;
+    request.user_data = static_cast<uint64_t>(slot_index);
+    Status submitted =
+        scheduler_for(slot.plan.env)->SubmitRead(std::move(request));
+    if (!submitted.ok()) {
+      RecordError(std::move(submitted).WithContext("loader I/O stage"));
+      return false;
+    }
+    return true;
+  };
+
+  bool running = true;
+  bool tickets_done = false;
+  while (running && !stopping_.load(std::memory_order_relaxed)) {
+    // Fill the window: issue tickets until it is full or the epoch limit is
+    // reached. Cache hits bypass the window entirely (no fetch, no decode):
+    // copy out of the immutable entry (busy time — it is the ticket's whole
+    // service cost) and short-circuit straight to the output queue.
+    while (running && !tickets_done && in_flight < window &&
+           !stopping_.load(std::memory_order_relaxed)) {
+      int record;
+      std::shared_ptr<ScanGroupPolicy> policy;
+      {
+        std::lock_guard<std::mutex> lock(sampler_mu_);
+        if (ticket_limit_ > 0 && tickets_issued_ >= ticket_limit_) {
+          tickets_done = true;
+          break;
+        }
+        record = sampler_->Next();
+        ++tickets_issued_;
+        policy = options_.scan_policy;  // May be swapped by set_scan_policy.
+      }
+      // Clamp like PlanFetch will, so cache keys match what gets stored.
+      const int group =
+          std::clamp(policy->Select(num_groups, &rng), 1, num_groups);
+
+      if (cache != nullptr) {
+        const DecodeCacheKey key{options_.cache_dataset_id, record, group};
+        if (auto cached = cache->Lookup(key)) {
+          io_stats_.AddCacheHit();
+          const int64_t copy_start = NowNanos();
+          LoadedBatch batch(*cached);
+          // The delivered copy read nothing from storage this epoch (the
+          // cached entry keeps the original fetch size for its own books).
+          batch.bytes_read = 0;
+          io_stats_.AddBusyNanos(NowNanos() - copy_start);
+          const int64_t push_start = NowNanos();
+          const bool pushed = output_queue_.Push(std::move(batch));
+          io_stats_.AddIdleNanos(NowNanos() - push_start);
+          if (!pushed) running = false;  // Queue closed: Stop()/failure.
+          continue;
+        }
+        io_stats_.AddCacheMiss();
+      }
+
+      const int64_t plan_start = NowNanos();
+      auto plan = source_->PlanFetch(record, group);
+      if (!plan.ok()) {
+        io_stats_.AddBusyNanos(NowNanos() - plan_start);
+        RecordError(plan.status().WithContext("loader I/O stage"));
+        running = false;
+        break;
+      }
+      const int slot_index = free_slots.back();
+      free_slots.pop_back();
+      Slot& slot = slots[static_cast<size_t>(slot_index)];
+      slot.plan = std::move(plan).MoveValue();
+      slot.bytes.clear();
+      slot.next_segment = 0;
+      if (slot.plan.segments.empty()) {
+        // Nothing to read (empty record): complete it right away.
+        io_stats_.AddBusyNanos(NowNanos() - plan_start);
+        if (!finish_slot(slot_index)) running = false;
+        continue;
+      }
+      if (!submit_segment(slot_index)) {
+        io_stats_.AddBusyNanos(NowNanos() - plan_start);
+        running = false;
+        break;
+      }
+      ++in_flight;
+      io_stats_.SampleInFlight(in_flight);
+      io_stats_.AddBusyNanos(NowNanos() - plan_start);
+    }
+    if (!running || in_flight == 0) break;  // Epoch limit reached or torn down.
+
+    // Drain one completion. The wait is storage service time (busy): with a
+    // full window this is where the worker sits while the device works
+    // through its queue. Ready completions on any backend are taken first.
+    // With a single backend holding reads (the common case) the worker
+    // parks in its blocking WaitCompletion; with several it polls them all
+    // at a short cadence instead — committing to one backend's blocking
+    // wait would idle a fast shard's completed reads behind a slow shard's
+    // latency.
+    const int64_t wait_start = NowNanos();
+    std::optional<ReadCompletion> completion;
+    while (running && !completion.has_value()) {
+      IoScheduler* only_pending = nullptr;
+      int backends_pending = 0;
+      for (size_t i = 0; i < schedulers.size(); ++i) {
+        auto& candidate = schedulers[(wait_cursor + i) % schedulers.size()];
+        if (candidate.second->in_flight() == 0) continue;
+        ++backends_pending;
+        only_pending = candidate.second.get();
+        completion = candidate.second->PollCompletion();
+        if (completion.has_value()) {
+          wait_cursor = (wait_cursor + i + 1) % schedulers.size();
+          break;
+        }
+      }
+      if (completion.has_value()) break;
+      if (backends_pending == 0) break;  // Defensive; in_flight > 0 here.
+      if (backends_pending == 1) {
+        auto waited = only_pending->WaitCompletion();
+        if (!waited.ok()) {
+          RecordError(waited.status().WithContext("loader I/O stage"));
+          running = false;
+        } else {
+          completion = std::move(waited).MoveValue();
+        }
+        break;
+      }
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    io_stats_.AddBusyNanos(NowNanos() - wait_start);
+    if (!running || !completion.has_value()) break;
+
+    --in_flight;
+    io_stats_.SampleInFlight(in_flight);
+    if (!completion->status.ok()) {
+      RecordError(completion->status.WithContext("loader I/O stage"));
+      break;
+    }
+    const int slot_index = static_cast<int>(completion->user_data);
+    Slot& slot = slots[static_cast<size_t>(slot_index)];
+    if (slot.bytes.empty()) {
+      slot.bytes = std::move(completion->bytes);
+    } else {
+      slot.bytes += completion->bytes;
+    }
+    ++slot.next_segment;
+    if (slot.next_segment < slot.plan.segments.size()) {
+      const int64_t submit_start = NowNanos();
+      const bool submitted = submit_segment(slot_index);
+      io_stats_.AddBusyNanos(NowNanos() - submit_start);
+      if (!submitted) break;
+      ++in_flight;
+      io_stats_.SampleInFlight(in_flight);
+    } else {
+      if (!finish_slot(slot_index)) break;
+    }
   }
+  // Slots still in flight after Stop() or a failure are dropped here: the
+  // schedulers' destructors join their service threads and discard the
+  // outstanding completions.
   // Last I/O worker out seals the stage: decode drains what was fetched.
   if (live_io_workers_.fetch_sub(1) == 1) fetch_queue_.Close();
 }
@@ -222,13 +390,14 @@ void LoaderPipeline::DecodeWorkerLoop() {
       DecodeCache* const cache = options_.decode_cache.get();
       std::optional<LoadedBatch> to_cache;
       DecodeCacheKey cache_key;
-      if (cache != nullptr &&
-          cache->Admits(DecodeCache::BatchBytes(*batch))) {
+      if (cache != nullptr) {
         cache_key = DecodeCacheKey{options_.cache_dataset_id,
                                    batch->record_index, batch->scan_group};
-        const int64_t copy_start = NowNanos();
-        to_cache.emplace(*batch);
-        decode_stats_.AddBusyNanos(NowNanos() - copy_start);
+        if (cache->Admits(cache_key, DecodeCache::BatchBytes(*batch))) {
+          const int64_t copy_start = NowNanos();
+          to_cache.emplace(*batch);
+          decode_stats_.AddBusyNanos(NowNanos() - copy_start);
+        }
       }
 
       // Drop the in-flight mark before the push: a consumer woken by this
@@ -324,6 +493,7 @@ double LoaderPipeline::decode_stall_seconds() const {
 StageStatsSnapshot LoaderPipeline::io_stats() const {
   StageStatsSnapshot snap =
       io_stats_.Snapshot("io", options_.io_threads, fetch_queue_.capacity());
+  snap.submission_window = options_.io_inflight;
   if (options_.decode_cache != nullptr) {
     const DecodeCacheStats cache = options_.decode_cache->stats();
     snap.cache_evictions = cache.evictions;

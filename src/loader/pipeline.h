@@ -2,9 +2,15 @@
 // read into the two resources it actually consumes:
 //
 //   [I/O stage]    io_threads workers pull (record, scan group) tickets from
-//                  a shared epoch sampler and fetch raw scan-group bytes via
-//                  RecordSource::FetchRecord (storage-bound, no CPU work),
-//                  feeding a bounded raw-record queue.
+//                  a shared epoch sampler, plan them via
+//                  RecordSource::PlanFetch, and keep up to `io_inflight`
+//                  fetches in flight through the backend Env's
+//                  submission/completion IoScheduler (storage-bound, no CPU
+//                  work), draining completions through
+//                  RecordSource::CompleteFetch into a bounded raw-record
+//                  queue. Sharded sources route each plan to its own
+//                  backend, so one worker can hold reads open against
+//                  several devices at once.
 //   [decode stage] decode_threads workers on a util::ThreadPool pop raw
 //                  records, run RecordSource::AssembleRecord plus parallel
 //                  JPEG decodes (CPU-bound, no I/O), feeding the bounded
@@ -40,8 +46,14 @@
 namespace pcr {
 
 struct LoaderPipelineOptions {
-  /// I/O stage: workers issuing FetchRecord calls.
+  /// I/O stage: workers submitting fetches and draining completions.
   int io_threads = 2;
+  /// Fetches each I/O worker keeps in flight through its Env's IoScheduler
+  /// (io_uring-style submission window). 1 reproduces the blocking
+  /// one-read-per-worker shape; deeper windows fill the device queue so
+  /// small partial scan-group reads stop leaving storage bandwidth idle.
+  /// Total reads in flight = io_threads * io_inflight.
+  int io_inflight = 4;
   /// Raw records buffered between the I/O and decode stages.
   int fetch_queue_depth = 8;
   /// Decode stage: ThreadPool workers running AssembleRecord + jpeg::Decode.

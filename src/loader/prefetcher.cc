@@ -15,6 +15,7 @@ LoaderPipelineOptions PrefetchingLoader::PipelineOptions(
   // are idle-cheap).
   const int threads = std::max(1, options.num_threads);
   pipeline.io_threads = threads;
+  pipeline.io_inflight = options.io_inflight;
   pipeline.decode_threads = threads;
   pipeline.fetch_queue_depth = options.queue_depth;
   pipeline.output_queue_depth = options.queue_depth;

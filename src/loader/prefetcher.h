@@ -14,11 +14,14 @@
 namespace pcr {
 
 struct PrefetchOptions {
-  /// Per-stage worker count: up to this many storage reads in flight and
-  /// this many parallel decodes, matching the concurrency the pre-pipeline
-  /// fused workers provided at the same setting.
+  /// Per-stage worker count: `num_threads` fetch workers and as many
+  /// parallel decodes, matching the concurrency the pre-pipeline fused
+  /// workers provided at the same setting.
   int num_threads = 4;
   int queue_depth = 8;  // Records buffered ahead of the consumer.
+  /// Fetches each I/O worker keeps in flight through the Env's async
+  /// scheduler (LoaderPipelineOptions::io_inflight).
+  int io_inflight = 4;
   LoaderOptions loader;
 };
 

@@ -30,10 +30,24 @@ struct StageStatsSnapshot {
   int64_t cache_evictions = 0;   // Filled from the cache at snapshot time.
   uint64_t cache_bytes = 0;      // Cache byte occupancy at snapshot time.
 
+  /// Submission-window gauges (I/O stage only; zero elsewhere): the mean
+  /// number of fetches a worker held in flight, sampled at every submission
+  /// and completion, and the configured per-worker window. Occupancy near
+  /// 1.0 means the window is the limiter (raising it may help); occupancy
+  /// well under 1.0 means tickets or queue space ran out first.
+  double mean_in_flight = 0;
+  int submission_window = 0;
+
   /// busy / (busy + idle): 1.0 means the stage is the bottleneck.
   double utilization() const {
     const double total = busy_seconds + idle_seconds;
     return total > 0 ? busy_seconds / total : 0.0;
+  }
+
+  /// mean_in_flight / submission_window: how full workers kept their
+  /// submission windows.
+  double submission_occupancy() const {
+    return submission_window > 0 ? mean_in_flight / submission_window : 0.0;
   }
 };
 
@@ -60,6 +74,10 @@ class StageStats {
   void AddCacheMiss() {
     cache_misses_.fetch_add(1, std::memory_order_relaxed);
   }
+  void SampleInFlight(int depth) {
+    in_flight_sum_.fetch_add(depth, std::memory_order_relaxed);
+    in_flight_samples_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   StageStatsSnapshot Snapshot(std::string name, int threads,
                               size_t queue_capacity) const {
@@ -80,6 +98,14 @@ class StageStats {
     snap.queue_capacity = queue_capacity;
     snap.cache_hits = cache_hits_.load(std::memory_order_relaxed);
     snap.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+    const int64_t in_flight_samples =
+        in_flight_samples_.load(std::memory_order_relaxed);
+    snap.mean_in_flight =
+        in_flight_samples > 0
+            ? static_cast<double>(
+                  in_flight_sum_.load(std::memory_order_relaxed)) /
+                  static_cast<double>(in_flight_samples)
+            : 0.0;
     return snap;
   }
 
@@ -92,6 +118,8 @@ class StageStats {
   std::atomic<int64_t> queue_depth_samples_{0};
   std::atomic<int64_t> cache_hits_{0};
   std::atomic<int64_t> cache_misses_{0};
+  std::atomic<int64_t> in_flight_sum_{0};
+  std::atomic<int64_t> in_flight_samples_{0};
 };
 
 }  // namespace pcr

@@ -34,8 +34,15 @@ double TrainingPipelineSim::RecordIoSeconds(int record, int scan_group) const {
   const uint64_t bytes = source_->RecordReadBytes(record, scan_group);
   // One seek (records are shuffled, so reads are never sequential with the
   // previous record) + request overhead + sequential transfer.
-  return storage_.seek_latency_sec + storage_.per_op_latency_sec +
-         static_cast<double>(bytes) / storage_.read_bandwidth_bytes_per_sec;
+  const double transfer =
+      static_cast<double>(bytes) / storage_.read_bandwidth_bytes_per_sec;
+  const double blocking =
+      storage_.seek_latency_sec + storage_.per_op_latency_sec + transfer;
+  // With `window` fetches in flight, fixed per-request costs overlap across
+  // the window while transfers serialize on the shared medium: throughput is
+  // bound by the slower of the bandwidth floor and the latency-limited rate.
+  const int window = std::max(1, options_.io_inflight_window);
+  return std::max(transfer, blocking / window);
 }
 
 namespace {

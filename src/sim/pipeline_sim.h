@@ -32,6 +32,15 @@ struct PipelineSimOptions {
   /// Account progressive decode CPU cost (§A.5). When false the loader is
   /// purely I/O.
   bool model_decode_cost = true;
+  /// Async submission window of the loader's I/O workers: how many fetches
+  /// are kept in flight against the storage backend. Fixed per-request costs
+  /// (seek + request setup) overlap across the in-flight reads while the
+  /// transfers share the device bandwidth, so a record's effective I/O time
+  /// is max(transfer, blocking_cost / window) — window 1 reproduces the
+  /// blocking loader exactly, deeper windows converge on the bandwidth
+  /// floor. Mirrors LoaderPipelineOptions::io_inflight and the
+  /// SimEnv/SimDevice overlapped-read model.
+  int io_inflight_window = 1;
   /// Assumed images per record when the source cannot say (safety net).
   int default_images_per_record = 128;
   /// Decoded-record cache model (the analytic twin of loader/decode_cache.h):

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,64 @@ class WritableFile {
   virtual uint64_t BytesWritten() const = 0;
 };
 
+/// One asynchronous read: `length` bytes at `offset` of `path`.
+struct ReadRequest {
+  std::string path;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  /// Opaque cookie echoed back in the completion so callers can match
+  /// out-of-order completions to their submissions.
+  uint64_t user_data = 0;
+};
+
+/// The outcome of one submitted read. A read shorter than the requested
+/// length (EOF, truncated file) completes with an IOError status: callers of
+/// the async path always know the exact byte count they asked for.
+struct ReadCompletion {
+  uint64_t user_data = 0;
+  Status status;      // Non-OK when the read failed (`bytes` is empty).
+  std::string bytes;  // Exactly `request.length` bytes on success.
+};
+
+struct IoSchedulerOptions {
+  /// Reads submitted but not yet returned by Wait/PollCompletion. SubmitRead
+  /// on a full scheduler blocks until a completion is consumed (PosixEnv) or
+  /// fails with ResourceExhausted (schedulers that cannot block, e.g. the
+  /// single-threaded SimEnv model).
+  int queue_depth = 16;
+  /// Internal service threads (PosixEnv; schedulers without real threads
+  /// ignore it). Each blocked pread occupies one, so keeping `queue_depth`
+  /// reads genuinely in flight needs `io_threads >= queue_depth`.
+  int io_threads = 2;
+};
+
+/// io_uring-style submission/completion read interface. One scheduler is
+/// owned by one submitting thread (submission and completion calls are not
+/// synchronized against each other); the I/O behind it may be served by
+/// internal threads (PosixEnv) or by a device model (SimEnv). Destroying a
+/// scheduler with reads still in flight is safe: outstanding work is drained
+/// and discarded.
+class IoScheduler {
+ public:
+  virtual ~IoScheduler() = default;
+
+  /// Queues one read. The request's failure (missing file, short read, I/O
+  /// error) is reported on its completion, not here; SubmitRead itself only
+  /// fails when the scheduler is full or shut down.
+  virtual Status SubmitRead(ReadRequest request) = 0;
+
+  /// Blocks until a completion is available and returns it. Completions may
+  /// arrive in any order; match them via `user_data`. Calling with nothing
+  /// in flight is an error (FailedPrecondition) rather than a deadlock.
+  virtual Result<ReadCompletion> WaitCompletion() = 0;
+
+  /// Non-blocking: a completion if one is already available.
+  virtual std::optional<ReadCompletion> PollCompletion() = 0;
+
+  /// Reads submitted but not yet handed back through Wait/PollCompletion.
+  virtual int in_flight() const = 0;
+};
+
 /// Filesystem + clock environment.
 class Env {
  public:
@@ -61,12 +120,25 @@ class Env {
   /// Lists immediate children (names, not full paths), sorted.
   virtual Result<std::vector<std::string>> ListDir(const std::string& path) = 0;
 
+  /// Creates a submission/completion read scheduler over this Env. The base
+  /// implementation is a synchronous fallback (each SubmitRead performs the
+  /// read inline, so concurrency degenerates to 1); PosixEnv overrides it
+  /// with a threaded cached-fd pread backend and SimEnv with an overlapped
+  /// virtual-device model.
+  virtual std::unique_ptr<IoScheduler> NewIoScheduler(
+      const IoSchedulerOptions& options);
+
   /// The time source all simulated I/O charges against.
   virtual Clock* clock() = 0;
 
   /// Convenience: whole-file read/write.
   Status ReadFileToString(const std::string& path, std::string* out);
   Status WriteStringToFile(const std::string& path, Slice data);
+
+  /// Convenience: exactly `length` bytes at `offset` into *out (a read past
+  /// EOF is an IOError, like the async completions report it).
+  Status ReadRange(const std::string& path, uint64_t offset, uint64_t length,
+                   std::string* out);
 
   /// Process-wide PosixEnv singleton.
   static Env* Default();

@@ -1,0 +1,78 @@
+#include "storage/fd_cache.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace pcr {
+
+SharedFd::~SharedFd() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<SharedFdHandle> FdCache::Open(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(path);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++hits_;
+      return it->second->second;
+    }
+    ++misses_;
+  }
+  // Open outside the lock: a slow open (network filesystem) must not block
+  // unrelated hits. A racing open of the same path wastes one fd briefly;
+  // the loser's handle closes when its last reader drops it.
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("open " + path + ": " + strerror(errno));
+  }
+  auto handle = std::make_shared<const SharedFd>(fd);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(path);
+  if (it != index_.end()) {
+    // Lost the race; serve the cached winner and let ours close via RAII.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+  }
+  lru_.emplace_front(path, handle);
+  index_[path] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  return handle;
+}
+
+void FdCache::Invalidate(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(path);
+  if (it == index_.end()) return;
+  lru_.erase(it->second);
+  index_.erase(it);
+  ++invalidations_;
+}
+
+void FdCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  invalidations_ += static_cast<int64_t>(lru_.size());
+  lru_.clear();
+  index_.clear();
+}
+
+FdCacheStats FdCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  FdCacheStats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.invalidations = invalidations_;
+  stats.open_fds = static_cast<int64_t>(lru_.size());
+  return stats;
+}
+
+}  // namespace pcr

@@ -1,0 +1,81 @@
+// FdCache: an LRU of open read-only file descriptors keyed by path. The
+// loader's access pattern re-reads a small set of record files over and over
+// (every epoch touches every record, partial scan-group reads touch the same
+// prefix), so opening the file anew per fetch pays a path-resolution +
+// open/close syscall pair per read. The cache hands out shared descriptors:
+// repeated reads of the same file reuse one fd, and pread keeps the handle
+// positionless so any number of threads read through it concurrently.
+//
+// Eviction drops the cache's reference only — descriptors stay open while
+// any handed-out handle is alive, so a reader holding an evicted fd is never
+// invalidated mid-read. Writers must call Invalidate(path) when they
+// replace, delete, or rename a file so later opens see the new inode.
+#pragma once
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "util/result.h"
+
+namespace pcr {
+
+/// A shared open descriptor; closes on destruction of the last reference.
+class SharedFd {
+ public:
+  explicit SharedFd(int fd) : fd_(fd) {}
+  ~SharedFd();
+
+  SharedFd(const SharedFd&) = delete;
+  SharedFd& operator=(const SharedFd&) = delete;
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_;
+};
+
+using SharedFdHandle = std::shared_ptr<const SharedFd>;
+
+struct FdCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;       // Opens performed (cache could not serve).
+  int64_t evictions = 0;    // LRU capacity evictions.
+  int64_t invalidations = 0;
+  int64_t open_fds = 0;     // Descriptors the cache currently references.
+};
+
+/// Thread-safe. One instance per PosixEnv.
+class FdCache {
+ public:
+  explicit FdCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns a shared descriptor for `path`, opening and caching it on miss.
+  Result<SharedFdHandle> Open(const std::string& path);
+
+  /// Drops the cached descriptor for `path` (if any). Handles already handed
+  /// out stay valid; the next Open re-opens the path.
+  void Invalidate(const std::string& path);
+
+  /// Drops every cached descriptor.
+  void Clear();
+
+  FdCacheStats stats() const;
+
+ private:
+  using LruList = std::list<std::pair<std::string, SharedFdHandle>>;
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  LruList lru_;  // Front = most recently used.
+  std::unordered_map<std::string, LruList::iterator> index_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+  int64_t invalidations_ = 0;
+};
+
+}  // namespace pcr

@@ -1,0 +1,80 @@
+// Default (synchronous) IoScheduler: the fallback behind
+// Env::NewIoScheduler for Envs without a native async backend. SubmitRead
+// performs the read inline on the submitting thread and queues the
+// completion, so the submission/completion API works against any Env while
+// real overlap remains the PosixEnv / SimEnv overrides' job.
+#include <deque>
+
+#include "storage/env.h"
+
+namespace pcr {
+
+namespace {
+
+class SyncIoScheduler : public IoScheduler {
+ public:
+  SyncIoScheduler(Env* env, IoSchedulerOptions options)
+      : env_(env), options_(options) {}
+
+  Status SubmitRead(ReadRequest request) override {
+    if (static_cast<int>(completions_.size()) >= options_.queue_depth) {
+      return Status::ResourceExhausted("io scheduler full");
+    }
+    ReadCompletion completion;
+    completion.user_data = request.user_data;
+    completion.status = env_->ReadRange(request.path, request.offset,
+                                        request.length, &completion.bytes);
+    if (!completion.status.ok()) completion.bytes.clear();
+    completions_.push_back(std::move(completion));
+    return Status::OK();
+  }
+
+  Result<ReadCompletion> WaitCompletion() override {
+    if (completions_.empty()) {
+      return Status::FailedPrecondition("no reads in flight");
+    }
+    ReadCompletion completion = std::move(completions_.front());
+    completions_.pop_front();
+    return completion;
+  }
+
+  std::optional<ReadCompletion> PollCompletion() override {
+    if (completions_.empty()) return std::nullopt;
+    ReadCompletion completion = std::move(completions_.front());
+    completions_.pop_front();
+    return completion;
+  }
+
+  int in_flight() const override {
+    return static_cast<int>(completions_.size());
+  }
+
+ private:
+  Env* env_;
+  IoSchedulerOptions options_;
+  std::deque<ReadCompletion> completions_;
+};
+
+}  // namespace
+
+Status Env::ReadRange(const std::string& path, uint64_t offset,
+                      uint64_t length, std::string* out) {
+  PCR_ASSIGN_OR_RETURN(auto file, NewRandomAccessFile(path));
+  out->resize(length);
+  Slice result;
+  PCR_RETURN_IF_ERROR(file->Read(offset, length, out->data(), &result));
+  if (result.size() != length) {
+    return Status::IOError("short read of " + path);
+  }
+  if (result.data() != out->data()) {
+    out->assign(result.data(), result.size());
+  }
+  return Status::OK();
+}
+
+std::unique_ptr<IoScheduler> Env::NewIoScheduler(
+    const IoSchedulerOptions& options) {
+  return std::make_unique<SyncIoScheduler>(this, options);
+}
+
+}  // namespace pcr

@@ -1,13 +1,24 @@
-// PosixEnv: Env backed by the host filesystem via stdio.
+// PosixEnv: Env backed by the host filesystem. Reads go through a
+// process-wide LRU fd cache and positionless pread, so repeated fetches of
+// the same record file share one descriptor and any number of threads read
+// concurrently through it; NewIoScheduler layers an io_uring-style
+// submission/completion queue (bounded submissions, internal service
+// threads) on the same cached descriptors.
 #include <sys/stat.h>
 #include <sys/types.h>
+#include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <thread>
 
 #include "storage/env.h"
+#include "storage/fd_cache.h"
+#include "util/bounded_queue.h"
 #include "util/logging.h"
 
 namespace pcr {
@@ -16,41 +27,52 @@ namespace {
 
 namespace fs = std::filesystem;
 
+constexpr size_t kFdCacheCapacity = 128;
+
 Status ErrnoStatus(const std::string& context) {
   return Status::IOError(context + ": " + strerror(errno));
 }
 
+/// Full pread: loops over partial reads, returns the bytes read (fewer than
+/// `n` only at EOF).
+Result<size_t> PreadAll(int fd, const std::string& path, uint64_t offset,
+                        size_t n, char* scratch) {
+  size_t total = 0;
+  while (total < n) {
+    const ssize_t r = ::pread(fd, scratch + total, n - total,
+                              static_cast<off_t>(offset + total));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("read " + path);
+    }
+    if (r == 0) break;  // EOF.
+    total += static_cast<size_t>(r);
+  }
+  return total;
+}
+
 class PosixRandomAccessFile : public RandomAccessFile {
  public:
-  PosixRandomAccessFile(std::string path, FILE* f)
-      : path_(std::move(path)), file_(f) {}
-  ~PosixRandomAccessFile() override {
-    if (file_ != nullptr) fclose(file_);
-  }
+  PosixRandomAccessFile(std::string path, SharedFdHandle fd)
+      : path_(std::move(path)), fd_(std::move(fd)) {}
 
   Status Read(uint64_t offset, size_t n, char* scratch,
               Slice* out) const override {
-    if (fseeko(file_, static_cast<off_t>(offset), SEEK_SET) != 0) {
-      return ErrnoStatus("seek " + path_);
-    }
-    const size_t read = fread(scratch, 1, n, file_);
-    if (read < n && ferror(file_)) {
-      clearerr(file_);
-      return ErrnoStatus("read " + path_);
-    }
+    PCR_ASSIGN_OR_RETURN(const size_t read,
+                         PreadAll(fd_->fd(), path_, offset, n, scratch));
     *out = Slice(scratch, read);
     return Status::OK();
   }
 
   Result<uint64_t> Size() const override {
     struct stat st;
-    if (stat(path_.c_str(), &st) != 0) return ErrnoStatus("stat " + path_);
+    if (fstat(fd_->fd(), &st) != 0) return ErrnoStatus("stat " + path_);
     return static_cast<uint64_t>(st.st_size);
   }
 
  private:
   std::string path_;
-  FILE* file_;
+  SharedFdHandle fd_;
 };
 
 class PosixWritableFile : public WritableFile {
@@ -93,21 +115,150 @@ class PosixWritableFile : public WritableFile {
   uint64_t written_ = 0;
 };
 
+/// Submission/completion reads over the fd cache: SubmitRead enqueues into a
+/// bounded queue served by internal threads (each blocked pread occupies
+/// one), completions drain through a second queue. The submission bound is
+/// the strict in-flight cap: SubmitRead blocks while `queue_depth` reads are
+/// outstanding, matching a fixed-size io_uring SQ.
+class PosixIoScheduler : public IoScheduler {
+ public:
+  PosixIoScheduler(FdCache* fds, IoSchedulerOptions options)
+      : fds_(fds), depth_(std::max(1, options.queue_depth)),
+        max_threads_(std::max(1, options.io_threads)),
+        submissions_(static_cast<size_t>(depth_)),
+        completions_(static_cast<size_t>(depth_)) {
+    workers_.reserve(static_cast<size_t>(max_threads_));
+  }
+
+  ~PosixIoScheduler() override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    submissions_.Close();
+    completions_.Close();
+    submit_cv_.notify_all();
+    for (auto& worker : workers_) worker.join();
+  }
+
+  Status SubmitRead(ReadRequest request) override {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      submit_cv_.wait(lock, [&] { return stopping_ || outstanding_ < depth_; });
+      if (stopping_) return Status::Aborted("io scheduler shut down");
+      ++outstanding_;
+      // Service threads spawn on demand, one per concurrently-outstanding
+      // read up to the cap: a scheduler that never sees deep queues (or any
+      // reads at all — e.g. an idle shard backend) stays thread-free.
+      if (static_cast<int>(workers_.size()) < max_threads_ &&
+          outstanding_ > static_cast<int>(workers_.size())) {
+        workers_.emplace_back([this] { ServeLoop(); });
+      }
+    }
+    if (!submissions_.Push(std::move(request))) {
+      std::lock_guard<std::mutex> lock(mu_);
+      --outstanding_;
+      return Status::Aborted("io scheduler shut down");
+    }
+    return Status::OK();
+  }
+
+  Result<ReadCompletion> WaitCompletion() override {
+    if (in_flight() == 0) {
+      return Status::FailedPrecondition("no reads in flight");
+    }
+    std::optional<ReadCompletion> completion = completions_.Pop();
+    if (!completion.has_value()) {
+      return Status::Aborted("io scheduler shut down");
+    }
+    Release();
+    return std::move(*completion);
+  }
+
+  std::optional<ReadCompletion> PollCompletion() override {
+    std::optional<ReadCompletion> completion = completions_.TryPop();
+    if (completion.has_value()) Release();
+    return completion;
+  }
+
+  int in_flight() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return outstanding_;
+  }
+
+ private:
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --outstanding_;
+    }
+    submit_cv_.notify_one();
+  }
+
+  void ServeLoop() {
+    for (;;) {
+      std::optional<ReadRequest> request = submissions_.Pop();
+      if (!request.has_value()) return;  // Closed and drained.
+      ReadCompletion completion;
+      completion.user_data = request->user_data;
+      completion.status = Serve(*request, &completion.bytes);
+      if (!completion.status.ok()) completion.bytes.clear();
+      // Capacity == depth and outstanding <= depth, so this never blocks;
+      // false only on shutdown, where the completion is discarded anyway.
+      completions_.Push(std::move(completion));
+    }
+  }
+
+  Status Serve(const ReadRequest& request, std::string* out) {
+    PCR_ASSIGN_OR_RETURN(SharedFdHandle fd, fds_->Open(request.path));
+    out->resize(request.length);
+    PCR_ASSIGN_OR_RETURN(
+        const size_t read,
+        PreadAll(fd->fd(), request.path, request.offset,
+                 static_cast<size_t>(request.length), out->data()));
+    if (read != request.length) {
+      return Status::IOError("short read of " + request.path);
+    }
+    return Status::OK();
+  }
+
+  FdCache* fds_;
+  const int depth_;
+  const int max_threads_;
+  BoundedQueue<ReadRequest> submissions_;
+  BoundedQueue<ReadCompletion> completions_;
+
+  mutable std::mutex mu_;
+  std::condition_variable submit_cv_;
+  std::vector<std::thread> workers_;  // Guarded by mu_; joined in the dtor.
+  int outstanding_ = 0;
+  bool stopping_ = false;
+};
+
 class PosixEnv : public Env {
  public:
+  PosixEnv() : fds_(kFdCacheCapacity) {}
+
   Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
       const std::string& path) override {
-    FILE* f = fopen(path.c_str(), "rb");
-    if (f == nullptr) return ErrnoStatus("open " + path);
+    PCR_ASSIGN_OR_RETURN(SharedFdHandle fd, fds_.Open(path));
     return std::unique_ptr<RandomAccessFile>(
-        new PosixRandomAccessFile(path, f));
+        new PosixRandomAccessFile(path, std::move(fd)));
   }
 
   Result<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& path) override {
+    // The path's contents are about to change: a cached descriptor would
+    // keep serving the old inode.
+    fds_.Invalidate(path);
     FILE* f = fopen(path.c_str(), "wb");
     if (f == nullptr) return ErrnoStatus("create " + path);
     return std::unique_ptr<WritableFile>(new PosixWritableFile(path, f));
+  }
+
+  std::unique_ptr<IoScheduler> NewIoScheduler(
+      const IoSchedulerOptions& options) override {
+    return std::make_unique<PosixIoScheduler>(&fds_, options);
   }
 
   bool FileExists(const std::string& path) override {
@@ -122,11 +273,14 @@ class PosixEnv : public Env {
   }
 
   Status DeleteFile(const std::string& path) override {
+    fds_.Invalidate(path);
     if (remove(path.c_str()) != 0) return ErrnoStatus("delete " + path);
     return Status::OK();
   }
 
   Status RenameFile(const std::string& from, const std::string& to) override {
+    fds_.Invalidate(from);
+    fds_.Invalidate(to);
     if (rename(from.c_str(), to.c_str()) != 0) {
       return ErrnoStatus("rename " + from + " -> " + to);
     }
@@ -153,6 +307,9 @@ class PosixEnv : public Env {
   }
 
   Clock* clock() override { return RealClock::Get(); }
+
+ private:
+  FdCache fds_;
 };
 
 }  // namespace

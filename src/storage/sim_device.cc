@@ -44,20 +44,24 @@ DeviceProfile DeviceProfile::Ram() {
 
 double SimDevice::ChargeRead(uint64_t stream_id, uint64_t offset,
                              uint64_t bytes) {
-  double cost = profile_.per_op_latency_sec;
-  const bool sequential =
-      stream_id == last_stream_ && offset == next_sequential_offset_;
-  if (!sequential) {
-    cost += profile_.seek_latency_sec;
-    ++stats_.seeks;
-  }
-  cost += static_cast<double>(bytes) / profile_.read_bandwidth_bytes_per_sec;
-  last_stream_ = stream_id;
-  next_sequential_offset_ = offset + bytes;
+  double cost;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cost = profile_.per_op_latency_sec;
+    const bool sequential =
+        stream_id == last_stream_ && offset == next_sequential_offset_;
+    if (!sequential) {
+      cost += profile_.seek_latency_sec;
+      ++stats_.seeks;
+    }
+    cost += static_cast<double>(bytes) / profile_.read_bandwidth_bytes_per_sec;
+    last_stream_ = stream_id;
+    next_sequential_offset_ = offset + bytes;
 
-  ++stats_.read_ops;
-  stats_.bytes_read += static_cast<int64_t>(bytes);
-  stats_.busy_seconds += cost;
+    ++stats_.read_ops;
+    stats_.bytes_read += static_cast<int64_t>(bytes);
+    stats_.busy_seconds += cost;
+  }
   clock_->SleepNanos(SecondsToNanos(cost));
   return cost;
 }
@@ -66,11 +70,47 @@ double SimDevice::ChargeWrite(uint64_t bytes) {
   const double cost =
       profile_.per_op_latency_sec +
       static_cast<double>(bytes) / profile_.write_bandwidth_bytes_per_sec;
-  ++stats_.write_ops;
-  stats_.bytes_written += static_cast<int64_t>(bytes);
-  stats_.busy_seconds += cost;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.write_ops;
+    stats_.bytes_written += static_cast<int64_t>(bytes);
+    stats_.busy_seconds += cost;
+  }
   clock_->SleepNanos(SecondsToNanos(cost));
   return cost;
+}
+
+int64_t SimDevice::SubmitOverlappedRead(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t now = clock_->NowNanos();
+  const int64_t fixed = SecondsToNanos(profile_.seek_latency_sec +
+                                       profile_.per_op_latency_sec);
+  const int64_t transfer = SecondsToNanos(
+      static_cast<double>(bytes) / profile_.read_bandwidth_bytes_per_sec);
+  // The request's fixed phase runs off-medium; its transfer starts when both
+  // the fixed phase is done and the medium frees.
+  const int64_t start = std::max(now + fixed, transfer_free_nanos_);
+  const int64_t done = start + transfer;
+  transfer_free_nanos_ = done;
+  // Overlapped reads are random access; the next blocking read never
+  // continues them sequentially.
+  last_stream_ = ~0ULL;
+
+  ++stats_.read_ops;
+  ++stats_.seeks;
+  stats_.bytes_read += static_cast<int64_t>(bytes);
+  stats_.busy_seconds += NanosToSeconds(fixed + transfer);
+  return done;
+}
+
+DeviceStats SimDevice::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void SimDevice::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = DeviceStats{};
 }
 
 }  // namespace pcr

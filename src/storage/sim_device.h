@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "util/clock.h"
@@ -46,8 +47,10 @@ struct DeviceStats {
   double busy_seconds = 0.0;
 };
 
-/// Charges I/O time against a clock. Thread-compatible: the simulator drives
-/// it from one thread (or externally synchronized).
+/// Charges I/O time against a clock. Thread-safe: accounting is mutexed so
+/// the wall-clock loader pipeline's I/O workers may share one device (the
+/// clock itself must then be a RealClock — VirtualClock stays
+/// single-threaded by design).
 class SimDevice {
  public:
   SimDevice(DeviceProfile profile, Clock* clock)
@@ -63,17 +66,34 @@ class SimDevice {
   /// Charges an append of `bytes` (always sequential).
   double ChargeWrite(uint64_t bytes);
 
+  /// Admits one overlapped (submission/completion) read of `bytes` and
+  /// returns its absolute completion time in nanos, WITHOUT advancing the
+  /// clock — the waiting scheduler sleeps to the completion it pops.
+  ///
+  /// The queue-depth model: each request pays a fixed phase (seek + per-op
+  /// setup) that overlaps with other in-flight requests' transfers, while
+  /// the transfers themselves serialize on the shared medium at full read
+  /// bandwidth. At depth 1 (submit, wait, submit, ...) this reduces exactly
+  /// to the blocking cost `fixed + bytes/bandwidth`; at depth K the fixed
+  /// phases hide behind transfers and throughput climbs to the bandwidth
+  /// ceiling. Overlapped reads are modeled as random access (the loader
+  /// fetches shuffled records), so the seek is charged on every request.
+  int64_t SubmitOverlappedRead(uint64_t bytes);
+
   const DeviceProfile& profile() const { return profile_; }
-  const DeviceStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = DeviceStats{}; }
+  DeviceStats stats() const;
+  void ResetStats();
   Clock* clock() const { return clock_; }
 
  private:
   DeviceProfile profile_;
   Clock* clock_;
+  mutable std::mutex mu_;
   DeviceStats stats_;
   uint64_t last_stream_ = ~0ULL;
   uint64_t next_sequential_offset_ = 0;
+  /// When the shared transfer medium frees (overlapped-read bookkeeping).
+  int64_t transfer_free_nanos_ = 0;
 };
 
 }  // namespace pcr

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstring>
+#include <queue>
+#include <utility>
+#include <vector>
 
 namespace pcr {
 
@@ -55,9 +58,108 @@ class SimWritableFile : public WritableFile {
   uint64_t written_ = 0;
 };
 
+/// Overlapped reads against the shared SimDevice: every submission is
+/// admitted immediately (SimDevice::SubmitOverlappedRead assigns its
+/// completion time under the queue-depth model) and WaitCompletion advances
+/// the clock to the earliest outstanding completion. One scheduler belongs
+/// to one submitting thread; several schedulers may share the device, whose
+/// transfer-medium bookkeeping interleaves their requests.
+class SimIoScheduler : public IoScheduler {
+ public:
+  SimIoScheduler(SimEnv* env, IoSchedulerOptions options)
+      : env_(env), depth_(std::max(1, options.queue_depth)) {}
+
+  Status SubmitRead(ReadRequest request) override {
+    if (static_cast<int>(pending_.size()) >= depth_) {
+      return Status::ResourceExhausted("io scheduler full");
+    }
+    ReadCompletion completion;
+    completion.user_data = request.user_data;
+    auto data = env_->FileData(request.path);
+    if (!data.ok()) {
+      completion.status = data.status();
+    } else if (request.offset + request.length > (*data)->size()) {
+      completion.status = Status::IOError("short read of " + request.path);
+    } else {
+      completion.bytes.assign(
+          (*data)->data() + request.offset,
+          static_cast<size_t>(request.length));
+    }
+    // Failures complete immediately (no bytes move); successful reads
+    // complete when the modeled device delivers them.
+    const int64_t done =
+        completion.status.ok()
+            ? env_->device()->SubmitOverlappedRead(request.length)
+            : env_->clock()->NowNanos();
+    pending_.emplace(done, order_++, std::move(completion));
+    return Status::OK();
+  }
+
+  Result<ReadCompletion> WaitCompletion() override {
+    if (pending_.empty()) {
+      return Status::FailedPrecondition("no reads in flight");
+    }
+    Pending next = PopPending();
+    const int64_t now = env_->clock()->NowNanos();
+    if (next.done > now) env_->clock()->SleepNanos(next.done - now);
+    return std::move(next.completion);
+  }
+
+  std::optional<ReadCompletion> PollCompletion() override {
+    if (pending_.empty() ||
+        pending_.top().done > env_->clock()->NowNanos()) {
+      return std::nullopt;
+    }
+    return PopPending().completion;
+  }
+
+  int in_flight() const override {
+    return static_cast<int>(pending_.size());
+  }
+
+ private:
+  struct Pending {
+    int64_t done;
+    uint64_t order;  // FIFO tiebreak for identical completion times.
+    ReadCompletion completion;
+    Pending(int64_t d, uint64_t o, ReadCompletion c)
+        : done(d), order(o), completion(std::move(c)) {}
+    bool operator>(const Pending& other) const {
+      return done != other.done ? done > other.done : order > other.order;
+    }
+  };
+
+  /// Moves the earliest completion out of the heap (top() is const-ref
+  /// only; moving is safe because pop() discards the slot immediately).
+  Pending PopPending() {
+    Pending next = std::move(const_cast<Pending&>(pending_.top()));
+    pending_.pop();
+    return next;
+  }
+
+  SimEnv* env_;
+  const int depth_;
+  uint64_t order_ = 0;
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>>
+      pending_;
+};
+
 SimEnv::SimEnv(DeviceProfile profile, Clock* clock)
     : device_(std::move(profile), clock) {
   dirs_[""] = true;
+}
+
+Result<std::shared_ptr<std::string>> SimEnv::FileData(
+    const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  return it->second.data;
+}
+
+std::unique_ptr<IoScheduler> SimEnv::NewIoScheduler(
+    const IoSchedulerOptions& options) {
+  return std::make_unique<SimIoScheduler>(this, options);
 }
 
 Result<std::unique_ptr<RandomAccessFile>> SimEnv::NewRandomAccessFile(

@@ -15,9 +15,9 @@
 namespace pcr {
 
 /// In-memory Env with simulated I/O cost. Single device shared by all files
-/// (like one disk / one storage pool). Thread-safe for metadata; time
-/// accounting assumes externally-ordered access, which holds for the
-/// single-threaded simulation driver.
+/// (like one disk / one storage pool). Thread-safe for metadata and device
+/// accounting; a VirtualClock additionally requires a single-threaded
+/// driver (multi-threaded use needs a RealClock).
 class SimEnv : public Env {
  public:
   /// Does not take ownership of `clock`.
@@ -34,6 +34,13 @@ class SimEnv : public Env {
   Status RenameFile(const std::string& from, const std::string& to) override;
   Status CreateDir(const std::string& path) override;
   Result<std::vector<std::string>> ListDir(const std::string& path) override;
+  /// Overlapped in-flight reads against the virtual device: fixed per-read
+  /// costs (seek + request setup) hide behind other in-flight transfers
+  /// while the transfers share the device bandwidth, so a deeper window
+  /// raises throughput toward the bandwidth ceiling and window 1 reproduces
+  /// the blocking-read cost exactly (SimDevice::SubmitOverlappedRead).
+  std::unique_ptr<IoScheduler> NewIoScheduler(
+      const IoSchedulerOptions& options) override;
   Clock* clock() override { return device_.clock(); }
 
   SimDevice* device() { return &device_; }
@@ -49,11 +56,16 @@ class SimEnv : public Env {
  private:
   friend class SimRandomAccessFile;
   friend class SimWritableFile;
+  friend class SimIoScheduler;
 
   struct FileNode {
     std::shared_ptr<std::string> data;
     uint64_t stream_id;
   };
+
+  /// Snapshot of a file's contents for the async scheduler (no device
+  /// charge; the scheduler charges the overlapped-read model itself).
+  Result<std::shared_ptr<std::string>> FileData(const std::string& path) const;
 
   mutable std::mutex mu_;
   SimDevice device_;

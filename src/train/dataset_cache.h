@@ -30,8 +30,10 @@ struct CachedDatasetOptions {
   std::function<int64_t(int64_t)> label_map;
   /// Thread counts for the staged LoaderPipeline that feeds the build
   /// (storage fetch and JPEG decode run concurrently; feature extraction
-  /// stays on the calling thread for determinism).
+  /// stays on the calling thread for determinism). io_inflight is the
+  /// per-worker async submission window (LoaderPipelineOptions::io_inflight).
   int io_threads = 2;
+  int io_inflight = 4;
   int decode_threads = 4;
   /// Optional decoded-record cache shared with the feeding pipelines. One
   /// Build pass reads each (record, group) once, so hits only appear across

@@ -19,6 +19,33 @@ void InvalidateOutgoingGroup(DecodeCache* cache, uint64_t dataset_id,
   cache->InvalidateScanGroup(dataset_id, outgoing_group);
 }
 
+// Probe traffic is one-shot: every candidate group is read once and, unless
+// adopted, never again at that group. Marking the candidates for the probe
+// cycle makes the cache skip population (admission control) instead of
+// evicting the live working set; unmarking afterwards restores normal
+// admission for whichever group the tuner adopts.
+class ScopedProbeMarks {
+ public:
+  ScopedProbeMarks(DecodeCache* cache, uint64_t dataset_id,
+                   const std::vector<int>& groups)
+      : cache_(cache), dataset_id_(dataset_id), groups_(groups) {
+    if (cache_ == nullptr) return;
+    for (int g : groups_) cache_->MarkProbeScanGroup(dataset_id_, g);
+  }
+  ~ScopedProbeMarks() {
+    if (cache_ == nullptr) return;
+    for (int g : groups_) cache_->UnmarkProbeScanGroup(dataset_id_, g);
+  }
+
+  ScopedProbeMarks(const ScopedProbeMarks&) = delete;
+  ScopedProbeMarks& operator=(const ScopedProbeMarks&) = delete;
+
+ private:
+  DecodeCache* cache_;
+  uint64_t dataset_id_;
+  std::vector<int> groups_;
+};
+
 }  // namespace
 
 std::shared_ptr<ScanGroupPolicy> CosineTuner::Advise(Trainer* trainer) {
@@ -36,13 +63,17 @@ std::shared_ptr<ScanGroupPolicy> CosineTuner::Advise(Trainer* trainer) {
     // Candidates ascending: pick the first (cheapest) clearing the bar.
     std::vector<int> candidates = options_.candidate_groups;
     std::sort(candidates.begin(), candidates.end());
-    for (int g : candidates) {
-      const double cosine =
-          trainer->GradientCosine(g, options_.gradient_examples);
-      event.probes.emplace_back(g, cosine);
-      if (cosine >= options_.cosine_threshold && chosen == max_group &&
-          g < chosen) {
-        chosen = g;
+    {
+      ScopedProbeMarks probe_marks(options_.decode_cache.get(),
+                                   options_.cache_dataset_id, candidates);
+      for (int g : candidates) {
+        const double cosine =
+            trainer->GradientCosine(g, options_.gradient_examples);
+        event.probes.emplace_back(g, cosine);
+        if (cosine >= options_.cosine_threshold && chosen == max_group &&
+            g < chosen) {
+          chosen = g;
+        }
       }
     }
     const int previous = current_group_ == 0 ? max_group : current_group_;
@@ -92,17 +123,21 @@ double LossPlateauTuner::Step(Trainer* trainer) {
     std::sort(candidates.begin(), candidates.end());
     double best_loss = 1e300;
     std::vector<std::pair<int, double>> probe_losses;
-    for (int g : candidates) {
-      trainer->Restore(checkpoint);
-      double loss = 0.0;
-      for (int p = 0; p < options_.probe_epochs; ++p) {
-        loss = trainer->RunEpoch(g);
-        ++event.probe_epochs;
+    {
+      ScopedProbeMarks probe_marks(options_.decode_cache.get(),
+                                   options_.cache_dataset_id, candidates);
+      for (int g : candidates) {
+        trainer->Restore(checkpoint);
+        double loss = 0.0;
+        for (int p = 0; p < options_.probe_epochs; ++p) {
+          loss = trainer->RunEpoch(g);
+          ++event.probe_epochs;
+        }
+        probe_losses.emplace_back(g, loss);
+        best_loss = std::min(best_loss, loss);
       }
-      probe_losses.emplace_back(g, loss);
-      best_loss = std::min(best_loss, loss);
+      trainer->Restore(checkpoint);
     }
-    trainer->Restore(checkpoint);
     event.probes = probe_losses;
 
     int chosen = max_group;

@@ -156,6 +156,45 @@ TEST(DecodeCacheTest, ScanGroupInvalidationIsTargeted) {
   EXPECT_EQ(cache.Lookup({ds2, 0, 1}), nullptr);
 }
 
+TEST(DecodeCacheTest, ProbeMarkedGroupsSkipPopulationButKeepServingHits) {
+  DecodeCacheOptions options;
+  options.capacity_bytes = 8 * OneBatchBytes();
+  options.shards = 1;
+  DecodeCache cache(options);
+  const uint64_t ds = cache.RegisterDataset();
+
+  // A resident working set at group 5, populated before the probe cycle.
+  ASSERT_NE(cache.Insert({ds, 0, 5}, MakeBatch(0, 5)), nullptr);
+  ASSERT_NE(cache.Insert({ds, 1, 5}, MakeBatch(1, 5)), nullptr);
+
+  cache.MarkProbeScanGroup(ds, 5);
+  cache.MarkProbeScanGroup(ds, 2);
+  EXPECT_TRUE(cache.IsProbeScanGroup(ds, 5));
+
+  // Probe traffic: inserts at marked groups are admission rejects — the
+  // batch stays with the caller and nothing resident is evicted.
+  LoadedBatch probe = MakeBatch(7, 2);
+  EXPECT_EQ(cache.Insert({ds, 7, 2}, std::move(probe)), nullptr);
+  EXPECT_EQ(probe.labels[0], 7 * 1000 + 2);  // Still valid (not consumed).
+  EXPECT_EQ(cache.Insert({ds, 2, 5}, MakeBatch(2, 5)), nullptr);
+  EXPECT_EQ(cache.stats().admission_rejects, 2);
+  EXPECT_EQ(cache.stats().entries, 2);
+
+  // Lookups at the marked group still serve the pre-probe entries, and
+  // Admits mirrors the insert decision for the miss path's copy.
+  EXPECT_NE(cache.Lookup({ds, 0, 5}), nullptr);
+  EXPECT_FALSE(cache.Admits(DecodeCacheKey{ds, 9, 5}, OneBatchBytes()));
+  EXPECT_TRUE(cache.Admits(DecodeCacheKey{ds, 9, 1}, OneBatchBytes()));
+
+  // Unmarking (the tuner adopting a group) restores normal admission, and
+  // marks are per (dataset, group): another dataset id is unaffected.
+  cache.UnmarkProbeScanGroup(ds, 5);
+  EXPECT_NE(cache.Insert({ds, 2, 5}, MakeBatch(2, 5)), nullptr);
+  const uint64_t other = cache.RegisterDataset();
+  EXPECT_FALSE(cache.IsProbeScanGroup(other, 2));
+  EXPECT_NE(cache.Insert({other, 0, 2}, MakeBatch(0, 2)), nullptr);
+}
+
 TEST(DecodeCacheTest, ShardedConcurrentHammeringStaysConsistent) {
   DecodeCacheOptions options;
   // Budget for only ~6 of the 64 live keys: constant eviction pressure.

@@ -310,6 +310,45 @@ TEST_F(IntegrationTest, PipelineSimComputeBoundCapsThroughput) {
               0.05 * ComputeProfile::ShuffleNetV2().ClusterRate());
 }
 
+TEST_F(IntegrationTest, PipelineSimAsyncWindowScalesBandwidthBoundThroughput) {
+  auto ds = PcrDataset::Open(env_, built_->pcr_dir).MoveValue();
+  // Latency-heavy storage (network round trips + seeks dominate the small
+  // partial reads): the regime where one-blocking-read-per-thread leaves
+  // device bandwidth idle.
+  DeviceProfile storage = DeviceProfile::CephCluster();
+  storage.read_bandwidth_bytes_per_sec = 64.0 * (1 << 20);
+
+  auto rate_at = [&](int window) {
+    PipelineSimOptions options;
+    options.model_decode_cost = false;
+    options.io_inflight_window = window;
+    TrainingPipelineSim sim(ds.get(), storage, ComputeProfile::ResNet18(),
+                            DecodeCostModel{}, options);
+    FixedScanPolicy full(10);
+    return sim.SimulateEpoch(&full).images_per_sec;
+  };
+
+  // Window 1 is exactly the pre-async blocking loader (default options).
+  PipelineSimOptions blocking_options;
+  blocking_options.model_decode_cost = false;
+  TrainingPipelineSim blocking(ds.get(), storage, ComputeProfile::ResNet18(),
+                               DecodeCostModel{}, blocking_options);
+  FixedScanPolicy full(10);
+  const double blocking_rate = blocking.SimulateEpoch(&full).images_per_sec;
+  EXPECT_DOUBLE_EQ(rate_at(1), blocking_rate);
+
+  // Deeper windows overlap the fixed costs: monotone gains that saturate at
+  // the bandwidth floor instead of growing without bound.
+  const double rate1 = rate_at(1);
+  const double rate2 = rate_at(2);
+  const double rate8 = rate_at(8);
+  const double rate64 = rate_at(64);
+  EXPECT_GT(rate2, rate1);
+  EXPECT_GT(rate8, rate2);
+  EXPECT_GE(rate64, rate8);
+  EXPECT_LT(rate64, rate8 * 2.0);  // Saturation, not runaway scaling.
+}
+
 TEST_F(IntegrationTest, PipelineSimCacheMakesSecondEpochHitServed) {
   auto ds = PcrDataset::Open(env_, built_->pcr_dir).MoveValue();
   PipelineSimOptions options;
@@ -393,6 +432,12 @@ TEST_F(IntegrationTest, CosineTunerInvalidatesOnlyTheOutgoingGroup) {
   EXPECT_EQ(cache->Lookup({dataset_id, 0, 10}), nullptr);
   EXPECT_NE(cache->Lookup({dataset_id, 0, 5}), nullptr);
   EXPECT_EQ(cache->stats().invalidated, 3);
+
+  // Probe marks are scoped to the tune cycle: candidates admit normally
+  // again once the tuner has chosen.
+  for (int g : tuner_options.candidate_groups) {
+    EXPECT_FALSE(cache->IsProbeScanGroup(dataset_id, g)) << "group " << g;
+  }
 }
 
 TEST_F(IntegrationTest, CachedDatasetBuildSharesDecodeCacheAcrossBuilds) {

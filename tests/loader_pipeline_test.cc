@@ -8,14 +8,18 @@
 #include <chrono>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <thread>
 #include <utility>
 
+#include "core/sharded_record_source.h"
 #include "image/image.h"
 #include "jpeg/codec.h"
 #include "loader/decode_cache.h"
 #include "loader/pipeline.h"
 #include "loader/prefetcher.h"
+#include "storage/sim_env.h"
+#include "util/logging.h"
 
 namespace pcr {
 namespace {
@@ -34,13 +38,24 @@ std::string MakeTestJpeg() {
   return jpeg::Encode(img, options).MoveValue();
 }
 
-/// In-memory RecordSource with injectable failures and I/O latency, so the
-/// pipeline's threading can be exercised without a filesystem.
+/// RecordSource over a private in-memory SimEnv, with injectable failures
+/// and I/O latency. Fetches flow through the real plan/submit/complete path
+/// (SimEnv's IoScheduler against a RAM-speed device on the real clock), so
+/// these tests exercise the pipeline's actual async machinery.
 class FakeSource : public RecordSource {
  public:
   FakeSource(int num_records, int images_per_record)
       : num_records_(num_records), images_per_record_(images_per_record),
-        jpeg_(MakeTestJpeg()) {}
+        env_(std::make_unique<SimEnv>(DeviceProfile::Ram(),
+                                      RealClock::Get())),
+        jpeg_(MakeTestJpeg()) {
+    for (int r = 0; r < num_records_; ++r) {
+      const std::string payload(
+          RecordReadBytes(r, num_scan_groups()), 'x');
+      PCR_CHECK(
+          env_->WriteStringToFile(RecordPath(r), Slice(payload)).ok());
+    }
+  }
 
   int num_records() const override { return num_records_; }
   int num_images() const override {
@@ -56,17 +71,18 @@ class FakeSource : public RecordSource {
     return num_records_ * RecordReadBytes(0, 4);
   }
 
-  Result<RawRecord> FetchRecord(int record, int scan_group) override {
+  Result<FetchPlan> PlanFetch(int record, int scan_group) const override {
     if (fetch_delay_.count() > 0) std::this_thread::sleep_for(fetch_delay_);
     if (record == fail_fetch_at_) {
       return fetch_failure_;
     }
-    RawRecord raw;
-    raw.record = record;
-    raw.scan_group = std::clamp(scan_group, 1, num_scan_groups());
-    raw.payload.assign(RecordReadBytes(record, raw.scan_group), 'x');
-    raw.bytes_read = raw.payload.size();
-    return raw;
+    FetchPlan plan;
+    plan.record = record;
+    plan.scan_group = std::clamp(scan_group, 1, num_scan_groups());
+    plan.env = env_.get();
+    plan.segments.push_back(FetchSegment{
+        RecordPath(record), 0, RecordReadBytes(record, plan.scan_group)});
+    return plan;
   }
 
   Result<RecordBatch> AssembleRecord(RawRecord raw) const override {
@@ -95,8 +111,13 @@ class FakeSource : public RecordSource {
   }
 
  private:
+  static std::string RecordPath(int record) {
+    return "fake/record-" + std::to_string(record);
+  }
+
   int num_records_;
   int images_per_record_;
+  std::unique_ptr<SimEnv> env_;
   std::string jpeg_;
   int fail_fetch_at_ = -1;
   Status fetch_failure_ = Status::IOError("injected fetch failure");
@@ -533,6 +554,136 @@ TEST(LoaderPipelineTest, SynchronousDataLoaderUsesTheCache) {
   auto other = loader.LoadRecord(5, 1);
   ASSERT_TRUE(other.ok()) << other.status();
   EXPECT_EQ(loader.stats().cache_hits, 1);
+}
+
+TEST(LoaderPipelineTest, AsyncWindowDeliversExactlyOncePerEpoch) {
+  // Deep submission windows on many workers must not duplicate or drop
+  // tickets: 8 workers x 8 in flight against 64 records over 2 epochs.
+  FakeSource source(64, 1);
+  LoaderPipelineOptions options;
+  options.io_threads = 8;
+  options.io_inflight = 8;
+  options.decode_threads = 4;
+  options.fetch_queue_depth = 4;
+  options.output_queue_depth = 4;
+  options.shuffle = true;
+  options.max_epochs = 2;
+  LoaderPipeline pipeline(&source, options);
+
+  std::map<int, int> deliveries;
+  for (;;) {
+    auto batch = pipeline.Next();
+    if (!batch.ok()) {
+      EXPECT_EQ(batch.status().code(), StatusCode::kOutOfRange)
+          << batch.status();
+      break;
+    }
+    ++deliveries[batch->record_index];
+  }
+  ASSERT_EQ(deliveries.size(), 64u);
+  for (const auto& [record, count] : deliveries) {
+    EXPECT_EQ(count, 2) << "record " << record;
+  }
+  EXPECT_EQ(pipeline.batches_delivered(), 128);
+  EXPECT_TRUE(pipeline.status().ok());
+  EXPECT_EQ(pipeline.io_stats().items, 128);
+}
+
+TEST(LoaderPipelineTest, SubmissionWindowGaugesAreReported) {
+  FakeSource source(32, 1);
+  LoaderPipelineOptions options;
+  options.io_threads = 1;
+  options.io_inflight = 4;
+  options.max_epochs = 1;
+  LoaderPipeline pipeline(&source, options);
+  for (;;) {
+    auto batch = pipeline.Next();
+    if (!batch.ok()) break;
+  }
+  const StageStatsSnapshot io = pipeline.io_stats();
+  EXPECT_EQ(io.submission_window, 4);
+  EXPECT_GT(io.mean_in_flight, 0.0);
+  EXPECT_LE(io.mean_in_flight, 4.0);
+  EXPECT_GT(io.submission_occupancy(), 0.0);
+  EXPECT_LE(io.submission_occupancy(), 1.0);
+  // The decode stage has no submission window.
+  EXPECT_EQ(pipeline.decode_stats().submission_window, 0);
+}
+
+TEST(LoaderPipelineTest, WindowOfOneKeepsTheBlockingShape) {
+  FakeSource source(24, 2);
+  LoaderPipelineOptions options;
+  options.io_threads = 2;
+  options.io_inflight = 1;
+  options.max_epochs = 1;
+  LoaderPipeline pipeline(&source, options);
+  int batches = 0;
+  for (;;) {
+    auto batch = pipeline.Next();
+    if (!batch.ok()) break;
+    ++batches;
+  }
+  EXPECT_EQ(batches, 24);
+  const StageStatsSnapshot io = pipeline.io_stats();
+  EXPECT_EQ(io.submission_window, 1);
+  EXPECT_LE(io.mean_in_flight, 1.0);  // Never more than one read open.
+}
+
+TEST(LoaderPipelineTest, ShardedSourceStreamsThroughAsyncPipeline) {
+  // Two shards (each with its own backend SimEnv inside FakeSource) behind
+  // one pipeline: global numbering survives concurrency, and labels (the
+  // shard-local record index) prove per-shard routing.
+  std::vector<std::unique_ptr<RecordSource>> shards;
+  shards.push_back(std::make_unique<FakeSource>(8, 1));
+  shards.push_back(std::make_unique<FakeSource>(8, 1));
+  auto sharded = ShardedRecordSource::Create(std::move(shards)).MoveValue();
+
+  LoaderPipelineOptions options;
+  options.io_threads = 4;
+  options.io_inflight = 4;
+  options.max_epochs = 2;
+  LoaderPipeline pipeline(sharded.get(), options);
+
+  std::map<int, int> deliveries;
+  for (;;) {
+    auto batch = pipeline.Next();
+    if (!batch.ok()) {
+      EXPECT_EQ(batch.status().code(), StatusCode::kOutOfRange)
+          << batch.status();
+      break;
+    }
+    ASSERT_EQ(batch->size(), 1);
+    const int global = batch->record_index;
+    const int local = global < 8 ? global : global - 8;
+    EXPECT_EQ(batch->labels[0], local) << "record " << global;
+    ++deliveries[global];
+  }
+  ASSERT_EQ(deliveries.size(), 16u);
+  for (const auto& [record, count] : deliveries) {
+    EXPECT_EQ(count, 2) << "record " << record;
+  }
+}
+
+TEST(LoaderPipelineTest, ShardFailureSurfacesWithShardContext) {
+  std::vector<std::unique_ptr<RecordSource>> shards;
+  shards.push_back(std::make_unique<FakeSource>(4, 1));
+  auto failing = std::make_unique<FakeSource>(4, 1);
+  failing->set_fail_fetch_at(1);
+  shards.push_back(std::move(failing));
+  auto sharded = ShardedRecordSource::Create(std::move(shards)).MoveValue();
+
+  LoaderPipelineOptions options;
+  options.shuffle = false;
+  options.io_inflight = 2;
+  LoaderPipeline pipeline(sharded.get(), options);
+  auto batch = pipeline.Next();
+  while (batch.ok()) batch = pipeline.Next();
+  EXPECT_TRUE(batch.status().IsIOError()) << batch.status();
+  EXPECT_NE(batch.status().message().find("shard 1"), std::string::npos)
+      << batch.status();
+  EXPECT_NE(batch.status().message().find("injected fetch failure"),
+            std::string::npos)
+      << batch.status();
 }
 
 TEST(LoaderPipelineTest, PrefetchErrorReplacesGenericAbort) {

@@ -1,0 +1,401 @@
+// Tests for the async storage layer: the fd cache behind PosixEnv, the
+// PosixIoScheduler submission/completion path, the synchronous fallback
+// scheduler every Env inherits, and the SimEnv overlapped-read model's
+// bandwidth-sharing invariants.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "storage/env.h"
+#include "storage/fd_cache.h"
+#include "storage/sim_env.h"
+#include "test_util.h"
+#include "util/string_util.h"
+
+namespace pcr {
+namespace {
+
+class StorageAsyncTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = PerProcessTempDir("pcr_storage_async_test");
+    ASSERT_TRUE(Env::Default()->CreateDir(dir_).ok());
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return dir_ + "/" + name;
+  }
+  std::string WriteFile(const std::string& name, const std::string& data) {
+    const std::string path = Path(name);
+    EXPECT_TRUE(Env::Default()->WriteStringToFile(path, Slice(data)).ok());
+    return path;
+  }
+
+  std::string dir_;
+};
+
+// ------------------------------------------------------------------ FdCache
+
+TEST_F(StorageAsyncTest, FdCacheReusesDescriptors) {
+  WriteFile("a", "aaaa");
+  FdCache cache(4);
+  auto first = cache.Open(Path("a")).MoveValue();
+  auto second = cache.Open(Path("a")).MoveValue();
+  EXPECT_EQ(first.get(), second.get());  // Same shared descriptor.
+  const FdCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.open_fds, 1);
+}
+
+TEST_F(StorageAsyncTest, FdCacheEvictsLruButKeepsHandedOutFdsAlive) {
+  WriteFile("a", "aaaa");
+  WriteFile("b", "bbbb");
+  WriteFile("c", "cccc");
+  FdCache cache(2);
+  auto a = cache.Open(Path("a")).MoveValue();
+  ASSERT_TRUE(cache.Open(Path("b")).ok());
+  ASSERT_TRUE(cache.Open(Path("c")).ok());  // Evicts "a" (LRU).
+  const FdCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.open_fds, 2);
+  // The evicted descriptor stays open for its holder.
+  char buf[4];
+  EXPECT_EQ(pread(a->fd(), buf, 4, 0), 4);
+  EXPECT_EQ(std::string(buf, 4), "aaaa");
+  // Re-opening "a" is a miss (new descriptor).
+  auto a2 = cache.Open(Path("a")).MoveValue();
+  EXPECT_NE(a.get(), a2.get());
+}
+
+TEST_F(StorageAsyncTest, FdCacheInvalidateDropsTheCachedDescriptor) {
+  WriteFile("a", "old!");
+  FdCache cache(4);
+  auto first = cache.Open(Path("a")).MoveValue();
+  cache.Invalidate(Path("a"));
+  auto second = cache.Open(Path("a")).MoveValue();
+  EXPECT_NE(first.get(), second.get());
+  EXPECT_EQ(cache.stats().invalidations, 1);
+}
+
+TEST_F(StorageAsyncTest, FdCacheOpenFailsForMissingFile) {
+  FdCache cache(4);
+  EXPECT_TRUE(cache.Open(Path("missing")).status().IsIOError());
+}
+
+// The stale-fd regression the invalidation hooks exist for: rewriting a file
+// through the Env must not serve the old inode's bytes from the cache.
+TEST_F(StorageAsyncTest, PosixEnvServesRewrittenFileContents) {
+  Env* env = Env::Default();
+  const std::string path = WriteFile("rewrite", "version-one");
+  std::string data;
+  ASSERT_TRUE(env->ReadFileToString(path, &data).ok());
+  EXPECT_EQ(data, "version-one");
+  ASSERT_TRUE(env->WriteStringToFile(path, Slice("v2")).ok());
+  ASSERT_TRUE(env->ReadFileToString(path, &data).ok());
+  EXPECT_EQ(data, "v2");
+  // Same through delete + recreate.
+  ASSERT_TRUE(env->DeleteFile(path).ok());
+  ASSERT_TRUE(env->WriteStringToFile(path, Slice("third")).ok());
+  ASSERT_TRUE(env->ReadFileToString(path, &data).ok());
+  EXPECT_EQ(data, "third");
+}
+
+TEST_F(StorageAsyncTest, PosixEnvServesRenamedFileContents) {
+  Env* env = Env::Default();
+  const std::string from = WriteFile("from", "payload-a");
+  const std::string to = WriteFile("to", "payload-b");
+  std::string data;
+  ASSERT_TRUE(env->ReadFileToString(to, &data).ok());  // Caches "to".
+  ASSERT_TRUE(env->RenameFile(from, to).ok());
+  ASSERT_TRUE(env->ReadFileToString(to, &data).ok());
+  EXPECT_EQ(data, "payload-a");
+}
+
+// --------------------------------------------------------- PosixIoScheduler
+
+TEST_F(StorageAsyncTest, PosixSchedulerCompletesSubmittedReads) {
+  const std::string content = "0123456789abcdef";
+  std::vector<std::string> paths;
+  for (int f = 0; f < 4; ++f) {
+    paths.push_back(WriteFile("file" + std::to_string(f), content));
+  }
+  IoSchedulerOptions options;
+  options.queue_depth = 8;
+  options.io_threads = 4;
+  auto scheduler = Env::Default()->NewIoScheduler(options);
+
+  std::map<uint64_t, std::pair<uint64_t, uint64_t>> expected;  // (off, len).
+  for (uint64_t i = 0; i < 8; ++i) {
+    ReadRequest request;
+    request.path = paths[i % paths.size()];
+    request.offset = i;
+    request.length = 16 - i;
+    request.user_data = i;
+    expected[i] = {request.offset, request.length};
+    ASSERT_TRUE(scheduler->SubmitRead(std::move(request)).ok());
+  }
+  EXPECT_EQ(scheduler->in_flight(), 8);
+  for (int i = 0; i < 8; ++i) {
+    auto completion = scheduler->WaitCompletion();
+    ASSERT_TRUE(completion.ok()) << completion.status();
+    ASSERT_TRUE(completion->status.ok()) << completion->status;
+    const auto [offset, length] = expected.at(completion->user_data);
+    EXPECT_EQ(completion->bytes,
+              content.substr(static_cast<size_t>(offset),
+                             static_cast<size_t>(length)));
+    expected.erase(completion->user_data);
+  }
+  EXPECT_TRUE(expected.empty());
+  EXPECT_EQ(scheduler->in_flight(), 0);
+}
+
+TEST_F(StorageAsyncTest, PosixSchedulerReportsFailuresOnTheCompletion) {
+  auto scheduler = Env::Default()->NewIoScheduler(IoSchedulerOptions{});
+  ReadRequest missing;
+  missing.path = Path("no-such-file");
+  missing.length = 4;
+  missing.user_data = 7;
+  ASSERT_TRUE(scheduler->SubmitRead(std::move(missing)).ok());
+  auto completion = scheduler->WaitCompletion();
+  ASSERT_TRUE(completion.ok()) << completion.status();
+  EXPECT_EQ(completion->user_data, 7u);
+  EXPECT_TRUE(completion->status.IsIOError()) << completion->status;
+}
+
+TEST_F(StorageAsyncTest, PosixSchedulerFlagsShortReads) {
+  const std::string path = WriteFile("short", "tiny");
+  auto scheduler = Env::Default()->NewIoScheduler(IoSchedulerOptions{});
+  ReadRequest request;
+  request.path = path;
+  request.length = 64;  // File holds 4 bytes.
+  ASSERT_TRUE(scheduler->SubmitRead(std::move(request)).ok());
+  auto completion = scheduler->WaitCompletion();
+  ASSERT_TRUE(completion.ok()) << completion.status();
+  EXPECT_TRUE(completion->status.IsIOError()) << completion->status;
+  EXPECT_NE(completion->status.message().find("short read"),
+            std::string::npos);
+}
+
+TEST_F(StorageAsyncTest, WaitWithNothingInFlightIsAnError) {
+  auto scheduler = Env::Default()->NewIoScheduler(IoSchedulerOptions{});
+  EXPECT_EQ(scheduler->WaitCompletion().status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(scheduler->PollCompletion().has_value());
+}
+
+// ----------------------------------------------------- Sync fallback (base)
+
+/// Env subclass that forwards to the posix Env but inherits the base
+/// class's synchronous scheduler fallback.
+class ForwardingEnv : public Env {
+ public:
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override {
+    return Env::Default()->NewRandomAccessFile(path);
+  }
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    return Env::Default()->NewWritableFile(path);
+  }
+  bool FileExists(const std::string& path) override {
+    return Env::Default()->FileExists(path);
+  }
+  Result<uint64_t> GetFileSize(const std::string& path) override {
+    return Env::Default()->GetFileSize(path);
+  }
+  Status DeleteFile(const std::string& path) override {
+    return Env::Default()->DeleteFile(path);
+  }
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    return Env::Default()->RenameFile(from, to);
+  }
+  Status CreateDir(const std::string& path) override {
+    return Env::Default()->CreateDir(path);
+  }
+  Result<std::vector<std::string>> ListDir(const std::string& path) override {
+    return Env::Default()->ListDir(path);
+  }
+  Clock* clock() override { return Env::Default()->clock(); }
+};
+
+TEST_F(StorageAsyncTest, BaseEnvFallsBackToSynchronousScheduler) {
+  const std::string path = WriteFile("sync", "synchronous-bytes");
+  ForwardingEnv env;
+  auto scheduler = env.NewIoScheduler(IoSchedulerOptions{});
+  for (uint64_t i = 0; i < 3; ++i) {
+    ReadRequest request;
+    request.path = path;
+    request.offset = i;
+    request.length = 5;
+    request.user_data = i;
+    ASSERT_TRUE(scheduler->SubmitRead(std::move(request)).ok());
+  }
+  EXPECT_EQ(scheduler->in_flight(), 3);
+  for (uint64_t i = 0; i < 3; ++i) {
+    auto completion = scheduler->WaitCompletion();
+    ASSERT_TRUE(completion.ok()) << completion.status();
+    ASSERT_TRUE(completion->status.ok()) << completion->status;
+    EXPECT_EQ(completion->user_data, i);  // FIFO.
+    EXPECT_EQ(completion->bytes,
+              std::string("synchronous-bytes").substr(i, 5));
+  }
+}
+
+// -------------------------------------------------- SimEnv overlapped model
+
+DeviceProfile TestProfile() {
+  DeviceProfile profile;
+  profile.name = "test";
+  profile.read_bandwidth_bytes_per_sec = 1e6;   // 1 ms per KB.
+  profile.write_bandwidth_bytes_per_sec = 1e9;  // Staging is ~free.
+  profile.seek_latency_sec = 1e-3;
+  profile.per_op_latency_sec = 1e-3;  // Fixed phase: 2 ms per request.
+  return profile;
+}
+
+constexpr int64_t kFixedNanos = 2'000'000;     // seek + per-op.
+constexpr int64_t kTransferNanos = 1'000'000;  // 1000 bytes at 1 MB/s.
+
+/// Runs `n` 1000-byte reads at the given submission window and returns the
+/// elapsed virtual nanos.
+int64_t RunWindow(int n, int window) {
+  VirtualClock clock;
+  SimEnv env(TestProfile(), &clock);
+  PCR_CHECK(env.WriteStringToFile("data", Slice(std::string(8192, 'x'))).ok());
+  IoSchedulerOptions options;
+  options.queue_depth = window;
+  auto scheduler = env.NewIoScheduler(options);
+  const int64_t start = clock.NowNanos();
+  int submitted = 0;
+  int completed = 0;
+  while (completed < n) {
+    while (submitted < n && scheduler->in_flight() < window) {
+      ReadRequest request;
+      request.path = "data";
+      request.offset = static_cast<uint64_t>(submitted) * 8;
+      request.length = 1000;
+      request.user_data = static_cast<uint64_t>(submitted);
+      PCR_CHECK(scheduler->SubmitRead(std::move(request)).ok());
+      ++submitted;
+    }
+    auto completion = scheduler->WaitCompletion();
+    PCR_CHECK(completion.ok()) << completion.status();
+    PCR_CHECK(completion->status.ok()) << completion->status;
+    PCR_CHECK_EQ(completion->bytes.size(), 1000u);
+    ++completed;
+  }
+  return clock.NowNanos() - start;
+}
+
+TEST(SimIoScheduler, WindowOneMatchesBlockingReadCost) {
+  // Depth 1 must reproduce the synchronous shape exactly: every request pays
+  // its full fixed phase plus its transfer, back to back.
+  EXPECT_EQ(RunWindow(8, 1), 8 * (kFixedNanos + kTransferNanos));
+}
+
+TEST(SimIoScheduler, DeepWindowHidesFixedCostsBehindTransfers) {
+  // With the whole batch in flight, only the first request's fixed phase is
+  // exposed; every other fixed phase overlaps earlier transfers, leaving the
+  // bandwidth floor.
+  EXPECT_EQ(RunWindow(8, 8), kFixedNanos + 8 * kTransferNanos);
+}
+
+TEST(SimIoScheduler, ElapsedIsMonotoneInWindowAndBandwidthBounded) {
+  const int64_t w1 = RunWindow(12, 1);
+  const int64_t w2 = RunWindow(12, 2);
+  const int64_t w4 = RunWindow(12, 4);
+  const int64_t w8 = RunWindow(12, 8);
+  EXPECT_GE(w1, w2);
+  EXPECT_GE(w2, w4);
+  EXPECT_GE(w4, w8);
+  EXPECT_LT(w8, w1);  // Strictly faster on this latency-heavy profile.
+  // No window beats the shared medium: transfers serialize at full
+  // bandwidth.
+  EXPECT_GE(w8, 12 * kTransferNanos);
+}
+
+TEST(SimIoScheduler, DeviceStatsAccountEveryOverlappedRead) {
+  VirtualClock clock;
+  SimEnv env(TestProfile(), &clock);
+  ASSERT_TRUE(
+      env.WriteStringToFile("data", Slice(std::string(4096, 'x'))).ok());
+  env.device()->ResetStats();
+  IoSchedulerOptions options;
+  options.queue_depth = 4;
+  auto scheduler = env.NewIoScheduler(options);
+  for (uint64_t i = 0; i < 4; ++i) {
+    ReadRequest request;
+    request.path = "data";
+    request.offset = i * 1000;
+    request.length = 1000;
+    request.user_data = i;
+    ASSERT_TRUE(scheduler->SubmitRead(std::move(request)).ok());
+  }
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(scheduler->WaitCompletion().ok());
+  }
+  const DeviceStats stats = env.device()->stats();
+  EXPECT_EQ(stats.read_ops, 4);
+  EXPECT_EQ(stats.bytes_read, 4000);
+}
+
+TEST(SimIoScheduler, FailuresCompleteImmediatelyWithoutDeviceCharge) {
+  VirtualClock clock;
+  SimEnv env(TestProfile(), &clock);
+  auto scheduler = env.NewIoScheduler(IoSchedulerOptions{});
+  ReadRequest missing;
+  missing.path = "absent";
+  missing.length = 100;
+  missing.user_data = 3;
+  ASSERT_TRUE(scheduler->SubmitRead(std::move(missing)).ok());
+  // Already due: Poll sees it without advancing the clock.
+  auto polled = scheduler->PollCompletion();
+  ASSERT_TRUE(polled.has_value());
+  EXPECT_EQ(polled->user_data, 3u);
+  EXPECT_TRUE(polled->status.IsNotFound()) << polled->status;
+  EXPECT_EQ(clock.NowNanos(), 0);
+  EXPECT_EQ(env.device()->stats().read_ops, 0);
+}
+
+TEST(SimIoScheduler, ShortReadsFailTheCompletion) {
+  VirtualClock clock;
+  SimEnv env(TestProfile(), &clock);
+  ASSERT_TRUE(env.WriteStringToFile("data", Slice("1234")).ok());
+  auto scheduler = env.NewIoScheduler(IoSchedulerOptions{});
+  ReadRequest request;
+  request.path = "data";
+  request.offset = 2;
+  request.length = 100;
+  ASSERT_TRUE(scheduler->SubmitRead(std::move(request)).ok());
+  auto completion = scheduler->WaitCompletion();
+  ASSERT_TRUE(completion.ok());
+  EXPECT_TRUE(completion->status.IsIOError()) << completion->status;
+}
+
+TEST(SimIoScheduler, RejectsSubmissionsBeyondQueueDepth) {
+  VirtualClock clock;
+  SimEnv env(TestProfile(), &clock);
+  ASSERT_TRUE(env.WriteStringToFile("data", Slice(std::string(64, 'x'))).ok());
+  IoSchedulerOptions options;
+  options.queue_depth = 2;
+  auto scheduler = env.NewIoScheduler(options);
+  for (int i = 0; i < 2; ++i) {
+    ReadRequest request;
+    request.path = "data";
+    request.length = 8;
+    ASSERT_TRUE(scheduler->SubmitRead(std::move(request)).ok());
+  }
+  ReadRequest overflow;
+  overflow.path = "data";
+  overflow.length = 8;
+  EXPECT_EQ(scheduler->SubmitRead(std::move(overflow)).code(),
+            StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace pcr

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "arch/arch.h"
 #include "loader/scan_policy.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -103,17 +104,29 @@ void FlushJsonReport() {
             g_json_path.c_str());
     return;
   }
-  fprintf(f, "{\n  \"bench\": \"%s\",\n  \"smoke\": %s,\n  \"metrics\": [\n",
-          JsonEscape(g_bench_name).c_str(), g_smoke ? "true" : "false");
+  // Resolved once at flush: which kernel tier produced these numbers and
+  // what the CPU offered. Per record (not just the header) so that rows
+  // concatenated across artifacts stay self-describing.
+  const std::string kernel_path = arch::Active().name;
+  const std::string cpu_features = arch::CpuFeatureString();
+  fprintf(f,
+          "{\n  \"bench\": \"%s\",\n  \"smoke\": %s,\n"
+          "  \"kernel_path\": \"%s\",\n  \"cpu_features\": \"%s\",\n"
+          "  \"metrics\": [\n",
+          JsonEscape(g_bench_name).c_str(), g_smoke ? "true" : "false",
+          JsonEscape(kernel_path).c_str(), JsonEscape(cpu_features).c_str());
   const auto& metrics = JsonMetrics();
   for (size_t i = 0; i < metrics.size(); ++i) {
     const JsonMetric& m = metrics[i];
     fprintf(f,
             "    {\"name\": \"%s\", \"iterations\": %.0f, "
             "\"wall_seconds\": %.9g, \"bytes\": %.0f, "
-            "\"items_per_sec\": %.9g}%s\n",
+            "\"items_per_sec\": %.9g, "
+            "\"kernel_path\": \"%s\", \"cpu_features\": \"%s\"}%s\n",
             JsonEscape(m.name).c_str(), m.iterations, m.wall_seconds, m.bytes,
-            m.items_per_sec, i + 1 < metrics.size() ? "," : "");
+            m.items_per_sec, JsonEscape(kernel_path).c_str(),
+            JsonEscape(cpu_features).c_str(),
+            i + 1 < metrics.size() ? "," : "");
   }
   fprintf(f, "  ]\n}\n");
   fclose(f);

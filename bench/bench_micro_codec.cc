@@ -9,12 +9,16 @@
 #include <string>
 #include <vector>
 
+#include "arch/arch.h"
+#include "arch/kernels.h"
 #include "core/pcr_format.h"
 #include "data/dataset_spec.h"
 #include "image/metrics.h"
 #include "jpeg/codec.h"
+#include "jpeg/dct.h"
 #include "jpeg/reference_codec.h"
 #include "jpeg/scan_parser.h"
+#include "util/random.h"
 
 namespace pcr {
 namespace {
@@ -138,6 +142,84 @@ void BM_IndexScans(benchmark::State& state) {
 }
 BENCHMARK(BM_IndexScans);
 
+// --- Per-arch kernel micros --------------------------------------------------
+// One benchmark per compiled kernel tier so a single run carries its own
+// scalar-vs-SIMD ratios; CI's regression gate checks those ratios (they are
+// machine-independent) on top of the median-normalized absolute rates.
+// Unsupported tiers skip with an error so the JSON row carries no rate.
+
+bool TierRunnable(arch::Isa isa, benchmark::State& state) {
+  if (!arch::IsaSupported(isa) || arch::KernelsFor(isa).isa != isa) {
+    state.SkipWithError("kernel tier not supported on this CPU/build");
+    return false;
+  }
+  return true;
+}
+
+// The 8x8 IDCT alone on a dense block (no short-circuit path).
+void BM_IdctBlock(benchmark::State& state, arch::Isa isa) {
+  if (!TierRunnable(isa, state)) return;
+  Rng rng(0x1dc7);
+  alignas(32) int32_t block[64];
+  for (int i = 0; i < 64; ++i) {
+    block[i] = static_cast<int32_t>(rng.UniformInt(-4095, 4095));
+  }
+  alignas(32) uint8_t out[64];
+  const auto idct = arch::KernelsFor(isa).idct8x8;
+  for (auto _ : state) {
+    idct(block, out, 8);
+    benchmark::DoNotOptimize(out);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_IdctBlock, scalar, arch::Isa::kScalar);
+BENCHMARK_CAPTURE(BM_IdctBlock, sse2, arch::Isa::kSse2);
+BENCHMARK_CAPTURE(BM_IdctBlock, avx2, arch::Isa::kAvx2);
+
+// One 1024-pixel YCbCr->RGB row conversion.
+void BM_YcbcrRow(benchmark::State& state, arch::Isa isa) {
+  if (!TierRunnable(isa, state)) return;
+  constexpr int kW = 1024;
+  Rng rng(0xc01e);
+  std::vector<uint8_t> y(kW), cb(kW), cr(kW), rgb(3 * kW);
+  for (int i = 0; i < kW; ++i) {
+    y[i] = static_cast<uint8_t>(rng.Uniform(256));
+    cb[i] = static_cast<uint8_t>(rng.Uniform(256));
+    cr[i] = static_cast<uint8_t>(rng.Uniform(256));
+  }
+  const auto row = arch::KernelsFor(isa).ycbcr_row;
+  for (auto _ : state) {
+    row(y.data(), cb.data(), cr.data(), rgb.data(), kW);
+    benchmark::DoNotOptimize(rgb.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * int64_t{3 * kW});
+}
+BENCHMARK_CAPTURE(BM_YcbcrRow, scalar, arch::Isa::kScalar);
+BENCHMARK_CAPTURE(BM_YcbcrRow, sse2, arch::Isa::kSse2);
+BENCHMARK_CAPTURE(BM_YcbcrRow, avx2, arch::Isa::kAvx2);
+
+// Full-image baseline decode with the kernel path pinned (the number the
+// AVX2-vs-scalar CI ratio gate reads). Restores env-resolved dispatch after.
+void BM_DecodeArch(benchmark::State& state, arch::Isa isa) {
+  if (!TierRunnable(isa, state)) return;
+  const std::string baseline = SharedBaseline();
+  jpeg::DecodeScratch scratch;
+  arch::ForceIsa(isa);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(jpeg::Decode(baseline, &scratch).MoveValue());
+  }
+  arch::ResetDispatchForTest();
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(baseline.size()));
+}
+BENCHMARK_CAPTURE(BM_DecodeArch, scalar, arch::Isa::kScalar);
+BENCHMARK_CAPTURE(BM_DecodeArch, sse2, arch::Isa::kSse2);
+BENCHMARK_CAPTURE(BM_DecodeArch, avx2, arch::Isa::kAvx2);
+
 void BM_Msssim(benchmark::State& state) {
   const Image a = SharedImage();
   const Image b = jpeg::Decode(SharedBaseline()).MoveValue();
@@ -189,6 +271,10 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
     return 1;
   }
+  // Which kernel tier the non-pinned benchmarks ran on, and what the CPU
+  // offers — lands in the JSON context block next to the run metadata.
+  benchmark::AddCustomContext("kernel_path", pcr::arch::Active().name);
+  benchmark::AddCustomContext("cpu_features", pcr::arch::CpuFeatureString());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

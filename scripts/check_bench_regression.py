@@ -30,6 +30,21 @@ names each gated bench with its own baseline sub-table, current JSON file
      "threshold": 0.15, "absolute": true}
   ]
 
+A suite may also carry "ratio_checks": floors on the ratio of two
+benchmarks *within one current run* — machine-independent by construction,
+so they gate speedup properties (e.g. the AVX2 IDCT must beat scalar)
+rather than absolute rates:
+
+  "ratio_checks": [
+    {"name": "idct-avx2-speedup", "current": "bench_micro_codec.json",
+     "numerator": "BM_IdctBlock/avx2", "denominator": "BM_IdctBlock/scalar",
+     "min_ratio": 1.1}
+  ]
+
+A ratio check whose numerator or denominator is absent from the current
+run (e.g. a SIMD tier the runner's CPU cannot execute, reported as a
+skipped benchmark with no rate) is skipped with a note, not failed.
+
 Supported input shapes (auto-detected):
   * google-benchmark JSON:   {"benchmarks": [{"name", "items_per_second"}]}
   * bench_common --json:     {"metrics": [{"name", "items_per_sec"}]}
@@ -49,14 +64,18 @@ import sys
 def extract_items_per_sec(data, baseline_key=None):
     """Returns {benchmark name: items per second} from any supported shape."""
     if "benchmarks" in data:  # google-benchmark --benchmark_out format.
-        out = {}
+        # With --benchmark_repetitions=N the file has N iteration rows per
+        # name (plus aggregate rows, skipped here); the per-name median
+        # keeps one noisy repetition from tripping a gate.
+        runs = {}
         for bench in data["benchmarks"]:
-            # Skip aggregate rows (mean/median/stddev) when repetitions ran.
             if bench.get("run_type") == "aggregate":
                 continue
             if "items_per_second" in bench:
-                out[bench["name"]] = float(bench["items_per_second"])
-        return out
+                runs.setdefault(bench["name"], []).append(
+                    float(bench["items_per_second"]))
+        return {name: statistics.median(values)
+                for name, values in runs.items()}
     if "metrics" in data:  # bench_common --json format.
         return {
             m["name"]: float(m["items_per_sec"])
@@ -125,6 +144,43 @@ def run_gate(baseline, current, threshold, absolute, min_common, label=""):
     return 0
 
 
+def run_ratio_checks(suite, bench_dir):
+    """Gates within-run benchmark ratios (machine-independent floors).
+
+    Returns 0 (all floors hold or were skipped for missing rates) or 1.
+    Missing numerator/denominator entries — a tier the runner cannot
+    execute reports no rate — skip the check rather than fail it.
+    """
+    worst = 0
+    for entry in suite.get("ratio_checks", []):
+        label = entry.get("name", "?")
+        try:
+            current_path = os.path.join(bench_dir, entry["current"])
+            with open(current_path) as f:
+                current = extract_items_per_sec(json.load(f))
+            num_name = entry["numerator"]
+            den_name = entry["denominator"]
+            min_ratio = float(entry["min_ratio"])
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
+            print(f"error[{label}]: {e}", file=sys.stderr)
+            worst = max(worst, 2)
+            continue
+        missing = [n for n in (num_name, den_name)
+                   if current.get(n, 0.0) <= 0]
+        if missing:
+            print(f"ratio check [{label}]: SKIPPED — no rate for "
+                  f"{', '.join(missing)} (tier unsupported on this runner?)")
+            continue
+        ratio = current[num_name] / current[den_name]
+        ok = ratio >= min_ratio
+        print(f"ratio check [{label}]: {num_name} / {den_name} = "
+              f"{ratio:.2f}x (floor {min_ratio:.2f}x) "
+              f"{'OK' if ok else '<< FAIL'}")
+        if not ok:
+            worst = max(worst, 1)
+    return worst
+
+
 def run_suite(suite_path, bench_dir):
     """Runs every tracked bench of a suite file. Worst status wins."""
     try:
@@ -157,6 +213,7 @@ def run_suite(suite_path, bench_dir):
                           label=label)
         worst = max(worst, status)
         print()
+    worst = max(worst, run_ratio_checks(suite, bench_dir))
     return worst
 
 

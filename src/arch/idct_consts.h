@@ -1,0 +1,59 @@
+// Fixed-point parameters of the Loeffler-style inverse DCT, shared by the
+// scalar kernel (the canonical path, formerly in jpeg/dct.cc) and the SIMD
+// kernels that must match it bit for bit. Constants carry kConstBits
+// fractional bits; the column pass keeps kPass1Bits extra fractional bits in
+// its intermediate so the row pass rounds once from high precision. All
+// arithmetic is int64: with |input| < 2^23 (jpeg::kMaxDequantizedCoeff) the
+// column pass peaks below 2^45, its descaled output below 2^37, and row-pass
+// products below 2^57 — no overflow even on hostile coefficients.
+#pragma once
+
+#include <cstdint>
+
+namespace pcr::arch::idct {
+
+inline constexpr int kConstBits = 18;
+inline constexpr int kPass1Bits = 10;
+
+constexpr int64_t Fix(double x) {
+  return static_cast<int64_t>(x * (int64_t{1} << kConstBits) + 0.5);
+}
+
+inline constexpr int64_t kFix0_298631336 = Fix(0.298631336);
+inline constexpr int64_t kFix0_390180644 = Fix(0.390180644);
+inline constexpr int64_t kFix0_541196100 = Fix(0.541196100);
+inline constexpr int64_t kFix0_765366865 = Fix(0.765366865);
+inline constexpr int64_t kFix0_899976223 = Fix(0.899976223);
+inline constexpr int64_t kFix1_175875602 = Fix(1.175875602);
+inline constexpr int64_t kFix1_501321110 = Fix(1.501321110);
+inline constexpr int64_t kFix1_847759065 = Fix(1.847759065);
+inline constexpr int64_t kFix1_961570560 = Fix(1.961570560);
+inline constexpr int64_t kFix2_053119869 = Fix(2.053119869);
+inline constexpr int64_t kFix2_562915447 = Fix(2.562915447);
+inline constexpr int64_t kFix3_072711026 = Fix(3.072711026);
+
+// Rounding right shift (round half up; >> on a negative int64 is an
+// arithmetic shift with gcc/clang, i.e. floor, which the +half turns into
+// round-half-up — the same convention as the double path's `+ 0.5`).
+inline int64_t Descale(int64_t x, int n) {
+  return (x + (int64_t{1} << (n - 1))) >> n;
+}
+
+// Left shifts of possibly-negative intermediates are spelled as
+// multiplications by these powers of two: a negative << is UB until C++20
+// and the UBSan CI job runs with -fno-sanitize-recover.
+inline constexpr int64_t kConstScale = int64_t{1} << kConstBits;
+inline constexpr int64_t kPass1Scale = int64_t{1} << kPass1Bits;
+
+// Final descale of the row pass: constant scale, pass-1 scale, and the
+// 1/8 of the 2-D normalization.
+inline constexpr int kFinalShift = kConstBits + kPass1Bits + 3;
+
+inline uint8_t ClampSample(int64_t level_shifted) {
+  // level_shifted is the descaled sample + 128.
+  if (level_shifted < 0) return 0;
+  if (level_shifted > 255) return 255;
+  return static_cast<uint8_t>(level_shifted);
+}
+
+}  // namespace pcr::arch::idct

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "arch/arch.h"
+
 namespace pcr {
 
 namespace {
@@ -76,40 +78,7 @@ PlanarImage RgbToYcbcr(const Image& rgb, ChromaSubsampling subsampling) {
   return out;
 }
 
-namespace {
-
-// Per-chroma-value lookup tables for the fixed-point conversion. Built from
-// the canonical scalar formulas of color.h, so table-driven output is
-// bit-identical to ycc::ToRgb.
-struct YccLut {
-  int cr_r[256];
-  int cb_b[256];
-  int cb_g[256];  // Green Cb term, still scaled by 2^kScaleBits.
-  int cr_g[256];  // Green Cr term + rounding + shift bias, scaled.
-
-  YccLut() {
-    for (int v = 0; v < 256; ++v) {
-      cr_r[v] = ycc::CrToR(v);
-      cb_b[v] = ycc::CbToB(v);
-      cb_g[v] = -ycc::kCbToG * (v - 128);
-      cr_g[v] = -ycc::kCrToG * (v - 128) + ycc::kHalf + ycc::kShiftBias;
-    }
-  }
-
-  // g offset = CbCrToG(cb, cr), by construction of the two tables.
-  int GreenOffset(int cb, int cr) const {
-    return ((cb_g[cb] + cr_g[cr]) >> ycc::kScaleBits) - 256;
-  }
-};
-
-const YccLut& Lut() {
-  static const YccLut lut;
-  return lut;
-}
-
-}  // namespace
-
-Image YcbcrToRgb(const PlanarImage& ycbcr) {
+Image YcbcrToRgb(const PlanarImage& ycbcr, ColorScratch* scratch) {
   const int w = ycbcr.full_width;
   const int h = ycbcr.full_height;
   if (ycbcr.num_components() == 1) {
@@ -127,33 +96,39 @@ Image YcbcrToRgb(const PlanarImage& ycbcr) {
   const Plane& cb = ycbcr.planes[1];
   const Plane& cr = ycbcr.planes[2];
   const bool subsampled = cb.width() != w || cb.height() != h;
-  const YccLut& lut = Lut();
+  const arch::Kernels& k = arch::Active();
 
   Image out(w, h, 3);
-  for (int j = 0; j < h; ++j) {
-    const uint8_t* yrow = y.data() + static_cast<size_t>(j) * y.width();
-    uint8_t* dst = out.row(j);
-    if (!subsampled) {
-      const uint8_t* cbrow = cb.data() + static_cast<size_t>(j) * cb.width();
-      const uint8_t* crrow = cr.data() + static_cast<size_t>(j) * cr.width();
-      for (int i = 0; i < w; ++i) {
-        const int yv = yrow[i];
-        const int cbv = cbrow[i];
-        const int crv = crrow[i];
-        dst[3 * i + 0] = ycc::ClampToByte(yv + lut.cr_r[crv]);
-        dst[3 * i + 1] = ycc::ClampToByte(yv + lut.GreenOffset(cbv, crv));
-        dst[3 * i + 2] = ycc::ClampToByte(yv + lut.cb_b[cbv]);
-      }
-    } else {
-      for (int i = 0; i < w; ++i) {
-        const int yv = yrow[i];
-        const int cbv = ycc::UpsampleAt(cb, i, j);
-        const int crv = ycc::UpsampleAt(cr, i, j);
-        dst[3 * i + 0] = ycc::ClampToByte(yv + lut.cr_r[crv]);
-        dst[3 * i + 1] = ycc::ClampToByte(yv + lut.GreenOffset(cbv, crv));
-        dst[3 * i + 2] = ycc::ClampToByte(yv + lut.cb_b[cbv]);
-      }
+  if (!subsampled) {
+    for (int j = 0; j < h; ++j) {
+      k.ycbcr_row(y.data() + static_cast<size_t>(j) * y.width(),
+                  cb.data() + static_cast<size_t>(j) * cb.width(),
+                  cr.data() + static_cast<size_t>(j) * cr.width(), out.row(j),
+                  w);
     }
+    return out;
+  }
+
+  // Subsampled: upsample both chroma planes one full-resolution row at a
+  // time into scratch, then convert. Row pair and vertical weight below are
+  // exactly ycc::UpsampleAt's (y0, wy1) with the j clamp prefolded; the row
+  // kernel applies the horizontal taps.
+  ColorScratch local;
+  ColorScratch* s = scratch != nullptr ? scratch : &local;
+  s->Reserve(w);
+  const int cw = cb.width();
+  const int ch = cb.height();
+  for (int j = 0; j < h; ++j) {
+    const int y0 = (j & 1) ? (j >> 1) : (j >> 1) - 1;
+    const int wy1 = (j & 1) ? 1 : 3;
+    const int ya = std::clamp(y0, 0, ch - 1);
+    const int yb = std::min(y0 + 1, ch - 1);  // y0 + 1 >= 0 always.
+    const size_t ra = static_cast<size_t>(ya) * cw;
+    const size_t rb = static_cast<size_t>(yb) * cw;
+    k.upsample_row(cb.data() + ra, cb.data() + rb, wy1, s->cb_row(), w, cw);
+    k.upsample_row(cr.data() + ra, cr.data() + rb, wy1, s->cr_row(), w, cw);
+    k.ycbcr_row(y.data() + static_cast<size_t>(j) * y.width(), s->cb_row(),
+                s->cr_row(), out.row(j), w);
   }
   return out;
 }

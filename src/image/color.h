@@ -7,7 +7,9 @@
 // reference codec) and the table path produce bit-identical pixels.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "image/image.h"
 
@@ -89,11 +91,41 @@ inline int UpsampleAt(const Plane& p, int i, int j) {
 /// subsampling. Grayscale input yields a single-plane output.
 PlanarImage RgbToYcbcr(const Image& rgb, ChromaSubsampling subsampling);
 
+/// Reusable row buffers for YcbcrToRgb's subsampled path: two full-width
+/// upsampled chroma rows, 32-byte aligned for the SIMD row kernels. Decode
+/// scratch holds one so multi-image loops do not reallocate per frame.
+class ColorScratch {
+ public:
+  /// Ensures capacity for two `w`-byte rows. Never shrinks the buffer.
+  void Reserve(int w) {
+    pitch_ = RowPitch(w);
+    const size_t need = 2 * pitch_ + 31;
+    if (buf_.size() < need) buf_.resize(need);
+  }
+
+  uint8_t* cb_row() { return AlignedBase(); }
+  uint8_t* cr_row() { return AlignedBase() + pitch_; }
+
+ private:
+  static size_t RowPitch(int w) {
+    return (static_cast<size_t>(w) + 31) & ~size_t{31};
+  }
+  uint8_t* AlignedBase() {
+    const auto p = reinterpret_cast<uintptr_t>(buf_.data());
+    return buf_.data() + ((-p) & 31);
+  }
+
+  std::vector<uint8_t> buf_;
+  size_t pitch_ = 0;
+};
+
 /// Converts planar YCbCr back to interleaved RGB (or grayscale for
 /// single-plane inputs), upsampling subsampled chroma bilinearly at fixed
 /// 1/4-3/4 phase (centers-aligned, edge-replicated) before the integer
-/// conversion above.
-Image YcbcrToRgb(const PlanarImage& ycbcr);
+/// conversion above. Runs on the runtime-dispatched arch:: row kernels;
+/// every kernel tier is bit-identical to the per-pixel scalar formulas.
+/// `scratch` (optional) avoids per-call row-buffer allocation.
+Image YcbcrToRgb(const PlanarImage& ycbcr, ColorScratch* scratch = nullptr);
 
 /// Extracts the luma channel (grayscale) of an interleaved image.
 Image ToGrayscale(const Image& img);

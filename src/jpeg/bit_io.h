@@ -5,8 +5,10 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 
+#include "arch/arch.h"
 #include "util/logging.h"
 #include "util/slice.h"
 
@@ -87,6 +89,7 @@ class BitReader {
   /// Consumes `count` bits. Consuming past the last real bit marks the
   /// reader exhausted (the phantom zero-pad bits of Peek are not data).
   void Consume(int count) {
+    if (count == 0) return;  // The mask below needs acc_bits_ <= 63 after.
     if (count <= acc_bits_) {
       acc_bits_ -= count;
       acc_ &= (~uint64_t{0}) >> (64 - 1 - acc_bits_) >> 1;
@@ -133,29 +136,57 @@ class BitReader {
   bool Exhausted() const { return exhausted_; }
 
  private:
-  // Tops the accumulator up to >= 48 buffered bits (or until the entropy
+  // Tops the accumulator up to > 56 buffered bits (or until the entropy
   // data ends at a marker / end of input), collapsing 0xFF00 stuffing.
+  //
+  // Word-at-a-time: a SIMD/SWAR scan (arch::Active().find_ff) locates the
+  // next 0xFF, and everything before it is stuffing-free, so whole
+  // big-endian words append with one load instead of eight byte steps. The
+  // cached scan result survives across calls; it only reruns after the
+  // cursor passes it (i.e. after a collapsed stuff pair).
   void Refill() {
-    while (acc_bits_ <= 48 && pos_ < data_.size()) {
-      const uint8_t byte = static_cast<uint8_t>(data_[pos_]);
-      if (byte == 0xff) {
-        if (pos_ + 1 < data_.size() &&
-            static_cast<uint8_t>(data_[pos_ + 1]) == 0x00) {
-          acc_ = (acc_ << 8) | 0xff;
-          acc_bits_ += 8;
-          pos_ += 2;
-          continue;
-        }
-        return;  // Marker (or lone trailing 0xFF): end of entropy data.
+    const uint8_t* base = data_.udata();
+    const size_t size = data_.size();
+    while (acc_bits_ <= 56) {
+      if (pos_ >= size) return;
+      if (next_ff_ == kUnscanned || next_ff_ < pos_) {
+        next_ff_ = pos_ + arch::Active().find_ff(base + pos_, size - pos_);
       }
-      acc_ = (acc_ << 8) | byte;
-      acc_bits_ += 8;
-      ++pos_;
+      if (next_ff_ - pos_ >= 8) {
+        // At least a full stuffing-free word ahead: bulk-append the bytes
+        // that fit (1..8 of them — acc_bits_ <= 56 guarantees at least one).
+        uint64_t w;
+        std::memcpy(&w, base + pos_, 8);
+        w = __builtin_bswap64(w);  // First input byte = most significant.
+        const int want = (64 - acc_bits_) >> 3;
+        const int take = want * 8;
+        acc_ = take == 64 ? w : (acc_ << take) | (w >> (64 - take));
+        acc_bits_ += take;
+        pos_ += static_cast<size_t>(want);
+        continue;
+      }
+      if (pos_ < next_ff_) {
+        acc_ = (acc_ << 8) | base[pos_];
+        acc_bits_ += 8;
+        ++pos_;
+        continue;
+      }
+      // pos_ == next_ff_: an 0xFF byte.
+      if (pos_ + 1 < size && base[pos_ + 1] == 0x00) {
+        acc_ = (acc_ << 8) | 0xff;
+        acc_bits_ += 8;
+        pos_ += 2;  // Passes next_ff_, forcing a rescan next iteration.
+        continue;
+      }
+      return;  // Marker (or lone trailing 0xFF): end of entropy data.
     }
   }
 
+  static constexpr size_t kUnscanned = ~size_t{0};
+
   Slice data_;
   size_t pos_ = 0;
+  size_t next_ff_ = kUnscanned;  // Absolute index of the next 0xFF byte.
   uint64_t acc_ = 0;  // Right-aligned: low acc_bits_ bits are valid.
   int acc_bits_ = 0;
   bool exhausted_ = false;

@@ -43,6 +43,9 @@ struct DecodeResult {
   /// True when an EOI was reached after a script-complete set of scans
   /// brought every coefficient to full precision.
   bool complete = false;
+  /// Kernel tier that rendered the pixels ("scalar"/"sse2"/"avx2" — see
+  /// arch/arch.h). Static string, informational.
+  const char* kernel_isa = "scalar";
 };
 
 /// Reusable decode buffers. A decoder thread that keeps one DecodeScratch
@@ -53,6 +56,7 @@ struct DecodeResult {
 struct DecodeScratch {
   CoeffImage coeffs;
   PlanarImage planar;
+  ColorScratch color;
 };
 
 /// Compresses an image. Color images become YCbCr 3-component JPEGs,

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "arch/kernels.h"
+
 namespace pcr::jpeg {
 
 namespace {
@@ -51,194 +53,13 @@ void ForwardDct8x8(const double in[64], double out[64]) {
   }
 }
 
-namespace {
-
-// Fixed-point parameters. Constants carry kConstBits fractional bits; the
-// column pass keeps kPass1Bits extra fractional bits in its intermediate so
-// the row pass rounds once from high precision. All arithmetic is int64:
-// with |input| < 2^23 (kMaxDequantizedCoeff) the column pass peaks below
-// 2^45, its descaled output below 2^37, and row-pass products below 2^57 —
-// no overflow even on hostile coefficients.
-constexpr int kConstBits = 18;
-constexpr int kPass1Bits = 10;
-
-constexpr int64_t Fix(double x) {
-  return static_cast<int64_t>(x * (int64_t{1} << kConstBits) + 0.5);
-}
-
-constexpr int64_t kFix0_298631336 = Fix(0.298631336);
-constexpr int64_t kFix0_390180644 = Fix(0.390180644);
-constexpr int64_t kFix0_541196100 = Fix(0.541196100);
-constexpr int64_t kFix0_765366865 = Fix(0.765366865);
-constexpr int64_t kFix0_899976223 = Fix(0.899976223);
-constexpr int64_t kFix1_175875602 = Fix(1.175875602);
-constexpr int64_t kFix1_501321110 = Fix(1.501321110);
-constexpr int64_t kFix1_847759065 = Fix(1.847759065);
-constexpr int64_t kFix1_961570560 = Fix(1.961570560);
-constexpr int64_t kFix2_053119869 = Fix(2.053119869);
-constexpr int64_t kFix2_562915447 = Fix(2.562915447);
-constexpr int64_t kFix3_072711026 = Fix(3.072711026);
-
-// Rounding right shift (round half up; >> on a negative int64 is an
-// arithmetic shift with gcc/clang, i.e. floor, which the +half turns into
-// round-half-up — the same convention as the double path's `+ 0.5`).
-inline int64_t Descale(int64_t x, int n) {
-  return (x + (int64_t{1} << (n - 1))) >> n;
-}
-
-// Left shifts of possibly-negative intermediates are spelled as
-// multiplications by these powers of two: a negative << is UB until C++20
-// and the UBSan CI job runs with -fno-sanitize-recover.
-constexpr int64_t kConstScale = int64_t{1} << kConstBits;
-constexpr int64_t kPass1Scale = int64_t{1} << kPass1Bits;
-
-inline uint8_t ClampSample(int64_t level_shifted) {
-  // level_shifted is the descaled sample + 128.
-  if (level_shifted < 0) return 0;
-  if (level_shifted > 255) return 255;
-  return static_cast<uint8_t>(level_shifted);
-}
-
-// One Loeffler 1-D inverse butterfly over inputs already scaled by
-// 2^kConstBits relative to the desired output. `shift` is the final
-// descale; outputs land in `out` at `stride`.
-// (Shared shape of both passes; kept inline by hand in the hot function
-// below — this declaration only documents the structure.)
-
-}  // namespace
-
+// The fixed-point inverse DCT now lives in src/arch/ (kernels_scalar.cc is
+// the canonical body, formerly here) so SSE2/AVX2 variants can share its
+// constants and be dispatched at runtime. This wrapper keeps the historical
+// entry point; hot paths call arch::Active().idct8x8 directly.
 void InverseDct8x8Fixed(const int32_t coeff[64], uint8_t* out,
                         int out_stride) {
-  int64_t ws[64];  // Column-pass output, scaled by 2^kPass1Bits.
-
-  // Pass 1: columns. A column whose AC terms are all zero short-circuits to
-  // a constant column; the shift below makes that exactly equal to what the
-  // butterflies produce for the same input.
-  for (int c = 0; c < 8; ++c) {
-    const int32_t* col = coeff + c;
-    if ((col[8] | col[16] | col[24] | col[32] | col[40] | col[48] |
-         col[56]) == 0) {
-      const int64_t dcval = static_cast<int64_t>(col[0]) * kPass1Scale;
-      for (int r = 0; r < 8; ++r) ws[r * 8 + c] = dcval;
-      continue;
-    }
-
-    // Even part.
-    const int64_t z2 = col[16];
-    const int64_t z3 = col[48];
-    const int64_t z1 = (z2 + z3) * kFix0_541196100;
-    const int64_t tmp2 = z1 + z3 * (-kFix1_847759065);
-    const int64_t tmp3 = z1 + z2 * kFix0_765366865;
-
-    const int64_t tmp0 =
-        (static_cast<int64_t>(col[0]) + col[32]) * kConstScale;
-    const int64_t tmp1 =
-        (static_cast<int64_t>(col[0]) - col[32]) * kConstScale;
-
-    const int64_t tmp10 = tmp0 + tmp3;
-    const int64_t tmp13 = tmp0 - tmp3;
-    const int64_t tmp11 = tmp1 + tmp2;
-    const int64_t tmp12 = tmp1 - tmp2;
-
-    // Odd part.
-    int64_t t0 = col[56];
-    int64_t t1 = col[40];
-    int64_t t2 = col[24];
-    int64_t t3 = col[8];
-
-    const int64_t z1o = t0 + t3;
-    const int64_t z2o = t1 + t2;
-    const int64_t z3o = t0 + t2;
-    const int64_t z4o = t1 + t3;
-    const int64_t z5 = (z3o + z4o) * kFix1_175875602;
-
-    t0 *= kFix0_298631336;
-    t1 *= kFix2_053119869;
-    t2 *= kFix3_072711026;
-    t3 *= kFix1_501321110;
-    const int64_t z1m = z1o * (-kFix0_899976223);
-    const int64_t z2m = z2o * (-kFix2_562915447);
-    const int64_t z3m = z3o * (-kFix1_961570560) + z5;
-    const int64_t z4m = z4o * (-kFix0_390180644) + z5;
-
-    t0 += z1m + z3m;
-    t1 += z2m + z4m;
-    t2 += z2m + z3m;
-    t3 += z1m + z4m;
-
-    ws[8 * 0 + c] = Descale(tmp10 + t3, kConstBits - kPass1Bits);
-    ws[8 * 7 + c] = Descale(tmp10 - t3, kConstBits - kPass1Bits);
-    ws[8 * 1 + c] = Descale(tmp11 + t2, kConstBits - kPass1Bits);
-    ws[8 * 6 + c] = Descale(tmp11 - t2, kConstBits - kPass1Bits);
-    ws[8 * 2 + c] = Descale(tmp12 + t1, kConstBits - kPass1Bits);
-    ws[8 * 5 + c] = Descale(tmp12 - t1, kConstBits - kPass1Bits);
-    ws[8 * 3 + c] = Descale(tmp13 + t0, kConstBits - kPass1Bits);
-    ws[8 * 4 + c] = Descale(tmp13 - t0, kConstBits - kPass1Bits);
-  }
-
-  // Pass 2: rows, with the final descale, +128 level shift and clamp.
-  constexpr int kFinalShift = kConstBits + kPass1Bits + 3;
-  for (int r = 0; r < 8; ++r) {
-    const int64_t* row = ws + r * 8;
-    uint8_t* dst = out + r * out_stride;
-    if ((row[1] | row[2] | row[3] | row[4] | row[5] | row[6] | row[7]) ==
-        0) {
-      const uint8_t dcval =
-          ClampSample(Descale(row[0], kPass1Bits + 3) + 128);
-      for (int x = 0; x < 8; ++x) dst[x] = dcval;
-      continue;
-    }
-
-    // Even part.
-    const int64_t z2 = row[2];
-    const int64_t z3 = row[6];
-    const int64_t z1 = (z2 + z3) * kFix0_541196100;
-    const int64_t tmp2 = z1 + z3 * (-kFix1_847759065);
-    const int64_t tmp3 = z1 + z2 * kFix0_765366865;
-
-    const int64_t tmp0 = (row[0] + row[4]) * kConstScale;
-    const int64_t tmp1 = (row[0] - row[4]) * kConstScale;
-
-    const int64_t tmp10 = tmp0 + tmp3;
-    const int64_t tmp13 = tmp0 - tmp3;
-    const int64_t tmp11 = tmp1 + tmp2;
-    const int64_t tmp12 = tmp1 - tmp2;
-
-    // Odd part.
-    int64_t t0 = row[7];
-    int64_t t1 = row[5];
-    int64_t t2 = row[3];
-    int64_t t3 = row[1];
-
-    const int64_t z1o = t0 + t3;
-    const int64_t z2o = t1 + t2;
-    const int64_t z3o = t0 + t2;
-    const int64_t z4o = t1 + t3;
-    const int64_t z5 = (z3o + z4o) * kFix1_175875602;
-
-    t0 *= kFix0_298631336;
-    t1 *= kFix2_053119869;
-    t2 *= kFix3_072711026;
-    t3 *= kFix1_501321110;
-    const int64_t z1m = z1o * (-kFix0_899976223);
-    const int64_t z2m = z2o * (-kFix2_562915447);
-    const int64_t z3m = z3o * (-kFix1_961570560) + z5;
-    const int64_t z4m = z4o * (-kFix0_390180644) + z5;
-
-    t0 += z1m + z3m;
-    t1 += z2m + z4m;
-    t2 += z2m + z3m;
-    t3 += z1m + z4m;
-
-    dst[0] = ClampSample(Descale(tmp10 + t3, kFinalShift) + 128);
-    dst[7] = ClampSample(Descale(tmp10 - t3, kFinalShift) + 128);
-    dst[1] = ClampSample(Descale(tmp11 + t2, kFinalShift) + 128);
-    dst[6] = ClampSample(Descale(tmp11 - t2, kFinalShift) + 128);
-    dst[2] = ClampSample(Descale(tmp12 + t1, kFinalShift) + 128);
-    dst[5] = ClampSample(Descale(tmp12 - t1, kFinalShift) + 128);
-    dst[3] = ClampSample(Descale(tmp13 + t0, kFinalShift) + 128);
-    dst[4] = ClampSample(Descale(tmp13 - t0, kFinalShift) + 128);
-  }
+  arch::IdctScalar(coeff, out, out_stride);
 }
 
 void InverseDct8x8(const double in[64], double out[64]) {

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "arch/arch.h"
 #include "jpeg/codec.h"
 #include "jpeg/decoder_impl.h"
 
@@ -22,9 +23,10 @@ using FastDecoder = internal::DecoderT<BitReader>;
 // (bit-exact with the general path by construction of InverseDct8x8Fixed).
 void RenderComponent(const ComponentInfo& info, const QuantTable& qtbl,
                      const CoeffImage& coeffs, int comp, Plane* plane) {
+  const arch::Kernels& k = arch::Active();
   const int stride = plane->width();
-  int32_t dq[64];
-  uint8_t staged[64];
+  alignas(32) int32_t dq[64];
+  alignas(32) uint8_t staged[64];
   for (int by = 0; by < info.height_blocks; ++by) {
     const int y0 = by * 8;
     const int y_limit = std::min(8, info.height - y0);
@@ -52,9 +54,9 @@ void RenderComponent(const ComponentInfo& info, const QuantTable& qtbl,
 
       internal::DequantizeBlock(block, qtbl, dq);
       if (x_limit == 8 && y_limit == 8) {
-        InverseDct8x8Fixed(dq, dst, stride);
+        k.idct8x8(dq, dst, stride);
       } else {
-        InverseDct8x8Fixed(dq, staged, 8);
+        k.idct8x8(dq, staged, 8);
         for (int y = 0; y < y_limit; ++y) {
           std::memcpy(dst + static_cast<size_t>(y) * stride, staged + y * 8,
                       static_cast<size_t>(x_limit));
@@ -79,7 +81,7 @@ Image RenderFromCoefficients(const FrameInfo& frame, const QuantTable* qtables,
     RenderComponent(info, qtables[info.quant_tbl], coeffs,
                     static_cast<int>(c), &planar.planes[c]);
   }
-  return YcbcrToRgb(planar);
+  return YcbcrToRgb(planar, scratch != nullptr ? &scratch->color : nullptr);
 }
 
 }  // namespace
@@ -99,6 +101,7 @@ Result<DecodeResult> DecodeFull(Slice data, DecodeScratch* scratch) {
   result.frame = decoder.frame();
   result.scans_decoded = decoder.scans_decoded();
   result.complete = decoder.complete();
+  result.kernel_isa = arch::Active().name;
   result.image =
       RenderFromCoefficients(decoder.frame(), decoder.quant_tables(),
                              decoder.coefficients(), scratch);

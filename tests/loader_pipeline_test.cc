@@ -454,10 +454,15 @@ TEST(LoaderPipelineTest, CachedMultiEpochStreamKeepsExactlyOnceSemantics) {
   for (const auto& [record, count] : deliveries) {
     EXPECT_EQ(count, 3) << "record " << record;
   }
-  // Epochs 2-3 are hit-dominated (prefetch can race tickets past the first
-  // epoch's inserts, so allow a generous shortfall — exactly-once delivery
-  // above is the hard guarantee).
-  EXPECT_GE(pipeline.io_stats().cache_hits, 8);
+  // How many epoch-2/3 tickets hit depends on how far prefetch races past
+  // the first epoch's inserts — any count can lose that race under load, so
+  // assert the scheduling-independent accounting instead: every ticket is
+  // either a hit or a miss, and exactly the misses get decoded. The
+  // hit-dominated steady state is covered deterministically by
+  // SecondEpochIsServedEntirelyFromTheCache.
+  EXPECT_EQ(pipeline.io_stats().cache_hits + pipeline.io_stats().cache_misses,
+            48);
+  EXPECT_EQ(pipeline.decode_stats().items, pipeline.io_stats().cache_misses);
   EXPECT_TRUE(pipeline.status().ok());
 }
 

@@ -7,6 +7,7 @@
 
 #include "arch/arch.h"
 #include "loader/scan_policy.h"
+#include "storage/io_backend.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -23,6 +24,7 @@ struct JsonMetric {
   double wall_seconds = 0;
   double bytes = 0;
   double items_per_sec = 0;
+  double syscalls_per_record = -1;  // < 0: not an I/O-stage metric.
 };
 std::string g_json_path;
 std::string g_bench_name;
@@ -90,10 +92,11 @@ void InitBench(int argc, char** argv) {
 bool SmokeMode() { return g_smoke; }
 
 void ReportMetric(const std::string& name, double iterations,
-                  double wall_seconds, double bytes, double items_per_sec) {
+                  double wall_seconds, double bytes, double items_per_sec,
+                  double syscalls_per_record) {
   if (g_json_path.empty()) return;
-  JsonMetrics().push_back(
-      JsonMetric{name, iterations, wall_seconds, bytes, items_per_sec});
+  JsonMetrics().push_back(JsonMetric{name, iterations, wall_seconds, bytes,
+                                     items_per_sec, syscalls_per_record});
 }
 
 void FlushJsonReport() {
@@ -104,28 +107,40 @@ void FlushJsonReport() {
             g_json_path.c_str());
     return;
   }
-  // Resolved once at flush: which kernel tier produced these numbers and
-  // what the CPU offered. Per record (not just the header) so that rows
-  // concatenated across artifacts stay self-describing.
+  // Resolved once at flush: which kernel tier and I/O backend produced
+  // these numbers and what the CPU offered. Per record (not just the
+  // header) so that rows concatenated across artifacts stay
+  // self-describing.
   const std::string kernel_path = arch::Active().name;
   const std::string cpu_features = arch::CpuFeatureString();
+  const std::string io_backend = IoBackendName(ActiveIoBackend());
   fprintf(f,
           "{\n  \"bench\": \"%s\",\n  \"smoke\": %s,\n"
           "  \"kernel_path\": \"%s\",\n  \"cpu_features\": \"%s\",\n"
+          "  \"io_backend\": \"%s\",\n"
           "  \"metrics\": [\n",
           JsonEscape(g_bench_name).c_str(), g_smoke ? "true" : "false",
-          JsonEscape(kernel_path).c_str(), JsonEscape(cpu_features).c_str());
+          JsonEscape(kernel_path).c_str(), JsonEscape(cpu_features).c_str(),
+          JsonEscape(io_backend).c_str());
   const auto& metrics = JsonMetrics();
   for (size_t i = 0; i < metrics.size(); ++i) {
     const JsonMetric& m = metrics[i];
+    std::string syscalls;
+    if (m.syscalls_per_record >= 0) {
+      char buf[64];
+      snprintf(buf, sizeof(buf), "\"syscalls_per_record\": %.9g, ",
+               m.syscalls_per_record);
+      syscalls = buf;
+    }
     fprintf(f,
             "    {\"name\": \"%s\", \"iterations\": %.0f, "
             "\"wall_seconds\": %.9g, \"bytes\": %.0f, "
-            "\"items_per_sec\": %.9g, "
-            "\"kernel_path\": \"%s\", \"cpu_features\": \"%s\"}%s\n",
+            "\"items_per_sec\": %.9g, %s"
+            "\"kernel_path\": \"%s\", \"cpu_features\": \"%s\", "
+            "\"io_backend\": \"%s\"}%s\n",
             JsonEscape(m.name).c_str(), m.iterations, m.wall_seconds, m.bytes,
-            m.items_per_sec, JsonEscape(kernel_path).c_str(),
-            JsonEscape(cpu_features).c_str(),
+            m.items_per_sec, syscalls.c_str(), JsonEscape(kernel_path).c_str(),
+            JsonEscape(cpu_features).c_str(), JsonEscape(io_backend).c_str(),
             i + 1 < metrics.size() ? "," : "");
   }
   fprintf(f, "  ]\n}\n");

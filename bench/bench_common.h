@@ -46,10 +46,13 @@ bool SmokeMode();
 /// without --json). `iterations` is how many repetitions the number
 /// averages over, `wall_seconds` the measured time, `bytes` the payload
 /// bytes involved (0 when meaningless), `items_per_sec` the headline rate
-/// (0 when meaningless). Also safe to call from shared helpers like
-/// PrintTimeToAccuracy.
+/// (0 when meaningless). `syscalls_per_record` is the I/O stage's
+/// read-syscall cost per record for wall-clock pipeline benches (< 0 =
+/// not applicable, omitted from the row). Also safe to call from shared
+/// helpers like PrintTimeToAccuracy.
 void ReportMetric(const std::string& name, double iterations,
-                  double wall_seconds, double bytes, double items_per_sec);
+                  double wall_seconds, double bytes, double items_per_sec,
+                  double syscalls_per_record = -1.0);
 
 /// Writes the --json report now (also installed atexit by InitBench, so
 /// benches do not need to call it explicitly).

@@ -30,16 +30,23 @@ names each gated bench with its own baseline sub-table, current JSON file
      "threshold": 0.15, "absolute": true}
   ]
 
-A suite may also carry "ratio_checks": floors on the ratio of two
-benchmarks *within one current run* — machine-independent by construction,
-so they gate speedup properties (e.g. the AVX2 IDCT must beat scalar)
-rather than absolute rates:
+A suite may also carry "ratio_checks": floors and/or ceilings on the ratio
+of two benchmarks *within one current run* — machine-independent by
+construction, so they gate speedup properties (e.g. the AVX2 IDCT must
+beat scalar; the uring backend's syscalls-per-record must stay a fraction
+of the threads backend's) rather than absolute rates:
 
   "ratio_checks": [
     {"name": "idct-avx2-speedup", "current": "bench_micro_codec.json",
      "numerator": "BM_IdctBlock/avx2", "denominator": "BM_IdctBlock/scalar",
-     "min_ratio": 1.1}
+     "min_ratio": 1.1},
+    {"name": "uring-syscall-ceiling", "current": "bench_cache_epochs.json",
+     "numerator": "backend_uring/syscalls_per_record",
+     "denominator": "backend_threads/syscalls_per_record",
+     "max_ratio": 0.25}
   ]
+
+An entry carries "min_ratio", "max_ratio", or both.
 
 A ratio check whose numerator or denominator is absent from the current
 run (e.g. a SIMD tier the runner's CPU cannot execute, reported as a
@@ -145,9 +152,10 @@ def run_gate(baseline, current, threshold, absolute, min_common, label=""):
 
 
 def run_ratio_checks(suite, bench_dir):
-    """Gates within-run benchmark ratios (machine-independent floors).
+    """Gates within-run benchmark ratios (machine-independent bounds).
 
-    Returns 0 (all floors hold or were skipped for missing rates) or 1.
+    Each entry carries "min_ratio" (floor), "max_ratio" (ceiling), or both.
+    Returns 0 (all bounds hold or were skipped for missing rates) or 1.
     Missing numerator/denominator entries — a tier the runner cannot
     execute reports no rate — skip the check rather than fail it.
     """
@@ -160,7 +168,13 @@ def run_ratio_checks(suite, bench_dir):
                 current = extract_items_per_sec(json.load(f))
             num_name = entry["numerator"]
             den_name = entry["denominator"]
-            min_ratio = float(entry["min_ratio"])
+            min_ratio = (float(entry["min_ratio"])
+                         if "min_ratio" in entry else None)
+            max_ratio = (float(entry["max_ratio"])
+                         if "max_ratio" in entry else None)
+            if min_ratio is None and max_ratio is None:
+                raise ValueError(
+                    f"ratio check {label!r} needs min_ratio or max_ratio")
         except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
             print(f"error[{label}]: {e}", file=sys.stderr)
             worst = max(worst, 2)
@@ -172,10 +186,16 @@ def run_ratio_checks(suite, bench_dir):
                   f"{', '.join(missing)} (tier unsupported on this runner?)")
             continue
         ratio = current[num_name] / current[den_name]
-        ok = ratio >= min_ratio
+        ok = ((min_ratio is None or ratio >= min_ratio) and
+              (max_ratio is None or ratio <= max_ratio))
+        parts = []
+        if min_ratio is not None:
+            parts.append(f"(floor {min_ratio:.2f}x)")
+        if max_ratio is not None:
+            parts.append(f"(ceiling {max_ratio:.2f}x)")
+        bounds = " ".join(parts)
         print(f"ratio check [{label}]: {num_name} / {den_name} = "
-              f"{ratio:.2f}x (floor {min_ratio:.2f}x) "
-              f"{'OK' if ok else '<< FAIL'}")
+              f"{ratio:.2f}x {bounds} {'OK' if ok else '<< FAIL'}")
         if not ok:
             worst = max(worst, 1)
     return worst

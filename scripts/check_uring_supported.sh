@@ -1,0 +1,49 @@
+#!/usr/bin/env sh
+# Usage: check_uring_supported.sh <sync|threads|uring>
+#
+# Exit 0 when this machine can run the given storage backend, 1 when it
+# cannot, 2 on usage error. CI's per-backend test loops call this as a
+# cheap pre-flight so forcing PCR_FORCE_IO=uring on a kernel without
+# io_uring skips (with a note) instead of failing on the runtime fallback
+# warning. Mirrors scripts/check_arch_supported.sh for kernel tiers.
+set -eu
+
+backend="${1:-}"
+case "$backend" in
+  sync|threads)
+    exit 0
+    ;;
+  uring)
+    # io_uring shipped in Linux 5.1; some hardened kernels carry it but
+    # disable it via sysctl (kernel.io_uring_disabled: 1 = privileged
+    # only, 2 = off). The runtime probe in the loader double-checks with a
+    # real io_uring_setup call; this is the cheap shell-level mirror.
+    if [ -r /proc/sys/kernel/io_uring_disabled ]; then
+      disabled="$(cat /proc/sys/kernel/io_uring_disabled)"
+      if [ "$disabled" -ge 2 ]; then
+        exit 1
+      fi
+      if [ "$disabled" -eq 1 ] && [ "$(id -u)" -ne 0 ]; then
+        exit 1
+      fi
+    fi
+    kernel="$(uname -r)"
+    major="${kernel%%.*}"
+    rest="${kernel#*.}"
+    minor="${rest%%[!0-9]*}"
+    case "$major" in
+      ''|*[!0-9]*) major=0 ;;
+    esac
+    case "$minor" in
+      ''|*[!0-9]*) minor=0 ;;
+    esac
+    if [ "$major" -gt 5 ] || { [ "$major" -eq 5 ] && [ "$minor" -ge 1 ]; }; then
+      exit 0
+    fi
+    exit 1
+    ;;
+  *)
+    echo "usage: $0 <sync|threads|uring>" >&2
+    exit 2
+    ;;
+esac

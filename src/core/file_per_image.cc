@@ -77,7 +77,8 @@ uint64_t FilePerImageDataset::RecordReadBytes(int record, int) const {
   return images_[record].file_bytes;
 }
 
-Result<FetchPlan> FilePerImageDataset::PlanFetch(int record, int) const {
+Result<FetchPlan> FilePerImageDataset::PlanFetch(
+    int record, int, const FetchResident* resident) const {
   if (record < 0 || record >= num_records()) {
     return Status::OutOfRange("image index out of range");
   }
@@ -86,7 +87,17 @@ Result<FetchPlan> FilePerImageDataset::PlanFetch(int record, int) const {
   plan.record = record;
   plan.scan_group = 1;  // Fixed-quality format.
   plan.env = env_;
-  plan.segments.push_back(FetchSegment{meta.path, 0, meta.file_bytes});
+  // Resident bytes only help when they cover the whole file — there is no
+  // lower fidelity to upgrade from.
+  if (resident != nullptr && resident->bytes != nullptr &&
+      resident->scan_group >= 1 &&
+      resident->bytes->size() >= meta.file_bytes) {
+    plan.resident_bytes = resident->bytes;
+    plan.segments.push_back(FetchSegment{meta.path, 0, meta.file_bytes, true});
+  } else {
+    plan.segments.push_back(
+        FetchSegment{meta.path, 0, meta.file_bytes, false});
+  }
   return plan;
 }
 

@@ -49,7 +49,9 @@ class FilePerImageDataset : public RecordSource {
   int num_scan_groups() const override { return 1; }
   uint64_t RecordReadBytes(int record, int scan_group) const override;
   int RecordImages(int) const override { return 1; }
-  Result<FetchPlan> PlanFetch(int record, int scan_group) const override;
+  using RecordSource::PlanFetch;
+  Result<FetchPlan> PlanFetch(int record, int scan_group,
+                              const FetchResident* resident) const override;
   Result<RecordBatch> AssembleRecord(RawRecord raw) const override;
   std::string format_name() const override { return "file_per_image"; }
   uint64_t total_bytes() const override;

@@ -18,6 +18,7 @@ constexpr int kRecFieldPath = 1;
 constexpr int kRecFieldNumImages = 2;
 constexpr int kRecFieldPrefixBytes = 3;
 constexpr int kRecFieldFileBytes = 4;
+constexpr int kRecFieldHeaderBytes = 5;
 
 std::string RecordKey(int index) { return StrFormat("rec/%08d", index); }
 std::string RecordFileName(int index) {
@@ -126,6 +127,9 @@ Status PcrDatasetWriter::FlushRecord() {
   }
   entry.PutPackedUint64(kRecFieldPrefixBytes, prefix_bytes);
   entry.PutUint64(kRecFieldFileBytes, prefix_bytes.back());
+  // Header size lets the reader plan header and scan-group payload as
+  // separate scatter-gather segments.
+  entry.PutUint64(kRecFieldHeaderBytes, header.header_bytes);
   PCR_RETURN_IF_ERROR(
       db_->Put(RecordKey(records_written_), Slice(entry.buffer())));
 
@@ -193,6 +197,9 @@ Result<std::unique_ptr<PcrDataset>> PcrDataset::Open(Env* env,
         case kRecFieldFileBytes:
           meta.file_bytes = field.varint;
           break;
+        case kRecFieldHeaderBytes:
+          meta.header_bytes = field.varint;
+          break;
         default:
           break;
       }
@@ -213,19 +220,54 @@ uint64_t PcrDataset::RecordReadBytes(int record, int scan_group) const {
   return records_[record].prefix_bytes[scan_group - 1];
 }
 
-Result<FetchPlan> PcrDataset::PlanFetch(int record, int scan_group) const {
+Result<FetchPlan> PcrDataset::PlanFetch(int record, int scan_group,
+                                        const FetchResident* resident) const {
   if (record < 0 || record >= num_records()) {
     return Status::OutOfRange("record index out of range");
   }
   scan_group = std::clamp(scan_group, 1, num_groups_);
   const RecordMeta& meta = records_[record];
+  const uint64_t want = meta.prefix_bytes[scan_group - 1];
   FetchPlan plan;
   plan.record = record;
   plan.scan_group = scan_group;
   plan.env = env_;
-  // One sequential read of the prefix — the core PCR access pattern.
-  plan.segments.push_back(
-      FetchSegment{meta.path, 0, meta.prefix_bytes[scan_group - 1]});
+
+  // An in-memory prefix from an earlier fetch covers the file's first
+  // prefix_bytes[g'-1] bytes; only the delta up to the requested group needs
+  // I/O. Bytes shorter than the claimed group are ignored defensively.
+  uint64_t covered = 0;
+  if (resident != nullptr && resident->bytes != nullptr &&
+      resident->scan_group >= 1) {
+    const int have = std::min(resident->scan_group, num_groups_);
+    const uint64_t have_bytes = meta.prefix_bytes[have - 1];
+    if (resident->bytes->size() >= have_bytes) {
+      covered = std::min(have_bytes, want);
+    }
+  }
+  if (covered > 0) {
+    plan.resident_bytes = resident->bytes;
+    plan.segments.push_back(FetchSegment{meta.path, 0, covered, true});
+    if (covered < want) {
+      plan.segments.push_back(
+          FetchSegment{meta.path, covered, want - covered, false});
+    }
+    return plan;
+  }
+
+  // Cold read: header and scan-group payload as separate segments. They are
+  // adjacent on disk, so a vectored backend still serves them with one op,
+  // while the split keeps each range individually skippable/cacheable.
+  if (meta.header_bytes > 0 && meta.header_bytes < want) {
+    plan.segments.push_back(
+        FetchSegment{meta.path, 0, meta.header_bytes, false});
+    plan.segments.push_back(FetchSegment{
+        meta.path, meta.header_bytes, want - meta.header_bytes, false});
+  } else {
+    // Manifest predates the header-size field (or the prefix is all
+    // header): one sequential read of the prefix.
+    plan.segments.push_back(FetchSegment{meta.path, 0, want, false});
+  }
   return plan;
 }
 

@@ -83,7 +83,9 @@ class PcrDataset : public RecordSource {
   int RecordImages(int record) const override {
     return records_[record].num_images;
   }
-  Result<FetchPlan> PlanFetch(int record, int scan_group) const override;
+  using RecordSource::PlanFetch;
+  Result<FetchPlan> PlanFetch(int record, int scan_group,
+                              const FetchResident* resident) const override;
   Result<RecordBatch> AssembleRecord(RawRecord raw) const override;
   std::string format_name() const override { return "pcr"; }
   uint64_t total_bytes() const override;
@@ -100,6 +102,9 @@ class PcrDataset : public RecordSource {
     /// prefix_bytes[g-1]: file bytes to read for scan groups [1..g].
     std::vector<uint64_t> prefix_bytes;
     uint64_t file_bytes = 0;
+    /// Serialized PcrHeader size; 0 when the manifest predates the field,
+    /// in which case plans fall back to one header+payload segment.
+    uint64_t header_bytes = 0;
   };
 
   PcrDataset(Env* env, std::string dir) : env_(env), dir_(std::move(dir)) {}

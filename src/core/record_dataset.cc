@@ -113,7 +113,8 @@ uint64_t RecordDataset::RecordReadBytes(int record, int) const {
   return records_[record].file_bytes;  // Always full quality.
 }
 
-Result<FetchPlan> RecordDataset::PlanFetch(int record, int) const {
+Result<FetchPlan> RecordDataset::PlanFetch(
+    int record, int, const FetchResident* resident) const {
   if (record < 0 || record >= num_records()) {
     return Status::OutOfRange("record index out of range");
   }
@@ -122,7 +123,17 @@ Result<FetchPlan> RecordDataset::PlanFetch(int record, int) const {
   plan.record = record;
   plan.scan_group = 1;  // Fixed-quality format.
   plan.env = env_;
-  plan.segments.push_back(FetchSegment{meta.path, 0, meta.file_bytes});
+  // Resident bytes only help when they cover the whole record — there is no
+  // lower fidelity to upgrade from.
+  if (resident != nullptr && resident->bytes != nullptr &&
+      resident->scan_group >= 1 &&
+      resident->bytes->size() >= meta.file_bytes) {
+    plan.resident_bytes = resident->bytes;
+    plan.segments.push_back(FetchSegment{meta.path, 0, meta.file_bytes, true});
+  } else {
+    plan.segments.push_back(
+        FetchSegment{meta.path, 0, meta.file_bytes, false});
+  }
   return plan;
 }
 

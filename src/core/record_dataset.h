@@ -61,7 +61,9 @@ class RecordDataset : public RecordSource {
   int RecordImages(int record) const override {
     return records_[record].num_images;
   }
-  Result<FetchPlan> PlanFetch(int record, int scan_group) const override;
+  using RecordSource::PlanFetch;
+  Result<FetchPlan> PlanFetch(int record, int scan_group,
+                              const FetchResident* resident) const override;
   Result<RecordBatch> AssembleRecord(RawRecord raw) const override;
   std::string format_name() const override { return "record"; }
   uint64_t total_bytes() const override;

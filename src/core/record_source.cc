@@ -8,6 +8,7 @@ Result<std::string> ReadFetchPlan(const FetchPlan& plan) {
   }
   std::string bytes;
   for (const FetchSegment& segment : plan.segments) {
+    if (segment.resident) continue;  // Already in memory; nothing to read.
     std::string segment_bytes;
     PCR_RETURN_IF_ERROR(plan.env->ReadRange(segment.path, segment.offset,
                                             segment.length, &segment_bytes));
@@ -22,16 +23,39 @@ Result<std::string> ReadFetchPlan(const FetchPlan& plan) {
 
 Result<RawRecord> RecordSource::CompleteFetch(const FetchPlan& plan,
                                               std::string bytes) const {
-  if (bytes.size() != plan.total_bytes()) {
+  if (bytes.size() != plan.fetch_bytes()) {
     return Status::IOError("fetch delivered " + std::to_string(bytes.size()) +
-                           " of " + std::to_string(plan.total_bytes()) +
+                           " of " + std::to_string(plan.fetch_bytes()) +
                            " planned bytes");
   }
   RawRecord raw;
   raw.record = plan.record;
   raw.scan_group = plan.scan_group;
-  raw.bytes_read = bytes.size();
-  raw.payload = std::move(bytes);
+  raw.bytes_read = bytes.size();  // Resident bytes cost no I/O.
+  if (plan.fetch_bytes() == plan.total_bytes()) {
+    raw.payload = std::move(bytes);  // No resident segments: nothing to stitch.
+    return raw;
+  }
+  std::string payload;
+  payload.reserve(static_cast<size_t>(plan.total_bytes()));
+  size_t fetched_cursor = 0;
+  for (const FetchSegment& segment : plan.segments) {
+    const size_t length = static_cast<size_t>(segment.length);
+    if (segment.resident) {
+      if (plan.resident_bytes == nullptr ||
+          segment.offset + segment.length > plan.resident_bytes->size()) {
+        return Status::InvalidArgument(
+            "resident segment exceeds the plan's resident bytes");
+      }
+      payload.append(
+          plan.resident_bytes->data() + static_cast<size_t>(segment.offset),
+          length);
+    } else {
+      payload.append(bytes.data() + fetched_cursor, length);
+      fetched_cursor += length;
+    }
+  }
+  raw.payload = std::move(payload);
   return raw;
 }
 

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,34 +23,84 @@ struct RawRecord {
   uint64_t bytes_read = 0;
 };
 
-/// One contiguous byte range of a fetch plan.
+/// One contiguous byte range of a fetch plan. A resident segment's bytes are
+/// already in memory (see FetchPlan::resident_bytes) and must not be read
+/// from storage; CompleteFetch stitches them back into the payload.
 struct FetchSegment {
   std::string path;
   uint64_t offset = 0;
   uint64_t length = 0;
+  bool resident = false;
+};
+
+/// Bytes of a record already held in memory from an earlier, lower-fidelity
+/// fetch: the on-storage prefix of the record's file as read at `scan_group`.
+/// Passed to PlanFetch so the plan can skip re-reading that prefix —
+/// upgrading a record from group g to g' only fetches the delta bytes.
+/// Fixed-quality formats only honor bytes covering the whole record.
+struct FetchResident {
+  int scan_group = 0;
+  std::shared_ptr<const std::string> bytes;
 };
 
 /// The I/O recipe for one record read at one quality: which byte ranges to
 /// read through which Env, with no format knowledge needed by the reader.
 /// Produced by RecordSource::PlanFetch (metadata only, no I/O); the fetched
-/// bytes — segments concatenated in order — go back through CompleteFetch.
-/// Callers submit segments through `env`'s IoScheduler (or read them
-/// synchronously via ReadFetchPlan).
+/// bytes — non-resident segments concatenated in plan order — go back
+/// through CompleteFetch, which splices resident segments in from
+/// `resident_bytes`. Callers submit the non-resident segments through
+/// `env`'s IoScheduler as one scatter-gather ReadRequest (ToReadRequest), or
+/// read them synchronously via ReadFetchPlan.
 struct FetchPlan {
   int record = -1;
   int scan_group = 0;  // Clamped group the plan fetches at.
   Env* env = nullptr;  // Backend serving the segments (sharding routes it).
   std::vector<FetchSegment> segments;
+  /// Backing for resident segments: the record file's in-memory prefix, so a
+  /// resident segment's bytes live at resident_bytes->data() + offset.
+  std::shared_ptr<const std::string> resident_bytes;
 
   uint64_t total_bytes() const {
     uint64_t total = 0;
     for (const FetchSegment& s : segments) total += s.length;
     return total;
   }
+
+  /// Bytes that must actually be fetched from storage (non-resident only).
+  uint64_t fetch_bytes() const {
+    uint64_t total = 0;
+    for (const FetchSegment& s : segments) {
+      if (!s.resident) total += s.length;
+    }
+    return total;
+  }
+
+  /// True when every planned byte is already in memory: zero I/O needed.
+  bool fully_resident() const {
+    for (const FetchSegment& s : segments) {
+      if (!s.resident) return false;
+    }
+    return true;
+  }
+
+  /// The plan's non-resident segments as one scatter-gather scheduler
+  /// request. Empty-segment requests are valid and complete immediately
+  /// (fully-resident plans reach the scheduler as zero-byte reads).
+  ReadRequest ToReadRequest(uint64_t user_data = 0) const {
+    ReadRequest request;
+    request.user_data = user_data;
+    for (const FetchSegment& s : segments) {
+      if (!s.resident) {
+        request.segments.push_back(ReadSegment{s.path, s.offset, s.length});
+      }
+    }
+    return request;
+  }
 };
 
-/// Synchronous plan execution: blocking reads of every segment through
-/// plan.env, concatenated in order. The adapter under
+/// Synchronous plan execution: blocking reads of every non-resident segment
+/// through plan.env, concatenated in plan order (resident segments are
+/// skipped — CompleteFetch splices them back in). The adapter under
 /// RecordSource::FetchRecord, also handy for tests and tools.
 Result<std::string> ReadFetchPlan(const FetchPlan& plan);
 
@@ -107,14 +158,25 @@ class RecordSource {
 
   /// Plans the I/O for one record read at the given quality: the byte
   /// segments to fetch and the Env to fetch them through. scan_group is
-  /// clamped to [1, num_scan_groups()]. Performs no I/O. Thread-safe.
-  virtual Result<FetchPlan> PlanFetch(int record, int scan_group) const = 0;
+  /// clamped to [1, num_scan_groups()]. When `resident` carries a usable
+  /// in-memory prefix of the record (from an earlier lower-fidelity fetch),
+  /// the plan marks those bytes resident and only fetches the remainder — a
+  /// fully-resident plan needs no I/O at all. Performs no I/O. Thread-safe.
+  virtual Result<FetchPlan> PlanFetch(int record, int scan_group,
+                                      const FetchResident* resident) const = 0;
 
-  /// Format half of a completed fetch: wraps the plan's bytes (segments
-  /// concatenated in plan order) into a RawRecord for AssembleRecord.
-  /// Performs no I/O. Thread-safe. The default validates the byte count and
-  /// stamps the plan's record/scan group; sources that route plans
-  /// (ShardedRecordSource) or post-process payloads override it.
+  /// Resident-less convenience overload: always fetches every planned byte.
+  Result<FetchPlan> PlanFetch(int record, int scan_group) const {
+    return PlanFetch(record, scan_group, nullptr);
+  }
+
+  /// Format half of a completed fetch: stitches the plan's fetched bytes
+  /// (non-resident segments concatenated in plan order) and its resident
+  /// bytes into a RawRecord for AssembleRecord. RawRecord::bytes_read counts
+  /// only the fetched bytes — resident bytes cost no I/O. Performs no I/O.
+  /// Thread-safe. The default validates byte counts and stamps the plan's
+  /// record/scan group; sources that route plans (ShardedRecordSource) or
+  /// post-process payloads override it.
   virtual Result<RawRecord> CompleteFetch(const FetchPlan& plan,
                                           std::string bytes) const;
 
@@ -124,8 +186,10 @@ class RecordSource {
 
   /// Synchronous I/O adapter: PlanFetch + blocking segment reads +
   /// CompleteFetch. Thread-safe.
-  Result<RawRecord> FetchRecord(int record, int scan_group) {
-    PCR_ASSIGN_OR_RETURN(FetchPlan plan, PlanFetch(record, scan_group));
+  Result<RawRecord> FetchRecord(int record, int scan_group,
+                                const FetchResident* resident = nullptr) {
+    PCR_ASSIGN_OR_RETURN(FetchPlan plan,
+                         PlanFetch(record, scan_group, resident));
     PCR_ASSIGN_OR_RETURN(std::string bytes, ReadFetchPlan(plan));
     return CompleteFetch(plan, std::move(bytes));
   }

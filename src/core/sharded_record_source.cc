@@ -83,10 +83,10 @@ int ShardedRecordSource::RecordImages(int record) const {
   return shards_[loc->shard]->RecordImages(loc->local);
 }
 
-Result<FetchPlan> ShardedRecordSource::PlanFetch(int record,
-                                                 int scan_group) const {
+Result<FetchPlan> ShardedRecordSource::PlanFetch(
+    int record, int scan_group, const FetchResident* resident) const {
   PCR_ASSIGN_OR_RETURN(const Locator loc, Locate(record));
-  auto plan = shards_[loc.shard]->PlanFetch(loc.local, scan_group);
+  auto plan = shards_[loc.shard]->PlanFetch(loc.local, scan_group, resident);
   if (!plan.ok()) {
     return plan.status().WithContext(ShardContext(loc.shard));
   }

@@ -33,7 +33,9 @@ class ShardedRecordSource : public RecordSource {
   int num_scan_groups() const override { return num_groups_; }
   uint64_t RecordReadBytes(int record, int scan_group) const override;
   int RecordImages(int record) const override;
-  Result<FetchPlan> PlanFetch(int record, int scan_group) const override;
+  using RecordSource::PlanFetch;
+  Result<FetchPlan> PlanFetch(int record, int scan_group,
+                              const FetchResident* resident) const override;
   Result<RawRecord> CompleteFetch(const FetchPlan& plan,
                                   std::string bytes) const override;
   Result<RecordBatch> AssembleRecord(RawRecord raw) const override;

@@ -48,6 +48,15 @@ LoaderPipeline::LoaderPipeline(RecordSource* source,
   if (options_.decode_cache != nullptr && options_.cache_dataset_id == 0) {
     options_.cache_dataset_id = options_.decode_cache->RegisterDataset();
   }
+  options_.io_submit_batch = std::max(1, options_.io_submit_batch);
+  if (options_.prefix_cache == nullptr && options_.prefix_cache_bytes > 0) {
+    PrefixCacheOptions prefix_options;
+    prefix_options.capacity_bytes = options_.prefix_cache_bytes;
+    options_.prefix_cache = std::make_shared<PrefixCache>(prefix_options);
+  }
+  if (options_.prefix_cache != nullptr && options_.prefix_dataset_id == 0) {
+    options_.prefix_dataset_id = options_.prefix_cache->RegisterDataset();
+  }
   sampler_ = std::make_unique<RecordSampler>(
       source->num_records(), options_.shuffle, options_.seed);
   if (options_.max_epochs > 0) {
@@ -97,16 +106,16 @@ void LoaderPipeline::IoWorkerLoop(uint64_t seed) {
   Rng rng(seed);
   const int num_groups = source_->num_scan_groups();
   DecodeCache* const cache = options_.decode_cache.get();
+  PrefixCache* const prefixes = options_.prefix_cache.get();
+  const uint64_t prefix_id = options_.prefix_dataset_id;
   const int window = options_.io_inflight;
 
   // The submission window: one slot per fetch in flight, addressed through
-  // the completions' user_data. A slot holds its plan and the segment bytes
-  // completed so far (plans are usually a single segment; multi-segment
-  // plans submit their segments one after another).
+  // the completions' user_data. A slot holds its plan; the whole plan goes
+  // to the scheduler as one scatter-gather request, so the completion's
+  // bytes are the plan's fetched (non-resident) bytes in plan order.
   struct Slot {
     FetchPlan plan;
-    std::string bytes;
-    size_t next_segment = 0;
   };
   std::vector<Slot> slots(static_cast<size_t>(window));
   std::vector<int> free_slots;
@@ -127,17 +136,28 @@ void LoaderPipeline::IoWorkerLoop(uint64_t seed) {
     scheduler_options.queue_depth = window;
     // Every in-flight read may block a service thread in pread.
     scheduler_options.io_threads = window;
+    scheduler_options.backend = options_.io_backend;
+    scheduler_options.submit_batch = options_.io_submit_batch;
     schedulers.emplace_back(env, env->NewIoScheduler(scheduler_options));
+    io_backend_name_.store(schedulers.back().second->backend_name(),
+                           std::memory_order_relaxed);
     return schedulers.back().second.get();
   };
 
   // CompleteFetch + hand the raw record to the decode stage; frees the slot.
-  auto finish_slot = [&](int slot_index) -> bool {
+  // `bytes` are the plan's fetched bytes (empty for fully-resident plans).
+  auto finish_slot = [&](int slot_index, std::string bytes) -> bool {
     Slot& slot = slots[static_cast<size_t>(slot_index)];
     const int64_t complete_start = NowNanos();
-    auto raw = source_->CompleteFetch(slot.plan, std::move(slot.bytes));
+    auto raw = source_->CompleteFetch(slot.plan, std::move(bytes));
+    if (raw.ok() && prefixes != nullptr && !raw->payload.empty() &&
+        prefixes->Admits(raw->payload.size())) {
+      // The payload is the record file's on-storage prefix at this group;
+      // keep it so later fetches of the record plan around it.
+      prefixes->Insert(prefix_id, slot.plan.record, raw->scan_group,
+                       std::make_shared<const std::string>(raw->payload));
+    }
     io_stats_.AddBusyNanos(NowNanos() - complete_start);
-    slot.bytes.clear();
     free_slots.push_back(slot_index);
     if (!raw.ok()) {
       RecordError(raw.status().WithContext("loader I/O stage"));
@@ -152,14 +172,12 @@ void LoaderPipeline::IoWorkerLoop(uint64_t seed) {
     return true;
   };
 
-  auto submit_segment = [&](int slot_index) -> bool {
+  // The whole plan as one request: adjacent segments become one vectored op
+  // on backends that support it, and resident segments never reach storage.
+  auto submit_plan = [&](int slot_index) -> bool {
     Slot& slot = slots[static_cast<size_t>(slot_index)];
-    const FetchSegment& segment = slot.plan.segments[slot.next_segment];
-    ReadRequest request;
-    request.path = segment.path;
-    request.offset = segment.offset;
-    request.length = segment.length;
-    request.user_data = static_cast<uint64_t>(slot_index);
+    ReadRequest request =
+        slot.plan.ToReadRequest(static_cast<uint64_t>(slot_index));
     Status submitted =
         scheduler_for(slot.plan.env)->SubmitRead(std::move(request));
     if (!submitted.ok()) {
@@ -214,7 +232,17 @@ void LoaderPipeline::IoWorkerLoop(uint64_t seed) {
       }
 
       const int64_t plan_start = NowNanos();
-      auto plan = source_->PlanFetch(record, group);
+      std::optional<FetchResident> resident;
+      if (prefixes != nullptr) {
+        resident = prefixes->Lookup(prefix_id, record);
+        if (resident.has_value()) {
+          io_stats_.AddPrefixHit();
+        } else {
+          io_stats_.AddPrefixMiss();
+        }
+      }
+      auto plan = source_->PlanFetch(
+          record, group, resident.has_value() ? &*resident : nullptr);
       if (!plan.ok()) {
         io_stats_.AddBusyNanos(NowNanos() - plan_start);
         RecordError(plan.status().WithContext("loader I/O stage"));
@@ -225,15 +253,13 @@ void LoaderPipeline::IoWorkerLoop(uint64_t seed) {
       free_slots.pop_back();
       Slot& slot = slots[static_cast<size_t>(slot_index)];
       slot.plan = std::move(plan).MoveValue();
-      slot.bytes.clear();
-      slot.next_segment = 0;
-      if (slot.plan.segments.empty()) {
-        // Nothing to read (empty record): complete it right away.
+      if (slot.plan.fetch_bytes() == 0) {
+        // Fully resident (or empty): no storage I/O, complete right away.
         io_stats_.AddBusyNanos(NowNanos() - plan_start);
-        if (!finish_slot(slot_index)) running = false;
+        if (!finish_slot(slot_index, std::string())) running = false;
         continue;
       }
-      if (!submit_segment(slot_index)) {
+      if (!submit_plan(slot_index)) {
         io_stats_.AddBusyNanos(NowNanos() - plan_start);
         running = false;
         break;
@@ -293,27 +319,17 @@ void LoaderPipeline::IoWorkerLoop(uint64_t seed) {
       break;
     }
     const int slot_index = static_cast<int>(completion->user_data);
-    Slot& slot = slots[static_cast<size_t>(slot_index)];
-    if (slot.bytes.empty()) {
-      slot.bytes = std::move(completion->bytes);
-    } else {
-      slot.bytes += completion->bytes;
-    }
-    ++slot.next_segment;
-    if (slot.next_segment < slot.plan.segments.size()) {
-      const int64_t submit_start = NowNanos();
-      const bool submitted = submit_segment(slot_index);
-      io_stats_.AddBusyNanos(NowNanos() - submit_start);
-      if (!submitted) break;
-      ++in_flight;
-      io_stats_.SampleInFlight(in_flight);
-    } else {
-      if (!finish_slot(slot_index)) break;
-    }
+    if (!finish_slot(slot_index, std::move(completion->bytes))) break;
   }
   // Slots still in flight after Stop() or a failure are dropped here: the
   // schedulers' destructors join their service threads and discard the
   // outstanding completions.
+  // Fold the schedulers' op/submit/syscall totals into the stage gauges
+  // before they go away — that is where syscalls-per-record comes from.
+  for (auto& [scheduler_env, scheduler] : schedulers) {
+    (void)scheduler_env;
+    io_stats_.AddSchedulerStats(scheduler->stats());
+  }
   // Last I/O worker out seals the stage: decode drains what was fetched.
   if (live_io_workers_.fetch_sub(1) == 1) fetch_queue_.Close();
 }
@@ -494,6 +510,8 @@ StageStatsSnapshot LoaderPipeline::io_stats() const {
   StageStatsSnapshot snap =
       io_stats_.Snapshot("io", options_.io_threads, fetch_queue_.capacity());
   snap.submission_window = options_.io_inflight;
+  const char* backend = io_backend_name_.load(std::memory_order_relaxed);
+  if (backend != nullptr) snap.io_backend = backend;
   if (options_.decode_cache != nullptr) {
     const DecodeCacheStats cache = options_.decode_cache->stats();
     snap.cache_evictions = cache.evictions;

@@ -37,6 +37,7 @@
 #include "core/record_source.h"
 #include "loader/data_loader.h"
 #include "loader/decode_cache.h"
+#include "loader/prefix_cache.h"
 #include "loader/sampler.h"
 #include "loader/scan_policy.h"
 #include "loader/stage_stats.h"
@@ -92,6 +93,27 @@ struct LoaderPipelineOptions {
   /// Loaders over the same on-storage dataset share hits by passing the
   /// same id.
   uint64_t cache_dataset_id = 0;
+
+  /// I/O backend for the stage's schedulers. kAuto defers to the PCR_FORCE_IO
+  /// override / runtime io_uring probe (storage/io_backend.h); tests and
+  /// benches pin a tier explicitly.
+  IoBackend io_backend = IoBackend::kAuto;
+  /// Submission window the uring backend coalesces per io_uring_submit —
+  /// plans queued as SQEs before one enter syscall flushes them. Ignored by
+  /// the sync/thread backends, which have no batched submission.
+  int io_submit_batch = 4;
+
+  // Raw scan-prefix cache (loader/prefix_cache.h). I/O workers feed each
+  // ticket's PlanFetch the record's cached prefix, so a quality upgrade
+  // fetches only the delta bytes and a same-or-lower-quality re-read is
+  // fully resident (zero I/O); fetched payloads deepen the cache after
+  // CompleteFetch. Orthogonal to the decode cache: this one holds raw
+  // on-storage bytes and serves *partial* hits. Hand in a shared cache or
+  // set prefix_cache_bytes > 0 for a private one.
+  std::shared_ptr<PrefixCache> prefix_cache;
+  uint64_t prefix_cache_bytes = 0;
+  /// Key namespace inside a shared prefix cache; 0 = auto-register.
+  uint64_t prefix_dataset_id = 0;
 };
 
 /// Two-stage threaded loader. Thread-safe for a single consumer of Next();
@@ -150,6 +172,12 @@ class LoaderPipeline {
   }
   uint64_t cache_dataset_id() const { return options_.cache_dataset_id; }
 
+  /// The raw scan-prefix cache in use (null when off) and its namespace.
+  const std::shared_ptr<PrefixCache>& prefix_cache() const {
+    return options_.prefix_cache;
+  }
+  uint64_t prefix_dataset_id() const { return options_.prefix_dataset_id; }
+
  private:
   void IoWorkerLoop(uint64_t seed);
   void DecodeWorkerLoop();
@@ -183,6 +211,9 @@ class LoaderPipeline {
 
   StageStats io_stats_;
   StageStats decode_stats_;
+  /// Resolved backend name of the stage's schedulers (a static string from
+  /// IoScheduler::backend_name), stamped by the first worker to open one.
+  std::atomic<const char*> io_backend_name_{nullptr};
 
   std::atomic<int64_t> io_stall_nanos_{0};
   std::atomic<int64_t> decode_stall_nanos_{0};

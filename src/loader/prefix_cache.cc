@@ -1,0 +1,81 @@
+#include "loader/prefix_cache.h"
+
+#include <utility>
+
+namespace pcr {
+
+std::optional<FetchResident> PrefixCache::Lookup(uint64_t dataset_id,
+                                                 int record) {
+  const Key key{dataset_id, record};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  FetchResident resident;
+  resident.scan_group = it->second->scan_group;
+  resident.bytes = it->second->bytes;
+  return resident;
+}
+
+void PrefixCache::Insert(uint64_t dataset_id, int record, int scan_group,
+                         std::shared_ptr<const std::string> bytes) {
+  if (bytes == nullptr || !Admits(bytes->size())) {
+    rejects_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const Key key{dataset_id, record};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    Entry& entry = *it->second;
+    // A deeper prefix subsumes the cached one; anything else only refreshes
+    // recency. Same-group re-reads can differ in length only if the dataset
+    // changed underneath us, which the cache does not try to detect.
+    if (scan_group <= entry.scan_group) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      rejects_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    bytes_ -= entry.bytes->size();
+    entry.scan_group = scan_group;
+    entry.bytes = std::move(bytes);
+    bytes_ += entry.bytes->size();
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    Entry entry;
+    entry.key = key;
+    entry.scan_group = scan_group;
+    entry.bytes = std::move(bytes);
+    bytes_ += entry.bytes->size();
+    lru_.push_front(std::move(entry));
+    index_[key] = lru_.begin();
+  }
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  while (bytes_ > options_.capacity_bytes && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.bytes->size();
+    index_.erase(victim.key);
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+PrefixCacheStats PrefixCache::stats() const {
+  PrefixCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.inserts = inserts_.load(std::memory_order_relaxed);
+  stats.rejects = rejects_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.capacity_bytes = options_.capacity_bytes;
+  std::lock_guard<std::mutex> lock(mu_);
+  stats.bytes_in_use = bytes_;
+  stats.entries = static_cast<int64_t>(lru_.size());
+  return stats;
+}
+
+}  // namespace pcr

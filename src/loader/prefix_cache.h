@@ -1,0 +1,116 @@
+// PrefixCache: a byte-budgeted LRU of raw on-storage scan prefixes, keyed on
+// (dataset id, record). Where the DecodeCache short-circuits a whole read at
+// an exact (record, scan group), this cache feeds RecordSource::PlanFetch a
+// FetchResident so quality *upgrades* become delta reads: a record fetched
+// at group g keeps its raw prefix here, and a later fetch at g' > g plans a
+// resident segment for the cached bytes plus one fetch segment for
+// [prefix(g), prefix(g')) — the scatter-gather skip-resident path. A re-read
+// at g'' <= g is fully resident and needs no I/O at all.
+//
+// Each record keeps only its deepest prefix (a longer prefix subsumes every
+// shorter one), behind shared_ptr<const string> so a Lookup result stays
+// valid while plans referencing it are in flight, even across eviction.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/record_source.h"
+
+namespace pcr {
+
+struct PrefixCacheOptions {
+  /// Total raw-byte budget across all cached prefixes.
+  uint64_t capacity_bytes = 64ull << 20;
+};
+
+struct PrefixCacheStats {
+  int64_t hits = 0;       // Lookups that returned a prefix.
+  int64_t misses = 0;
+  int64_t inserts = 0;    // Accepted inserts (including deepenings).
+  int64_t rejects = 0;    // Shallower-than-cached or over-budget inserts.
+  int64_t evictions = 0;  // Entries pushed out by the byte budget.
+  uint64_t bytes_in_use = 0;
+  int64_t entries = 0;
+  uint64_t capacity_bytes = 0;
+};
+
+/// Thread-safe; one mutex (the payloads are pointer-swaps, not copies).
+class PrefixCache {
+ public:
+  explicit PrefixCache(PrefixCacheOptions options) : options_(options) {}
+
+  PrefixCache(const PrefixCache&) = delete;
+  PrefixCache& operator=(const PrefixCache&) = delete;
+
+  /// Hands out a process-unique dataset id for keying, so one cache can be
+  /// shared by loaders over different sources without key collisions.
+  uint64_t RegisterDataset() {
+    return next_dataset_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// The record's deepest cached prefix (marking it most-recently-used), or
+  /// nullopt. The result aliases the cache entry, not a copy.
+  std::optional<FetchResident> Lookup(uint64_t dataset_id, int record);
+
+  /// Offers `bytes` as the record's raw prefix as fetched at `scan_group`.
+  /// Kept only when deeper than what is cached (or new), and only when it
+  /// fits the budget; least-recently-used records are evicted to make room.
+  void Insert(uint64_t dataset_id, int record, int scan_group,
+              std::shared_ptr<const std::string> bytes);
+
+  /// Whether an Insert of `bytes` bytes could be admitted at all. Lets the
+  /// miss path skip building the shared payload copy for hopeless inserts.
+  bool Admits(uint64_t bytes) const {
+    return bytes > 0 && bytes <= options_.capacity_bytes;
+  }
+
+  PrefixCacheStats stats() const;
+
+  uint64_t capacity_bytes() const { return options_.capacity_bytes; }
+
+ private:
+  struct Key {
+    uint64_t dataset_id = 0;
+    int record = -1;
+    bool operator==(const Key& other) const {
+      return dataset_id == other.dataset_id && record == other.record;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      uint64_t x = key.dataset_id * 0x9e3779b97f4a7c15ULL +
+                   static_cast<uint32_t>(key.record);
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      return static_cast<size_t>(x ^ (x >> 31));
+    }
+  };
+  struct Entry {
+    Key key;
+    int scan_group = 0;
+    std::shared_ptr<const std::string> bytes;
+  };
+
+  PrefixCacheOptions options_;
+  std::atomic<uint64_t> next_dataset_id_{1};
+
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // Front = most recently used.
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+  uint64_t bytes_ = 0;
+
+  mutable std::atomic<int64_t> hits_{0};
+  mutable std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> inserts_{0};
+  std::atomic<int64_t> rejects_{0};
+  std::atomic<int64_t> evictions_{0};
+};
+
+}  // namespace pcr

@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <string>
 
+#include "storage/env.h"
+
 namespace pcr {
 
 /// Point-in-time copy of one stage's counters, with time in seconds.
@@ -37,6 +39,40 @@ struct StageStatsSnapshot {
   /// well under 1.0 means tickets or queue space ran out first.
   double mean_in_flight = 0;
   int submission_window = 0;
+
+  /// Scheduler-level I/O gauges (I/O stage only; zero elsewhere), aggregated
+  /// from every backend IoScheduler the stage's workers opened. `io_backend`
+  /// names the scheduler actually serving reads ("uring", "threads", "sync",
+  /// "sim") — what PCR_FORCE_IO / the runtime probe resolved to, which the
+  /// configured backend may not be.
+  std::string io_backend;
+  int64_t io_requests = 0;  // Scatter-gather requests (one per fetch plan).
+  int64_t io_segments = 0;  // Byte ranges across those requests.
+  int64_t io_ops = 0;       // Kernel-visible ops (SQEs / preads).
+  int64_t io_submits = 0;   // Submission boundaries (enters that submitted).
+  int64_t io_syscalls = 0;  // Syscalls issued by the schedulers.
+  /// Raw prefix-cache traffic (loader/prefix_cache.h): hits turn quality
+  /// upgrades into delta reads or skip I/O entirely.
+  int64_t prefix_hits = 0;
+  int64_t prefix_misses = 0;
+
+  /// Mean kernel-visible ops per submission boundary — the submitted-batch
+  /// gauge. ~1.0 means no batching (pread per op); >1 means the backend
+  /// coalesced ops per syscall.
+  double mean_submit_batch() const {
+    return io_submits > 0 ? static_cast<double>(io_ops) /
+                                static_cast<double>(io_submits)
+                          : 0.0;
+  }
+
+  /// Scheduler syscalls per record fetched — the figure-of-merit the uring
+  /// backend drives down (batched, vectored submission) versus the
+  /// pread-per-segment thread backend.
+  double syscalls_per_record() const {
+    return items > 0 ? static_cast<double>(io_syscalls) /
+                           static_cast<double>(items)
+                     : 0.0;
+  }
 
   /// busy / (busy + idle): 1.0 means the stage is the bottleneck.
   double utilization() const {
@@ -78,6 +114,21 @@ class StageStats {
     in_flight_sum_.fetch_add(depth, std::memory_order_relaxed);
     in_flight_samples_.fetch_add(1, std::memory_order_relaxed);
   }
+  /// Folds one backend scheduler's counters in (workers call this once per
+  /// scheduler at exit — the counters are totals, not deltas).
+  void AddSchedulerStats(const IoSchedulerStats& io) {
+    io_requests_.fetch_add(io.requests, std::memory_order_relaxed);
+    io_segments_.fetch_add(io.segments, std::memory_order_relaxed);
+    io_ops_.fetch_add(io.ops, std::memory_order_relaxed);
+    io_submits_.fetch_add(io.submits, std::memory_order_relaxed);
+    io_syscalls_.fetch_add(io.syscalls, std::memory_order_relaxed);
+  }
+  void AddPrefixHit() {
+    prefix_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddPrefixMiss() {
+    prefix_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   StageStatsSnapshot Snapshot(std::string name, int threads,
                               size_t queue_capacity) const {
@@ -106,6 +157,13 @@ class StageStats {
                   in_flight_sum_.load(std::memory_order_relaxed)) /
                   static_cast<double>(in_flight_samples)
             : 0.0;
+    snap.io_requests = io_requests_.load(std::memory_order_relaxed);
+    snap.io_segments = io_segments_.load(std::memory_order_relaxed);
+    snap.io_ops = io_ops_.load(std::memory_order_relaxed);
+    snap.io_submits = io_submits_.load(std::memory_order_relaxed);
+    snap.io_syscalls = io_syscalls_.load(std::memory_order_relaxed);
+    snap.prefix_hits = prefix_hits_.load(std::memory_order_relaxed);
+    snap.prefix_misses = prefix_misses_.load(std::memory_order_relaxed);
     return snap;
   }
 
@@ -120,6 +178,13 @@ class StageStats {
   std::atomic<int64_t> cache_misses_{0};
   std::atomic<int64_t> in_flight_sum_{0};
   std::atomic<int64_t> in_flight_samples_{0};
+  std::atomic<int64_t> io_requests_{0};
+  std::atomic<int64_t> io_segments_{0};
+  std::atomic<int64_t> io_ops_{0};
+  std::atomic<int64_t> io_submits_{0};
+  std::atomic<int64_t> io_syscalls_{0};
+  std::atomic<int64_t> prefix_hits_{0};
+  std::atomic<int64_t> prefix_misses_{0};
 };
 
 }  // namespace pcr

@@ -36,8 +36,13 @@ double TrainingPipelineSim::RecordIoSeconds(int record, int scan_group) const {
   // previous record) + request overhead + sequential transfer.
   const double transfer =
       static_cast<double>(bytes) / storage_.read_bandwidth_bytes_per_sec;
-  const double blocking =
-      storage_.seek_latency_sec + storage_.per_op_latency_sec + transfer;
+  // Batched submission amortizes the per-op setup cost across the batch
+  // (one submit syscall carries `batch` requests); seek and transfer are
+  // physical and stay per request. Batch 1 = unbatched backends, unchanged.
+  const double per_op =
+      storage_.per_op_latency_sec /
+      static_cast<double>(std::max(1, options_.io_submit_batch));
+  const double blocking = storage_.seek_latency_sec + per_op + transfer;
   // With `window` fetches in flight, fixed per-request costs overlap across
   // the window while transfers serialize on the shared medium: throughput is
   // bound by the slower of the bandwidth floor and the latency-limited rate.

@@ -41,6 +41,14 @@ struct PipelineSimOptions {
   /// floor. Mirrors LoaderPipelineOptions::io_inflight and the
   /// SimEnv/SimDevice overlapped-read model.
   int io_inflight_window = 1;
+  /// Submission batching of the loader's I/O workers: requests queued before
+  /// one submission syscall flushes them, mirroring the uring backend's
+  /// batched io_uring_submit (LoaderPipelineOptions::io_submit_batch). The
+  /// per-op setup cost amortizes across the batch — 1 models the unbatched
+  /// pread-per-request backends exactly (and keeps fig9/fig11 comparable);
+  /// deeper batches shave per-request overhead without touching seek or
+  /// transfer time.
+  int io_submit_batch = 1;
   /// Assumed images per record when the source cannot say (safety net).
   int default_images_per_record = 128;
   /// Decoded-record cache model (the analytic twin of loader/decode_cache.h):

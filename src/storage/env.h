@@ -43,14 +43,37 @@ class WritableFile {
   virtual uint64_t BytesWritten() const = 0;
 };
 
-/// One asynchronous read: `length` bytes at `offset` of `path`.
-struct ReadRequest {
+/// One contiguous byte range of one file within an asynchronous read.
+struct ReadSegment {
   std::string path;
   uint64_t offset = 0;
   uint64_t length = 0;
+};
+
+/// One asynchronous read: one or more file ranges whose bytes are delivered
+/// concatenated, in segment order, in a single completion. Multi-segment
+/// requests let a whole scatter-gather FetchPlan ride one submission (the
+/// uring backend turns adjacent segments into one vectored SQE); single-range
+/// reads are the common case (see Range()).
+struct ReadRequest {
+  std::vector<ReadSegment> segments;
   /// Opaque cookie echoed back in the completion so callers can match
   /// out-of-order completions to their submissions.
   uint64_t user_data = 0;
+
+  uint64_t total_length() const {
+    uint64_t n = 0;
+    for (const ReadSegment& s : segments) n += s.length;
+    return n;
+  }
+
+  static ReadRequest Range(std::string path, uint64_t offset, uint64_t length,
+                           uint64_t user_data = 0) {
+    ReadRequest request;
+    request.segments.push_back({std::move(path), offset, length});
+    request.user_data = user_data;
+    return request;
+  }
 };
 
 /// The outcome of one submitted read. A read shorter than the requested
@@ -59,7 +82,27 @@ struct ReadRequest {
 struct ReadCompletion {
   uint64_t user_data = 0;
   Status status;      // Non-OK when the read failed (`bytes` is empty).
-  std::string bytes;  // Exactly `request.length` bytes on success.
+  std::string bytes;  // Exactly `request.total_length()` bytes on success.
+};
+
+/// Which mechanism serves a scheduler's reads. kAuto applies the
+/// PCR_FORCE_IO={sync,threads,uring} override, then picks uring when the
+/// build and kernel support it, else the pread-thread backend.
+enum class IoBackend { kAuto = 0, kSync, kThreads, kUring };
+
+/// Cumulative kernel-interaction counters a scheduler keeps so callers (the
+/// loader's StageStats, benches) can report submitted-batch sizes and
+/// syscalls per record. `ops` counts kernel-visible read operations (preads
+/// issued, SQEs queued); `submits` counts submission boundaries (one per
+/// batched ring flush, one per op for pread backends); `syscalls` counts
+/// I/O syscalls actually made (pread and io_uring_enter calls — virtual
+/// devices report 0).
+struct IoSchedulerStats {
+  int64_t requests = 0;
+  int64_t segments = 0;
+  int64_t ops = 0;
+  int64_t submits = 0;
+  int64_t syscalls = 0;
 };
 
 struct IoSchedulerOptions {
@@ -68,10 +111,23 @@ struct IoSchedulerOptions {
   /// fails with ResourceExhausted (schedulers that cannot block, e.g. the
   /// single-threaded SimEnv model).
   int queue_depth = 16;
-  /// Internal service threads (PosixEnv; schedulers without real threads
-  /// ignore it). Each blocked pread occupies one, so keeping `queue_depth`
-  /// reads genuinely in flight needs `io_threads >= queue_depth`.
+  /// Internal service threads (pread backend; schedulers without real
+  /// threads ignore it). Each blocked pread occupies one, so keeping
+  /// `queue_depth` reads genuinely in flight needs `io_threads >=
+  /// queue_depth`.
   int io_threads = 2;
+  /// uring: SQEs accumulated in the submission queue before one
+  /// io_uring_enter flushes them (Wait/PollCompletion flush early, so
+  /// batching never delays a read the caller is waiting on).
+  int submit_batch = 4;
+  /// uring: when non-zero, register `queue_depth` kernel-pinned buffers of
+  /// this size and serve reads that fit through IORING_OP_READ_FIXED
+  /// (bytes are copied out at completion). Zero reads directly into the
+  /// completion's storage with vectored SQEs.
+  size_t fixed_buffer_bytes = 0;
+  /// Backend selection (PosixEnv; other Envs ignore it). kAuto resolves
+  /// PCR_FORCE_IO and falls back from uring to threads when unsupported.
+  IoBackend backend = IoBackend::kAuto;
 };
 
 /// io_uring-style submission/completion read interface. One scheduler is
@@ -99,6 +155,13 @@ class IoScheduler {
 
   /// Reads submitted but not yet handed back through Wait/PollCompletion.
   virtual int in_flight() const = 0;
+
+  /// Short tag naming the mechanism behind this scheduler ("sync",
+  /// "threads", "uring", "sim").
+  virtual const char* backend_name() const { return "unknown"; }
+
+  /// Cumulative kernel-interaction counters (see IoSchedulerStats).
+  virtual IoSchedulerStats stats() const { return {}; }
 };
 
 /// Filesystem + clock environment.

@@ -1,0 +1,86 @@
+#include "storage/io_backend.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "storage/uring_io.h"
+#include "util/logging.h"
+
+namespace pcr {
+
+const char* IoBackendName(IoBackend backend) {
+  switch (backend) {
+    case IoBackend::kAuto:
+      return "auto";
+    case IoBackend::kSync:
+      return "sync";
+    case IoBackend::kThreads:
+      return "threads";
+    case IoBackend::kUring:
+      return "uring";
+  }
+  return "unknown";
+}
+
+bool ParseIoBackend(const char* s, IoBackend* out) {
+  if (s == nullptr) return false;
+  for (IoBackend backend :
+       {IoBackend::kSync, IoBackend::kThreads, IoBackend::kUring}) {
+    if (std::strcmp(s, IoBackendName(backend)) == 0) {
+      *out = backend;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool UringIoSupported() { return UringProbe(); }
+
+IoBackend ResolveIoBackend(const char* force, bool uring_supported,
+                           std::string* warning) {
+  const IoBackend fallback =
+      uring_supported ? IoBackend::kUring : IoBackend::kThreads;
+  if (force == nullptr || force[0] == '\0') return fallback;
+  IoBackend forced;
+  if (!ParseIoBackend(force, &forced)) {
+    if (warning != nullptr) {
+      *warning = std::string("PCR_FORCE_IO=\"") + force +
+                 "\" is not one of sync/threads/uring; using " +
+                 IoBackendName(fallback);
+    }
+    return fallback;
+  }
+  if (forced == IoBackend::kUring && !uring_supported) {
+    if (warning != nullptr) {
+      *warning =
+          "PCR_FORCE_IO=uring is not supported by this build/kernel; "
+          "using threads";
+    }
+    return IoBackend::kThreads;
+  }
+  return forced;
+}
+
+namespace {
+// kAuto (0) doubles as "not yet resolved"; resolution never returns kAuto.
+std::atomic<IoBackend> g_active{IoBackend::kAuto};
+}  // namespace
+
+IoBackend ActiveIoBackend() {
+  IoBackend backend = g_active.load(std::memory_order_acquire);
+  if (backend != IoBackend::kAuto) return backend;
+  // Racing threads resolve to the same value; the store is idempotent.
+  std::string warning;
+  backend = ResolveIoBackend(std::getenv("PCR_FORCE_IO"), UringIoSupported(),
+                             &warning);
+  if (!warning.empty()) PCR_LOG(Warning) << warning;
+  g_active.store(backend, std::memory_order_release);
+  return backend;
+}
+
+void ResetIoBackendForTest() {
+  g_active.store(IoBackend::kAuto, std::memory_order_release);
+}
+
+}  // namespace pcr

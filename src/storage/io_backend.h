@@ -1,0 +1,40 @@
+// I/O backend dispatch: resolves which read backend (sync, pread threads,
+// io_uring) serves PosixEnv's IoSchedulers, mirroring the kernel-ISA
+// dispatch in src/arch/ — a PCR_FORCE_IO env override, a runtime support
+// probe, and a cached process-wide decision with a warning when a forced
+// backend is unavailable.
+#pragma once
+
+#include <string>
+
+#include "storage/env.h"
+
+namespace pcr {
+
+/// Stable name for a backend ("auto", "sync", "threads", "uring").
+const char* IoBackendName(IoBackend backend);
+
+/// Parses "sync"/"threads"/"uring" (the PCR_FORCE_IO vocabulary). Returns
+/// false (and leaves *out alone) for anything else, including "auto".
+bool ParseIoBackend(const char* s, IoBackend* out);
+
+/// True when this build carries the uring scheduler and the running kernel
+/// accepts io_uring_setup (probed once per process, cached; EPERM from
+/// /proc/sys/kernel/io_uring_disabled counts as unsupported).
+bool UringIoSupported();
+
+/// Pure resolution: applies a PCR_FORCE_IO-style string to pick a concrete
+/// backend (never kAuto). Empty/null `force` means auto: uring when
+/// `uring_supported`, else threads. Forcing uring without support falls back
+/// to threads with a warning; unknown strings warn and take the auto choice.
+IoBackend ResolveIoBackend(const char* force, bool uring_supported,
+                           std::string* warning);
+
+/// The backend kAuto resolves to: getenv("PCR_FORCE_IO") + the support
+/// probe, decided once per process (the first call logs any warning).
+IoBackend ActiveIoBackend();
+
+/// Drops the cached ActiveIoBackend decision so tests can vary PCR_FORCE_IO.
+void ResetIoBackendForTest();
+
+}  // namespace pcr

@@ -20,10 +20,23 @@ class SyncIoScheduler : public IoScheduler {
     if (static_cast<int>(completions_.size()) >= options_.queue_depth) {
       return Status::ResourceExhausted("io scheduler full");
     }
+    ++stats_.requests;
+    stats_.segments += static_cast<int64_t>(request.segments.size());
     ReadCompletion completion;
     completion.user_data = request.user_data;
-    completion.status = env_->ReadRange(request.path, request.offset,
-                                        request.length, &completion.bytes);
+    completion.bytes.reserve(request.total_length());
+    // One blocking read per segment; syscall accounting is approximate (each
+    // ReadRange is at least one pread behind a cached descriptor).
+    for (const ReadSegment& segment : request.segments) {
+      ++stats_.ops;
+      ++stats_.submits;
+      ++stats_.syscalls;
+      std::string part;
+      completion.status =
+          env_->ReadRange(segment.path, segment.offset, segment.length, &part);
+      if (!completion.status.ok()) break;
+      completion.bytes += part;
+    }
     if (!completion.status.ok()) completion.bytes.clear();
     completions_.push_back(std::move(completion));
     return Status::OK();
@@ -49,10 +62,15 @@ class SyncIoScheduler : public IoScheduler {
     return static_cast<int>(completions_.size());
   }
 
+  const char* backend_name() const override { return "sync"; }
+
+  IoSchedulerStats stats() const override { return stats_; }
+
  private:
   Env* env_;
   IoSchedulerOptions options_;
   std::deque<ReadCompletion> completions_;
+  IoSchedulerStats stats_;
 };
 
 }  // namespace

@@ -73,23 +73,35 @@ class SimIoScheduler : public IoScheduler {
     if (static_cast<int>(pending_.size()) >= depth_) {
       return Status::ResourceExhausted("io scheduler full");
     }
+    ++stats_.requests;
+    stats_.segments += static_cast<int64_t>(request.segments.size());
+    stats_.ops += static_cast<int64_t>(request.segments.size());
+    ++stats_.submits;  // The whole request is one modeled submission.
     ReadCompletion completion;
     completion.user_data = request.user_data;
-    auto data = env_->FileData(request.path);
-    if (!data.ok()) {
-      completion.status = data.status();
-    } else if (request.offset + request.length > (*data)->size()) {
-      completion.status = Status::IOError("short read of " + request.path);
-    } else {
-      completion.bytes.assign(
-          (*data)->data() + request.offset,
-          static_cast<size_t>(request.length));
+    completion.bytes.reserve(request.total_length());
+    for (const ReadSegment& segment : request.segments) {
+      auto data = env_->FileData(segment.path);
+      if (!data.ok()) {
+        completion.status = data.status();
+        break;
+      }
+      if (segment.offset + segment.length > (*data)->size()) {
+        completion.status = Status::IOError("short read of " + segment.path);
+        break;
+      }
+      completion.bytes.append((*data)->data() + segment.offset,
+                              static_cast<size_t>(segment.length));
     }
+    if (!completion.status.ok()) completion.bytes.clear();
     // Failures complete immediately (no bytes move); successful reads
-    // complete when the modeled device delivers them.
+    // complete when the modeled device delivers them. A multi-segment
+    // request charges one submission for its total bytes — the device
+    // model's per-op setup phase is paid once per request, mirroring the
+    // uring backend's one-SQE-per-plan batching.
     const int64_t done =
         completion.status.ok()
-            ? env_->device()->SubmitOverlappedRead(request.length)
+            ? env_->device()->SubmitOverlappedRead(request.total_length())
             : env_->clock()->NowNanos();
     pending_.emplace(done, order_++, std::move(completion));
     return Status::OK();
@@ -117,6 +129,11 @@ class SimIoScheduler : public IoScheduler {
     return static_cast<int>(pending_.size());
   }
 
+  const char* backend_name() const override { return "sim"; }
+
+  // `syscalls` stays 0: the device is virtual, nothing reaches the kernel.
+  IoSchedulerStats stats() const override { return stats_; }
+
  private:
   struct Pending {
     int64_t done;
@@ -142,6 +159,7 @@ class SimIoScheduler : public IoScheduler {
   uint64_t order_ = 0;
   std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>>
       pending_;
+  IoSchedulerStats stats_;
 };
 
 SimEnv::SimEnv(DeviceProfile profile, Clock* clock)

@@ -1,0 +1,687 @@
+#include "storage/uring_io.h"
+
+#if defined(__linux__) && defined(PCR_HAVE_URING)
+
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "storage/fd_cache.h"
+#include "util/logging.h"
+
+#ifdef __NR_io_uring_setup
+
+namespace pcr {
+
+namespace {
+
+int SysUringSetup(unsigned entries, struct io_uring_params* params) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, params));
+}
+
+int SysUringEnter(int ring_fd, unsigned to_submit, unsigned min_complete,
+                  unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, ring_fd, to_submit,
+                                    min_complete, flags, nullptr, 0));
+}
+
+int SysUringRegister(int ring_fd, unsigned opcode, const void* arg,
+                     unsigned nr_args) {
+  return static_cast<int>(
+      ::syscall(__NR_io_uring_register, ring_fd, opcode, arg, nr_args));
+}
+
+unsigned LoadAcquire(const unsigned* p) {
+  return __atomic_load_n(p, __ATOMIC_ACQUIRE);
+}
+
+void StoreRelease(unsigned* p, unsigned v) {
+  __atomic_store_n(p, v, __ATOMIC_RELEASE);
+}
+
+unsigned NextPow2(unsigned v) {
+  unsigned p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// Registered-file table slots per ring. The loader's working set is a
+/// handful of record files per shard, so a small fixed table covers the hot
+/// paths; overflow just falls back to plain descriptors in the SQE.
+constexpr size_t kRegisteredFileSlots = 32;
+
+/// One ring per scheduler, one submitting thread (the IoScheduler contract),
+/// raw syscalls throughout. SubmitRead turns each request into one vectored
+/// READV SQE per contiguous run of segments (adjacent same-file segments
+/// share an SQE, one iovec per segment) reading straight into the
+/// completion's byte storage; SQEs accumulate until `submit_batch` of them
+/// (or a Wait/Poll) flush in a single io_uring_enter, which is where the
+/// syscalls-per-record win over the pread backend comes from.
+class UringIoScheduler final : public IoScheduler {
+ public:
+  static std::unique_ptr<IoScheduler> Create(FdCache* fds,
+                                             const IoSchedulerOptions& options) {
+    std::unique_ptr<UringIoScheduler> scheduler(
+        new UringIoScheduler(fds, options));
+    if (!scheduler->Init()) return nullptr;
+    return scheduler;
+  }
+
+  ~UringIoScheduler() override {
+    Drain();
+    Teardown();
+  }
+
+  Status SubmitRead(ReadRequest request) override {
+    if (broken_) return Status::Aborted("io_uring scheduler broken");
+    if (in_flight_ >= depth_) {
+      return Status::ResourceExhausted("io scheduler full");
+    }
+    ++stats_.requests;
+    stats_.segments += static_cast<int64_t>(request.segments.size());
+    const size_t slot = AllocRequest();
+    Request& req = *requests_[slot];
+    req.user_data = request.user_data;
+    req.status = Status::OK();
+    req.failed = false;
+    req.outstanding_ops = 0;
+    req.bytes.assign(request.total_length(), '\0');
+    ++in_flight_;
+
+    // Coalesce adjacent same-file segments into runs; one vectored SQE each.
+    const auto& segs = request.segments;
+    Status fail = Status::OK();
+    size_t dest_offset = 0;
+    size_t i = 0;
+    while (i < segs.size()) {
+      uint64_t run_end = segs[i].offset + segs[i].length;
+      size_t j = i + 1;
+      while (j < segs.size() && segs[j].path == segs[i].path &&
+             segs[j].offset == run_end) {
+        run_end += segs[j].length;
+        ++j;
+      }
+      const uint64_t run_bytes = run_end - segs[i].offset;
+      if (run_bytes == 0) {
+        i = j;
+        continue;
+      }
+      auto fd = fds_->Open(segs[i].path);
+      if (!fd.ok()) {
+        fail = fd.status();
+        break;
+      }
+      req.fds.push_back(*fd);
+      char* const run_dest = req.bytes.data() + dest_offset;
+      dest_offset += run_bytes;
+
+      const size_t op_index = AllocOp();
+      Op& op = *ops_[op_index];
+      op.request_slot = slot;
+      op.path = segs[i].path;
+      op.file_offset = segs[i].offset;
+      op.fd = (*fd)->fd();
+      op.fixed_file = RegisteredFileIndex(op.path, op.fd, *fd);
+      op.iov.clear();
+      op.iov_next = 0;
+      size_t seg_dest = 0;
+      for (size_t k = i; k < j; ++k) {
+        if (segs[k].length == 0) continue;
+        op.iov.push_back(
+            {run_dest + seg_dest, static_cast<size_t>(segs[k].length)});
+        seg_dest += segs[k].length;
+      }
+      op.buffer_slot = -1;
+      op.copy_dest = nullptr;
+      op.copy_remaining = 0;
+      if (buffers_registered_ && run_bytes <= buffer_bytes_ &&
+          !free_buffers_.empty()) {
+        op.buffer_slot = free_buffers_.back();
+        free_buffers_.pop_back();
+        op.copy_dest = run_dest;
+        op.copy_remaining = static_cast<size_t>(run_bytes);
+      }
+      ++req.outstanding_ops;
+      const Status queued = QueueSqe(op_index);
+      if (!queued.ok()) {
+        --req.outstanding_ops;
+        ReleaseBuffer(&op);
+        FreeOp(op_index);
+        fail = queued;
+        break;
+      }
+      i = j;
+    }
+    if (!fail.ok()) {
+      req.failed = true;
+      req.status = fail;
+    }
+    // Zero-byte requests and submit-time failures with no kernel ops finish
+    // here; everything else finalizes as its CQEs arrive.
+    if (req.outstanding_ops == 0) {
+      Finalize(slot);
+    } else if (unflushed_ >= static_cast<unsigned>(submit_batch_)) {
+      (void)FlushSubmissions();
+    }
+    return Status::OK();
+  }
+
+  Result<ReadCompletion> WaitCompletion() override {
+    if (in_flight_ == 0) {
+      return Status::FailedPrecondition("no reads in flight");
+    }
+    for (;;) {
+      if (!ready_.empty()) return PopReady();
+      ReapCompletions();
+      if (!ready_.empty()) continue;
+      if (kernel_outstanding_ == 0 && unflushed_ == 0) {
+        return Status::Unknown("io_uring scheduler lost a completion");
+      }
+      // One syscall both submits anything queued and waits for a CQE.
+      const unsigned to_submit = unflushed_;
+      const int ret =
+          SysUringEnter(ring_fd_, to_submit, 1, IORING_ENTER_GETEVENTS);
+      ++stats_.syscalls;
+      if (ret < 0) {
+        if (errno == EINTR || errno == EBUSY) continue;
+        broken_ = true;
+        return Status::IOError(std::string("io_uring_enter: ") +
+                               strerror(errno));
+      }
+      if (ret > 0) {
+        if (to_submit > 0) ++stats_.submits;
+        kernel_outstanding_ += ret;
+        unflushed_ -= static_cast<unsigned>(ret);
+      }
+    }
+  }
+
+  std::optional<ReadCompletion> PollCompletion() override {
+    if (ready_.empty()) {
+      if (unflushed_ > 0) (void)FlushSubmissions();
+      ReapCompletions();
+    }
+    if (ready_.empty()) return std::nullopt;
+    return PopReady();
+  }
+
+  int in_flight() const override { return in_flight_; }
+
+  const char* backend_name() const override { return "uring"; }
+
+  IoSchedulerStats stats() const override { return stats_; }
+
+ private:
+  struct Request {
+    uint64_t user_data = 0;
+    Status status;
+    std::string bytes;                // Destination; stable until finalize.
+    std::vector<SharedFdHandle> fds;  // Pinned for the request's lifetime.
+    int outstanding_ops = 0;
+    bool failed = false;
+  };
+
+  /// One SQE's bookkeeping (slab-allocated so iovec arrays stay put while
+  /// the kernel reads them). Short reads advance `iov_next`/the first
+  /// partial iovec (or `copy_*` for fixed-buffer ops) and resubmit.
+  struct Op {
+    size_t request_slot = 0;
+    std::string path;
+    uint64_t file_offset = 0;
+    int fd = -1;
+    int fixed_file = -1;          // Registered-file slot, or -1 for a raw fd.
+    std::vector<struct iovec> iov;
+    size_t iov_next = 0;
+    int buffer_slot = -1;         // Registered buffer, or -1 to read in place.
+    char* copy_dest = nullptr;    // Fixed-buffer ops copy out at completion.
+    size_t copy_remaining = 0;
+  };
+
+  struct RegisteredFile {
+    std::string path;
+    SharedFdHandle handle;
+    int fd = -1;
+  };
+
+  UringIoScheduler(FdCache* fds, const IoSchedulerOptions& options)
+      : fds_(fds),
+        depth_(std::max(1, options.queue_depth)),
+        submit_batch_(std::max(1, options.submit_batch)),
+        buffer_bytes_(options.fixed_buffer_bytes) {}
+
+  bool Init() {
+    struct io_uring_params params;
+    memset(&params, 0, sizeof(params));
+    // Room for a few SQEs per request (one per discontiguous run) plus
+    // short-read continuations; the kernel consumes SQEs during enter, so
+    // an occasional full ring just forces an early flush.
+    const unsigned entries = NextPow2(std::min(
+        1024u, std::max(8u, static_cast<unsigned>(depth_) * 4u)));
+    ring_fd_ = SysUringSetup(entries, &params);
+    if (ring_fd_ < 0) return false;
+
+    size_t sq_len = params.sq_off.array + params.sq_entries * sizeof(unsigned);
+    size_t cq_len =
+        params.cq_off.cqes + params.cq_entries * sizeof(struct io_uring_cqe);
+    const bool single_mmap = (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    if (single_mmap) sq_len = cq_len = std::max(sq_len, cq_len);
+    sq_ring_len_ = sq_len;
+    sq_ring_ = mmap(nullptr, sq_len, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+    if (sq_ring_ == MAP_FAILED) {
+      sq_ring_ = nullptr;
+      Teardown();
+      return false;
+    }
+    if (single_mmap) {
+      cq_ring_ = sq_ring_;
+      cq_ring_len_ = 0;  // Shared mapping; unmapped via sq_ring_.
+    } else {
+      cq_ring_len_ = cq_len;
+      cq_ring_ = mmap(nullptr, cq_len, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_CQ_RING);
+      if (cq_ring_ == MAP_FAILED) {
+        cq_ring_ = nullptr;
+        Teardown();
+        return false;
+      }
+    }
+    sqes_len_ = params.sq_entries * sizeof(struct io_uring_sqe);
+    void* sqes = mmap(nullptr, sqes_len_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES);
+    if (sqes == MAP_FAILED) {
+      Teardown();
+      return false;
+    }
+    sqes_ = static_cast<struct io_uring_sqe*>(sqes);
+
+    auto sq_at = [&](size_t off) {
+      return reinterpret_cast<unsigned*>(static_cast<char*>(sq_ring_) + off);
+    };
+    auto cq_at = [&](size_t off) {
+      return reinterpret_cast<unsigned*>(static_cast<char*>(cq_ring_) + off);
+    };
+    sq_head_ = sq_at(params.sq_off.head);
+    sq_tail_ = sq_at(params.sq_off.tail);
+    sq_mask_ = *sq_at(params.sq_off.ring_mask);
+    sq_entries_ = params.sq_entries;
+    sq_array_ = sq_at(params.sq_off.array);
+    cq_head_ = cq_at(params.cq_off.head);
+    cq_tail_ = cq_at(params.cq_off.tail);
+    cq_mask_ = *cq_at(params.cq_off.ring_mask);
+    cqes_ = reinterpret_cast<struct io_uring_cqe*>(
+        static_cast<char*>(cq_ring_) + params.cq_off.cqes);
+    sq_tail_local_ = *sq_tail_;
+
+    // Registered files: a sparse table filled lazily via FILES_UPDATE as
+    // paths show up. Kernels without sparse registration just leave the
+    // optimization off.
+    std::vector<int32_t> sparse(kRegisteredFileSlots, -1);
+    if (SysUringRegister(ring_fd_, IORING_REGISTER_FILES, sparse.data(),
+                         kRegisteredFileSlots) == 0) {
+      files_registered_ = true;
+      registered_files_.resize(kRegisteredFileSlots);
+    }
+
+    // Optional registered (kernel-pinned) buffers; registration failure
+    // (e.g. RLIMIT_MEMLOCK) silently degrades to in-place reads.
+    if (buffer_bytes_ > 0) {
+      buffers_.resize(static_cast<size_t>(depth_));
+      std::vector<struct iovec> regions(buffers_.size());
+      for (size_t b = 0; b < buffers_.size(); ++b) {
+        buffers_[b].assign(buffer_bytes_, '\0');
+        regions[b] = {buffers_[b].data(), buffers_[b].size()};
+      }
+      if (SysUringRegister(ring_fd_, IORING_REGISTER_BUFFERS, regions.data(),
+                           static_cast<unsigned>(regions.size())) == 0) {
+        buffers_registered_ = true;
+        for (size_t b = 0; b < buffers_.size(); ++b) {
+          free_buffers_.push_back(static_cast<int>(b));
+        }
+      } else {
+        buffers_.clear();
+      }
+    }
+    return true;
+  }
+
+  void Teardown() {
+    if (sqes_ != nullptr) munmap(sqes_, sqes_len_);
+    if (cq_ring_ != nullptr && cq_ring_ != sq_ring_) {
+      munmap(cq_ring_, cq_ring_len_);
+    }
+    if (sq_ring_ != nullptr) munmap(sq_ring_, sq_ring_len_);
+    sqes_ = nullptr;
+    cq_ring_ = nullptr;
+    sq_ring_ = nullptr;
+    if (ring_fd_ >= 0) ::close(ring_fd_);
+    ring_fd_ = -1;
+  }
+
+  /// Waits out every op the kernel has seen so it stops writing into our
+  /// buffers before they die; SQEs never flushed are simply abandoned (the
+  /// kernel only consumes the SQ during enter).
+  void Drain() {
+    draining_ = true;
+    int spins = 0;
+    while (kernel_outstanding_ > 0) {
+      ReapCompletions();
+      if (kernel_outstanding_ == 0) break;
+      const int ret = SysUringEnter(ring_fd_, 0, 1, IORING_ENTER_GETEVENTS);
+      if (ret < 0 && errno != EINTR && errno != EBUSY && ++spins > 64) break;
+    }
+  }
+
+  size_t AllocRequest() {
+    if (!free_requests_.empty()) {
+      const size_t slot = free_requests_.back();
+      free_requests_.pop_back();
+      return slot;
+    }
+    requests_.push_back(std::make_unique<Request>());
+    return requests_.size() - 1;
+  }
+
+  void FreeRequest(size_t slot) { free_requests_.push_back(slot); }
+
+  size_t AllocOp() {
+    if (!free_ops_.empty()) {
+      const size_t index = free_ops_.back();
+      free_ops_.pop_back();
+      return index;
+    }
+    ops_.push_back(std::make_unique<Op>());
+    return ops_.size() - 1;
+  }
+
+  void FreeOp(size_t index) { free_ops_.push_back(index); }
+
+  void ReleaseBuffer(Op* op) {
+    if (op->buffer_slot >= 0) free_buffers_.push_back(op->buffer_slot);
+    op->buffer_slot = -1;
+  }
+
+  /// Slot in the ring's registered-file table for (path, fd), registering or
+  /// refreshing it as needed; -1 when the table is full or registration is
+  /// unavailable (the SQE then carries the raw fd).
+  int RegisteredFileIndex(const std::string& path, int fd,
+                          const SharedFdHandle& handle) {
+    if (!files_registered_) return -1;
+    int free_slot = -1;
+    int found = -1;
+    for (size_t s = 0; s < registered_files_.size(); ++s) {
+      if (registered_files_[s].fd < 0) {
+        if (free_slot < 0) free_slot = static_cast<int>(s);
+      } else if (registered_files_[s].path == path) {
+        found = static_cast<int>(s);
+        break;
+      }
+    }
+    const int slot = found >= 0 ? found : free_slot;
+    if (slot < 0) return -1;
+    if (found >= 0 && registered_files_[slot].fd == fd) return slot;
+    // New path, or the fd cache re-opened the path (invalidation): point the
+    // table slot at the current descriptor.
+    struct io_uring_files_update update;
+    memset(&update, 0, sizeof(update));
+    int32_t raw = fd;
+    update.offset = static_cast<unsigned>(slot);
+    update.fds = reinterpret_cast<uint64_t>(&raw);
+    ++stats_.syscalls;
+    if (SysUringRegister(ring_fd_, IORING_REGISTER_FILES_UPDATE, &update, 1) <
+        0) {
+      files_registered_ = false;
+      return -1;
+    }
+    registered_files_[slot] = {path, handle, fd};
+    return slot;
+  }
+
+  Status QueueSqe(size_t op_index) {
+    Op& op = *ops_[op_index];
+    while (sq_tail_local_ - LoadAcquire(sq_head_) >= sq_entries_) {
+      // Ring full: flushing lets the kernel consume the queued SQEs.
+      const unsigned before = LoadAcquire(sq_head_);
+      PCR_RETURN_IF_ERROR(FlushSubmissions());
+      if (LoadAcquire(sq_head_) == before && unflushed_ == 0) {
+        return Status::Unknown("io_uring SQ ring stuck");
+      }
+    }
+    const unsigned index = sq_tail_local_ & sq_mask_;
+    struct io_uring_sqe* sqe = &sqes_[index];
+    memset(sqe, 0, sizeof(*sqe));
+    if (op.buffer_slot >= 0) {
+      sqe->opcode = IORING_OP_READ_FIXED;
+      sqe->addr = reinterpret_cast<uint64_t>(buffers_[op.buffer_slot].data());
+      sqe->len = static_cast<unsigned>(op.copy_remaining);
+      sqe->buf_index = static_cast<uint16_t>(op.buffer_slot);
+    } else {
+      sqe->opcode = IORING_OP_READV;
+      sqe->addr = reinterpret_cast<uint64_t>(op.iov.data() + op.iov_next);
+      sqe->len = static_cast<unsigned>(op.iov.size() - op.iov_next);
+    }
+    sqe->off = op.file_offset;
+    if (op.fixed_file >= 0) {
+      sqe->fd = op.fixed_file;
+      sqe->flags |= IOSQE_FIXED_FILE;
+    } else {
+      sqe->fd = op.fd;
+    }
+    sqe->user_data = op_index;
+    sq_array_[index] = index;
+    ++sq_tail_local_;
+    StoreRelease(sq_tail_, sq_tail_local_);
+    ++unflushed_;
+    ++stats_.ops;
+    return Status::OK();
+  }
+
+  /// One io_uring_enter submitting everything queued, without waiting.
+  Status FlushSubmissions() {
+    while (unflushed_ > 0) {
+      const int ret = SysUringEnter(ring_fd_, unflushed_, 0, 0);
+      ++stats_.syscalls;
+      if (ret < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EBUSY) {
+          ReapCompletions();
+          continue;
+        }
+        broken_ = true;
+        return Status::IOError(std::string("io_uring_enter: ") +
+                               strerror(errno));
+      }
+      if (ret > 0) ++stats_.submits;
+      kernel_outstanding_ += ret;
+      unflushed_ -= static_cast<unsigned>(ret);
+    }
+    return Status::OK();
+  }
+
+  void ReapCompletions() {
+    for (;;) {
+      const unsigned head = *cq_head_;
+      if (head == LoadAcquire(cq_tail_)) return;
+      const struct io_uring_cqe cqe = cqes_[head & cq_mask_];
+      StoreRelease(cq_head_, head + 1);
+      --kernel_outstanding_;
+      HandleCqe(cqe);
+    }
+  }
+
+  void HandleCqe(const struct io_uring_cqe& cqe) {
+    const size_t op_index = static_cast<size_t>(cqe.user_data);
+    Op& op = *ops_[op_index];
+    if (draining_) {
+      ReleaseBuffer(&op);
+      FreeOp(op_index);
+      return;
+    }
+    Request& req = *requests_[op.request_slot];
+    const int res = cqe.res;
+    bool finished = false;
+    if (res < 0) {
+      FailRequest(&req, Status::IOError("read " + op.path + ": " +
+                                        strerror(-res)));
+      finished = true;
+    } else if (res == 0) {
+      FailRequest(&req, Status::IOError("short read of " + op.path));
+      finished = true;
+    } else if (op.buffer_slot >= 0) {
+      const size_t n = std::min(static_cast<size_t>(res), op.copy_remaining);
+      memcpy(op.copy_dest, buffers_[op.buffer_slot].data(), n);
+      op.copy_dest += n;
+      op.copy_remaining -= n;
+      op.file_offset += n;
+      finished = op.copy_remaining == 0;
+    } else {
+      size_t n = static_cast<size_t>(res);
+      while (n > 0 && op.iov_next < op.iov.size()) {
+        struct iovec& v = op.iov[op.iov_next];
+        if (v.iov_len <= n) {
+          n -= v.iov_len;
+          ++op.iov_next;
+        } else {
+          v.iov_base = static_cast<char*>(v.iov_base) + n;
+          v.iov_len -= n;
+          n = 0;
+        }
+      }
+      op.file_offset += static_cast<uint64_t>(res);
+      finished = op.iov_next >= op.iov.size();
+    }
+    if (!finished && !req.failed) {
+      // Partial read (EOF-free short read): resubmit the remainder.
+      const Status queued = QueueSqe(op_index);
+      if (queued.ok()) return;
+      FailRequest(&req, queued);
+    }
+    const size_t slot = op.request_slot;
+    ReleaseBuffer(&op);
+    FreeOp(op_index);
+    if (--req.outstanding_ops == 0) Finalize(slot);
+  }
+
+  void FailRequest(Request* req, Status status) {
+    if (req->failed) return;
+    req->failed = true;
+    req->status = std::move(status);
+  }
+
+  void Finalize(size_t slot) {
+    Request& req = *requests_[slot];
+    ReadCompletion completion;
+    completion.user_data = req.user_data;
+    completion.status = req.failed ? req.status : Status::OK();
+    if (!req.failed) completion.bytes = std::move(req.bytes);
+    req.bytes.clear();
+    req.fds.clear();
+    ready_.push_back(std::move(completion));
+    FreeRequest(slot);
+  }
+
+  ReadCompletion PopReady() {
+    ReadCompletion completion = std::move(ready_.front());
+    ready_.pop_front();
+    --in_flight_;
+    return completion;
+  }
+
+  FdCache* const fds_;
+  const int depth_;
+  const int submit_batch_;
+  const size_t buffer_bytes_;
+
+  int ring_fd_ = -1;
+  void* sq_ring_ = nullptr;
+  size_t sq_ring_len_ = 0;
+  void* cq_ring_ = nullptr;
+  size_t cq_ring_len_ = 0;
+  struct io_uring_sqe* sqes_ = nullptr;
+  size_t sqes_len_ = 0;
+  unsigned* sq_head_ = nullptr;
+  unsigned* sq_tail_ = nullptr;
+  unsigned* sq_array_ = nullptr;
+  unsigned sq_mask_ = 0;
+  unsigned sq_entries_ = 0;
+  unsigned sq_tail_local_ = 0;
+  unsigned* cq_head_ = nullptr;
+  unsigned* cq_tail_ = nullptr;
+  unsigned cq_mask_ = 0;
+  struct io_uring_cqe* cqes_ = nullptr;
+
+  bool files_registered_ = false;
+  std::vector<RegisteredFile> registered_files_;
+  bool buffers_registered_ = false;
+  std::vector<std::string> buffers_;
+  std::vector<int> free_buffers_;
+
+  std::vector<std::unique_ptr<Request>> requests_;
+  std::vector<size_t> free_requests_;
+  std::vector<std::unique_ptr<Op>> ops_;
+  std::vector<size_t> free_ops_;
+  std::deque<ReadCompletion> ready_;
+
+  unsigned unflushed_ = 0;      // SQEs queued but not yet passed to enter.
+  int kernel_outstanding_ = 0;  // SQEs entered, CQE not yet reaped.
+  int in_flight_ = 0;           // Requests accepted, completion not delivered.
+  bool draining_ = false;
+  bool broken_ = false;
+  IoSchedulerStats stats_;
+};
+
+}  // namespace
+
+bool UringProbe() {
+  static const bool supported = [] {
+    struct io_uring_params params;
+    memset(&params, 0, sizeof(params));
+    const int fd = SysUringSetup(4, &params);
+    if (fd < 0) return false;
+    ::close(fd);
+    return true;
+  }();
+  return supported;
+}
+
+std::unique_ptr<IoScheduler> NewUringIoScheduler(
+    FdCache* fds, const IoSchedulerOptions& options) {
+  if (!UringProbe()) return nullptr;
+  return UringIoScheduler::Create(fds, options);
+}
+
+}  // namespace pcr
+
+#else  // !defined(__NR_io_uring_setup)
+
+namespace pcr {
+bool UringProbe() { return false; }
+std::unique_ptr<IoScheduler> NewUringIoScheduler(FdCache*,
+                                                 const IoSchedulerOptions&) {
+  return nullptr;
+}
+}  // namespace pcr
+
+#endif
+
+#else  // Non-Linux or header-less build: pread-thread fallback only.
+
+namespace pcr {
+bool UringProbe() { return false; }
+std::unique_ptr<IoScheduler> NewUringIoScheduler(FdCache*,
+                                                 const IoSchedulerOptions&) {
+  return nullptr;
+}
+}  // namespace pcr
+
+#endif

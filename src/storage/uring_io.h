@@ -1,0 +1,30 @@
+// Raw-syscall io_uring read scheduler. The container toolchain has no
+// liburing, so the ring is driven directly: io_uring_setup/enter/register
+// via syscall(2) against <linux/io_uring.h>, with the SQ/CQ rings mmap'd and
+// ordered through acquire/release atomics. Compiled out (probe returns
+// false, factory returns nullptr) on non-Linux hosts or when the uapi
+// header is missing, and PosixEnv falls back to the pread-thread backend.
+#pragma once
+
+#include <memory>
+
+#include "storage/env.h"
+
+namespace pcr {
+
+class FdCache;
+
+/// True when this build carries the uring scheduler and the running kernel
+/// accepts io_uring_setup (one probe per process, cached).
+bool UringProbe();
+
+/// A uring scheduler over `fds`, or nullptr when ring setup fails at
+/// runtime (callers fall back to the pread backend). Reads honor the full
+/// IoScheduler contract: batched submission (`options.submit_batch` SQEs per
+/// io_uring_enter), registered files sourced from the fd cache, optional
+/// registered buffers (`options.fixed_buffer_bytes`), and one vectored SQE
+/// per contiguous run of request segments.
+std::unique_ptr<IoScheduler> NewUringIoScheduler(
+    FdCache* fds, const IoSchedulerOptions& options);
+
+}  // namespace pcr

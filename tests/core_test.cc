@@ -232,5 +232,160 @@ TEST(FilePerImageDataset, OneFilePerImage) {
   }
 }
 
+// ------------------------------------------------------------- Fetch plans
+
+// Builds a small PCR dataset and returns the opened reader.
+std::unique_ptr<PcrDataset> MakePcrDataset(Env* env, int num_images = 4) {
+  PcrWriterOptions options;
+  options.images_per_record = 2;
+  auto writer = PcrDatasetWriter::Create(env, "plans", options).MoveValue();
+  for (int i = 0; i < num_images; ++i) {
+    PCR_CHECK(writer->AddImage(Slice(MakeJpeg(40, 32, i, true)), i).ok());
+  }
+  PCR_CHECK(writer->Finish().ok());
+  return PcrDataset::Open(env, "plans").MoveValue();
+}
+
+TEST(FetchPlans, PcrSplitsHeaderAndPayload) {
+  VirtualClock clock;
+  SimEnv env(DeviceProfile::Ram(), &clock);
+  auto ds = MakePcrDataset(&env);
+
+  const int group = 2;
+  const FetchPlan plan = ds->PlanFetch(0, group).MoveValue();
+  // Cold plans split header and scan-group payload into two adjacent
+  // segments of the same file so the scheduler can fetch them as one
+  // vectored read.
+  ASSERT_EQ(plan.segments.size(), 2u);
+  EXPECT_EQ(plan.segments[0].offset, 0u);
+  EXPECT_GT(plan.segments[0].length, 0u);
+  EXPECT_FALSE(plan.segments[0].resident);
+  EXPECT_EQ(plan.segments[1].path, plan.segments[0].path);
+  EXPECT_EQ(plan.segments[1].offset, plan.segments[0].length);
+  EXPECT_FALSE(plan.segments[1].resident);
+  EXPECT_EQ(plan.total_bytes(), ds->RecordReadBytes(0, group));
+  EXPECT_EQ(plan.fetch_bytes(), plan.total_bytes());
+  EXPECT_FALSE(plan.fully_resident());
+  EXPECT_EQ(plan.ToReadRequest().segments.size(), 2u);
+  // The split plan fetches byte-identical data to the synchronous reader.
+  const RawRecord cold = ds->FetchRecord(0, group).MoveValue();
+  EXPECT_EQ(cold.payload.size(), plan.total_bytes());
+  EXPECT_EQ(cold.bytes_read, plan.total_bytes());
+}
+
+TEST(FetchPlans, PcrResidentPrefixShrinksTheFetchToTheDelta) {
+  VirtualClock clock;
+  SimEnv env(DeviceProfile::Ram(), &clock);
+  auto ds = MakePcrDataset(&env);
+
+  const int low = 1, high = 3;
+  const RawRecord first = ds->FetchRecord(0, low).MoveValue();
+  FetchResident resident;
+  resident.scan_group = first.scan_group;
+  resident.bytes = std::make_shared<const std::string>(first.payload);
+
+  const FetchPlan plan = ds->PlanFetch(0, high, &resident).MoveValue();
+  const uint64_t covered = ds->RecordReadBytes(0, low);
+  const uint64_t want = ds->RecordReadBytes(0, high);
+  ASSERT_EQ(plan.segments.size(), 2u);
+  EXPECT_TRUE(plan.segments[0].resident);
+  EXPECT_EQ(plan.segments[0].offset, 0u);
+  EXPECT_EQ(plan.segments[0].length, covered);
+  EXPECT_FALSE(plan.segments[1].resident);
+  EXPECT_EQ(plan.segments[1].offset, covered);
+  EXPECT_EQ(plan.segments[1].length, want - covered);
+  EXPECT_EQ(plan.fetch_bytes(), want - covered);
+  EXPECT_EQ(plan.ToReadRequest().segments.size(), 1u);
+
+  // The stitched upgrade is byte-identical to a cold full-quality fetch,
+  // but only the delta counts as I/O.
+  const RawRecord warm = ds->FetchRecord(0, high, &resident).MoveValue();
+  const RawRecord cold = ds->FetchRecord(0, high).MoveValue();
+  EXPECT_EQ(warm.payload, cold.payload);
+  EXPECT_EQ(warm.bytes_read, want - covered);
+  EXPECT_EQ(cold.bytes_read, want);
+}
+
+TEST(FetchPlans, PcrFullyResidentPlanNeedsNoIo) {
+  VirtualClock clock;
+  SimEnv env(DeviceProfile::Ram(), &clock);
+  auto ds = MakePcrDataset(&env);
+
+  const int deep = 4, shallow = 2;
+  const RawRecord first = ds->FetchRecord(0, deep).MoveValue();
+  FetchResident resident;
+  resident.scan_group = first.scan_group;
+  resident.bytes = std::make_shared<const std::string>(first.payload);
+
+  // Re-reading at the same or lower quality is served entirely from memory.
+  const FetchPlan plan = ds->PlanFetch(0, shallow, &resident).MoveValue();
+  EXPECT_TRUE(plan.fully_resident());
+  EXPECT_EQ(plan.fetch_bytes(), 0u);
+  EXPECT_TRUE(plan.ToReadRequest().segments.empty());
+
+  const RawRecord raw = ds->CompleteFetch(plan, std::string()).MoveValue();
+  EXPECT_EQ(raw.bytes_read, 0u);
+  const RawRecord cold = ds->FetchRecord(0, shallow).MoveValue();
+  EXPECT_EQ(raw.payload, cold.payload);
+  // Zero-I/O payloads still decode.
+  EXPECT_TRUE(ds->AssembleRecord(raw).ok());
+}
+
+TEST(FetchPlans, PcrIgnoresResidentBytesThatAreTooShort) {
+  VirtualClock clock;
+  SimEnv env(DeviceProfile::Ram(), &clock);
+  auto ds = MakePcrDataset(&env);
+
+  // Claimed group 3 but the buffer is truncated: the claim is not usable,
+  // so the plan must fall back to a cold fetch.
+  FetchResident resident;
+  resident.scan_group = 3;
+  resident.bytes = std::make_shared<const std::string>("short");
+  const FetchPlan plan = ds->PlanFetch(0, 3, &resident).MoveValue();
+  for (const FetchSegment& segment : plan.segments) {
+    EXPECT_FALSE(segment.resident);
+  }
+  EXPECT_EQ(plan.fetch_bytes(), ds->RecordReadBytes(0, 3));
+}
+
+TEST(FetchPlans, RecordDatasetHonorsOnlyWholeFileResidency) {
+  VirtualClock clock;
+  SimEnv env(DeviceProfile::Ram(), &clock);
+  RecordWriterOptions options;
+  options.images_per_record = 2;
+  auto writer = RecordDatasetWriter::Create(&env, "rec", options).MoveValue();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(writer->AddImage(Slice(MakeJpeg(40, 32, i, false)), i).ok());
+  }
+  ASSERT_TRUE(writer->Finish().ok());
+  auto ds = RecordDataset::Open(&env, "rec").MoveValue();
+
+  const RawRecord cold = ds->FetchRecord(1, 1).MoveValue();
+  FetchResident whole;
+  whole.scan_group = 1;
+  whole.bytes = std::make_shared<const std::string>(cold.payload);
+  const FetchPlan warm = ds->PlanFetch(1, 1, &whole).MoveValue();
+  EXPECT_TRUE(warm.fully_resident());
+  const RawRecord raw = ds->CompleteFetch(warm, std::string()).MoveValue();
+  EXPECT_EQ(raw.payload, cold.payload);
+
+  // A partial buffer is useless for a fixed-quality format: ignored.
+  FetchResident partial;
+  partial.scan_group = 1;
+  partial.bytes = std::make_shared<const std::string>(
+      cold.payload.substr(0, cold.payload.size() / 2));
+  const FetchPlan plan = ds->PlanFetch(1, 1, &partial).MoveValue();
+  EXPECT_FALSE(plan.fully_resident());
+  EXPECT_EQ(plan.fetch_bytes(), ds->RecordReadBytes(1, 1));
+}
+
+TEST(FetchPlans, CompleteFetchRejectsWrongByteCount) {
+  VirtualClock clock;
+  SimEnv env(DeviceProfile::Ram(), &clock);
+  auto ds = MakePcrDataset(&env);
+  const FetchPlan plan = ds->PlanFetch(0, 2).MoveValue();
+  EXPECT_FALSE(ds->CompleteFetch(plan, std::string("x")).ok());
+}
+
 }  // namespace
 }  // namespace pcr

@@ -349,6 +349,43 @@ TEST_F(IntegrationTest, PipelineSimAsyncWindowScalesBandwidthBoundThroughput) {
   EXPECT_LT(rate64, rate8 * 2.0);  // Saturation, not runaway scaling.
 }
 
+TEST_F(IntegrationTest, PipelineSimBatchedSubmissionAmortizesPerOpCost) {
+  auto ds = PcrDataset::Open(env_, built_->pcr_dir).MoveValue();
+  // Per-op-latency-heavy storage: request setup dominates the small partial
+  // reads, the regime batched io_uring submission targets.
+  DeviceProfile storage = DeviceProfile::CephCluster();
+  storage.per_op_latency_sec = 2e-3;
+
+  auto epoch_at = [&](int batch) {
+    PipelineSimOptions options;
+    options.model_decode_cost = false;
+    options.io_submit_batch = batch;
+    TrainingPipelineSim sim(ds.get(), storage, ComputeProfile::ResNet18(),
+                            DecodeCostModel{}, options);
+    FixedScanPolicy full(10);
+    return sim.SimulateEpoch(&full).elapsed_seconds;
+  };
+
+  // Batch 1 is exactly the unbatched model (default options): fig9/fig11
+  // numbers are untouched unless a sweep opts in.
+  PipelineSimOptions defaults;
+  defaults.model_decode_cost = false;
+  TrainingPipelineSim unbatched(ds.get(), storage, ComputeProfile::ResNet18(),
+                                DecodeCostModel{}, defaults);
+  FixedScanPolicy full(10);
+  EXPECT_DOUBLE_EQ(epoch_at(1), unbatched.SimulateEpoch(&full).elapsed_seconds);
+
+  // Deeper batches amortize the per-op setup cost but cannot touch seek or
+  // transfer time: monotone gains that saturate, not runaway scaling.
+  const double batch1 = epoch_at(1);
+  const double batch4 = epoch_at(4);
+  const double batch32 = epoch_at(32);
+  EXPECT_LT(batch4, batch1);
+  EXPECT_LE(batch32, batch4);
+  const double floor = batch1 - 2e-3 * ds->num_records();  // All setup gone.
+  EXPECT_GT(batch32, floor - 1e-9);
+}
+
 TEST_F(IntegrationTest, PipelineSimCacheMakesSecondEpochHitServed) {
   auto ds = PcrDataset::Open(env_, built_->pcr_dir).MoveValue();
   PipelineSimOptions options;

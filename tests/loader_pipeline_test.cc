@@ -71,7 +71,9 @@ class FakeSource : public RecordSource {
     return num_records_ * RecordReadBytes(0, 4);
   }
 
-  Result<FetchPlan> PlanFetch(int record, int scan_group) const override {
+  using RecordSource::PlanFetch;
+  Result<FetchPlan> PlanFetch(int record, int scan_group,
+                              const FetchResident* resident) const override {
     if (fetch_delay_.count() > 0) std::this_thread::sleep_for(fetch_delay_);
     if (record == fail_fetch_at_) {
       return fetch_failure_;
@@ -80,8 +82,29 @@ class FakeSource : public RecordSource {
     plan.record = record;
     plan.scan_group = std::clamp(scan_group, 1, num_scan_groups());
     plan.env = env_.get();
-    plan.segments.push_back(FetchSegment{
-        RecordPath(record), 0, RecordReadBytes(record, plan.scan_group)});
+    const uint64_t want = RecordReadBytes(record, plan.scan_group);
+    // Mirror PcrDataset's residency contract: a usable in-memory prefix
+    // (groups are byte prefixes of deeper groups here too) shrinks the
+    // fetch to the delta bytes.
+    uint64_t covered = 0;
+    if (resident != nullptr && resident->bytes != nullptr &&
+        resident->scan_group >= 1) {
+      const uint64_t have = RecordReadBytes(
+          record, std::min(resident->scan_group, num_scan_groups()));
+      if (resident->bytes->size() >= have) covered = std::min(have, want);
+    }
+    if (covered > 0) {
+      plan.resident_bytes = resident->bytes;
+      plan.segments.push_back(
+          FetchSegment{RecordPath(record), 0, covered, /*resident=*/true});
+      if (covered < want) {
+        plan.segments.push_back(FetchSegment{RecordPath(record), covered,
+                                             want - covered,
+                                             /*resident=*/false});
+      }
+    } else {
+      plan.segments.push_back(FetchSegment{RecordPath(record), 0, want});
+    }
     return plan;
   }
 
@@ -689,6 +712,107 @@ TEST(LoaderPipelineTest, ShardFailureSurfacesWithShardContext) {
   EXPECT_NE(batch.status().message().find("injected fetch failure"),
             std::string::npos)
       << batch.status();
+}
+
+TEST(LoaderPipelineTest, SecondPassIsServedFromThePrefixCache) {
+  FakeSource source(12, 2);
+  auto cache = std::make_shared<PrefixCache>(PrefixCacheOptions{});
+  const uint64_t dataset_id = cache->RegisterDataset();
+
+  // One pipeline per pass over the shared cache: pass boundaries are then
+  // deterministic (no ticket can race ahead of the pass that warms it).
+  auto run_pass = [&](int scan_group) {
+    LoaderPipelineOptions options;
+    options.io_threads = 2;
+    options.decode_threads = 2;
+    options.max_epochs = 1;
+    options.scan_policy = std::make_shared<FixedScanPolicy>(scan_group);
+    options.prefix_cache = cache;
+    options.prefix_dataset_id = dataset_id;
+    LoaderPipeline pipeline(&source, options);
+    int batches = 0;
+    for (;;) {
+      auto batch = pipeline.Next();
+      if (!batch.ok()) break;
+      EXPECT_EQ(batch->size(), 2);
+      ++batches;
+    }
+    EXPECT_EQ(batches, 12);
+    EXPECT_TRUE(pipeline.status().ok());
+    return pipeline.io_stats();
+  };
+
+  const StageStatsSnapshot first = run_pass(2);
+  EXPECT_EQ(first.prefix_hits, 0);
+  EXPECT_EQ(first.prefix_misses, 12);
+  EXPECT_EQ(first.bytes, 12u * source.RecordReadBytes(0, 2));
+
+  // Same quality again: every plan is fully resident — records still flow
+  // to decode, but storage serves zero bytes.
+  const StageStatsSnapshot second = run_pass(2);
+  EXPECT_EQ(second.prefix_hits, 12);
+  EXPECT_EQ(second.prefix_misses, 0);
+  EXPECT_EQ(second.items, 12);
+  EXPECT_EQ(second.bytes, 0u);
+
+  // A quality upgrade fetches only each record's delta bytes.
+  const StageStatsSnapshot upgrade = run_pass(4);
+  EXPECT_EQ(upgrade.prefix_hits, 12);
+  EXPECT_EQ(upgrade.bytes,
+            12u * (source.RecordReadBytes(0, 4) - source.RecordReadBytes(0, 2)));
+}
+
+TEST(LoaderPipelineTest, PrivatePrefixCacheTurnsEpochTwoIntoZeroIo) {
+  FakeSource source(8, 1);
+  LoaderPipelineOptions options;
+  options.io_threads = 1;  // Serial I/O: epoch 2 cannot outrun the inserts.
+  options.io_inflight = 1;
+  options.fetch_queue_depth = 1;
+  options.max_epochs = 2;
+  options.shuffle = false;
+  options.prefix_cache_bytes = 16ull << 20;  // Private per-pipeline cache.
+  options.scan_policy = std::make_shared<FixedScanPolicy>(3);
+  LoaderPipeline pipeline(&source, options);
+  int batches = 0;
+  for (;;) {
+    auto batch = pipeline.Next();
+    if (!batch.ok()) break;
+    ++batches;
+  }
+  EXPECT_EQ(batches, 16);
+  const StageStatsSnapshot io = pipeline.io_stats();
+  EXPECT_EQ(io.prefix_hits + io.prefix_misses, 16);
+  EXPECT_GE(io.prefix_hits, 8);  // All of epoch 2 at minimum.
+  EXPECT_EQ(io.items, 16);
+  // Epoch 2 is fully resident: only epoch 1's bytes touch storage.
+  EXPECT_EQ(io.bytes, 8u * source.RecordReadBytes(0, 3));
+}
+
+TEST(LoaderPipelineTest, IoBackendGaugesAreReported) {
+  FakeSource source(24, 1);
+  LoaderPipelineOptions options;
+  options.io_threads = 2;
+  options.io_inflight = 4;
+  options.io_submit_batch = 4;
+  options.max_epochs = 1;
+  LoaderPipeline pipeline(&source, options);
+  for (;;) {
+    auto batch = pipeline.Next();
+    if (!batch.ok()) break;
+  }
+  const StageStatsSnapshot io = pipeline.io_stats();
+  // FakeSource plans against a SimEnv, so its scheduler is the sim backend.
+  EXPECT_EQ(io.io_backend, "sim");
+  EXPECT_EQ(io.io_requests, 24);
+  EXPECT_GE(io.io_segments, io.io_requests);
+  EXPECT_GT(io.io_ops, 0);
+  EXPECT_GT(io.io_submits, 0);
+  EXPECT_GE(io.mean_submit_batch(), 1.0);
+  // The simulated device issues no real syscalls.
+  EXPECT_EQ(io.io_syscalls, 0);
+  EXPECT_EQ(io.syscalls_per_record(), 0.0);
+  // The decode stage carries no I/O gauges.
+  EXPECT_EQ(pipeline.decode_stats().io_requests, 0);
 }
 
 TEST(LoaderPipelineTest, PrefetchErrorReplacesGenericAbort) {

@@ -74,7 +74,8 @@ class FailingSource : public RecordSource {
   int num_scan_groups() const override { return 1; }
   uint64_t RecordReadBytes(int, int) const override { return 64; }
   int RecordImages(int) const override { return 1; }
-  Result<FetchPlan> PlanFetch(int, int) const override {
+  using RecordSource::PlanFetch;
+  Result<FetchPlan> PlanFetch(int, int, const FetchResident*) const override {
     return Status::IOError("disk gone");
   }
   Result<RecordBatch> AssembleRecord(RawRecord) const override {
@@ -230,6 +231,49 @@ TEST(ShardedRecordSource, OutOfRangeRecordsAreRejected) {
   EXPECT_TRUE(sharded->PlanFetch(-1, 1).status().IsOutOfRange());
   EXPECT_TRUE(sharded->PlanFetch(2, 1).status().IsOutOfRange());
   EXPECT_TRUE(sharded->ReadRecord(7, 1).status().IsOutOfRange());
+}
+
+TEST(ShardedRecordSource, ResidentPrefixesRouteThroughToTheShard) {
+  VirtualClock clock;
+  SimEnv env(DeviceProfile::Ram(), &clock);
+  std::vector<std::unique_ptr<RecordSource>> shards;
+  shards.push_back(BuildPcrShard(&env, "rp0", 4, 2, 100));  // Records 0-1.
+  shards.push_back(BuildPcrShard(&env, "rp1", 4, 2, 200));  // Records 2-3.
+  auto sharded = ShardedRecordSource::Create(std::move(shards)).MoveValue();
+
+  // Warm global record 2 (shard 1's record 0) at low quality, then upgrade
+  // with the prefix resident: the plan the router returns must carry the
+  // resident split computed by the owning shard.
+  const RawRecord low = sharded->FetchRecord(2, 1).MoveValue();
+  FetchResident resident;
+  resident.scan_group = low.scan_group;
+  resident.bytes = std::make_shared<const std::string>(low.payload);
+
+  const int high = 3;
+  auto plan = sharded->PlanFetch(2, high, &resident).MoveValue();
+  EXPECT_EQ(plan.record, 2);  // Global numbering preserved.
+  const uint64_t covered = sharded->RecordReadBytes(2, 1);
+  ASSERT_EQ(plan.segments.size(), 2u);
+  EXPECT_TRUE(plan.segments[0].resident);
+  EXPECT_EQ(plan.segments[0].length, covered);
+  EXPECT_FALSE(plan.segments[1].resident);
+  EXPECT_EQ(plan.fetch_bytes(), sharded->RecordReadBytes(2, high) - covered);
+
+  // Stitched delta read == cold read, through the sharded CompleteFetch.
+  auto bytes = ReadFetchPlan(plan).MoveValue();
+  auto warm = sharded->CompleteFetch(plan, std::move(bytes)).MoveValue();
+  const RawRecord cold = sharded->FetchRecord(2, high).MoveValue();
+  EXPECT_EQ(warm.payload, cold.payload);
+  EXPECT_EQ(warm.record, 2);
+  EXPECT_EQ(warm.bytes_read, plan.fetch_bytes());
+
+  // Fully-resident re-read needs no storage bytes at all.
+  auto zero = sharded->PlanFetch(2, 1, &resident).MoveValue();
+  EXPECT_TRUE(zero.fully_resident());
+  auto raw = sharded->CompleteFetch(zero, std::string()).MoveValue();
+  EXPECT_EQ(raw.bytes_read, 0u);
+  auto batch = sharded->AssembleRecord(std::move(raw)).MoveValue();
+  EXPECT_EQ(batch.labels[0], 200);
 }
 
 TEST(ShardedRecordSource, StreamsThroughTheAsyncPipeline) {

@@ -138,6 +138,7 @@ int main(int argc, char** argv) {
     TablePrinter stage_table({"scan", "img/s", "cv", "backend",
                               "syscalls/rec", "io busy (s)",
                               "decode busy (s)", "io util", "mean inflight",
+                              "fetch p50 (ms)", "fetch p99 (ms)",
                               "stall io-bound (s)",
                               "stall decode-bound (s)"});
     for (int g : {1, 10}) {
@@ -174,6 +175,10 @@ int main(int argc, char** argv) {
       ReportMetric("pipeline/group_" + std::to_string(g) +
                        "/images_per_sec_cv",
                    reps, 0, 0, cv);
+      ReportMetric("pipeline/group_" + std::to_string(g) + "/fetch_p50_sec",
+                   reps, 0, 0, io.fetch_p50_sec);
+      ReportMetric("pipeline/group_" + std::to_string(g) + "/fetch_p99_sec",
+                   reps, 0, 0, io.fetch_p99_sec);
       stage_table.AddRow(
           {StrFormat("%d", g), StrFormat("%.0f", rep_rates.Median()),
            StrFormat("%.3f", cv), io.io_backend,
@@ -181,8 +186,10 @@ int main(int argc, char** argv) {
            StrFormat("%.3f", io.busy_seconds),
            StrFormat("%.3f", decode.busy_seconds),
            StrFormat("%.2f", io.utilization()),
-           StrFormat("%.2f", io.mean_in_flight), StrFormat("%.3f", io_stall),
-           StrFormat("%.3f", decode_stall)});
+           StrFormat("%.2f", io.mean_in_flight),
+           StrFormat("%.3f", io.fetch_p50_sec * 1e3),
+           StrFormat("%.3f", io.fetch_p99_sec * 1e3),
+           StrFormat("%.3f", io_stall), StrFormat("%.3f", decode_stall)});
     }
     stage_table.Print();
     printf("on a local filesystem the decode stage dominates (io util is "

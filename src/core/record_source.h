@@ -51,6 +51,17 @@ struct FetchResident {
 /// `resident_bytes`. Callers submit the non-resident segments through
 /// `env`'s IoScheduler as one scatter-gather ReadRequest (ToReadRequest), or
 /// read them synchronously via ReadFetchPlan.
+/// An equivalent way to serve a plan's fetched bytes from another replica:
+/// same record, same scan group, same byte layout, different backend and
+/// paths. Replicated sources attach these to their plans so the reader can
+/// fail over a dead fetch — or hedge a slow one — without a planning round
+/// trip.
+struct FetchAlternate {
+  int replica = 0;     // Replica index that planned these segments.
+  Env* env = nullptr;  // Backend serving them.
+  std::vector<FetchSegment> segments;
+};
+
 struct FetchPlan {
   int record = -1;
   int scan_group = 0;  // Clamped group the plan fetches at.
@@ -59,6 +70,19 @@ struct FetchPlan {
   /// Backing for resident segments: the record file's in-memory prefix, so a
   /// resident segment's bytes live at resident_bytes->data() + offset.
   std::shared_ptr<const std::string> resident_bytes;
+  /// Replica index that planned `segments` (0 for unreplicated sources).
+  int replica = 0;
+  /// Untried equivalent servings from other replicas, in preference order.
+  std::vector<FetchAlternate> alternates;
+
+  /// Re-points the plan at `alt` (read failover / hedged-read win): the
+  /// fetched segments and backend swap, everything else — record, scan
+  /// group, resident bytes — is replica-agnostic and stays.
+  void UseAlternate(const FetchAlternate& alt) {
+    env = alt.env;
+    segments = alt.segments;
+    replica = alt.replica;
+  }
 
   uint64_t total_bytes() const {
     uint64_t total = 0;
@@ -183,6 +207,17 @@ class RecordSource {
   /// CPU-only half of a read: parses a fetched payload into standalone JPEG
   /// streams and labels. Performs no I/O. Thread-safe.
   virtual Result<RecordBatch> AssembleRecord(RawRecord raw) const = 0;
+
+  /// Read-path health feedback: the reader reports how fetching `plan`
+  /// (possibly re-pointed at an alternate) went, once per completed attempt.
+  /// Replicated sources score replica health from this — ejecting failing
+  /// replicas from planning, reopening them by probe; everything else
+  /// ignores it. `status` is the fetch's I/O outcome. Thread-safe; no I/O.
+  virtual void ReportFetchOutcome(const FetchPlan& plan,
+                                  const Status& status) const {
+    (void)plan;
+    (void)status;
+  }
 
   /// Synchronous I/O adapter: PlanFetch + blocking segment reads +
   /// CompleteFetch. Thread-safe.

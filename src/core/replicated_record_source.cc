@@ -1,0 +1,191 @@
+#include "core/replicated_record_source.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace pcr {
+
+ReplicatedRecordSource::ReplicatedRecordSource(
+    std::vector<std::unique_ptr<RecordSource>> replicas,
+    ReplicationOptions options)
+    : replicas_(std::move(replicas)), options_(options),
+      clock_(options.clock != nullptr ? options.clock : RealClock::Get()),
+      states_(replicas_.size()) {
+  format_name_ = StrFormat("replicated[%dx %s]", num_replicas(),
+                           replicas_[0]->format_name().c_str());
+}
+
+Result<std::unique_ptr<ReplicatedRecordSource>> ReplicatedRecordSource::Create(
+    std::vector<std::unique_ptr<RecordSource>> replicas,
+    ReplicationOptions options) {
+  if (replicas.empty()) {
+    return Status::InvalidArgument(
+        "replicated source needs at least one replica");
+  }
+  for (size_t r = 0; r < replicas.size(); ++r) {
+    if (replicas[r] == nullptr) {
+      return Status::InvalidArgument(
+          StrFormat("replicated source: replica %zu is null", r));
+    }
+    if (replicas[r]->num_records() != replicas[0]->num_records() ||
+        replicas[r]->num_images() != replicas[0]->num_images() ||
+        replicas[r]->num_scan_groups() != replicas[0]->num_scan_groups()) {
+      return Status::InvalidArgument(StrFormat(
+          "replicated source: replica %zu (%d records, %d images, %d groups) "
+          "does not mirror replica 0 (%d records, %d images, %d groups)",
+          r, replicas[r]->num_records(), replicas[r]->num_images(),
+          replicas[r]->num_scan_groups(), replicas[0]->num_records(),
+          replicas[0]->num_images(), replicas[0]->num_scan_groups()));
+    }
+  }
+  return std::unique_ptr<ReplicatedRecordSource>(
+      new ReplicatedRecordSource(std::move(replicas), options));
+}
+
+int ReplicatedRecordSource::PickPrimaryLocked(int64_t now_nanos) const {
+  const int n = num_replicas();
+  // An expired ejection makes the replica the preferred pick exactly once:
+  // the plan doubles as its recovery probe.
+  for (int r = 0; r < n; ++r) {
+    ReplicaState& state = states_[r];
+    if (state.ejected_until_nanos != 0 &&
+        now_nanos >= state.ejected_until_nanos) {
+      state.ejected_until_nanos = 0;
+      ++state.probes;
+      return r;
+    }
+  }
+  std::vector<int> healthy;
+  healthy.reserve(n);
+  for (int r = 0; r < n; ++r) {
+    if (states_[r].ejected_until_nanos == 0) healthy.push_back(r);
+  }
+  if (!healthy.empty()) {
+    return healthy[rotation_++ % healthy.size()];
+  }
+  // Everything is ejected: serve from whichever replica reopens soonest
+  // rather than failing the plan outright.
+  int best = 0;
+  for (int r = 1; r < n; ++r) {
+    if (states_[r].ejected_until_nanos < states_[best].ejected_until_nanos) {
+      best = r;
+    }
+  }
+  return best;
+}
+
+Result<FetchPlan> ReplicatedRecordSource::PlanFetch(
+    int record, int scan_group, const FetchResident* resident) const {
+  int primary;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    primary = PickPrimaryLocked(clock_->NowNanos());
+    ++states_[primary].plans;
+  }
+  auto plan = replicas_[primary]->PlanFetch(record, scan_group, resident);
+  if (!plan.ok()) {
+    return plan.status().WithContext(StrFormat("replica %d", primary));
+  }
+  plan->replica = primary;
+  // Alternates in rotation order after the primary, healthiest first is
+  // approximated by skipping currently-ejected replicas; they are appended
+  // last so a fetch with every healthy replica failing still has somewhere
+  // to go.
+  const int n = num_replicas();
+  const int max_alternates =
+      std::min(options_.max_alternates, n - 1);
+  std::vector<int> order;
+  order.reserve(static_cast<size_t>(n) - 1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int step = 1; step < n; ++step) {
+      const int r = (primary + step) % n;
+      if (states_[r].ejected_until_nanos == 0) order.push_back(r);
+    }
+    for (int step = 1; step < n; ++step) {
+      const int r = (primary + step) % n;
+      if (states_[r].ejected_until_nanos != 0) order.push_back(r);
+    }
+  }
+  for (const int r : order) {
+    if (static_cast<int>(plan->alternates.size()) >= max_alternates) break;
+    auto alt_plan = replicas_[r]->PlanFetch(record, scan_group, resident);
+    if (!alt_plan.ok()) continue;  // A replica that cannot plan is no backup.
+    FetchAlternate alternate;
+    alternate.replica = r;
+    alternate.env = alt_plan->env;
+    alternate.segments = std::move(alt_plan->segments);
+    plan->alternates.push_back(std::move(alternate));
+  }
+  return plan;
+}
+
+Result<RawRecord> ReplicatedRecordSource::CompleteFetch(
+    const FetchPlan& plan, std::string bytes) const {
+  if (plan.replica < 0 || plan.replica >= num_replicas()) {
+    return Status::InvalidArgument(
+        StrFormat("plan names replica %d of %d", plan.replica,
+                  num_replicas()));
+  }
+  // Replicas share one local numbering, so the plan routes by replica only.
+  return replicas_[plan.replica]->CompleteFetch(plan, std::move(bytes));
+}
+
+Result<RecordBatch> ReplicatedRecordSource::AssembleRecord(
+    RawRecord raw) const {
+  // Assembly is pure CPU on format-identical replicas; replica 0 serves.
+  return replicas_[0]->AssembleRecord(std::move(raw));
+}
+
+void ReplicatedRecordSource::ReportFetchOutcome(const FetchPlan& plan,
+                                                const Status& status) const {
+  if (plan.replica < 0 || plan.replica >= num_replicas()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ReplicaState& state = states_[plan.replica];
+  if (status.ok()) {
+    ++state.successes;
+    state.consecutive_failures = 0;
+    // A success clears ejection entirely (a probe that came back healthy)
+    // and resets the backoff window.
+    state.ejected_until_nanos = 0;
+    state.eject_window_sec = 0.0;
+    return;
+  }
+  ++state.failures;
+  if (++state.consecutive_failures < options_.eject_after_failures) return;
+  if (state.ejected_until_nanos != 0) return;  // Already ejected.
+  state.eject_window_sec =
+      state.eject_window_sec == 0.0
+          ? options_.eject_duration_sec
+          : std::min(state.eject_window_sec * 2.0,
+                     options_.max_eject_duration_sec);
+  state.ejected_until_nanos =
+      clock_->NowNanos() + SecondsToNanos(state.eject_window_sec);
+  ++state.ejections;
+  state.consecutive_failures = 0;  // Counting restarts at the probe.
+}
+
+std::vector<ReplicaHealth> ReplicatedRecordSource::health() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t now = clock_->NowNanos();
+  std::vector<ReplicaHealth> health(replicas_.size());
+  for (int r = 0; r < num_replicas(); ++r) {
+    const ReplicaState& state = states_[r];
+    ReplicaHealth& h = health[static_cast<size_t>(r)];
+    h.replica = r;
+    h.plans = state.plans;
+    h.successes = state.successes;
+    h.failures = state.failures;
+    h.consecutive_failures = state.consecutive_failures;
+    h.ejections = state.ejections;
+    h.probes = state.probes;
+    h.ejected = state.ejected_until_nanos != 0 &&
+                now < state.ejected_until_nanos;
+  }
+  return health;
+}
+
+}  // namespace pcr

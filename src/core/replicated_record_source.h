@@ -1,0 +1,114 @@
+// ReplicatedRecordSource: one logical shard served by N identical replicas —
+// the availability half of the async read path (ShardedRecordSource is the
+// scale-out half; compose them as sharded-over-replicated). Every replica
+// holds the same records under the same local numbering, so a fetch planned
+// against one replica can be re-driven verbatim against another: PlanFetch
+// picks a healthy primary (rotating for load spread) and attaches the other
+// replicas' segment layouts as FetchPlan::alternates, the reader fails over
+// or hedges against those, and ReportFetchOutcome feeds a per-replica health
+// score — consecutive failures eject a replica from planning for a doubling
+// backoff window, after which one probe plan tests whether it recovered.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/record_source.h"
+
+namespace pcr {
+
+struct ReplicationOptions {
+  /// Alternates attached to each plan (capped by replica count - 1).
+  int max_alternates = 2;
+  /// Consecutive fetch failures before a replica is ejected from planning.
+  int eject_after_failures = 3;
+  /// First ejection window; each further ejection doubles it, up to the max.
+  double eject_duration_sec = 2.0;
+  double max_eject_duration_sec = 60.0;
+  /// Time source for ejection windows; null uses RealClock (tests inject the
+  /// replicas' virtual clock).
+  Clock* clock = nullptr;
+};
+
+/// Health snapshot of one replica (tests, tooling, bench reporting).
+struct ReplicaHealth {
+  int replica = 0;
+  int64_t plans = 0;      // Times picked as primary.
+  int64_t successes = 0;  // Reported successful fetches.
+  int64_t failures = 0;   // Reported failed fetches.
+  int consecutive_failures = 0;
+  int64_t ejections = 0;  // Times the replica entered ejection.
+  int64_t probes = 0;     // Ejection-expired plans that tested recovery.
+  bool ejected = false;   // Currently out of planning rotation.
+};
+
+class ReplicatedRecordSource : public RecordSource {
+ public:
+  /// Takes ownership of the replicas. Fails when the list is empty, a
+  /// replica is null, or the replicas disagree on record/image/scan-group
+  /// counts (they must be byte-layout-identical copies of one shard).
+  static Result<std::unique_ptr<ReplicatedRecordSource>> Create(
+      std::vector<std::unique_ptr<RecordSource>> replicas,
+      ReplicationOptions options = {});
+
+  int num_records() const override { return replicas_[0]->num_records(); }
+  int num_images() const override { return replicas_[0]->num_images(); }
+  int num_scan_groups() const override {
+    return replicas_[0]->num_scan_groups();
+  }
+  uint64_t RecordReadBytes(int record, int scan_group) const override {
+    return replicas_[0]->RecordReadBytes(record, scan_group);
+  }
+  int RecordImages(int record) const override {
+    return replicas_[0]->RecordImages(record);
+  }
+  using RecordSource::PlanFetch;
+  Result<FetchPlan> PlanFetch(int record, int scan_group,
+                              const FetchResident* resident) const override;
+  Result<RawRecord> CompleteFetch(const FetchPlan& plan,
+                                  std::string bytes) const override;
+  Result<RecordBatch> AssembleRecord(RawRecord raw) const override;
+  void ReportFetchOutcome(const FetchPlan& plan,
+                          const Status& status) const override;
+  std::string format_name() const override { return format_name_; }
+  uint64_t total_bytes() const override { return replicas_[0]->total_bytes(); }
+
+  int num_replicas() const { return static_cast<int>(replicas_.size()); }
+  RecordSource* replica(int index) const { return replicas_[index].get(); }
+  std::vector<ReplicaHealth> health() const;
+
+ private:
+  ReplicatedRecordSource(std::vector<std::unique_ptr<RecordSource>> replicas,
+                         ReplicationOptions options);
+
+  struct ReplicaState {
+    int64_t plans = 0;
+    int64_t successes = 0;
+    int64_t failures = 0;
+    int consecutive_failures = 0;
+    int64_t ejections = 0;
+    int64_t probes = 0;
+    /// Ejected until this instant; 0 = in rotation.
+    int64_t ejected_until_nanos = 0;
+    /// Current ejection window (doubles per ejection).
+    double eject_window_sec = 0.0;
+  };
+
+  /// Picks the primary replica for a plan (rotation over healthy replicas;
+  /// an expired ejection turns into a probe; all-ejected falls back to the
+  /// least-recently-ejected). Caller holds mu_.
+  int PickPrimaryLocked(int64_t now_nanos) const;
+
+  const std::vector<std::unique_ptr<RecordSource>> replicas_;
+  const ReplicationOptions options_;
+  Clock* const clock_;
+  std::string format_name_;
+
+  mutable std::mutex mu_;
+  mutable std::vector<ReplicaState> states_;
+  mutable uint64_t rotation_ = 0;
+};
+
+}  // namespace pcr

@@ -121,6 +121,15 @@ Result<RecordBatch> ShardedRecordSource::AssembleRecord(RawRecord raw) const {
   return batch;
 }
 
+void ShardedRecordSource::ReportFetchOutcome(const FetchPlan& plan,
+                                             const Status& status) const {
+  auto loc = Locate(plan.record);
+  if (!loc.ok()) return;  // Outcome for an unknown record: nothing to score.
+  // Forwarded with the global record number: replica scoring keys on the
+  // plan's replica/env, never on its record.
+  shards_[loc->shard]->ReportFetchOutcome(plan, status);
+}
+
 uint64_t ShardedRecordSource::total_bytes() const {
   uint64_t total = 0;
   for (const auto& shard : shards_) total += shard->total_bytes();

@@ -39,6 +39,8 @@ class ShardedRecordSource : public RecordSource {
   Result<RawRecord> CompleteFetch(const FetchPlan& plan,
                                   std::string bytes) const override;
   Result<RecordBatch> AssembleRecord(RawRecord raw) const override;
+  void ReportFetchOutcome(const FetchPlan& plan,
+                          const Status& status) const override;
   std::string format_name() const override { return format_name_; }
   uint64_t total_bytes() const override;
 

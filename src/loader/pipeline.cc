@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <optional>
 #include <thread>
 
+#include "storage/io_retry.h"
 #include "util/logging.h"
 
 namespace pcr {
@@ -49,6 +51,9 @@ LoaderPipeline::LoaderPipeline(RecordSource* source,
     options_.cache_dataset_id = options_.decode_cache->RegisterDataset();
   }
   options_.io_submit_batch = std::max(1, options_.io_submit_batch);
+  options_.io_retry_attempts = std::max(1, options_.io_retry_attempts);
+  // Completion cookies carry the slot index in 16 bits.
+  options_.io_inflight = std::min(options_.io_inflight, 0xffff);
   if (options_.prefix_cache == nullptr && options_.prefix_cache_bytes > 0) {
     PrefixCacheOptions prefix_options;
     prefix_options.capacity_bytes = options_.prefix_cache_bytes;
@@ -110,12 +115,23 @@ void LoaderPipeline::IoWorkerLoop(uint64_t seed) {
   const uint64_t prefix_id = options_.prefix_dataset_id;
   const int window = options_.io_inflight;
 
-  // The submission window: one slot per fetch in flight, addressed through
-  // the completions' user_data. A slot holds its plan; the whole plan goes
-  // to the scheduler as one scatter-gather request, so the completion's
-  // bytes are the plan's fetched (non-resident) bytes in plan order.
+  // The submission window: one slot per logical fetch in flight. A slot
+  // holds its plan; the whole plan goes to the scheduler as one
+  // scatter-gather request, so the completion's bytes are the plan's fetched
+  // (non-resident) bytes in plan order. A fetch may have up to two
+  // *branches* racing for the slot — the current attempt and its hedge twin
+  // — and may be re-driven across the plan's alternates on failure, so the
+  // completion cookie carries (generation, branch, slot): a completion whose
+  // generation no longer matches the slot's is a superseded attempt (hedge
+  // loser, or a failure the slot already failed over past) and is dropped.
   struct Slot {
     FetchPlan plan;
+    int64_t submit_nanos = 0;     // First submission of the current fetch.
+    uint32_t generation = 0;      // Bumped per attempt and at finalize.
+    int branches = 0;             // Outstanding submissions racing (0-2).
+    size_t next_alternate = 0;    // Next untried plan.alternates entry.
+    int hedge_alternate = -1;     // Alternate the hedge twin ran against.
+    bool hedged = false;          // One hedge per attempt.
   };
   std::vector<Slot> slots(static_cast<size_t>(window));
   std::vector<int> free_slots;
@@ -123,9 +139,17 @@ void LoaderPipeline::IoWorkerLoop(uint64_t seed) {
   for (int i = window - 1; i >= 0; --i) free_slots.push_back(i);
   int in_flight = 0;
 
+  auto encode_cookie = [](uint32_t generation, int branch, int slot) {
+    return (static_cast<uint64_t>(generation) << 32) |
+           (static_cast<uint64_t>(branch) << 16) | static_cast<uint64_t>(slot);
+  };
+
   // One scheduler per backend Env: a plain source has one, a sharded source
-  // one per shard backend. Workers own their schedulers, so the window is
-  // per worker and teardown joins only this worker's outstanding reads.
+  // one per shard backend, a replicated source one per replica actually
+  // read. Workers own their schedulers, so the window is per worker and
+  // teardown joins only this worker's outstanding reads. Transient backend
+  // errors retry below this layer (storage/io_retry.h): the loop here only
+  // ever sees failures worth failing over.
   std::vector<std::pair<Env*, std::unique_ptr<IoScheduler>>> schedulers;
   size_t wait_cursor = 0;  // Round-robin across backends when waiting.
   auto scheduler_for = [&](Env* env) -> IoScheduler* {
@@ -133,15 +157,101 @@ void LoaderPipeline::IoWorkerLoop(uint64_t seed) {
       if (scheduler_env == env) return scheduler.get();
     }
     IoSchedulerOptions scheduler_options;
-    scheduler_options.queue_depth = window;
+    // Hedges can double the branches held against one backend, so the
+    // scheduler gets headroom beyond the logical window.
+    const int depth = window * (options_.hedged_reads ? 2 : 1);
+    scheduler_options.queue_depth = depth;
     // Every in-flight read may block a service thread in pread.
-    scheduler_options.io_threads = window;
+    scheduler_options.io_threads = depth;
     scheduler_options.backend = options_.io_backend;
     scheduler_options.submit_batch = options_.io_submit_batch;
-    schedulers.emplace_back(env, env->NewIoScheduler(scheduler_options));
+    std::unique_ptr<IoScheduler> scheduler =
+        env->NewIoScheduler(scheduler_options);
+    if (options_.io_retry_attempts > 1) {
+      RetryPolicy policy;
+      policy.max_attempts = options_.io_retry_attempts;
+      policy.initial_backoff_sec = options_.io_retry_backoff_sec;
+      scheduler =
+          NewRetryingIoScheduler(std::move(scheduler), policy, env->clock());
+    }
+    schedulers.emplace_back(env, std::move(scheduler));
     io_backend_name_.store(schedulers.back().second->backend_name(),
                            std::memory_order_relaxed);
     return schedulers.back().second.get();
+  };
+
+  // Worker-local recent fetch latencies drive the hedge deadline: hedging
+  // keys off this worker's own observed service times. The shared stage
+  // ring (io_stats_) feeds reporting only.
+  constexpr size_t kLatencyWindow = 256;
+  constexpr int64_t kMinHedgeSamples = 16;
+  std::vector<double> recent_latencies;
+  recent_latencies.reserve(kLatencyWindow);
+  size_t latency_cursor = 0;
+  int64_t latency_count = 0;
+  auto record_latency = [&](double seconds) {
+    if (recent_latencies.size() < kLatencyWindow) {
+      recent_latencies.push_back(seconds);
+    } else {
+      recent_latencies[latency_cursor] = seconds;
+      latency_cursor = (latency_cursor + 1) % kLatencyWindow;
+    }
+    ++latency_count;
+    io_stats_.AddFetchLatency(seconds);
+  };
+  // The adaptive hedge deadline in nanos, or -1 while too few fetches have
+  // completed to estimate the percentile.
+  auto hedge_deadline_nanos = [&]() -> int64_t {
+    if (latency_count < kMinHedgeSamples) return -1;
+    std::vector<double> sorted(recent_latencies);
+    std::sort(sorted.begin(), sorted.end());
+    const double p = std::clamp(options_.hedge_percentile, 0.0, 100.0);
+    const size_t index = static_cast<size_t>(
+        p / 100.0 * static_cast<double>(sorted.size() - 1));
+    const double deadline_sec =
+        std::clamp(sorted[index] * options_.hedge_latency_factor,
+                   options_.hedge_min_sec, options_.hedge_max_sec);
+    return static_cast<int64_t>(deadline_sec * 1e9);
+  };
+
+  // Duplicates any fetch past its deadline to its next untried alternate
+  // (first completion wins the slot). Returns nanos until the earliest
+  // not-yet-due hedge, or -1 when nothing is eligible.
+  auto maybe_hedge = [&]() -> int64_t {
+    if (!options_.hedged_reads || in_flight == 0) return -1;
+    const int64_t deadline = hedge_deadline_nanos();
+    if (deadline < 0) return -1;
+    const int64_t now = NowNanos();
+    int64_t next_wait = -1;
+    for (int s = 0; s < window; ++s) {
+      Slot& slot = slots[static_cast<size_t>(s)];
+      if (slot.branches != 1 || slot.hedged) continue;
+      if (slot.next_alternate >= slot.plan.alternates.size()) continue;
+      const int64_t age = now - slot.submit_nanos;
+      if (age < deadline) {
+        const int64_t wait = deadline - age;
+        if (next_wait < 0 || wait < next_wait) next_wait = wait;
+        continue;
+      }
+      const FetchAlternate& alt = slot.plan.alternates[slot.next_alternate];
+      ReadRequest request;
+      request.user_data = encode_cookie(slot.generation, 1, s);
+      for (const FetchSegment& seg : alt.segments) {
+        if (!seg.resident) {
+          request.segments.push_back(
+              ReadSegment{seg.path, seg.offset, seg.length});
+        }
+      }
+      slot.hedged = true;  // One hedge per attempt, whether or not it lands.
+      if (!scheduler_for(alt.env)->SubmitRead(std::move(request)).ok()) {
+        continue;  // Backend refused (full or failing): forfeit the hedge.
+      }
+      slot.hedge_alternate = static_cast<int>(slot.next_alternate);
+      ++slot.next_alternate;
+      slot.branches = 2;
+      io_stats_.AddHedge();
+    }
+    return next_wait;
   };
 
   // CompleteFetch + hand the raw record to the decode stage; frees the slot.
@@ -174,10 +284,16 @@ void LoaderPipeline::IoWorkerLoop(uint64_t seed) {
 
   // The whole plan as one request: adjacent segments become one vectored op
   // on backends that support it, and resident segments never reach storage.
-  auto submit_plan = [&](int slot_index) -> bool {
+  // (Re)submits the slot's current plan as branch 0 of its generation —
+  // the initial attempt and every failover re-drive go through here.
+  auto submit_slot = [&](int slot_index) -> bool {
     Slot& slot = slots[static_cast<size_t>(slot_index)];
+    slot.submit_nanos = NowNanos();
+    slot.hedged = false;
+    slot.hedge_alternate = -1;
+    slot.branches = 1;
     ReadRequest request =
-        slot.plan.ToReadRequest(static_cast<uint64_t>(slot_index));
+        slot.plan.ToReadRequest(encode_cookie(slot.generation, 0, slot_index));
     Status submitted =
         scheduler_for(slot.plan.env)->SubmitRead(std::move(request));
     if (!submitted.ok()) {
@@ -253,13 +369,16 @@ void LoaderPipeline::IoWorkerLoop(uint64_t seed) {
       free_slots.pop_back();
       Slot& slot = slots[static_cast<size_t>(slot_index)];
       slot.plan = std::move(plan).MoveValue();
+      slot.next_alternate = 0;
+      ++slot.generation;  // Fresh tenancy: prior tenants' strays are dead.
       if (slot.plan.fetch_bytes() == 0) {
         // Fully resident (or empty): no storage I/O, complete right away.
+        // No outcome report — replica health scores storage attempts only.
         io_stats_.AddBusyNanos(NowNanos() - plan_start);
         if (!finish_slot(slot_index, std::string())) running = false;
         continue;
       }
-      if (!submit_plan(slot_index)) {
+      if (!submit_slot(slot_index)) {
         io_stats_.AddBusyNanos(NowNanos() - plan_start);
         running = false;
         break;
@@ -272,15 +391,22 @@ void LoaderPipeline::IoWorkerLoop(uint64_t seed) {
 
     // Drain one completion. The wait is storage service time (busy): with a
     // full window this is where the worker sits while the device works
-    // through its queue. Ready completions on any backend are taken first.
-    // With a single backend holding reads (the common case) the worker
-    // parks in its blocking WaitCompletion; with several it polls them all
-    // at a short cadence instead — committing to one backend's blocking
-    // wait would idle a fast shard's completed reads behind a slow shard's
-    // latency.
+    // through its queue. Ready completions on any backend are taken first;
+    // the worker then waits in bounded slices — never a blocking
+    // WaitCompletion — so hedge deadlines and Stop() stay observed even
+    // against a backend that never completes (a wedged read cannot hang
+    // teardown). With several backends holding reads it polls them all at a
+    // short cadence instead — committing to one backend's wait would idle a
+    // fast shard's completed reads behind a slow shard's latency.
+    constexpr int64_t kWaitSliceNanos = 10'000'000;    // 10 ms.
+    constexpr int64_t kMinWaitSliceNanos = 100'000;    // 100 us.
     const int64_t wait_start = NowNanos();
     std::optional<ReadCompletion> completion;
-    while (running && !completion.has_value()) {
+    while (running && !completion.has_value() &&
+           !stopping_.load(std::memory_order_relaxed)) {
+      // Hedge first: a straggler past its deadline gets its duplicate
+      // submitted before the worker parks again.
+      const int64_t next_hedge_wait = maybe_hedge();
       IoScheduler* only_pending = nullptr;
       int backends_pending = 0;
       for (size_t i = 0; i < schedulers.size(); ++i) {
@@ -297,29 +423,86 @@ void LoaderPipeline::IoWorkerLoop(uint64_t seed) {
       if (completion.has_value()) break;
       if (backends_pending == 0) break;  // Defensive; in_flight > 0 here.
       if (backends_pending == 1) {
-        auto waited = only_pending->WaitCompletion();
-        if (!waited.ok()) {
-          RecordError(waited.status().WithContext("loader I/O stage"));
-          running = false;
-        } else {
-          completion = std::move(waited).MoveValue();
+        // Cut the slice to the next hedge deadline so a straggler's
+        // duplicate goes out on time.
+        int64_t slice = kWaitSliceNanos;
+        if (next_hedge_wait >= 0) {
+          slice = std::clamp(next_hedge_wait, kMinWaitSliceNanos, slice);
         }
-        break;
+        auto waited = only_pending->WaitCompletionFor(slice);
+        if (!waited.ok()) {
+          if (!stopping_.load(std::memory_order_relaxed)) {
+            RecordError(waited.status().WithContext("loader I/O stage"));
+          }
+          running = false;
+          break;
+        }
+        if (waited->has_value()) completion = std::move(**waited);
+        continue;  // Timed out: recheck hedges and stopping_.
       }
-      if (stopping_.load(std::memory_order_relaxed)) break;
       std::this_thread::sleep_for(std::chrono::microseconds(50));
     }
     io_stats_.AddBusyNanos(NowNanos() - wait_start);
     if (!running || !completion.has_value()) break;
 
-    --in_flight;
-    io_stats_.SampleInFlight(in_flight);
-    if (!completion->status.ok()) {
-      RecordError(completion->status.WithContext("loader I/O stage"));
-      break;
+    // Match the completion to its slot through the cookie. A stale
+    // generation is a superseded branch — the loser of a hedge race, or an
+    // attempt the slot already finished or failed over past — drop it.
+    const uint64_t cookie = completion->user_data;
+    const int slot_index = static_cast<int>(cookie & 0xffff);
+    const bool hedge_branch = ((cookie >> 16) & 0xffff) == 1;
+    Slot& slot = slots[static_cast<size_t>(slot_index)];
+    if (static_cast<uint32_t>(cookie >> 32) != slot.generation ||
+        slot.branches == 0) {
+      continue;
     }
-    const int slot_index = static_cast<int>(completion->user_data);
-    if (!finish_slot(slot_index, std::move(completion->bytes))) break;
+    --slot.branches;
+    if (completion->status.ok()) {
+      if (hedge_branch) {
+        // The duplicate finished first: the slot's plan becomes the
+        // alternate it ran against (CompleteFetch and replica scoring
+        // route by the plan's replica).
+        io_stats_.AddHedgeWin();
+        slot.plan.UseAlternate(
+            slot.plan.alternates[static_cast<size_t>(slot.hedge_alternate)]);
+      }
+      source_->ReportFetchOutcome(slot.plan, completion->status);
+      record_latency(static_cast<double>(NowNanos() - slot.submit_nanos) *
+                     1e-9);
+      ++slot.generation;  // A still-racing twin is now a dead letter.
+      slot.branches = 0;
+      --in_flight;
+      io_stats_.SampleInFlight(in_flight);
+      if (!finish_slot(slot_index, std::move(completion->bytes))) break;
+      continue;
+    }
+    // This branch failed for good (transient errors already retried below
+    // this layer). Score the replica actually attempted, then fail over —
+    // unless the hedge twin is still racing, in which case it already is
+    // the failover in flight.
+    if (hedge_branch) {
+      FetchPlan attempted = slot.plan;
+      attempted.UseAlternate(
+          slot.plan.alternates[static_cast<size_t>(slot.hedge_alternate)]);
+      source_->ReportFetchOutcome(attempted, completion->status);
+    } else {
+      source_->ReportFetchOutcome(slot.plan, completion->status);
+    }
+    if (slot.branches > 0) continue;
+    if (slot.next_alternate < slot.plan.alternates.size()) {
+      slot.plan.UseAlternate(slot.plan.alternates[slot.next_alternate]);
+      ++slot.next_alternate;
+      ++slot.generation;  // New attempt; strays of the old one are dead.
+      io_stats_.AddFailover();
+      if (!submit_slot(slot_index)) {
+        running = false;
+        break;
+      }
+      continue;
+    }
+    // Replicas exhausted: the fetch is lost and the stream fails.
+    RecordError(completion->status.WithContext("loader I/O stage"));
+    break;
   }
   // Slots still in flight after Stop() or a failure are dropped here: the
   // schedulers' destructors join their service threads and discard the

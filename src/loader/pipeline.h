@@ -103,6 +103,30 @@ struct LoaderPipelineOptions {
   /// the sync/thread backends, which have no batched submission.
   int io_submit_batch = 4;
 
+  // Fault tolerance on the I/O stage. Three independent layers: transparent
+  // retry of transient backend errors (storage/io_retry.h wraps each
+  // scheduler), replica failover (a failed fetch re-submits against the
+  // plan's next FetchPlan::alternates entry), and hedged reads (a fetch
+  // outliving an adaptive deadline duplicates to an alternate;
+  // first-completion-wins, the loser is discarded on arrival). Replica-less
+  // sources attach no alternates, so failover and hedging are no-ops there.
+  /// Submissions per request against one backend before its failure
+  /// surfaces to failover; 1 disables retry.
+  int io_retry_attempts = 3;
+  /// First retry backoff; doubles per retry (capped at 100x) on the
+  /// backend Env's clock.
+  double io_retry_backoff_sec = 0.5e-3;
+  /// Duplicate a slow fetch to an untried alternate replica once it
+  /// outlives the hedge deadline.
+  bool hedged_reads = true;
+  /// Deadline = clamp(worker-local latency percentile * factor,
+  /// [hedge_min_sec, hedge_max_sec]); no hedging until the worker has
+  /// observed enough completed fetches to estimate the percentile.
+  double hedge_percentile = 95.0;
+  double hedge_latency_factor = 2.0;
+  double hedge_min_sec = 1e-3;
+  double hedge_max_sec = 1.0;
+
   // Raw scan-prefix cache (loader/prefix_cache.h). I/O workers feed each
   // ticket's PlanFetch the record's cached prefix, so a quality upgrade
   // fetches only the delta bytes and a same-or-lower-quality re-read is

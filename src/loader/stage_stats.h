@@ -7,9 +7,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "storage/env.h"
+#include "util/stats.h"
 
 namespace pcr {
 
@@ -55,6 +58,24 @@ struct StageStatsSnapshot {
   /// upgrades into delta reads or skip I/O entirely.
   int64_t prefix_hits = 0;
   int64_t prefix_misses = 0;
+
+  /// Fault-tolerance counters (I/O stage only; zero elsewhere). Retries are
+  /// transparent backend resubmissions (folded from scheduler stats);
+  /// failovers re-drove a failed fetch against an alternate replica; hedges
+  /// duplicated a slow fetch to an alternate, of which hedge_wins finished
+  /// before the original. Non-zero values are the observable signature of
+  /// degraded mode.
+  int64_t io_retries = 0;
+  int64_t failovers = 0;
+  int64_t hedges = 0;
+  int64_t hedge_wins = 0;
+
+  /// Storage-fetch service latency percentiles (submit to completion, I/O
+  /// stage only), over a sliding window of recent fetches. Zero when nothing
+  /// was fetched (cache-served or fully-resident streams).
+  double fetch_p50_sec = 0;
+  double fetch_p99_sec = 0;
+  int64_t fetch_latency_samples = 0;
 
   /// Mean kernel-visible ops per submission boundary — the submitted-batch
   /// gauge. ~1.0 means no batching (pread per op); >1 means the backend
@@ -122,12 +143,30 @@ class StageStats {
     io_ops_.fetch_add(io.ops, std::memory_order_relaxed);
     io_submits_.fetch_add(io.submits, std::memory_order_relaxed);
     io_syscalls_.fetch_add(io.syscalls, std::memory_order_relaxed);
+    io_retries_.fetch_add(io.retries, std::memory_order_relaxed);
   }
   void AddPrefixHit() {
     prefix_hits_.fetch_add(1, std::memory_order_relaxed);
   }
   void AddPrefixMiss() {
     prefix_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddFailover() { failovers_.fetch_add(1, std::memory_order_relaxed); }
+  void AddHedge() { hedges_.fetch_add(1, std::memory_order_relaxed); }
+  void AddHedgeWin() { hedge_wins_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Records one storage fetch's submit-to-completion latency. Kept in a
+  /// fixed-size ring (recent-window percentiles stay O(1) memory over
+  /// unbounded epochs); mutexed, but a fetch completion amortizes the lock
+  /// over milliseconds of I/O.
+  void AddFetchLatency(double seconds) {
+    std::lock_guard<std::mutex> lock(latency_mu_);
+    if (latencies_.size() < kLatencyRing) {
+      latencies_.push_back(seconds);
+    } else {
+      latencies_[latency_next_ % kLatencyRing] = seconds;
+    }
+    ++latency_next_;
   }
 
   StageStatsSnapshot Snapshot(std::string name, int threads,
@@ -164,6 +203,20 @@ class StageStats {
     snap.io_syscalls = io_syscalls_.load(std::memory_order_relaxed);
     snap.prefix_hits = prefix_hits_.load(std::memory_order_relaxed);
     snap.prefix_misses = prefix_misses_.load(std::memory_order_relaxed);
+    snap.io_retries = io_retries_.load(std::memory_order_relaxed);
+    snap.failovers = failovers_.load(std::memory_order_relaxed);
+    snap.hedges = hedges_.load(std::memory_order_relaxed);
+    snap.hedge_wins = hedge_wins_.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(latency_mu_);
+      snap.fetch_latency_samples = latency_next_;
+      if (!latencies_.empty()) {
+        SampleSet samples;
+        for (const double v : latencies_) samples.Add(v);
+        snap.fetch_p50_sec = samples.Percentile(50.0);
+        snap.fetch_p99_sec = samples.Percentile(99.0);
+      }
+    }
     return snap;
   }
 
@@ -185,6 +238,15 @@ class StageStats {
   std::atomic<int64_t> io_syscalls_{0};
   std::atomic<int64_t> prefix_hits_{0};
   std::atomic<int64_t> prefix_misses_{0};
+  std::atomic<int64_t> io_retries_{0};
+  std::atomic<int64_t> failovers_{0};
+  std::atomic<int64_t> hedges_{0};
+  std::atomic<int64_t> hedge_wins_{0};
+
+  static constexpr size_t kLatencyRing = 4096;
+  mutable std::mutex latency_mu_;
+  std::vector<double> latencies_;  // Ring of recent fetch latencies.
+  int64_t latency_next_ = 0;       // Total recorded (ring write cursor).
 };
 
 }  // namespace pcr

@@ -103,6 +103,9 @@ struct IoSchedulerStats {
   int64_t ops = 0;
   int64_t submits = 0;
   int64_t syscalls = 0;
+  /// Transparent resubmissions of transient failures (only the retrying
+  /// wrapper in storage/io_retry.h counts these; raw backends report 0).
+  int64_t retries = 0;
 };
 
 struct IoSchedulerOptions {
@@ -152,6 +155,15 @@ class IoScheduler {
 
   /// Non-blocking: a completion if one is already available.
   virtual std::optional<ReadCompletion> PollCompletion() = 0;
+
+  /// Bounded wait: a completion if one arrives within `timeout_nanos`,
+  /// nullopt on timeout. Like WaitCompletion, calling with nothing in flight
+  /// is a FailedPrecondition error. Backends whose reads can wedge (a stuck
+  /// NFS pread, an injected stall) override this so callers — pipeline
+  /// teardown, hedged-read deadlines — never block unboundedly; the base
+  /// implementation polls on a short real-time cadence.
+  virtual Result<std::optional<ReadCompletion>> WaitCompletionFor(
+      int64_t timeout_nanos);
 
   /// Reads submitted but not yet handed back through Wait/PollCompletion.
   virtual int in_flight() const = 0;

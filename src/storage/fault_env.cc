@@ -1,0 +1,285 @@
+#include "storage/fault_env.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace pcr {
+
+namespace {
+
+/// Sync-path shim: consults the schedule before delegating the read.
+class FaultRandomAccessFile : public RandomAccessFile {
+ public:
+  FaultRandomAccessFile(FaultInjectionEnv* env, std::string path,
+                        std::unique_ptr<RandomAccessFile> inner)
+      : env_(env), path_(std::move(path)), inner_(std::move(inner)) {}
+
+  Status Read(uint64_t offset, size_t n, char* scratch,
+              Slice* out) const override {
+    FaultInjectionEnv::Decision d = env_->Evaluate(path_);
+    if (d.stall_nanos > 0) env_->clock()->SleepNanos(d.stall_nanos);
+    if (!d.status.ok()) return d.status;
+    PCR_RETURN_IF_ERROR(inner_->Read(offset, n, scratch, out));
+    if (d.short_read && out->size() > d.short_bytes) {
+      // Truncated delivery: Env::ReadRange and the record readers turn this
+      // into the same "short read" IOError a truncated file produces.
+      *out = Slice(out->data(), static_cast<size_t>(d.short_bytes));
+    }
+    return Status::OK();
+  }
+
+  Result<uint64_t> Size() const override { return inner_->Size(); }
+
+ private:
+  FaultInjectionEnv* const env_;
+  const std::string path_;
+  const std::unique_ptr<RandomAccessFile> inner_;
+};
+
+/// Async-path shim. The fault decision is made at SubmitRead — submission
+/// order is deterministic even when the inner backend completes out of
+/// order — and applied at delivery: erroring reads never reach the inner
+/// backend (their faulty completion queues locally), stalled reads complete
+/// normally but are held past their release time.
+class FaultIoScheduler : public IoScheduler {
+ public:
+  FaultIoScheduler(FaultInjectionEnv* env, std::unique_ptr<IoScheduler> inner)
+      : env_(env), inner_(std::move(inner)) {}
+
+  Status SubmitRead(ReadRequest request) override {
+    const std::string& path =
+        request.segments.empty() ? std::string() : request.segments[0].path;
+    FaultInjectionEnv::Decision d = env_->Evaluate(path);
+    const int64_t release = d.stall_nanos > 0
+                                ? env_->clock()->NowNanos() + d.stall_nanos
+                                : 0;
+    if (!d.status.ok() || d.short_read) {
+      // The completion contract promises exactly total_length() bytes, so a
+      // scheduler-level short read surfaces as the IOError a truncated file
+      // would produce; the inner backend never sees the request.
+      ReadCompletion completion;
+      completion.user_data = request.user_data;
+      completion.status = d.short_read && d.status.ok()
+                              ? Status::IOError("injected short read of " +
+                                                path)
+                              : d.status;
+      ++local_faults_;
+      held_.push_back({release, std::move(completion)});
+      return Status::OK();
+    }
+    if (release > 0) stalled_release_[request.user_data] = release;
+    return inner_->SubmitRead(std::move(request));
+  }
+
+  Result<ReadCompletion> WaitCompletion() override {
+    if (in_flight() == 0) {
+      return Status::FailedPrecondition("no reads in flight");
+    }
+    for (;;) {
+      PCR_ASSIGN_OR_RETURN(std::optional<ReadCompletion> completion,
+                           WaitCompletionFor(kSliceNanos));
+      if (completion.has_value()) return std::move(*completion);
+    }
+  }
+
+  Result<std::optional<ReadCompletion>> WaitCompletionFor(
+      int64_t timeout_nanos) override {
+    if (in_flight() == 0) {
+      return Status::FailedPrecondition("no reads in flight");
+    }
+    const int64_t deadline = env_->clock()->NowNanos() + timeout_nanos;
+    for (;;) {
+      if (std::optional<ReadCompletion> ready = PollCompletion()) {
+        return std::optional<ReadCompletion>(std::move(*ready));
+      }
+      const int64_t now = env_->clock()->NowNanos();
+      if (now >= deadline) return std::optional<ReadCompletion>(std::nullopt);
+      int64_t wait = deadline - now;
+      // Never sleep past the earliest held release: a stalled completion
+      // becoming ready is exactly what the caller is waiting for.
+      for (const HeldCompletion& held : held_) {
+        wait = std::min(wait, std::max<int64_t>(held.release_nanos - now, 0));
+      }
+      if (inner_->in_flight() > 0) {
+        PCR_ASSIGN_OR_RETURN(
+            std::optional<ReadCompletion> completion,
+            inner_->WaitCompletionFor(std::max<int64_t>(wait, 1)));
+        if (completion.has_value()) Hold(std::move(*completion));
+      } else {
+        // Only held completions remain; advance the clock to the release
+        // (virtual clocks advance exactly this way).
+        env_->clock()->SleepNanos(std::max<int64_t>(wait, 1));
+      }
+    }
+  }
+
+  std::optional<ReadCompletion> PollCompletion() override {
+    while (std::optional<ReadCompletion> completion =
+               inner_->PollCompletion()) {
+      Hold(std::move(*completion));
+    }
+    const int64_t now = env_->clock()->NowNanos();
+    for (auto it = held_.begin(); it != held_.end(); ++it) {
+      if (it->release_nanos <= now) {
+        ReadCompletion completion = std::move(it->completion);
+        held_.erase(it);
+        return completion;
+      }
+    }
+    return std::nullopt;
+  }
+
+  int in_flight() const override {
+    return inner_->in_flight() + static_cast<int>(held_.size());
+  }
+
+  const char* backend_name() const override { return inner_->backend_name(); }
+
+  IoSchedulerStats stats() const override {
+    IoSchedulerStats stats = inner_->stats();
+    stats.requests += local_faults_;  // Faulted before reaching the backend.
+    return stats;
+  }
+
+ private:
+  struct HeldCompletion {
+    int64_t release_nanos;  // 0 = deliverable immediately.
+    ReadCompletion completion;
+  };
+
+  /// Queues an inner completion, honoring any stall decided at submit.
+  void Hold(ReadCompletion completion) {
+    int64_t release = 0;
+    auto it = stalled_release_.find(completion.user_data);
+    if (it != stalled_release_.end()) {
+      release = it->second;
+      stalled_release_.erase(it);
+    }
+    held_.push_back({release, std::move(completion)});
+  }
+
+  static constexpr int64_t kSliceNanos = 100'000'000;  // 100ms
+
+  FaultInjectionEnv* const env_;
+  const std::unique_ptr<IoScheduler> inner_;
+  std::deque<HeldCompletion> held_;
+  std::map<uint64_t, int64_t> stalled_release_;
+  int64_t local_faults_ = 0;
+};
+
+}  // namespace
+
+FaultInjectionEnv::FaultInjectionEnv(Env* base, std::vector<FaultRule> rules,
+                                     uint64_t seed)
+    : base_(base), rules_(std::move(rules)), seed_(seed),
+      matches_(rules_.size(), 0), triggers_(rules_.size(), 0), rng_(seed) {
+  PCR_CHECK(base != nullptr);
+}
+
+FaultInjectionEnv::Decision FaultInjectionEnv::Evaluate(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.reads_seen;
+  Decision decision;
+  bool decided = false;
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    const FaultRule& rule = rules_[i];
+    if (!rule.path_substring.empty() &&
+        path.find(rule.path_substring) == std::string::npos) {
+      continue;
+    }
+    const int64_t match = ++matches_[i];
+    // The probability stream always draws for a matching read, so whether
+    // earlier rules triggered never perturbs later draws: the schedule stays
+    // a pure function of (seed, read order).
+    bool fired = false;
+    if (rule.probability > 0.0) {
+      std::uniform_real_distribution<double> uniform(0.0, 1.0);
+      fired = uniform(rng_) < rule.probability;
+    }
+    fired = fired || (rule.fail_nth > 0 && match == rule.fail_nth) ||
+            (rule.fail_every_n > 0 && match % rule.fail_every_n == 0) ||
+            (rule.fail_first_n > 0 && match <= rule.fail_first_n);
+    if (!fired || decided) continue;
+    if (rule.max_triggers >= 0 && triggers_[i] >= rule.max_triggers) continue;
+    ++triggers_[i];
+    decided = true;
+    if (rule.added_latency_sec > 0) {
+      decision.stall_nanos = SecondsToNanos(rule.added_latency_sec);
+      ++stats_.stalls;
+    }
+    if (rule.short_read) {
+      decision.short_read = true;
+      decision.short_bytes = rule.short_read_bytes;
+      ++stats_.short_reads;
+    } else if (rule.code != StatusCode::kOk) {
+      decision.status =
+          Status(rule.code, "injected fault reading " + path);
+      ++stats_.errors;
+    }
+  }
+  return decision;
+}
+
+Result<std::unique_ptr<RandomAccessFile>>
+FaultInjectionEnv::NewRandomAccessFile(const std::string& path) {
+  PCR_ASSIGN_OR_RETURN(auto inner, base_->NewRandomAccessFile(path));
+  return std::unique_ptr<RandomAccessFile>(
+      new FaultRandomAccessFile(this, path, std::move(inner)));
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
+    const std::string& path) {
+  return base_->NewWritableFile(path);
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Result<uint64_t> FaultInjectionEnv::GetFileSize(const std::string& path) {
+  return base_->GetFileSize(path);
+}
+
+Status FaultInjectionEnv::DeleteFile(const std::string& path) {
+  return base_->DeleteFile(path);
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectionEnv::CreateDir(const std::string& path) {
+  return base_->CreateDir(path);
+}
+
+Result<std::vector<std::string>> FaultInjectionEnv::ListDir(
+    const std::string& path) {
+  return base_->ListDir(path);
+}
+
+std::unique_ptr<IoScheduler> FaultInjectionEnv::NewIoScheduler(
+    const IoSchedulerOptions& options) {
+  return std::make_unique<FaultIoScheduler>(this,
+                                            base_->NewIoScheduler(options));
+}
+
+FaultStats FaultInjectionEnv::fault_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void FaultInjectionEnv::ResetSchedule() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(matches_.begin(), matches_.end(), 0);
+  std::fill(triggers_.begin(), triggers_.end(), 0);
+  rng_.seed(seed_);
+  stats_ = FaultStats{};
+}
+
+}  // namespace pcr

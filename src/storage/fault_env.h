@@ -1,0 +1,112 @@
+// FaultInjectionEnv: a deterministic fault-injecting wrapper around any Env.
+// Degraded-mode behaviour — transient I/O errors, missing replicas, short
+// reads, stalls — is driven by a seeded schedule of FaultRules evaluated in
+// read-issue order, so a failure scenario replays bit-identically across
+// runs: unit tests assert exact failure counts, and benches measure failover
+// and hedging against the same fault sequence every repetition. Works over
+// PosixEnv and SimEnv, on both the synchronous RandomAccessFile path and the
+// submission/completion IoScheduler path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "storage/env.h"
+
+namespace pcr {
+
+/// One entry of a fault schedule. Every read (each RandomAccessFile::Read,
+/// each SubmitRead) whose path contains `path_substring` advances the rule's
+/// match counter; the rule triggers per its schedule fields, and the first
+/// triggering rule (in the order given) decides the read's fault. With a
+/// fixed seed and read order the whole schedule is deterministic.
+struct FaultRule {
+  std::string path_substring;  // Empty matches every path.
+
+  /// \name Trigger schedule (over this rule's 1-based match counter).
+  /// Zero disables a field; the rule triggers when any enabled field fires.
+  /// @{
+  int64_t fail_nth = 0;       // Exactly the Nth matching read.
+  int64_t fail_every_n = 0;   // Every Nth matching read (N, 2N, 3N, ...).
+  int64_t fail_first_n = 0;   // Each of the first N matching reads.
+  double probability = 0.0;   // Seeded Bernoulli draw per matching read.
+  int64_t max_triggers = -1;  // Cap on total triggers; -1 = unlimited.
+  /// @}
+
+  /// \name Effect when triggered.
+  /// An error (`code`, unless kOk), a truncated delivery (`short_read`), a
+  /// stall (`added_latency_sec`), or combinations: latency applies before
+  /// the error/truncation; a latency-only rule sets code = kOk. A stall
+  /// charges the wrapped Env's clock, so SimEnv schedules stay virtual.
+  /// @{
+  StatusCode code = StatusCode::kIOError;
+  bool short_read = false;
+  uint64_t short_read_bytes = 0;  // Bytes a short read delivers.
+  double added_latency_sec = 0.0;
+  /// @}
+};
+
+struct FaultStats {
+  int64_t reads_seen = 0;   // Reads that consulted the schedule.
+  int64_t errors = 0;       // Reads failed with an injected error.
+  int64_t short_reads = 0;  // Reads delivered truncated.
+  int64_t stalls = 0;       // Reads delayed by added latency.
+};
+
+/// Env wrapper injecting the schedule on every read path. Metadata
+/// operations (FileExists, GetFileSize, ListDir, ...) and writes pass
+/// through unfaulted. Not owning: `base` must outlive the wrapper.
+class FaultInjectionEnv : public Env {
+ public:
+  FaultInjectionEnv(Env* base, std::vector<FaultRule> rules,
+                    uint64_t seed = 42);
+
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override;
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Result<uint64_t> GetFileSize(const std::string& path) override;
+  Status DeleteFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status CreateDir(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& path) override;
+  std::unique_ptr<IoScheduler> NewIoScheduler(
+      const IoSchedulerOptions& options) override;
+  Clock* clock() override { return base_->clock(); }
+
+  Env* base() { return base_; }
+  FaultStats fault_stats() const;
+  /// Restarts every rule's counters and the probability stream (same seed):
+  /// the next read sees the schedule from the beginning.
+  void ResetSchedule();
+
+  /// The fault decided for one read. Internal to the wrapper's file and
+  /// scheduler shims, public so they can live outside the class.
+  struct Decision {
+    Status status;            // Non-OK: the read fails with this.
+    bool short_read = false;  // The read delivers only short_bytes.
+    uint64_t short_bytes = 0;
+    int64_t stall_nanos = 0;  // Delay before delivery.
+  };
+
+  /// Consults the schedule for a read of `path` (advancing counters).
+  Decision Evaluate(const std::string& path);
+
+ private:
+  Env* const base_;
+  const std::vector<FaultRule> rules_;
+  const uint64_t seed_;
+
+  mutable std::mutex mu_;
+  std::vector<int64_t> matches_;   // Per-rule match counters.
+  std::vector<int64_t> triggers_;  // Per-rule trigger counters.
+  std::mt19937_64 rng_;
+  FaultStats stats_;
+};
+
+}  // namespace pcr

@@ -53,6 +53,17 @@ class FdCache {
  public:
   explicit FdCache(size_t capacity) : capacity_(capacity) {}
 
+  /// Drains under the lock: destruction (e.g. a static PosixEnv at process
+  /// exit) must synchronize with the last cache access of any detached
+  /// scheduler drain thread still parked in a blocking syscall — those
+  /// threads take mu_ for every lookup, so an unlocked teardown would race
+  /// their final reads.
+  ~FdCache() {
+    std::lock_guard<std::mutex> lock(mu_);
+    lru_.clear();
+    index_.clear();
+  }
+
   /// Returns a shared descriptor for `path`, opening and caching it on miss.
   Result<SharedFdHandle> Open(const std::string& path);
 

@@ -1,0 +1,203 @@
+#include "storage/io_retry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace pcr {
+
+bool IsTransientIoError(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kIOError:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kUnknown:
+      return true;
+    default:
+      return false;
+  }
+}
+
+double RetryPolicy::BackoffSec(int failures) const {
+  const double backoff =
+      initial_backoff_sec * std::pow(backoff_multiplier,
+                                     std::max(0, failures - 1));
+  return std::min(backoff, max_backoff_sec);
+}
+
+namespace {
+
+class RetryingIoScheduler : public IoScheduler {
+ public:
+  RetryingIoScheduler(std::unique_ptr<IoScheduler> inner, RetryPolicy policy,
+                      Clock* clock)
+      : inner_(std::move(inner)), policy_(policy), clock_(clock) {
+    PCR_CHECK(clock != nullptr);
+  }
+
+  Status SubmitRead(ReadRequest request) override {
+    // The request is remembered until its final completion so a transient
+    // failure can be re-driven verbatim.
+    Tracked& tracked = tracked_[request.user_data];
+    tracked.request = request;
+    tracked.failures = 0;
+    const Status submitted = inner_->SubmitRead(std::move(request));
+    if (!submitted.ok()) tracked_.erase(tracked.request.user_data);
+    return submitted;
+  }
+
+  Result<ReadCompletion> WaitCompletion() override {
+    if (in_flight() == 0) {
+      return Status::FailedPrecondition("no reads in flight");
+    }
+    for (;;) {
+      PCR_ASSIGN_OR_RETURN(std::optional<ReadCompletion> completion,
+                           WaitCompletionFor(kSliceNanos));
+      if (completion.has_value()) return std::move(*completion);
+    }
+  }
+
+  Result<std::optional<ReadCompletion>> WaitCompletionFor(
+      int64_t timeout_nanos) override {
+    if (in_flight() == 0) {
+      return Status::FailedPrecondition("no reads in flight");
+    }
+    const int64_t deadline = clock_->NowNanos() + timeout_nanos;
+    for (;;) {
+      PCR_RETURN_IF_ERROR(ResubmitDue());
+      if (!ready_.empty()) {
+        ReadCompletion completion = std::move(ready_.front());
+        ready_.pop_front();
+        return std::optional<ReadCompletion>(std::move(completion));
+      }
+      const int64_t now = clock_->NowNanos();
+      if (now >= deadline) return std::optional<ReadCompletion>(std::nullopt);
+      int64_t wait = deadline - now;
+      for (const PendingRetry& retry : retries_) {
+        wait = std::min(wait, std::max<int64_t>(retry.ready_nanos - now, 0));
+      }
+      if (inner_->in_flight() > 0) {
+        PCR_ASSIGN_OR_RETURN(
+            std::optional<ReadCompletion> completion,
+            inner_->WaitCompletionFor(std::max<int64_t>(wait, 1)));
+        if (completion.has_value()) Classify(std::move(*completion));
+      } else if (!retries_.empty()) {
+        // Nothing in the backend; the only pending work is backoff timers.
+        clock_->SleepNanos(std::max<int64_t>(wait, 1));
+      } else {
+        return Status::FailedPrecondition("no reads in flight");
+      }
+    }
+  }
+
+  std::optional<ReadCompletion> PollCompletion() override {
+    // Backoffs that came due are re-driven before the backend is drained so
+    // a poll-only caller still makes retry progress.
+    Status resubmitted = ResubmitDue();
+    PCR_CHECK(resubmitted.ok()) << resubmitted;
+    while (std::optional<ReadCompletion> completion =
+               inner_->PollCompletion()) {
+      Classify(std::move(*completion));
+      if (!ready_.empty()) break;
+    }
+    if (ready_.empty()) return std::nullopt;
+    ReadCompletion completion = std::move(ready_.front());
+    ready_.pop_front();
+    return completion;
+  }
+
+  int in_flight() const override {
+    return inner_->in_flight() + static_cast<int>(retries_.size()) +
+           static_cast<int>(ready_.size());
+  }
+
+  const char* backend_name() const override { return inner_->backend_name(); }
+
+  IoSchedulerStats stats() const override {
+    IoSchedulerStats stats = inner_->stats();
+    stats.retries += retries_done_;
+    return stats;
+  }
+
+ private:
+  struct Tracked {
+    ReadRequest request;
+    int failures = 0;
+  };
+  struct PendingRetry {
+    int64_t ready_nanos;
+    uint64_t user_data;
+  };
+
+  static constexpr int64_t kSliceNanos = 100'000'000;  // 100ms
+
+  /// Routes an inner completion: transient failure with attempts left →
+  /// schedule a backoff resubmission; anything else → deliverable.
+  void Classify(ReadCompletion completion) {
+    auto it = tracked_.find(completion.user_data);
+    if (it != tracked_.end() && !completion.status.ok() &&
+        IsTransientIoError(completion.status) &&
+        it->second.failures + 1 < policy_.max_attempts) {
+      const int failures = ++it->second.failures;
+      ++retries_done_;
+      retries_.push_back(
+          {clock_->NowNanos() + SecondsToNanos(policy_.BackoffSec(failures)),
+           completion.user_data});
+      return;
+    }
+    if (it != tracked_.end()) tracked_.erase(it);
+    ready_.push_back(std::move(completion));
+  }
+
+  /// Resubmits every retry whose backoff expired.
+  Status ResubmitDue() {
+    const int64_t now = clock_->NowNanos();
+    for (size_t i = 0; i < retries_.size();) {
+      if (retries_[i].ready_nanos > now) {
+        ++i;
+        continue;
+      }
+      const uint64_t user_data = retries_[i].user_data;
+      retries_.erase(retries_.begin() + static_cast<ptrdiff_t>(i));
+      auto it = tracked_.find(user_data);
+      PCR_CHECK(it != tracked_.end());
+      ReadRequest request = it->second.request;  // Copy; may retry again.
+      const Status submitted = inner_->SubmitRead(std::move(request));
+      if (!submitted.ok()) {
+        // The backend refused the resubmission (full, shut down): surface
+        // the failure as this request's completion rather than losing it.
+        ReadCompletion completion;
+        completion.user_data = user_data;
+        completion.status = submitted;
+        tracked_.erase(it);
+        ready_.push_back(std::move(completion));
+      }
+    }
+    return Status::OK();
+  }
+
+  const std::unique_ptr<IoScheduler> inner_;
+  const RetryPolicy policy_;
+  Clock* const clock_;
+
+  std::map<uint64_t, Tracked> tracked_;
+  std::vector<PendingRetry> retries_;
+  std::deque<ReadCompletion> ready_;
+  int64_t retries_done_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<IoScheduler> NewRetryingIoScheduler(
+    std::unique_ptr<IoScheduler> inner, RetryPolicy policy, Clock* clock) {
+  PCR_CHECK(inner != nullptr);
+  if (policy.max_attempts <= 1) return inner;
+  return std::make_unique<RetryingIoScheduler>(std::move(inner), policy,
+                                               clock);
+}
+
+}  // namespace pcr

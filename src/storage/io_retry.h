@@ -1,0 +1,43 @@
+// Retry-with-backoff at the IoScheduler boundary. Failures are classified
+// here — the one place every storage backend's errors flow through — into
+// transient (worth re-driving against the same backend) and permanent (the
+// caller must fail over to another replica or give up). The retrying wrapper
+// makes transient failures invisible to the loader: a completion only
+// surfaces after the policy's attempts are exhausted.
+#pragma once
+
+#include <memory>
+
+#include "storage/env.h"
+
+namespace pcr {
+
+/// True for failures a second attempt against the same backend may clear:
+/// I/O errors (EIO blips, dropped connections), exhausted resources, and
+/// unclassified failures. NotFound and Corruption are permanent for this
+/// replica (the bytes are not there; failover, don't retry), Aborted means
+/// shutdown, and the remaining codes are caller bugs.
+bool IsTransientIoError(const Status& status);
+
+struct RetryPolicy {
+  /// Total submissions per request; 1 disables retry.
+  int max_attempts = 3;
+  /// Exponential backoff: attempt k (1-based failure count) waits
+  /// initial_backoff_sec * multiplier^(k-1), capped at max_backoff_sec.
+  double initial_backoff_sec = 0.5e-3;
+  double backoff_multiplier = 2.0;
+  double max_backoff_sec = 50e-3;
+
+  /// Backoff before re-driving after the `failures`-th failure (1-based).
+  double BackoffSec(int failures) const;
+};
+
+/// Wraps a scheduler so transient completion failures are resubmitted (with
+/// backoff on the Env's clock) until the policy is exhausted. Requests must
+/// carry distinct user_data while in flight — true of every caller in the
+/// tree (slot-indexed pipelines, monotonic test cookies). The wrapper's
+/// stats add the `retries` counter on top of the inner backend's.
+std::unique_ptr<IoScheduler> NewRetryingIoScheduler(
+    std::unique_ptr<IoScheduler> inner, RetryPolicy policy, Clock* clock);
+
+}  // namespace pcr

@@ -3,7 +3,9 @@
 // performs the read inline on the submitting thread and queues the
 // completion, so the submission/completion API works against any Env while
 // real overlap remains the PosixEnv / SimEnv overrides' job.
+#include <chrono>
 #include <deque>
+#include <thread>
 
 #include "storage/env.h"
 
@@ -74,6 +76,27 @@ class SyncIoScheduler : public IoScheduler {
 };
 
 }  // namespace
+
+Result<std::optional<ReadCompletion>> IoScheduler::WaitCompletionFor(
+    int64_t timeout_nanos) {
+  if (in_flight() == 0) {
+    return Status::FailedPrecondition("no reads in flight");
+  }
+  // Generic poll-on-a-cadence fallback: correct for any backend, and cheap
+  // for the ones (sync, sim) whose PollCompletion returns immediately.
+  // Backends with a native blocking wait override this.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::nanoseconds(timeout_nanos);
+  for (;;) {
+    if (std::optional<ReadCompletion> completion = PollCompletion()) {
+      return std::optional<ReadCompletion>(std::move(*completion));
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return std::optional<ReadCompletion>(std::nullopt);
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
 
 Status Env::ReadRange(const std::string& path, uint64_t offset,
                       uint64_t length, std::string* out) {

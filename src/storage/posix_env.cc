@@ -123,47 +123,52 @@ class PosixWritableFile : public WritableFile {
 /// one), completions drain through a second queue. The submission bound is
 /// the strict in-flight cap: SubmitRead blocks while `queue_depth` reads are
 /// outstanding, matching a fixed-size io_uring SQ.
+///
+/// Shutdown must not depend on the kernel: a pread wedged inside a dying
+/// backend (hung NFS server, failing disk) would once hang the destructor's
+/// join — and with it pipeline teardown. The queues and counters therefore
+/// live in a shared State that each detached service thread co-owns; the
+/// destructor just closes the queues and walks away, and a wedged thread
+/// drains itself whenever its pread finally returns (its completion lands in
+/// a closed queue and is discarded).
 class PosixIoScheduler : public IoScheduler {
  public:
   PosixIoScheduler(FdCache* fds, IoSchedulerOptions options)
-      : fds_(fds), depth_(std::max(1, options.queue_depth)),
-        max_threads_(std::max(1, options.io_threads)),
-        submissions_(static_cast<size_t>(depth_)),
-        completions_(static_cast<size_t>(depth_)) {
-    workers_.reserve(static_cast<size_t>(max_threads_));
-  }
+      : state_(std::make_shared<State>(fds, std::max(1, options.queue_depth))),
+        max_threads_(std::max(1, options.io_threads)) {}
 
   ~PosixIoScheduler() override {
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      stopping_ = true;
+      std::lock_guard<std::mutex> lock(state_->mu);
+      state_->stopping = true;
     }
-    submissions_.Close();
-    completions_.Close();
-    submit_cv_.notify_all();
-    for (auto& worker : workers_) worker.join();
+    state_->submissions.Close();
+    state_->completions.Close();
+    state_->submit_cv.notify_all();
   }
 
   Status SubmitRead(ReadRequest request) override {
-    requests_.fetch_add(1, std::memory_order_relaxed);
-    segments_.fetch_add(static_cast<int64_t>(request.segments.size()),
-                        std::memory_order_relaxed);
+    State& s = *state_;
+    s.requests.fetch_add(1, std::memory_order_relaxed);
+    s.segments.fetch_add(static_cast<int64_t>(request.segments.size()),
+                         std::memory_order_relaxed);
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      submit_cv_.wait(lock, [&] { return stopping_ || outstanding_ < depth_; });
-      if (stopping_) return Status::Aborted("io scheduler shut down");
-      ++outstanding_;
+      std::unique_lock<std::mutex> lock(s.mu);
+      s.submit_cv.wait(lock,
+                       [&] { return s.stopping || s.outstanding < s.depth; });
+      if (s.stopping) return Status::Aborted("io scheduler shut down");
+      ++s.outstanding;
       // Service threads spawn on demand, one per concurrently-outstanding
       // read up to the cap: a scheduler that never sees deep queues (or any
       // reads at all — e.g. an idle shard backend) stays thread-free.
-      if (static_cast<int>(workers_.size()) < max_threads_ &&
-          outstanding_ > static_cast<int>(workers_.size())) {
-        workers_.emplace_back([this] { ServeLoop(); });
+      if (s.spawned < max_threads_ && s.outstanding > s.spawned) {
+        ++s.spawned;
+        std::thread([state = state_] { ServeLoop(*state); }).detach();
       }
     }
-    if (!submissions_.Push(std::move(request))) {
-      std::lock_guard<std::mutex> lock(mu_);
-      --outstanding_;
+    if (!s.submissions.Push(std::move(request))) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      --s.outstanding;
       return Status::Aborted("io scheduler shut down");
     }
     return Status::OK();
@@ -173,7 +178,7 @@ class PosixIoScheduler : public IoScheduler {
     if (in_flight() == 0) {
       return Status::FailedPrecondition("no reads in flight");
     }
-    std::optional<ReadCompletion> completion = completions_.Pop();
+    std::optional<ReadCompletion> completion = state_->completions.Pop();
     if (!completion.has_value()) {
       return Status::Aborted("io scheduler shut down");
     }
@@ -181,61 +186,100 @@ class PosixIoScheduler : public IoScheduler {
     return std::move(*completion);
   }
 
+  Result<std::optional<ReadCompletion>> WaitCompletionFor(
+      int64_t timeout_nanos) override {
+    if (in_flight() == 0) {
+      return Status::FailedPrecondition("no reads in flight");
+    }
+    std::optional<ReadCompletion> completion =
+        state_->completions.PopFor(timeout_nanos);
+    if (!completion.has_value()) {
+      if (state_->completions.closed()) {
+        return Status::Aborted("io scheduler shut down");
+      }
+      return std::optional<ReadCompletion>(std::nullopt);  // Timed out.
+    }
+    Release();
+    return std::optional<ReadCompletion>(std::move(*completion));
+  }
+
   std::optional<ReadCompletion> PollCompletion() override {
-    std::optional<ReadCompletion> completion = completions_.TryPop();
+    std::optional<ReadCompletion> completion = state_->completions.TryPop();
     if (completion.has_value()) Release();
     return completion;
   }
 
   int in_flight() const override {
-    std::lock_guard<std::mutex> lock(mu_);
-    return outstanding_;
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->outstanding;
   }
 
   const char* backend_name() const override { return "threads"; }
 
   IoSchedulerStats stats() const override {
     IoSchedulerStats stats;
-    stats.requests = requests_.load(std::memory_order_relaxed);
-    stats.segments = segments_.load(std::memory_order_relaxed);
+    stats.requests = state_->requests.load(std::memory_order_relaxed);
+    stats.segments = state_->segments.load(std::memory_order_relaxed);
     // Every segment is one pread issued as its own submission: this backend
     // has no batching to amortize, which is exactly what the uring numbers
     // are compared against.
-    stats.ops = preads_.load(std::memory_order_relaxed);
+    stats.ops = state_->preads.load(std::memory_order_relaxed);
     stats.submits = stats.ops;
-    stats.syscalls = preads_.load(std::memory_order_relaxed);
+    stats.syscalls = stats.ops;
     return stats;
   }
 
  private:
+  struct State {
+    State(FdCache* fds_in, int depth_in)
+        : fds(fds_in), depth(depth_in),
+          submissions(static_cast<size_t>(depth_in)),
+          completions(static_cast<size_t>(depth_in)) {}
+
+    FdCache* const fds;
+    const int depth;
+    BoundedQueue<ReadRequest> submissions;
+    BoundedQueue<ReadCompletion> completions;
+
+    std::mutex mu;
+    std::condition_variable submit_cv;
+    int outstanding = 0;  // Guarded by mu.
+    int spawned = 0;      // Guarded by mu.
+    bool stopping = false;
+
+    std::atomic<int64_t> requests{0};
+    std::atomic<int64_t> segments{0};
+    std::atomic<int64_t> preads{0};  // Incremented by service threads.
+  };
+
   void Release() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      --outstanding_;
+      std::lock_guard<std::mutex> lock(state_->mu);
+      --state_->outstanding;
     }
-    submit_cv_.notify_one();
+    state_->submit_cv.notify_one();
   }
 
-  void ServeLoop() {
+  static void ServeLoop(State& s) {
     for (;;) {
-      std::optional<ReadRequest> request = submissions_.Pop();
+      std::optional<ReadRequest> request = s.submissions.Pop();
       if (!request.has_value()) return;  // Closed and drained.
       ReadCompletion completion;
       completion.user_data = request->user_data;
-      completion.status = Serve(*request, &completion.bytes);
+      completion.status = Serve(s, *request, &completion.bytes);
       if (!completion.status.ok()) completion.bytes.clear();
       // Capacity == depth and outstanding <= depth, so this never blocks;
       // false only on shutdown, where the completion is discarded anyway.
-      completions_.Push(std::move(completion));
+      s.completions.Push(std::move(completion));
     }
   }
 
-  Status Serve(const ReadRequest& request, std::string* out) {
+  static Status Serve(State& s, const ReadRequest& request, std::string* out) {
     out->resize(static_cast<size_t>(request.total_length()));
     size_t dest = 0;
     for (const ReadSegment& segment : request.segments) {
-      PCR_ASSIGN_OR_RETURN(SharedFdHandle fd, fds_->Open(segment.path));
-      preads_.fetch_add(1, std::memory_order_relaxed);
+      PCR_ASSIGN_OR_RETURN(SharedFdHandle fd, s.fds->Open(segment.path));
+      s.preads.fetch_add(1, std::memory_order_relaxed);
       PCR_ASSIGN_OR_RETURN(
           const size_t read,
           PreadAll(fd->fd(), segment.path, segment.offset,
@@ -248,21 +292,8 @@ class PosixIoScheduler : public IoScheduler {
     return Status::OK();
   }
 
-  FdCache* fds_;
-  const int depth_;
+  const std::shared_ptr<State> state_;  // Co-owned by detached threads.
   const int max_threads_;
-  BoundedQueue<ReadRequest> submissions_;
-  BoundedQueue<ReadCompletion> completions_;
-
-  mutable std::mutex mu_;
-  std::condition_variable submit_cv_;
-  std::vector<std::thread> workers_;  // Guarded by mu_; joined in the dtor.
-  int outstanding_ = 0;
-  bool stopping_ = false;
-
-  std::atomic<int64_t> requests_{0};
-  std::atomic<int64_t> segments_{0};
-  std::atomic<int64_t> preads_{0};  // Incremented by service threads.
 };
 
 class PosixEnv : public Env {

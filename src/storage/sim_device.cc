@@ -54,7 +54,8 @@ double SimDevice::ChargeRead(uint64_t stream_id, uint64_t offset,
       cost += profile_.seek_latency_sec;
       ++stats_.seeks;
     }
-    cost += static_cast<double>(bytes) / profile_.read_bandwidth_bytes_per_sec;
+    cost += static_cast<double>(bytes) /
+            ReadBandwidthLocked(clock_->NowNanos());
     last_stream_ = stream_id;
     next_sequential_offset_ = offset + bytes;
 
@@ -85,8 +86,8 @@ int64_t SimDevice::SubmitOverlappedRead(uint64_t bytes) {
   const int64_t now = clock_->NowNanos();
   const int64_t fixed = SecondsToNanos(profile_.seek_latency_sec +
                                        profile_.per_op_latency_sec);
-  const int64_t transfer = SecondsToNanos(
-      static_cast<double>(bytes) / profile_.read_bandwidth_bytes_per_sec);
+  const int64_t transfer =
+      SecondsToNanos(static_cast<double>(bytes) / ReadBandwidthLocked(now));
   // The request's fixed phase runs off-medium; its transfer starts when both
   // the fixed phase is done and the medium frees.
   const int64_t start = std::max(now + fixed, transfer_free_nanos_);
@@ -101,6 +102,44 @@ int64_t SimDevice::SubmitOverlappedRead(uint64_t bytes) {
   stats_.bytes_read += static_cast<int64_t>(bytes);
   stats_.busy_seconds += NanosToSeconds(fixed + transfer);
   return done;
+}
+
+void SimDevice::SetSchedule(std::vector<DevicePhase> phases) {
+  std::lock_guard<std::mutex> lock(mu_);
+  schedule_ = std::move(phases);
+  schedule_epoch_nanos_ = clock_->NowNanos();
+}
+
+const DevicePhase* SimDevice::ActivePhaseLocked(int64_t now_nanos) const {
+  const double t = NanosToSeconds(now_nanos - schedule_epoch_nanos_);
+  const DevicePhase* active = nullptr;
+  for (const DevicePhase& phase : schedule_) {
+    if (t < phase.start_sec) continue;
+    if (phase.duration_sec > 0 && t >= phase.start_sec + phase.duration_sec) {
+      continue;
+    }
+    active = &phase;  // Last listed active phase wins.
+  }
+  return active;
+}
+
+double SimDevice::ReadBandwidthLocked(int64_t now_nanos) const {
+  const DevicePhase* phase = ActivePhaseLocked(now_nanos);
+  const double factor =
+      phase != nullptr && phase->bandwidth_factor > 0 ? phase->bandwidth_factor
+                                                      : 1.0;
+  return profile_.read_bandwidth_bytes_per_sec * factor;
+}
+
+bool SimDevice::ReadFailsNow() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const DevicePhase* phase = ActivePhaseLocked(clock_->NowNanos());
+  return phase != nullptr && phase->fail_reads;
+}
+
+void SimDevice::RecordFailedRead() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.failed_reads;
 }
 
 DeviceStats SimDevice::stats() const {

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "util/clock.h"
 #include "util/logging.h"
@@ -37,6 +38,19 @@ struct DeviceProfile {
   static DeviceProfile Ram();
 };
 
+/// One time-phased modifier of a device's behaviour. A phase is active for
+/// [start_sec, start_sec + duration_sec) measured from the moment the
+/// schedule was installed (SetSchedule). Phased slowdowns and outages make
+/// stragglers and replica failures reproducible on the device clock: a
+/// brownout is a phase with bandwidth_factor 0.1, a crash window is a phase
+/// with fail_reads.
+struct DevicePhase {
+  double start_sec = 0.0;
+  double duration_sec = 0.0;      // <= 0 means open-ended.
+  double bandwidth_factor = 1.0;  // Scales read bandwidth while active.
+  bool fail_reads = false;        // Reads issued while active fail (IOError).
+};
+
 /// Accounting counters for a device.
 struct DeviceStats {
   int64_t read_ops = 0;
@@ -44,6 +58,8 @@ struct DeviceStats {
   int64_t seeks = 0;
   int64_t bytes_read = 0;
   int64_t bytes_written = 0;
+  /// Reads denied by an active fail_reads phase.
+  int64_t failed_reads = 0;
   double busy_seconds = 0.0;
 };
 
@@ -80,12 +96,28 @@ class SimDevice {
   /// fetches shuffled records), so the seek is charged on every request.
   int64_t SubmitOverlappedRead(uint64_t bytes);
 
+  /// Installs a speed/failure schedule whose phase times are relative to
+  /// `now` on the device clock (replacing any previous schedule). When
+  /// several phases are active at once, the last one listed wins.
+  void SetSchedule(std::vector<DevicePhase> phases);
+
+  /// True when a read issued now lands in a fail_reads phase. Callers (the
+  /// sim scheduler, sim files) consult this at issue time and record the
+  /// denial via RecordFailedRead.
+  bool ReadFailsNow() const;
+  void RecordFailedRead();
+
   const DeviceProfile& profile() const { return profile_; }
   DeviceStats stats() const;
   void ResetStats();
   Clock* clock() const { return clock_; }
 
  private:
+  /// The active phase at `now_nanos`, or nullptr. Caller holds mu_.
+  const DevicePhase* ActivePhaseLocked(int64_t now_nanos) const;
+  /// Read bandwidth with the active phase's factor applied. Caller holds mu_.
+  double ReadBandwidthLocked(int64_t now_nanos) const;
+
   DeviceProfile profile_;
   Clock* clock_;
   mutable std::mutex mu_;
@@ -94,6 +126,8 @@ class SimDevice {
   uint64_t next_sequential_offset_ = 0;
   /// When the shared transfer medium frees (overlapped-read bookkeeping).
   int64_t transfer_free_nanos_ = 0;
+  std::vector<DevicePhase> schedule_;
+  int64_t schedule_epoch_nanos_ = 0;
 };
 
 }  // namespace pcr

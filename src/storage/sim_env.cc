@@ -16,6 +16,10 @@ class SimRandomAccessFile : public RandomAccessFile {
 
   Status Read(uint64_t offset, size_t n, char* scratch,
               Slice* out) const override {
+    if (device_->ReadFailsNow()) {
+      device_->RecordFailedRead();
+      return Status::IOError("simulated device failure (scheduled outage)");
+    }
     if (offset >= data_->size()) {
       *out = Slice();
       device_->ChargeRead(stream_id_, offset, 0);
@@ -80,7 +84,13 @@ class SimIoScheduler : public IoScheduler {
     ReadCompletion completion;
     completion.user_data = request.user_data;
     completion.bytes.reserve(request.total_length());
+    if (env_->device()->ReadFailsNow()) {
+      env_->device()->RecordFailedRead();
+      completion.status =
+          Status::IOError("simulated device failure (scheduled outage)");
+    }
     for (const ReadSegment& segment : request.segments) {
+      if (!completion.status.ok()) break;
       auto data = env_->FileData(segment.path);
       if (!data.ok()) {
         completion.status = data.status();
@@ -123,6 +133,24 @@ class SimIoScheduler : public IoScheduler {
       return std::nullopt;
     }
     return PopPending().completion;
+  }
+
+  Result<std::optional<ReadCompletion>> WaitCompletionFor(
+      int64_t timeout_nanos) override {
+    if (pending_.empty()) {
+      return Status::FailedPrecondition("no reads in flight");
+    }
+    // Virtual-clock aware: time only passes when someone sleeps the clock,
+    // so a timeout must advance it too — otherwise a bounded wait under a
+    // VirtualClock would never see its deadline arrive.
+    const int64_t now = env_->clock()->NowNanos();
+    if (pending_.top().done - now > timeout_nanos) {
+      env_->clock()->SleepNanos(timeout_nanos);
+      return std::optional<ReadCompletion>(std::nullopt);
+    }
+    Pending next = PopPending();
+    if (next.done > now) env_->clock()->SleepNanos(next.done - now);
+    return std::optional<ReadCompletion>(std::move(next.completion));
   }
 
   int in_flight() const override {

@@ -4,7 +4,9 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -81,6 +83,21 @@ class BoundedQueue {
       not_full_.notify_one();
     }
     return popped;
+  }
+
+  /// Pop with a deadline: blocks up to `timeout_nanos` for an item. Returns
+  /// nullopt on timeout *and* on closed-and-drained; use closed() to tell the
+  /// two apart when it matters (the I/O schedulers' bounded waits do).
+  std::optional<T> PopFor(int64_t timeout_nanos) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait_for(lock, std::chrono::nanoseconds(timeout_nanos),
+                        [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;  // Timeout or closed-and-drained.
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
   }
 
   /// Non-blocking pop.

@@ -1,0 +1,407 @@
+// Serving-daemon load generator: N synthetic open-loop clients against one
+// PcrDaemon on a unix socket, versus the same N workloads as independent
+// in-process loaders, on both data planes the daemon serves:
+//
+//   compressed plane (decode=false) — the storage-disaggregation shape: the
+//     daemon does partial reads + record assembly and ships JPEG streams;
+//     trainers decode client-side. Payloads are scan-group-sized, so the
+//     socket adds little, and the aggregate is gated at >= 0.85x of the
+//     in-process loaders.
+//   decoded plane (decode=true) — the daemon also decodes and ships raw
+//     pixels. Every pixel crosses the socket plus serialize/parse copies,
+//     so this plane trails in-process loading by design on one node; it is
+//     reported (and floor-gated loosely) as the motivation for the
+//     shared-memory data plane follow-on, not gated at 0.85x.
+//
+// Reported metrics (CI gates in BENCH_pr9.json):
+//   serve_8c_jpeg/items_per_sec      aggregate served images/sec, compressed
+//   inprocess_8x_jpeg/items_per_sec  its no-daemon baseline (>= 0.85x gate)
+//   serve_8c/fairness_ratio          min/max per-client throughput under
+//                                    DRR, decoded plane (gated >= 0.7)
+//   serve_8c/batch_p99_sec           p99 request->reply seconds (the value
+//                                    rides in the items_per_sec slot, like
+//                                    bench_cache_epochs' fetch_p99 rows)
+//
+// Each client drives a seeded Poisson arrival process (open loop: requests
+// are issued on schedule, not on completion) bounded by the stream's
+// granted in-flight cap, with one sender and one receiver thread — the
+// PcrClient split-call thread model. All phases run cache-warm (one warm
+// epoch first), so the comparison isolates serving overhead: framing,
+// socket copies, admission, and DRR arbitration.
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "loader/decode_cache.h"
+#include "loader/pipeline.h"
+#include "loader/prefix_cache.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "util/logging.h"
+#include "util/stats.h"
+
+using namespace pcr;
+using namespace pcr::bench;
+
+namespace {
+
+constexpr int kClients = 8;
+constexpr int kInflight = 8;
+constexpr double kMeanInterarrival = 100e-6;  // Saturating open-loop rate.
+
+double NowSec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Counting semaphore bounding each client's in-flight requests.
+class InflightGate {
+ public:
+  explicit InflightGate(int slots) : slots_(slots) {}
+  void Acquire() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return slots_ > 0; });
+    --slots_;
+  }
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++slots_;
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int slots_;
+};
+
+struct ClientResult {
+  int64_t images = 0;
+  uint64_t bytes = 0;
+  double wall_seconds = 0;
+};
+
+/// One open-loop client: `total_batches` NextBatch requests issued on a
+/// seeded Poisson schedule (bounded by the granted in-flight cap), replies
+/// drained by a second thread.
+ClientResult RunOpenLoopClient(serve::PcrClient* client, uint64_t stream_id,
+                               int total_batches, uint64_t seed) {
+  ClientResult result;
+  InflightGate gate(kInflight);
+  std::atomic<bool> failed{false};
+
+  const double t0 = NowSec();
+  std::thread sender([&] {
+    std::mt19937_64 rng(seed);
+    std::exponential_distribution<double> interarrival(
+        1.0 / kMeanInterarrival);
+    double next_arrival = t0;
+    for (int k = 0; k < total_batches && !failed.load(); ++k) {
+      next_arrival += interarrival(rng);
+      const double now = NowSec();
+      if (next_arrival > now) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(next_arrival - now));
+      }
+      gate.Acquire();
+      const Status sent = client->SendNextBatchRequest(stream_id);
+      if (!sent.ok()) {
+        failed.store(true);
+        break;
+      }
+    }
+  });
+  for (int k = 0; k < total_batches && !failed.load(); ++k) {
+    auto batch = client->ReceiveBatch(stream_id);
+    gate.Release();
+    if (!batch.ok()) {
+      PCR_LOG(Error) << "client receive failed: " << batch.status();
+      failed.store(true);
+      break;
+    }
+    PCR_CHECK(!batch->end_of_stream) << "stream ended early";
+    result.images += static_cast<int64_t>(batch->images.size() +
+                                          batch->jpegs.size());
+    for (const serve::WireImage& img : batch->images) {
+      result.bytes += img.pixels.size();
+    }
+    for (const std::string& jpeg : batch->jpegs) result.bytes += jpeg.size();
+  }
+  sender.join();
+  PCR_CHECK(!failed.load()) << "open-loop client failed";
+  result.wall_seconds = NowSec() - t0;
+  return result;
+}
+
+struct PhaseResult {
+  double rate = 0;
+  double wall = 0;
+  uint64_t bytes = 0;
+  double min_rate = 0;
+  double max_rate = 0;
+  double fairness = 0;
+  double batch_p50 = 0;
+  double batch_p99 = 0;
+  double queue_wait_p99 = 0;
+};
+
+/// Full daemon phase on one data plane: start, warm one epoch, run the
+/// 8-client open loop, collect daemon-side latency stats, stop.
+PhaseResult RunServePhase(Env* env, const std::string& dataset_dir,
+                          bool decode, int epochs) {
+  serve::DaemonOptions options;
+  options.socket_path = "/tmp/pcr_lg_" + std::to_string(::getpid()) +
+                        (decode ? "_d" : "_j") + ".sock";
+  options.max_streams = kClients + 1;
+  options.max_inflight_per_stream = kInflight;
+  options.decode_cache_bytes = 2ull << 30;
+  options.prefix_cache_bytes = 1ull << 30;
+  options.dataset_cache_share = 1.0;  // One dataset: full budget.
+  options.io_threads = 1;
+  // Compressed streams pass decode through; extra stage threads only add
+  // scheduler pressure (this box serializes everything through few cores).
+  options.decode_threads = decode ? 2 : 1;
+  auto daemon = serve::PcrDaemon::Start(env, options).MoveValue();
+
+  int num_records = 0;
+  {
+    // Warm the shared caches: one stream, one epoch, drained to completion.
+    auto warm =
+        serve::PcrClient::Connect(daemon->socket_path(), "warm").MoveValue();
+    serve::OpenStreamRequest open;
+    open.dataset_dir = dataset_dir;
+    open.max_epochs = 1;
+    open.shuffle = false;
+    open.decode = decode;
+    auto stream = warm->OpenStream(open).MoveValue();
+    num_records = static_cast<int>(stream.num_records);
+    for (int k = 0; k < num_records; ++k) {
+      auto batch = warm->NextBatch(stream.stream_id).MoveValue();
+      PCR_CHECK(!batch.end_of_stream);
+    }
+    warm->CloseStream(stream.stream_id).MoveValue();
+  }
+
+  const int batches_per_client = num_records * epochs;
+  std::vector<std::unique_ptr<serve::PcrClient>> clients;
+  std::vector<uint64_t> stream_ids;
+  for (int i = 0; i < kClients; ++i) {
+    auto client = serve::PcrClient::Connect(
+                      daemon->socket_path(),
+                      "loadgen-" + std::to_string(i))
+                      .MoveValue();
+    serve::OpenStreamRequest open;
+    open.dataset_dir = dataset_dir;
+    open.max_epochs = static_cast<uint32_t>(epochs);
+    open.shuffle = true;
+    open.seed = 1000 + static_cast<uint64_t>(i);
+    open.decode = decode;
+    open.max_inflight = kInflight;
+    auto stream = client->OpenStream(open).MoveValue();
+    stream_ids.push_back(stream.stream_id);
+    clients.push_back(std::move(client));
+  }
+
+  std::vector<ClientResult> results(kClients);
+  const double t0 = NowSec();
+  {
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kClients; ++i) {
+      threads.emplace_back([&, i] {
+        results[i] = RunOpenLoopClient(clients[i].get(), stream_ids[i],
+                                       batches_per_client,
+                                       /*seed=*/7000 + i);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  PhaseResult phase;
+  phase.wall = NowSec() - t0;
+  {
+    // Tail latency from the daemon's serve-stage rings (request receipt ->
+    // reply written), worst stream wins.
+    auto stats = clients[0]->GetStats().MoveValue();
+    for (const serve::StreamStats& s : stats.streams) {
+      phase.batch_p50 = std::max(phase.batch_p50, s.batch_p50_sec);
+      phase.batch_p99 = std::max(phase.batch_p99, s.batch_p99_sec);
+      phase.queue_wait_p99 =
+          std::max(phase.queue_wait_p99, s.queue_wait_p99_sec);
+    }
+  }
+  int64_t images = 0;
+  for (int i = 0; i < kClients; ++i) {
+    clients[i]->CloseStream(stream_ids[i]).MoveValue();
+    images += results[i].images;
+    phase.bytes += results[i].bytes;
+    const double rate = results[i].images / results[i].wall_seconds;
+    phase.min_rate = i == 0 ? rate : std::min(phase.min_rate, rate);
+    phase.max_rate = std::max(phase.max_rate, rate);
+  }
+  phase.rate = images / phase.wall;
+  phase.fairness =
+      phase.max_rate > 0 ? phase.min_rate / phase.max_rate : 0.0;
+  daemon->Stop();
+  return phase;
+}
+
+/// The no-daemon baseline: the same N workloads as in-process pipelines
+/// over shared caches, warmed the same way.
+PhaseResult RunInprocessPhase(Env* env, const std::string& dataset_dir,
+                              bool decode, int epochs) {
+  auto disk = PcrDataset::Open(env, dataset_dir).MoveValue();
+  DecodeCacheOptions cache_options;
+  cache_options.capacity_bytes = 2ull << 30;
+  auto cache = std::make_shared<DecodeCache>(cache_options);
+  auto prefixes =
+      std::make_shared<PrefixCache>(PrefixCacheOptions{1ull << 30});
+  const uint64_t dataset_id = cache->RegisterDataset();
+  const int scan_group = disk->num_scan_groups();
+
+  auto make_options = [&](uint64_t seed, int max_epochs, bool shuffle) {
+    LoaderPipelineOptions options;
+    options.io_threads = 1;
+    options.decode_threads = decode ? 2 : 1;
+    options.decode = decode;
+    options.max_epochs = max_epochs;
+    options.shuffle = shuffle;
+    options.seed = seed;
+    options.scan_policy = std::make_shared<FixedScanPolicy>(scan_group);
+    options.decode_cache = cache;
+    options.cache_dataset_id = dataset_id;
+    options.prefix_cache = prefixes;
+    options.prefix_dataset_id = dataset_id;
+    return options;
+  };
+  {
+    LoaderPipeline warm(disk.get(), make_options(1, 1, false));
+    while (warm.Next().ok()) {
+    }
+  }
+  std::vector<int64_t> images(kClients, 0);
+  std::vector<uint64_t> bytes(kClients, 0);
+  const double t0 = NowSec();
+  {
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kClients; ++i) {
+      threads.emplace_back([&, i] {
+        LoaderPipeline pipeline(disk.get(),
+                                make_options(1000 + i, epochs, true));
+        for (;;) {
+          auto batch = pipeline.Next();
+          if (!batch.ok()) break;
+          images[i] += batch->size();
+          for (const Image& img : batch->images) {
+            bytes[i] += img.size_bytes();
+          }
+          bytes[i] += batch->jpeg_backing.size();
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  PhaseResult phase;
+  phase.wall = NowSec() - t0;
+  int64_t total = 0;
+  for (int i = 0; i < kClients; ++i) {
+    total += images[i];
+    phase.bytes += bytes[i];
+  }
+  phase.rate = total / phase.wall;
+  return phase;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pcr::bench::InitBench(argc, argv);
+  // More epochs under --smoke: the shrunk dataset leaves so few batches per
+  // epoch that per-stream fixed costs (pipeline spin-up, first-batch
+  // latency) would otherwise swamp the steady-state rates the CI gates.
+  const int epochs = SmokeMode() ? 8 : 3;
+  // The compressed plane moves ~25x less data per epoch; run it longer so
+  // its walls are long enough for the CI ratio gate to be stable.
+  const int epochs_jpeg = SmokeMode() ? 16 : 12;
+
+  printf("Serving daemon vs in-process loaders: %d open-loop clients, "
+         "%d epochs\n\n",
+         kClients, epochs);
+  const DatasetSpec spec = DatasetSpec::CelebAHqLike();
+  DatasetHandle handle = GetDataset(spec);
+  const std::string dataset_dir = handle.built.pcr_dir;
+  Env* env = Env::Default();
+
+  const PhaseResult serve_jpeg =
+      RunServePhase(env, dataset_dir, /*decode=*/false, epochs_jpeg);
+  const PhaseResult local_jpeg =
+      RunInprocessPhase(env, dataset_dir, /*decode=*/false, epochs_jpeg);
+  const PhaseResult serve_px =
+      RunServePhase(env, dataset_dir, /*decode=*/true, epochs);
+  const PhaseResult local_px =
+      RunInprocessPhase(env, dataset_dir, /*decode=*/true, epochs);
+
+  printf("%-34s %12s %10s %9s\n", "phase", "images/sec", "wall (s)",
+         "MiB");
+  const auto row = [](const char* name, const PhaseResult& r) {
+    printf("%-34s %12.1f %10.2f %9.1f\n", name, r.rate, r.wall,
+           r.bytes / (1024.0 * 1024.0));
+  };
+  row("serve 8c (compressed plane)", serve_jpeg);
+  row("in-process 8x (compressed)", local_jpeg);
+  row("serve 8c (decoded plane)", serve_px);
+  row("in-process 8x (decoded)", local_px);
+  printf("\ncompressed-plane serve/in-process ratio: %.2fx (gated)\n",
+         local_jpeg.rate > 0 ? serve_jpeg.rate / local_jpeg.rate : 0.0);
+  printf("decoded-plane    serve/in-process ratio: %.2fx (shared-memory "
+         "data plane is the ROADMAP follow-on)\n",
+         local_px.rate > 0 ? serve_px.rate / local_px.rate : 0.0);
+  printf("fairness (decoded plane): min %.1f max %.1f images/sec "
+         "(ratio %.2f)\n",
+         serve_px.min_rate, serve_px.max_rate, serve_px.fairness);
+  printf("latency (compressed): batch p50 %.2f ms  p99 %.2f ms  queue-wait "
+         "p99 %.2f ms\n",
+         serve_jpeg.batch_p50 * 1e3, serve_jpeg.batch_p99 * 1e3,
+         serve_jpeg.queue_wait_p99 * 1e3);
+  printf("latency (decoded):    batch p50 %.2f ms  p99 %.2f ms  queue-wait "
+         "p99 %.2f ms\n",
+         serve_px.batch_p50 * 1e3, serve_px.batch_p99 * 1e3,
+         serve_px.queue_wait_p99 * 1e3);
+
+  ReportMetric("serve_8c_jpeg/items_per_sec", kClients, serve_jpeg.wall,
+               static_cast<double>(serve_jpeg.bytes), serve_jpeg.rate);
+  ReportMetric("inprocess_8x_jpeg/items_per_sec", kClients, local_jpeg.wall,
+               static_cast<double>(local_jpeg.bytes), local_jpeg.rate);
+  ReportMetric("serve_8c_jpeg/batch_p99_sec", kClients, serve_jpeg.wall, 0,
+               serve_jpeg.batch_p99);
+  ReportMetric("serve_8c/items_per_sec", kClients, serve_px.wall,
+               static_cast<double>(serve_px.bytes), serve_px.rate);
+  ReportMetric("inprocess_8x/items_per_sec", kClients, local_px.wall,
+               static_cast<double>(local_px.bytes), local_px.rate);
+  ReportMetric("serve_8c/client_min/items_per_sec", 1, serve_px.wall, 0,
+               serve_px.min_rate);
+  ReportMetric("serve_8c/client_max/items_per_sec", 1, serve_px.wall, 0,
+               serve_px.max_rate);
+  ReportMetric("serve_8c/fairness_ratio", kClients, serve_px.wall, 0,
+               serve_px.fairness);
+  ReportMetric("serve_8c/batch_p50_sec", kClients, serve_px.wall, 0,
+               serve_px.batch_p50);
+  ReportMetric("serve_8c/batch_p99_sec", kClients, serve_px.wall, 0,
+               serve_px.batch_p99);
+  ReportMetric("serve_8c/queue_wait_p99_sec", kClients, serve_px.wall, 0,
+               serve_px.queue_wait_p99);
+  return 0;
+}

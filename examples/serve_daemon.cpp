@@ -1,0 +1,76 @@
+// Standalone PCR serving daemon: one process feeding many trainer clients
+// over a unix-domain socket. This is the binary the daemon-integration CI
+// job launches; examples/serve_client (or any PcrClient) connects to it.
+//
+//   ./serve_daemon <socket_path> [--max-streams N] [--cache-mb M]
+//
+// Runs until SIGINT/SIGTERM, then shuts down in bounded time (in-flight
+// NextBatch requests unblock with Aborted). Status lines go to stderr so CI
+// can capture them as the daemon log artifact.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "serve/daemon.h"
+#include "storage/env.h"
+#include "util/logging.h"
+
+namespace {
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <socket_path> [--max-streams N] [--cache-mb M]\n",
+                 argv[0]);
+    return 2;
+  }
+  pcr::serve::DaemonOptions options;
+  options.socket_path = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--max-streams") == 0 && i + 1 < argc) {
+      options.max_streams = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--cache-mb") == 0 && i + 1 < argc) {
+      options.decode_cache_bytes =
+          static_cast<uint64_t>(std::atoll(argv[++i])) << 20;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  auto daemon = pcr::serve::PcrDaemon::Start(pcr::Env::Default(), options);
+  if (!daemon.ok()) {
+    std::fprintf(stderr, "failed to start: %s\n",
+                 daemon.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "pcrd listening on %s (max %d streams, %d in-flight/stream, "
+               "%llu MiB decode cache)\n",
+               options.socket_path.c_str(), options.max_streams,
+               options.max_inflight_per_stream,
+               static_cast<unsigned long long>(options.decode_cache_bytes >>
+                                               20));
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_stop) {
+    // Periodic heartbeat with the admission gauge; cheap enough to leave on.
+    for (int i = 0; i < 50 && !g_stop; ++i) {
+      struct timespec ts = {0, 100 * 1000 * 1000};
+      nanosleep(&ts, nullptr);
+    }
+    if (!g_stop) {
+      std::fprintf(stderr, "pcrd: %d active stream(s)\n",
+                   (*daemon)->active_streams());
+    }
+  }
+  std::fprintf(stderr, "pcrd: shutting down\n");
+  (*daemon)->Stop();
+  std::fprintf(stderr, "pcrd: stopped\n");
+  return 0;
+}

@@ -52,6 +52,22 @@ A ratio check whose numerator or denominator is absent from the current
 run (e.g. a SIMD tier the runner's CPU cannot execute, reported as a
 skipped benchmark with no rate) is skipped with a note, not failed.
 
+"value_checks" gate a single metric of one current run against absolute
+bounds. "max_value" is the lower-is-better mode — the metric slot carries
+a latency in seconds (e.g. a p99) and the check is a ceiling; "min_value"
+floors quantities like a fairness ratio or a machine-independent rate. An
+entry carries "min_value", "max_value", or both; a metric absent from the
+current run is skipped with a note, like ratio checks:
+
+  "value_checks": [
+    {"name": "serve-batch-p99-ceiling",
+     "current": "bench_serve_loadgen.json",
+     "metric": "serve_8c/batch_p99_sec", "max_value": 0.5},
+    {"name": "serve-fairness-floor",
+     "current": "bench_serve_loadgen.json",
+     "metric": "serve_8c/fairness_ratio", "min_value": 0.7}
+  ]
+
 Supported input shapes (auto-detected):
   * google-benchmark JSON:   {"benchmarks": [{"name", "items_per_second"}]}
   * bench_common --json:     {"metrics": [{"name", "items_per_sec"}]}
@@ -201,6 +217,53 @@ def run_ratio_checks(suite, bench_dir):
     return worst
 
 
+def run_value_checks(suite, bench_dir):
+    """Gates single metrics against absolute floors/ceilings.
+
+    "max_value" is the lower-is-better mode (latency ceilings on p99
+    seconds); "min_value" floors fairness ratios and machine-independent
+    rates. Returns 0 (all bounds hold or were skipped for missing
+    metrics), 1, or 2.
+    """
+    worst = 0
+    for entry in suite.get("value_checks", []):
+        label = entry.get("name", "?")
+        try:
+            current_path = os.path.join(bench_dir, entry["current"])
+            with open(current_path) as f:
+                current = extract_items_per_sec(json.load(f))
+            metric = entry["metric"]
+            min_value = (float(entry["min_value"])
+                         if "min_value" in entry else None)
+            max_value = (float(entry["max_value"])
+                         if "max_value" in entry else None)
+            if min_value is None and max_value is None:
+                raise ValueError(
+                    f"value check {label!r} needs min_value or max_value")
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
+            print(f"error[{label}]: {e}", file=sys.stderr)
+            worst = max(worst, 2)
+            continue
+        if current.get(metric, 0.0) <= 0:
+            print(f"value check [{label}]: SKIPPED — no value for {metric} "
+                  f"(bench skipped on this runner?)")
+            continue
+        value = current[metric]
+        ok = ((min_value is None or value >= min_value) and
+              (max_value is None or value <= max_value))
+        parts = []
+        if min_value is not None:
+            parts.append(f"(floor {min_value:g})")
+        if max_value is not None:
+            parts.append(f"(ceiling {max_value:g})")
+        bounds = " ".join(parts)
+        print(f"value check [{label}]: {metric} = {value:g} {bounds} "
+              f"{'OK' if ok else '<< FAIL'}")
+        if not ok:
+            worst = max(worst, 1)
+    return worst
+
+
 def run_suite(suite_path, bench_dir):
     """Runs every tracked bench of a suite file. Worst status wins."""
     try:
@@ -234,6 +297,7 @@ def run_suite(suite_path, bench_dir):
         worst = max(worst, status)
         print()
     worst = max(worst, run_ratio_checks(suite, bench_dir))
+    worst = max(worst, run_value_checks(suite, bench_dir))
     return worst
 
 

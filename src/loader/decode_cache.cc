@@ -60,21 +60,60 @@ std::shared_ptr<const LoadedBatch> DecodeCache::Insert(
 
   Shard& shard = ShardFor(key);
   int64_t evicted = 0;
+  int64_t share_evicted = 0;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       // Replacement (e.g. a racing miss decoded the same record twice).
       shard.bytes -= it->second->bytes;
+      ShareCharge(key.dataset_id, -static_cast<int64_t>(it->second->bytes));
       shard.lru.erase(it->second);
       shard.index.erase(it);
+    }
+    if (share_count_.load(std::memory_order_acquire) > 0) {
+      uint64_t cap = 0;
+      uint64_t in_use = 0;
+      {
+        std::lock_guard<std::mutex> share_lock(share_mu_);
+        auto share_it = shares_.find(key.dataset_id);
+        if (share_it != shares_.end()) {
+          cap = share_it->second.cap;
+          in_use = share_it->second.bytes;
+        }
+      }
+      if (cap > 0) {
+        // Over-share inserts evict this dataset's own LRU tail (in this
+        // shard) before touching anyone else's entries.
+        for (auto victim = shard.lru.end();
+             in_use + bytes > cap && victim != shard.lru.begin();) {
+          --victim;
+          if (victim->key.dataset_id != key.dataset_id) continue;
+          shard.bytes -= victim->bytes;
+          in_use -= std::min(in_use, victim->bytes);
+          ShareCharge(key.dataset_id, -static_cast<int64_t>(victim->bytes));
+          shard.index.erase(victim->key);
+          victim = shard.lru.erase(victim);
+          ++share_evicted;
+        }
+        if (in_use + bytes > cap) {
+          share_rejects_.fetch_add(1, std::memory_order_relaxed);
+          if (share_evicted > 0) {
+            share_evictions_.fetch_add(share_evicted,
+                                       std::memory_order_relaxed);
+          }
+          return nullptr;
+        }
+      }
     }
     shard.lru.push_front(std::move(entry));
     shard.index[key] = shard.lru.begin();
     shard.bytes += bytes;
+    ShareCharge(key.dataset_id, static_cast<int64_t>(bytes));
     while (shard.bytes > shard_capacity_ && shard.lru.size() > 1) {
       const Entry& victim = shard.lru.back();
       shard.bytes -= victim.bytes;
+      ShareCharge(victim.key.dataset_id, -static_cast<int64_t>(victim.bytes));
       shard.index.erase(victim.key);
       shard.lru.pop_back();
       ++evicted;
@@ -82,7 +121,58 @@ std::shared_ptr<const LoadedBatch> DecodeCache::Insert(
   }
   inserts_.fetch_add(1, std::memory_order_relaxed);
   if (evicted > 0) evictions_.fetch_add(evicted, std::memory_order_relaxed);
+  if (share_evicted > 0) {
+    share_evictions_.fetch_add(share_evicted, std::memory_order_relaxed);
+  }
   return stored;
+}
+
+void DecodeCache::ShareCharge(uint64_t dataset_id, int64_t delta) {
+  if (share_count_.load(std::memory_order_acquire) == 0) return;
+  std::lock_guard<std::mutex> lock(share_mu_);
+  auto it = shares_.find(dataset_id);
+  if (it == shares_.end()) return;
+  if (delta < 0 && static_cast<uint64_t>(-delta) > it->second.bytes) {
+    it->second.bytes = 0;  // Entries resident before the cap was set.
+  } else {
+    it->second.bytes += delta;
+  }
+}
+
+void DecodeCache::SetDatasetByteCap(uint64_t dataset_id, uint64_t cap_bytes) {
+  // Sum what is already resident for the dataset first (shard locks only —
+  // lock order is shard.mu -> share_mu_, so this cannot nest the other way).
+  uint64_t resident = 0;
+  if (cap_bytes > 0) {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (const Entry& entry : shard.lru) {
+        if (entry.key.dataset_id == dataset_id) resident += entry.bytes;
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(share_mu_);
+  auto it = shares_.find(dataset_id);
+  if (cap_bytes == 0) {
+    if (it != shares_.end()) {
+      shares_.erase(it);
+      share_count_.fetch_sub(1, std::memory_order_release);
+    }
+    return;
+  }
+  if (it == shares_.end()) {
+    shares_[dataset_id] = Share{cap_bytes, resident};
+    share_count_.fetch_add(1, std::memory_order_release);
+  } else {
+    it->second.cap = cap_bytes;
+  }
+}
+
+uint64_t DecodeCache::DatasetShareBytes(uint64_t dataset_id) const {
+  if (share_count_.load(std::memory_order_acquire) == 0) return 0;
+  std::lock_guard<std::mutex> lock(share_mu_);
+  auto it = shares_.find(dataset_id);
+  return it == shares_.end() ? 0 : it->second.bytes;
 }
 
 void DecodeCache::MarkProbeScanGroup(uint64_t dataset_id, int scan_group) {
@@ -116,6 +206,7 @@ size_t DecodeCache::InvalidateMatching(Pred pred) {
     for (auto it = shard.lru.begin(); it != shard.lru.end();) {
       if (pred(it->key)) {
         shard.bytes -= it->bytes;
+        ShareCharge(it->key.dataset_id, -static_cast<int64_t>(it->bytes));
         shard.index.erase(it->key);
         it = shard.lru.erase(it);
         ++removed;
@@ -156,6 +247,8 @@ DecodeCacheStats DecodeCache::stats() const {
   stats.admission_rejects =
       admission_rejects_.load(std::memory_order_relaxed);
   stats.invalidated = invalidated_.load(std::memory_order_relaxed);
+  stats.share_evictions = share_evictions_.load(std::memory_order_relaxed);
+  stats.share_rejects = share_rejects_.load(std::memory_order_relaxed);
   stats.capacity_bytes = options_.capacity_bytes;
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);

@@ -79,6 +79,8 @@ struct DecodeCacheStats {
   int64_t oversize_rejects = 0;  // Batches larger than a shard's budget.
   int64_t admission_rejects = 0; // Inserts skipped for probe-marked groups.
   int64_t invalidated = 0;       // Entries removed by Invalidate*/Clear.
+  int64_t share_evictions = 0;   // Same-dataset evictions by a byte-share cap.
+  int64_t share_rejects = 0;     // Inserts rejected by a byte-share cap.
   uint64_t bytes_in_use = 0;
   int64_t entries = 0;
   uint64_t capacity_bytes = 0;
@@ -116,6 +118,20 @@ class DecodeCache {
   void MarkProbeScanGroup(uint64_t dataset_id, int scan_group);
   void UnmarkProbeScanGroup(uint64_t dataset_id, int scan_group);
   bool IsProbeScanGroup(uint64_t dataset_id, int scan_group) const;
+
+  /// Byte-budget shares for multi-tenant sharing (the serving daemon): while
+  /// a dataset id carries a cap, its entries may not exceed `cap_bytes` in
+  /// total. An insert that would cross the cap first evicts that dataset's
+  /// own least-recently-used entries in the insert's shard (so a tenant at
+  /// its share churns its own working set instead of its neighbors'), and is
+  /// rejected — counted as a share reject — if that cannot free enough.
+  /// A cap of 0 removes the share. Entries already resident when a cap is
+  /// set are kept (the cap gates admission, not residency).
+  void SetDatasetByteCap(uint64_t dataset_id, uint64_t cap_bytes);
+
+  /// Bytes currently resident for a share-capped dataset (0 for uncapped
+  /// datasets — bytes are only accounted while a cap is active).
+  uint64_t DatasetShareBytes(uint64_t dataset_id) const;
 
   /// Drops every entry of `dataset_id` at exactly `scan_group` — the
   /// targeted invalidation for a tuner switching away from a group. Returns
@@ -167,6 +183,11 @@ class DecodeCache {
   template <typename Pred>
   size_t InvalidateMatching(Pred pred);
 
+  /// Adjusts a capped dataset's resident-byte account (no-op for uncapped
+  /// datasets). Safe to call with a shard mutex held: lock order is always
+  /// shard.mu -> share_mu_.
+  void ShareCharge(uint64_t dataset_id, int64_t delta);
+
   DecodeCacheOptions options_;
   uint64_t shard_capacity_;
   std::vector<Shard> shards_;
@@ -180,6 +201,17 @@ class DecodeCache {
   mutable std::mutex probe_mu_;
   std::set<std::pair<uint64_t, int>> probe_groups_;
 
+  /// Byte-share accounting, populated only for capped datasets. Like probe
+  /// marks, the common uncapped case short-circuits on the atomic count
+  /// without touching the mutex.
+  struct Share {
+    uint64_t cap = 0;
+    uint64_t bytes = 0;
+  };
+  std::atomic<int> share_count_{0};
+  mutable std::mutex share_mu_;
+  std::unordered_map<uint64_t, Share> shares_;
+
   mutable std::atomic<int64_t> hits_{0};
   mutable std::atomic<int64_t> misses_{0};
   std::atomic<int64_t> evictions_{0};
@@ -187,6 +219,8 @@ class DecodeCache {
   std::atomic<int64_t> oversize_rejects_{0};
   std::atomic<int64_t> admission_rejects_{0};
   std::atomic<int64_t> invalidated_{0};
+  std::atomic<int64_t> share_evictions_{0};
+  std::atomic<int64_t> share_rejects_{0};
 };
 
 }  // namespace pcr

@@ -16,6 +16,57 @@
 
 namespace pcr {
 
+/// Fixed-size ring of recent latency samples: recent-window percentiles in
+/// O(1) memory over unbounded streams. Mutexed — callers record one sample
+/// per I/O or per served batch, which amortizes the lock over work that
+/// takes microseconds to milliseconds. Shared by the pipeline's fetch
+/// latencies and the serving daemon's per-client queue-wait / batch rings.
+class LatencyRing {
+ public:
+  explicit LatencyRing(size_t capacity = 4096) : capacity_(capacity) {}
+
+  void Add(double seconds) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (samples_.size() < capacity_) {
+      samples_.push_back(seconds);
+    } else {
+      samples_[next_ % capacity_] = seconds;
+    }
+    ++next_;
+  }
+
+  /// Total samples ever recorded (>= the ring's current size).
+  int64_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_;
+  }
+
+  /// p50/p99 over the ring's current window; {0, 0} when empty.
+  struct Percentiles {
+    double p50 = 0;
+    double p99 = 0;
+    int64_t samples = 0;
+  };
+  Percentiles Snapshot() const {
+    Percentiles out;
+    std::lock_guard<std::mutex> lock(mu_);
+    out.samples = next_;
+    if (!samples_.empty()) {
+      SampleSet set;
+      for (const double v : samples_) set.Add(v);
+      out.p50 = set.Percentile(50.0);
+      out.p99 = set.Percentile(99.0);
+    }
+    return out;
+  }
+
+ private:
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<double> samples_;
+  int64_t next_ = 0;  // Total recorded (ring write cursor).
+};
+
 /// Point-in-time copy of one stage's counters, with time in seconds.
 struct StageStatsSnapshot {
   std::string name;
@@ -76,6 +127,19 @@ struct StageStatsSnapshot {
   double fetch_p50_sec = 0;
   double fetch_p99_sec = 0;
   int64_t fetch_latency_samples = 0;
+
+  /// Serving-stage counters (the daemon's per-client serve stage; zero for
+  /// in-process pipeline stages). `items` counts served batches. Queue wait
+  /// is request receipt -> service start (time spent parked behind
+  /// admission caps and the fairness scheduler); batch latency is request
+  /// receipt -> reply written (the client-visible service time). Both are
+  /// sliding-window percentiles like the fetch latencies above.
+  double queue_wait_p50_sec = 0;
+  double queue_wait_p99_sec = 0;
+  int64_t queue_wait_samples = 0;
+  double batch_p50_sec = 0;
+  double batch_p99_sec = 0;
+  int64_t batch_latency_samples = 0;
 
   /// Mean kernel-visible ops per submission boundary — the submitted-batch
   /// gauge. ~1.0 means no batching (pread per op); >1 means the backend
@@ -155,19 +219,15 @@ class StageStats {
   void AddHedge() { hedges_.fetch_add(1, std::memory_order_relaxed); }
   void AddHedgeWin() { hedge_wins_.fetch_add(1, std::memory_order_relaxed); }
 
-  /// Records one storage fetch's submit-to-completion latency. Kept in a
-  /// fixed-size ring (recent-window percentiles stay O(1) memory over
-  /// unbounded epochs); mutexed, but a fetch completion amortizes the lock
-  /// over milliseconds of I/O.
-  void AddFetchLatency(double seconds) {
-    std::lock_guard<std::mutex> lock(latency_mu_);
-    if (latencies_.size() < kLatencyRing) {
-      latencies_.push_back(seconds);
-    } else {
-      latencies_[latency_next_ % kLatencyRing] = seconds;
-    }
-    ++latency_next_;
-  }
+  /// Records one storage fetch's submit-to-completion latency (ring-
+  /// windowed; see LatencyRing).
+  void AddFetchLatency(double seconds) { fetch_latencies_.Add(seconds); }
+
+  /// Serving-stage latencies: request receipt -> service start, and request
+  /// receipt -> reply written. The daemon keeps one StageStats per client
+  /// stream and records both per served batch.
+  void AddQueueWait(double seconds) { queue_waits_.Add(seconds); }
+  void AddBatchLatency(double seconds) { batch_latencies_.Add(seconds); }
 
   StageStatsSnapshot Snapshot(std::string name, int threads,
                               size_t queue_capacity) const {
@@ -207,16 +267,18 @@ class StageStats {
     snap.failovers = failovers_.load(std::memory_order_relaxed);
     snap.hedges = hedges_.load(std::memory_order_relaxed);
     snap.hedge_wins = hedge_wins_.load(std::memory_order_relaxed);
-    {
-      std::lock_guard<std::mutex> lock(latency_mu_);
-      snap.fetch_latency_samples = latency_next_;
-      if (!latencies_.empty()) {
-        SampleSet samples;
-        for (const double v : latencies_) samples.Add(v);
-        snap.fetch_p50_sec = samples.Percentile(50.0);
-        snap.fetch_p99_sec = samples.Percentile(99.0);
-      }
-    }
+    const LatencyRing::Percentiles fetch = fetch_latencies_.Snapshot();
+    snap.fetch_p50_sec = fetch.p50;
+    snap.fetch_p99_sec = fetch.p99;
+    snap.fetch_latency_samples = fetch.samples;
+    const LatencyRing::Percentiles waits = queue_waits_.Snapshot();
+    snap.queue_wait_p50_sec = waits.p50;
+    snap.queue_wait_p99_sec = waits.p99;
+    snap.queue_wait_samples = waits.samples;
+    const LatencyRing::Percentiles batches = batch_latencies_.Snapshot();
+    snap.batch_p50_sec = batches.p50;
+    snap.batch_p99_sec = batches.p99;
+    snap.batch_latency_samples = batches.samples;
     return snap;
   }
 
@@ -243,10 +305,9 @@ class StageStats {
   std::atomic<int64_t> hedges_{0};
   std::atomic<int64_t> hedge_wins_{0};
 
-  static constexpr size_t kLatencyRing = 4096;
-  mutable std::mutex latency_mu_;
-  std::vector<double> latencies_;  // Ring of recent fetch latencies.
-  int64_t latency_next_ = 0;       // Total recorded (ring write cursor).
+  LatencyRing fetch_latencies_;
+  LatencyRing queue_waits_;
+  LatencyRing batch_latencies_;
 };
 
 }  // namespace pcr

@@ -1,0 +1,207 @@
+#include "serve/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace pcr::serve {
+
+Result<std::unique_ptr<PcrClient>> PcrClient::Connect(
+    const std::string& socket_path, const std::string& client_name) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("serve: socket path too long: " +
+                                   socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError("serve: socket(): " +
+                           std::string(std::strerror(errno)));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError("serve: connect(" + socket_path +
+                           "): " + std::strerror(err));
+  }
+  std::unique_ptr<PcrClient> client(new PcrClient(fd));
+  HelloRequest hello;
+  hello.client_name = client_name;
+  PCR_RETURN_IF_ERROR(
+      client->SendFrame(MessageType::kHello, Slice(hello.Encode())));
+  PCR_ASSIGN_OR_RETURN(Frame frame,
+                       client->ReadFrameOfType(MessageType::kHelloReply));
+  PCR_ASSIGN_OR_RETURN(client->server_,
+                       HelloReply::Decode(Slice(frame.payload)));
+  return client;
+}
+
+PcrClient::~PcrClient() { Close(); }
+
+void PcrClient::Close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<StreamOpenedReply> PcrClient::OpenStream(
+    const OpenStreamRequest& request) {
+  PCR_RETURN_IF_ERROR(
+      SendFrame(MessageType::kOpenStream, Slice(request.Encode())));
+  PCR_ASSIGN_OR_RETURN(Frame frame,
+                       ReadFrameOfType(MessageType::kStreamOpened));
+  return StreamOpenedReply::Decode(Slice(frame.payload));
+}
+
+Result<BatchReply> PcrClient::NextBatch(uint64_t stream_id) {
+  PCR_RETURN_IF_ERROR(SendNextBatchRequest(stream_id));
+  return ReceiveBatch(stream_id);
+}
+
+Status PcrClient::SendNextBatchRequest(uint64_t stream_id) {
+  NextBatchRequest request;
+  request.stream_id = stream_id;
+  return SendFrame(MessageType::kNextBatch, Slice(request.Encode()));
+}
+
+Result<BatchReply> PcrClient::ReceiveBatch(uint64_t stream_id) {
+  std::lock_guard<std::mutex> lock(read_mu_);
+  for (auto it = queued_batches_.begin(); it != queued_batches_.end(); ++it) {
+    if (stream_id == 0 || it->stream_id == stream_id) {
+      BatchReply reply = std::move(*it);
+      queued_batches_.erase(it);
+      return reply;
+    }
+  }
+  while (true) {
+    Frame frame;
+    {
+      auto read = ReadFrame();
+      if (!read.ok()) return read.status();
+      frame = std::move(*read);
+    }
+    if (frame.type == MessageType::kError) {
+      PCR_ASSIGN_OR_RETURN(ErrorReply error,
+                           ErrorReply::Decode(Slice(frame.payload)));
+      return error.ToStatus();
+    }
+    if (frame.type != MessageType::kBatchReply) {
+      return Status::FailedPrecondition(
+          "serve: unexpected message type " +
+          std::to_string(static_cast<int>(frame.type)) +
+          " while waiting for a batch");
+    }
+    PCR_ASSIGN_OR_RETURN(BatchReply reply,
+                         BatchReply::Decode(Slice(frame.payload)));
+    if (stream_id == 0 || reply.stream_id == stream_id) return reply;
+    queued_batches_.push_back(std::move(reply));  // Another stream's batch.
+  }
+}
+
+Result<StatsReply> PcrClient::GetStats(uint64_t stream_id) {
+  StatsRequest request;
+  request.stream_id = stream_id;
+  PCR_RETURN_IF_ERROR(SendFrame(MessageType::kStats, Slice(request.Encode())));
+  PCR_ASSIGN_OR_RETURN(Frame frame, ReadFrameOfType(MessageType::kStatsReply));
+  return StatsReply::Decode(Slice(frame.payload));
+}
+
+Result<StreamClosedReply> PcrClient::CloseStream(uint64_t stream_id) {
+  CloseStreamRequest request;
+  request.stream_id = stream_id;
+  PCR_RETURN_IF_ERROR(
+      SendFrame(MessageType::kCloseStream, Slice(request.Encode())));
+  PCR_ASSIGN_OR_RETURN(Frame frame,
+                       ReadFrameOfType(MessageType::kStreamClosed));
+  return StreamClosedReply::Decode(Slice(frame.payload));
+}
+
+Result<Image> PcrClient::ToImage(const WireImage& wire) {
+  if (wire.width == 0 || wire.height == 0 ||
+      (wire.channels != 1 && wire.channels != 3)) {
+    return Status::InvalidArgument("serve: malformed served image geometry");
+  }
+  Image image(static_cast<int>(wire.width), static_cast<int>(wire.height),
+              static_cast<int>(wire.channels));
+  if (wire.pixels.size() != image.size_bytes()) {
+    return Status::InvalidArgument("serve: served pixel payload size");
+  }
+  std::memcpy(image.data(), wire.pixels.data(), wire.pixels.size());
+  return image;
+}
+
+Status PcrClient::SendFrame(MessageType type, Slice payload) {
+  if (fd_ < 0) return Status::FailedPrecondition("serve: client closed");
+  const std::string frame = EncodeFrame(type, payload);
+  std::lock_guard<std::mutex> lock(write_mu_);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("serve: send(): " +
+                             std::string(std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<Frame> PcrClient::ReadFrame() {
+  Frame frame;
+  std::vector<char> buf(256 << 10);
+  while (true) {
+    switch (parser_.Next(&frame)) {
+      case FrameParser::Outcome::kFrame:
+        return frame;
+      case FrameParser::Outcome::kError:
+        return parser_.status();
+      case FrameParser::Outcome::kNeedMore:
+        break;
+    }
+    const ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
+    if (n == 0) {
+      return Status::Aborted("serve: daemon closed the connection");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("serve: recv(): " +
+                             std::string(std::strerror(errno)));
+    }
+    parser_.Feed(Slice(buf.data(), static_cast<size_t>(n)));
+  }
+}
+
+Result<Frame> PcrClient::ReadFrameOfType(MessageType want) {
+  std::lock_guard<std::mutex> lock(read_mu_);
+  while (true) {
+    PCR_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+    if (frame.type == want) return frame;
+    if (frame.type == MessageType::kError) {
+      PCR_ASSIGN_OR_RETURN(ErrorReply error,
+                           ErrorReply::Decode(Slice(frame.payload)));
+      return error.ToStatus();
+    }
+    if (frame.type == MessageType::kBatchReply) {
+      PCR_ASSIGN_OR_RETURN(BatchReply reply,
+                           BatchReply::Decode(Slice(frame.payload)));
+      queued_batches_.push_back(std::move(reply));
+      continue;
+    }
+    return Status::FailedPrecondition(
+        "serve: unexpected message type " +
+        std::to_string(static_cast<int>(frame.type)));
+  }
+}
+
+}  // namespace pcr::serve

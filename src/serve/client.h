@@ -1,0 +1,83 @@
+// PcrClient: blocking client for the PCR serving daemon (serve/daemon.h).
+// One instance owns one unix-socket connection and speaks the
+// serve/protocol.h frame protocol.
+//
+// Thread model: the send path (SendNextBatchRequest) and the receive path
+// (ReceiveBatch) take independent locks, so an open-loop client may run one
+// sender thread and one receiver thread concurrently — that is exactly how
+// bench_serve_loadgen pipelines requests. The combined RPC helpers
+// (OpenStream / NextBatch / GetStats / CloseStream) send and then receive,
+// so they must not run concurrently with a dedicated receiver thread.
+//
+// Multiple streams can share one client; BatchReply frames for other
+// streams encountered while waiting are queued, not dropped.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "image/image.h"
+#include "serve/protocol.h"
+#include "util/result.h"
+
+namespace pcr::serve {
+
+class PcrClient {
+ public:
+  /// Connects and completes the Hello handshake.
+  static Result<std::unique_ptr<PcrClient>> Connect(
+      const std::string& socket_path,
+      const std::string& client_name = "pcr-client");
+
+  ~PcrClient();
+  PcrClient(const PcrClient&) = delete;
+  PcrClient& operator=(const PcrClient&) = delete;
+
+  /// The daemon's Hello response (limits and identity).
+  const HelloReply& server() const { return server_; }
+
+  Result<StreamOpenedReply> OpenStream(const OpenStreamRequest& request);
+
+  /// One blocking request/response round trip.
+  Result<BatchReply> NextBatch(uint64_t stream_id);
+
+  /// Split halves of NextBatch for pipelined use: issue up to the stream's
+  /// granted in-flight cap, then drain replies.
+  Status SendNextBatchRequest(uint64_t stream_id);
+  Result<BatchReply> ReceiveBatch(uint64_t stream_id);
+
+  Result<StatsReply> GetStats(uint64_t stream_id = 0);
+  Result<StreamClosedReply> CloseStream(uint64_t stream_id);
+
+  /// Hangs up (in-flight requests on the daemon are abandoned; the daemon
+  /// releases the connection's streams). Idempotent; the destructor calls
+  /// it.
+  void Close();
+
+  /// Converts a served image to the library's Image type (validated).
+  static Result<Image> ToImage(const WireImage& wire);
+
+ private:
+  explicit PcrClient(int fd) : fd_(fd) {}
+
+  Status SendFrame(MessageType type, Slice payload);
+  /// Reads whole frames off the socket until the parser yields one.
+  Result<Frame> ReadFrame();
+  /// Reads until a frame of `want` arrives; ErrorReply frames become their
+  /// carried Status, BatchReply frames are queued for ReceiveBatch.
+  Result<Frame> ReadFrameOfType(MessageType want);
+
+  int fd_;
+  HelloReply server_;
+
+  std::mutex write_mu_;
+
+  std::mutex read_mu_;
+  FrameParser parser_;
+  std::deque<BatchReply> queued_batches_;
+};
+
+}  // namespace pcr::serve

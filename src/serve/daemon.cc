@@ -1,0 +1,795 @@
+#include "serve/daemon.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <climits>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "kv/kv_store.h"
+#include "loader/scan_policy.h"
+#include "util/crc32c.h"
+#include "util/logging.h"
+
+namespace pcr::serve {
+namespace {
+
+double NowSec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Canonicalizes a dataset directory so two spellings of one path share a
+/// registry entry (and thus a cache namespace). Falls back to the raw
+/// spelling when the path does not resolve.
+std::string CanonicalPath(const std::string& path) {
+  char buf[PATH_MAX];
+  if (::realpath(path.c_str(), buf) != nullptr) return std::string(buf);
+  return path;
+}
+
+uint64_t Mix64(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+// --- Connection / Stream / DatasetEntry ------------------------------------
+
+struct PcrDaemon::Connection {
+  int fd = -1;
+  std::string peer_name;  // From Hello.
+  bool said_hello = false;
+
+  std::mutex write_mu;
+  std::thread reader;
+  std::atomic<bool> done{false};
+
+  std::mutex streams_mu;
+  std::vector<uint64_t> stream_ids;
+};
+
+struct PcrDaemon::DatasetEntry {
+  std::string canonical_dir;
+  std::unique_ptr<PcrDataset> dataset;
+  uint64_t cache_id = 0;
+  int refs = 0;
+};
+
+struct PcrDaemon::Stream {
+  uint64_t id = 0;
+  std::string client_name;
+  std::shared_ptr<Connection> conn;
+  std::shared_ptr<DatasetEntry> dataset;
+  std::unique_ptr<LoaderPipeline> pipeline;
+  uint32_t max_inflight = 1;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<double> pending;  // NextBatch receipt times (steady seconds).
+  bool closing = false;
+  bool end_of_stream = false;
+
+  StageStats stats;  // Serve stage: items = served batches.
+  std::atomic<int64_t> served_images{0};
+
+  std::thread server;
+};
+
+// --- DrrScheduler -----------------------------------------------------------
+
+void PcrDaemon::DrrScheduler::Register(uint64_t stream_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[stream_id];  // Deficit starts at 0; first round tops it up.
+}
+
+void PcrDaemon::DrrScheduler::Unregister(uint64_t stream_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.erase(stream_id);
+  cv_.notify_all();  // Wake an Acquire parked on the erased stream.
+}
+
+uint64_t PcrDaemon::DrrScheduler::PickNextLocked() {
+  uint64_t best = 0;
+  int64_t best_deficit = 0;
+  bool any = false;
+  for (auto& [id, entry] : entries_) {
+    if (!entry.waiting) continue;
+    if (!any || entry.deficit > best_deficit) {
+      best = id;
+      best_deficit = entry.deficit;
+      any = true;
+    }
+  }
+  if (!any) return 0;
+  if (best_deficit <= 0) {
+    // Every waiting stream is overdrawn: a new round credits one quantum
+    // each (classic DRR, adapted to reply sizes unknown until served).
+    for (auto& [id, entry] : entries_) {
+      if (entry.waiting) entry.deficit += static_cast<int64_t>(quantum_);
+    }
+  }
+  return best;
+}
+
+bool PcrDaemon::DrrScheduler::Acquire(uint64_t stream_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = entries_.find(stream_id);
+  if (it == entries_.end()) return false;
+  it->second.waiting = true;
+  while (true) {
+    if (shutdown_ || entries_.count(stream_id) == 0) return false;
+    if (tokens_ > 0 && PickNextLocked() == stream_id) {
+      --tokens_;
+      entries_[stream_id].waiting = false;
+      return true;
+    }
+    cv_.wait(lock);
+  }
+}
+
+void PcrDaemon::DrrScheduler::Release(uint64_t stream_id, uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++tokens_;
+  auto it = entries_.find(stream_id);
+  if (it != entries_.end()) it->second.deficit -= static_cast<int64_t>(bytes);
+  cv_.notify_all();
+}
+
+void PcrDaemon::DrrScheduler::Shutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shutdown_ = true;
+  cv_.notify_all();
+}
+
+// --- Daemon lifecycle -------------------------------------------------------
+
+PcrDaemon::PcrDaemon(Env* env, DaemonOptions options)
+    : env_(env),
+      options_(std::move(options)),
+      scheduler_(std::max(1, options_.serve_tokens),
+                 std::max<uint64_t>(1, options_.drr_quantum_bytes)) {
+  DecodeCacheOptions cache_options;
+  cache_options.capacity_bytes = std::max<uint64_t>(1, options_.decode_cache_bytes);
+  decode_cache_ = std::make_shared<DecodeCache>(cache_options);
+  prefix_cache_ = std::make_shared<PrefixCache>(
+      PrefixCacheOptions{std::max<uint64_t>(1, options_.prefix_cache_bytes)});
+}
+
+Result<std::unique_ptr<PcrDaemon>> PcrDaemon::Start(Env* env,
+                                                    DaemonOptions options) {
+  if (options.socket_path.empty()) {
+    return Status::InvalidArgument("serve: socket_path is required");
+  }
+  std::unique_ptr<PcrDaemon> daemon(new PcrDaemon(env, std::move(options)));
+  PCR_RETURN_IF_ERROR(daemon->Listen());
+  daemon->accept_thread_ = std::thread([d = daemon.get()] { d->AcceptLoop(); });
+  return daemon;
+}
+
+Status PcrDaemon::Listen() {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("serve: socket path too long: " +
+                                   options_.socket_path);
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError("serve: socket(): " +
+                           std::string(std::strerror(errno)));
+  }
+  ::unlink(options_.socket_path.c_str());  // Stale socket from a crash.
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("serve: bind(" + options_.socket_path +
+                           "): " + std::strerror(err));
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("serve: listen(): " +
+                           std::string(std::strerror(err)));
+  }
+  return Status::OK();
+}
+
+PcrDaemon::~PcrDaemon() { Stop(); }
+
+void PcrDaemon::Stop() {
+  if (stopping_.exchange(true)) {
+    // Second caller (e.g. ~PcrDaemon after an explicit Stop) — already done.
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  // Unblock everything serve-side first: shut the fairness scheduler down
+  // (wakes Acquire), sever every connection (unblocks serving threads
+  // parked in send() against a stalled client and pops the readers out of
+  // recv()), then tear the streams down — pipeline Stop() unblocks any
+  // thread still inside Next(), so the joins below are bounded.
+  scheduler_.Shutdown();
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (const auto& conn : conns) {
+    ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  std::vector<uint64_t> ids;
+  {
+    std::lock_guard<std::mutex> lock(streams_mu_);
+    ids.reserve(streams_.size());
+    for (const auto& [id, stream] : streams_) ids.push_back(id);
+  }
+  for (uint64_t id : ids) TeardownStream(id);
+  for (const auto& conn : conns) {
+    if (conn->reader.joinable()) conn->reader.join();
+  }
+  ::unlink(options_.socket_path.c_str());
+}
+
+int PcrDaemon::active_streams() const {
+  std::lock_guard<std::mutex> lock(streams_mu_);
+  return static_cast<int>(streams_.size());
+}
+
+// --- Accept / read / dispatch ----------------------------------------------
+
+void PcrDaemon::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // Listener shut down (or unrecoverable).
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      // Reap connections whose readers already finished (their streams are
+      // torn down by the reader on its way out).
+      for (auto it = conns_.begin(); it != conns_.end();) {
+        if ((*it)->done.load(std::memory_order_acquire)) {
+          if ((*it)->reader.joinable()) (*it)->reader.join();
+          it = conns_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      conns_.push_back(conn);
+    }
+    conn->reader = std::thread([this, conn] { ReaderLoop(conn); });
+  }
+}
+
+void PcrDaemon::ReaderLoop(std::shared_ptr<Connection> conn) {
+  FrameParser parser;
+  std::vector<char> buf(256 << 10);
+  bool healthy = true;
+  while (healthy) {
+    const ssize_t n = ::recv(conn->fd, buf.data(), buf.size(), 0);
+    if (n <= 0) break;  // Peer closed / connection severed.
+    parser.Feed(Slice(buf.data(), static_cast<size_t>(n)));
+    Frame frame;
+    while (true) {
+      const FrameParser::Outcome outcome = parser.Next(&frame);
+      if (outcome == FrameParser::Outcome::kNeedMore) break;
+      if (outcome == FrameParser::Outcome::kError) {
+        // Unrecoverable stream (oversized/garbage header): tell the peer
+        // why, then hang up.
+        SendError(conn, parser.status(), 0);
+        healthy = false;
+        break;
+      }
+      HandleFrame(conn, frame);
+    }
+  }
+  TeardownConnection(conn);
+  ::close(conn->fd);
+  conn->done.store(true, std::memory_order_release);
+}
+
+void PcrDaemon::HandleFrame(const std::shared_ptr<Connection>& conn,
+                            const Frame& frame) {
+  const Slice payload(frame.payload);
+  switch (frame.type) {
+    case MessageType::kHello:
+      HandleHello(conn, payload);
+      return;
+    case MessageType::kOpenStream:
+      HandleOpenStream(conn, payload);
+      return;
+    case MessageType::kNextBatch:
+      HandleNextBatch(conn, payload);
+      return;
+    case MessageType::kStats:
+      HandleStats(conn, payload);
+      return;
+    case MessageType::kCloseStream:
+      HandleCloseStream(conn, payload);
+      return;
+    default:
+      SendError(conn,
+                Status::InvalidArgument(
+                    "serve: unexpected client message type " +
+                    std::to_string(static_cast<int>(frame.type))),
+                0);
+      return;
+  }
+}
+
+void PcrDaemon::HandleHello(const std::shared_ptr<Connection>& conn,
+                            Slice payload) {
+  auto hello = HelloRequest::Decode(payload);
+  if (!hello.ok()) {
+    SendError(conn, hello.status(), 0);
+    return;
+  }
+  if (hello->protocol_version != kProtocolVersion) {
+    SendError(conn,
+              Status::InvalidArgument(
+                  "serve: protocol version mismatch: client speaks v" +
+                  std::to_string(hello->protocol_version) + ", server v" +
+                  std::to_string(kProtocolVersion)),
+              0);
+    return;
+  }
+  conn->peer_name = hello->client_name;
+  conn->said_hello = true;
+  HelloReply reply;
+  reply.server_name = options_.server_name;
+  reply.max_streams = static_cast<uint32_t>(options_.max_streams);
+  reply.max_inflight_per_stream =
+      static_cast<uint32_t>(options_.max_inflight_per_stream);
+  (void)WriteFrame(*conn, MessageType::kHelloReply, Slice(reply.Encode()));
+}
+
+void PcrDaemon::HandleOpenStream(const std::shared_ptr<Connection>& conn,
+                                 Slice payload) {
+  auto req = OpenStreamRequest::Decode(payload);
+  if (!req.ok()) {
+    SendError(conn, req.status(), 0);
+    return;
+  }
+  if (!conn->said_hello) {
+    SendError(conn,
+              Status::FailedPrecondition("serve: OpenStream before Hello"), 0);
+    return;
+  }
+  if (req->max_epochs == 0) {
+    SendError(conn,
+              Status::InvalidArgument(
+                  "serve: max_epochs must be >= 1 (unbounded streams would "
+                  "pin an admission slot forever; re-open instead)"),
+              0);
+    return;
+  }
+  if (stopping_.load(std::memory_order_acquire)) {
+    SendError(conn, Status::Aborted("serve: daemon stopping"), 0);
+    return;
+  }
+
+  auto dataset = AcquireDataset(req->dataset_dir);
+  if (!dataset.ok()) {
+    SendError(conn, dataset.status(), 0);
+    return;
+  }
+
+  const int num_groups = (*dataset)->dataset->num_scan_groups();
+  int scan_group = static_cast<int>(req->scan_group);
+  if (scan_group <= 0 || scan_group > num_groups) scan_group = num_groups;
+  const uint32_t max_inflight = std::max<uint32_t>(
+      1, std::min<uint32_t>(
+             req->max_inflight,
+             static_cast<uint32_t>(options_.max_inflight_per_stream)));
+
+  LoaderPipelineOptions pipe;
+  pipe.io_threads = options_.io_threads;
+  pipe.io_inflight = options_.io_inflight;
+  pipe.decode_threads = options_.decode_threads;
+  pipe.io_backend = options_.io_backend;
+  pipe.decode = req->decode;
+  pipe.max_epochs = static_cast<int>(req->max_epochs);
+  pipe.shuffle = req->shuffle;
+  pipe.seed = req->seed;
+  pipe.scan_policy = std::make_shared<FixedScanPolicy>(scan_group);
+  pipe.decode_cache = decode_cache_;
+  pipe.cache_dataset_id = (*dataset)->cache_id;
+  pipe.prefix_cache = prefix_cache_;
+  pipe.prefix_dataset_id = (*dataset)->cache_id;
+
+  auto stream = std::make_shared<Stream>();
+  stream->client_name = conn->peer_name;
+  stream->conn = conn;
+  stream->dataset = *dataset;
+  stream->max_inflight = max_inflight;
+  bool admitted = false;
+  {
+    std::lock_guard<std::mutex> lock(streams_mu_);
+    if (static_cast<int>(streams_.size()) < options_.max_streams) {
+      stream->id = next_stream_id_++;
+      streams_[stream->id] = stream;
+      admitted = true;
+    }
+  }
+  if (!admitted) {
+    // Admission control: the node is at capacity. Drop the dataset ref; the
+    // client can retry after another stream closes.
+    ReleaseDataset(*dataset);
+    SendError(conn,
+              Status::ResourceExhausted(
+                  "serve: stream limit reached (" +
+                  std::to_string(options_.max_streams) + ")"),
+              0);
+    return;
+  }
+  stream->pipeline = std::make_unique<LoaderPipeline>(
+      (*dataset)->dataset.get(), pipe);
+  scheduler_.Register(stream->id);
+  {
+    std::lock_guard<std::mutex> lock(conn->streams_mu);
+    conn->stream_ids.push_back(stream->id);
+  }
+  stream->server = std::thread([this, stream] { ServeLoop(stream); });
+
+  StreamOpenedReply reply;
+  reply.stream_id = stream->id;
+  reply.num_records =
+      static_cast<uint32_t>((*dataset)->dataset->num_records());
+  reply.num_images = static_cast<uint32_t>((*dataset)->dataset->num_images());
+  reply.num_scan_groups = static_cast<uint32_t>(num_groups);
+  reply.scan_group = static_cast<uint32_t>(scan_group);
+  reply.max_inflight = max_inflight;
+  reply.cache_dataset_id = (*dataset)->cache_id;
+  (void)WriteFrame(*conn, MessageType::kStreamOpened, Slice(reply.Encode()));
+}
+
+void PcrDaemon::HandleNextBatch(const std::shared_ptr<Connection>& conn,
+                                Slice payload) {
+  auto req = NextBatchRequest::Decode(payload);
+  if (!req.ok()) {
+    SendError(conn, req.status(), 0);
+    return;
+  }
+  std::shared_ptr<Stream> stream;
+  {
+    std::lock_guard<std::mutex> lock(streams_mu_);
+    auto it = streams_.find(req->stream_id);
+    if (it != streams_.end()) stream = it->second;
+  }
+  if (!stream || stream->conn.get() != conn.get()) {
+    SendError(conn,
+              Status::NotFound("serve: no such stream " +
+                               std::to_string(req->stream_id)),
+              req->stream_id);
+    return;
+  }
+  bool over_cap = false;
+  size_t in_flight = 0;
+  {
+    std::lock_guard<std::mutex> lock(stream->mu);
+    in_flight = stream->pending.size();
+    if (in_flight >= stream->max_inflight) {
+      over_cap = true;  // In-flight cap: the client overran its budget.
+    } else {
+      stream->pending.push_back(NowSec());
+    }
+  }
+  if (over_cap) {
+    SendError(conn,
+              Status::ResourceExhausted(
+                  "serve: stream " + std::to_string(stream->id) +
+                  " already has " + std::to_string(in_flight) +
+                  " requests in flight (cap " +
+                  std::to_string(stream->max_inflight) + ")"),
+              stream->id);
+    return;
+  }
+  stream->cv.notify_one();
+}
+
+void PcrDaemon::HandleStats(const std::shared_ptr<Connection>& conn,
+                            Slice payload) {
+  auto req = StatsRequest::Decode(payload);
+  if (!req.ok()) {
+    SendError(conn, req.status(), 0);
+    return;
+  }
+  const StatsReply reply = BuildStats(req->stream_id);
+  (void)WriteFrame(*conn, MessageType::kStatsReply, Slice(reply.Encode()));
+}
+
+void PcrDaemon::HandleCloseStream(const std::shared_ptr<Connection>& conn,
+                                  Slice payload) {
+  auto req = CloseStreamRequest::Decode(payload);
+  if (!req.ok()) {
+    SendError(conn, req.status(), 0);
+    return;
+  }
+  bool known = false;
+  {
+    std::lock_guard<std::mutex> lock(streams_mu_);
+    auto it = streams_.find(req->stream_id);
+    known = it != streams_.end() && it->second->conn.get() == conn.get();
+  }
+  if (!known) {
+    SendError(conn,
+              Status::NotFound("serve: no such stream " +
+                               std::to_string(req->stream_id)),
+              req->stream_id);
+    return;
+  }
+  TeardownStream(req->stream_id);
+  StreamClosedReply reply;
+  reply.stream_id = req->stream_id;
+  (void)WriteFrame(*conn, MessageType::kStreamClosed, Slice(reply.Encode()));
+}
+
+// --- Serving ----------------------------------------------------------------
+
+void PcrDaemon::ServeLoop(const std::shared_ptr<Stream>& stream) {
+  while (true) {
+    double receipt = 0;
+    {
+      std::unique_lock<std::mutex> lock(stream->mu);
+      stream->cv.wait(lock, [&] {
+        return stream->closing || !stream->pending.empty();
+      });
+      if (stream->closing) return;
+      receipt = stream->pending.front();
+      stream->pending.pop_front();
+    }
+    if (!scheduler_.Acquire(stream->id)) return;
+    stream->stats.AddQueueWait(NowSec() - receipt);
+
+    BatchReply reply;
+    reply.stream_id = stream->id;
+    bool fatal = false;
+    if (stream->end_of_stream) {
+      reply.end_of_stream = true;
+    } else {
+      Result<LoadedBatch> batch = stream->pipeline->Next();
+      if (batch.ok()) {
+        reply.record_index = batch->record_index;
+        reply.scan_group = static_cast<uint32_t>(batch->scan_group);
+        reply.labels = batch->labels;
+        reply.bytes_read = batch->bytes_read;
+        for (const Image& img : batch->images) {
+          WireImage wire;
+          wire.width = static_cast<uint32_t>(img.width());
+          wire.height = static_cast<uint32_t>(img.height());
+          wire.channels = static_cast<uint32_t>(img.channels());
+          wire.pixels.assign(reinterpret_cast<const char*>(img.data()),
+                             img.size_bytes());
+          reply.images.push_back(std::move(wire));
+        }
+        for (const ByteSpan& span : batch->jpeg_spans) {
+          reply.jpegs.emplace_back(batch->jpeg_backing.data() + span.offset,
+                                   span.length);
+        }
+        stream->served_images.fetch_add(
+            static_cast<int64_t>(batch->images.size() +
+                                 batch->jpeg_spans.size()),
+            std::memory_order_relaxed);
+      } else if (batch.status().IsOutOfRange()) {
+        stream->end_of_stream = true;
+        reply.end_of_stream = true;
+      } else {
+        SendError(stream->conn, batch.status(), stream->id);
+        fatal = true;
+      }
+    }
+
+    uint64_t reply_bytes = 0;
+    if (!fatal) {
+      const std::string payload = reply.Encode();
+      reply_bytes = payload.size();
+      const Status write =
+          WriteFrame(*stream->conn, MessageType::kBatchReply, Slice(payload));
+      if (!write.ok()) fatal = true;  // Peer gone; reader tears us down.
+      stream->stats.AddItem(reply_bytes);
+      stream->stats.AddBatchLatency(NowSec() - receipt);
+      {
+        std::lock_guard<std::mutex> lock(stream->mu);
+        stream->stats.SampleQueueDepth(stream->pending.size());
+      }
+    }
+    scheduler_.Release(stream->id, reply_bytes);
+    if (fatal) return;
+  }
+}
+
+// --- Framing helpers --------------------------------------------------------
+
+Status PcrDaemon::WriteFrame(Connection& conn, MessageType type,
+                             Slice payload) {
+  const std::string frame = EncodeFrame(type, payload);
+  std::lock_guard<std::mutex> lock(conn.write_mu);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::send(conn.fd, frame.data() + sent, frame.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("serve: send(): " +
+                             std::string(std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+void PcrDaemon::SendError(const std::shared_ptr<Connection>& conn,
+                          const Status& status, uint64_t stream_id) {
+  const ErrorReply reply = ErrorReply::FromStatus(status, stream_id);
+  // Best-effort: the peer may already be gone.
+  (void)WriteFrame(*conn, MessageType::kError, Slice(reply.Encode()));
+}
+
+// --- Dataset registry -------------------------------------------------------
+
+Result<uint64_t> PcrDaemon::DeriveCacheDatasetId(
+    Env* env, const std::string& dataset_dir) {
+  const std::string canonical = CanonicalPath(dataset_dir);
+  // (path hash, manifest fingerprint) -> one 64-bit namespace. The
+  // fingerprint covers the manifest's LIVE (key, value) set in sorted
+  // order, not the log's raw bytes: KvStore::Open compacts the log, so the
+  // byte layout legitimately changes between the writer generation and the
+  // first serving open, while the live entries identify the generation
+  // exactly. Same dataset + same generation hash identically on every
+  // open; a rewrite changes the entries and thus the id.
+  PCR_ASSIGN_OR_RETURN(std::unique_ptr<KvStore> manifest,
+                       KvStore::Open(env, canonical + "/metadata.kvlog"));
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : canonical) {
+    h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+  }
+  uint32_t crc = 0;
+  uint64_t entries = 0;
+  for (const auto& [key, value] : manifest->ScanPrefixEntries(Slice())) {
+    crc = crc32c::Extend(crc, key.data(), key.size());
+    crc = crc32c::Extend(crc, value.data(), value.size());
+    ++entries;
+  }
+  h = Mix64(h + entries);
+  h = Mix64(h ^ (static_cast<uint64_t>(crc) << 16));
+  // Stay clear of DecodeCache::RegisterDataset's small counter ids.
+  return h | (1ull << 63);
+}
+
+Result<std::shared_ptr<PcrDaemon::DatasetEntry>> PcrDaemon::AcquireDataset(
+    const std::string& dir) {
+  const std::string canonical = CanonicalPath(dir);
+  std::lock_guard<std::mutex> lock(datasets_mu_);
+  auto it = datasets_.find(canonical);
+  if (it != datasets_.end()) {
+    ++it->second->refs;
+    return it->second;
+  }
+  PCR_ASSIGN_OR_RETURN(uint64_t cache_id,
+                       DeriveCacheDatasetId(env_, canonical));
+  PCR_ASSIGN_OR_RETURN(std::unique_ptr<PcrDataset> dataset,
+                       PcrDataset::Open(env_, canonical));
+  auto entry = std::make_shared<DatasetEntry>();
+  entry->canonical_dir = canonical;
+  entry->dataset = std::move(dataset);
+  entry->cache_id = cache_id;
+  entry->refs = 1;
+  if (options_.dataset_cache_share > 0) {
+    decode_cache_->SetDatasetByteCap(
+        cache_id,
+        static_cast<uint64_t>(options_.dataset_cache_share *
+                              static_cast<double>(
+                                  options_.decode_cache_bytes)));
+  }
+  datasets_[canonical] = entry;
+  return entry;
+}
+
+void PcrDaemon::ReleaseDataset(const std::shared_ptr<DatasetEntry>& entry) {
+  std::lock_guard<std::mutex> lock(datasets_mu_);
+  if (--entry->refs > 0) return;
+  // Last stream over this dataset: release its cache share (entries stay
+  // resident for the next open of the same generation — the cap only gates
+  // admission) and drop the open dataset.
+  decode_cache_->SetDatasetByteCap(entry->cache_id, 0);
+  datasets_.erase(entry->canonical_dir);
+}
+
+// --- Teardown ---------------------------------------------------------------
+
+void PcrDaemon::TeardownStream(uint64_t stream_id) {
+  std::shared_ptr<Stream> stream;
+  {
+    std::lock_guard<std::mutex> lock(streams_mu_);
+    auto it = streams_.find(stream_id);
+    if (it == streams_.end()) return;  // Already torn down (idempotent).
+    stream = it->second;
+    streams_.erase(it);
+  }
+  {
+    std::lock_guard<std::mutex> lock(stream->mu);
+    stream->closing = true;
+  }
+  stream->cv.notify_all();
+  scheduler_.Unregister(stream_id);  // Unblocks a parked Acquire.
+  if (stream->pipeline) stream->pipeline->Stop();  // Unblocks Next().
+  if (stream->server.joinable()) stream->server.join();
+  stream->pipeline.reset();
+  if (stream->dataset) ReleaseDataset(stream->dataset);
+}
+
+void PcrDaemon::TeardownConnection(const std::shared_ptr<Connection>& conn) {
+  std::vector<uint64_t> ids;
+  {
+    std::lock_guard<std::mutex> lock(conn->streams_mu);
+    ids.swap(conn->stream_ids);
+  }
+  for (uint64_t id : ids) TeardownStream(id);
+}
+
+// --- Stats ------------------------------------------------------------------
+
+StatsReply PcrDaemon::BuildStats(uint64_t stream_id) {
+  StatsReply reply;
+  std::vector<std::shared_ptr<Stream>> streams;
+  {
+    std::lock_guard<std::mutex> lock(streams_mu_);
+    reply.active_streams = static_cast<uint32_t>(streams_.size());
+    for (const auto& [id, stream] : streams_) {
+      if (stream_id == 0 || id == stream_id) streams.push_back(stream);
+    }
+  }
+  reply.max_streams = static_cast<uint32_t>(options_.max_streams);
+  const DecodeCacheStats cache = decode_cache_->stats();
+  reply.cache_bytes_in_use = cache.bytes_in_use;
+  reply.cache_capacity_bytes = cache.capacity_bytes;
+  reply.cache_hits = cache.hits;
+  reply.cache_misses = cache.misses;
+  for (const auto& stream : streams) {
+    const StageStatsSnapshot serve =
+        stream->stats.Snapshot("serve", 1, stream->max_inflight);
+    const StageStatsSnapshot io = stream->pipeline
+                                      ? stream->pipeline->io_stats()
+                                      : StageStatsSnapshot{};
+    StreamStats out;
+    out.stream_id = stream->id;
+    out.client_name = stream->client_name;
+    out.served_batches = serve.items;
+    out.served_images = stream->served_images.load(std::memory_order_relaxed);
+    out.served_bytes = serve.bytes;
+    out.queue_wait_p50_sec = serve.queue_wait_p50_sec;
+    out.queue_wait_p99_sec = serve.queue_wait_p99_sec;
+    out.batch_p50_sec = serve.batch_p50_sec;
+    out.batch_p99_sec = serve.batch_p99_sec;
+    out.cache_hits = io.cache_hits;
+    out.cache_misses = io.cache_misses;
+    reply.streams.push_back(std::move(out));
+  }
+  return reply;
+}
+
+}  // namespace pcr::serve

@@ -1,0 +1,216 @@
+// PcrDaemon: the long-running serving node — one process owning the shared
+// storage/decode resources (Env + FdCache via the process Env, one big
+// DecodeCache and PrefixCache), feeding many trainer clients over a
+// unix-domain socket speaking the serve/protocol.h frame protocol.
+//
+// Resource model per client stream:
+//
+//   - Each OpenStream admits (or rejects — admission control) one stream
+//     backed by its OWN LoaderPipeline: private epoch/shuffle/scan-group
+//     state, but the shared caches underneath. Two clients streaming the
+//     same dataset therefore share decoded entries: the daemon derives the
+//     cache namespace server-side from (canonical path, manifest
+//     fingerprint), so the same dataset + writer generation maps to the
+//     same id regardless of which client opened it first, and a rewritten
+//     dataset gets a fresh id instead of colliding with stale entries.
+//   - Admission control: at most `max_streams` live streams, at most
+//     `max_inflight_per_stream` queued NextBatch requests per stream
+//     (excess requests get ResourceExhausted instead of unbounded daemon
+//     memory), and each open dataset is capped to a byte-budget share of
+//     the decode cache (DecodeCache::SetDatasetByteCap) so one tenant's
+//     working set cannot evict everyone else's.
+//   - Fairness: batch deliveries pass through a deficit-round-robin
+//     scheduler (DrrScheduler). `serve_tokens` deliveries run concurrently;
+//     when streams contend for a token, the one with the most unspent
+//     deficit goes first and is charged the actual reply bytes it served —
+//     so a greedy client pipelining large batches cannot starve a modest
+//     one.
+//
+// Threading: one accept thread, one reader thread per connection
+// (demultiplexing Hello/OpenStream/NextBatch/Stats/Close), one serving
+// thread per stream (NextBatch queue -> DRR -> pipeline -> reply). Stop()
+// is bounded even with clients blocked in NextBatch: it shuts the sockets
+// down and stops every pipeline, which unblocks the serving threads.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/pcr_dataset.h"
+#include "loader/decode_cache.h"
+#include "loader/pipeline.h"
+#include "loader/prefix_cache.h"
+#include "loader/stage_stats.h"
+#include "serve/protocol.h"
+#include "storage/env.h"
+#include "util/result.h"
+
+namespace pcr::serve {
+
+struct DaemonOptions {
+  /// Unix-domain socket path the daemon listens on (unlinked on Stop()).
+  /// Must fit sockaddr_un (~100 bytes).
+  std::string socket_path;
+  std::string server_name = "pcrd";
+
+  // Admission control.
+  int max_streams = 16;
+  int max_inflight_per_stream = 8;
+  /// Concurrent batch deliveries across all streams; the DRR scheduler
+  /// arbitrates which waiting stream gets the next token.
+  int serve_tokens = 4;
+  /// Deficit added per DRR round (bytes); a stream's deliveries are charged
+  /// against it at actual reply size.
+  uint64_t drr_quantum_bytes = 4ull << 20;
+  /// Each open dataset's byte-budget share of the decode cache, as a
+  /// fraction of capacity (0 disables per-dataset caps).
+  double dataset_cache_share = 0.5;
+
+  // Shared caches (one of each per daemon).
+  uint64_t decode_cache_bytes = 256ull << 20;
+  uint64_t prefix_cache_bytes = 64ull << 20;
+
+  // Per-stream pipeline shape (LoaderPipelineOptions subset).
+  int io_threads = 1;
+  int io_inflight = 4;
+  int decode_threads = 2;
+  IoBackend io_backend = IoBackend::kAuto;
+};
+
+class PcrDaemon {
+ public:
+  /// Binds the socket and starts the accept loop. The returned daemon is
+  /// serving; destroy it (or Stop()) to shut down.
+  static Result<std::unique_ptr<PcrDaemon>> Start(Env* env,
+                                                  DaemonOptions options);
+
+  ~PcrDaemon();
+  PcrDaemon(const PcrDaemon&) = delete;
+  PcrDaemon& operator=(const PcrDaemon&) = delete;
+
+  /// Stops accepting, disconnects every client (in-flight NextBatch
+  /// requests unblock with Aborted), joins all threads, and unlinks the
+  /// socket. Bounded and idempotent.
+  void Stop();
+
+  const std::string& socket_path() const { return options_.socket_path; }
+
+  /// Live stream count (admission gauge).
+  int active_streams() const;
+
+  /// The shared decoded-batch cache (test/diagnostic access).
+  const std::shared_ptr<DecodeCache>& decode_cache() const {
+    return decode_cache_;
+  }
+
+  /// The server-side cache namespace for a dataset directory: a hash of the
+  /// canonical path and the metadata manifest's fingerprint (size + CRC).
+  /// Same dataset + same writer generation => same id (clients share cache
+  /// entries); a rewritten dataset changes the fingerprint, so stale keys
+  /// from the old generation can never serve the new one.
+  static Result<uint64_t> DeriveCacheDatasetId(Env* env,
+                                               const std::string& dataset_dir);
+
+ private:
+  struct Connection;
+  struct Stream;
+  struct DatasetEntry;
+
+  /// Deficit-round-robin arbiter over `serve_tokens` delivery slots.
+  class DrrScheduler {
+   public:
+    DrrScheduler(int tokens, uint64_t quantum)
+        : tokens_(tokens), quantum_(quantum) {}
+    void Register(uint64_t stream_id);
+    void Unregister(uint64_t stream_id);
+    /// Blocks until `stream_id` wins a delivery token (false on shutdown).
+    bool Acquire(uint64_t stream_id);
+    /// Returns the token, charging the stream `bytes` of deficit.
+    void Release(uint64_t stream_id, uint64_t bytes);
+    void Shutdown();
+
+   private:
+    struct Entry {
+      int64_t deficit = 0;
+      bool waiting = false;
+    };
+    /// Picks the waiting stream with the most deficit, topping every
+    /// waiting stream up by one quantum ("a round") whenever the best is
+    /// overdrawn. Returns 0 if nobody waits. Caller holds mu_.
+    uint64_t PickNextLocked();
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    int tokens_;
+    uint64_t quantum_;
+    bool shutdown_ = false;
+    std::map<uint64_t, Entry> entries_;
+  };
+
+  PcrDaemon(Env* env, DaemonOptions options);
+
+  Status Listen();
+  void AcceptLoop();
+  void ReaderLoop(std::shared_ptr<Connection> conn);
+  void HandleFrame(const std::shared_ptr<Connection>& conn,
+                   const Frame& frame);
+  void HandleHello(const std::shared_ptr<Connection>& conn, Slice payload);
+  void HandleOpenStream(const std::shared_ptr<Connection>& conn,
+                        Slice payload);
+  void HandleNextBatch(const std::shared_ptr<Connection>& conn,
+                       Slice payload);
+  void HandleStats(const std::shared_ptr<Connection>& conn, Slice payload);
+  void HandleCloseStream(const std::shared_ptr<Connection>& conn,
+                         Slice payload);
+  void ServeLoop(const std::shared_ptr<Stream>& stream);
+
+  /// Serializes + writes one frame under the connection's write lock.
+  Status WriteFrame(Connection& conn, MessageType type, Slice payload);
+  void SendError(const std::shared_ptr<Connection>& conn,
+                 const Status& status, uint64_t stream_id);
+
+  /// Opens (or refs) the dataset registry entry for `dir`, deriving the
+  /// shared cache id and installing its byte share.
+  Result<std::shared_ptr<DatasetEntry>> AcquireDataset(
+      const std::string& dir);
+  void ReleaseDataset(const std::shared_ptr<DatasetEntry>& entry);
+
+  /// Tears one stream down: stops its pipeline, joins its serving thread,
+  /// releases the DRR registration, admission slot, and dataset ref.
+  void TeardownStream(uint64_t stream_id);
+  /// Disconnect path: tears down every stream the connection owns.
+  void TeardownConnection(const std::shared_ptr<Connection>& conn);
+
+  StatsReply BuildStats(uint64_t stream_id);
+
+  Env* env_;
+  DaemonOptions options_;
+  std::shared_ptr<DecodeCache> decode_cache_;
+  std::shared_ptr<PrefixCache> prefix_cache_;
+  DrrScheduler scheduler_;
+
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+
+  mutable std::mutex streams_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<Stream>> streams_;
+  uint64_t next_stream_id_ = 1;
+
+  std::mutex datasets_mu_;
+  std::unordered_map<std::string, std::shared_ptr<DatasetEntry>> datasets_;
+};
+
+}  // namespace pcr::serve

@@ -1,0 +1,428 @@
+#include "serve/protocol.h"
+
+#include <cstring>
+
+#include "wire/wire.h"
+
+namespace pcr::serve {
+
+namespace {
+
+uint32_t ReadLe32(const char* p) {
+  const uint8_t* u = reinterpret_cast<const uint8_t*>(p);
+  return static_cast<uint32_t>(u[0]) | (static_cast<uint32_t>(u[1]) << 8) |
+         (static_cast<uint32_t>(u[2]) << 16) |
+         (static_cast<uint32_t>(u[3]) << 24);
+}
+
+void AppendLe32(std::string* out, uint32_t v) {
+  char bytes[4] = {static_cast<char>(v & 0xff),
+                   static_cast<char>((v >> 8) & 0xff),
+                   static_cast<char>((v >> 16) & 0xff),
+                   static_cast<char>((v >> 24) & 0xff)};
+  out->append(bytes, 4);
+}
+
+bool ValidMessageType(uint8_t type) {
+  return type >= static_cast<uint8_t>(MessageType::kHello) &&
+         type <= static_cast<uint8_t>(MessageType::kError);
+}
+
+}  // namespace
+
+FrameParser::Outcome FrameParser::Next(Frame* frame) {
+  if (!status_.ok()) return Outcome::kError;
+  if (buffer_.size() < 4) return Outcome::kNeedMore;
+  const uint64_t length = ReadLe32(buffer_.data());
+  // Reject hostile/corrupt lengths from the header alone: nothing has been
+  // allocated for the payload yet, so a 4 GiB prefix costs us 4 bytes.
+  if (length < 1 || length > max_frame_bytes_) {
+    status_ = Status::InvalidArgument(
+        "serve frame: length prefix " + std::to_string(length) +
+        " outside [1, " + std::to_string(max_frame_bytes_) + "]");
+    return Outcome::kError;
+  }
+  if (buffer_.size() < 4 + length) return Outcome::kNeedMore;
+  const uint8_t type = static_cast<uint8_t>(buffer_[4]);
+  if (!ValidMessageType(type)) {
+    status_ = Status::Corruption("serve frame: unknown message type " +
+                                 std::to_string(type));
+    return Outcome::kError;
+  }
+  frame->type = static_cast<MessageType>(type);
+  frame->payload.assign(buffer_, 5, static_cast<size_t>(length) - 1);
+  buffer_.erase(0, 4 + static_cast<size_t>(length));
+  return Outcome::kFrame;
+}
+
+std::string EncodeFrame(MessageType type, Slice payload) {
+  std::string out;
+  out.reserve(5 + payload.size());
+  AppendLe32(&out, static_cast<uint32_t>(payload.size() + 1));
+  out.push_back(static_cast<char>(type));
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+// --- Message encode/decode ------------------------------------------------
+// Decoders tolerate unknown fields (skip) for forward compatibility, fail
+// on malformed wire data, and leave absent fields at their defaults.
+
+#define PCR_SERVE_DECODE_LOOP(payload, field_var, body)              \
+  wire::WireReader reader_(payload);                                 \
+  wire::WireField field_var;                                         \
+  while (reader_.Next(&field_var)) {                                 \
+    switch (field_var.field) { body default : break; }               \
+  }                                                                  \
+  PCR_RETURN_IF_ERROR(reader_.status())
+
+std::string HelloRequest::Encode() const {
+  wire::WireWriter w;
+  w.PutUint64(1, protocol_version);
+  w.PutString(2, client_name);
+  return w.Release();
+}
+
+Result<HelloRequest> HelloRequest::Decode(Slice payload) {
+  HelloRequest msg;
+  PCR_SERVE_DECODE_LOOP(
+      payload, f,
+      case 1 : msg.protocol_version = static_cast<uint32_t>(f.varint);
+      break; case 2 : msg.client_name = f.bytes.ToString(); break;);
+  return msg;
+}
+
+std::string HelloReply::Encode() const {
+  wire::WireWriter w;
+  w.PutUint64(1, protocol_version);
+  w.PutString(2, server_name);
+  w.PutUint64(3, max_streams);
+  w.PutUint64(4, max_inflight_per_stream);
+  return w.Release();
+}
+
+Result<HelloReply> HelloReply::Decode(Slice payload) {
+  HelloReply msg;
+  PCR_SERVE_DECODE_LOOP(
+      payload, f,
+      case 1 : msg.protocol_version = static_cast<uint32_t>(f.varint);
+      break; case 2 : msg.server_name = f.bytes.ToString();
+      break; case 3 : msg.max_streams = static_cast<uint32_t>(f.varint);
+      break; case 4
+      : msg.max_inflight_per_stream = static_cast<uint32_t>(f.varint);
+      break;);
+  return msg;
+}
+
+std::string OpenStreamRequest::Encode() const {
+  wire::WireWriter w;
+  w.PutString(1, dataset_dir);
+  w.PutUint64(2, scan_group);
+  w.PutUint64(3, max_epochs);
+  w.PutBool(4, shuffle);
+  w.PutUint64(5, seed);
+  w.PutBool(6, decode);
+  w.PutUint64(7, max_inflight);
+  return w.Release();
+}
+
+Result<OpenStreamRequest> OpenStreamRequest::Decode(Slice payload) {
+  OpenStreamRequest msg;
+  PCR_SERVE_DECODE_LOOP(
+      payload, f,
+      case 1 : msg.dataset_dir = f.bytes.ToString();
+      break; case 2 : msg.scan_group = static_cast<uint32_t>(f.varint);
+      break; case 3 : msg.max_epochs = static_cast<uint32_t>(f.varint);
+      break; case 4 : msg.shuffle = f.varint != 0;
+      break; case 5 : msg.seed = f.varint;
+      break; case 6 : msg.decode = f.varint != 0;
+      break; case 7 : msg.max_inflight = static_cast<uint32_t>(f.varint);
+      break;);
+  return msg;
+}
+
+std::string StreamOpenedReply::Encode() const {
+  wire::WireWriter w;
+  w.PutUint64(1, stream_id);
+  w.PutUint64(2, num_records);
+  w.PutUint64(3, num_images);
+  w.PutUint64(4, num_scan_groups);
+  w.PutUint64(5, scan_group);
+  w.PutUint64(6, max_inflight);
+  w.PutUint64(7, cache_dataset_id);
+  return w.Release();
+}
+
+Result<StreamOpenedReply> StreamOpenedReply::Decode(Slice payload) {
+  StreamOpenedReply msg;
+  PCR_SERVE_DECODE_LOOP(
+      payload, f,
+      case 1 : msg.stream_id = f.varint;
+      break; case 2 : msg.num_records = static_cast<uint32_t>(f.varint);
+      break; case 3 : msg.num_images = static_cast<uint32_t>(f.varint);
+      break; case 4 : msg.num_scan_groups = static_cast<uint32_t>(f.varint);
+      break; case 5 : msg.scan_group = static_cast<uint32_t>(f.varint);
+      break; case 6 : msg.max_inflight = static_cast<uint32_t>(f.varint);
+      break; case 7 : msg.cache_dataset_id = f.varint; break;);
+  return msg;
+}
+
+std::string NextBatchRequest::Encode() const {
+  wire::WireWriter w;
+  w.PutUint64(1, stream_id);
+  return w.Release();
+}
+
+Result<NextBatchRequest> NextBatchRequest::Decode(Slice payload) {
+  NextBatchRequest msg;
+  PCR_SERVE_DECODE_LOOP(payload, f, case 1 : msg.stream_id = f.varint;
+                        break;);
+  return msg;
+}
+
+std::string BatchReply::Encode() const {
+  wire::WireWriter w;
+  w.PutUint64(1, stream_id);
+  w.PutBool(2, end_of_stream);
+  w.PutSint64(3, record_index);
+  w.PutUint64(4, scan_group);
+  std::vector<uint64_t> packed_labels;
+  packed_labels.reserve(labels.size());
+  for (const int64_t label : labels) {
+    packed_labels.push_back(wire::ZigZagEncode(label));
+  }
+  w.PutPackedUint64(5, packed_labels);
+  for (const WireImage& img : images) {
+    wire::WireWriter iw;
+    iw.PutUint64(1, img.width);
+    iw.PutUint64(2, img.height);
+    iw.PutUint64(3, img.channels);
+    iw.PutBytes(4, Slice(img.pixels));
+    w.PutMessage(6, iw);
+  }
+  for (const std::string& jpeg : jpegs) w.PutBytes(7, Slice(jpeg));
+  w.PutUint64(8, bytes_read);
+  return w.Release();
+}
+
+Result<BatchReply> BatchReply::Decode(Slice payload) {
+  BatchReply msg;
+  wire::WireReader reader(payload);
+  wire::WireField f;
+  while (reader.Next(&f)) {
+    switch (f.field) {
+      case 1:
+        msg.stream_id = f.varint;
+        break;
+      case 2:
+        msg.end_of_stream = f.varint != 0;
+        break;
+      case 3:
+        msg.record_index = static_cast<int32_t>(f.AsSint64());
+        break;
+      case 4:
+        msg.scan_group = static_cast<uint32_t>(f.varint);
+        break;
+      case 5: {
+        PCR_ASSIGN_OR_RETURN(std::vector<uint64_t> packed,
+                             wire::WireReader::DecodePackedUint64(f.bytes));
+        msg.labels.reserve(packed.size());
+        for (const uint64_t v : packed) {
+          msg.labels.push_back(wire::ZigZagDecode(v));
+        }
+        break;
+      }
+      case 6: {
+        WireImage img;
+        wire::WireReader ir(f.bytes);
+        wire::WireField imf;
+        while (ir.Next(&imf)) {
+          switch (imf.field) {
+            case 1: img.width = static_cast<uint32_t>(imf.varint); break;
+            case 2: img.height = static_cast<uint32_t>(imf.varint); break;
+            case 3: img.channels = static_cast<uint32_t>(imf.varint); break;
+            case 4: img.pixels = imf.bytes.ToString(); break;
+            default: break;
+          }
+        }
+        PCR_RETURN_IF_ERROR(ir.status());
+        const uint64_t want = static_cast<uint64_t>(img.width) * img.height *
+                              img.channels;
+        if (img.pixels.size() != want) {
+          return Status::Corruption("serve batch: image pixel bytes " +
+                                    std::to_string(img.pixels.size()) +
+                                    " != w*h*c " + std::to_string(want));
+        }
+        msg.images.push_back(std::move(img));
+        break;
+      }
+      case 7:
+        msg.jpegs.push_back(f.bytes.ToString());
+        break;
+      case 8:
+        msg.bytes_read = f.varint;
+        break;
+      default:
+        break;
+    }
+  }
+  PCR_RETURN_IF_ERROR(reader.status());
+  return msg;
+}
+
+std::string StatsRequest::Encode() const {
+  wire::WireWriter w;
+  w.PutUint64(1, stream_id);
+  return w.Release();
+}
+
+Result<StatsRequest> StatsRequest::Decode(Slice payload) {
+  StatsRequest msg;
+  PCR_SERVE_DECODE_LOOP(payload, f, case 1 : msg.stream_id = f.varint;
+                        break;);
+  return msg;
+}
+
+namespace {
+
+std::string EncodeStreamStats(const StreamStats& s) {
+  wire::WireWriter w;
+  w.PutUint64(1, s.stream_id);
+  w.PutString(2, s.client_name);
+  w.PutInt64(3, s.served_batches);
+  w.PutInt64(4, s.served_images);
+  w.PutUint64(5, s.served_bytes);
+  w.PutDouble(6, s.queue_wait_p50_sec);
+  w.PutDouble(7, s.queue_wait_p99_sec);
+  w.PutDouble(8, s.batch_p50_sec);
+  w.PutDouble(9, s.batch_p99_sec);
+  w.PutInt64(10, s.cache_hits);
+  w.PutInt64(11, s.cache_misses);
+  return w.Release();
+}
+
+Result<StreamStats> DecodeStreamStats(Slice payload) {
+  StreamStats s;
+  PCR_SERVE_DECODE_LOOP(
+      payload, f,
+      case 1 : s.stream_id = f.varint;
+      break; case 2 : s.client_name = f.bytes.ToString();
+      break; case 3 : s.served_batches = static_cast<int64_t>(f.varint);
+      break; case 4 : s.served_images = static_cast<int64_t>(f.varint);
+      break; case 5 : s.served_bytes = f.varint;
+      break; case 6 : s.queue_wait_p50_sec = f.AsDouble();
+      break; case 7 : s.queue_wait_p99_sec = f.AsDouble();
+      break; case 8 : s.batch_p50_sec = f.AsDouble();
+      break; case 9 : s.batch_p99_sec = f.AsDouble();
+      break; case 10 : s.cache_hits = static_cast<int64_t>(f.varint);
+      break; case 11 : s.cache_misses = static_cast<int64_t>(f.varint);
+      break;);
+  return s;
+}
+
+}  // namespace
+
+std::string StatsReply::Encode() const {
+  wire::WireWriter w;
+  w.PutUint64(1, active_streams);
+  w.PutUint64(2, max_streams);
+  w.PutUint64(3, cache_bytes_in_use);
+  w.PutUint64(4, cache_capacity_bytes);
+  w.PutInt64(5, cache_hits);
+  w.PutInt64(6, cache_misses);
+  for (const StreamStats& s : streams) {
+    w.PutBytes(7, Slice(EncodeStreamStats(s)));
+  }
+  return w.Release();
+}
+
+Result<StatsReply> StatsReply::Decode(Slice payload) {
+  StatsReply msg;
+  wire::WireReader reader(payload);
+  wire::WireField f;
+  while (reader.Next(&f)) {
+    switch (f.field) {
+      case 1: msg.active_streams = static_cast<uint32_t>(f.varint); break;
+      case 2: msg.max_streams = static_cast<uint32_t>(f.varint); break;
+      case 3: msg.cache_bytes_in_use = f.varint; break;
+      case 4: msg.cache_capacity_bytes = f.varint; break;
+      case 5: msg.cache_hits = static_cast<int64_t>(f.varint); break;
+      case 6: msg.cache_misses = static_cast<int64_t>(f.varint); break;
+      case 7: {
+        PCR_ASSIGN_OR_RETURN(StreamStats s, DecodeStreamStats(f.bytes));
+        msg.streams.push_back(std::move(s));
+        break;
+      }
+      default: break;
+    }
+  }
+  PCR_RETURN_IF_ERROR(reader.status());
+  return msg;
+}
+
+std::string CloseStreamRequest::Encode() const {
+  wire::WireWriter w;
+  w.PutUint64(1, stream_id);
+  return w.Release();
+}
+
+Result<CloseStreamRequest> CloseStreamRequest::Decode(Slice payload) {
+  CloseStreamRequest msg;
+  PCR_SERVE_DECODE_LOOP(payload, f, case 1 : msg.stream_id = f.varint;
+                        break;);
+  return msg;
+}
+
+std::string StreamClosedReply::Encode() const {
+  wire::WireWriter w;
+  w.PutUint64(1, stream_id);
+  return w.Release();
+}
+
+Result<StreamClosedReply> StreamClosedReply::Decode(Slice payload) {
+  StreamClosedReply msg;
+  PCR_SERVE_DECODE_LOOP(payload, f, case 1 : msg.stream_id = f.varint;
+                        break;);
+  return msg;
+}
+
+std::string ErrorReply::Encode() const {
+  wire::WireWriter w;
+  w.PutUint64(1, code);
+  w.PutString(2, message);
+  w.PutUint64(3, stream_id);
+  return w.Release();
+}
+
+Result<ErrorReply> ErrorReply::Decode(Slice payload) {
+  ErrorReply msg;
+  PCR_SERVE_DECODE_LOOP(
+      payload, f,
+      case 1 : msg.code = static_cast<uint32_t>(f.varint);
+      break; case 2 : msg.message = f.bytes.ToString();
+      break; case 3 : msg.stream_id = f.varint; break;);
+  return msg;
+}
+
+Status ErrorReply::ToStatus() const {
+  const StatusCode status_code =
+      code <= static_cast<uint32_t>(StatusCode::kUnknown)
+          ? static_cast<StatusCode>(code)
+          : StatusCode::kUnknown;
+  if (status_code == StatusCode::kOk) {
+    return Status::Unknown("daemon error reply with OK code: " + message);
+  }
+  return Status(status_code, message);
+}
+
+ErrorReply ErrorReply::FromStatus(const Status& status, uint64_t stream_id) {
+  ErrorReply reply;
+  reply.code = static_cast<uint32_t>(status.code());
+  reply.message = status.message();
+  reply.stream_id = stream_id;
+  return reply;
+}
+
+#undef PCR_SERVE_DECODE_LOOP
+
+}  // namespace pcr::serve

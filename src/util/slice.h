@@ -65,6 +65,7 @@ class Slice {
   }
 
   bool StartsWith(const Slice& prefix) const {
+    if (prefix.size_ == 0) return true;  // memcmp requires non-null pointers
     return size_ >= prefix.size_ &&
            memcmp(data_, prefix.data_, prefix.size_) == 0;
   }
@@ -80,7 +81,7 @@ class Slice {
   /// Three-way lexicographic comparison: <0, 0, >0.
   int Compare(const Slice& other) const {
     const size_t min_len = size_ < other.size_ ? size_ : other.size_;
-    int r = memcmp(data_, other.data_, min_len);
+    int r = min_len == 0 ? 0 : memcmp(data_, other.data_, min_len);
     if (r == 0) {
       if (size_ < other.size_) r = -1;
       else if (size_ > other.size_) r = 1;

@@ -1,0 +1,597 @@
+// Tests for the serving daemon: wire-protocol robustness (every-byte-cut
+// truncation sweep, oversized length prefixes rejected before allocation,
+// garbage headers), message round-trips, and the daemon's resource model —
+// admission control, mid-stream disconnects releasing slots and cache
+// shares, server-derived cache namespaces shared across clients, bounded
+// Stop() with clients mid-stream, and a multi-client hammer the TSan CI
+// pass leans on.
+//
+// With PCR_SERVE_SOCKET set, the client-facing cases run against that
+// already-running daemon (the CI daemon-integration job launches
+// examples/serve_daemon and points this suite at its socket); cases that
+// need daemon internals (active_streams, the decode cache, custom
+// DaemonOptions) skip themselves in that mode.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pcr_dataset.h"
+#include "data/dataset_spec.h"
+#include "jpeg/codec.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "serve/protocol.h"
+#include "storage/env.h"
+#include "test_util.h"
+
+namespace pcr::serve {
+namespace {
+
+// --- Protocol robustness (no daemon) --------------------------------------
+
+TEST(FrameParserTest, RoundTripsFrames) {
+  const std::string payload = "hello wire";
+  const std::string encoded = EncodeFrame(MessageType::kHello, Slice(payload));
+  FrameParser parser;
+  parser.Feed(Slice(encoded));
+  Frame frame;
+  ASSERT_EQ(parser.Next(&frame), FrameParser::Outcome::kFrame);
+  EXPECT_EQ(frame.type, MessageType::kHello);
+  EXPECT_EQ(frame.payload, payload);
+  EXPECT_EQ(parser.Next(&frame), FrameParser::Outcome::kNeedMore);
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+}
+
+TEST(FrameParserTest, TruncationSweepEveryByteCut) {
+  // Any clean prefix of a valid frame must read as "need more", never as an
+  // error and never as a (partial) frame — a short read is not corruption.
+  OpenStreamRequest request;
+  request.dataset_dir = "/data/set";
+  request.scan_group = 3;
+  request.seed = 99;
+  const std::string encoded =
+      EncodeFrame(MessageType::kOpenStream, Slice(request.Encode()));
+  for (size_t cut = 0; cut < encoded.size(); ++cut) {
+    FrameParser parser;
+    parser.Feed(Slice(encoded.data(), cut));
+    Frame frame;
+    ASSERT_EQ(parser.Next(&frame), FrameParser::Outcome::kNeedMore)
+        << "cut at byte " << cut;
+    // Feeding the remainder completes the frame from where it left off.
+    parser.Feed(Slice(encoded.data() + cut, encoded.size() - cut));
+    ASSERT_EQ(parser.Next(&frame), FrameParser::Outcome::kFrame)
+        << "cut at byte " << cut;
+    auto decoded = OpenStreamRequest::Decode(Slice(frame.payload));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->dataset_dir, request.dataset_dir);
+    EXPECT_EQ(decoded->seed, request.seed);
+  }
+}
+
+TEST(FrameParserTest, OversizedLengthRejectedWithoutAllocation) {
+  for (const uint32_t length : {static_cast<uint32_t>(kMaxFrameBytes + 1),
+                                0x7fffffffu, 0xffffffffu}) {
+    FrameParser parser;
+    char header[4] = {static_cast<char>(length & 0xff),
+                      static_cast<char>((length >> 8) & 0xff),
+                      static_cast<char>((length >> 16) & 0xff),
+                      static_cast<char>((length >> 24) & 0xff)};
+    parser.Feed(Slice(header, 4));
+    Frame frame;
+    EXPECT_EQ(parser.Next(&frame), FrameParser::Outcome::kError);
+    EXPECT_TRUE(parser.status().IsInvalidArgument()) << parser.status();
+    // The rejection came from the 4 header bytes alone — the claimed
+    // payload was never buffered, let alone allocated.
+    EXPECT_EQ(parser.buffered_bytes(), 4u);
+    // The parser stays poisoned; later feeds cannot resurrect the stream.
+    parser.Feed(Slice("more", 4));
+    EXPECT_EQ(parser.Next(&frame), FrameParser::Outcome::kError);
+  }
+}
+
+TEST(FrameParserTest, ZeroLengthAndUnknownTypeAreErrors) {
+  {
+    FrameParser parser;
+    const char zeros[4] = {0, 0, 0, 0};  // Length 0 cannot carry a type.
+    parser.Feed(Slice(zeros, 4));
+    Frame frame;
+    EXPECT_EQ(parser.Next(&frame), FrameParser::Outcome::kError);
+  }
+  {
+    FrameParser parser;
+    std::string frame_bytes = EncodeFrame(MessageType::kHello, Slice(""));
+    frame_bytes[4] = 99;  // No such message type.
+    parser.Feed(Slice(frame_bytes));
+    Frame frame;
+    EXPECT_EQ(parser.Next(&frame), FrameParser::Outcome::kError);
+    EXPECT_TRUE(parser.status().IsCorruption()) << parser.status();
+  }
+}
+
+TEST(FrameParserTest, CoalescedFramesParseIndividually) {
+  std::string bytes = EncodeFrame(MessageType::kNextBatch,
+                                  Slice(NextBatchRequest{7}.Encode()));
+  bytes += EncodeFrame(MessageType::kStats, Slice(StatsRequest{0}.Encode()));
+  FrameParser parser;
+  parser.Feed(Slice(bytes));
+  Frame frame;
+  ASSERT_EQ(parser.Next(&frame), FrameParser::Outcome::kFrame);
+  EXPECT_EQ(frame.type, MessageType::kNextBatch);
+  ASSERT_EQ(parser.Next(&frame), FrameParser::Outcome::kFrame);
+  EXPECT_EQ(frame.type, MessageType::kStats);
+  EXPECT_EQ(parser.Next(&frame), FrameParser::Outcome::kNeedMore);
+}
+
+TEST(ProtocolTest, MessageDecodeSurvivesPayloadTruncation) {
+  // Cutting a wire payload at every byte must yield a Status, never a
+  // crash; cuts inside a varint or length-delimited field must fail.
+  BatchReply reply;
+  reply.stream_id = 12;
+  reply.record_index = 3;
+  reply.labels = {1, 2, 3};
+  WireImage img;
+  img.width = 4;
+  img.height = 2;
+  img.channels = 3;
+  img.pixels.assign(24, '\x7f');
+  reply.images.push_back(img);
+  reply.jpegs.push_back("not-really-jpeg-bytes");
+  const std::string payload = reply.Encode();
+  for (size_t cut = 0; cut + 1 < payload.size(); ++cut) {
+    auto decoded = BatchReply::Decode(Slice(payload.data(), cut));
+    // Some cuts land on field boundaries and decode as a valid shorter
+    // message; the invariant is no crash and no torn field contents.
+    if (decoded.ok() && !decoded->images.empty()) {
+      EXPECT_EQ(decoded->images[0].pixels.size(),
+                decoded->images[0].width * decoded->images[0].height *
+                    decoded->images[0].channels);
+    }
+  }
+  auto full = BatchReply::Decode(Slice(payload));
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->stream_id, 12u);
+  EXPECT_EQ(full->labels, reply.labels);
+  ASSERT_EQ(full->images.size(), 1u);
+  EXPECT_EQ(full->images[0].pixels, img.pixels);
+  ASSERT_EQ(full->jpegs.size(), 1u);
+  EXPECT_EQ(full->jpegs[0], reply.jpegs[0]);
+}
+
+TEST(ProtocolTest, ErrorReplyCarriesStatus) {
+  const Status status = Status::ResourceExhausted("stream table full");
+  const ErrorReply reply = ErrorReply::FromStatus(status, 5);
+  auto decoded = ErrorReply::Decode(Slice(reply.Encode()));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->stream_id, 5u);
+  const Status restored = decoded->ToStatus();
+  EXPECT_TRUE(restored.code() == StatusCode::kResourceExhausted) << restored;
+  EXPECT_NE(restored.ToString().find("stream table full"), std::string::npos);
+}
+
+TEST(ProtocolTest, WireImageGeometryValidatedOnConversion) {
+  WireImage wire;
+  wire.width = 8;
+  wire.height = 8;
+  wire.channels = 3;
+  wire.pixels.assign(8 * 8 * 3, '\x10');
+  ASSERT_TRUE(PcrClient::ToImage(wire).ok());
+  wire.pixels.resize(17);  // Size no longer matches the geometry.
+  EXPECT_FALSE(PcrClient::ToImage(wire).ok());
+  wire.pixels.assign(8 * 8 * 2, '\x10');
+  wire.channels = 2;  // Unsupported channel count.
+  EXPECT_FALSE(PcrClient::ToImage(wire).ok());
+}
+
+// --- Daemon integration ---------------------------------------------------
+
+/// Fixture: a tiny on-disk dataset plus either an in-process daemon or (in
+/// PCR_SERVE_SOCKET mode) a connection to the externally launched one.
+class ServeDaemonTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = Env::Default();
+    root_ = PerProcessTempDir("pcr_serve_test");
+    dataset_dir_ = root_ + "/ds";
+    BuildDataset(dataset_dir_, /*num_images=*/16, /*seed_base=*/0);
+    const char* external = std::getenv("PCR_SERVE_SOCKET");
+    if (external != nullptr && external[0] != '\0') {
+      external_socket_ = external;
+    }
+  }
+
+  void TearDown() override {
+    daemon_.reset();
+    std::error_code ec;
+    std::filesystem::remove_all(root_, ec);
+  }
+
+  /// Builds `num_images` procedural JPEGs (4 per record) into env:dir.
+  void BuildDataset(const std::string& dir, int num_images,
+                    uint64_t seed_base) {
+    DatasetSpec spec = DatasetSpec::TestTiny();
+    spec.base_width = 48;
+    spec.base_height = 32;
+    spec.size_jitter = 0;
+    PcrWriterOptions options;
+    options.images_per_record = 4;
+    auto writer = PcrDatasetWriter::Create(env_, dir, options).MoveValue();
+    for (int i = 0; i < num_images; ++i) {
+      const int label = i % spec.num_classes;
+      const Image img =
+          GenerateImage(spec, label, seed_base + static_cast<uint64_t>(i));
+      jpeg::EncodeOptions encode;
+      encode.quality = 85;
+      const std::string bytes = jpeg::Encode(img, encode).MoveValue();
+      ASSERT_TRUE(writer->AddImage(Slice(bytes), label).ok());
+    }
+    ASSERT_TRUE(writer->Finish().ok());
+  }
+
+  /// The socket to test against: the external daemon's when set, else an
+  /// in-process daemon started with `options` (socket_path filled in).
+  std::string Socket(DaemonOptions options = {}) {
+    if (!external_socket_.empty()) return external_socket_;
+    if (daemon_ == nullptr) {
+      options.socket_path = root_ + "/pcrd.sock";
+      daemon_ = PcrDaemon::Start(env_, options).MoveValue();
+    }
+    return daemon_->socket_path();
+  }
+
+  /// Skips the calling test in external-daemon mode (needs internals).
+  bool RequireInternalDaemon() {
+    if (!external_socket_.empty()) return false;
+    return true;
+  }
+
+  Env* env_ = nullptr;
+  std::string root_;
+  std::string dataset_dir_;
+  std::string external_socket_;
+  std::unique_ptr<PcrDaemon> daemon_;
+};
+
+TEST_F(ServeDaemonTest, StreamsOneEpochDecoded) {
+  auto client = PcrClient::Connect(Socket(), "epoch-test").MoveValue();
+  EXPECT_GT(client->server().max_streams, 0u);
+
+  OpenStreamRequest open;
+  open.dataset_dir = dataset_dir_;
+  open.max_epochs = 1;
+  open.shuffle = false;
+  auto stream = client->OpenStream(open).MoveValue();
+  EXPECT_EQ(stream.num_images, 16u);
+  EXPECT_EQ(stream.num_records, 4u);
+  EXPECT_EQ(stream.scan_group, stream.num_scan_groups);  // 0 = full quality.
+  EXPECT_NE(stream.cache_dataset_id, 0u);
+
+  int images = 0;
+  for (uint32_t k = 0; k < stream.num_records; ++k) {
+    auto batch = client->NextBatch(stream.stream_id).MoveValue();
+    ASSERT_FALSE(batch.end_of_stream);
+    ASSERT_EQ(batch.images.size(), batch.labels.size());
+    for (const WireImage& wire : batch.images) {
+      const Image img = PcrClient::ToImage(wire).MoveValue();
+      EXPECT_EQ(img.width(), 48);
+      EXPECT_EQ(img.height(), 32);
+      ++images;
+    }
+  }
+  EXPECT_EQ(images, 16);
+  auto last = client->NextBatch(stream.stream_id).MoveValue();
+  EXPECT_TRUE(last.end_of_stream);
+
+  auto stats = client->GetStats(stream.stream_id).MoveValue();
+  ASSERT_EQ(stats.streams.size(), 1u);
+  EXPECT_EQ(stats.streams[0].served_images, 16);
+  EXPECT_GE(stats.streams[0].batch_p99_sec, 0.0);
+  auto closed = client->CloseStream(stream.stream_id).MoveValue();
+  EXPECT_EQ(closed.stream_id, stream.stream_id);
+}
+
+TEST_F(ServeDaemonTest, CompressedModeShipsDecodableJpegs) {
+  auto client = PcrClient::Connect(Socket(), "jpeg-test").MoveValue();
+  OpenStreamRequest open;
+  open.dataset_dir = dataset_dir_;
+  open.max_epochs = 1;
+  open.shuffle = false;
+  open.decode = false;
+  auto stream = client->OpenStream(open).MoveValue();
+  int jpegs = 0;
+  for (uint32_t k = 0; k < stream.num_records; ++k) {
+    auto batch = client->NextBatch(stream.stream_id).MoveValue();
+    ASSERT_FALSE(batch.end_of_stream);
+    EXPECT_TRUE(batch.images.empty());
+    ASSERT_EQ(batch.jpegs.size(), batch.labels.size());
+    for (const std::string& bytes : batch.jpegs) {
+      // The daemon assembled a standalone progressive stream per image.
+      auto img = jpeg::Decode(Slice(bytes));
+      ASSERT_TRUE(img.ok()) << img.status();
+      EXPECT_EQ(img->width(), 48);
+      ++jpegs;
+    }
+  }
+  EXPECT_EQ(jpegs, 16);
+  client->CloseStream(stream.stream_id).MoveValue();
+}
+
+TEST_F(ServeDaemonTest, RejectsBadOpenRequests) {
+  auto client = PcrClient::Connect(Socket(), "reject-test").MoveValue();
+  {
+    OpenStreamRequest open;  // Unbounded streams pin admission slots.
+    open.dataset_dir = dataset_dir_;
+    open.max_epochs = 0;
+    auto result = client->OpenStream(open);
+    ASSERT_FALSE(result.ok());
+    EXPECT_TRUE(result.status().IsInvalidArgument()) << result.status();
+  }
+  {
+    OpenStreamRequest open;
+    open.dataset_dir = root_ + "/definitely-not-a-dataset";
+    auto result = client->OpenStream(open);
+    ASSERT_FALSE(result.ok());
+  }
+  // The connection survived both rejections.
+  OpenStreamRequest open;
+  open.dataset_dir = dataset_dir_;
+  open.max_epochs = 1;
+  auto stream = client->OpenStream(open).MoveValue();
+  client->CloseStream(stream.stream_id).MoveValue();
+}
+
+TEST_F(ServeDaemonTest, AdmissionCapRejectsAndRecovers) {
+  if (!RequireInternalDaemon()) {
+    GTEST_SKIP() << "needs custom DaemonOptions (max_streams)";
+  }
+  DaemonOptions options;
+  options.max_streams = 2;
+  const std::string socket = Socket(options);
+
+  auto client = PcrClient::Connect(socket, "admission-test").MoveValue();
+  OpenStreamRequest open;
+  open.dataset_dir = dataset_dir_;
+  open.max_epochs = 4;
+  auto first = client->OpenStream(open).MoveValue();
+  auto second = client->OpenStream(open).MoveValue();
+  auto third = client->OpenStream(open);
+  ASSERT_FALSE(third.ok());
+  EXPECT_TRUE(third.status().code() == StatusCode::kResourceExhausted) << third.status();
+  EXPECT_EQ(daemon_->active_streams(), 2);
+
+  // Closing a stream frees its slot for the next admission.
+  client->CloseStream(first.stream_id).MoveValue();
+  auto fourth = client->OpenStream(open).MoveValue();
+  EXPECT_NE(fourth.stream_id, second.stream_id);
+  EXPECT_EQ(daemon_->active_streams(), 2);
+}
+
+TEST_F(ServeDaemonTest, DisconnectReleasesSlotsAndCacheShare) {
+  if (!RequireInternalDaemon()) {
+    GTEST_SKIP() << "needs daemon internals (active_streams, decode cache)";
+  }
+  const std::string socket = Socket();
+  uint64_t cache_id = 0;
+  {
+    auto client = PcrClient::Connect(socket, "vanishing").MoveValue();
+    OpenStreamRequest open;
+    open.dataset_dir = dataset_dir_;
+    open.max_epochs = 8;
+    auto stream = client->OpenStream(open).MoveValue();
+    cache_id = stream.cache_dataset_id;
+    // Pull a couple of batches so the stream owns cache residency, then
+    // hang up without CloseStream — a crashed trainer.
+    client->NextBatch(stream.stream_id).MoveValue();
+    client->NextBatch(stream.stream_id).MoveValue();
+    // The decode workers insert into the cache asynchronously relative to
+    // batch delivery, so poll for residency instead of asserting it.
+    const auto warm_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (std::chrono::steady_clock::now() < warm_deadline &&
+           daemon_->decode_cache()->DatasetShareBytes(cache_id) == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_GT(daemon_->decode_cache()->DatasetShareBytes(cache_id), 0u);
+    client->Close();
+  }
+  // The daemon notices the hangup and releases the admission slot, the
+  // dataset registration, and the dataset's decode-cache byte share.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline &&
+         (daemon_->active_streams() != 0 ||
+          daemon_->decode_cache()->DatasetShareBytes(cache_id) != 0)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(daemon_->active_streams(), 0);
+  EXPECT_EQ(daemon_->decode_cache()->DatasetShareBytes(cache_id), 0u);
+}
+
+TEST_F(ServeDaemonTest, ClientsShareServerDerivedCacheNamespace) {
+  if (!RequireInternalDaemon()) {
+    GTEST_SKIP() << "asserts against the in-process decode cache";
+  }
+  const std::string socket = Socket();
+  uint64_t first_id = 0;
+  {
+    auto warm = PcrClient::Connect(socket, "warm").MoveValue();
+    OpenStreamRequest open;
+    open.dataset_dir = dataset_dir_;
+    open.max_epochs = 1;
+    open.shuffle = false;
+    auto stream = warm->OpenStream(open).MoveValue();
+    first_id = stream.cache_dataset_id;
+    for (uint32_t k = 0; k < stream.num_records; ++k) {
+      warm->NextBatch(stream.stream_id).MoveValue();
+    }
+    warm->CloseStream(stream.stream_id).MoveValue();
+  }
+  // A different client opening the same dataset lands in the same
+  // namespace and is served from the first client's decoded entries.
+  auto reuse = PcrClient::Connect(socket, "reuse").MoveValue();
+  OpenStreamRequest open;
+  open.dataset_dir = dataset_dir_;
+  open.max_epochs = 1;
+  open.shuffle = false;
+  auto stream = reuse->OpenStream(open).MoveValue();
+  EXPECT_EQ(stream.cache_dataset_id, first_id);
+  for (uint32_t k = 0; k < stream.num_records; ++k) {
+    reuse->NextBatch(stream.stream_id).MoveValue();
+  }
+  auto stats = reuse->GetStats(stream.stream_id).MoveValue();
+  ASSERT_EQ(stats.streams.size(), 1u);
+  EXPECT_GT(stats.streams[0].cache_hits, 0);
+  EXPECT_EQ(stats.streams[0].cache_misses, 0);
+  reuse->CloseStream(stream.stream_id).MoveValue();
+}
+
+TEST_F(ServeDaemonTest, DerivedIdStableAcrossCallsAndGenerations) {
+  const auto first = PcrDaemon::DeriveCacheDatasetId(env_, dataset_dir_);
+  const auto again = PcrDaemon::DeriveCacheDatasetId(env_, dataset_dir_);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(*first, *again);
+
+  // A rewritten dataset at the SAME path is a new writer generation: its
+  // id must change so stale decoded entries cannot serve the new bytes.
+  const std::string dir = root_ + "/regen";
+  BuildDataset(dir, 16, /*seed_base=*/0);
+  const uint64_t gen1 = PcrDaemon::DeriveCacheDatasetId(env_, dir).MoveValue();
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  BuildDataset(dir, 16, /*seed_base=*/1000);  // Different content.
+  const uint64_t gen2 = PcrDaemon::DeriveCacheDatasetId(env_, dir).MoveValue();
+  EXPECT_NE(gen1, gen2);
+
+  // Missing dataset: an error, not a synthetic id.
+  EXPECT_FALSE(
+      PcrDaemon::DeriveCacheDatasetId(env_, root_ + "/nope").ok());
+}
+
+TEST_F(ServeDaemonTest, GarbageFramesGetErrorThenDisconnect) {
+  const std::string socket = Socket();
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket.c_str(), sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  // A hostile 4 GiB length prefix: the daemon must answer with an error
+  // frame and hang up without ever allocating the claimed payload.
+  const char hostile[8] = {'\xff', '\xff', '\xff', '\xff', 1, 2, 3, 4};
+  ASSERT_EQ(::send(fd, hostile, sizeof(hostile), MSG_NOSIGNAL), 8);
+  FrameParser parser;
+  char buf[4096];
+  bool saw_eof = false;
+  bool saw_error_frame = false;
+  for (int i = 0; i < 100 && !saw_eof; ++i) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      saw_eof = true;
+      break;
+    }
+    parser.Feed(Slice(buf, static_cast<size_t>(n)));
+    Frame frame;
+    while (parser.Next(&frame) == FrameParser::Outcome::kFrame) {
+      if (frame.type == MessageType::kError) saw_error_frame = true;
+    }
+  }
+  ::close(fd);
+  EXPECT_TRUE(saw_eof);
+  EXPECT_TRUE(saw_error_frame);
+  // The daemon is still healthy: a well-behaved client connects and works.
+  auto client = PcrClient::Connect(socket, "after-garbage").MoveValue();
+  OpenStreamRequest open;
+  open.dataset_dir = dataset_dir_;
+  open.max_epochs = 1;
+  auto stream = client->OpenStream(open).MoveValue();
+  client->CloseStream(stream.stream_id).MoveValue();
+}
+
+TEST_F(ServeDaemonTest, StopIsBoundedWithClientsMidStream) {
+  if (!RequireInternalDaemon()) {
+    GTEST_SKIP() << "stops the in-process daemon";
+  }
+  const std::string socket = Socket();
+  auto client = PcrClient::Connect(socket, "stop-test").MoveValue();
+  OpenStreamRequest open;
+  open.dataset_dir = dataset_dir_;
+  open.max_epochs = 1000;  // Far more than the test will consume.
+  auto stream = client->OpenStream(open).MoveValue();
+
+  std::atomic<bool> got_error{false};
+  std::thread consumer([&] {
+    for (int k = 0; k < 1000000; ++k) {
+      auto batch = client->NextBatch(stream.stream_id);
+      if (!batch.ok()) {
+        got_error.store(true);
+        return;
+      }
+    }
+  });
+  // Let the consumer get properly mid-stream, then pull the plug.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const auto t0 = std::chrono::steady_clock::now();
+  daemon_->Stop();
+  const double stop_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  consumer.join();
+  EXPECT_TRUE(got_error.load());
+  EXPECT_LT(stop_seconds, 10.0);
+  daemon_->Stop();  // Idempotent.
+}
+
+TEST_F(ServeDaemonTest, MultiClientHammer) {
+  // Concurrent clients on one daemon — the shape the TSan CI pass runs to
+  // shake out races between reader threads, serve loops, and the caches.
+  const std::string socket = Socket();
+  constexpr int kHammerClients = 4;
+  constexpr int kEpochs = 2;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int i = 0; i < kHammerClients; ++i) {
+    threads.emplace_back([&, i] {
+      auto client =
+          PcrClient::Connect(socket, "hammer-" + std::to_string(i))
+              .MoveValue();
+      OpenStreamRequest open;
+      open.dataset_dir = dataset_dir_;
+      open.max_epochs = kEpochs;
+      open.shuffle = true;
+      open.seed = 100 + static_cast<uint64_t>(i);
+      open.decode = (i % 2 == 0);  // Mix both data planes.
+      auto stream = client->OpenStream(open).MoveValue();
+      int images = 0;
+      for (;;) {
+        auto batch = client->NextBatch(stream.stream_id);
+        if (!batch.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        if (batch->end_of_stream) break;
+        images += static_cast<int>(batch->images.size() +
+                                   batch->jpegs.size());
+      }
+      if (images != 16 * kEpochs) failures.fetch_add(1);
+      client->GetStats(stream.stream_id).MoveValue();
+      client->CloseStream(stream.stream_id).MoveValue();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace pcr::serve

@@ -57,7 +57,9 @@ bounds. "max_value" is the lower-is-better mode — the metric slot carries
 a latency in seconds (e.g. a p99) and the check is a ceiling; "min_value"
 floors quantities like a fairness ratio or a machine-independent rate. An
 entry carries "min_value", "max_value", or both; a metric absent from the
-current run is skipped with a note, like ratio checks:
+current run is skipped with a note, like ratio checks, but a present value
+gates — including 0 (a starved client's fairness ratio must FAIL its
+floor, not skip):
 
   "value_checks": [
     {"name": "serve-batch-p99-ceiling",
@@ -84,8 +86,15 @@ import statistics
 import sys
 
 
-def extract_items_per_sec(data, baseline_key=None):
-    """Returns {benchmark name: items per second} from any supported shape."""
+def extract_items_per_sec(data, baseline_key=None, keep_nonpositive=False):
+    """Returns {benchmark name: items per second} from any supported shape.
+
+    Zero/negative rates are dropped by default — they mean "benchmark
+    skipped on this runner" to the ratio checks and would divide-by-zero
+    the gates. Pass keep_nonpositive=True when presence must be
+    distinguishable from absence (value checks: a reported 0 is a real,
+    gateable measurement — e.g. a fully starved client's fairness ratio).
+    """
     if "benchmarks" in data:  # google-benchmark --benchmark_out format.
         # With --benchmark_repetitions=N the file has N iteration rows per
         # name (plus aggregate rows, skipped here); the per-name median
@@ -103,7 +112,7 @@ def extract_items_per_sec(data, baseline_key=None):
         return {
             m["name"]: float(m["items_per_sec"])
             for m in data["metrics"]
-            if float(m.get("items_per_sec", 0)) > 0
+            if keep_nonpositive or float(m.get("items_per_sec", 0)) > 0
         }
     if "items_per_second" in data:  # Committed BENCH_*.json baseline.
         table = data["items_per_second"]
@@ -224,6 +233,10 @@ def run_value_checks(suite, bench_dir):
     seconds); "min_value" floors fairness ratios and machine-independent
     rates. Returns 0 (all bounds hold or were skipped for missing
     metrics), 1, or 2.
+
+    Only a metric *absent* from the current run skips its check; a
+    present value gates, including 0 — a fairness ratio of 0 is one
+    client fully starved, the exact condition its floor exists for.
     """
     worst = 0
     for entry in suite.get("value_checks", []):
@@ -231,7 +244,8 @@ def run_value_checks(suite, bench_dir):
         try:
             current_path = os.path.join(bench_dir, entry["current"])
             with open(current_path) as f:
-                current = extract_items_per_sec(json.load(f))
+                current = extract_items_per_sec(json.load(f),
+                                                keep_nonpositive=True)
             metric = entry["metric"]
             min_value = (float(entry["min_value"])
                          if "min_value" in entry else None)
@@ -244,7 +258,7 @@ def run_value_checks(suite, bench_dir):
             print(f"error[{label}]: {e}", file=sys.stderr)
             worst = max(worst, 2)
             continue
-        if current.get(metric, 0.0) <= 0:
+        if metric not in current:
             print(f"value check [{label}]: SKIPPED — no value for {metric} "
                   f"(bench skipped on this runner?)")
             continue

@@ -141,6 +141,7 @@ Result<Image> PcrClient::ToImage(const WireImage& wire) {
 
 Status PcrClient::SendFrame(MessageType type, Slice payload) {
   if (fd_ < 0) return Status::FailedPrecondition("serve: client closed");
+  PCR_RETURN_IF_ERROR(CheckFramePayloadSize(payload.size()));
   const std::string frame = EncodeFrame(type, payload);
   std::lock_guard<std::mutex> lock(write_mu_);
   size_t sent = 0;

@@ -247,6 +247,7 @@ void PcrDaemon::Stop() {
   for (uint64_t id : ids) TeardownStream(id);
   for (const auto& conn : conns) {
     if (conn->reader.joinable()) conn->reader.join();
+    ::close(conn->fd);  // Readers leave the fd open; the remover closes it.
   }
   ::unlink(options_.socket_path.c_str());
 }
@@ -274,6 +275,7 @@ void PcrDaemon::AcceptLoop() {
       for (auto it = conns_.begin(); it != conns_.end();) {
         if ((*it)->done.load(std::memory_order_acquire)) {
           if ((*it)->reader.joinable()) (*it)->reader.join();
+          ::close((*it)->fd);
           it = conns_.erase(it);
         } else {
           ++it;
@@ -308,7 +310,14 @@ void PcrDaemon::ReaderLoop(std::shared_ptr<Connection> conn) {
     }
   }
   TeardownConnection(conn);
-  ::close(conn->fd);
+  // Sever the peer — when the reader hangs up first (garbage frames), the
+  // client must still see EOF promptly — but do NOT close: closing would
+  // free the descriptor number for reuse while this entry lingers in
+  // conns_ (done connections are only reaped on the next accept), and
+  // Stop()'s shutdown() could then hit an unrelated fd. Whoever removes
+  // the connection from conns_ — the accept loop's reap or Stop() —
+  // closes it after joining this thread.
+  ::shutdown(conn->fd, SHUT_RDWR);
   conn->done.store(true, std::memory_order_release);
 }
 
@@ -428,10 +437,16 @@ void PcrDaemon::HandleOpenStream(const std::shared_ptr<Connection>& conn,
   stream->max_inflight = max_inflight;
   bool admitted = false;
   {
+    // Reserve the admission slot and id, but do NOT publish the stream yet:
+    // once it is visible in streams_, Stop()/CloseStream may tear it down
+    // concurrently, so the pipeline, scheduler entry, and serving thread
+    // must all exist first. admitted_streams_ counts reserved slots
+    // (including streams still being initialized) so concurrent opens
+    // cannot over-admit in the window before publication.
     std::lock_guard<std::mutex> lock(streams_mu_);
-    if (static_cast<int>(streams_.size()) < options_.max_streams) {
+    if (admitted_streams_ < options_.max_streams) {
       stream->id = next_stream_id_++;
-      streams_[stream->id] = stream;
+      ++admitted_streams_;
       admitted = true;
     }
   }
@@ -454,6 +469,35 @@ void PcrDaemon::HandleOpenStream(const std::shared_ptr<Connection>& conn,
     conn->stream_ids.push_back(stream->id);
   }
   stream->server = std::thread([this, stream] { ServeLoop(stream); });
+
+  bool published = false;
+  {
+    std::lock_guard<std::mutex> lock(streams_mu_);
+    if (!stopping_.load(std::memory_order_acquire)) {
+      streams_[stream->id] = stream;
+      published = true;
+    }
+  }
+  if (!published) {
+    // Stop() set stopping_ before snapshotting streams_, so it will never
+    // see this stream — unwind it inline instead of leaking a joinable
+    // serving thread and a live pipeline.
+    {
+      std::lock_guard<std::mutex> lock(stream->mu);
+      stream->closing = true;
+    }
+    stream->cv.notify_all();
+    scheduler_.Unregister(stream->id);
+    stream->pipeline->Stop();
+    stream->server.join();
+    {
+      std::lock_guard<std::mutex> lock(streams_mu_);
+      --admitted_streams_;
+    }
+    ReleaseDataset(*dataset);
+    SendError(conn, Status::Aborted("serve: daemon stopping"), 0);
+    return;
+  }
 
   StreamOpenedReply reply;
   reply.stream_id = stream->id;
@@ -607,14 +651,29 @@ void PcrDaemon::ServeLoop(const std::shared_ptr<Stream>& stream) {
     if (!fatal) {
       const std::string payload = reply.Encode();
       reply_bytes = payload.size();
-      const Status write =
-          WriteFrame(*stream->conn, MessageType::kBatchReply, Slice(payload));
-      if (!write.ok()) fatal = true;  // Peer gone; reader tears us down.
-      stream->stats.AddItem(reply_bytes);
-      stream->stats.AddBatchLatency(NowSec() - receipt);
-      {
-        std::lock_guard<std::mutex> lock(stream->mu);
-        stream->stats.SampleQueueDepth(stream->pending.size());
+      const Status framable = CheckFramePayloadSize(payload.size());
+      if (!framable.ok()) {
+        // The batch cannot be framed. Tell the client cleanly (the error
+        // reply is tiny) instead of letting an oversized length prefix
+        // corrupt the stream; the stream cannot make progress past this
+        // batch, so it ends here. Nothing was delivered, so no stats.
+        SendError(stream->conn,
+                  Status::ResourceExhausted(
+                      "serve: stream " + std::to_string(stream->id) +
+                      ": batch too large to frame: " + framable.message()),
+                  stream->id);
+        fatal = true;
+      } else {
+        const Status write = WriteFrame(*stream->conn,
+                                        MessageType::kBatchReply,
+                                        Slice(payload));
+        if (!write.ok()) fatal = true;  // Peer gone; reader tears us down.
+        stream->stats.AddItem(reply_bytes);
+        stream->stats.AddBatchLatency(NowSec() - receipt);
+        {
+          std::lock_guard<std::mutex> lock(stream->mu);
+          stream->stats.SampleQueueDepth(stream->pending.size());
+        }
       }
     }
     scheduler_.Release(stream->id, reply_bytes);
@@ -626,6 +685,10 @@ void PcrDaemon::ServeLoop(const std::shared_ptr<Stream>& stream) {
 
 Status PcrDaemon::WriteFrame(Connection& conn, MessageType type,
                              Slice payload) {
+  // An oversized payload would wrap EncodeFrame's 32-bit length prefix and
+  // the peer would kill the connection on Corruption with no hint who
+  // produced it — fail here instead, before encoding.
+  PCR_RETURN_IF_ERROR(CheckFramePayloadSize(payload.size()));
   const std::string frame = EncodeFrame(type, payload);
   std::lock_guard<std::mutex> lock(conn.write_mu);
   size_t sent = 0;
@@ -729,6 +792,7 @@ void PcrDaemon::TeardownStream(uint64_t stream_id) {
     if (it == streams_.end()) return;  // Already torn down (idempotent).
     stream = it->second;
     streams_.erase(it);
+    --admitted_streams_;
   }
   {
     std::lock_guard<std::mutex> lock(stream->mu);
@@ -736,9 +800,14 @@ void PcrDaemon::TeardownStream(uint64_t stream_id) {
   }
   stream->cv.notify_all();
   scheduler_.Unregister(stream_id);  // Unblocks a parked Acquire.
-  if (stream->pipeline) stream->pipeline->Stop();  // Unblocks Next().
+  stream->pipeline->Stop();          // Unblocks Next().
   if (stream->server.joinable()) stream->server.join();
-  stream->pipeline.reset();
+  // The pipeline is deliberately NOT reset here: a BuildStats that copied
+  // this stream's shared_ptr before the erase above may still be reading
+  // io_stats() off the (stopped) pipeline. The Stream destructor frees it
+  // when the last reference drops. The dataset stays open with it — the
+  // stream's DatasetEntry ref keeps the PcrDataset the pipeline points at
+  // alive; ReleaseDataset only drops the registry entry and cache share.
   if (stream->dataset) ReleaseDataset(stream->dataset);
 }
 
@@ -772,9 +841,11 @@ StatsReply PcrDaemon::BuildStats(uint64_t stream_id) {
   for (const auto& stream : streams) {
     const StageStatsSnapshot serve =
         stream->stats.Snapshot("serve", 1, stream->max_inflight);
-    const StageStatsSnapshot io = stream->pipeline
-                                      ? stream->pipeline->io_stats()
-                                      : StageStatsSnapshot{};
+    // Safe without stream->mu even against a concurrent TeardownStream:
+    // the pipeline is assigned before the stream is published in streams_
+    // and never reset afterwards (teardown only Stop()s it; the Stream
+    // destructor frees it), so this shared_ptr copy pins a live pipeline.
+    const StageStatsSnapshot io = stream->pipeline->io_stats();
     StreamStats out;
     out.stream_id = stream->id;
     out.client_name = stream->client_name;

@@ -207,6 +207,11 @@ class PcrDaemon {
 
   mutable std::mutex streams_mu_;
   std::unordered_map<uint64_t, std::shared_ptr<Stream>> streams_;
+  /// Reserved admission slots, guarded by streams_mu_. Streams count from
+  /// the moment HandleOpenStream reserves an id (before the fully built
+  /// stream is published in streams_) until TeardownStream erases it, so
+  /// concurrent opens cannot over-admit during initialization.
+  int admitted_streams_ = 0;
   uint64_t next_stream_id_ = 1;
 
   std::mutex datasets_mu_;

@@ -64,6 +64,17 @@ std::string EncodeFrame(MessageType type, Slice payload) {
   return out;
 }
 
+Status CheckFramePayloadSize(uint64_t payload_bytes,
+                             uint64_t max_frame_bytes) {
+  if (payload_bytes + 1 > max_frame_bytes) {
+    return Status::InvalidArgument(
+        "serve frame: payload of " + std::to_string(payload_bytes) +
+        " bytes exceeds the " + std::to_string(max_frame_bytes) +
+        "-byte frame ceiling");
+  }
+  return Status::OK();
+}
+
 // --- Message encode/decode ------------------------------------------------
 // Decoders tolerate unknown fields (skip) for forward compatibility, fail
 // on malformed wire data, and leave absent fields at their defaults.

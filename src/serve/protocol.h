@@ -101,8 +101,18 @@ class FrameParser {
   Status status_;
 };
 
-/// Serializes one frame (header + type + payload) ready for write().
+/// Serializes one frame (header + type + payload) ready for write(). The
+/// caller must have validated the payload against CheckFramePayloadSize:
+/// the length prefix is 32-bit, so an unchecked oversized payload would
+/// encode a truncated/wrapped length and the peer would see Corruption.
 std::string EncodeFrame(MessageType type, Slice payload);
+
+/// Guards EncodeFrame's length prefix: rejects any payload whose framed
+/// size (payload + 1 type byte) exceeds `max_frame_bytes` — the same
+/// ceiling FrameParser enforces on the receive side, so a frame that
+/// passes here is guaranteed parseable by the peer.
+Status CheckFramePayloadSize(uint64_t payload_bytes,
+                             uint64_t max_frame_bytes = kMaxFrameBytes);
 
 // --- Messages -------------------------------------------------------------
 // Each message is a plain struct with Encode() -> wire bytes and a static

@@ -101,6 +101,31 @@ TEST(FrameParserTest, OversizedLengthRejectedWithoutAllocation) {
   }
 }
 
+TEST(FrameParserTest, OversizedPayloadRejectedBeforeEncoding) {
+  // Send-side mirror of the parser's ceiling: EncodeFrame's length prefix
+  // is 32-bit, so a payload that fails CheckFramePayloadSize would encode
+  // a truncated/wrapped length and the peer would see Corruption with no
+  // hint the sender produced it. The guard must reject it first.
+  EXPECT_TRUE(CheckFramePayloadSize(0).ok());
+  EXPECT_TRUE(CheckFramePayloadSize(kMaxFrameBytes - 1).ok());
+  EXPECT_FALSE(CheckFramePayloadSize(kMaxFrameBytes).ok());
+  EXPECT_FALSE(CheckFramePayloadSize(1ull << 32).ok());
+  const Status oversized = CheckFramePayloadSize(kMaxFrameBytes);
+  EXPECT_TRUE(oversized.IsInvalidArgument()) << oversized;
+
+  // Boundary parity with a small ceiling (no 256 MiB allocations): the
+  // largest payload the check passes is exactly the largest frame a
+  // parser with the same ceiling accepts.
+  EXPECT_TRUE(CheckFramePayloadSize(15, 16).ok());
+  EXPECT_FALSE(CheckFramePayloadSize(16, 16).ok());
+  const std::string payload(15, 'x');
+  FrameParser parser(/*max_frame_bytes=*/16);
+  parser.Feed(Slice(EncodeFrame(MessageType::kHello, Slice(payload))));
+  Frame frame;
+  ASSERT_EQ(parser.Next(&frame), FrameParser::Outcome::kFrame);
+  EXPECT_EQ(frame.payload, payload);
+}
+
 TEST(FrameParserTest, ZeroLengthAndUnknownTypeAreErrors) {
   {
     FrameParser parser;
@@ -551,6 +576,46 @@ TEST_F(ServeDaemonTest, StopIsBoundedWithClientsMidStream) {
   EXPECT_TRUE(got_error.load());
   EXPECT_LT(stop_seconds, 10.0);
   daemon_->Stop();  // Idempotent.
+}
+
+TEST_F(ServeDaemonTest, StatsSurviveStreamChurn) {
+  // Regression shape for a use-after-free: BuildStats snapshots stream
+  // shared_ptrs under streams_mu_, then reads pipeline->io_stats() after
+  // dropping the lock — racing another connection's teardown. The fix
+  // keeps the pipeline alive until the last Stream reference drops;
+  // daemon-wide Stats hammered against open/close/disconnect churn lets
+  // the ASan and TSan CI passes prove it.
+  const std::string socket = Socket();
+  std::atomic<bool> done{false};
+  std::atomic<int> stats_failures{0};
+  std::thread stats_thread([&] {
+    auto client = PcrClient::Connect(socket, "stats-hammer").MoveValue();
+    while (!done.load(std::memory_order_acquire)) {
+      if (!client->GetStats(0).ok()) {
+        stats_failures.fetch_add(1);
+        return;
+      }
+    }
+  });
+  for (int round = 0; round < 30; ++round) {
+    auto client =
+        PcrClient::Connect(socket, "churn-" + std::to_string(round))
+            .MoveValue();
+    OpenStreamRequest open;
+    open.dataset_dir = dataset_dir_;
+    open.max_epochs = 1;
+    open.shuffle = false;
+    auto stream = client->OpenStream(open).MoveValue();
+    client->NextBatch(stream.stream_id).MoveValue();
+    if (round % 2 == 0) {
+      client->CloseStream(stream.stream_id).MoveValue();
+    }
+    // Odd rounds hang up without CloseStream — the disconnect teardown
+    // path, which used to reset the pipeline out from under Stats.
+  }
+  done.store(true, std::memory_order_release);
+  stats_thread.join();
+  EXPECT_EQ(stats_failures.load(), 0);
 }
 
 TEST_F(ServeDaemonTest, MultiClientHammer) {

@@ -1,0 +1,56 @@
+#!/usr/bin/env sh
+# Usage: check_shm_supported.sh
+#
+# Exit 0 when this machine can run the serving daemon's shared-memory data
+# plane, 1 when it cannot, 2 on usage error. CI's daemon-integration job
+# calls this as a cheap pre-flight so a runner without anonymous shared
+# memory skips the shm-plane coverage (with a note) instead of failing on
+# the runtime fallback path — which the socket-plane tests cover anyway.
+# Mirrors scripts/check_uring_supported.sh for kernel tiers.
+set -eu
+
+if [ "$#" -ne 0 ]; then
+  echo "usage: $0" >&2
+  exit 2
+fi
+
+# The segment allocator prefers memfd_create (Linux 3.17) and falls back to
+# shm_open, which needs a writable /dev/shm. Either path suffices.
+memfd_ok=1
+kernel="$(uname -r)"
+major="${kernel%%.*}"
+rest="${kernel#*.}"
+minor="${rest%%[!0-9]*}"
+case "$major" in
+  ''|*[!0-9]*) major=0 ;;
+esac
+case "$minor" in
+  ''|*[!0-9]*) minor=0 ;;
+esac
+if [ "$major" -lt 3 ] || { [ "$major" -eq 3 ] && [ "$minor" -lt 17 ]; }; then
+  memfd_ok=0
+fi
+
+shm_open_ok=0
+if [ -d /dev/shm ] && [ -w /dev/shm ]; then
+  shm_open_ok=1
+fi
+
+if [ "$memfd_ok" -eq 0 ] && [ "$shm_open_ok" -eq 0 ]; then
+  exit 1
+fi
+
+# Headroom: the serve suite maps tens of MB of slot rings per stream. An
+# exhausted tmpfs would fail ftruncate at runtime; catch it here. df -P is
+# POSIX and prints 1024-byte blocks in column 4.
+if [ -d /dev/shm ]; then
+  avail_kb="$(df -P /dev/shm 2>/dev/null | awk 'NR==2 {print $4}')"
+  case "$avail_kb" in
+    ''|*[!0-9]*) avail_kb=0 ;;
+  esac
+  if [ "$avail_kb" -ne 0 ] && [ "$avail_kb" -lt 65536 ]; then
+    exit 1
+  fi
+fi
+
+exit 0

@@ -332,14 +332,17 @@ void LoaderPipeline::IoWorkerLoop(uint64_t seed) {
         const DecodeCacheKey key{options_.cache_dataset_id, record, group};
         if (auto cached = cache->Lookup(key)) {
           io_stats_.AddCacheHit();
-          const int64_t copy_start = NowNanos();
-          LoadedBatch batch(*cached);
-          // The delivered copy read nothing from storage this epoch (the
-          // cached entry keeps the original fetch size for its own books).
-          batch.bytes_read = 0;
-          io_stats_.AddBusyNanos(NowNanos() - copy_start);
+          // Zero-copy delivery: alias the cache's entry instead of deep-
+          // copying it. The wrapper's bytes_read = 0 records that this
+          // delivery read nothing from storage (the shared entry keeps the
+          // original fetch size for its own books).
+          io_stats_.AddZeroCopyHit(DecodeCache::BatchBytes(*cached));
+          SharedLoadedBatch item;
+          item.batch = std::move(cached);
+          item.bytes_read = 0;
+          item.zero_copy = true;
           const int64_t push_start = NowNanos();
-          const bool pushed = output_queue_.Push(std::move(batch));
+          const bool pushed = output_queue_.Push(std::move(item));
           io_stats_.AddIdleNanos(NowNanos() - push_start);
           if (!pushed) running = false;  // Queue closed: Stop()/failure.
           continue;
@@ -583,9 +586,10 @@ void LoaderPipeline::DecodeWorkerLoop() {
       decode_stats_.AddItem(bytes);
 
       // Cache population: the copy happens here, off the consumer path and
-      // before the push (so the original still moves into the queue); the
-      // insert itself — a single move — waits until after the push so the
-      // consumer is unblocked first.
+      // before the push (so the consumer's batch stays uniquely owned and
+      // Next() can steal it without copying); the insert itself — a single
+      // move — waits until after the push so the consumer is unblocked
+      // first.
       DecodeCache* const cache = options_.decode_cache.get();
       std::optional<LoadedBatch> to_cache;
       DecodeCacheKey cache_key;
@@ -595,9 +599,17 @@ void LoaderPipeline::DecodeWorkerLoop() {
         if (cache->Admits(cache_key, DecodeCache::BatchBytes(*batch))) {
           const int64_t copy_start = NowNanos();
           to_cache.emplace(*batch);
+          decode_stats_.AddBytesCopied(DecodeCache::BatchBytes(*batch));
           decode_stats_.AddBusyNanos(NowNanos() - copy_start);
         }
       }
+
+      SharedLoadedBatch item;
+      // Deliberately a non-const object under a pointer-to-const: Next() may
+      // legally const_cast and steal it when the consumer is the sole owner.
+      item.batch = std::make_shared<LoadedBatch>(std::move(batch).MoveValue());
+      item.bytes_read = item.batch->bytes_read;
+      item.zero_copy = false;
 
       // Drop the in-flight mark before the push: a consumer woken by this
       // batch then sees a consistent picture (work either in flight or in
@@ -605,7 +617,7 @@ void LoaderPipeline::DecodeWorkerLoop() {
       ++done;
       decode_in_flight_.fetch_sub(1, std::memory_order_relaxed);
       const int64_t push_start = NowNanos();
-      const bool pushed = output_queue_.Push(std::move(batch).MoveValue());
+      const bool pushed = output_queue_.Push(std::move(item));
       decode_stats_.AddIdleNanos(NowNanos() - push_start);
       if (!pushed) {  // Queue closed: Stop() or a stage failure.
         running = false;
@@ -627,12 +639,30 @@ void LoaderPipeline::DecodeWorkerLoop() {
 }
 
 Result<LoadedBatch> LoaderPipeline::Next() {
+  Result<SharedLoadedBatch> shared = NextShared();
+  if (!shared.ok()) return shared.status();
+  SharedLoadedBatch item = std::move(shared).MoveValue();
+  LoadedBatch out;
+  if (!item.zero_copy && item.batch.use_count() == 1) {
+    // Sole owner of a decode-stage batch (stored non-const; see
+    // DecodeWorkerLoop): steal it instead of copying.
+    out = std::move(const_cast<LoadedBatch&>(*item.batch));
+  } else {
+    // Aliases the decode cache's (genuinely const) entry — value semantics
+    // require the deep copy here. Reference consumers use NextShared().
+    out = *item.batch;
+  }
+  out.bytes_read = item.bytes_read;
+  return out;
+}
+
+Result<SharedLoadedBatch> LoaderPipeline::NextShared() {
   {
     // Fail fast: a recorded stage failure outranks queued batches.
     Status failed = status();
     if (!failed.ok()) return failed;
   }
-  std::optional<LoadedBatch> batch = output_queue_.TryPop();
+  std::optional<SharedLoadedBatch> batch = output_queue_.TryPop();
   if (!batch.has_value()) {
     // Raw bytes sitting in (or moving through) the decode stage mean
     // storage has delivered and CPU is the laggard.

@@ -140,6 +140,18 @@ struct LoaderPipelineOptions {
   uint64_t prefix_dataset_id = 0;
 };
 
+/// A delivered batch under shared ownership. Cache hits alias the cache's
+/// own entry (zero_copy == true) instead of deep-copying it; cache misses
+/// carry a batch the consumer is the sole owner of. `bytes_read` is the
+/// storage traffic attributable to THIS delivery — zero for a hit, whatever
+/// the fetch cost for a miss — and is authoritative over the batch's own
+/// field, which a shared cache entry keeps from its original fetch.
+struct SharedLoadedBatch {
+  std::shared_ptr<const LoadedBatch> batch;
+  uint64_t bytes_read = 0;
+  bool zero_copy = false;
+};
+
 /// Two-stage threaded loader. Thread-safe for a single consumer of Next();
 /// construction starts the stages, destruction (or Stop()) shuts them down.
 class LoaderPipeline {
@@ -154,8 +166,16 @@ class LoaderPipeline {
   /// data stall). Returns the first stage failure if one occurred (failing
   /// fast past queued batches), OutOfRange at end-of-stream (max_epochs
   /// reached), or — once already-decoded batches have drained — Aborted
-  /// after Stop().
+  /// after Stop(). Value semantics: a cache-hit delivery deep-copies the
+  /// shared entry here; consumers that can hold a reference should prefer
+  /// NextShared(), which never copies pixels.
   Result<LoadedBatch> Next();
+
+  /// Like Next() but hands out the batch under shared ownership: cache hits
+  /// are delivered by reference to the cache's entry (no copy — counted in
+  /// io_stats().zero_copy_hits), misses as the sole reference to the decoded
+  /// batch. The serving daemon's data plane consumes this form.
+  Result<SharedLoadedBatch> NextShared();
 
   /// Stops both stages; undecoded queued work is dropped, while batches the
   /// decode stage already delivered remain poppable via Next(). Idempotent.
@@ -213,7 +233,7 @@ class LoaderPipeline {
   LoaderPipelineOptions options_;
 
   BoundedQueue<RawRecord> fetch_queue_;
-  BoundedQueue<LoadedBatch> output_queue_;
+  BoundedQueue<SharedLoadedBatch> output_queue_;
 
   std::vector<std::thread> io_workers_;
   std::unique_ptr<ThreadPool> decode_pool_;

@@ -141,6 +141,22 @@ struct StageStatsSnapshot {
   double batch_p99_sec = 0;
   int64_t batch_latency_samples = 0;
 
+  /// Data-plane copy accounting. `bytes_copied` counts payload bytes the
+  /// stage memcpy'd (socket-plane serialization copies pixels twice — into
+  /// the wire struct and again into the frame; the shm plane copies them
+  /// once, into the registered slot). `zero_copy_hits` counts cache hits
+  /// delivered by reference (shared-ownership LoadedBatch) instead of a deep
+  /// copy, and `zero_copy_bytes` the bytes that copy would have moved.
+  /// `shm_slot_waits` counts serve-stage blocks waiting for the client to
+  /// return a slot — the shm plane's backpressure signal. `shm_batches` is
+  /// how many of the stage's batches went out as descriptors; items minus
+  /// shm_batches went over the socket plane.
+  uint64_t bytes_copied = 0;
+  int64_t zero_copy_hits = 0;
+  uint64_t zero_copy_bytes = 0;
+  int64_t shm_slot_waits = 0;
+  int64_t shm_batches = 0;
+
   /// Mean kernel-visible ops per submission boundary — the submitted-batch
   /// gauge. ~1.0 means no batching (pread per op); >1 means the backend
   /// coalesced ops per syscall.
@@ -229,6 +245,19 @@ class StageStats {
   void AddQueueWait(double seconds) { queue_waits_.Add(seconds); }
   void AddBatchLatency(double seconds) { batch_latencies_.Add(seconds); }
 
+  /// Data-plane copy accounting (see StageStatsSnapshot field docs).
+  void AddBytesCopied(uint64_t bytes) {
+    bytes_copied_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void AddZeroCopyHit(uint64_t bytes_saved) {
+    zero_copy_hits_.fetch_add(1, std::memory_order_relaxed);
+    zero_copy_bytes_.fetch_add(bytes_saved, std::memory_order_relaxed);
+  }
+  void AddShmSlotWait() {
+    shm_slot_waits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddShmBatch() { shm_batches_.fetch_add(1, std::memory_order_relaxed); }
+
   StageStatsSnapshot Snapshot(std::string name, int threads,
                               size_t queue_capacity) const {
     StageStatsSnapshot snap;
@@ -279,6 +308,11 @@ class StageStats {
     snap.batch_p50_sec = batches.p50;
     snap.batch_p99_sec = batches.p99;
     snap.batch_latency_samples = batches.samples;
+    snap.bytes_copied = bytes_copied_.load(std::memory_order_relaxed);
+    snap.zero_copy_hits = zero_copy_hits_.load(std::memory_order_relaxed);
+    snap.zero_copy_bytes = zero_copy_bytes_.load(std::memory_order_relaxed);
+    snap.shm_slot_waits = shm_slot_waits_.load(std::memory_order_relaxed);
+    snap.shm_batches = shm_batches_.load(std::memory_order_relaxed);
     return snap;
   }
 
@@ -304,6 +338,11 @@ class StageStats {
   std::atomic<int64_t> failovers_{0};
   std::atomic<int64_t> hedges_{0};
   std::atomic<int64_t> hedge_wins_{0};
+  std::atomic<uint64_t> bytes_copied_{0};
+  std::atomic<int64_t> zero_copy_hits_{0};
+  std::atomic<uint64_t> zero_copy_bytes_{0};
+  std::atomic<int64_t> shm_slot_waits_{0};
+  std::atomic<int64_t> shm_batches_{0};
 
   LatencyRing fetch_latencies_;
   LatencyRing queue_waits_;

@@ -1,6 +1,7 @@
 #include "serve/client.h"
 
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -10,6 +11,63 @@
 #include <vector>
 
 namespace pcr::serve {
+
+// --- ServedBatch ------------------------------------------------------------
+
+ServedBatch::~ServedBatch() { Release(); }
+
+ServedBatch::ServedBatch(ServedBatch&& other) noexcept {
+  *this = std::move(other);
+}
+
+ServedBatch& ServedBatch::operator=(ServedBatch&& other) noexcept {
+  if (this != &other) {
+    Release();
+    stream_id = other.stream_id;
+    record_index = other.record_index;
+    scan_group = other.scan_group;
+    labels = std::move(other.labels);
+    bytes_read = other.bytes_read;
+    end_of_stream = other.end_of_stream;
+    client_ = other.client_;
+    slot_ = other.slot_;
+    generation_ = other.generation_;
+    slot_base_ = other.slot_base_;
+    desc_ = std::move(other.desc_);
+    reply_ = std::move(other.reply_);
+    other.client_ = nullptr;
+    other.slot_base_ = nullptr;
+  }
+  return *this;
+}
+
+void ServedBatch::Release() {
+  if (client_ != nullptr) {
+    client_->ReleaseServedSlot(stream_id, slot_, generation_);
+    client_ = nullptr;
+  }
+}
+
+std::vector<ServedImageView> ServedBatch::images() const {
+  std::vector<ServedImageView> views;
+  if (slot_base_ != nullptr) {
+    views.reserve(desc_.images.size());
+    for (const WireImageDesc& d : desc_.images) {
+      views.push_back({d.width, d.height, d.channels, slot_base_ + d.offset,
+                       d.length});
+    }
+  } else {
+    views.reserve(reply_.images.size());
+    for (const WireImage& w : reply_.images) {
+      views.push_back({w.width, w.height, w.channels,
+                       reinterpret_cast<const uint8_t*>(w.pixels.data()),
+                       w.pixels.size()});
+    }
+  }
+  return views;
+}
+
+// --- PcrClient --------------------------------------------------------------
 
 Result<std::unique_ptr<PcrClient>> PcrClient::Connect(
     const std::string& socket_path, const std::string& client_name) {
@@ -34,6 +92,7 @@ Result<std::unique_ptr<PcrClient>> PcrClient::Connect(
   std::unique_ptr<PcrClient> client(new PcrClient(fd));
   HelloRequest hello;
   hello.client_name = client_name;
+  hello.shm_capable = true;
   PCR_RETURN_IF_ERROR(
       client->SendFrame(MessageType::kHello, Slice(hello.Encode())));
   PCR_ASSIGN_OR_RETURN(Frame frame,
@@ -46,11 +105,17 @@ Result<std::unique_ptr<PcrClient>> PcrClient::Connect(
 PcrClient::~PcrClient() { Close(); }
 
 void PcrClient::Close() {
-  if (fd_ >= 0) {
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
+  if (fd_ < 0) return;
+  // Shut the socket down first: a receiver blocked in recvmsg unblocks and
+  // drops read_mu_, after which the stray-fd drain below is race-free.
+  ::shutdown(fd_, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lock(read_mu_);
+    for (int fd : received_fds_) ::close(fd);
+    received_fds_.clear();
   }
+  ::close(fd_);
+  fd_ = -1;
 }
 
 Result<StreamOpenedReply> PcrClient::OpenStream(
@@ -59,7 +124,58 @@ Result<StreamOpenedReply> PcrClient::OpenStream(
       SendFrame(MessageType::kOpenStream, Slice(request.Encode())));
   PCR_ASSIGN_OR_RETURN(Frame frame,
                        ReadFrameOfType(MessageType::kStreamOpened));
-  return StreamOpenedReply::Decode(Slice(frame.payload));
+  PCR_ASSIGN_OR_RETURN(StreamOpenedReply reply,
+                       StreamOpenedReply::Decode(Slice(frame.payload)));
+  if (reply.shm_slots > 0) {
+    // The daemon follows a slot-granting StreamOpened with the segment
+    // frame (or a withdrawal); either way it must be consumed here.
+    PCR_RETURN_IF_ERROR(SetupShmPlane(reply.stream_id));
+  }
+  return reply;
+}
+
+Status PcrClient::SetupShmPlane(uint64_t stream_id) {
+  std::lock_guard<std::mutex> lock(read_mu_);
+  PCR_ASSIGN_OR_RETURN(Frame frame,
+                       ReadFrameOfTypeLocked(MessageType::kShmSegment));
+  PCR_ASSIGN_OR_RETURN(ShmSegmentMsg msg,
+                       ShmSegmentMsg::Decode(Slice(frame.payload)));
+  if (msg.stream_id != stream_id) {
+    return Status::FailedPrecondition(
+        "serve: shm segment frame for unexpected stream " +
+        std::to_string(msg.stream_id));
+  }
+  if (msg.slots == 0) return Status::OK();  // Withdrawal: socket plane.
+
+  int fd = -1;
+  if (!received_fds_.empty()) {
+    fd = received_fds_.front();
+    received_fds_.pop_front();
+  }
+  bool accepted = false;
+  if (fd >= 0 && !reject_shm_for_test_ && msg.slot_bytes > 0 &&
+      msg.segment_bytes >=
+          static_cast<uint64_t>(msg.slots) * msg.slot_bytes) {
+    // Adopt validates the segment is at least as large as advertised (and
+    // closes the fd on both outcomes).
+    Result<ShmSegment> segment =
+        ShmSegment::Adopt(fd, static_cast<size_t>(msg.segment_bytes));
+    if (segment.ok()) {
+      StreamPlane plane;
+      plane.segment = std::move(segment).MoveValue();
+      plane.slots = msg.slots;
+      plane.slot_bytes = msg.slot_bytes;
+      std::lock_guard<std::mutex> plane_lock(shm_mu_);
+      shm_streams_[stream_id] = std::move(plane);
+      accepted = true;
+    }
+  } else if (fd >= 0) {
+    ::close(fd);
+  }
+  ShmAckRequest ack;
+  ack.stream_id = stream_id;
+  ack.accepted = accepted;
+  return SendFrame(MessageType::kShmAck, Slice(ack.Encode()));
 }
 
 Result<BatchReply> PcrClient::NextBatch(uint64_t stream_id) {
@@ -74,12 +190,35 @@ Status PcrClient::SendNextBatchRequest(uint64_t stream_id) {
 }
 
 Result<BatchReply> PcrClient::ReceiveBatch(uint64_t stream_id) {
+  PCR_ASSIGN_OR_RETURN(ServedBatch batch, ReceiveServedBatch(stream_id));
+  if (!batch.via_shm()) return std::move(batch.reply_);
+  // Compat path: deep-copy the slot contents into a self-contained reply,
+  // then let the batch's destructor return the slot.
+  BatchReply reply;
+  reply.stream_id = batch.stream_id;
+  reply.record_index = batch.record_index;
+  reply.scan_group = batch.scan_group;
+  reply.labels = std::move(batch.labels);
+  reply.bytes_read = batch.bytes_read;
+  reply.end_of_stream = batch.end_of_stream;
+  for (const ServedImageView& view : batch.images()) {
+    WireImage wire;
+    wire.width = view.width;
+    wire.height = view.height;
+    wire.channels = view.channels;
+    wire.pixels.assign(reinterpret_cast<const char*>(view.data), view.length);
+    reply.images.push_back(std::move(wire));
+  }
+  return reply;
+}
+
+Result<ServedBatch> PcrClient::ReceiveServedBatch(uint64_t stream_id) {
   std::lock_guard<std::mutex> lock(read_mu_);
   for (auto it = queued_batches_.begin(); it != queued_batches_.end(); ++it) {
     if (stream_id == 0 || it->stream_id == stream_id) {
-      BatchReply reply = std::move(*it);
+      ServedBatch batch = std::move(*it);
       queued_batches_.erase(it);
-      return reply;
+      return batch;
     }
   }
   while (true) {
@@ -94,17 +233,80 @@ Result<BatchReply> PcrClient::ReceiveBatch(uint64_t stream_id) {
                            ErrorReply::Decode(Slice(frame.payload)));
       return error.ToStatus();
     }
-    if (frame.type != MessageType::kBatchReply) {
+    ServedBatch batch;
+    if (frame.type == MessageType::kBatchReply) {
+      PCR_ASSIGN_OR_RETURN(BatchReply reply,
+                           BatchReply::Decode(Slice(frame.payload)));
+      batch = FromReply(std::move(reply));
+    } else if (frame.type == MessageType::kBatchDescriptor) {
+      PCR_ASSIGN_OR_RETURN(BatchDescriptorReply desc,
+                           BatchDescriptorReply::Decode(Slice(frame.payload)));
+      PCR_ASSIGN_OR_RETURN(batch, ResolveDescriptor(std::move(desc)));
+    } else {
       return Status::FailedPrecondition(
           "serve: unexpected message type " +
           std::to_string(static_cast<int>(frame.type)) +
           " while waiting for a batch");
     }
-    PCR_ASSIGN_OR_RETURN(BatchReply reply,
-                         BatchReply::Decode(Slice(frame.payload)));
-    if (stream_id == 0 || reply.stream_id == stream_id) return reply;
-    queued_batches_.push_back(std::move(reply));  // Another stream's batch.
+    if (stream_id == 0 || batch.stream_id == stream_id) return batch;
+    queued_batches_.push_back(std::move(batch));  // Another stream's batch.
   }
+}
+
+ServedBatch PcrClient::FromReply(BatchReply&& reply) const {
+  ServedBatch batch;
+  batch.stream_id = reply.stream_id;
+  batch.record_index = reply.record_index;
+  batch.scan_group = reply.scan_group;
+  batch.labels = reply.labels;
+  batch.bytes_read = reply.bytes_read;
+  batch.end_of_stream = reply.end_of_stream;
+  batch.reply_ = std::move(reply);
+  return batch;
+}
+
+Result<ServedBatch> PcrClient::ResolveDescriptor(BatchDescriptorReply&& desc) {
+  const uint8_t* base = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(shm_mu_);
+    auto it = shm_streams_.find(desc.stream_id);
+    if (it == shm_streams_.end()) {
+      return Status::FailedPrecondition(
+          "serve: batch descriptor for stream " +
+          std::to_string(desc.stream_id) + " without a mapped segment");
+    }
+    // Every offset/length is checked against the negotiated slot geometry
+    // before the first dereference — a corrupt or hostile descriptor cannot
+    // walk the client outside its mapping.
+    PCR_RETURN_IF_ERROR(
+        ValidateBatchDescriptor(desc, it->second.slots,
+                                it->second.slot_bytes));
+    base = it->second.segment.data() +
+           static_cast<uint64_t>(desc.slot) * it->second.slot_bytes;
+  }
+  ServedBatch batch;
+  batch.stream_id = desc.stream_id;
+  batch.record_index = desc.record_index;
+  batch.scan_group = desc.scan_group;
+  batch.labels = desc.labels;
+  batch.bytes_read = desc.bytes_read;
+  batch.client_ = this;
+  batch.slot_ = desc.slot;
+  batch.generation_ = desc.generation;
+  batch.slot_base_ = base;
+  batch.desc_ = std::move(desc);
+  return batch;
+}
+
+void PcrClient::ReleaseServedSlot(uint64_t stream_id, uint32_t slot,
+                                  uint64_t generation) {
+  if (fd_ < 0) return;  // Hung up; the daemon reclaims on disconnect.
+  ReleaseSlotRequest request;
+  request.stream_id = stream_id;
+  request.slot = slot;
+  request.generation = generation;
+  // Best-effort: a failed credit only costs one slot until teardown.
+  (void)SendFrame(MessageType::kReleaseSlot, Slice(request.Encode()));
 }
 
 Result<StatsReply> PcrClient::GetStats(uint64_t stream_id) {
@@ -139,6 +341,20 @@ Result<Image> PcrClient::ToImage(const WireImage& wire) {
   return image;
 }
 
+Result<Image> PcrClient::ToImage(const ServedImageView& view) {
+  if (view.width == 0 || view.height == 0 ||
+      (view.channels != 1 && view.channels != 3) || view.data == nullptr) {
+    return Status::InvalidArgument("serve: malformed served image view");
+  }
+  Image image(static_cast<int>(view.width), static_cast<int>(view.height),
+              static_cast<int>(view.channels));
+  if (view.length != image.size_bytes()) {
+    return Status::InvalidArgument("serve: served pixel payload size");
+  }
+  std::memcpy(image.data(), view.data, view.length);
+  return image;
+}
+
 Status PcrClient::SendFrame(MessageType type, Slice payload) {
   if (fd_ < 0) return Status::FailedPrecondition("serve: client closed");
   PCR_RETURN_IF_ERROR(CheckFramePayloadSize(payload.size()));
@@ -170,14 +386,40 @@ Result<Frame> PcrClient::ReadFrame() {
       case FrameParser::Outcome::kNeedMore:
         break;
     }
-    const ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
+    // recvmsg instead of recv: the daemon attaches shm segment fds as
+    // SCM_RIGHTS ancillary data, which a plain recv would leak (the kernel
+    // would close-on-skip them only at hangup). Harvest every fd delivered
+    // alongside stream bytes; SetupShmPlane claims them in arrival order.
+    struct iovec iov;
+    iov.iov_base = buf.data();
+    iov.iov_len = buf.size();
+    alignas(struct cmsghdr) char cbuf[CMSG_SPACE(8 * sizeof(int))];
+    struct msghdr msg {};
+    msg.msg_iov = &iov;
+    msg.msg_iovlen = 1;
+    msg.msg_control = cbuf;
+    msg.msg_controllen = sizeof(cbuf);
+    const ssize_t n = ::recvmsg(fd_, &msg, MSG_CMSG_CLOEXEC);
     if (n == 0) {
       return Status::Aborted("serve: daemon closed the connection");
     }
     if (n < 0) {
       if (errno == EINTR) continue;
-      return Status::IOError("serve: recv(): " +
+      return Status::IOError("serve: recvmsg(): " +
                              std::string(std::strerror(errno)));
+    }
+    for (struct cmsghdr* cmsg = CMSG_FIRSTHDR(&msg); cmsg != nullptr;
+         cmsg = CMSG_NXTHDR(&msg, cmsg)) {
+      if (cmsg->cmsg_level != SOL_SOCKET || cmsg->cmsg_type != SCM_RIGHTS) {
+        continue;
+      }
+      const size_t bytes = cmsg->cmsg_len - CMSG_LEN(0);
+      const size_t count = bytes / sizeof(int);
+      for (size_t i = 0; i < count; ++i) {
+        int fd = -1;
+        std::memcpy(&fd, CMSG_DATA(cmsg) + i * sizeof(int), sizeof(int));
+        if (fd >= 0) received_fds_.push_back(fd);
+      }
     }
     parser_.Feed(Slice(buf.data(), static_cast<size_t>(n)));
   }
@@ -185,6 +427,10 @@ Result<Frame> PcrClient::ReadFrame() {
 
 Result<Frame> PcrClient::ReadFrameOfType(MessageType want) {
   std::lock_guard<std::mutex> lock(read_mu_);
+  return ReadFrameOfTypeLocked(want);
+}
+
+Result<Frame> PcrClient::ReadFrameOfTypeLocked(MessageType want) {
   while (true) {
     PCR_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
     if (frame.type == want) return frame;
@@ -196,7 +442,15 @@ Result<Frame> PcrClient::ReadFrameOfType(MessageType want) {
     if (frame.type == MessageType::kBatchReply) {
       PCR_ASSIGN_OR_RETURN(BatchReply reply,
                            BatchReply::Decode(Slice(frame.payload)));
-      queued_batches_.push_back(std::move(reply));
+      queued_batches_.push_back(FromReply(std::move(reply)));
+      continue;
+    }
+    if (frame.type == MessageType::kBatchDescriptor) {
+      PCR_ASSIGN_OR_RETURN(BatchDescriptorReply desc,
+                           BatchDescriptorReply::Decode(Slice(frame.payload)));
+      PCR_ASSIGN_OR_RETURN(ServedBatch batch,
+                           ResolveDescriptor(std::move(desc)));
+      queued_batches_.push_back(std::move(batch));
       continue;
     }
     return Status::FailedPrecondition(

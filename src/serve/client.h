@@ -3,14 +3,26 @@
 // serve/protocol.h frame protocol.
 //
 // Thread model: the send path (SendNextBatchRequest) and the receive path
-// (ReceiveBatch) take independent locks, so an open-loop client may run one
-// sender thread and one receiver thread concurrently — that is exactly how
-// bench_serve_loadgen pipelines requests. The combined RPC helpers
-// (OpenStream / NextBatch / GetStats / CloseStream) send and then receive,
-// so they must not run concurrently with a dedicated receiver thread.
+// (ReceiveBatch / ReceiveServedBatch) take independent locks, so an
+// open-loop client may run one sender thread and one receiver thread
+// concurrently — that is exactly how bench_serve_loadgen pipelines
+// requests. The combined RPC helpers (OpenStream / NextBatch / GetStats /
+// CloseStream) send and then receive, so they must not run concurrently
+// with a dedicated receiver thread.
 //
-// Multiple streams can share one client; BatchReply frames for other
-// streams encountered while waiting are queued, not dropped.
+// Shared-memory data plane: the client always announces shm capability in
+// Hello; a stream actually negotiates the plane only when its
+// OpenStreamRequest sets `shm_plane` and the daemon grants slots. OpenStream
+// then consumes the daemon's ShmSegment frame (whose SCM_RIGHTS fd the
+// receive path harvested), maps and validates the segment, and answers
+// ShmAck. On that plane batches arrive as descriptors; ReceiveServedBatch
+// resolves them into ServedBatch views over the mapped segment, and the view
+// returns its slot to the daemon on destruction. Every failure along the way
+// (no fd delivered, undersized segment, mmap error) degrades the stream to
+// the socket plane — never to a stream error.
+//
+// Multiple streams can share one client; batch frames for other streams
+// encountered while waiting are queued, not dropped.
 #pragma once
 
 #include <cstdint>
@@ -18,16 +30,77 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "image/image.h"
 #include "serve/protocol.h"
 #include "util/result.h"
+#include "util/shm_ring.h"
 
 namespace pcr::serve {
 
+class PcrClient;
+
+/// A zero-copy view of one served image. `data` points into the shared
+/// segment (shm plane) or the reply's own buffers (socket plane) and is
+/// valid for the lifetime of the ServedBatch that produced it.
+struct ServedImageView {
+  uint32_t width = 0;
+  uint32_t height = 0;
+  uint32_t channels = 0;
+  const uint8_t* data = nullptr;
+  uint64_t length = 0;
+};
+
+/// One delivered batch, viewed in place. On the shm plane the pixels live in
+/// the daemon's segment and the slot stays lent to this object — the
+/// destructor (or Release()) returns it, which also invalidates the views.
+/// Move-only; must not outlive the PcrClient that produced it.
+class ServedBatch {
+ public:
+  ServedBatch() = default;
+  ~ServedBatch();
+  ServedBatch(ServedBatch&& other) noexcept;
+  ServedBatch& operator=(ServedBatch&& other) noexcept;
+  ServedBatch(const ServedBatch&) = delete;
+  ServedBatch& operator=(const ServedBatch&) = delete;
+
+  uint64_t stream_id = 0;
+  int64_t record_index = -1;
+  uint32_t scan_group = 0;
+  std::vector<int64_t> labels;
+  uint64_t bytes_read = 0;
+  bool end_of_stream = false;
+
+  /// True when the pixels view the shared segment (a slot is or was held).
+  bool via_shm() const { return slot_base_ != nullptr; }
+
+  /// Zero-copy views of the decoded images, either plane.
+  std::vector<ServedImageView> images() const;
+
+  /// Compressed payloads (socket plane only — the shm plane carries decoded
+  /// pixels exclusively).
+  const std::vector<std::string>& jpegs() const { return reply_.jpegs; }
+
+  /// Returns the shm slot to the daemon now instead of at destruction.
+  /// After this the daemon may reuse the slot, so shm views are invalid.
+  void Release();
+
+ private:
+  friend class PcrClient;
+
+  PcrClient* client_ = nullptr;  // Non-null while a shm slot is held.
+  uint32_t slot_ = 0;
+  uint64_t generation_ = 0;
+  const uint8_t* slot_base_ = nullptr;  // Segment base + slot offset.
+  BatchDescriptorReply desc_;           // Shm plane geometry.
+  BatchReply reply_;                    // Socket plane payload.
+};
+
 class PcrClient {
  public:
-  /// Connects and completes the Hello handshake.
+  /// Connects and completes the Hello handshake (announcing shm capability).
   static Result<std::unique_ptr<PcrClient>> Connect(
       const std::string& socket_path,
       const std::string& client_name = "pcr-client");
@@ -39,45 +112,91 @@ class PcrClient {
   /// The daemon's Hello response (limits and identity).
   const HelloReply& server() const { return server_; }
 
+  /// Opens a stream. When `request.shm_plane` is set and the daemon grants
+  /// slots, this also maps the passed segment and acknowledges the plane;
+  /// any setup failure falls back to the socket plane silently.
   Result<StreamOpenedReply> OpenStream(const OpenStreamRequest& request);
 
-  /// One blocking request/response round trip.
+  /// One blocking request/response round trip (always a deep copy).
   Result<BatchReply> NextBatch(uint64_t stream_id);
 
   /// Split halves of NextBatch for pipelined use: issue up to the stream's
-  /// granted in-flight cap, then drain replies.
+  /// granted in-flight cap, then drain replies. ReceiveBatch deep-copies
+  /// shm deliveries into a BatchReply and releases the slot immediately;
+  /// ReceiveServedBatch hands out the zero-copy view.
   Status SendNextBatchRequest(uint64_t stream_id);
   Result<BatchReply> ReceiveBatch(uint64_t stream_id);
+  Result<ServedBatch> ReceiveServedBatch(uint64_t stream_id);
 
   Result<StatsReply> GetStats(uint64_t stream_id = 0);
   Result<StreamClosedReply> CloseStream(uint64_t stream_id);
 
   /// Hangs up (in-flight requests on the daemon are abandoned; the daemon
-  /// releases the connection's streams). Idempotent; the destructor calls
-  /// it.
+  /// releases the connection's streams and reclaims lent shm slots).
+  /// Idempotent; the destructor calls it. Outstanding ServedBatch views
+  /// into shm segments stay mapped until the client is destroyed.
   void Close();
 
-  /// Converts a served image to the library's Image type (validated).
+  /// Test hook: answer the next segment passes with a rejecting ShmAck, as
+  /// a client that failed to map would. Set before OpenStream.
+  void set_reject_shm_for_test(bool reject) { reject_shm_for_test_ = reject; }
+
+  /// Converts a served image to the library's Image type (validated copy).
   static Result<Image> ToImage(const WireImage& wire);
+  static Result<Image> ToImage(const ServedImageView& view);
 
  private:
+  friend class ServedBatch;
+
+  /// A stream's mapped shm plane.
+  struct StreamPlane {
+    ShmSegment segment;
+    uint32_t slots = 0;
+    uint64_t slot_bytes = 0;
+  };
+
   explicit PcrClient(int fd) : fd_(fd) {}
 
   Status SendFrame(MessageType type, Slice payload);
-  /// Reads whole frames off the socket until the parser yields one.
+  /// Reads whole frames off the socket until the parser yields one,
+  /// harvesting any SCM_RIGHTS fds into received_fds_.
   Result<Frame> ReadFrame();
   /// Reads until a frame of `want` arrives; ErrorReply frames become their
-  /// carried Status, BatchReply frames are queued for ReceiveBatch.
+  /// carried Status, batch frames (either plane) are queued for the receive
+  /// calls. Locked wrapper / lock-held core.
   Result<Frame> ReadFrameOfType(MessageType want);
+  Result<Frame> ReadFrameOfTypeLocked(MessageType want);
+
+  /// Consumes the ShmSegment frame that follows a slot-granting
+  /// StreamOpened, maps the fd, installs the plane, and sends ShmAck.
+  /// Failure to map degrades to the socket plane and is not an error; only
+  /// a dead socket propagates.
+  Status SetupShmPlane(uint64_t stream_id);
+
+  /// Turns a descriptor frame into a ServedBatch view (bounds-checked
+  /// against the mapped plane before any dereference).
+  Result<ServedBatch> ResolveDescriptor(BatchDescriptorReply&& desc);
+  ServedBatch FromReply(BatchReply&& reply) const;
+
+  /// Returns a slot to the daemon (best-effort ReleaseSlot frame).
+  void ReleaseServedSlot(uint64_t stream_id, uint32_t slot,
+                         uint64_t generation);
 
   int fd_;
   HelloReply server_;
+  bool reject_shm_for_test_ = false;
 
   std::mutex write_mu_;
 
   std::mutex read_mu_;
   FrameParser parser_;
-  std::deque<BatchReply> queued_batches_;
+  std::deque<ServedBatch> queued_batches_;
+  /// SCM_RIGHTS fds harvested by ReadFrame, in arrival order; OpenStream
+  /// claims them for segment mapping, Close() disposes of strays.
+  std::deque<int> received_fds_;
+
+  std::mutex shm_mu_;
+  std::unordered_map<uint64_t, StreamPlane> shm_streams_;
 };
 
 }  // namespace pcr::serve

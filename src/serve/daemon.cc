@@ -1,6 +1,8 @@
 #include "serve/daemon.h"
 
 #include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/uio.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -16,6 +18,7 @@
 #include "loader/scan_policy.h"
 #include "util/crc32c.h"
 #include "util/logging.h"
+#include "util/shm_ring.h"
 
 namespace pcr::serve {
 namespace {
@@ -49,6 +52,7 @@ struct PcrDaemon::Connection {
   int fd = -1;
   std::string peer_name;  // From Hello.
   bool said_hello = false;
+  bool shm_capable = false;  // Hello capability bit.
 
   std::mutex write_mu;
   std::thread reader;
@@ -81,6 +85,15 @@ struct PcrDaemon::Stream {
 
   StageStats stats;  // Serve stage: items = served batches.
   std::atomic<int64_t> served_images{0};
+
+  // Shm data plane. Like the pipeline, segment and ring are assigned before
+  // the stream is published and never reset afterwards, so the serving
+  // thread and stats readers touch them without stream->mu. Descriptors
+  // flow only once shm_active is set (by the client's accepted ShmAck);
+  // until then — and forever on the socket plane — both stay unused.
+  std::unique_ptr<ShmSegment> shm;
+  std::unique_ptr<SlotRing> ring;
+  std::atomic<bool> shm_active{false};
 
   std::thread server;
 };
@@ -185,12 +198,38 @@ Status PcrDaemon::Listen() {
   }
   std::memcpy(addr.sun_path, options_.socket_path.c_str(),
               options_.socket_path.size() + 1);
+  // A file at the socket path may be a LIVE daemon's socket or a stale
+  // leftover from a crash. Probe-connect before unlinking: blindly clearing
+  // the path would silently steal a running daemon's clients (its listener
+  // keeps serving existing connections, but every new connect lands here).
+  struct stat st{};
+  if (::lstat(options_.socket_path.c_str(), &st) == 0) {
+    if (!S_ISSOCK(st.st_mode)) {
+      return Status::AlreadyExists("serve: " + options_.socket_path +
+                                   " exists and is not a socket");
+    }
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (probe < 0) {
+      return Status::IOError("serve: socket(): " +
+                             std::string(std::strerror(errno)));
+    }
+    const int connected =
+        ::connect(probe, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    ::close(probe);
+    if (connected == 0) {
+      return Status::AlreadyExists("serve: a live daemon is already "
+                                   "listening on " +
+                                   options_.socket_path);
+    }
+    // ECONNREFUSED (or any connect failure on an existing socket file):
+    // nobody is accepting — a stale socket from a crash. Safe to replace.
+  }
   listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
     return Status::IOError("serve: socket(): " +
                            std::string(std::strerror(errno)));
   }
-  ::unlink(options_.socket_path.c_str());  // Stale socket from a crash.
+  ::unlink(options_.socket_path.c_str());
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
       0) {
     const int err = errno;
@@ -199,6 +238,7 @@ Status PcrDaemon::Listen() {
     return Status::IOError("serve: bind(" + options_.socket_path +
                            "): " + std::strerror(err));
   }
+  bound_ = true;  // From here on the socket file is ours to unlink.
   if (::listen(listen_fd_, 64) < 0) {
     const int err = errno;
     ::close(listen_fd_);
@@ -249,7 +289,10 @@ void PcrDaemon::Stop() {
     if (conn->reader.joinable()) conn->reader.join();
     ::close(conn->fd);  // Readers leave the fd open; the remover closes it.
   }
-  ::unlink(options_.socket_path.c_str());
+  // Only remove the socket file if this daemon bound it — a daemon that
+  // LOST the Listen() race must not unlink the winner's live socket (or
+  // whatever non-socket file blocked the path).
+  if (bound_) ::unlink(options_.socket_path.c_str());
 }
 
 int PcrDaemon::active_streams() const {
@@ -334,6 +377,12 @@ void PcrDaemon::HandleFrame(const std::shared_ptr<Connection>& conn,
     case MessageType::kNextBatch:
       HandleNextBatch(conn, payload);
       return;
+    case MessageType::kShmAck:
+      HandleShmAck(conn, payload);
+      return;
+    case MessageType::kReleaseSlot:
+      HandleReleaseSlot(conn, payload);
+      return;
     case MessageType::kStats:
       HandleStats(conn, payload);
       return;
@@ -368,11 +417,13 @@ void PcrDaemon::HandleHello(const std::shared_ptr<Connection>& conn,
   }
   conn->peer_name = hello->client_name;
   conn->said_hello = true;
+  conn->shm_capable = hello->shm_capable;
   HelloReply reply;
   reply.server_name = options_.server_name;
   reply.max_streams = static_cast<uint32_t>(options_.max_streams);
   reply.max_inflight_per_stream =
       static_cast<uint32_t>(options_.max_inflight_per_stream);
+  reply.shm_supported = options_.shm_plane;
   (void)WriteFrame(*conn, MessageType::kHelloReply, Slice(reply.Encode()));
 }
 
@@ -463,6 +514,38 @@ void PcrDaemon::HandleOpenStream(const std::shared_ptr<Connection>& conn,
   }
   stream->pipeline = std::make_unique<LoaderPipeline>(
       (*dataset)->dataset.get(), pipe);
+
+  // Shm data plane: decoded streams only (the compressed plane's JPEG bytes
+  // are small and variable — the socket serves them fine), and only when
+  // both the daemon offers it and the connection's Hello claimed the
+  // capability. Segment creation failure (no memfd, /dev/shm exhausted) is
+  // never a stream failure — the stream just stays on the socket plane.
+  const bool want_shm = options_.shm_plane && req->shm_plane && req->decode &&
+                        conn->shm_capable;
+  if (want_shm) {
+    const uint32_t slots = options_.shm_slots_per_stream > 0
+                               ? static_cast<uint32_t>(
+                                     options_.shm_slots_per_stream)
+                               : max_inflight + 2;
+    const uint64_t slot_bytes =
+        std::max<uint64_t>(4096, options_.shm_slot_bytes);
+    const uint64_t segment_bytes = static_cast<uint64_t>(slots) * slot_bytes;
+    const uint64_t create_bytes = options_.shm_undersize_segment_for_test
+                                      ? segment_bytes / 2
+                                      : segment_bytes;
+    auto segment = ShmSegment::Create(
+        "pcrd-stream-" + std::to_string(stream->id), create_bytes);
+    if (segment.ok()) {
+      stream->shm = std::make_unique<ShmSegment>(std::move(segment).MoveValue());
+      stream->ring = std::make_unique<SlotRing>(slots, slot_bytes);
+    } else {
+      PCR_LOG(Warning) << "serve: stream " << stream->id
+                       << ": shm segment creation failed ("
+                       << segment.status().ToString()
+                       << "); falling back to the socket plane";
+    }
+  }
+
   scheduler_.Register(stream->id);
   {
     std::lock_guard<std::mutex> lock(conn->streams_mu);
@@ -488,6 +571,7 @@ void PcrDaemon::HandleOpenStream(const std::shared_ptr<Connection>& conn,
     }
     stream->cv.notify_all();
     scheduler_.Unregister(stream->id);
+    if (stream->ring) stream->ring->Close();
     stream->pipeline->Stop();
     stream->server.join();
     {
@@ -508,7 +592,41 @@ void PcrDaemon::HandleOpenStream(const std::shared_ptr<Connection>& conn,
   reply.scan_group = static_cast<uint32_t>(scan_group);
   reply.max_inflight = max_inflight;
   reply.cache_dataset_id = (*dataset)->cache_id;
+  if (stream->ring) {
+    reply.shm_slots = stream->ring->num_slots();
+    reply.shm_slot_bytes = stream->ring->slot_bytes();
+  }
   (void)WriteFrame(*conn, MessageType::kStreamOpened, Slice(reply.Encode()));
+
+  if (stream->ring) {
+    // Pass the segment fd. The client answers with ShmAck once it mapped
+    // (or failed to map) the segment; descriptors flow only after an
+    // accepted ack. If the fd pass itself fails, withdraw the plane with a
+    // plain slots=0 ShmSegment frame so the client is not left waiting —
+    // the stream continues on the socket plane either way.
+    ShmSegmentMsg msg;
+    msg.stream_id = stream->id;
+    msg.segment_bytes =
+        static_cast<uint64_t>(stream->ring->num_slots()) *
+        stream->ring->slot_bytes();
+    msg.slots = stream->ring->num_slots();
+    msg.slot_bytes = stream->ring->slot_bytes();
+    Status passed = options_.shm_fail_fd_pass_for_test
+                        ? Status::IOError("injected fd-pass failure")
+                        : WriteFrameWithFd(*conn, MessageType::kShmSegment,
+                                           Slice(msg.Encode()),
+                                           stream->shm->fd());
+    if (!passed.ok()) {
+      PCR_LOG(Warning) << "serve: stream " << stream->id
+                       << ": shm fd pass failed (" << passed.ToString()
+                       << "); stream stays on the socket plane";
+      ShmSegmentMsg withdraw;
+      withdraw.stream_id = stream->id;
+      withdraw.slots = 0;
+      (void)WriteFrame(*conn, MessageType::kShmSegment,
+                       Slice(withdraw.Encode()));
+    }
+  }
 }
 
 void PcrDaemon::HandleNextBatch(const std::shared_ptr<Connection>& conn,
@@ -553,6 +671,49 @@ void PcrDaemon::HandleNextBatch(const std::shared_ptr<Connection>& conn,
     return;
   }
   stream->cv.notify_one();
+}
+
+void PcrDaemon::HandleShmAck(const std::shared_ptr<Connection>& conn,
+                             Slice payload) {
+  auto ack = ShmAckRequest::Decode(payload);
+  if (!ack.ok()) {
+    SendError(conn, ack.status(), 0);
+    return;
+  }
+  std::shared_ptr<Stream> stream;
+  {
+    std::lock_guard<std::mutex> lock(streams_mu_);
+    auto it = streams_.find(ack->stream_id);
+    if (it != streams_.end()) stream = it->second;
+  }
+  if (!stream || stream->conn.get() != conn.get() || !stream->ring) {
+    return;  // Unknown/foreign stream or no plane offered: nothing to ack.
+  }
+  if (ack->accepted) {
+    stream->shm_active.store(true, std::memory_order_release);
+  }
+  // A rejected ack (client could not receive the fd or map the segment)
+  // simply leaves shm_active unset: the stream serves over the socket for
+  // its whole life, and the segment dies with the Stream.
+}
+
+void PcrDaemon::HandleReleaseSlot(const std::shared_ptr<Connection>& conn,
+                                  Slice payload) {
+  auto req = ReleaseSlotRequest::Decode(payload);
+  if (!req.ok()) {
+    SendError(conn, req.status(), 0);
+    return;
+  }
+  std::shared_ptr<Stream> stream;
+  {
+    std::lock_guard<std::mutex> lock(streams_mu_);
+    auto it = streams_.find(req->stream_id);
+    if (it != streams_.end()) stream = it->second;
+  }
+  if (!stream || stream->conn.get() != conn.get() || !stream->ring) return;
+  // Out-of-range slots and stale/forged generation cookies are dropped by
+  // the ring itself — a hostile credit cannot free someone else's tenancy.
+  (void)stream->ring->Release(req->slot, req->generation);
 }
 
 void PcrDaemon::HandleStats(const std::shared_ptr<Connection>& conn,
@@ -609,48 +770,125 @@ void PcrDaemon::ServeLoop(const std::shared_ptr<Stream>& stream) {
     if (!scheduler_.Acquire(stream->id)) return;
     stream->stats.AddQueueWait(NowSec() - receipt);
 
-    BatchReply reply;
+    BatchReply reply;             // Socket plane and end-of-stream.
     reply.stream_id = stream->id;
+    BatchDescriptorReply desc;    // Shm plane.
+    desc.stream_id = stream->id;
+    bool use_shm = false;
     bool fatal = false;
     if (stream->end_of_stream) {
       reply.end_of_stream = true;
     } else {
-      Result<LoadedBatch> batch = stream->pipeline->Next();
-      if (batch.ok()) {
-        reply.record_index = batch->record_index;
-        reply.scan_group = static_cast<uint32_t>(batch->scan_group);
-        reply.labels = batch->labels;
-        reply.bytes_read = batch->bytes_read;
-        for (const Image& img : batch->images) {
-          WireImage wire;
-          wire.width = static_cast<uint32_t>(img.width());
-          wire.height = static_cast<uint32_t>(img.height());
-          wire.channels = static_cast<uint32_t>(img.channels());
-          wire.pixels.assign(reinterpret_cast<const char*>(img.data()),
-                             img.size_bytes());
-          reply.images.push_back(std::move(wire));
+      Result<SharedLoadedBatch> next = stream->pipeline->NextShared();
+      if (next.ok()) {
+        const LoadedBatch& batch = *next->batch;
+        uint64_t pixel_bytes = 0;
+        // Slot layout: each image starts cache-line aligned (the placement
+        // copy's non-temporal stores want aligned destinations), so the
+        // fit check is against the padded end, not the raw byte sum.
+        uint64_t placed_end = 0;
+        for (const Image& img : batch.images) {
+          pixel_bytes += img.size_bytes();
+          placed_end = (placed_end + 63) & ~uint64_t{63};
+          placed_end += img.size_bytes();
         }
-        for (const ByteSpan& span : batch->jpeg_spans) {
-          reply.jpegs.emplace_back(batch->jpeg_backing.data() + span.offset,
-                                   span.length);
+
+        // The shm plane carries decoded pixels that fit a slot; an
+        // oversized batch (or a compressed one) falls back to a socket
+        // BatchReply for just this delivery.
+        use_shm = stream->shm_active.load(std::memory_order_acquire) &&
+                  !batch.images.empty() && batch.jpeg_spans.empty() &&
+                  placed_end <= stream->ring->slot_bytes();
+        std::optional<std::pair<uint32_t, uint64_t>> slot;
+        if (use_shm) {
+          slot = stream->ring->TryAcquire();
+          if (!slot.has_value()) {
+            // Backpressure: every slot is lent out, so the client must
+            // return one before this batch can be placed. Give the delivery
+            // token back while blocked — the wait is this stream's alone,
+            // and other streams keep flowing — then re-arbitrate.
+            stream->stats.AddShmSlotWait();
+            scheduler_.Release(stream->id, 0);
+            slot = stream->ring->Acquire();
+            if (!slot.has_value() || !scheduler_.Acquire(stream->id)) {
+              if (slot.has_value()) {
+                stream->ring->Release(slot->first, slot->second);
+              }
+              return;  // Ring closed or scheduler shut down: teardown.
+            }
+          }
+        }
+
+        if (use_shm) {
+          // One copy, into the registered slot; only placement metadata
+          // crosses the socket.
+          uint8_t* const base =
+              stream->shm->data() + stream->ring->SlotOffset(slot->first);
+          uint64_t off = 0;
+          for (const Image& img : batch.images) {
+            off = (off + 63) & ~uint64_t{63};
+            PlacementCopy(base + off, img.data(), img.size_bytes());
+            WireImageDesc d;
+            d.width = static_cast<uint32_t>(img.width());
+            d.height = static_cast<uint32_t>(img.height());
+            d.channels = static_cast<uint32_t>(img.channels());
+            d.offset = off;
+            d.length = img.size_bytes();
+            desc.images.push_back(d);
+            off += img.size_bytes();
+          }
+          desc.record_index = batch.record_index;
+          desc.scan_group = static_cast<uint32_t>(batch.scan_group);
+          desc.labels = batch.labels;
+          desc.bytes_read = next->bytes_read;
+          desc.slot = slot->first;
+          desc.generation = slot->second;
+          desc.payload_bytes = pixel_bytes;
+          stream->stats.AddBytesCopied(pixel_bytes);
+        } else {
+          reply.record_index = batch.record_index;
+          reply.scan_group = static_cast<uint32_t>(batch.scan_group);
+          reply.labels = batch.labels;
+          reply.bytes_read = next->bytes_read;
+          for (const Image& img : batch.images) {
+            WireImage wire;
+            wire.width = static_cast<uint32_t>(img.width());
+            wire.height = static_cast<uint32_t>(img.height());
+            wire.channels = static_cast<uint32_t>(img.channels());
+            wire.pixels.assign(reinterpret_cast<const char*>(img.data()),
+                               img.size_bytes());
+            reply.images.push_back(std::move(wire));
+          }
+          uint64_t jpeg_bytes = 0;
+          for (const ByteSpan& span : batch.jpeg_spans) {
+            reply.jpegs.emplace_back(batch.jpeg_backing.data() + span.offset,
+                                     span.length);
+            jpeg_bytes += span.length;
+          }
+          // Socket serialization moves the payload twice: into the wire
+          // structs above, and again into the encoded frame below.
+          stream->stats.AddBytesCopied(2 * (pixel_bytes + jpeg_bytes));
         }
         stream->served_images.fetch_add(
-            static_cast<int64_t>(batch->images.size() +
-                                 batch->jpeg_spans.size()),
+            static_cast<int64_t>(batch.images.size() +
+                                 batch.jpeg_spans.size()),
             std::memory_order_relaxed);
-      } else if (batch.status().IsOutOfRange()) {
+      } else if (next.status().IsOutOfRange()) {
         stream->end_of_stream = true;
         reply.end_of_stream = true;
       } else {
-        SendError(stream->conn, batch.status(), stream->id);
+        SendError(stream->conn, next.status(), stream->id);
         fatal = true;
       }
     }
 
     uint64_t reply_bytes = 0;
     if (!fatal) {
-      const std::string payload = reply.Encode();
-      reply_bytes = payload.size();
+      const std::string payload = use_shm ? desc.Encode() : reply.Encode();
+      // The DRR charge and stage bytes count actual service: the frame plus
+      // (on the shm plane) the pixels placed in the slot, so a descriptor
+      // stream cannot out-compete socket streams on fairness accounting.
+      reply_bytes = payload.size() + (use_shm ? desc.payload_bytes : 0);
       const Status framable = CheckFramePayloadSize(payload.size());
       if (!framable.ok()) {
         // The batch cannot be framed. Tell the client cleanly (the error
@@ -664,11 +902,17 @@ void PcrDaemon::ServeLoop(const std::shared_ptr<Stream>& stream) {
                   stream->id);
         fatal = true;
       } else {
-        const Status write = WriteFrame(*stream->conn,
-                                        MessageType::kBatchReply,
-                                        Slice(payload));
-        if (!write.ok()) fatal = true;  // Peer gone; reader tears us down.
+        // Count the delivery before writing it: the client can observe the
+        // frame and immediately query stats, so the counters must already
+        // include the batch it is about to receive.
         stream->stats.AddItem(reply_bytes);
+        if (use_shm) stream->stats.AddShmBatch();
+        const Status write =
+            WriteFrame(*stream->conn,
+                       use_shm ? MessageType::kBatchDescriptor
+                               : MessageType::kBatchReply,
+                       Slice(payload));
+        if (!write.ok()) fatal = true;  // Peer gone; reader tears us down.
         stream->stats.AddBatchLatency(NowSec() - receipt);
         {
           std::lock_guard<std::mutex> lock(stream->mu);
@@ -701,6 +945,51 @@ Status PcrDaemon::WriteFrame(Connection& conn, MessageType type,
                              std::string(std::strerror(errno)));
     }
     sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status PcrDaemon::WriteFrameWithFd(Connection& conn, MessageType type,
+                                   Slice payload, int fd) {
+  PCR_RETURN_IF_ERROR(CheckFramePayloadSize(payload.size()));
+  const std::string frame = EncodeFrame(type, payload);
+  std::lock_guard<std::mutex> lock(conn.write_mu);
+  // The SCM_RIGHTS cmsg rides on the frame's first byte(s); the receiver's
+  // recvmsg harvests it no matter where in the frame the kernel attaches
+  // it. Any remainder goes out as plain sends.
+  struct iovec iov;
+  iov.iov_base = const_cast<char*>(frame.data());
+  iov.iov_len = frame.size();
+  alignas(struct cmsghdr) char cbuf[CMSG_SPACE(sizeof(int))];
+  std::memset(cbuf, 0, sizeof(cbuf));
+  struct msghdr msg {};
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  msg.msg_control = cbuf;
+  msg.msg_controllen = sizeof(cbuf);
+  struct cmsghdr* cmsg = CMSG_FIRSTHDR(&msg);
+  cmsg->cmsg_level = SOL_SOCKET;
+  cmsg->cmsg_type = SCM_RIGHTS;
+  cmsg->cmsg_len = CMSG_LEN(sizeof(int));
+  std::memcpy(CMSG_DATA(cmsg), &fd, sizeof(int));
+  ssize_t n;
+  do {
+    n = ::sendmsg(conn.fd, &msg, MSG_NOSIGNAL);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) {
+    return Status::IOError("serve: sendmsg(SCM_RIGHTS): " +
+                           std::string(std::strerror(errno)));
+  }
+  size_t sent = static_cast<size_t>(n);
+  while (sent < frame.size()) {
+    const ssize_t m = ::send(conn.fd, frame.data() + sent, frame.size() - sent,
+                             MSG_NOSIGNAL);
+    if (m < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("serve: send(): " +
+                             std::string(std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(m);
   }
   return Status::OK();
 }
@@ -800,6 +1089,9 @@ void PcrDaemon::TeardownStream(uint64_t stream_id) {
   }
   stream->cv.notify_all();
   scheduler_.Unregister(stream_id);  // Unblocks a parked Acquire.
+  // Closing the ring unblocks a server thread parked on slot backpressure
+  // and reclaims any slots a vanished client never returned.
+  if (stream->ring) stream->ring->Close();
   stream->pipeline->Stop();          // Unblocks Next().
   if (stream->server.joinable()) stream->server.join();
   // The pipeline is deliberately NOT reset here: a BuildStats that copied
@@ -858,6 +1150,13 @@ StatsReply PcrDaemon::BuildStats(uint64_t stream_id) {
     out.batch_p99_sec = serve.batch_p99_sec;
     out.cache_hits = io.cache_hits;
     out.cache_misses = io.cache_misses;
+    out.shm_batches = serve.shm_batches;
+    out.shm_slot_waits = serve.shm_slot_waits;
+    out.bytes_copied = serve.bytes_copied;
+    // Zero-copy cache hits happen in the pipeline's IO stage (the cache
+    // entry is handed out by reference instead of deep-copied).
+    out.zero_copy_hits = io.zero_copy_hits;
+    out.zero_copy_bytes = io.zero_copy_bytes;
     reply.streams.push_back(std::move(out));
   }
   return reply;

@@ -84,6 +84,22 @@ struct DaemonOptions {
   int io_inflight = 4;
   int decode_threads = 2;
   IoBackend io_backend = IoBackend::kAuto;
+
+  // Shared-memory data plane (decoded streams only; negotiated per stream).
+  /// Offer the shm plane to capable clients that ask for it.
+  bool shm_plane = true;
+  /// Slots in each stream's ring; 0 derives the granted in-flight cap + 2,
+  /// so a well-behaved client never stalls on slot credits.
+  int shm_slots_per_stream = 0;
+  /// Per-slot capacity. A batch that does not fit falls back to a socket
+  /// BatchReply for just that batch. Clamped to >= 4 KiB.
+  uint64_t shm_slot_bytes = 4ull << 20;
+  /// Deterministic fault injection for tests: pretend the SCM_RIGHTS pass
+  /// failed (the daemon withdraws the plane and the stream stays on the
+  /// socket), or create the segment at half the advertised size (the client
+  /// must reject it at fstat validation and fall back cleanly).
+  bool shm_fail_fd_pass_for_test = false;
+  bool shm_undersize_segment_for_test = false;
 };
 
 class PcrDaemon {
@@ -168,6 +184,9 @@ class PcrDaemon {
                         Slice payload);
   void HandleNextBatch(const std::shared_ptr<Connection>& conn,
                        Slice payload);
+  void HandleShmAck(const std::shared_ptr<Connection>& conn, Slice payload);
+  void HandleReleaseSlot(const std::shared_ptr<Connection>& conn,
+                         Slice payload);
   void HandleStats(const std::shared_ptr<Connection>& conn, Slice payload);
   void HandleCloseStream(const std::shared_ptr<Connection>& conn,
                          Slice payload);
@@ -175,6 +194,10 @@ class PcrDaemon {
 
   /// Serializes + writes one frame under the connection's write lock.
   Status WriteFrame(Connection& conn, MessageType type, Slice payload);
+  /// Like WriteFrame, but attaches `fd` to the frame's first byte as
+  /// SCM_RIGHTS ancillary data (the shm segment pass at OpenStream).
+  Status WriteFrameWithFd(Connection& conn, MessageType type, Slice payload,
+                          int fd);
   void SendError(const std::shared_ptr<Connection>& conn,
                  const Status& status, uint64_t stream_id);
 
@@ -199,6 +222,9 @@ class PcrDaemon {
   DrrScheduler scheduler_;
 
   int listen_fd_ = -1;
+  /// True once Listen() bound the socket path; gates the unlink on Stop()
+  /// so a daemon that lost the bind race cannot remove the winner's socket.
+  bool bound_ = false;
   std::thread accept_thread_;
   std::atomic<bool> stopping_{false};
 

@@ -25,7 +25,7 @@ void AppendLe32(std::string* out, uint32_t v) {
 
 bool ValidMessageType(uint8_t type) {
   return type >= static_cast<uint8_t>(MessageType::kHello) &&
-         type <= static_cast<uint8_t>(MessageType::kError);
+         type <= static_cast<uint8_t>(MessageType::kReleaseSlot);
 }
 
 }  // namespace
@@ -91,15 +91,18 @@ std::string HelloRequest::Encode() const {
   wire::WireWriter w;
   w.PutUint64(1, protocol_version);
   w.PutString(2, client_name);
+  w.PutBool(3, shm_capable);
   return w.Release();
 }
 
 Result<HelloRequest> HelloRequest::Decode(Slice payload) {
   HelloRequest msg;
+  msg.shm_capable = false;  // Absent field = peer predates the capability.
   PCR_SERVE_DECODE_LOOP(
       payload, f,
       case 1 : msg.protocol_version = static_cast<uint32_t>(f.varint);
-      break; case 2 : msg.client_name = f.bytes.ToString(); break;);
+      break; case 2 : msg.client_name = f.bytes.ToString();
+      break; case 3 : msg.shm_capable = f.varint != 0; break;);
   return msg;
 }
 
@@ -109,6 +112,7 @@ std::string HelloReply::Encode() const {
   w.PutString(2, server_name);
   w.PutUint64(3, max_streams);
   w.PutUint64(4, max_inflight_per_stream);
+  w.PutBool(5, shm_supported);
   return w.Release();
 }
 
@@ -121,7 +125,7 @@ Result<HelloReply> HelloReply::Decode(Slice payload) {
       break; case 3 : msg.max_streams = static_cast<uint32_t>(f.varint);
       break; case 4
       : msg.max_inflight_per_stream = static_cast<uint32_t>(f.varint);
-      break;);
+      break; case 5 : msg.shm_supported = f.varint != 0; break;);
   return msg;
 }
 
@@ -134,6 +138,7 @@ std::string OpenStreamRequest::Encode() const {
   w.PutUint64(5, seed);
   w.PutBool(6, decode);
   w.PutUint64(7, max_inflight);
+  w.PutBool(8, shm_plane);
   return w.Release();
 }
 
@@ -148,7 +153,7 @@ Result<OpenStreamRequest> OpenStreamRequest::Decode(Slice payload) {
       break; case 5 : msg.seed = f.varint;
       break; case 6 : msg.decode = f.varint != 0;
       break; case 7 : msg.max_inflight = static_cast<uint32_t>(f.varint);
-      break;);
+      break; case 8 : msg.shm_plane = f.varint != 0; break;);
   return msg;
 }
 
@@ -161,6 +166,8 @@ std::string StreamOpenedReply::Encode() const {
   w.PutUint64(5, scan_group);
   w.PutUint64(6, max_inflight);
   w.PutUint64(7, cache_dataset_id);
+  w.PutUint64(8, shm_slots);
+  w.PutUint64(9, shm_slot_bytes);
   return w.Release();
 }
 
@@ -174,7 +181,9 @@ Result<StreamOpenedReply> StreamOpenedReply::Decode(Slice payload) {
       break; case 4 : msg.num_scan_groups = static_cast<uint32_t>(f.varint);
       break; case 5 : msg.scan_group = static_cast<uint32_t>(f.varint);
       break; case 6 : msg.max_inflight = static_cast<uint32_t>(f.varint);
-      break; case 7 : msg.cache_dataset_id = f.varint; break;);
+      break; case 7 : msg.cache_dataset_id = f.varint;
+      break; case 8 : msg.shm_slots = static_cast<uint32_t>(f.varint);
+      break; case 9 : msg.shm_slot_bytes = f.varint; break;);
   return msg;
 }
 
@@ -281,6 +290,183 @@ Result<BatchReply> BatchReply::Decode(Slice payload) {
   return msg;
 }
 
+std::string ShmSegmentMsg::Encode() const {
+  wire::WireWriter w;
+  w.PutUint64(1, stream_id);
+  w.PutUint64(2, segment_bytes);
+  w.PutUint64(3, slots);
+  w.PutUint64(4, slot_bytes);
+  return w.Release();
+}
+
+Result<ShmSegmentMsg> ShmSegmentMsg::Decode(Slice payload) {
+  ShmSegmentMsg msg;
+  PCR_SERVE_DECODE_LOOP(
+      payload, f,
+      case 1 : msg.stream_id = f.varint;
+      break; case 2 : msg.segment_bytes = f.varint;
+      break; case 3 : msg.slots = static_cast<uint32_t>(f.varint);
+      break; case 4 : msg.slot_bytes = f.varint; break;);
+  return msg;
+}
+
+std::string ShmAckRequest::Encode() const {
+  wire::WireWriter w;
+  w.PutUint64(1, stream_id);
+  w.PutBool(2, accepted);
+  return w.Release();
+}
+
+Result<ShmAckRequest> ShmAckRequest::Decode(Slice payload) {
+  ShmAckRequest msg;
+  PCR_SERVE_DECODE_LOOP(payload, f, case 1 : msg.stream_id = f.varint;
+                        break; case 2 : msg.accepted = f.varint != 0;
+                        break;);
+  return msg;
+}
+
+std::string BatchDescriptorReply::Encode() const {
+  wire::WireWriter w;
+  w.PutUint64(1, stream_id);
+  w.PutSint64(2, record_index);
+  w.PutUint64(3, scan_group);
+  std::vector<uint64_t> packed_labels;
+  packed_labels.reserve(labels.size());
+  for (const int64_t label : labels) {
+    packed_labels.push_back(wire::ZigZagEncode(label));
+  }
+  w.PutPackedUint64(4, packed_labels);
+  w.PutUint64(5, bytes_read);
+  w.PutUint64(6, slot);
+  w.PutUint64(7, generation);
+  w.PutUint64(8, payload_bytes);
+  for (const WireImageDesc& img : images) {
+    wire::WireWriter iw;
+    iw.PutUint64(1, img.width);
+    iw.PutUint64(2, img.height);
+    iw.PutUint64(3, img.channels);
+    iw.PutUint64(4, img.offset);
+    iw.PutUint64(5, img.length);
+    w.PutMessage(9, iw);
+  }
+  return w.Release();
+}
+
+Result<BatchDescriptorReply> BatchDescriptorReply::Decode(Slice payload) {
+  BatchDescriptorReply msg;
+  wire::WireReader reader(payload);
+  wire::WireField f;
+  while (reader.Next(&f)) {
+    switch (f.field) {
+      case 1:
+        msg.stream_id = f.varint;
+        break;
+      case 2:
+        msg.record_index = static_cast<int32_t>(f.AsSint64());
+        break;
+      case 3:
+        msg.scan_group = static_cast<uint32_t>(f.varint);
+        break;
+      case 4: {
+        PCR_ASSIGN_OR_RETURN(std::vector<uint64_t> packed,
+                             wire::WireReader::DecodePackedUint64(f.bytes));
+        msg.labels.reserve(packed.size());
+        for (const uint64_t v : packed) {
+          msg.labels.push_back(wire::ZigZagDecode(v));
+        }
+        break;
+      }
+      case 5:
+        msg.bytes_read = f.varint;
+        break;
+      case 6:
+        msg.slot = static_cast<uint32_t>(f.varint);
+        break;
+      case 7:
+        msg.generation = f.varint;
+        break;
+      case 8:
+        msg.payload_bytes = f.varint;
+        break;
+      case 9: {
+        WireImageDesc img;
+        wire::WireReader ir(f.bytes);
+        wire::WireField imf;
+        while (ir.Next(&imf)) {
+          switch (imf.field) {
+            case 1: img.width = static_cast<uint32_t>(imf.varint); break;
+            case 2: img.height = static_cast<uint32_t>(imf.varint); break;
+            case 3: img.channels = static_cast<uint32_t>(imf.varint); break;
+            case 4: img.offset = imf.varint; break;
+            case 5: img.length = imf.varint; break;
+            default: break;
+          }
+        }
+        PCR_RETURN_IF_ERROR(ir.status());
+        const uint64_t want = static_cast<uint64_t>(img.width) * img.height *
+                              img.channels;
+        if (img.length != want) {
+          return Status::Corruption("serve descriptor: image length " +
+                                    std::to_string(img.length) +
+                                    " != w*h*c " + std::to_string(want));
+        }
+        msg.images.push_back(img);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  PCR_RETURN_IF_ERROR(reader.status());
+  return msg;
+}
+
+std::string ReleaseSlotRequest::Encode() const {
+  wire::WireWriter w;
+  w.PutUint64(1, stream_id);
+  w.PutUint64(2, slot);
+  w.PutUint64(3, generation);
+  return w.Release();
+}
+
+Result<ReleaseSlotRequest> ReleaseSlotRequest::Decode(Slice payload) {
+  ReleaseSlotRequest msg;
+  PCR_SERVE_DECODE_LOOP(payload, f, case 1 : msg.stream_id = f.varint;
+                        break; case 2
+                        : msg.slot = static_cast<uint32_t>(f.varint);
+                        break; case 3 : msg.generation = f.varint; break;);
+  return msg;
+}
+
+Status ValidateBatchDescriptor(const BatchDescriptorReply& desc,
+                               uint32_t num_slots, uint64_t slot_bytes) {
+  if (desc.slot >= num_slots) {
+    return Status::Corruption("serve descriptor: slot " +
+                              std::to_string(desc.slot) + " >= ring size " +
+                              std::to_string(num_slots));
+  }
+  if (desc.generation == 0) {
+    return Status::Corruption("serve descriptor: zero generation cookie");
+  }
+  uint64_t total = 0;
+  for (const WireImageDesc& img : desc.images) {
+    // offset + length must stay inside the slot without overflowing.
+    if (img.length > slot_bytes || img.offset > slot_bytes - img.length) {
+      return Status::Corruption(
+          "serve descriptor: image [" + std::to_string(img.offset) + ", +" +
+          std::to_string(img.length) + ") escapes the " +
+          std::to_string(slot_bytes) + "-byte slot");
+    }
+    total += img.length;
+  }
+  if (total != desc.payload_bytes) {
+    return Status::Corruption("serve descriptor: image bytes " +
+                              std::to_string(total) + " != payload_bytes " +
+                              std::to_string(desc.payload_bytes));
+  }
+  return Status::OK();
+}
+
 std::string StatsRequest::Encode() const {
   wire::WireWriter w;
   w.PutUint64(1, stream_id);
@@ -309,6 +495,11 @@ std::string EncodeStreamStats(const StreamStats& s) {
   w.PutDouble(9, s.batch_p99_sec);
   w.PutInt64(10, s.cache_hits);
   w.PutInt64(11, s.cache_misses);
+  w.PutInt64(12, s.shm_batches);
+  w.PutInt64(13, s.shm_slot_waits);
+  w.PutUint64(14, s.bytes_copied);
+  w.PutInt64(15, s.zero_copy_hits);
+  w.PutUint64(16, s.zero_copy_bytes);
   return w.Release();
 }
 
@@ -327,7 +518,11 @@ Result<StreamStats> DecodeStreamStats(Slice payload) {
       break; case 9 : s.batch_p99_sec = f.AsDouble();
       break; case 10 : s.cache_hits = static_cast<int64_t>(f.varint);
       break; case 11 : s.cache_misses = static_cast<int64_t>(f.varint);
-      break;);
+      break; case 12 : s.shm_batches = static_cast<int64_t>(f.varint);
+      break; case 13 : s.shm_slot_waits = static_cast<int64_t>(f.varint);
+      break; case 14 : s.bytes_copied = f.varint;
+      break; case 15 : s.zero_copy_hits = static_cast<int64_t>(f.varint);
+      break; case 16 : s.zero_copy_bytes = f.varint; break;);
   return s;
 }
 

@@ -31,6 +31,30 @@
 //
 // BatchReply frames for one stream arrive in request order; frames of
 // different streams interleave arbitrarily on the shared connection.
+//
+// Shared-memory data plane (optional, per stream): when Hello advertised
+// shm_capable and OpenStream asked for shm_plane on a decoded stream, the
+// daemon follows StreamOpened (which carries the slot-ring geometry) with a
+// ShmSegment frame whose sendmsg attaches the segment's memfd as SCM_RIGHTS
+// ancillary data. The client maps the segment once and answers ShmAck; only
+// an accepted ack switches the stream to descriptors — until then (and
+// forever after a rejected ack, a failed fd pass, or an undersized segment)
+// batches travel as ordinary BatchReply frames on the socket plane:
+//
+//   OpenStream(shm_plane)->
+//                        <-         StreamOpened (slots, slot_bytes)
+//                        <-         ShmSegment (+memfd via SCM_RIGHTS)
+//   ShmAck(accepted)     ->
+//   NextBatch            ->
+//                        <-         BatchDescriptor (slot, generation,
+//                                   per-image offsets into the slot)
+//   ReleaseSlot          ->         (returns the slot for reuse; holding
+//                                   every slot backpressures the daemon)
+//
+// A batch too large for a slot falls back to a BatchReply for just that
+// batch; end-of-stream is always a BatchReply. Descriptors carry a
+// generation cookie stamped at slot acquisition, so a stale or forged
+// ReleaseSlot cannot free a slot that has since been handed out again.
 #pragma once
 
 #include <cstdint>
@@ -63,6 +87,11 @@ enum class MessageType : uint8_t {
   kCloseStream = 9,
   kStreamClosed = 10,
   kError = 11,
+  // Shared-memory data plane (negotiated per stream; see ShmSegmentMsg).
+  kShmSegment = 12,       // Daemon -> client; carries the memfd via SCM_RIGHTS.
+  kShmAck = 13,           // Client -> daemon; mapped OK or fall back.
+  kBatchDescriptor = 14,  // Daemon -> client; batch lives in a slot.
+  kReleaseSlot = 15,      // Client -> daemon; slot credit.
 };
 
 /// One decoded frame: the type byte plus the owned payload bytes.
@@ -122,6 +151,10 @@ Status CheckFramePayloadSize(uint64_t payload_bytes,
 struct HelloRequest {
   uint32_t protocol_version = kProtocolVersion;
   std::string client_name;
+  /// Capability bit: the client can receive SCM_RIGHTS fds and map shm
+  /// segments. Defaults to false so a peer that predates the field (and
+  /// never encodes it) reads back as incapable.
+  bool shm_capable = false;
 
   std::string Encode() const;
   static Result<HelloRequest> Decode(Slice payload);
@@ -132,6 +165,8 @@ struct HelloReply {
   std::string server_name;
   uint32_t max_streams = 0;
   uint32_t max_inflight_per_stream = 0;
+  /// The daemon is willing to negotiate the shm data plane (per stream).
+  bool shm_supported = false;
 
   std::string Encode() const;
   static Result<HelloReply> Decode(Slice payload);
@@ -152,6 +187,9 @@ struct OpenStreamRequest {
   /// NextBatch requests the client may keep outstanding; clamped to the
   /// daemon's per-client cap.
   uint32_t max_inflight = 1;
+  /// Ask for the shared-memory data plane (decoded streams only; the daemon
+  /// grants it only when the connection's Hello said shm_capable).
+  bool shm_plane = false;
 
   std::string Encode() const;
   static Result<OpenStreamRequest> Decode(Slice payload);
@@ -167,6 +205,10 @@ struct StreamOpenedReply {
   /// Server-derived shared-cache namespace (same dataset + generation =>
   /// same id across clients) — informational for the client.
   uint64_t cache_dataset_id = 0;
+  /// Shm data plane granted for this stream when shm_slots > 0: a ShmSegment
+  /// frame with the memfd follows this reply. 0 = socket plane.
+  uint32_t shm_slots = 0;
+  uint64_t shm_slot_bytes = 0;
 
   std::string Encode() const;
   static Result<StreamOpenedReply> Decode(Slice payload);
@@ -203,6 +245,79 @@ struct BatchReply {
   static Result<BatchReply> Decode(Slice payload);
 };
 
+/// Daemon -> client, right after StreamOpened when the shm plane was
+/// granted. The frame's sendmsg carries the segment's memfd as SCM_RIGHTS
+/// ancillary data; the payload repeats the geometry so the client can
+/// validate the received fd (fstat size >= segment_bytes) before mapping.
+struct ShmSegmentMsg {
+  uint64_t stream_id = 0;
+  uint64_t segment_bytes = 0;
+  uint32_t slots = 0;
+  uint64_t slot_bytes = 0;
+
+  std::string Encode() const;
+  static Result<ShmSegmentMsg> Decode(Slice payload);
+};
+
+/// Client -> daemon verdict after attempting to map the segment. The daemon
+/// serves descriptors only after an accepted ack; a rejected ack (fd never
+/// arrived, mmap failed, segment undersized) pins the stream to the socket
+/// plane and frees the segment.
+struct ShmAckRequest {
+  uint64_t stream_id = 0;
+  bool accepted = false;
+
+  std::string Encode() const;
+  static Result<ShmAckRequest> Decode(Slice payload);
+};
+
+/// One image's placement inside a slot (offsets relative to the slot base).
+struct WireImageDesc {
+  uint32_t width = 0;
+  uint32_t height = 0;
+  uint32_t channels = 0;
+  uint64_t offset = 0;
+  uint64_t length = 0;  // == width*height*channels; enforced on decode.
+};
+
+/// Descriptor-plane sibling of BatchReply: the batch's pixels live in the
+/// stream's shm slot; only placement metadata crosses the socket. The
+/// client must send ReleaseSlot(slot, generation) once the trainer is done
+/// with the view — the daemon will not reuse the slot until then.
+struct BatchDescriptorReply {
+  uint64_t stream_id = 0;
+  int32_t record_index = -1;
+  uint32_t scan_group = 0;
+  std::vector<int64_t> labels;
+  uint64_t bytes_read = 0;
+  uint32_t slot = 0;
+  uint64_t generation = 0;
+  uint64_t payload_bytes = 0;  // Total pixel bytes placed in the slot.
+  std::vector<WireImageDesc> images;
+
+  std::string Encode() const;
+  static Result<BatchDescriptorReply> Decode(Slice payload);
+};
+
+/// Client -> daemon slot credit. A release whose generation does not match
+/// the slot's live tenancy is ignored (stale or forged).
+struct ReleaseSlotRequest {
+  uint64_t stream_id = 0;
+  uint32_t slot = 0;
+  uint64_t generation = 0;
+
+  std::string Encode() const;
+  static Result<ReleaseSlotRequest> Decode(Slice payload);
+};
+
+/// Bounds-checks a decoded descriptor against the negotiated ring geometry:
+/// slot index in range, every image inside [0, slot_bytes), lengths
+/// consistent with geometry and payload_bytes. A client MUST validate before
+/// dereferencing slot memory — a malicious or corrupt descriptor must fail
+/// here, not fault on the mapping.
+Status ValidateBatchDescriptor(const BatchDescriptorReply& desc,
+                               uint32_t num_slots, uint64_t slot_bytes);
+
 struct StatsRequest {
   /// 0 = daemon-wide stats (all live streams); else just that stream.
   uint64_t stream_id = 0;
@@ -226,6 +341,15 @@ struct StreamStats {
   double batch_p99_sec = 0;
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
+  /// Data-plane accounting: batches that went out as shm descriptors (the
+  /// rest used the socket plane), serve-stage blocks waiting for a slot
+  /// credit, payload bytes the serve stage memcpy'd, and pipeline cache
+  /// hits delivered zero-copy with the bytes those hits did not copy.
+  int64_t shm_batches = 0;
+  int64_t shm_slot_waits = 0;
+  uint64_t bytes_copied = 0;
+  int64_t zero_copy_hits = 0;
+  uint64_t zero_copy_bytes = 0;
 };
 
 struct StatsReply {

@@ -22,6 +22,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -35,6 +36,7 @@
 #include "serve/protocol.h"
 #include "storage/env.h"
 #include "test_util.h"
+#include "util/shm_ring.h"
 
 namespace pcr::serve {
 namespace {
@@ -636,7 +638,8 @@ TEST_F(ServeDaemonTest, MultiClientHammer) {
       open.max_epochs = kEpochs;
       open.shuffle = true;
       open.seed = 100 + static_cast<uint64_t>(i);
-      open.decode = (i % 2 == 0);  // Mix both data planes.
+      open.decode = (i % 2 == 0);   // Mix decoded and compressed streams,
+      open.shm_plane = open.decode;  // and shm + socket data planes.
       auto stream = client->OpenStream(open).MoveValue();
       int images = 0;
       for (;;) {
@@ -656,6 +659,470 @@ TEST_F(ServeDaemonTest, MultiClientHammer) {
   }
   for (std::thread& t : threads) t.join();
   EXPECT_EQ(failures.load(), 0);
+}
+
+// --- Shared-memory data plane ----------------------------------------------
+
+TEST(SlotRingTest, GenerationCookiesGateReleases) {
+  SlotRing ring(2, 4096);
+  auto a = ring.TryAcquire();
+  auto b = ring.TryAcquire();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_NE(a->second, b->second);  // Distinct live cookies.
+  EXPECT_FALSE(ring.TryAcquire().has_value());  // All slots held.
+
+  EXPECT_FALSE(ring.Release(a->first, a->second + 100));  // Forged cookie.
+  EXPECT_FALSE(ring.Release(99, 1));                      // Out of range.
+  EXPECT_EQ(ring.held_slots(), 2u);
+  EXPECT_TRUE(ring.Release(a->first, a->second));
+  EXPECT_FALSE(ring.Release(a->first, a->second));  // Double release.
+
+  // The freed slot comes back with a NEW generation, so the old cookie is
+  // dead even though the slot index recurs.
+  auto c = ring.TryAcquire();
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->first, a->first);
+  EXPECT_NE(c->second, a->second);
+
+  ring.ReclaimAll();
+  EXPECT_EQ(ring.held_slots(), 0u);
+  EXPECT_FALSE(ring.Release(b->first, b->second));  // Invalidated by reclaim.
+  ring.Close();
+  EXPECT_FALSE(ring.Acquire().has_value());
+}
+
+TEST(ShmSegmentTest, AdoptRejectsUndersizedSegment) {
+  auto segment = ShmSegment::Create("adopt-test", 8192);
+  ASSERT_TRUE(segment.ok()) << segment.status();
+  // Adopt wants its own fd (it takes ownership either way).
+  const int dup_fd = ::dup(segment->fd());
+  ASSERT_GE(dup_fd, 0);
+  auto bigger = ShmSegment::Adopt(dup_fd, 16384);
+  EXPECT_FALSE(bigger.ok());  // fstat says 8 KiB < 16 KiB demanded.
+  const int dup2_fd = ::dup(segment->fd());
+  ASSERT_GE(dup2_fd, 0);
+  auto exact = ShmSegment::Adopt(dup2_fd, 8192);
+  ASSERT_TRUE(exact.ok()) << exact.status();
+  // Same pages: a write through the creator is visible to the adopter.
+  segment->data()[17] = 0xab;
+  EXPECT_EQ(exact->data()[17], 0xab);
+}
+
+TEST(ProtocolTest, ShmMessagesRoundTrip) {
+  ShmSegmentMsg seg;
+  seg.stream_id = 7;
+  seg.segment_bytes = 1 << 20;
+  seg.slots = 4;
+  seg.slot_bytes = 1 << 18;
+  auto seg2 = ShmSegmentMsg::Decode(Slice(seg.Encode()));
+  ASSERT_TRUE(seg2.ok());
+  EXPECT_EQ(seg2->segment_bytes, seg.segment_bytes);
+  EXPECT_EQ(seg2->slots, seg.slots);
+
+  ShmAckRequest ack;
+  ack.stream_id = 7;
+  ack.accepted = true;
+  auto ack2 = ShmAckRequest::Decode(Slice(ack.Encode()));
+  ASSERT_TRUE(ack2.ok());
+  EXPECT_TRUE(ack2->accepted);
+
+  ReleaseSlotRequest rel;
+  rel.stream_id = 7;
+  rel.slot = 3;
+  rel.generation = 12345;
+  auto rel2 = ReleaseSlotRequest::Decode(Slice(rel.Encode()));
+  ASSERT_TRUE(rel2.ok());
+  EXPECT_EQ(rel2->slot, 3u);
+  EXPECT_EQ(rel2->generation, 12345u);
+
+  BatchDescriptorReply desc;
+  desc.stream_id = 7;
+  desc.record_index = 11;
+  desc.scan_group = 2;
+  desc.labels = {4, -1, 9};
+  desc.bytes_read = 777;
+  desc.slot = 1;
+  desc.generation = 99;
+  desc.payload_bytes = 24 + 6;
+  desc.images.push_back({4, 2, 3, 0, 24});
+  desc.images.push_back({2, 1, 3, 24, 6});
+  auto desc2 = BatchDescriptorReply::Decode(Slice(desc.Encode()));
+  ASSERT_TRUE(desc2.ok());
+  EXPECT_EQ(desc2->labels, desc.labels);
+  EXPECT_EQ(desc2->slot, 1u);
+  EXPECT_EQ(desc2->generation, 99u);
+  ASSERT_EQ(desc2->images.size(), 2u);
+  EXPECT_EQ(desc2->images[1].offset, 24u);
+  EXPECT_TRUE(ValidateBatchDescriptor(*desc2, 4, 4096).ok());
+
+  // A client that predates the shm fields must read a capability-less
+  // Hello, not garbage.
+  HelloRequest hello;
+  auto hello2 = HelloRequest::Decode(Slice(hello.Encode()));
+  ASSERT_TRUE(hello2.ok());
+  EXPECT_FALSE(hello2->shm_capable);
+}
+
+TEST(ProtocolTest, ValidateBatchDescriptorRejectsBadGeometry) {
+  BatchDescriptorReply desc;
+  desc.stream_id = 1;
+  desc.slot = 0;
+  desc.generation = 5;
+  desc.payload_bytes = 24;
+  desc.images.push_back({4, 2, 3, 0, 24});
+  ASSERT_TRUE(ValidateBatchDescriptor(desc, 2, 4096).ok());
+
+  BatchDescriptorReply bad = desc;
+  bad.slot = 2;  // Out of range for a 2-slot ring.
+  EXPECT_FALSE(ValidateBatchDescriptor(bad, 2, 4096).ok());
+  bad = desc;
+  bad.generation = 0;  // Never a live cookie.
+  EXPECT_FALSE(ValidateBatchDescriptor(bad, 2, 4096).ok());
+  bad = desc;
+  bad.images[0].offset = 4096 - 23;  // offset + length spills past the slot.
+  EXPECT_FALSE(ValidateBatchDescriptor(bad, 2, 4096).ok());
+  bad = desc;
+  bad.images[0].offset = ~0ull - 8;  // Offset chosen to wrap if added naively.
+  EXPECT_FALSE(ValidateBatchDescriptor(bad, 2, 4096).ok());
+  bad = desc;
+  bad.payload_bytes = 23;  // Image bytes disagree with the total.
+  EXPECT_FALSE(ValidateBatchDescriptor(bad, 2, 4096).ok());
+}
+
+TEST(ProtocolTest, DescriptorFrameByteFuzz) {
+  // Flip every byte of a valid descriptor payload through a few patterns:
+  // Decode must never crash, and anything it accepts must either pass the
+  // bounds validation or be rejected by it — the client dereferences slot
+  // memory only after ValidateBatchDescriptor approves.
+  BatchDescriptorReply desc;
+  desc.stream_id = 3;
+  desc.record_index = 2;
+  desc.labels = {1, 2, 3, 4};
+  desc.slot = 1;
+  desc.generation = 42;
+  desc.payload_bytes = 48;
+  desc.images.push_back({4, 2, 3, 0, 24});
+  desc.images.push_back({4, 2, 3, 24, 24});
+  const std::string payload = desc.Encode();
+  constexpr uint32_t kSlots = 4;
+  constexpr uint64_t kSlotBytes = 4096;
+  for (size_t pos = 0; pos < payload.size(); ++pos) {
+    for (const uint8_t pattern : {0x01, 0x80, 0xff}) {
+      std::string mutated = payload;
+      mutated[pos] = static_cast<char>(mutated[pos] ^ pattern);
+      auto decoded = BatchDescriptorReply::Decode(Slice(mutated));
+      if (!decoded.ok()) continue;
+      const Status valid =
+          ValidateBatchDescriptor(*decoded, kSlots, kSlotBytes);
+      if (!valid.ok()) continue;
+      // Survivors must be safe to dereference: every image inside the
+      // slot, totals consistent.
+      uint64_t total = 0;
+      for (const WireImageDesc& img : decoded->images) {
+        ASSERT_LE(img.length, kSlotBytes);
+        ASSERT_LE(img.offset, kSlotBytes - img.length);
+        total += img.length;
+      }
+      ASSERT_EQ(total, decoded->payload_bytes);
+      ASSERT_LT(decoded->slot, kSlots);
+    }
+  }
+  // Truncation sweep: a cut payload must never crash the decoder.
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    (void)BatchDescriptorReply::Decode(Slice(payload.data(), cut));
+  }
+}
+
+TEST_F(ServeDaemonTest, ListenRefusesLiveDaemonSocket) {
+  if (!RequireInternalDaemon()) {
+    GTEST_SKIP() << "starts daemons on controlled socket paths";
+  }
+  const std::string socket = Socket();  // First daemon, live.
+  DaemonOptions second;
+  second.socket_path = socket;
+  auto clash = PcrDaemon::Start(env_, second);
+  ASSERT_FALSE(clash.ok());
+  EXPECT_TRUE(clash.status().IsAlreadyExists()) << clash.status();
+  // The loser must not have unlinked the winner's socket out from under it.
+  auto client = PcrClient::Connect(socket, "post-clash");
+  EXPECT_TRUE(client.ok()) << client.status();
+
+  // A stale socket file (bound once, no live listener) is taken over.
+  const std::string stale = root_ + "/stale.sock";
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, stale.c_str(), stale.size() + 1);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ::close(fd);  // File stays behind; nobody listens.
+  DaemonOptions takeover;
+  takeover.socket_path = stale;
+  auto revived = PcrDaemon::Start(env_, takeover);
+  ASSERT_TRUE(revived.ok()) << revived.status();
+  (*revived)->Stop();
+
+  // A non-socket file at the path is refused outright.
+  const std::string plain = root_ + "/not-a-socket";
+  { std::ofstream(plain) << "precious"; }
+  DaemonOptions blocked;
+  blocked.socket_path = plain;
+  auto refused = PcrDaemon::Start(env_, blocked);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(refused.status().IsAlreadyExists()) << refused.status();
+  EXPECT_TRUE(std::filesystem::exists(plain));  // Untouched.
+}
+
+TEST_F(ServeDaemonTest, ShmPlaneDeliversDecodedBatches) {
+  auto client = PcrClient::Connect(Socket(), "shm-happy").MoveValue();
+  OpenStreamRequest open;
+  open.dataset_dir = dataset_dir_;
+  open.max_epochs = 1;
+  open.shuffle = false;
+  open.shm_plane = true;
+  auto stream = client->OpenStream(open).MoveValue();
+  ASSERT_GT(stream.shm_slots, 0u) << "daemon did not grant the shm plane";
+  ASSERT_GT(stream.shm_slot_bytes, 0u);
+
+  int images = 0;
+  int shm_batches = 0;
+  for (;;) {
+    ASSERT_TRUE(client->SendNextBatchRequest(stream.stream_id).ok());
+    auto batch = client->ReceiveServedBatch(stream.stream_id);
+    ASSERT_TRUE(batch.ok()) << batch.status();
+    if (batch->end_of_stream) break;
+    if (batch->via_shm()) ++shm_batches;
+    for (const ServedImageView& view : batch->images()) {
+      const Image img = PcrClient::ToImage(view).MoveValue();
+      EXPECT_EQ(img.width(), 48);
+      EXPECT_EQ(img.height(), 32);
+      ++images;
+    }
+  }
+  EXPECT_EQ(images, 16);
+  EXPECT_GT(shm_batches, 0);
+
+  auto stats = client->GetStats(stream.stream_id).MoveValue();
+  ASSERT_EQ(stats.streams.size(), 1u);
+  EXPECT_EQ(stats.streams[0].shm_batches,
+            static_cast<uint64_t>(shm_batches));
+  // The shm plane copies each payload once (into the slot); the socket
+  // plane would have moved it at least twice.
+  EXPECT_GT(stats.streams[0].bytes_copied, 0u);
+  client->CloseStream(stream.stream_id).MoveValue();
+}
+
+TEST_F(ServeDaemonTest, ShmCompatReceiveBatchStillDeepCopies) {
+  // The pre-shm API keeps working against a shm stream: ReceiveBatch
+  // resolves descriptors into self-contained BatchReply copies and returns
+  // the slots immediately.
+  auto client = PcrClient::Connect(Socket(), "shm-compat").MoveValue();
+  OpenStreamRequest open;
+  open.dataset_dir = dataset_dir_;
+  open.max_epochs = 1;
+  open.shuffle = false;
+  open.shm_plane = true;
+  auto stream = client->OpenStream(open).MoveValue();
+  int images = 0;
+  for (;;) {
+    auto batch = client->NextBatch(stream.stream_id).MoveValue();
+    if (batch.end_of_stream) break;
+    for (const WireImage& wire : batch.images) {
+      EXPECT_TRUE(PcrClient::ToImage(wire).ok());
+      ++images;
+    }
+  }
+  EXPECT_EQ(images, 16);
+  client->CloseStream(stream.stream_id).MoveValue();
+}
+
+TEST_F(ServeDaemonTest, ShmSlotExhaustionBackpressures) {
+  if (!RequireInternalDaemon()) {
+    GTEST_SKIP() << "needs custom DaemonOptions (shm_slots_per_stream)";
+  }
+  DaemonOptions options;
+  options.shm_slots_per_stream = 1;  // Every delivery contends for one slot.
+  auto client = PcrClient::Connect(Socket(options), "shm-squeeze").MoveValue();
+  OpenStreamRequest open;
+  open.dataset_dir = dataset_dir_;
+  open.max_epochs = 1;
+  open.shuffle = false;
+  open.shm_plane = true;
+  open.max_inflight = 2;  // Two queued requests against one slot.
+  auto stream = client->OpenStream(open).MoveValue();
+  ASSERT_EQ(stream.shm_slots, 1u);
+
+  // Pipeline two requests, then sit on the first delivery. The daemon
+  // cannot place the second batch until the slot comes back, so it must
+  // record a slot wait and park — NOT fail the stream.
+  ASSERT_TRUE(client->SendNextBatchRequest(stream.stream_id).ok());
+  ASSERT_TRUE(client->SendNextBatchRequest(stream.stream_id).ok());
+  auto first = client->ReceiveServedBatch(stream.stream_id);
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_TRUE(first->via_shm());
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  first->Release();  // Unblocks the parked delivery.
+  auto second = client->ReceiveServedBatch(stream.stream_id);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_FALSE(second->end_of_stream);
+  second->Release();
+
+  auto stats = client->GetStats(stream.stream_id).MoveValue();
+  ASSERT_EQ(stats.streams.size(), 1u);
+  EXPECT_GE(stats.streams[0].shm_slot_waits, 1u);
+  client->CloseStream(stream.stream_id).MoveValue();
+}
+
+TEST_F(ServeDaemonTest, DisconnectWhileHoldingSlotsReclaims) {
+  if (!RequireInternalDaemon()) {
+    GTEST_SKIP() << "needs daemon internals (active_streams)";
+  }
+  const std::string socket = Socket();
+  {
+    auto client = PcrClient::Connect(socket, "slot-hoarder").MoveValue();
+    OpenStreamRequest open;
+    open.dataset_dir = dataset_dir_;
+    open.max_epochs = 1;
+    open.shuffle = false;
+    open.shm_plane = true;
+    auto stream = client->OpenStream(open).MoveValue();
+    ASSERT_GT(stream.shm_slots, 0u);
+    ASSERT_TRUE(client->SendNextBatchRequest(stream.stream_id).ok());
+    auto held = client->ReceiveServedBatch(stream.stream_id);
+    ASSERT_TRUE(held.ok()) << held.status();
+    ASSERT_TRUE(held->via_shm());
+    client->Close();  // Hang up WITHOUT releasing the slot.
+    // `held` dies after the hangup; its release credit has nowhere to go.
+  }
+  // The daemon's disconnect teardown must reclaim the stream (and with it
+  // the lent slot) without waiting on the credit that will never arrive.
+  for (int i = 0; i < 200 && daemon_->active_streams() != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(daemon_->active_streams(), 0);
+
+  // And the daemon is still fully serviceable on the shm plane.
+  auto client = PcrClient::Connect(socket, "after-hoarder").MoveValue();
+  OpenStreamRequest open;
+  open.dataset_dir = dataset_dir_;
+  open.max_epochs = 1;
+  open.shuffle = false;
+  open.shm_plane = true;
+  auto stream = client->OpenStream(open).MoveValue();
+  auto batch = client->NextBatch(stream.stream_id).MoveValue();
+  EXPECT_FALSE(batch.end_of_stream);
+  EXPECT_FALSE(batch.images.empty());
+}
+
+TEST_F(ServeDaemonTest, FdPassFailureFallsBackToSocketPlane) {
+  if (!RequireInternalDaemon()) {
+    GTEST_SKIP() << "needs fault injection (shm_fail_fd_pass_for_test)";
+  }
+  DaemonOptions options;
+  options.shm_fail_fd_pass_for_test = true;
+  auto client = PcrClient::Connect(Socket(options), "fd-fail").MoveValue();
+  OpenStreamRequest open;
+  open.dataset_dir = dataset_dir_;
+  open.max_epochs = 1;
+  open.shuffle = false;
+  open.shm_plane = true;
+  auto stream = client->OpenStream(open).MoveValue();
+  // The daemon advertised slots, then "failed" the fd pass and withdrew
+  // the plane. The stream must keep working on the socket, not error.
+  int images = 0;
+  for (;;) {
+    ASSERT_TRUE(client->SendNextBatchRequest(stream.stream_id).ok());
+    auto batch = client->ReceiveServedBatch(stream.stream_id);
+    ASSERT_TRUE(batch.ok()) << batch.status();
+    if (batch->end_of_stream) break;
+    EXPECT_FALSE(batch->via_shm());
+    images += static_cast<int>(batch->images().size());
+  }
+  EXPECT_EQ(images, 16);
+  auto stats = client->GetStats(stream.stream_id).MoveValue();
+  ASSERT_EQ(stats.streams.size(), 1u);
+  EXPECT_EQ(stats.streams[0].shm_batches, 0u);
+}
+
+TEST_F(ServeDaemonTest, UndersizedSegmentFallsBackToSocketPlane) {
+  if (!RequireInternalDaemon()) {
+    GTEST_SKIP() << "needs fault injection (shm_undersize_segment_for_test)";
+  }
+  DaemonOptions options;
+  options.shm_undersize_segment_for_test = true;
+  auto client = PcrClient::Connect(Socket(options), "undersized").MoveValue();
+  OpenStreamRequest open;
+  open.dataset_dir = dataset_dir_;
+  open.max_epochs = 1;
+  open.shuffle = false;
+  open.shm_plane = true;
+  auto stream = client->OpenStream(open).MoveValue();
+  // The client's fstat validation must reject the too-small segment and
+  // answer a rejecting ShmAck; the stream stays on the socket plane.
+  int images = 0;
+  for (;;) {
+    auto batch = client->NextBatch(stream.stream_id).MoveValue();
+    if (batch.end_of_stream) break;
+    images += static_cast<int>(batch.images.size());
+  }
+  EXPECT_EQ(images, 16);
+  auto stats = client->GetStats(stream.stream_id).MoveValue();
+  ASSERT_EQ(stats.streams.size(), 1u);
+  EXPECT_EQ(stats.streams[0].shm_batches, 0u);
+}
+
+TEST_F(ServeDaemonTest, ClientRejectingAckStaysOnSocketPlane) {
+  auto client = PcrClient::Connect(Socket(), "shm-refusenik").MoveValue();
+  client->set_reject_shm_for_test(true);
+  OpenStreamRequest open;
+  open.dataset_dir = dataset_dir_;
+  open.max_epochs = 1;
+  open.shuffle = false;
+  open.shm_plane = true;
+  auto stream = client->OpenStream(open).MoveValue();
+  int images = 0;
+  for (;;) {
+    ASSERT_TRUE(client->SendNextBatchRequest(stream.stream_id).ok());
+    auto batch = client->ReceiveServedBatch(stream.stream_id);
+    ASSERT_TRUE(batch.ok()) << batch.status();
+    if (batch->end_of_stream) break;
+    EXPECT_FALSE(batch->via_shm());
+    images += static_cast<int>(batch->images().size());
+  }
+  EXPECT_EQ(images, 16);
+  client->CloseStream(stream.stream_id).MoveValue();
+}
+
+TEST_F(ServeDaemonTest, ZeroCopyCacheHitsCounted) {
+  if (!RequireInternalDaemon()) {
+    GTEST_SKIP() << "asserts against per-stream cache-hit stats";
+  }
+  // Two passes over the same records: the second stream's batches come out
+  // of the decode cache by reference (no deep copy on the consumer path),
+  // visible as zero_copy_hits in its stream stats. Sequential streams (not
+  // one two-epoch stream) so every insert finishes before the rereads.
+  auto client = PcrClient::Connect(Socket(), "zero-copy").MoveValue();
+  OpenStreamRequest open;
+  open.dataset_dir = dataset_dir_;
+  open.max_epochs = 1;
+  open.shuffle = false;
+  open.shm_plane = true;
+  for (int round = 0; round < 2; ++round) {
+    auto stream = client->OpenStream(open).MoveValue();
+    for (;;) {
+      auto batch = client->NextBatch(stream.stream_id).MoveValue();
+      if (batch.end_of_stream) break;
+    }
+    auto stats = client->GetStats(stream.stream_id).MoveValue();
+    ASSERT_EQ(stats.streams.size(), 1u);
+    if (round == 1) {
+      EXPECT_GT(stats.streams[0].cache_hits, 0u);
+      EXPECT_EQ(stats.streams[0].zero_copy_hits, stats.streams[0].cache_hits);
+      EXPECT_GT(stats.streams[0].zero_copy_bytes, 0u);
+    }
+    client->CloseStream(stream.stream_id).MoveValue();
+  }
 }
 
 }  // namespace
